@@ -1,0 +1,112 @@
+// Micro-benchmarks for the hot paths of the library: the reward components
+// (evaluated O(|I|) times per episode step), the interleaving similarity,
+// bitset operations, Q-table queries and full episode generation.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/course_data.h"
+#include "datagen/synthetic.h"
+#include "mdp/episode_state.h"
+#include "mdp/q_table.h"
+#include "mdp/reward.h"
+#include "mdp/similarity.h"
+#include "rl/sarsa.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace {
+
+using rlplanner::datagen::Dataset;
+
+void BM_BitsetIntersectCount(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  rlplanner::util::DynamicBitset a(bits);
+  rlplanner::util::DynamicBitset b(bits);
+  rlplanner::util::Rng rng(1);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.NextBernoulli(0.3)) a.Set(i);
+    if (rng.NextBernoulli(0.3)) b.Set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectCount(b));
+  }
+}
+BENCHMARK(BM_BitsetIntersectCount)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_SequenceSimilarity(benchmark::State& state) {
+  const Dataset dataset = rlplanner::datagen::MakeUniv1DsCt();
+  const auto& templates = dataset.soft.interleaving;
+  rlplanner::model::TypeSequence sequence;
+  for (int i = 0; i < state.range(0); ++i) {
+    sequence.push_back(i % 2 == 0 ? rlplanner::model::ItemType::kPrimary
+                                  : rlplanner::model::ItemType::kSecondary);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rlplanner::mdp::AggregateSimilarity(
+        sequence, templates, rlplanner::mdp::SimilarityMode::kAverage));
+  }
+}
+BENCHMARK(BM_SequenceSimilarity)->Arg(5)->Arg(10);
+
+void BM_RewardEvaluation(benchmark::State& state) {
+  const Dataset dataset = rlplanner::datagen::MakeUniv1DsCt();
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  rlplanner::mdp::RewardWeights weights;
+  const rlplanner::mdp::RewardFunction reward(instance, weights);
+  rlplanner::mdp::EpisodeState episode(instance);
+  episode.Add(dataset.default_start);
+  episode.Add(0);
+  std::size_t item = 0;
+  for (auto _ : state) {
+    item = (item + 1) % dataset.catalog.size();
+    if (episode.Contains(static_cast<rlplanner::model::ItemId>(item))) {
+      continue;
+    }
+    benchmark::DoNotOptimize(
+        reward.Reward(episode, static_cast<rlplanner::model::ItemId>(item)));
+  }
+}
+BENCHMARK(BM_RewardEvaluation);
+
+void BM_QTableArgmax(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  rlplanner::mdp::QTable q(n);
+  rlplanner::util::Rng rng(3);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < n; ++a) {
+      q.Set(static_cast<int>(s), static_cast<int>(a), rng.NextDouble());
+    }
+  }
+  int row = 0;
+  for (auto _ : state) {
+    row = (row + 1) % static_cast<int>(n);
+    benchmark::DoNotOptimize(
+        q.ArgmaxAction(row, [](rlplanner::model::ItemId) { return true; }));
+  }
+}
+BENCHMARK(BM_QTableArgmax)->Arg(31)->Arg(114)->Arg(500);
+
+void BM_SingleEpisode(benchmark::State& state) {
+  rlplanner::datagen::SyntheticSpec spec;
+  spec.num_items = static_cast<int>(state.range(0));
+  spec.vocab_size = 2 * spec.num_items;
+  const Dataset dataset = rlplanner::datagen::GenerateSynthetic(spec);
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  rlplanner::mdp::RewardWeights weights;
+  const rlplanner::mdp::RewardFunction reward(instance, weights);
+  rlplanner::rl::SarsaConfig config;
+  config.num_episodes = 1;
+  config.start_item = dataset.default_start;
+  config.policy_rounds = 1;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    rlplanner::rl::SarsaLearner learner(instance, reward, config, ++seed);
+    benchmark::DoNotOptimize(learner.Learn());
+  }
+  state.counters["items"] = static_cast<double>(spec.num_items);
+}
+BENCHMARK(BM_SingleEpisode)->Arg(31)->Arg(114)->Arg(300);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// An interactive advising session with feedback (the paper's Section VI
+// extension): a student co-builds a DS-CT course plan with the planner —
+// pinning their own choices, accepting suggestions — and then iterates
+// with ratings until the plan reflects their taste.
+
+#include <cstdio>
+
+#include "adaptive/adaptive_planner.h"
+#include "adaptive/interactive.h"
+#include "core/planner.h"
+#include "datagen/course_data.h"
+
+int main() {
+  using namespace rlplanner;
+
+  const datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  core::PlannerConfig config = core::DefaultUniv1Config();
+  config.sarsa.start_item = dataset.default_start;
+  core::RlPlanner planner(instance, config);
+  if (const auto status = planner.Train(); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // --- Part 1: interactive session -------------------------------------
+  std::printf("== interactive session ==\n");
+  adaptive::InteractiveSession session(planner);
+  // The student insists on starting with Machine Learning and taking
+  // Applied Statistics early.
+  (void)session.Pin(dataset.default_start);
+  const auto math661 = dataset.catalog.FindByCode("MATH 661").value();
+  if (!session.Pin(math661).ok()) {
+    std::printf("(MATH 661 was not admissible here)\n");
+  }
+
+  // Show the planner's top-3 suggestions for the third slot.
+  std::printf("suggestions for slot 3:\n");
+  for (const auto& s : session.SuggestNext(3)) {
+    const auto& item = dataset.catalog.item(s.item);
+    std::printf("  %-9s %-40s theta=%d reward=%.2f q=%.2f\n",
+                item.code.c_str(), item.name.c_str(), s.theta, s.reward,
+                s.q_value);
+  }
+  // Accept suggestions for the rest of the degree.
+  const model::Plan plan = session.Complete();
+  std::printf("final plan (%s, score %.2f):\n  %s\n\n",
+              planner.Validate(plan).ToString().c_str(), planner.Score(plan),
+              plan.ToString(dataset.catalog).c_str());
+
+  // --- Part 2: feedback loop -------------------------------------------
+  std::printf("== feedback loop ==\n");
+  adaptive::AdaptivePlanner adaptive_planner(planner, /*strength=*/1.0);
+  auto base = planner.Recommend(dataset.default_start);
+  if (!base.ok()) return 1;
+  std::printf("before feedback: %s\n",
+              base.value().ToString(dataset.catalog).c_str());
+
+  // The student already knows they love the math electives...
+  for (const char* code : {"MATH 663", "MATH 678", "MATH 644"}) {
+    const auto id = dataset.catalog.FindByCode(code);
+    if (id.ok()) (void)adaptive_planner.feedback().AddRating(id.value(), 5.0);
+  }
+  // ...and rates each recommended course: networking and records courses
+  // bore them, everything else is fine.
+  const int networks = dataset.catalog.TopicId("networks");
+  const int records = dataset.catalog.TopicId("records");
+  auto rate = [&](model::ItemId id) {
+    const auto& item = dataset.catalog.item(id);
+    for (int topic : {networks, records}) {
+      if (topic >= 0 && item.topics.Test(static_cast<std::size_t>(topic))) {
+        return 1.0;
+      }
+    }
+    return 4.0;
+  };
+  auto adapted = adaptive_planner.RunLoop(dataset.default_start, 5, rate);
+  if (adapted.ok()) {
+    std::printf("after feedback:  %s\n",
+                adapted.value().ToString(dataset.catalog).c_str());
+    std::printf("check: %s, score %.2f\n",
+                planner.Validate(adapted.value()).ToString().c_str(),
+                planner.Score(adapted.value()));
+  }
+  return 0;
+}

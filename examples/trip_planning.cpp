@@ -1,0 +1,85 @@
+// Trip planning in Paris: the scenario of the paper's Example 2 — a
+// first-time traveler with 6 hours, who must see the must-visit POIs
+// (2 primary), wants variety (no two consecutive POIs of the same theme),
+// a restaurant only after a museum, and at most 5 km of walking.
+//
+// The example trains RL-Planner on the Paris dataset, prints the itinerary
+// with running time/distance, and shows how tightening the budgets changes
+// the plan.
+
+#include <cstdio>
+
+#include "core/planner.h"
+#include "datagen/trip_data.h"
+#include "geo/latlng.h"
+
+namespace {
+
+void PrintItinerary(const rlplanner::model::Plan& plan,
+                    const rlplanner::model::Catalog& catalog) {
+  double hours = 0.0;
+  double km = 0.0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const auto& poi = catalog.item(plan.at(i));
+    if (i > 0) {
+      km += rlplanner::geo::HaversineKm(
+          catalog.item(plan.at(i - 1)).location, poi.location);
+    }
+    hours += poi.credits;
+    std::printf("  %zu. %-32s %-12s %.1fh visit  (%.1fh / %.1fkm so far, "
+                "popularity %.0f)\n",
+                i + 1, poi.name.c_str(),
+                poi.primary_theme >= 0
+                    ? catalog.vocabulary()[poi.primary_theme].c_str()
+                    : "?",
+                poi.credits, hours, km, poi.popularity);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace rlplanner;
+
+  datagen::Dataset dataset = datagen::MakeParisTrip();
+  std::printf("city: %s (%zu POIs, %zu themes)\n", dataset.name.c_str(),
+              dataset.catalog.size(), dataset.catalog.vocabulary_size());
+
+  const model::TaskInstance instance = dataset.Instance();
+  core::PlannerConfig config = core::DefaultTripConfig();
+  config.sarsa.start_item = dataset.default_start;
+  core::RlPlanner planner(instance, config);
+  if (const auto status = planner.Train(); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  auto plan = planner.Recommend(dataset.default_start);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nitinerary from the Louvre (t <= %.0f h, d <= %.0f km, "
+              "mean popularity %.2f, %s):\n",
+              instance.hard.min_credits,
+              instance.hard.distance_threshold_km,
+              planner.Score(plan.value()),
+              planner.Validate(plan.value()).ToString().c_str());
+  PrintItinerary(plan.value(), dataset.catalog);
+
+  // A shorter afternoon: 4 hours and 3 km.
+  dataset.hard.min_credits = 4.0;
+  dataset.hard.distance_threshold_km = 3.0;
+  dataset.hard.num_secondary = 2;
+  const model::TaskInstance tight = dataset.Instance();
+  core::PlannerConfig tight_config = config;
+  core::RlPlanner tight_planner(tight, tight_config);
+  if (tight_planner.Train().ok()) {
+    auto short_trip = tight_planner.Recommend(dataset.default_start);
+    if (short_trip.ok()) {
+      std::printf("\ntightened budgets (t <= 4 h, d <= 3 km):\n");
+      PrintItinerary(short_trip.value(), dataset.catalog);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "adaptive/interactive.h"
+
+#include <algorithm>
+
+#include "rl/action_mask.h"
+
+namespace rlplanner::adaptive {
+
+namespace {
+
+int HorizonFor(const model::TaskInstance& instance) {
+  return instance.catalog->domain() == model::Domain::kTrip
+             ? static_cast<int>(instance.catalog->size())
+             : instance.hard.TotalItems();
+}
+
+}  // namespace
+
+InteractiveSession::InteractiveSession(const core::RlPlanner& planner)
+    : planner_(&planner),
+      state_(std::make_unique<mdp::EpisodeState>(planner.instance())),
+      horizon_(HorizonFor(planner.instance())) {}
+
+bool InteractiveSession::Done() const {
+  if (static_cast<int>(state_->Length()) >= horizon_) return true;
+  const rl::ActionMask mask(planner_->reward_function(), horizon_,
+                            planner_->config().sarsa.mask_type_overflow);
+  return !mask.AnyAllowed(*state_);
+}
+
+std::vector<Suggestion> InteractiveSession::RankCandidates() const {
+  const model::TaskInstance& instance = planner_->instance();
+  const mdp::RewardFunction& reward = planner_->reward_function();
+  const rl::ActionMask mask(reward, horizon_,
+                            planner_->config().sarsa.mask_type_overflow);
+  const model::ItemId current = state_->CurrentItem();
+
+  std::vector<Suggestion> out;
+  for (std::size_t i = 0; i < instance.catalog->size(); ++i) {
+    const auto item = static_cast<model::ItemId>(i);
+    if (!mask.Allowed(*state_, item)) continue;
+    Suggestion s;
+    s.item = item;
+    s.theta = reward.Theta(*state_, item);
+    s.reward = reward.Reward(*state_, item);
+    s.q_value = (current >= 0 && planner_->trained())
+                    ? planner_->q_table().Get(current, item)
+                    : 0.0;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const Suggestion& a,
+                                       const Suggestion& b) {
+    if (a.theta != b.theta) return a.theta > b.theta;
+    if (std::abs(a.reward - b.reward) > 1e-9) return a.reward > b.reward;
+    if (a.q_value != b.q_value) return a.q_value > b.q_value;
+    return a.item < b.item;
+  });
+  return out;
+}
+
+std::vector<Suggestion> InteractiveSession::SuggestNext(int k) const {
+  std::vector<Suggestion> ranked = RankCandidates();
+  if (k >= 0 && ranked.size() > static_cast<std::size_t>(k)) {
+    ranked.resize(static_cast<std::size_t>(k));
+  }
+  return ranked;
+}
+
+util::Status InteractiveSession::Pin(model::ItemId item) {
+  const model::TaskInstance& instance = planner_->instance();
+  if (item < 0 ||
+      static_cast<std::size_t>(item) >= instance.catalog->size()) {
+    return util::Status::OutOfRange("item out of range");
+  }
+  if (static_cast<int>(state_->Length()) >= horizon_) {
+    return util::Status::FailedPrecondition("session already complete");
+  }
+  const rl::ActionMask mask(planner_->reward_function(), horizon_,
+                            planner_->config().sarsa.mask_type_overflow);
+  if (!mask.Allowed(*state_, item)) {
+    return util::Status::FailedPrecondition(
+        "item is inadmissible here: " + instance.catalog->item(item).code);
+  }
+  state_->Add(item);
+  return util::Status::Ok();
+}
+
+util::Result<model::ItemId> InteractiveSession::AcceptSuggestion() {
+  const auto ranked = RankCandidates();
+  if (ranked.empty()) {
+    return util::Status::FailedPrecondition("no admissible item remains");
+  }
+  state_->Add(ranked.front().item);
+  return ranked.front().item;
+}
+
+model::Plan InteractiveSession::Complete() {
+  while (!Done()) {
+    if (!AcceptSuggestion().ok()) break;
+  }
+  return state_->ToPlan();
+}
+
+}  // namespace rlplanner::adaptive

@@ -1,0 +1,43 @@
+#include "baselines/eda.h"
+
+#include <vector>
+
+#include "mdp/episode_state.h"
+#include "util/rng.h"
+
+namespace rlplanner::baselines {
+
+EdaGreedy::EdaGreedy(const model::TaskInstance& instance,
+                     const mdp::RewardWeights& weights)
+    : instance_(&instance), weights_(&weights) {}
+
+model::Plan EdaGreedy::BuildPlan(std::uint64_t seed) const {
+  const mdp::RewardFunction reward(*instance_, *weights_);
+  util::Rng rng(seed);
+  const std::size_t n = instance_->catalog->size();
+  const int horizon = instance_->catalog->domain() == model::Domain::kTrip
+                          ? static_cast<int>(n)
+                          : instance_->hard.TotalItems();
+
+  mdp::EpisodeState state(*instance_);
+  while (static_cast<int>(state.Length()) < horizon) {
+    std::vector<model::ItemId> best;
+    double best_value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto item = static_cast<model::ItemId>(i);
+      if (!reward.IsFeasible(state, item)) continue;
+      const double value = reward.Reward(state, item);
+      if (best.empty() || value > best_value + 1e-12) {
+        best.assign(1, item);
+        best_value = value;
+      } else if (value >= best_value - 1e-12) {
+        best.push_back(item);
+      }
+    }
+    if (best.empty()) break;
+    state.Add(best[rng.NextIndex(best.size())]);
+  }
+  return state.ToPlan();
+}
+
+}  // namespace rlplanner::baselines

@@ -1,0 +1,31 @@
+#ifndef RLPLANNER_BASELINES_GOLD_H_
+#define RLPLANNER_BASELINES_GOLD_H_
+
+#include <cstdint>
+
+#include "model/constraints.h"
+#include "model/plan.h"
+#include "util/status.h"
+
+namespace rlplanner::baselines {
+
+/// Constructs the "fully manual gold standard" (Section IV-A2) for an
+/// instance. The paper's gold standards are handcrafted by advisors/agents;
+/// since the algorithms only ever see the finished sequences, we reproduce
+/// them with a constrained depth-first search that emulates the expert:
+/// - the plan follows one template permutation slot-by-slot (so its score is
+///   exactly H, matching the paper's stated gold scores 10 and 15);
+/// - every hard constraint (prerequisite gap, split, budget, theme gap,
+///   distance) holds by construction;
+/// - among admissible items the expert prefers high ideal-topic gain
+///   (courses) or high popularity (trips).
+///
+/// Fails with NotFound when no valid plan exists under any permutation
+/// within the search budget.
+util::Result<model::Plan> BuildGoldStandard(
+    const model::TaskInstance& instance, std::uint64_t seed = 7,
+    std::size_t max_nodes = 200000);
+
+}  // namespace rlplanner::baselines
+
+#endif  // RLPLANNER_BASELINES_GOLD_H_

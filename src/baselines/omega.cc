@@ -1,0 +1,267 @@
+#include "baselines/omega.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rlplanner::baselines {
+
+Omega::Omega(const model::TaskInstance& instance) : instance_(&instance) {}
+
+double Omega::PairUtility(model::ItemId i, model::ItemId j) const {
+  const model::Catalog& catalog = *instance_->catalog;
+  const model::TopicVector& ti = catalog.item(i).topics;
+  const model::TopicVector& tj = catalog.item(j).topics;
+  // |T_i ∪ T_j|: "the total number of topics covered by i and j".
+  const double union_size = static_cast<double>(
+      ti.Count() + tj.Count() - ti.IntersectCount(tj));
+  // Mild preference for pairs that touch the ideal vector, so the soft
+  // constraint is "optimized" as the adaptation requires.
+  const double ideal_touch = static_cast<double>(
+      ti.IntersectCount(instance_->soft.ideal_topics) +
+      tj.IntersectCount(instance_->soft.ideal_topics));
+  return union_size + 0.5 * ideal_touch;
+}
+
+std::vector<model::ItemId> Omega::TopologicalOrder() const {
+  const model::Catalog& catalog = *instance_->catalog;
+  const std::size_t n = catalog.size();
+  // Edge u -> v when u appears in v's prerequisite expression.
+  std::vector<std::vector<model::ItemId>> dependents(n);
+  std::vector<int> in_degree(n, 0);
+  for (const model::Item& item : catalog.items()) {
+    for (model::ItemId pre : item.prereqs.ReferencedItems()) {
+      dependents[pre].push_back(item.id);
+      in_degree[item.id] += 1;
+    }
+  }
+  std::priority_queue<model::ItemId, std::vector<model::ItemId>,
+                      std::greater<>>
+      ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) ready.push(static_cast<model::ItemId>(i));
+  }
+  std::vector<model::ItemId> order;
+  order.reserve(n);
+  std::vector<char> emitted(n, 0);
+  while (!ready.empty()) {
+    const model::ItemId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    emitted[u] = 1;
+    for (model::ItemId v : dependents[u]) {
+      if (--in_degree[v] == 0) ready.push(v);
+    }
+  }
+  // Cycle fallback: append leftovers by id (synthetic catalogs are acyclic,
+  // but user-supplied ones may not be).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!emitted[i]) order.push_back(static_cast<model::ItemId>(i));
+  }
+  return order;
+}
+
+std::vector<model::ItemId> Omega::GapPrefix() const {
+  // Items that serve as antecedents, in topological order, so that each
+  // appears `gap` slots before any dependent that ends up in the plan.
+  const model::Catalog& catalog = *instance_->catalog;
+  std::vector<char> is_antecedent(catalog.size(), 0);
+  for (const model::Item& item : catalog.items()) {
+    for (model::ItemId pre : item.prereqs.ReferencedItems()) {
+      is_antecedent[pre] = 1;
+    }
+  }
+  std::vector<model::ItemId> prefix;
+  for (model::ItemId id : TopologicalOrder()) {
+    if (is_antecedent[id]) prefix.push_back(id);
+  }
+  // Keep the prefix at no more than half the plan so step 2 contributes.
+  const std::size_t cap =
+      std::max<std::size_t>(1, instance_->hard.TotalItems() / 2);
+  if (prefix.size() > cap) prefix.resize(cap);
+  return prefix;
+}
+
+std::vector<model::ItemId> Omega::UtilitySequence(
+    const std::vector<model::ItemId>& exclude, std::size_t length,
+    std::uint64_t seed) const {
+  const model::Catalog& catalog = *instance_->catalog;
+  const std::size_t n = catalog.size();
+  std::vector<char> used(n, 0);
+  for (model::ItemId id : exclude) used[id] = 1;
+  util::Rng rng(seed);
+
+  std::vector<model::ItemId> sequence;
+  if (length == 0) return sequence;
+
+  // Start from the unused item with the largest ideal-topic overlap.
+  model::ItemId current = -1;
+  std::size_t best_overlap = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (used[i]) continue;
+    const std::size_t overlap = catalog.item(static_cast<model::ItemId>(i))
+                                    .topics.IntersectCount(
+                                        instance_->soft.ideal_topics);
+    if (current < 0 || overlap > best_overlap) {
+      current = static_cast<model::ItemId>(i);
+      best_overlap = overlap;
+    }
+  }
+  if (current < 0) return sequence;
+  sequence.push_back(current);
+  used[current] = 1;
+
+  // Greedy edge selection: repeatedly take the highest-utility edge out of
+  // the current item (random tie-break).
+  while (sequence.size() < length) {
+    std::vector<model::ItemId> best;
+    double best_utility = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const auto candidate = static_cast<model::ItemId>(i);
+      const double utility = PairUtility(current, candidate);
+      if (best.empty() || utility > best_utility + 1e-12) {
+        best.assign(1, candidate);
+        best_utility = utility;
+      } else if (utility >= best_utility - 1e-12) {
+        best.push_back(candidate);
+      }
+    }
+    if (best.empty()) break;
+    current = best[rng.NextIndex(best.size())];
+    sequence.push_back(current);
+    used[current] = 1;
+  }
+  return sequence;
+}
+
+model::Plan Omega::BuildPlan(std::uint64_t seed) const {
+  const bool is_trip =
+      instance_->catalog->domain() == model::Domain::kTrip;
+  const std::vector<model::ItemId> prefix = GapPrefix();
+
+  std::size_t target_length =
+      static_cast<std::size_t>(instance_->hard.TotalItems());
+  model::Plan plan;
+  double time_used = 0.0;
+  auto try_append = [&](model::ItemId id) {
+    const model::Item& item = instance_->catalog->item(id);
+    if (is_trip &&
+        time_used + item.credits > instance_->hard.min_credits + 1e-9) {
+      return false;
+    }
+    plan.Append(id);
+    time_used += item.credits;
+    return true;
+  };
+
+  for (model::ItemId id : prefix) {
+    if (plan.size() >= target_length) break;
+    try_append(id);
+  }
+  const std::vector<model::ItemId> suffix = UtilitySequence(
+      plan.items(), target_length - plan.size(), seed);
+  for (model::ItemId id : suffix) {
+    if (plan.size() >= target_length) break;
+    if (!try_append(id) && is_trip) break;
+  }
+  return plan;
+}
+
+model::Plan Omega::BuildPlanEdgeBased(std::uint64_t seed) const {
+  const model::Catalog& catalog = *instance_->catalog;
+  const std::size_t n = catalog.size();
+  const bool is_trip = catalog.domain() == model::Domain::kTrip;
+  const std::size_t target_length =
+      static_cast<std::size_t>(instance_->hard.TotalItems());
+  util::Rng rng(seed);
+
+  // Union-find-ish fragment bookkeeping: every item starts as its own
+  // fragment; committing an edge (u, v) requires u to be some fragment's
+  // tail and v some *other* fragment's head.
+  std::vector<model::ItemId> next(n, -1);
+  std::vector<model::ItemId> prev(n, -1);
+  auto head_of = [&](model::ItemId item) {
+    while (prev[item] >= 0) item = prev[item];
+    return item;
+  };
+
+  // All edges sorted by utility descending (jittered so distinct seeds
+  // explore distinct tie orders, as the random tie-break of the original).
+  struct Edge {
+    model::ItemId from;
+    model::ItemId to;
+    double utility;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(n * (n - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      edges.push_back({static_cast<model::ItemId>(i),
+                       static_cast<model::ItemId>(j),
+                       PairUtility(static_cast<model::ItemId>(i),
+                                   static_cast<model::ItemId>(j)) +
+                           rng.NextDouble() * 1e-6});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.utility > b.utility; });
+
+  // Commit edges until one fragment reaches the target length.
+  std::size_t longest = 1;
+  model::ItemId longest_head = 0;
+  for (const Edge& edge : edges) {
+    if (longest >= target_length) break;
+    if (next[edge.from] >= 0 || prev[edge.to] >= 0) continue;  // not tail/head
+    if (head_of(edge.from) == edge.to) continue;               // would cycle
+    next[edge.from] = edge.to;
+    prev[edge.to] = edge.from;
+    // Measure the merged fragment.
+    const model::ItemId head = head_of(edge.from);
+    std::size_t length = 1;
+    for (model::ItemId item = head; next[item] >= 0; item = next[item]) {
+      ++length;
+    }
+    if (length > longest) {
+      longest = length;
+      longest_head = head;
+    }
+  }
+
+  // Assemble: gap prefix first (step 1 of the adaptation), then the best
+  // fragment, truncated to the length / time budget.
+  model::Plan plan;
+  double time_used = 0.0;
+  auto try_append = [&](model::ItemId id) {
+    if (plan.Contains(id)) return;
+    const model::Item& item = catalog.item(id);
+    if (is_trip &&
+        time_used + item.credits > instance_->hard.min_credits + 1e-9) {
+      return;
+    }
+    plan.Append(id);
+    time_used += item.credits;
+  };
+  for (model::ItemId id : GapPrefix()) {
+    if (plan.size() >= target_length / 2) break;
+    try_append(id);
+  }
+  for (model::ItemId item = longest_head;
+       item >= 0 && plan.size() < target_length; item = next[item]) {
+    try_append(item);
+  }
+  // Top up from the plain utility sequence if the fragment fell short.
+  if (plan.size() < target_length) {
+    for (model::ItemId id :
+         UtilitySequence(plan.items(), target_length - plan.size(), seed)) {
+      if (plan.size() >= target_length) break;
+      try_append(id);
+    }
+  }
+  return plan;
+}
+
+}  // namespace rlplanner::baselines

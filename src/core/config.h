@@ -1,0 +1,46 @@
+#ifndef RLPLANNER_CORE_CONFIG_H_
+#define RLPLANNER_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "mdp/reward.h"
+#include "rl/recommender.h"
+#include "rl/sarsa.h"
+
+namespace rlplanner::core {
+
+/// Everything needed to train and query RL-Planner on one task instance.
+struct PlannerConfig {
+  /// Learning-phase parameters (N, alpha, gamma, exploration, s_1).
+  rl::SarsaConfig sarsa;
+  /// Reward-function parameters (delta/beta, category weights, epsilon,
+  /// Avg vs Min similarity).
+  mdp::RewardWeights reward;
+  /// Seed for all stochastic choices of this planner.
+  std::uint64_t seed = 17;
+  /// Recommend via beam search instead of the greedy traversal.
+  bool use_beam_search = false;
+  /// Beam parameters (used when use_beam_search is set).
+  rl::BeamConfig beam;
+
+  /// Cross-field checks (weights valid, N positive, alpha/gamma in range).
+  util::Status Validate() const;
+};
+
+/// Table III defaults for the Univ-1 (NJIT) course programs:
+/// N=500, alpha=0.75, gamma=0.95, epsilon=0.0025, delta/beta=0.6/0.4,
+/// w1/w2=0.6/0.4 (the paper's best-performing Univ-1 weights).
+PlannerConfig DefaultUniv1Config();
+
+/// Table III defaults for the Univ-2 (Stanford) M.S. DS program:
+/// N=100 and six sub-discipline weights w1..w6 =
+/// {0.25, 0.01, 0.15, 0.42, 0.01, 0.16}, delta/beta=0.8/0.2.
+PlannerConfig DefaultUniv2Config();
+
+/// Table III defaults for the NYC/Paris trip datasets:
+/// N=500, alpha=0.75, gamma=0.95, delta/beta=0.6/0.4.
+PlannerConfig DefaultTripConfig();
+
+}  // namespace rlplanner::core
+
+#endif  // RLPLANNER_CORE_CONFIG_H_

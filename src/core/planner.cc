@@ -1,0 +1,94 @@
+#include "core/planner.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "core/scoring.h"
+#include "rl/recommender.h"
+#include "rl/sarsa.h"
+
+namespace rlplanner::core {
+
+RlPlanner::RlPlanner(const model::TaskInstance& instance,
+                     PlannerConfig config)
+    : instance_(&instance),
+      config_(std::move(config)),
+      reward_(*instance_, config_.reward) {}
+
+util::Status RlPlanner::Train() {
+  RLP_RETURN_IF_ERROR(config_.Validate());
+  RLP_RETURN_IF_ERROR(instance_->Validate());
+  const auto start = std::chrono::steady_clock::now();
+  rl::SarsaLearner learner(*instance_, reward_, config_.sarsa, config_.seed);
+  q_ = learner.Learn();
+  episode_returns_ = learner.episode_returns();
+  const auto end = std::chrono::steady_clock::now();
+  train_seconds_ = std::chrono::duration<double>(end - start).count();
+  return util::Status::Ok();
+}
+
+util::Result<model::Plan> RlPlanner::Recommend(
+    model::ItemId start_item) const {
+  if (!trained()) {
+    return util::Status::FailedPrecondition(
+        "Recommend() called before Train() or AdoptPolicy()");
+  }
+  if (start_item < 0 ||
+      static_cast<std::size_t>(start_item) >= instance_->catalog->size()) {
+    std::ostringstream msg;
+    msg << "start item " << start_item << " out of range (catalog size "
+        << instance_->catalog->size() << ")";
+    return util::Status::OutOfRange(msg.str());
+  }
+  rl::RecommendConfig recommend;
+  recommend.start_item = start_item;
+  recommend.mask_type_overflow = config_.sarsa.mask_type_overflow;
+  recommend.gamma = config_.sarsa.gamma;
+  if (config_.use_beam_search) {
+    return rl::RecommendPlanBeam(*q_, *instance_, reward_, recommend,
+                                 config_.beam);
+  }
+  return rl::RecommendPlan(*q_, *instance_, reward_, recommend);
+}
+
+util::Status RlPlanner::AdoptPolicy(mdp::QTable q) {
+  if (q.num_items() != instance_->catalog->size()) {
+    return util::Status::InvalidArgument(
+        "adopted Q-table dimension does not match the catalog size");
+  }
+  q_ = std::move(q);
+  return util::Status::Ok();
+}
+
+double RlPlanner::Score(const model::Plan& plan) const {
+  return ScorePlan(*instance_, plan);
+}
+
+ValidationReport RlPlanner::Validate(const model::Plan& plan) const {
+  return ValidatePlan(*instance_, plan);
+}
+
+util::Status RlPlanner::SavePolicy(const std::string& path) const {
+  if (!trained()) {
+    return util::Status::FailedPrecondition("no policy to save");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::Internal("cannot open for write: " + path);
+  out << q_->ToCsv();
+  if (!out) return util::Status::Internal("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Status RlPlanner::LoadPolicy(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto table = mdp::QTable::FromCsv(instance_->catalog->size(), buffer.str());
+  if (!table.ok()) return table.status();
+  q_ = std::move(table).value();
+  return util::Status::Ok();
+}
+
+}  // namespace rlplanner::core

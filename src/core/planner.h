@@ -1,0 +1,87 @@
+#ifndef RLPLANNER_CORE_PLANNER_H_
+#define RLPLANNER_CORE_PLANNER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/config.h"
+#include "core/validation.h"
+#include "mdp/q_table.h"
+#include "mdp/reward.h"
+#include "model/constraints.h"
+#include "model/plan.h"
+
+namespace rlplanner::core {
+
+/// The RL-Planner facade — the library's main entry point.
+///
+/// Typical use:
+/// ```
+///   RlPlanner planner(instance, DefaultUniv1Config());
+///   RLP_RETURN_IF_ERROR(planner.Train());
+///   auto plan = planner.Recommend(start_item);
+///   double score = planner.Score(plan.value());
+/// ```
+/// A planner can also *adopt* a policy learned elsewhere (transfer learning)
+/// instead of training.
+class RlPlanner {
+ public:
+  /// `instance` must outlive the planner; `config` is copied.
+  RlPlanner(const model::TaskInstance& instance, PlannerConfig config);
+
+  RlPlanner(const RlPlanner&) = delete;
+  RlPlanner& operator=(const RlPlanner&) = delete;
+
+  /// Validates the instance and configuration, then runs SARSA for
+  /// `config.sarsa.num_episodes` episodes.
+  util::Status Train();
+
+  /// True once Train() succeeded or AdoptPolicy() was called.
+  bool trained() const { return q_.has_value(); }
+
+  /// Recommends a plan starting at `start_item` by greedy Q traversal.
+  /// Fails when the planner has no policy or the start item is invalid.
+  util::Result<model::Plan> Recommend(model::ItemId start_item) const;
+
+  /// Installs an externally learned policy (e.g. transferred from another
+  /// dataset). The table dimension must match the catalog size.
+  util::Status AdoptPolicy(mdp::QTable q);
+
+  /// The paper's plan score (see scoring.h).
+  double Score(const model::Plan& plan) const;
+
+  /// Hard-constraint check with a per-constraint report.
+  ValidationReport Validate(const model::Plan& plan) const;
+
+  /// The learned Q-table. Requires trained().
+  const mdp::QTable& q_table() const { return *q_; }
+
+  /// Wall-clock seconds of the last Train() call.
+  double train_seconds() const { return train_seconds_; }
+
+  /// Per-episode returns of the last Train() call.
+  const std::vector<double>& episode_returns() const {
+    return episode_returns_;
+  }
+
+  /// Saves / restores the policy as CSV.
+  util::Status SavePolicy(const std::string& path) const;
+  util::Status LoadPolicy(const std::string& path);
+
+  const model::TaskInstance& instance() const { return *instance_; }
+  const PlannerConfig& config() const { return config_; }
+  const mdp::RewardFunction& reward_function() const { return reward_; }
+
+ private:
+  const model::TaskInstance* instance_;
+  PlannerConfig config_;
+  mdp::RewardFunction reward_;
+  std::optional<mdp::QTable> q_;
+  std::vector<double> episode_returns_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace rlplanner::core
+
+#endif  // RLPLANNER_CORE_PLANNER_H_

@@ -1,0 +1,30 @@
+#ifndef RLPLANNER_CORE_SCORING_H_
+#define RLPLANNER_CORE_SCORING_H_
+
+#include "model/constraints.h"
+#include "model/plan.h"
+
+namespace rlplanner::core {
+
+/// The paper's recommendation score (Section IV-A, "Measures"):
+/// - a plan violating any hard constraint scores 0 (the 0 entries in
+///   Tables IX and XIV);
+/// - a valid *course* plan scores the best Eq. 6 similarity against the
+///   template permutations, in [0, H] — the gold standard scores exactly H
+///   (10 for Univ-1, 15 for Univ-2);
+/// - a valid *trip* plan scores the mean POI popularity, in [0, 5] — the
+///   gold standard scores 5, "the highest popularity score of any POI".
+double ScorePlan(const model::TaskInstance& instance, const model::Plan& plan);
+
+/// The template-similarity part alone (no validity gating): max over the
+/// template permutations of Eq. 6 at the full plan length.
+double TemplateScore(const model::TaskInstance& instance,
+                     const model::Plan& plan);
+
+/// Fraction of `T^ideal` covered by the plan's items, in [0, 1].
+double IdealTopicCoverage(const model::TaskInstance& instance,
+                          const model::Plan& plan);
+
+}  // namespace rlplanner::core
+
+#endif  // RLPLANNER_CORE_SCORING_H_

@@ -1,0 +1,25 @@
+#include "core/validation.h"
+
+#include "util/string_util.h"
+
+namespace rlplanner::core {
+
+std::string ValidationReport::ToString() const {
+  if (valid) return "valid";
+  return "INVALID: " + util::Join(violations, ", ");
+}
+
+ValidationReport ValidatePlan(const model::TaskInstance& instance,
+                              const model::Plan& plan) {
+  const mdp::CmdpSpec spec = mdp::CmdpSpec::FromInstance(instance);
+  ValidationReport report;
+  report.costs = spec.Evaluate(plan);
+  for (const auto& constraint : spec.constraints()) {
+    report.constraint_names.push_back(constraint.name);
+  }
+  report.violations = spec.Violations(plan);
+  report.valid = report.violations.empty();
+  return report;
+}
+
+}  // namespace rlplanner::core

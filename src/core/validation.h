@@ -1,0 +1,34 @@
+#ifndef RLPLANNER_CORE_VALIDATION_H_
+#define RLPLANNER_CORE_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "mdp/cmdp.h"
+#include "model/constraints.h"
+#include "model/plan.h"
+
+namespace rlplanner::core {
+
+/// Outcome of checking a plan against `P_hard`.
+struct ValidationReport {
+  /// True when every hard constraint holds.
+  bool valid = false;
+  /// Names of violated constraint functionals (see CmdpSpec).
+  std::vector<std::string> violations;
+  /// Cost of each functional, in CmdpSpec declaration order.
+  std::vector<double> costs;
+  /// Names matching `costs`.
+  std::vector<std::string> constraint_names;
+
+  /// "valid" or "INVALID: gap, split" style summary.
+  std::string ToString() const;
+};
+
+/// Evaluates all hard constraints of `instance` on `plan`.
+ValidationReport ValidatePlan(const model::TaskInstance& instance,
+                              const model::Plan& plan);
+
+}  // namespace rlplanner::core
+
+#endif  // RLPLANNER_CORE_VALIDATION_H_

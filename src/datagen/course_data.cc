@@ -1,0 +1,435 @@
+#include "datagen/course_data.h"
+
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+#include "text/topic_extractor.h"
+#include "util/rng.h"
+
+namespace rlplanner::datagen {
+
+namespace {
+
+// One course as declared by a program list below.
+struct CourseSpec {
+  const char* code;
+  const char* name;
+  bool core;
+  // Weight-category; -1 derives 0 (core) / 1 (elective).
+  int category;
+  // Prerequisite expression as CNF over course codes.
+  std::vector<std::vector<const char*>> prereq_groups;
+};
+
+// Builds a course dataset: topics are extracted from course names exactly as
+// Section IV-A1 describes ("we extract nouns from course names and removed
+// stopwords"), then the vocabulary is padded with synthetic syllabus topics
+// ("area NN") to the program's published topic count, each assigned to a
+// couple of random courses. The ideal topic vector is the full vocabulary,
+// matching the paper's |T_ideal| = |T| settings.
+Dataset BuildCourseDataset(std::string dataset_name,
+                           const std::vector<CourseSpec>& specs,
+                           std::size_t vocab_target,
+                           model::HardConstraints hard,
+                           const std::vector<std::string>& template_strings,
+                           const char* default_start_code,
+                           std::vector<std::string> category_names,
+                           std::uint64_t seed) {
+  text::TopicExtractor extractor;
+  std::vector<std::vector<int>> topic_ids(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    topic_ids[i] = extractor.ExtractTopics(specs[i].name);
+  }
+  assert(extractor.vocabulary_size() <= vocab_target &&
+         "course names produce more topics than the program's target");
+
+  // Pad with synthetic syllabus areas, each taught by 2 random courses.
+  util::Rng rng(seed);
+  while (extractor.vocabulary_size() < vocab_target) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "area%03zu",
+                  extractor.vocabulary_size());
+    const int id = extractor.InternTopic(buffer);
+    for (int assignment = 0; assignment < 2; ++assignment) {
+      topic_ids[rng.NextIndex(specs.size())].push_back(id);
+    }
+  }
+
+  model::Catalog catalog(model::Domain::kCourse,
+                         extractor.vocabulary());
+  catalog.set_category_names(std::move(category_names));
+
+  // First pass: add all items (prereqs resolved afterwards, since they may
+  // reference later courses).
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    model::Item item;
+    item.code = specs[i].code;
+    item.name = specs[i].name;
+    item.type = specs[i].core ? model::ItemType::kPrimary
+                              : model::ItemType::kSecondary;
+    item.category =
+        specs[i].category >= 0 ? specs[i].category : (specs[i].core ? 0 : 1);
+    item.credits = 3.0;
+    item.topics = extractor.ToBitset(topic_ids[i]);
+    auto added = catalog.AddItem(std::move(item));
+    assert(added.ok());
+    (void)added;
+  }
+
+  // Second pass: resolve prerequisite codes to ids.
+  // AddItem returns items in order, so spec i has id i; we still go through
+  // FindByCode to keep the invariant checked.
+  std::vector<model::Item> patched;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].prereq_groups.empty()) continue;
+    model::PrereqExpr expr;
+    for (const auto& group : specs[i].prereq_groups) {
+      std::vector<model::ItemId> ids;
+      for (const char* code : group) {
+        auto found = catalog.FindByCode(code);
+        assert(found.ok() && "prerequisite code not in program");
+        ids.push_back(found.value());
+      }
+      expr.AddGroup(std::move(ids));
+    }
+    // Items are stored by value; rebuild the catalog entry via const_cast-
+    // free route: catalog exposes items() const only, so patch through a
+    // fresh catalog below.
+    patched.push_back(catalog.item(static_cast<model::ItemId>(i)));
+    patched.back().prereqs = std::move(expr);
+  }
+
+  // Rebuild with prereqs attached (catalog is append-only by design).
+  model::Catalog final_catalog(model::Domain::kCourse, extractor.vocabulary());
+  final_catalog.set_category_names(catalog.category_names());
+  std::size_t patch_index = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    model::Item item = catalog.item(static_cast<model::ItemId>(i));
+    if (patch_index < patched.size() &&
+        patched[patch_index].id == static_cast<model::ItemId>(i)) {
+      item = patched[patch_index];
+      ++patch_index;
+    }
+    auto added = final_catalog.AddItem(std::move(item));
+    assert(added.ok());
+    (void)added;
+  }
+
+  Dataset dataset;
+  dataset.name = std::move(dataset_name);
+  dataset.catalog = std::move(final_catalog);
+  dataset.hard = std::move(hard);
+
+  // |T_ideal| = |T| (Section IV-A3).
+  model::TopicVector ideal(dataset.catalog.vocabulary_size());
+  for (std::size_t t = 0; t < ideal.size(); ++t) ideal.Set(t);
+  dataset.soft.ideal_topics = std::move(ideal);
+
+  auto parsed_templates =
+      model::InterleavingTemplate::FromStrings(template_strings);
+  assert(parsed_templates.ok());
+  dataset.soft.interleaving = std::move(parsed_templates).value();
+
+  auto start = dataset.catalog.FindByCode(default_start_code);
+  assert(start.ok());
+  dataset.default_start = start.value();
+  return dataset;
+}
+
+model::HardConstraints Univ1Hard() {
+  model::HardConstraints hard;
+  hard.min_credits = 30.0;  // 10 courses of 3 credits
+  hard.num_primary = 5;
+  hard.num_secondary = 5;
+  hard.gap = 3;  // prerequisites at least one semester (3 courses) earlier
+  return hard;
+}
+
+const std::vector<std::string>& Univ1Templates() {
+  static const std::vector<std::string> kTemplates = {
+      "PPSPSSPSPS",
+      "PSPSPSPSPS",
+      "PPSSPSPPSS",
+  };
+  return kTemplates;
+}
+
+}  // namespace
+
+Dataset MakeUniv1DsCt() {
+  const std::vector<CourseSpec> kCourses = {
+      // Core (5 = the degree's core requirement; three are prerequisite-
+      // free, CS 677 additionally needs the *elective* MATH 663 first —
+      // the paper's own "take Linear Algebra before Machine Learning"
+      // dependency from Example 1 — and CS 644 needs CS 631 or CS 634).
+      {"CS 610", "Data Structures and Algorithms", true, -1, {}},
+      {"CS 634", "Data Mining", true, -1, {{"CS 610"}}},
+      {"CS 644", "Introduction to Big Data", true, -1, {{"CS 631", "CS 634"}}},
+      {"CS 675", "Machine Learning", true, -1, {}},
+      {"CS 677", "Deep Learning", true, -1,
+       {{"CS 675"},
+        {"MATH 663", "MATH 678", "MATH 644", "MATH 661", "DS 669"}}},
+      // Electives (26).
+      {"CS 631", "Data Management System Design", false, -1, {}},
+      {"CS 636", "Data Analytics with R Program", false, -1, {{"MATH 661"}}},
+      {"MATH 661", "Applied Statistics", false, -1, {}},
+      {"CS 608", "Cryptography and Security", false, -1, {}},
+      {"CS 630", "Operating System Kernels", false, -1, {}},
+      {"CS 639", "Electronic Medical Records and Terminologies", false, -1, {}},
+      {"CS 643", "Cloud Computing", false, -1, {}},
+      {"CS 645", "Security and Privacy in Computer Systems", false, -1, {}},
+      {"CS 652", "Computer Networks Architectures and Protocols", false, -1, {}},
+      {"CS 656", "Internet and Higher Layer Protocols", false, -1, {}},
+      {"CS 667", "Approximation Algorithms", false, -1, {{"CS 610"}}},
+      {"CS 673", "Software Methodology", false, -1, {}},
+      {"CS 683", "Software Project Management", false, -1, {}},
+      {"CS 696", "Network Management and Security", false, -1, {{"CS 652", "CS 656"}}},
+      {"CS 700B", "Capstone Research", false, -1, {}},
+      {"CS 704", "Data Analytics for Information Systems", false, -1, {{"CS 636"}}},
+      {"MATH 644", "Regression Analysis", false, -1, {{"MATH 661"}}},
+      {"MATH 663", "Linear Algebra and Matrix Computation", false, -1, {}},
+      {"MATH 678", "Statistical Methods and Probability", false, -1, {}},
+      {"DS 636", "Data Visualization", false, -1, {}},
+      {"DS 642", "Natural Language Processing", false, -1, {}},
+      {"DS 669", "Reinforcement Learning", false, -1, {{"CS 675"}}},
+      {"DS 680", "Neural Networks and Classification", false, -1, {{"CS 634", "CS 675"}}},
+      {"IS 601", "Web Systems Development", false, -1, {}},
+      {"IS 634", "Information Retrieval", false, -1, {}},
+      {"IS 665", "Data Ethics and Governance", false, -1, {}},
+  };
+  return BuildCourseDataset("Univ-1 M.S. DS-CT", kCourses, 60, Univ1Hard(),
+                            Univ1Templates(), "CS 675",
+                            {"core", "elective"}, 0xD5C7);
+}
+
+Dataset MakeUniv1Cybersecurity() {
+  const std::vector<CourseSpec> kCourses = {
+      // Core (5; CS 608 and CS 652 are prerequisite-free, CS 696 also
+      // needs the *elective* CS 656 scheduled a semester earlier).
+      {"CS 608", "Cryptography and Security", true, -1, {}},
+      {"CS 652", "Computer Networks Architectures and Protocols", true, -1, {}},
+      {"CS 696", "Network Management and Security", true, -1,
+       {{"CS 652"}, {"CS 656", "CS 610", "CS 630", "IT 604", "IS 601"}}},
+      {"IT 620", "Wireless Networks Defense", true, -1, {{"CS 652"}}},
+      {"IT 640", "Ethical Hacking and Penetration Testing", true, -1, {{"CS 608"}}},
+      // Electives (25).
+      {"CS 645", "Security and Privacy in Computer Systems", false, -1, {}},
+      {"CS 656", "Internet and Higher Layer Protocols", false, -1, {}},
+      {"CS 610", "Data Structures and Algorithms", false, -1, {}},
+      {"CS 630", "Operating System Kernels", false, -1, {}},
+      {"CS 631", "Data Management System Design", false, -1, {}},
+      {"CS 634", "Data Mining", false, -1, {{"CS 610"}}},
+      {"CS 643", "Cloud Computing", false, -1, {}},
+      {"CS 675", "Machine Learning", false, -1, {}},
+      {"CS 673", "Software Methodology", false, -1, {}},
+      {"CS 683", "Software Project Management", false, -1, {}},
+      {"IT 604", "Digital Forensics", false, -1, {}},
+      {"IT 610", "Intrusion Detection and Incident Response", false, -1, {{"CS 652"}}},
+      {"IT 625", "Malware Analysis and Reverse Engineering", false, -1, {{"IT 640"}}},
+      {"IT 635", "Identity and Access Control", false, -1, {}},
+      {"IT 645", "Software Security Engineering", false, -1, {}},
+      {"IT 655", "Security Risk Management", false, -1, {}},
+      {"IT 660", "Machine Learning for Intrusion Detection", false, -1, {{"CS 675"}}},
+      {"IS 601", "Web Systems Development", false, -1, {}},
+      {"IS 618", "Cyber Law and Policy", false, -1, {}},
+      {"IS 655", "Privacy Engineering", false, -1, {}},
+      {"MATH 661", "Applied Statistics", false, -1, {}},
+      {"MATH 663", "Linear Algebra and Matrix Computation", false, -1, {}},
+      {"EE 640", "Hardware Security", false, -1, {}},
+      {"EE 657", "Blockchain Protocols", false, -1, {}},
+      {"CS 700B", "Capstone Research", false, -1, {}},
+  };
+  return BuildCourseDataset("Univ-1 M.S. Cybersecurity", kCourses, 61,
+                            Univ1Hard(), Univ1Templates(), "CS 608",
+                            {"core", "elective"}, 0xCB53);
+}
+
+Dataset MakeUniv1Cs() {
+  const std::vector<CourseSpec> kCourses = {
+      // Core (5; CS 667 needs CS 610 first and the capstone CS 700B needs
+      // CS 667 or the *elective* CS 675 a semester earlier).
+      {"CS 610", "Data Structures and Algorithms", true, -1, {}},
+      {"CS 631", "Data Management System Design", true, -1, {}},
+      {"CS 656", "Internet and Higher Layer Protocols", true, -1, {}},
+      {"CS 667", "Approximation Algorithms", true, -1, {{"CS 610"}}},
+      {"CS 700B", "Capstone Research", true, -1,
+       {{"CS 667", "CS 675", "CS 634", "CS 608", "CS 636"}}},
+      // Electives (27).
+      {"CS 630", "Operating System Kernels", false, -1, {}},
+      {"CS 602", "Java Programming Environments", false, -1, {}},
+      {"CS 661", "Formal Languages and Automata", false, -1, {}},
+      {"CS 608", "Cryptography and Security", false, -1, {}},
+      {"CS 634", "Data Mining", false, -1, {{"CS 610"}}},
+      {"CS 636", "Data Analytics with R Program", false, -1, {}},
+      {"CS 639", "Electronic Medical Records and Terminologies", false, -1, {}},
+      {"CS 643", "Cloud Computing", false, -1, {}},
+      {"CS 644", "Introduction to Big Data", false, -1, {{"CS 631", "CS 634"}}},
+      {"CS 645", "Security and Privacy in Computer Systems", false, -1, {}},
+      {"CS 652", "Computer Networks Architectures and Protocols", false, -1, {}},
+      {"CS 673", "Software Methodology", false, -1, {}},
+      {"CS 675", "Machine Learning", false, -1, {}},
+      {"CS 677", "Deep Learning", false, -1, {{"CS 675"}}},
+      {"CS 683", "Software Project Management", false, -1, {}},
+      {"CS 696", "Network Management and Security", false, -1, {{"CS 652", "CS 656"}}},
+      {"CS 704", "Data Analytics for Information Systems", false, -1, {{"CS 636"}}},
+      {"CS 606", "Compiler Construction", false, -1, {{"CS 661"}}},
+      {"CS 632", "Distributed Consensus and Replication", false, -1, {{"CS 631"}}},
+      {"CS 637", "Computer Vision and Image Understanding", false, -1, {{"CS 675"}}},
+      {"CS 646", "Realtime Scheduling Theory", false, -1, {{"CS 630"}}},
+      {"CS 650", "Computer Architecture Pipelines", false, -1, {}},
+      {"CS 670", "Artificial Intelligence Search and Reasoning", false, -1, {}},
+      {"CS 698", "Quantum Computation", false, -1, {}},
+      {"CS 786", "Graph Theory and Combinatorics", false, -1, {{"CS 610"}}},
+      {"MATH 661", "Applied Statistics", false, -1, {}},
+      {"MATH 663", "Linear Algebra and Matrix Computation", false, -1, {}},
+  };
+  return BuildCourseDataset("Univ-1 M.S. CS", kCourses, 100, Univ1Hard(),
+                            Univ1Templates(), "CS 610",
+                            {"core", "elective"}, 0xC5C5);
+}
+
+Dataset MakeUniv2Ds() {
+  // Categories: 0=Mathematical & Statistical Foundations, 1=Experimentation,
+  // 2=Scientific Computing, 3=Applied ML & Data Science, 4=Practical
+  // Component, 5=Elective. Categories 0-4 are primary, 5 is secondary.
+  auto core = [](int category) { return category <= 4; };
+  struct U2 {
+    const char* code;
+    const char* name;
+    int category;
+    std::vector<std::vector<const char*>> prereqs;
+  };
+  const std::vector<U2> kRaw = {
+      {"STATS 200", "Statistical Inference", 0, {}},
+      {"STATS 203", "Regression Models and Analysis of Variance", 0, {{"STATS 200"}}},
+      {"STATS 217", "Stochastic Processes", 0, {}},
+      {"MATH 113", "Matrix Theory and Linear Algebra", 0, {}},
+      {"STATS 116", "Theory of Probability", 0, {}},
+      {"CME 302", "Numerical Linear Algebra", 0, {{"MATH 113"}}},
+      {"STATS 270", "Bayesian Statistics", 0, {{"STATS 116"}}},
+      {"STATS 263", "Experiments Planning", 1, {}},
+      {"STATS 266", "Causal Inference", 1, {{"STATS 200", "STATS 116"}}},
+      {"MS&E 226", "Inference for Decisions", 1, {}},
+      {"CME 211", "Software Development for Data Science", 2, {}},
+      {"CME 212", "Parallel Software Engineering", 2, {{"CME 211"}}},
+      {"CS 149", "Parallel Computing", 2, {}},
+      {"CME 213", "Parallel Numerical Solvers", 2, {{"CS 149"}}},
+      {"CS 246", "Mining Massive Data Sets", 2, {}},
+      {"CS 245", "Data Intensive Storage Engines", 2, {}},
+      {"CS 229", "Machine Learning", 3, {}},
+      {"CS 230", "Deep Learning", 3, {{"CS 229"}}},
+      {"CS 224N", "Natural Language Processing", 3, {{"CS 229"}}},
+      {"CS 231N", "Convolutional Neural Networks for Visual Recognition", 3, {{"CS 229"}}},
+      {"CS 234", "Reinforcement Learning", 3, {{"CS 229"}}},
+      {"STATS 202", "Data Mining and Exploration", 3, {}},
+      {"CS 276", "Information Retrieval and Web Search", 3, {}},
+      {"CS 224W", "Graph Representation Learning", 3, {{"CS 229", "STATS 202"}}},
+      {"STATS 390", "Statistical Consulting", 4, {}},
+      {"MS&E 237", "Practicum in Data Science", 4, {}},
+      {"STATS 191", "Statistical Modeling Lab", 4, {}},
+      {"CS 221", "Artificial Intelligence", 5, {}},
+      {"CS 228", "Probabilistic Graphical Models", 5, {{"STATS 116"}}},
+      {"CS 238", "Reinforcement Decision Processes", 5, {}},
+      {"CS 255", "Cryptography and Computer Defense", 5, {}},
+      {"MS&E 231", "Computational Social Science", 5, {}},
+      {"BIOMEDIN 215", "Clinical Data Science", 5, {}},
+      {"GENE 211", "Genomics", 5, {}},
+      {"STATS 315A", "Sparse Regularization Learning", 5, {{"STATS 203"}}},
+      {"ECON 293", "Machine Learning for Causal Effects", 5, {{"CS 229"}}},
+  };
+  std::vector<CourseSpec> specs;
+  specs.reserve(kRaw.size());
+  for (const U2& raw : kRaw) {
+    specs.push_back(
+        {raw.code, raw.name, core(raw.category), raw.category, raw.prereqs});
+  }
+
+  model::HardConstraints hard;
+  hard.min_credits = 45.0;  // 15 courses of 3 units
+  hard.num_primary = 9;
+  hard.num_secondary = 6;
+  hard.gap = 3;
+  hard.category_min_counts = {2, 1, 2, 2, 1, 4};
+
+  // Three mild variations of one advisor blueprint (alternate cores and
+  // electives, then finish on cores) — like the paper's trip templates,
+  // which differ from each other in only a few slots.
+  const std::vector<std::string> kTemplates = {
+      "PPSPSPSPSPSPSPP",
+      "PSPPSPSPSPSPSPP",
+      "PPSPSPSPSPSPPSP",
+  };
+  return BuildCourseDataset(
+      "Univ-2 M.S. DS", specs, 73, hard, kTemplates, "STATS 263",
+      {"math_stat_foundations", "experimentation", "scientific_computing",
+       "applied_ml_ds", "practical", "elective"},
+      0x57AF);
+}
+
+Dataset MakeTableIIToy() {
+  // The paper's Table II, verbatim: 6 courses over the 13-topic vocabulary
+  // [Algorithms, Classification, Clustering, Statistics, Regression,
+  //  Data Structure, Neural Network, Probability, Data Visualization,
+  //  Linear System, Matrix Decomposition, Data Management, Data Transfer].
+  const std::vector<std::string> kVocabulary = {
+      "algorithms",     "classification",  "clustering",
+      "statistics",     "regression",      "data structure",
+      "neural network", "probability",     "data visualization",
+      "linear system",  "matrix decomposition", "data management",
+      "data transfer"};
+
+  model::Catalog catalog(model::Domain::kCourse, kVocabulary);
+  auto add = [&catalog](const char* code, const char* name, bool core,
+                        const std::vector<int>& bits,
+                        model::PrereqExpr prereqs) {
+    model::Item item;
+    item.code = code;
+    item.name = name;
+    item.type = core ? model::ItemType::kPrimary : model::ItemType::kSecondary;
+    item.category = core ? 0 : 1;
+    item.credits = 3.0;
+    item.topics = model::TopicVector::FromBits(bits);
+    item.prereqs = std::move(prereqs);
+    auto added = catalog.AddItem(std::move(item));
+    assert(added.ok());
+    (void)added;
+  };
+  // m1..m4 have no prerequisites.
+  add("m1", "Data Structures and Algorithms", true,
+      {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0}, {});
+  add("m2", "Data Mining", false,
+      {0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, {});
+  add("m3", "Data Analytics", true,
+      {0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0}, {});
+  add("m4", "Linear Algebra", false,
+      {0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0}, {});
+  // m5: Data Mining OR Data Analytics. m6: Linear Algebra AND Data Mining.
+  add("m5", "Big Data", false,
+      {1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1},
+      model::PrereqExpr::AnyOf({1, 2}));
+  add("m6", "Machine Learning", true,
+      {0, 1, 1, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0},
+      model::PrereqExpr::All({3, 1}));
+
+  Dataset dataset;
+  dataset.name = "Table II toy";
+  dataset.catalog = std::move(catalog);
+  dataset.hard.min_credits = 18.0;  // all 6 courses
+  dataset.hard.num_primary = 3;
+  dataset.hard.num_secondary = 3;
+  dataset.hard.gap = 1;
+
+  // Example 1: T_ideal covers Classification, Clustering, Neural Network,
+  // Linear System.
+  dataset.soft.ideal_topics = model::TopicVector::FromBits(
+      {0, 1, 1, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0});
+  auto parsed = model::InterleavingTemplate::FromStrings(
+      {"PPSPSS", "PSSSPP", "PSSPPS"});
+  assert(parsed.ok());
+  dataset.soft.interleaving = std::move(parsed).value();
+  dataset.default_start = 0;  // m1
+  return dataset;
+}
+
+}  // namespace rlplanner::datagen

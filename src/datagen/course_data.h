@@ -1,0 +1,37 @@
+#ifndef RLPLANNER_DATAGEN_COURSE_DATA_H_
+#define RLPLANNER_DATAGEN_COURSE_DATA_H_
+
+#include "datagen/dataset.h"
+
+namespace rlplanner::datagen {
+
+/// The Univ-1 (NJIT) M.S. programs of Section IV-A1. Each builds a
+/// deterministic synthetic catalog with the paper's program size and topic
+/// vocabulary size; the DS-CT and CS programs share the course codes of the
+/// paper's own Table VI so policy transfer between them is meaningful.
+///
+/// Program shapes (paper / here):
+///   DS-CT:          31 courses, 60 topics
+///   Cybersecurity:  30 courses, 61 topics
+///   CS:             32 courses, 100 topics
+/// Hard constraints: 30 credit hours (10 courses of 3), 5 core + 5
+/// elective, gap = 3 (prerequisite at least one semester earlier).
+Dataset MakeUniv1DsCt();
+Dataset MakeUniv1Cybersecurity();
+Dataset MakeUniv1Cs();
+
+/// The Univ-2 (Stanford) M.S. Data Science program: 36 courses, 73 topics,
+/// six sub-discipline categories (Mathematical & Statistical Foundations,
+/// Experimentation, Scientific Computing, Applied ML & DS, Practical
+/// Component, Elective) with per-category unit minima; 45 units = 15
+/// courses, 9 primary + 6 secondary, gap = 3.
+Dataset MakeUniv2Ds();
+
+/// The six-course toy catalog of the paper's Table II, verbatim (13 topics,
+/// Example-1 ideal vector and interleaving template). Used by quickstart
+/// and by the unit tests that check the paper's worked examples.
+Dataset MakeTableIIToy();
+
+}  // namespace rlplanner::datagen
+
+#endif  // RLPLANNER_DATAGEN_COURSE_DATA_H_

@@ -1,0 +1,35 @@
+#ifndef RLPLANNER_DATAGEN_DATASET_H_
+#define RLPLANNER_DATAGEN_DATASET_H_
+
+#include <string>
+
+#include "model/constraints.h"
+
+namespace rlplanner::datagen {
+
+/// A fully specified task-planning dataset: the catalog plus the default
+/// hard/soft constraints the paper evaluates it with.
+struct Dataset {
+  /// Display name ("Univ-1 M.S. DS-CT", "Paris", ...).
+  std::string name;
+  model::Catalog catalog{model::Domain::kCourse, {}};
+  model::HardConstraints hard;
+  model::SoftConstraints soft;
+  /// The Table III default starting item `s_1`.
+  model::ItemId default_start = 0;
+
+  /// Builds the TaskInstance view. The returned instance points into this
+  /// dataset's catalog: keep the dataset alive (and unmoved) while the
+  /// instance is in use.
+  model::TaskInstance Instance() const {
+    model::TaskInstance instance;
+    instance.catalog = &catalog;
+    instance.hard = hard;
+    instance.soft = soft;
+    return instance;
+  }
+};
+
+}  // namespace rlplanner::datagen
+
+#endif  // RLPLANNER_DATAGEN_DATASET_H_

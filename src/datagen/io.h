@@ -1,0 +1,48 @@
+#ifndef RLPLANNER_DATAGEN_IO_H_
+#define RLPLANNER_DATAGEN_IO_H_
+
+#include <string>
+
+#include "datagen/dataset.h"
+#include "model/catalog.h"
+#include "util/status.h"
+
+namespace rlplanner::datagen {
+
+/// Serializes a catalog to CSV so datasets can be inspected, edited and
+/// reloaded. One row per item with columns
+/// `code,name,type,category,credits,prereqs,topics,lat,lng,popularity,theme`;
+/// `prereqs` is rendered as CNF over item codes ("a OR b AND c" = group
+/// {a,b} AND group {c}), `topics` as `;`-joined topic names. Two reserved
+/// leading rows (`__vocabulary__`, `__categories__`) persist the topic
+/// vocabulary order and the category names.
+std::string SerializeCatalog(const model::Catalog& catalog);
+
+/// Parses `SerializeCatalog` output back into a catalog.
+util::Result<model::Catalog> ParseCatalog(model::Domain domain,
+                                          const std::string& csv_text);
+
+/// File wrappers around the two functions above.
+util::Status SaveCatalogCsv(const model::Catalog& catalog,
+                            const std::string& path);
+util::Result<model::Catalog> LoadCatalogCsv(model::Domain domain,
+                                            const std::string& path);
+
+/// Serializes a *complete* dataset — catalog plus hard constraints,
+/// interleaving templates, ideal topic vector, dataset name, default start
+/// and domain — as one CSV document. Three more reserved rows extend the
+/// catalog format: `__meta__` (name; domain; default-start code),
+/// `__hard__` (min_credits; #primary; #secondary; gap; distance; theme
+/// rule; category minima) and `__soft__` (templates; ideal topic names).
+std::string SerializeDataset(const Dataset& dataset);
+
+/// Parses `SerializeDataset` output.
+util::Result<Dataset> ParseDataset(const std::string& csv_text);
+
+/// File wrappers for whole datasets.
+util::Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+util::Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+}  // namespace rlplanner::datagen
+
+#endif  // RLPLANNER_DATAGEN_IO_H_

@@ -1,0 +1,121 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rlplanner::datagen {
+
+namespace {
+
+// A random permutation string with exactly `p` primaries and `s`
+// secondaries, always starting with a primary (every paper template does).
+model::TypeSequence RandomPermutation(int p, int s, util::Rng& rng) {
+  model::TypeSequence slots;
+  slots.reserve(static_cast<std::size_t>(p + s));
+  for (int i = 0; i < p; ++i) slots.push_back(model::ItemType::kPrimary);
+  for (int i = 0; i < s; ++i) slots.push_back(model::ItemType::kSecondary);
+  if (slots.size() > 1) {
+    // Shuffle all but the first slot, then force a primary first.
+    rng.Shuffle(slots);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i] == model::ItemType::kPrimary) {
+        std::swap(slots[0], slots[i]);
+        break;
+      }
+    }
+  }
+  return slots;
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec) {
+  assert(spec.num_items > 0 && spec.vocab_size > 0);
+  util::Rng rng(spec.seed);
+
+  std::vector<std::string> vocabulary;
+  vocabulary.reserve(static_cast<std::size_t>(spec.vocab_size));
+  for (int t = 0; t < spec.vocab_size; ++t) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "topic%04d", t);
+    vocabulary.emplace_back(name);
+  }
+
+  model::Catalog catalog(spec.domain, vocabulary);
+  const int num_primary = std::max(
+      spec.num_primary_required,
+      static_cast<int>(spec.primary_fraction * spec.num_items));
+
+  for (int i = 0; i < spec.num_items; ++i) {
+    model::Item item;
+    char code[32];
+    std::snprintf(code, sizeof(code), "item%04d", i);
+    item.code = code;
+    item.name = code;
+    const bool primary = i < num_primary;
+    item.type =
+        primary ? model::ItemType::kPrimary : model::ItemType::kSecondary;
+    item.category = primary ? 0 : 1;
+    item.credits = spec.domain == model::Domain::kTrip
+                       ? 0.5 + 0.25 * rng.NextInt(0, 6)
+                       : 3.0;
+    item.popularity = static_cast<double>(rng.NextInt(1, 5));
+    model::TopicVector topics(vocabulary.size());
+    const int per_item = std::max(1, spec.topics_per_item);
+    for (int t = 0; t < per_item; ++t) {
+      topics.Set(rng.NextIndex(vocabulary.size()));
+    }
+    item.topics = std::move(topics);
+    item.primary_theme = static_cast<int>(rng.NextIndex(vocabulary.size()));
+    item.location.lat = 40.0 + rng.NextGaussian(0.0, 0.01);
+    item.location.lng = -74.0 + rng.NextGaussian(0.0, 0.01);
+    if (i > 0 && rng.NextBernoulli(spec.prereq_probability)) {
+      // One OR-group over up to two earlier items keeps the DAG acyclic.
+      std::vector<model::ItemId> group;
+      group.push_back(static_cast<model::ItemId>(rng.NextIndex(
+          static_cast<std::size_t>(i))));
+      if (i > 1 && rng.NextBernoulli(0.5)) {
+        const auto second = static_cast<model::ItemId>(
+            rng.NextIndex(static_cast<std::size_t>(i)));
+        if (second != group[0]) group.push_back(second);
+      }
+      item.prereqs = model::PrereqExpr::AnyOf(std::move(group));
+    }
+    auto added = catalog.AddItem(std::move(item));
+    assert(added.ok());
+    (void)added;
+  }
+
+  Dataset dataset;
+  dataset.name = "synthetic";
+  dataset.catalog = std::move(catalog);
+
+  dataset.hard.num_primary = spec.num_primary_required;
+  dataset.hard.num_secondary = spec.num_secondary_required;
+  dataset.hard.gap = spec.gap;
+  if (spec.domain == model::Domain::kTrip) {
+    dataset.hard.min_credits = spec.time_budget;
+    dataset.hard.no_consecutive_same_theme = false;
+  } else {
+    dataset.hard.min_credits =
+        3.0 * (spec.num_primary_required + spec.num_secondary_required);
+  }
+
+  model::TopicVector ideal(dataset.catalog.vocabulary_size());
+  for (std::size_t t = 0; t < ideal.size(); ++t) ideal.Set(t);
+  dataset.soft.ideal_topics = std::move(ideal);
+
+  for (int t = 0; t < spec.num_templates; ++t) {
+    dataset.soft.interleaving.Add(RandomPermutation(
+        spec.num_primary_required, spec.num_secondary_required, rng));
+  }
+  dataset.default_start = 0;
+  return dataset;
+}
+
+}  // namespace rlplanner::datagen

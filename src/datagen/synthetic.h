@@ -1,0 +1,42 @@
+#ifndef RLPLANNER_DATAGEN_SYNTHETIC_H_
+#define RLPLANNER_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace rlplanner::datagen {
+
+/// Parameters for a random task instance of arbitrary size. Used by the
+/// property-test suites (sweeps over shapes) and the scalability benchmarks
+/// (catalogs far larger than the paper's programs).
+struct SyntheticSpec {
+  model::Domain domain = model::Domain::kCourse;
+  int num_items = 40;
+  int vocab_size = 80;
+  /// Fraction of items marked primary.
+  double primary_fraction = 0.3;
+  /// Topics assigned per item (at least 1).
+  int topics_per_item = 3;
+  /// Probability that an item gains a prerequisite group over earlier items.
+  double prereq_probability = 0.2;
+  /// Hard-constraint split of the generated instance.
+  int num_primary_required = 5;
+  int num_secondary_required = 5;
+  int gap = 3;
+  /// Number of template permutations in IT.
+  int num_templates = 3;
+  /// Trip domain only: time budget hours; items get 0.5..2.0 h durations.
+  double time_budget = 6.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a random but internally consistent dataset: prerequisites only
+/// reference earlier items (acyclic), template permutations match the
+/// required split, every item covers at least one topic, and the ideal
+/// vector is the full vocabulary.
+Dataset GenerateSynthetic(const SyntheticSpec& spec);
+
+}  // namespace rlplanner::datagen
+
+#endif  // RLPLANNER_DATAGEN_SYNTHETIC_H_

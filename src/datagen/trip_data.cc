@@ -1,0 +1,255 @@
+#include "datagen/trip_data.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rlplanner::datagen {
+
+namespace {
+
+// A handcrafted landmark; the remainder of each city is generated.
+struct PoiSpec {
+  const char* name;
+  bool primary;
+  std::vector<const char*> themes;  // first = primary theme
+  double visit_hours;
+  double popularity;
+};
+
+struct CitySpec {
+  const char* name;
+  std::vector<const char*> themes;
+  std::vector<PoiSpec> landmarks;
+  std::size_t total_pois;
+  double center_lat;
+  double center_lng;
+  std::uint64_t seed;
+  const char* default_start;  // landmark name
+};
+
+Dataset BuildTripDataset(const CitySpec& city) {
+  std::vector<std::string> vocabulary(city.themes.begin(), city.themes.end());
+  model::Catalog catalog(model::Domain::kTrip, vocabulary);
+  util::Rng rng(city.seed);
+
+  auto theme_id = [&catalog](const char* theme) {
+    const int id = catalog.TopicId(theme);
+    assert(id >= 0 && "landmark theme missing from the city's theme list");
+    return id;
+  };
+
+  auto add_poi = [&](const std::string& name, bool primary,
+                     const std::vector<int>& themes, double visit_hours,
+                     double popularity) {
+    model::Item item;
+    item.code = name;
+    item.name = name;
+    item.type =
+        primary ? model::ItemType::kPrimary : model::ItemType::kSecondary;
+    item.category = primary ? 0 : 1;
+    item.credits = visit_hours;
+    item.popularity = popularity;
+    item.primary_theme = themes.empty() ? -1 : themes.front();
+    model::TopicVector bits(catalog.vocabulary_size());
+    for (int t : themes) bits.Set(static_cast<std::size_t>(t));
+    item.topics = std::move(bits);
+    // Scatter within ~3 km of the center (1 deg lat ~= 111 km).
+    item.location.lat = city.center_lat + rng.NextGaussian(0.0, 0.012);
+    item.location.lng = city.center_lng + rng.NextGaussian(0.0, 0.016);
+    auto added = catalog.AddItem(std::move(item));
+    assert(added.ok());
+    (void)added;
+  };
+
+  for (const PoiSpec& poi : city.landmarks) {
+    std::vector<int> themes;
+    for (const char* theme : poi.themes) themes.push_back(theme_id(theme));
+    add_poi(poi.name, poi.primary, themes, poi.visit_hours, poi.popularity);
+  }
+
+  // Generated long tail: "<theme> <nn>" POIs with 1-2 themes, modest
+  // popularity, mostly secondary. Roughly 15% of the tail is primary so
+  // transfers and splits stay satisfiable from many starting points.
+  std::size_t counter = 0;
+  while (catalog.size() < city.total_pois) {
+    const std::size_t theme = rng.NextIndex(vocabulary.size());
+    char name[96];
+    std::snprintf(name, sizeof(name), "%s %s %02zu", city.name,
+                  vocabulary[theme].c_str(), ++counter);
+    std::vector<int> themes = {static_cast<int>(theme)};
+    if (rng.NextBernoulli(0.5)) {
+      const std::size_t extra = rng.NextIndex(vocabulary.size());
+      if (extra != theme) themes.push_back(static_cast<int>(extra));
+    }
+    const bool primary = rng.NextBernoulli(0.15);
+    const double visit_hours = 0.5 + 0.25 * rng.NextInt(0, 6);  // 0.5..2.0
+    // Popularity correlates with thematic richness, as in Flickr-derived
+    // data where the heavily photographed POIs are the multi-faceted ones;
+    // landmarks above own most of the 5s.
+    const double popularity = std::min(
+        5.0, static_cast<double>(rng.NextInt(1, 3)) +
+                 1.5 * static_cast<double>(themes.size()) - 0.5);
+    add_poi(name, primary, themes, visit_hours, popularity);
+  }
+
+  // Antecedents: most restaurants/cafes should be preceded by a museum or
+  // art gallery ("start the day with POIs that are time consuming ...
+  // following which one can experience some relaxation time", Example 2).
+  const int restaurant = catalog.TopicId("restaurant");
+  const int cafe = catalog.TopicId("cafe");
+  const int museum = catalog.TopicId("museum");
+  const int gallery = catalog.TopicId("art gallery");
+  std::vector<model::ItemId> anchors;
+  for (const model::Item& item : catalog.items()) {
+    if (item.primary_theme == museum ||
+        (gallery >= 0 && item.primary_theme == gallery)) {
+      anchors.push_back(item.id);
+    }
+  }
+  model::Catalog final_catalog(model::Domain::kTrip, vocabulary);
+  for (const model::Item& original : catalog.items()) {
+    model::Item item = original;
+    const bool eats = item.primary_theme == restaurant ||
+                      (cafe >= 0 && item.primary_theme == cafe);
+    if (eats && !anchors.empty() && rng.NextBernoulli(0.6)) {
+      item.prereqs = model::PrereqExpr::AnyOf(anchors);
+    }
+    auto added = final_catalog.AddItem(std::move(item));
+    assert(added.ok());
+    (void)added;
+  }
+
+  Dataset dataset;
+  dataset.name = city.name;
+  dataset.catalog = std::move(final_catalog);
+
+  dataset.hard.min_credits = 6.0;  // time threshold t
+  dataset.hard.num_primary = 2;
+  dataset.hard.num_secondary = 3;
+  dataset.hard.gap = 1;
+  dataset.hard.distance_threshold_km = 5.0;  // distance threshold d
+  dataset.hard.no_consecutive_same_theme = true;
+
+  model::TopicVector ideal(dataset.catalog.vocabulary_size());
+  for (std::size_t t = 0; t < ideal.size(); ++t) ideal.Set(t);
+  dataset.soft.ideal_topics = std::move(ideal);
+
+  auto parsed =
+      model::InterleavingTemplate::FromStrings({"PSPSS", "PSSSP", "PSSPS"});
+  assert(parsed.ok());
+  dataset.soft.interleaving = std::move(parsed).value();
+
+  auto start = dataset.catalog.FindByCode(city.default_start);
+  assert(start.ok());
+  dataset.default_start = start.value();
+  return dataset;
+}
+
+}  // namespace
+
+Dataset MakeNycTrip() {
+  CitySpec city;
+  city.name = "NYC";
+  city.themes = {"park",        "museum",      "establishment", "church",
+                 "bridge",      "art gallery", "restaurant",    "cafe",
+                 "river",       "street",      "architecture",  "theater",
+                 "library",     "market",      "observatory",   "zoo",
+                 "aquarium",    "stadium",     "memorial",      "garden",
+                 "square"};
+  city.landmarks = {
+      {"battery park", false, {"park"}, 1.0, 4.0},
+      {"brooklyn bridge", true, {"bridge", "architecture"}, 1.0, 5.0},
+      {"colonnade row", false, {"architecture", "street"}, 0.5, 3.0},
+      {"flatiron building", false, {"architecture", "establishment"}, 0.5, 4.0},
+      {"hudson river park", false, {"park", "river"}, 1.0, 4.0},
+      {"rockefeller center", true, {"establishment", "architecture"}, 1.5, 5.0},
+      {"museum of television and radio", false, {"museum"}, 1.5, 4.0},
+      {"new york university", false, {"establishment"}, 1.0, 3.0},
+      {"metropolitan museum of art", true, {"museum", "art gallery"}, 2.0, 5.0},
+      {"museum of modern art", true, {"museum", "art gallery"}, 1.5, 5.0},
+      {"central park", true, {"park", "garden"}, 1.5, 5.0},
+      {"times square", false, {"square", "street"}, 0.5, 5.0},
+      {"empire state building", true, {"observatory", "architecture"}, 1.0, 5.0},
+      {"statue of liberty", true, {"memorial", "architecture"}, 2.0, 5.0},
+      {"high line", false, {"park", "street"}, 1.0, 5.0},
+      {"grand central terminal", false, {"establishment", "architecture"}, 0.5, 5.0},
+      {"new york public library", false, {"library", "architecture"}, 1.0, 5.0},
+      {"one world observatory", true, {"observatory"}, 1.0, 4.0},
+      {"bryant park cafe", false, {"cafe", "park"}, 1.0, 5.0},
+      {"chelsea market", false, {"market", "restaurant"}, 1.0, 5.0},
+      {"katz delicatessen", false, {"restaurant"}, 1.0, 5.0},
+      {"le bernardin", false, {"restaurant"}, 1.5, 5.0},
+      {"brooklyn botanic garden", false, {"garden", "park"}, 1.5, 4.0},
+      {"yankee stadium", false, {"stadium"}, 2.0, 4.0},
+      {"bronx zoo", false, {"zoo", "park"}, 2.5, 4.0},
+      {"new york aquarium", false, {"aquarium"}, 1.5, 3.0},
+      {"broadway theatre", true, {"theater"}, 2.5, 5.0},
+      {"trinity church", false, {"church", "architecture"}, 0.5, 4.0},
+      {"st patricks cathedral", false, {"church", "architecture"}, 0.5, 5.0},
+      {"east river esplanade", false, {"river", "park"}, 1.0, 3.0},
+      {"wall street", false, {"street", "establishment"}, 0.5, 4.0},
+      {"whitney museum", true, {"museum", "art gallery"}, 1.5, 4.0},
+  };
+  city.total_pois = 90;
+  city.center_lat = 40.7589;
+  city.center_lng = -73.9851;
+  city.seed = 0x9C0FFEE;
+  city.default_start = "metropolitan museum of art";
+  return BuildTripDataset(city);
+}
+
+Dataset MakeParisTrip() {
+  CitySpec city;
+  city.name = "Paris";
+  city.themes = {"museum",  "art gallery", "cathedral",    "palace",
+                 "river",   "street",      "restaurant",   "architecture",
+                 "church",  "park",        "cafe",         "bridge",
+                 "establishment", "garden", "tower",       "market"};
+  city.landmarks = {
+      {"eiffel tower", true, {"tower", "architecture"}, 2.0, 5.0},
+      {"louvre museum", true, {"museum", "art gallery", "architecture"}, 2.5, 5.0},
+      {"pantheon", false, {"architecture", "church"}, 1.0, 4.0},
+      {"rue des martyrs", false, {"street", "market"}, 1.0, 4.0},
+      {"musee d'orsay", true, {"museum", "art gallery"}, 2.0, 5.0},
+      {"cathedrale notre-dame de paris", true, {"cathedral", "architecture"}, 1.0, 5.0},
+      {"palais garnier", true, {"palace", "architecture"}, 1.0, 5.0},
+      {"the river seine", false, {"river"}, 1.0, 5.0},
+      {"le cinq", false, {"restaurant"}, 1.5, 5.0},
+      {"musee du luxembourg", false, {"museum", "garden"}, 1.5, 4.0},
+      {"musee des egouts de paris", false, {"museum"}, 1.0, 3.0},
+      {"eglise st-sulpice", false, {"church", "architecture"}, 0.5, 4.0},
+      {"pont neuf", false, {"bridge", "river"}, 0.5, 5.0},
+      {"promenade plantee", false, {"park", "street"}, 1.0, 4.0},
+      {"sainte chapelle", false, {"church", "architecture"}, 1.0, 5.0},
+      {"tour montparnasse", false, {"establishment", "tower"}, 1.0, 4.0},
+      {"eglise st-eustache", false, {"church"}, 0.5, 4.0},
+      {"viaduc des arts", false, {"establishment", "bridge"}, 1.0, 3.0},
+      {"eglise st-germain des pres", false, {"church"}, 0.5, 4.0},
+      {"arc de triomphe", true, {"architecture", "street"}, 1.0, 5.0},
+      {"centre pompidou", true, {"museum", "art gallery"}, 1.5, 5.0},
+      {"jardin des tuileries", false, {"garden", "park"}, 1.0, 5.0},
+      {"jardin du luxembourg", false, {"garden", "park"}, 1.0, 5.0},
+      {"palace of versailles", true, {"palace", "garden"}, 2.5, 5.0},
+      {"montmartre", false, {"street", "church"}, 1.5, 5.0},
+      {"cafe de flore", false, {"cafe"}, 1.0, 5.0},
+      {"les deux magots", false, {"cafe", "restaurant"}, 1.0, 4.0},
+      {"marche bastille", false, {"market", "street"}, 1.0, 4.0},
+      {"grand palais", true, {"palace", "art gallery"}, 1.5, 4.0},
+      {"musee rodin", false, {"museum", "garden"}, 1.5, 5.0},
+      {"pont alexandre iii", false, {"bridge", "river"}, 0.5, 5.0},
+      {"la defense esplanade", false, {"establishment", "architecture"}, 1.0, 3.0},
+  };
+  city.total_pois = 114;
+  city.center_lat = 48.8606;
+  city.center_lng = 2.3376;
+  city.seed = 0xFA4715;
+  city.default_start = "louvre museum";
+  return BuildTripDataset(city);
+}
+
+}  // namespace rlplanner::datagen

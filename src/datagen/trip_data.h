@@ -1,0 +1,24 @@
+#ifndef RLPLANNER_DATAGEN_TRIP_DATA_H_
+#define RLPLANNER_DATAGEN_TRIP_DATA_H_
+
+#include "datagen/dataset.h"
+
+namespace rlplanner::datagen {
+
+/// The trip-planning datasets of Section IV-A1, rebuilt synthetically with
+/// the paper's shapes (the paper used Flickr itineraries plus Google Places
+/// themes, neither of which ships with this repository):
+///   NYC:   90 POIs, 21 themes;   Paris: 114 POIs, 16 themes.
+/// Every POI has a theme set, a visit duration (`cr^m`, hours), coordinates
+/// around the city center, and a 1..5 popularity score (trip plans are
+/// scored by mean popularity; the gold standard reaches 5).
+/// Hard constraints (Table III): time budget t = 6 h, 2 primary + 3
+/// secondary POIs, distance threshold d = 5 km, gap = 1 with the
+/// "no two consecutive POIs of the same theme" rule; some restaurants/cafes
+/// carry museum antecedents ("visit a museum before a restaurant").
+Dataset MakeNycTrip();
+Dataset MakeParisTrip();
+
+}  // namespace rlplanner::datagen
+
+#endif  // RLPLANNER_DATAGEN_TRIP_DATA_H_

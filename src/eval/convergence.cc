@@ -1,0 +1,89 @@
+#include "eval/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/planner.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace rlplanner::eval {
+
+ConvergenceCurve MeasureConvergence(const datagen::Dataset& dataset,
+                                    core::PlannerConfig config, int window,
+                                    double tolerance) {
+  ConvergenceCurve curve;
+  const model::TaskInstance instance = dataset.Instance();
+  if (config.sarsa.start_item < 0) {
+    config.sarsa.start_item = dataset.default_start;
+  }
+  core::RlPlanner planner(instance, config);
+  if (!planner.Train().ok()) return curve;
+  curve.episode_returns = planner.episode_returns();
+  const std::size_t n = curve.episode_returns.size();
+  if (n == 0) return curve;
+
+  // Moving average (window clamped to the run length).
+  const std::size_t w =
+      std::max<std::size_t>(1, std::min<std::size_t>(window, n));
+  curve.smoothed.resize(n);
+  double rolling = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rolling += curve.episode_returns[i];
+    if (i >= w) rolling -= curve.episode_returns[i - w];
+    curve.smoothed[i] = rolling / static_cast<double>(std::min(i + 1, w));
+  }
+
+  // Converged level = mean of the last window.
+  double final_sum = 0.0;
+  for (std::size_t i = n - w; i < n; ++i) final_sum += curve.episode_returns[i];
+  curve.final_level = final_sum / static_cast<double>(w);
+
+  // First index after which the smoothed curve stays near the final level.
+  const double band = std::max(tolerance * std::abs(curve.final_level), 1e-9);
+  int converged = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(curve.smoothed[i] - curve.final_level) <= band) {
+      if (converged < 0) converged = static_cast<int>(i);
+    } else {
+      converged = -1;
+    }
+  }
+  curve.converged_at = converged;
+  return curve;
+}
+
+std::string FormatCurves(
+    const std::vector<std::pair<std::string, ConvergenceCurve>>& curves,
+    int max_rows) {
+  std::vector<std::string> header = {"episode"};
+  std::size_t length = 0;
+  for (const auto& [name, curve] : curves) {
+    header.push_back(name);
+    length = std::max(length, curve.smoothed.size());
+  }
+  util::AsciiTable table(std::move(header));
+  if (length == 0 || max_rows <= 0) return table.ToString();
+
+  const std::size_t step =
+      std::max<std::size_t>(1, length / static_cast<std::size_t>(max_rows));
+  for (std::size_t i = 0; i < length; i += step) {
+    std::vector<std::string> row = {std::to_string(i + 1)};
+    for (const auto& [name, curve] : curves) {
+      row.push_back(i < curve.smoothed.size()
+                        ? util::FormatDouble(curve.smoothed[i], 2)
+                        : "");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::string out = table.ToString();
+  for (const auto& [name, curve] : curves) {
+    out += name + ": converged at episode " +
+           (curve.converged_at >= 0 ? std::to_string(curve.converged_at + 1)
+                                    : std::string("never")) +
+           ", level " + util::FormatDouble(curve.final_level, 2) + "\n";
+  }
+  return out;
+}
+
+}  // namespace rlplanner::eval

@@ -1,0 +1,45 @@
+#ifndef RLPLANNER_EVAL_CONVERGENCE_H_
+#define RLPLANNER_EVAL_CONVERGENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "datagen/dataset.h"
+
+namespace rlplanner::eval {
+
+/// Convergence analysis of one learning run (Section III-C motivates the
+/// choice of SARSA/policy iteration by convergence speed; this module
+/// measures it).
+struct ConvergenceCurve {
+  /// Per-episode Eq. 2 returns, in training order.
+  std::vector<double> episode_returns;
+  /// Moving average of the returns with the window used for detection.
+  std::vector<double> smoothed;
+  /// First episode index at which the smoothed return stays within
+  /// `tolerance` of its final level for the rest of training; -1 when the
+  /// run never settles.
+  int converged_at = -1;
+  /// Mean return over the final window (the "converged level").
+  double final_level = 0.0;
+};
+
+/// Trains RL-Planner on `dataset` with `config` and analyzes the episode
+/// returns: smoothing window `window`, settlement tolerance `tolerance`
+/// (relative to the final level).
+ConvergenceCurve MeasureConvergence(const datagen::Dataset& dataset,
+                                    core::PlannerConfig config,
+                                    int window = 25,
+                                    double tolerance = 0.1);
+
+/// Renders several named curves as aligned columns ("episode  name1
+/// name2 ..."), decimated to at most `max_rows` rows — the plottable
+/// series behind a convergence figure.
+std::string FormatCurves(
+    const std::vector<std::pair<std::string, ConvergenceCurve>>& curves,
+    int max_rows = 20);
+
+}  // namespace rlplanner::eval
+
+#endif  // RLPLANNER_EVAL_CONVERGENCE_H_

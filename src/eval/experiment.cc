@@ -1,0 +1,147 @@
+#include "eval/experiment.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "baselines/eda.h"
+#include "baselines/gold.h"
+#include "baselines/omega.h"
+#include "core/planner.h"
+#include "core/scoring.h"
+#include "core/validation.h"
+
+namespace rlplanner::eval {
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kRlPlannerAvg:
+      return "RL-Planner (Avg)";
+    case Method::kRlPlannerMin:
+      return "RL-Planner (Min)";
+    case Method::kOmega:
+      return "OMEGA";
+    case Method::kOmegaEdge:
+      return "OMEGA-edge";
+    case Method::kEda:
+      return "EDA";
+    case Method::kGold:
+      return "Gold";
+  }
+  return "unknown";
+}
+
+ExperimentResult RunMethod(const datagen::Dataset& dataset, Method method,
+                           const core::PlannerConfig& config, int runs,
+                           std::uint64_t seed_base) {
+  ExperimentResult result;
+  result.method = method;
+  const model::TaskInstance instance = dataset.Instance();
+
+  double train_total = 0.0;
+  double recommend_total = 0.0;
+  int valid_count = 0;
+
+  for (int run = 0; run < runs; ++run) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(run);
+    model::Plan plan;
+    switch (method) {
+      case Method::kRlPlannerAvg:
+      case Method::kRlPlannerMin: {
+        core::PlannerConfig run_config = config;
+        run_config.seed = seed;
+        run_config.reward.similarity = method == Method::kRlPlannerAvg
+                                           ? mdp::SimilarityMode::kAverage
+                                           : mdp::SimilarityMode::kMinimum;
+        // Learn episodes from the same starting item the recommendation
+        // will use (Table III's "Starting Point" parameter governs both).
+        if (run_config.sarsa.start_item < 0) {
+          run_config.sarsa.start_item = dataset.default_start;
+        }
+        core::RlPlanner planner(instance, run_config);
+        const util::Status trained = planner.Train();
+        if (!trained.ok()) break;  // scored as 0
+        train_total += planner.train_seconds();
+        const model::ItemId start = run_config.sarsa.start_item >= 0
+                                        ? run_config.sarsa.start_item
+                                        : dataset.default_start;
+        const double recommend_begin = Now();
+        auto recommended = planner.Recommend(start);
+        recommend_total += Now() - recommend_begin;
+        if (recommended.ok()) plan = std::move(recommended).value();
+        break;
+      }
+      case Method::kOmega:
+      case Method::kOmegaEdge: {
+        const baselines::Omega omega(instance);
+        const double begin = Now();
+        plan = method == Method::kOmega ? omega.BuildPlan(seed)
+                                        : omega.BuildPlanEdgeBased(seed);
+        recommend_total += Now() - begin;
+        break;
+      }
+      case Method::kEda: {
+        const baselines::EdaGreedy eda(instance, config.reward);
+        const double begin = Now();
+        plan = eda.BuildPlan(seed);
+        recommend_total += Now() - begin;
+        break;
+      }
+      case Method::kGold: {
+        auto gold = baselines::BuildGoldStandard(instance, seed);
+        if (gold.ok()) plan = std::move(gold).value();
+        break;
+      }
+    }
+    const double score = core::ScorePlan(instance, plan);
+    result.scores.push_back(score);
+    if (!plan.empty() && core::ValidatePlan(instance, plan).valid) {
+      ++valid_count;
+    }
+    result.last_plan = std::move(plan);
+  }
+
+  const double n = static_cast<double>(result.scores.size());
+  if (n > 0) {
+    double sum = 0.0;
+    for (double s : result.scores) sum += s;
+    result.mean_score = sum / n;
+    double var = 0.0;
+    for (double s : result.scores) {
+      var += (s - result.mean_score) * (s - result.mean_score);
+    }
+    result.stddev_score = std::sqrt(var / n);
+    result.valid_fraction = static_cast<double>(valid_count) / n;
+    result.mean_train_seconds = train_total / n;
+    result.mean_recommend_seconds = recommend_total / n;
+  }
+  return result;
+}
+
+double MeanRlScore(const datagen::Dataset& dataset,
+                   core::PlannerConfig config, mdp::SimilarityMode mode,
+                   int runs, std::uint64_t seed_base) {
+  const Method method = mode == mdp::SimilarityMode::kAverage
+                            ? Method::kRlPlannerAvg
+                            : Method::kRlPlannerMin;
+  return RunMethod(dataset, method, config, runs, seed_base).mean_score;
+}
+
+double MeanEdaScore(const datagen::Dataset& dataset,
+                    const mdp::RewardWeights& weights, int runs,
+                    std::uint64_t seed_base) {
+  core::PlannerConfig config;
+  config.reward = weights;
+  return RunMethod(dataset, Method::kEda, config, runs, seed_base).mean_score;
+}
+
+}  // namespace rlplanner::eval

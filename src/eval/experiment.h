@@ -1,0 +1,65 @@
+#ifndef RLPLANNER_EVAL_EXPERIMENT_H_
+#define RLPLANNER_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "datagen/dataset.h"
+#include "model/plan.h"
+
+namespace rlplanner::eval {
+
+/// The planners compared in Figure 1 / the parameter-tuning tables.
+enum class Method {
+  kRlPlannerAvg = 0,  // RL-Planner, AvgSim reward (Eq. 7)
+  kRlPlannerMin,      // RL-Planner, MinSim reward
+  kOmega,             // adapted OMEGA baseline
+  kOmegaEdge,         // edge-based OMEGA variant (Benouaret et al.)
+  kEda,               // greedy EDA baseline
+  kGold,              // handcrafted gold standard
+};
+
+const char* MethodName(Method method);
+
+/// Aggregates of one method over `runs` independent runs (the paper reports
+/// averages over 10 runs).
+struct ExperimentResult {
+  Method method = Method::kRlPlannerAvg;
+  /// Mean of the paper score (0 for invalid plans).
+  double mean_score = 0.0;
+  double stddev_score = 0.0;
+  /// Fraction of runs whose plan satisfied every hard constraint.
+  double valid_fraction = 0.0;
+  /// Mean seconds spent learning (0 for model-free methods).
+  double mean_train_seconds = 0.0;
+  /// Mean seconds spent producing the plan from the learned policy.
+  double mean_recommend_seconds = 0.0;
+  /// Per-run scores.
+  std::vector<double> scores;
+  /// The last run's plan (for case-study printing).
+  model::Plan last_plan;
+};
+
+/// Runs `method` on `dataset` `runs` times with distinct seeds and averages.
+/// `config` supplies the RL/reward parameters (ignored where a method has
+/// none); RL recommendations start from `dataset.default_start` unless
+/// `config.sarsa.start_item` is set.
+ExperimentResult RunMethod(const datagen::Dataset& dataset, Method method,
+                           const core::PlannerConfig& config, int runs,
+                           std::uint64_t seed_base = 1000);
+
+/// Convenience: mean score of RL-Planner under `config` with the given
+/// similarity mode (used by the sweep harness).
+double MeanRlScore(const datagen::Dataset& dataset,
+                   core::PlannerConfig config, mdp::SimilarityMode mode,
+                   int runs, std::uint64_t seed_base = 1000);
+
+/// Convenience: mean EDA score under the given reward weights.
+double MeanEdaScore(const datagen::Dataset& dataset,
+                    const mdp::RewardWeights& weights, int runs,
+                    std::uint64_t seed_base = 1000);
+
+}  // namespace rlplanner::eval
+
+#endif  // RLPLANNER_EVAL_EXPERIMENT_H_

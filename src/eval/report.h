@@ -1,0 +1,34 @@
+#ifndef RLPLANNER_EVAL_REPORT_H_
+#define RLPLANNER_EVAL_REPORT_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace rlplanner::eval {
+
+/// Options for the one-shot evaluation report.
+struct ReportOptions {
+  /// Runs per (dataset, method) cell; the paper averages 10.
+  int runs = 10;
+  /// Simulated raters for the user-study section.
+  int course_raters = 25;
+  int trip_raters = 5;
+  /// Base seed for every stochastic component.
+  std::uint64_t seed = 1000;
+};
+
+/// Runs the headline evaluation — the Figure 1 comparison on all six
+/// datasets, the Table IV simulated user study, both transfer case studies
+/// and the timing summary — and renders it as a Markdown document. This is
+/// the programmatic twin of EXPERIMENTS.md: a downstream user who changes
+/// the library can regenerate the whole evidence base with one call.
+std::string BuildEvaluationReport(const ReportOptions& options);
+
+/// Convenience wrapper: writes BuildEvaluationReport output to `path`.
+util::Status WriteEvaluationReport(const ReportOptions& options,
+                                   const std::string& path);
+
+}  // namespace rlplanner::eval
+
+#endif  // RLPLANNER_EVAL_REPORT_H_

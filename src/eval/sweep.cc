@@ -1,0 +1,58 @@
+#include "eval/sweep.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace rlplanner::eval {
+
+SweepRow RunSweep(const std::function<datagen::Dataset()>& make_dataset,
+                  const core::PlannerConfig& base_config,
+                  const std::string& parameter,
+                  const std::vector<SweepValue>& values, int runs,
+                  std::uint64_t seed_base) {
+  SweepRow row;
+  row.parameter = parameter;
+  for (const SweepValue& value : values) {
+    datagen::Dataset dataset = make_dataset();
+    core::PlannerConfig config = base_config;
+    if (value.mutate_config) value.mutate_config(config);
+    if (value.mutate_dataset) value.mutate_dataset(dataset);
+
+    row.value_labels.push_back(value.label);
+    row.rl_avg.push_back(MeanRlScore(dataset, config,
+                                     mdp::SimilarityMode::kAverage, runs,
+                                     seed_base));
+    row.rl_min.push_back(MeanRlScore(dataset, config,
+                                     mdp::SimilarityMode::kMinimum, runs,
+                                     seed_base));
+    row.eda.push_back(value.eda_applicable
+                          ? MeanEdaScore(dataset, config.reward, runs,
+                                         seed_base)
+                          : std::numeric_limits<double>::quiet_NaN());
+  }
+  return row;
+}
+
+std::string FormatSweepTable(const std::string& title,
+                             const std::vector<SweepRow>& rows) {
+  std::string out = title + "\n";
+  for (const SweepRow& row : rows) {
+    util::AsciiTable table({row.parameter, "RL-Planner (Avg)",
+                            "RL-Planner (Min)", "EDA"});
+    for (std::size_t i = 0; i < row.value_labels.size(); ++i) {
+      table.AddRow({row.value_labels[i],
+                    util::FormatDouble(row.rl_avg[i], 2),
+                    util::FormatDouble(row.rl_min[i], 2),
+                    std::isnan(row.eda[i])
+                        ? std::string("—")
+                        : util::FormatDouble(row.eda[i], 2)});
+    }
+    out += table.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace rlplanner::eval

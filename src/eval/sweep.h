@@ -1,0 +1,54 @@
+#ifndef RLPLANNER_EVAL_SWEEP_H_
+#define RLPLANNER_EVAL_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace rlplanner::eval {
+
+/// One row of a parameter-tuning table (Tables IX-XVI): the parameter name,
+/// the values swept, and for each value the mean scores of RL-Planner with
+/// Avg similarity, RL-Planner with Min similarity, and (where applicable)
+/// EDA. EDA entries are NaN for parameters a model-free method does not
+/// have (N, alpha, gamma, s_1) and rendered as "—".
+struct SweepRow {
+  std::string parameter;
+  std::vector<std::string> value_labels;
+  std::vector<double> rl_avg;
+  std::vector<double> rl_min;
+  std::vector<double> eda;  // NaN = not applicable
+};
+
+/// A mutation applied to the default config for one sweep value.
+using ConfigMutator = std::function<void(core::PlannerConfig&)>;
+/// A mutation applied to the dataset's hard constraints (trip d/t sweeps).
+using DatasetMutator = std::function<void(datagen::Dataset&)>;
+
+/// One value of a sweep: display label + how it changes config/dataset, and
+/// whether EDA is sensitive to it.
+struct SweepValue {
+  std::string label;
+  ConfigMutator mutate_config;          // may be null
+  DatasetMutator mutate_dataset;        // may be null
+  bool eda_applicable = false;
+};
+
+/// Runs a one-at-a-time sweep: for each value, start from `base_config` and
+/// a fresh copy of the dataset built by `make_dataset`, apply the mutators,
+/// and record mean scores over `runs` runs.
+SweepRow RunSweep(const std::function<datagen::Dataset()>& make_dataset,
+                  const core::PlannerConfig& base_config,
+                  const std::string& parameter,
+                  const std::vector<SweepValue>& values, int runs,
+                  std::uint64_t seed_base = 1000);
+
+/// Renders sweep rows in the paper's table style.
+std::string FormatSweepTable(const std::string& title,
+                             const std::vector<SweepRow>& rows);
+
+}  // namespace rlplanner::eval
+
+#endif  // RLPLANNER_EVAL_SWEEP_H_

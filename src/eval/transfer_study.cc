@@ -1,0 +1,57 @@
+#include "eval/transfer_study.h"
+
+#include <algorithm>
+
+#include "core/planner.h"
+#include "core/scoring.h"
+#include "core/validation.h"
+#include "rl/transfer.h"
+
+namespace rlplanner::eval {
+
+std::vector<TransferCase> RunTransferStudy(
+    const datagen::Dataset& source, const datagen::Dataset& target,
+    const core::PlannerConfig& config,
+    const std::vector<model::ItemId>& starts, std::uint64_t seed) {
+  std::vector<TransferCase> cases;
+
+  const model::TaskInstance source_instance = source.Instance();
+  core::PlannerConfig source_config = config;
+  source_config.seed = seed;
+  core::RlPlanner source_planner(source_instance, source_config);
+  if (!source_planner.Train().ok()) return cases;
+
+  const model::TaskInstance target_instance = target.Instance();
+  core::RlPlanner target_planner(target_instance, config);
+  mdp::QTable mapped = rl::PolicyTransfer::MapAcrossCatalogs(
+      source_planner.q_table(), source.catalog, target.catalog);
+  if (!target_planner.AdoptPolicy(std::move(mapped)).ok()) return cases;
+
+  std::vector<model::ItemId> start_items = starts;
+  if (start_items.empty()) start_items.push_back(target.default_start);
+
+  for (model::ItemId start : start_items) {
+    auto recommended = target_planner.Recommend(start);
+    if (!recommended.ok()) continue;
+    TransferCase result;
+    result.source_name = source.name;
+    result.target_name = target.name;
+    result.plan = std::move(recommended).value();
+    const auto report = core::ValidatePlan(target_instance, result.plan);
+    result.valid = report.valid;
+    result.violations = report.violations;
+    result.score = result.valid
+                       ? core::ScorePlan(target_instance, result.plan)
+                       : core::TemplateScore(target_instance, result.plan);
+    result.rendered = result.plan.ToString(target.catalog);
+    cases.push_back(std::move(result));
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const TransferCase& a, const TransferCase& b) {
+              if (a.valid != b.valid) return a.valid > b.valid;
+              return a.score > b.score;
+            });
+  return cases;
+}
+
+}  // namespace rlplanner::eval

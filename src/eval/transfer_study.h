@@ -1,0 +1,39 @@
+#ifndef RLPLANNER_EVAL_TRANSFER_STUDY_H_
+#define RLPLANNER_EVAL_TRANSFER_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "datagen/dataset.h"
+#include "model/plan.h"
+
+namespace rlplanner::eval {
+
+/// One transfer-learning case study row (Tables V and VII): a policy
+/// learned on `source` applied to `target`.
+struct TransferCase {
+  std::string source_name;
+  std::string target_name;
+  model::Plan plan;
+  bool valid = false;
+  double score = 0.0;
+  /// Hard-constraint names the plan violates (empty when valid).
+  std::vector<std::string> violations;
+  /// Rendered "CS 675 : core -> ..." sequence.
+  std::string rendered;
+};
+
+/// Trains RL-Planner on `source`, maps the policy onto `target` (directly
+/// for shared item codes, by theme similarity otherwise), and recommends
+/// one plan per start item in `starts` (dataset default when empty).
+/// Returns one case per start, ordered best-score first — the paper
+/// presents both a "Good" (valid) and a "Bad" (one constraint short) case.
+std::vector<TransferCase> RunTransferStudy(
+    const datagen::Dataset& source, const datagen::Dataset& target,
+    const core::PlannerConfig& config,
+    const std::vector<model::ItemId>& starts, std::uint64_t seed = 2022);
+
+}  // namespace rlplanner::eval
+
+#endif  // RLPLANNER_EVAL_TRANSFER_STUDY_H_

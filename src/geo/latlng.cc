@@ -1,0 +1,23 @@
+#include "geo/latlng.h"
+
+#include <cmath>
+
+namespace rlplanner::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineKm(const LatLng& a, const LatLng& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlng = (b.lng - a.lng) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlng / 2) *
+                       std::sin(dlng / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(s));
+}
+
+}  // namespace rlplanner::geo

@@ -1,0 +1,32 @@
+#ifndef RLPLANNER_GEO_LATLNG_H_
+#define RLPLANNER_GEO_LATLNG_H_
+
+namespace rlplanner::geo {
+
+/// A point on the globe, degrees.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+};
+
+/// Great-circle distance between `a` and `b` in kilometers (haversine with
+/// mean Earth radius 6371 km). Used by the trip-planning distance-threshold
+/// constraint (`d` in Tables VIII and XV).
+double HaversineKm(const LatLng& a, const LatLng& b);
+
+/// Total walking distance of a POI sequence: sum of consecutive haversine
+/// legs. Empty or single-point paths have length 0.
+template <typename It>
+double PathLengthKm(It begin, It end) {
+  double total = 0.0;
+  if (begin == end) return total;
+  It prev = begin;
+  for (It cur = ++begin; cur != end; ++cur, ++prev) {
+    total += HaversineKm(*prev, *cur);
+  }
+  return total;
+}
+
+}  // namespace rlplanner::geo
+
+#endif  // RLPLANNER_GEO_LATLNG_H_

@@ -1,0 +1,45 @@
+#include "mdp/episode_state.h"
+
+#include <cassert>
+
+#include "geo/latlng.h"
+
+namespace rlplanner::mdp {
+
+EpisodeState::EpisodeState(const model::TaskInstance& instance)
+    : instance_(&instance),
+      position_of_(instance.catalog->size(), -1),
+      covered_(instance.catalog->vocabulary_size()),
+      category_counts_(instance.catalog->category_names().size(), 0) {}
+
+void EpisodeState::Add(model::ItemId item) {
+  assert(item >= 0 &&
+         static_cast<std::size_t>(item) < instance_->catalog->size());
+  assert(position_of_[item] < 0 && "item already chosen in this episode");
+  const model::Item& added = instance_->catalog->item(item);
+  if (!sequence_.empty()) {
+    total_distance_km_ += geo::HaversineKm(
+        instance_->catalog->item(sequence_.back()).location, added.location);
+  }
+  position_of_[item] = static_cast<int>(sequence_.size());
+  sequence_.push_back(item);
+  covered_ |= added.topics;
+  type_sequence_.push_back(added.type);
+  if (added.category >= 0 &&
+      static_cast<std::size_t>(added.category) < category_counts_.size()) {
+    category_counts_[added.category] += 1;
+  }
+  total_credits_ += added.credits;
+  (added.type == model::ItemType::kPrimary ? primary_count_
+                                           : secondary_count_) += 1;
+}
+
+int EpisodeState::CategoryCount(int category) const {
+  if (category < 0 ||
+      static_cast<std::size_t>(category) >= category_counts_.size()) {
+    return 0;
+  }
+  return category_counts_[category];
+}
+
+}  // namespace rlplanner::mdp

@@ -1,0 +1,79 @@
+#ifndef RLPLANNER_MDP_EPISODE_STATE_H_
+#define RLPLANNER_MDP_EPISODE_STATE_H_
+
+#include <vector>
+
+#include "model/constraints.h"
+#include "model/plan.h"
+
+namespace rlplanner::mdp {
+
+/// The evolving session state of one episode: the prefix of items chosen so
+/// far together with the derived quantities every reward component needs —
+/// the accumulated topic coverage `T^current`, the position of each chosen
+/// item (for the prerequisite gap), primary/secondary and per-category
+/// counts, total credits/time, and the walking distance (trip domain).
+///
+/// The formal MDP state is "the last item chosen" (Section III-A); this
+/// class additionally carries the episode context that the reward function
+/// (Eq. 2) is defined over.
+class EpisodeState {
+ public:
+  /// Starts an empty episode for `instance`. The instance must outlive the
+  /// state.
+  explicit EpisodeState(const model::TaskInstance& instance);
+
+  /// Adds `item` as the next element of the sequence. The item must not
+  /// already be chosen.
+  void Add(model::ItemId item);
+
+  /// True when `item` was already chosen.
+  bool Contains(model::ItemId item) const { return position_of_[item] >= 0; }
+
+  /// Items chosen so far, in order.
+  const std::vector<model::ItemId>& sequence() const { return sequence_; }
+  std::size_t Length() const { return sequence_.size(); }
+  bool Empty() const { return sequence_.empty(); }
+
+  /// Last chosen item (the formal MDP state), or -1 for the empty episode.
+  model::ItemId CurrentItem() const {
+    return sequence_.empty() ? -1 : sequence_.back();
+  }
+
+  /// Position lookup (-1 = not chosen) indexed by ItemId.
+  const std::vector<int>& position_of() const { return position_of_; }
+
+  /// Accumulated topic coverage `T^current`.
+  const model::TopicVector& covered_topics() const { return covered_; }
+
+  double total_credits() const { return total_credits_; }
+  double total_distance_km() const { return total_distance_km_; }
+  int primary_count() const { return primary_count_; }
+  int secondary_count() const { return secondary_count_; }
+  int CategoryCount(int category) const;
+
+  /// The primary/secondary slot sequence chosen so far.
+  const model::TypeSequence& type_sequence() const { return type_sequence_; }
+
+  /// The owning instance.
+  const model::TaskInstance& instance() const { return *instance_; }
+
+  /// Materializes the episode as a Plan.
+  model::Plan ToPlan() const { return model::Plan(sequence_); }
+
+ private:
+  const model::TaskInstance* instance_;
+  std::vector<model::ItemId> sequence_;
+  std::vector<int> position_of_;
+  model::TopicVector covered_;
+  model::TypeSequence type_sequence_;
+  std::vector<int> category_counts_;
+  double total_credits_ = 0.0;
+  double total_distance_km_ = 0.0;
+  int primary_count_ = 0;
+  int secondary_count_ = 0;
+};
+
+}  // namespace rlplanner::mdp
+
+#endif  // RLPLANNER_MDP_EPISODE_STATE_H_

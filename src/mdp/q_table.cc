@@ -1,0 +1,105 @@
+#include "mdp/q_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace rlplanner::mdp {
+
+QTable::QTable(std::size_t num_items)
+    : num_items_(num_items), values_(num_items * num_items, 0.0) {}
+
+double QTable::Get(model::ItemId state, model::ItemId action) const {
+  assert(state >= 0 && static_cast<std::size_t>(state) < num_items_);
+  assert(action >= 0 && static_cast<std::size_t>(action) < num_items_);
+  return values_[static_cast<std::size_t>(state) * num_items_ +
+                 static_cast<std::size_t>(action)];
+}
+
+void QTable::Set(model::ItemId state, model::ItemId action, double value) {
+  assert(state >= 0 && static_cast<std::size_t>(state) < num_items_);
+  assert(action >= 0 && static_cast<std::size_t>(action) < num_items_);
+  values_[static_cast<std::size_t>(state) * num_items_ +
+          static_cast<std::size_t>(action)] = value;
+}
+
+void QTable::SarsaUpdate(model::ItemId state, model::ItemId action,
+                         double reward, model::ItemId next_state,
+                         model::ItemId next_action, double alpha,
+                         double gamma) {
+  const double next_q = (next_state >= 0 && next_action >= 0)
+                            ? Get(next_state, next_action)
+                            : 0.0;
+  const double current = Get(state, action);
+  Set(state, action, current + alpha * (reward + gamma * next_q - current));
+}
+
+void QTable::Scale(double factor) {
+  for (double& v : values_) v *= factor;
+}
+
+void QTable::AddNoise(util::Rng& rng, double magnitude) {
+  for (double& v : values_) v += rng.NextDouble() * magnitude;
+}
+
+double QTable::MaxAbsValue() const {
+  double best = 0.0;
+  for (double v : values_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double QTable::NonZeroFraction() const {
+  if (values_.empty()) return 0.0;
+  std::size_t non_zero = 0;
+  for (double v : values_) {
+    if (v != 0.0) ++non_zero;
+  }
+  return static_cast<double>(non_zero) / static_cast<double>(values_.size());
+}
+
+std::string QTable::ToCsv() const {
+  util::CsvDocument doc;
+  doc.header = {"state", "action", "q"};
+  for (std::size_t s = 0; s < num_items_; ++s) {
+    for (std::size_t a = 0; a < num_items_; ++a) {
+      const double v = values_[s * num_items_ + a];
+      if (v == 0.0) continue;
+      doc.rows.push_back({std::to_string(s), std::to_string(a),
+                          util::FormatDouble(v, 12)});
+    }
+  }
+  return util::WriteCsv(doc);
+}
+
+util::Result<QTable> QTable::FromCsv(std::size_t num_items,
+                                     const std::string& csv_text) {
+  auto parsed = util::ParseCsv(csv_text);
+  if (!parsed.ok()) return parsed.status();
+  const util::CsvDocument& doc = parsed.value();
+  const int state_col = doc.ColumnIndex("state");
+  const int action_col = doc.ColumnIndex("action");
+  const int q_col = doc.ColumnIndex("q");
+  if (state_col < 0 || action_col < 0 || q_col < 0) {
+    return util::Status::InvalidArgument(
+        "Q-table CSV must have state,action,q columns");
+  }
+  QTable table(num_items);
+  for (const auto& row : doc.rows) {
+    const long state = std::strtol(row[state_col].c_str(), nullptr, 10);
+    const long action = std::strtol(row[action_col].c_str(), nullptr, 10);
+    const double q = std::strtod(row[q_col].c_str(), nullptr);
+    if (state < 0 || static_cast<std::size_t>(state) >= num_items ||
+        action < 0 || static_cast<std::size_t>(action) >= num_items) {
+      return util::Status::OutOfRange("Q-table CSV entry out of range");
+    }
+    table.Set(static_cast<model::ItemId>(state),
+              static_cast<model::ItemId>(action), q);
+  }
+  return table;
+}
+
+}  // namespace rlplanner::mdp

@@ -1,0 +1,84 @@
+#ifndef RLPLANNER_MDP_Q_TABLE_H_
+#define RLPLANNER_MDP_Q_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/prereq.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rlplanner::mdp {
+
+/// The learned action-value table `Q(s, e)` of size |I| x |I| (Section
+/// III-C): row = current item (state), column = item the action appends.
+/// Row/column index -1 is not representable; the virtual "empty episode"
+/// start state is handled by the learner, not stored here.
+class QTable {
+ public:
+  /// All-zero table over `num_items` items.
+  explicit QTable(std::size_t num_items);
+
+  std::size_t num_items() const { return num_items_; }
+
+  double Get(model::ItemId state, model::ItemId action) const;
+  void Set(model::ItemId state, model::ItemId action, double value);
+
+  /// SARSA update (Eq. 9):
+  ///   Q(s,e) += alpha * (r + gamma * Q(s', e') - Q(s,e)).
+  void SarsaUpdate(model::ItemId state, model::ItemId action, double reward,
+                   model::ItemId next_state, model::ItemId next_action,
+                   double alpha, double gamma);
+
+  /// Column with the maximum Q value in `state`'s row among actions where
+  /// `allowed(action)` is true; -1 when none is allowed. Ties resolve to the
+  /// lowest id (deterministic recommendation).
+  template <typename AllowedFn>
+  model::ItemId ArgmaxAction(model::ItemId state, AllowedFn allowed) const {
+    model::ItemId best = -1;
+    double best_value = 0.0;
+    for (std::size_t a = 0; a < num_items_; ++a) {
+      const model::ItemId action = static_cast<model::ItemId>(a);
+      if (!allowed(action)) continue;
+      const double value = Get(state, action);
+      if (best < 0 || value > best_value) {
+        best = action;
+        best_value = value;
+      }
+    }
+    return best;
+  }
+
+  /// Multiplies every entry by `factor`. The policy-iteration loop uses
+  /// this to decay a locked-in table when the greedy rollout still violates
+  /// constraints.
+  void Scale(double factor);
+
+  /// Adds independent uniform noise in [0, magnitude) to every entry.
+  /// Used by the policy-iteration restart to re-roll the greedy tie order
+  /// without erasing strong rankings.
+  void AddNoise(util::Rng& rng, double magnitude);
+
+  /// Largest absolute entry (convergence diagnostics).
+  double MaxAbsValue() const;
+
+  /// Fraction of non-zero entries (how much of the state-action space the
+  /// learner visited).
+  double NonZeroFraction() const;
+
+  /// Serializes as CSV ("state,action,q", non-zero entries only).
+  std::string ToCsv() const;
+
+  /// Restores a table from `ToCsv` output; `num_items` fixes the dimension.
+  static util::Result<QTable> FromCsv(std::size_t num_items,
+                                      const std::string& csv_text);
+
+ private:
+  std::size_t num_items_;
+  std::vector<double> values_;  // row-major |I| x |I|
+};
+
+}  // namespace rlplanner::mdp
+
+#endif  // RLPLANNER_MDP_Q_TABLE_H_

@@ -1,0 +1,131 @@
+#include "mdp/reward.h"
+
+#include <cmath>
+
+#include "geo/latlng.h"
+#include "model/topic_vector.h"
+
+namespace rlplanner::mdp {
+
+util::Status RewardWeights::Validate() const {
+  constexpr double kTolerance = 1e-9;
+  if (delta < 0 || beta < 0) {
+    return util::Status::InvalidArgument("delta and beta must be >= 0");
+  }
+  if (std::abs(delta + beta - 1.0) > kTolerance) {
+    return util::Status::InvalidArgument("delta + beta must equal 1");
+  }
+  if (category_weights.empty()) {
+    return util::Status::InvalidArgument("category_weights must be non-empty");
+  }
+  double sum = 0.0;
+  for (double w : category_weights) {
+    if (w < 0) {
+      return util::Status::InvalidArgument("category weights must be >= 0");
+    }
+    sum += w;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return util::Status::InvalidArgument("category weights must sum to 1");
+  }
+  if (epsilon < 0) {
+    return util::Status::InvalidArgument("epsilon must be >= 0");
+  }
+  return util::Status::Ok();
+}
+
+RewardFunction::RewardFunction(const model::TaskInstance& instance,
+                               const RewardWeights& weights)
+    : instance_(&instance), weights_(&weights) {}
+
+std::size_t RewardFunction::RequiredNewIdealTopics() const {
+  const double epsilon = weights_->epsilon;
+  if (epsilon >= 1.0) return static_cast<std::size_t>(epsilon);
+  const double scaled =
+      epsilon * static_cast<double>(instance_->catalog->vocabulary_size());
+  const std::size_t required = static_cast<std::size_t>(std::ceil(scaled));
+  return required == 0 ? 1 : required;
+}
+
+int RewardFunction::TopicCoverageReward(const EpisodeState& state,
+                                        model::ItemId next) const {
+  const model::Item& item = instance_->catalog->item(next);
+  const std::size_t gained = model::NewlyCoveredIdealTopics(
+      state.covered_topics(), item.topics, instance_->soft.ideal_topics);
+  return gained >= RequiredNewIdealTopics() ? 1 : 0;
+}
+
+int RewardFunction::PrerequisiteReward(const EpisodeState& state,
+                                       model::ItemId next) const {
+  const model::Item& item = instance_->catalog->item(next);
+  const int candidate_position = static_cast<int>(state.Length());
+  if (!item.prereqs.SatisfiedAt(state.position_of(), candidate_position,
+                                instance_->hard.gap)) {
+    return 0;
+  }
+  if (instance_->hard.no_consecutive_same_theme && !state.Empty()) {
+    const model::Item& previous =
+        instance_->catalog->item(state.CurrentItem());
+    if (item.primary_theme >= 0 &&
+        item.primary_theme == previous.primary_theme) {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+int RewardFunction::Theta(const EpisodeState& state,
+                          model::ItemId next) const {
+  const int r1 = TopicCoverageReward(state, next);
+  if (r1 == 0) return 0;  // short-circuit; theta = r1 * r2
+  return r1 * PrerequisiteReward(state, next);
+}
+
+double RewardFunction::InterleavingSimilarity(const EpisodeState& state,
+                                              model::ItemId next) const {
+  model::TypeSequence extended = state.type_sequence();
+  extended.push_back(instance_->catalog->item(next).type);
+  return AggregateSimilarity(extended, instance_->soft.interleaving,
+                             weights_->similarity);
+}
+
+double RewardFunction::TypeWeight(model::ItemId next) const {
+  const int category = instance_->catalog->item(next).category;
+  if (category < 0 ||
+      static_cast<std::size_t>(category) >= weights_->category_weights.size()) {
+    return 0.0;
+  }
+  return weights_->category_weights[category];
+}
+
+double RewardFunction::Reward(const EpisodeState& state,
+                              model::ItemId next) const {
+  const int theta = Theta(state, next);
+  if (theta == 0) return 0.0;
+  return weights_->delta * InterleavingSimilarity(state, next) +
+         weights_->beta * TypeWeight(next);
+}
+
+bool RewardFunction::IsFeasible(const EpisodeState& state,
+                                model::ItemId next) const {
+  if (state.Contains(next)) return false;
+  if (instance_->catalog->domain() != model::Domain::kTrip) return true;
+  const model::Item& item = instance_->catalog->item(next);
+  // Time budget: `H = #cr` terminates the itinerary once total visitation
+  // time would exceed the budget (Section III-A).
+  if (state.total_credits() + item.credits >
+      instance_->hard.min_credits + 1e-9) {
+    return false;
+  }
+  if (std::isfinite(instance_->hard.distance_threshold_km) && !state.Empty()) {
+    const double leg = geo::HaversineKm(
+        instance_->catalog->item(state.CurrentItem()).location, item.location);
+    if (state.total_distance_km() + leg >
+        instance_->hard.distance_threshold_km + 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rlplanner::mdp

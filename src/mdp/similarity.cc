@@ -1,0 +1,61 @@
+#include "mdp/similarity.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rlplanner::mdp {
+
+std::vector<int> MatchVector(const model::TypeSequence& sequence,
+                             const model::TypeSequence& permutation) {
+  std::vector<int> match(sequence.size(), 0);
+  const std::size_t overlap = std::min(sequence.size(), permutation.size());
+  for (std::size_t j = 0; j < overlap; ++j) {
+    match[j] = sequence[j] == permutation[j] ? 1 : 0;
+  }
+  return match;
+}
+
+double SequenceSimilarity(const model::TypeSequence& sequence,
+                          const model::TypeSequence& permutation) {
+  if (sequence.empty()) return 0.0;
+  const std::vector<int> match = MatchVector(sequence, permutation);
+  int total = 0;
+  int zeta = 0;
+  int run = 0;
+  for (int bit : match) {
+    total += bit;
+    run = bit ? run + 1 : 0;
+    zeta = std::max(zeta, run);
+  }
+  return static_cast<double>(zeta) * static_cast<double>(total) /
+         static_cast<double>(sequence.size());
+}
+
+double AggregateSimilarity(const model::TypeSequence& sequence,
+                           const model::InterleavingTemplate& templates,
+                           SimilarityMode mode) {
+  if (templates.empty()) return 0.0;
+  if (mode == SimilarityMode::kAverage) {
+    double sum = 0.0;
+    for (const auto& permutation : templates.permutations()) {
+      sum += SequenceSimilarity(sequence, permutation);
+    }
+    return sum / static_cast<double>(templates.size());
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& permutation : templates.permutations()) {
+    best = std::min(best, SequenceSimilarity(sequence, permutation));
+  }
+  return best;
+}
+
+double BestSimilarity(const model::TypeSequence& sequence,
+                      const model::InterleavingTemplate& templates) {
+  double best = 0.0;
+  for (const auto& permutation : templates.permutations()) {
+    best = std::max(best, SequenceSimilarity(sequence, permutation));
+  }
+  return best;
+}
+
+}  // namespace rlplanner::mdp

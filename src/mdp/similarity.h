@@ -1,0 +1,47 @@
+#ifndef RLPLANNER_MDP_SIMILARITY_H_
+#define RLPLANNER_MDP_SIMILARITY_H_
+
+#include <vector>
+
+#include "model/interleaving_template.h"
+
+namespace rlplanner::mdp {
+
+/// Which aggregation Eq. 2 uses over the template permutations. The paper
+/// evaluates both: `AvgSim` (Eq. 7) and the minimum-similarity variant.
+enum class SimilarityMode {
+  kAverage = 0,
+  kMinimum = 1,
+};
+
+/// The Levenshtein-inspired binary match vector `c_I` (Section III-B4):
+/// bit j is 1 iff `sequence[j] == permutation[j]`. Positions of `sequence`
+/// beyond the permutation length count as mismatches. The result has
+/// `sequence.size()` entries.
+std::vector<int> MatchVector(const model::TypeSequence& sequence,
+                             const model::TypeSequence& permutation);
+
+/// `Sim(s, I)^k` (Eq. 6): with `c_I` the match vector over the first
+/// k = |sequence| slots, returns `zeta * sum(c_I) / k` where `zeta` is the
+/// maximum length of a consecutive run of matches. Empty sequences score 0.
+///
+/// Worked example from the paper: sequence {P,S,P,P} against the Example-1
+/// template yields Sim values {0.5, 1, 1.5} and AvgSim 1.
+double SequenceSimilarity(const model::TypeSequence& sequence,
+                          const model::TypeSequence& permutation);
+
+/// `AvgSim(s, IT)^k` (Eq. 7) or its minimum variant over all permutations.
+/// Empty templates score 0.
+double AggregateSimilarity(const model::TypeSequence& sequence,
+                           const model::InterleavingTemplate& templates,
+                           SimilarityMode mode);
+
+/// Max of Eq. 6 over the template permutations — the paper's final plan
+/// score ("the highest value is selected as the final score", Section IV-A).
+/// Ranges in [0, k]; a perfect match of a k-slot permutation scores k.
+double BestSimilarity(const model::TypeSequence& sequence,
+                      const model::InterleavingTemplate& templates);
+
+}  // namespace rlplanner::mdp
+
+#endif  // RLPLANNER_MDP_SIMILARITY_H_

@@ -1,0 +1,200 @@
+#include "model/builder.h"
+
+#include "geo/latlng.h"
+
+namespace rlplanner::model {
+
+TaskBuilder::TaskBuilder(Domain domain) : domain_(domain) {
+  hard_.gap = 1;
+}
+
+TaskBuilder& TaskBuilder::Topics(std::vector<std::string> topics) {
+  if (!items_.empty() && error_.empty()) {
+    error_ = "Topics() must be called before adding items";
+  }
+  vocabulary_ = std::move(topics);
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Primary(std::string code, std::string name,
+                                  std::vector<std::string> topics,
+                                  double credits) {
+  PendingItem item;
+  item.code = std::move(code);
+  item.name = std::move(name);
+  item.type = ItemType::kPrimary;
+  item.topics = std::move(topics);
+  item.credits = credits;
+  items_.push_back(std::move(item));
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Secondary(std::string code, std::string name,
+                                    std::vector<std::string> topics,
+                                    double credits) {
+  PendingItem item;
+  item.code = std::move(code);
+  item.name = std::move(name);
+  item.type = ItemType::kSecondary;
+  item.topics = std::move(topics);
+  item.credits = credits;
+  items_.push_back(std::move(item));
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Requires(std::vector<std::string> codes) {
+  if (items_.empty()) {
+    if (error_.empty()) error_ = "Requires() before any item";
+    return *this;
+  }
+  for (std::string& code : codes) {
+    items_.back().prereq_groups.push_back({std::move(code)});
+  }
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::RequiresAny(std::vector<std::string> codes) {
+  if (items_.empty()) {
+    if (error_.empty()) error_ = "RequiresAny() before any item";
+    return *this;
+  }
+  if (!codes.empty()) items_.back().prereq_groups.push_back(std::move(codes));
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::At(double lat, double lng) {
+  if (items_.empty()) {
+    if (error_.empty()) error_ = "At() before any item";
+    return *this;
+  }
+  items_.back().location = {lat, lng};
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Popularity(double popularity) {
+  if (items_.empty()) {
+    if (error_.empty()) error_ = "Popularity() before any item";
+    return *this;
+  }
+  items_.back().popularity = popularity;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Split(int num_primary, int num_secondary) {
+  hard_.num_primary = num_primary;
+  hard_.num_secondary = num_secondary;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::MinCredits(double credits) {
+  hard_.min_credits = credits;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Gap(int gap) {
+  hard_.gap = gap;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::DistanceThresholdKm(double km) {
+  hard_.distance_threshold_km = km;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::NoConsecutiveSameTheme(bool enabled) {
+  hard_.no_consecutive_same_theme = enabled;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Template(std::string permutation) {
+  template_strings_.push_back(std::move(permutation));
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::IdealTopics(std::vector<std::string> topics) {
+  ideal_topics_ = std::move(topics);
+  return *this;
+}
+
+util::Result<TaskBuilder::Built> TaskBuilder::Build() const {
+  if (!error_.empty()) return util::Status::FailedPrecondition(error_);
+  if (vocabulary_.empty()) {
+    return util::Status::FailedPrecondition("no topic vocabulary declared");
+  }
+
+  Built built{Catalog(domain_, vocabulary_), hard_, SoftConstraints()};
+
+  // Pass 1: add items (prereqs resolved afterwards so forward references
+  // work).
+  for (const PendingItem& pending : items_) {
+    Item item;
+    item.code = pending.code;
+    item.name = pending.name;
+    item.type = pending.type;
+    item.category = pending.type == ItemType::kPrimary ? 0 : 1;
+    item.credits = pending.credits;
+    auto topics = built.catalog.MakeTopicVector(pending.topics);
+    if (!topics.ok()) return topics.status();
+    item.topics = std::move(topics).value();
+    item.primary_theme =
+        pending.topics.empty()
+            ? -1
+            : built.catalog.TopicId(pending.topics.front());
+    item.location = pending.location;
+    item.popularity = pending.popularity;
+    auto added = built.catalog.AddItem(std::move(item));
+    if (!added.ok()) return added.status();
+  }
+
+  // Pass 2: resolve prerequisite codes. The catalog is append-only, so
+  // rebuild with the expressions attached.
+  Catalog final_catalog(domain_, vocabulary_);
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    Item item = built.catalog.item(static_cast<ItemId>(i));
+    PrereqExpr expr;
+    for (const auto& group : items_[i].prereq_groups) {
+      std::vector<ItemId> members;
+      for (const std::string& code : group) {
+        auto found = built.catalog.FindByCode(code);
+        if (!found.ok()) {
+          return util::Status::InvalidArgument(
+              "prerequisite references unknown item: " + code);
+        }
+        members.push_back(found.value());
+      }
+      expr.AddGroup(std::move(members));
+    }
+    item.prereqs = std::move(expr);
+    auto added = final_catalog.AddItem(std::move(item));
+    if (!added.ok()) return added.status();
+  }
+  built.catalog = std::move(final_catalog);
+
+  // Soft constraints.
+  if (ideal_topics_.empty()) {
+    TopicVector ideal(built.catalog.vocabulary_size());
+    for (std::size_t t = 0; t < ideal.size(); ++t) ideal.Set(t);
+    built.soft.ideal_topics = std::move(ideal);
+  } else {
+    auto ideal = built.catalog.MakeTopicVector(ideal_topics_);
+    if (!ideal.ok()) return ideal.status();
+    built.soft.ideal_topics = std::move(ideal).value();
+  }
+  if (!template_strings_.empty()) {
+    auto templates = InterleavingTemplate::FromStrings(template_strings_);
+    if (!templates.ok()) return templates.status();
+    built.soft.interleaving = std::move(templates).value();
+  }
+
+  // Final cross-checks via the normal instance validation.
+  {
+    TaskInstance instance;
+    instance.catalog = &built.catalog;
+    instance.hard = built.hard;
+    instance.soft = built.soft;
+    RLP_RETURN_IF_ERROR(instance.Validate());
+  }
+  return built;
+}
+
+}  // namespace rlplanner::model

@@ -1,0 +1,111 @@
+#ifndef RLPLANNER_MODEL_BUILDER_H_
+#define RLPLANNER_MODEL_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "model/catalog.h"
+#include "model/constraints.h"
+
+namespace rlplanner::model {
+
+/// Fluent construction of a task instance, for users assembling their own
+/// catalog in code rather than loading a CSV:
+///
+/// ```
+///   TaskBuilder builder(Domain::kCourse);
+///   builder.Topics({"algorithms", "ml", "stats"})
+///       .Primary("CS1", "Algorithms", {"algorithms"})
+///       .Secondary("CS2", "Machine Learning", {"ml", "stats"})
+///           .Requires({"CS1"})
+///       .Split(1, 1)
+///       .MinCredits(6)
+///       .Gap(1)
+///       .Template("PS");
+///   auto built = builder.Build();   // Result<TaskBuilder::Built>
+/// ```
+///
+/// `Requires`/`RequiresAny` attach to the most recently added item and may
+/// reference items that are added later; codes are resolved at Build time.
+class TaskBuilder {
+ public:
+  /// The finished product: a catalog and an instance pointing at it. Keep
+  /// the struct alive (and unmoved) while the instance is in use.
+  struct Built {
+    Catalog catalog;
+    HardConstraints hard;
+    SoftConstraints soft;
+
+    TaskInstance Instance() const {
+      TaskInstance instance;
+      instance.catalog = &catalog;
+      instance.hard = hard;
+      instance.soft = soft;
+      return instance;
+    }
+  };
+
+  explicit TaskBuilder(Domain domain);
+
+  /// Declares the topic vocabulary. Must be called before adding items.
+  TaskBuilder& Topics(std::vector<std::string> topics);
+
+  /// Adds a primary item covering the given topic names.
+  TaskBuilder& Primary(std::string code, std::string name,
+                       std::vector<std::string> topics, double credits = 3.0);
+
+  /// Adds a secondary item.
+  TaskBuilder& Secondary(std::string code, std::string name,
+                         std::vector<std::string> topics,
+                         double credits = 3.0);
+
+  /// ANDs single-item prerequisite groups onto the last added item.
+  TaskBuilder& Requires(std::vector<std::string> codes);
+
+  /// ANDs one OR-group onto the last added item.
+  TaskBuilder& RequiresAny(std::vector<std::string> codes);
+
+  /// Trip extras for the last added item.
+  TaskBuilder& At(double lat, double lng);
+  TaskBuilder& Popularity(double popularity);
+
+  /// Hard constraints.
+  TaskBuilder& Split(int num_primary, int num_secondary);
+  TaskBuilder& MinCredits(double credits);
+  TaskBuilder& Gap(int gap);
+  TaskBuilder& DistanceThresholdKm(double km);
+  TaskBuilder& NoConsecutiveSameTheme(bool enabled = true);
+
+  /// Soft constraints. `Template` takes a "PSPS" string and may be called
+  /// repeatedly; `IdealTopics` defaults to the full vocabulary.
+  TaskBuilder& Template(std::string permutation);
+  TaskBuilder& IdealTopics(std::vector<std::string> topics);
+
+  /// Resolves codes, validates everything, and returns the built instance.
+  util::Result<Built> Build() const;
+
+ private:
+  struct PendingItem {
+    std::string code;
+    std::string name;
+    ItemType type = ItemType::kSecondary;
+    std::vector<std::string> topics;
+    double credits = 3.0;
+    // Each group: (is_or_group, codes). AND groups are singletons.
+    std::vector<std::vector<std::string>> prereq_groups;
+    geo::LatLng location;
+    double popularity = 0.0;
+  };
+
+  Domain domain_;
+  std::vector<std::string> vocabulary_;
+  std::vector<PendingItem> items_;
+  HardConstraints hard_;
+  std::vector<std::string> template_strings_;
+  std::vector<std::string> ideal_topics_;
+  std::string error_;  // first recording error, reported at Build
+};
+
+}  // namespace rlplanner::model
+
+#endif  // RLPLANNER_MODEL_BUILDER_H_

@@ -1,0 +1,70 @@
+#include "model/constraints.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace rlplanner::model {
+
+int HardConstraints::HorizonForUniformCredits(double credits_per_item) const {
+  if (credits_per_item <= 0.0) return TotalItems();
+  return static_cast<int>(std::ceil(min_credits / credits_per_item));
+}
+
+util::Status HardConstraints::Validate() const {
+  if (num_primary < 0 || num_secondary < 0) {
+    return util::Status::InvalidArgument("negative primary/secondary count");
+  }
+  if (gap < 1) {
+    return util::Status::InvalidArgument("gap must be >= 1");
+  }
+  if (min_credits < 0) {
+    return util::Status::InvalidArgument("negative credit requirement");
+  }
+  if (!category_min_counts.empty()) {
+    const int category_total = std::accumulate(category_min_counts.begin(),
+                                               category_min_counts.end(), 0);
+    if (category_total > TotalItems()) {
+      std::ostringstream msg;
+      msg << "category minima sum to " << category_total
+          << " which exceeds the total item count " << TotalItems();
+      return util::Status::InvalidArgument(msg.str());
+    }
+    for (int c : category_min_counts) {
+      if (c < 0) {
+        return util::Status::InvalidArgument("negative category minimum");
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status TaskInstance::Validate() const {
+  if (catalog == nullptr) {
+    return util::Status::InvalidArgument("TaskInstance has no catalog");
+  }
+  RLP_RETURN_IF_ERROR(hard.Validate());
+  RLP_RETURN_IF_ERROR(catalog->Validate());
+  if (soft.ideal_topics.size() != catalog->vocabulary_size()) {
+    std::ostringstream msg;
+    msg << "ideal topic vector size " << soft.ideal_topics.size()
+        << " != vocabulary size " << catalog->vocabulary_size();
+    return util::Status::InvalidArgument(msg.str());
+  }
+  if (!soft.interleaving.empty()) {
+    RLP_RETURN_IF_ERROR(
+        soft.interleaving.ValidateCounts(hard.num_primary, hard.num_secondary));
+  }
+  if (catalog->CountByType(ItemType::kPrimary) < hard.num_primary) {
+    return util::Status::FailedPrecondition(
+        "catalog has fewer primary items than the hard constraint requires");
+  }
+  if (catalog->size() <
+      static_cast<std::size_t>(hard.num_primary + hard.num_secondary)) {
+    return util::Status::FailedPrecondition(
+        "catalog smaller than the required plan length");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace rlplanner::model

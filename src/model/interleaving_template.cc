@@ -1,0 +1,67 @@
+#include "model/interleaving_template.h"
+
+#include <sstream>
+
+namespace rlplanner::model {
+
+util::Result<InterleavingTemplate> InterleavingTemplate::FromStrings(
+    const std::vector<std::string>& permutations) {
+  InterleavingTemplate out;
+  for (const std::string& text : permutations) {
+    TypeSequence sequence;
+    sequence.reserve(text.size());
+    for (char c : text) {
+      switch (c) {
+        case 'P':
+        case 'p':
+          sequence.push_back(ItemType::kPrimary);
+          break;
+        case 'S':
+        case 's':
+          sequence.push_back(ItemType::kSecondary);
+          break;
+        default:
+          return util::Status::InvalidArgument(
+              std::string("invalid template character '") + c + "' in " +
+              text);
+      }
+    }
+    out.Add(std::move(sequence));
+  }
+  return out;
+}
+
+void InterleavingTemplate::Add(TypeSequence permutation) {
+  permutations_.push_back(std::move(permutation));
+}
+
+util::Status InterleavingTemplate::ValidateCounts(int num_primary,
+                                                  int num_secondary) const {
+  for (std::size_t i = 0; i < permutations_.size(); ++i) {
+    int primary = 0;
+    int secondary = 0;
+    for (ItemType type : permutations_[i]) {
+      (type == ItemType::kPrimary ? primary : secondary) += 1;
+    }
+    if (primary != num_primary || secondary != num_secondary) {
+      std::ostringstream msg;
+      msg << "template permutation " << i << " has " << primary
+          << " primary / " << secondary << " secondary slots, expected "
+          << num_primary << " / " << num_secondary;
+      return util::Status::InvalidArgument(msg.str());
+    }
+  }
+  return util::Status::Ok();
+}
+
+std::string InterleavingTemplate::ToCompactString(
+    const TypeSequence& sequence) {
+  std::string out;
+  out.reserve(sequence.size());
+  for (ItemType type : sequence) {
+    out.push_back(type == ItemType::kPrimary ? 'P' : 'S');
+  }
+  return out;
+}
+
+}  // namespace rlplanner::model

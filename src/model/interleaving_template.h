@@ -1,0 +1,60 @@
+#ifndef RLPLANNER_MODEL_INTERLEAVING_TEMPLATE_H_
+#define RLPLANNER_MODEL_INTERLEAVING_TEMPLATE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/item.h"
+#include "util/status.h"
+
+namespace rlplanner::model {
+
+/// One ideal composition `I`: a permutation of primary/secondary slots.
+using TypeSequence = std::vector<ItemType>;
+
+/// The expert-provided interleaving template `IT = {I_1, ..., I_|IT|}`
+/// (Section II-A3): a set of ideal permutations of `#primary` primary and
+/// `#secondary` secondary slots that a recommended plan should follow as
+/// closely as possible.
+class InterleavingTemplate {
+ public:
+  InterleavingTemplate() = default;
+
+  /// Parses compact strings like "PPSPSS" (P=primary, S=secondary), one per
+  /// element. Rejects characters outside {P, S, p, s}.
+  static util::Result<InterleavingTemplate> FromStrings(
+      const std::vector<std::string>& permutations);
+
+  /// Appends a permutation.
+  void Add(TypeSequence permutation);
+
+  bool empty() const { return permutations_.empty(); }
+  std::size_t size() const { return permutations_.size(); }
+  const std::vector<TypeSequence>& permutations() const {
+    return permutations_;
+  }
+  const TypeSequence& permutation(std::size_t index) const {
+    return permutations_.at(index);
+  }
+
+  /// Length of permutations (0 when empty). All permutations in a valid
+  /// template have equal length `#primary + #secondary`.
+  std::size_t length() const {
+    return permutations_.empty() ? 0 : permutations_.front().size();
+  }
+
+  /// Checks that every permutation has exactly `num_primary` primary and
+  /// `num_secondary` secondary slots.
+  util::Status ValidateCounts(int num_primary, int num_secondary) const;
+
+  /// Renders a permutation as "PPSPSS".
+  static std::string ToCompactString(const TypeSequence& sequence);
+
+ private:
+  std::vector<TypeSequence> permutations_;
+};
+
+}  // namespace rlplanner::model
+
+#endif  // RLPLANNER_MODEL_INTERLEAVING_TEMPLATE_H_

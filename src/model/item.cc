@@ -1,0 +1,15 @@
+#include "model/item.h"
+
+namespace rlplanner::model {
+
+const char* ItemTypeName(ItemType type) {
+  switch (type) {
+    case ItemType::kPrimary:
+      return "primary";
+    case ItemType::kSecondary:
+      return "secondary";
+  }
+  return "unknown";
+}
+
+}  // namespace rlplanner::model

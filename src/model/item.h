@@ -1,0 +1,57 @@
+#ifndef RLPLANNER_MODEL_ITEM_H_
+#define RLPLANNER_MODEL_ITEM_H_
+
+#include <string>
+
+#include "geo/latlng.h"
+#include "model/prereq.h"
+#include "model/topic_vector.h"
+
+namespace rlplanner::model {
+
+/// Whether an item is required for the task (`primary`: core course /
+/// must-visit POI) or optional (`secondary`: elective / optional POI).
+enum class ItemType {
+  kPrimary = 0,
+  kSecondary = 1,
+};
+
+/// Short display name ("primary" / "secondary").
+const char* ItemTypeName(ItemType type);
+
+/// An item `m = <type^m, cr^m, pre^m, T^m>` (Section II-A1), plus the
+/// dataset-specific attributes the evaluation needs:
+/// - `category` generalizes the primary/secondary split to the Univ-2
+///   sub-discipline buckets (6 categories with weights w1..w6);
+/// - `location`/`popularity`/`theme` support the trip domain (distance
+///   threshold, popularity-based scoring, no-consecutive-same-theme gap).
+struct Item {
+  /// Dense id within the owning catalog.
+  ItemId id = -1;
+  /// Stable code such as "CS 675" or a POI slug.
+  std::string code;
+  /// Human-readable name ("Machine Learning", "Louvre Museum").
+  std::string name;
+  ItemType type = ItemType::kSecondary;
+  /// Weight-category index; 0=primary, 1=secondary unless a dataset defines
+  /// finer categories (Univ-2 uses 0..5).
+  int category = 1;
+  /// Credit hours (courses) or visit hours (POIs): `cr^m`.
+  double credits = 0.0;
+  /// Antecedents `pre^m`.
+  PrereqExpr prereqs;
+  /// Boolean topic/theme vector `T^m` over the catalog vocabulary.
+  TopicVector topics;
+  /// Trip domain only: POI coordinates.
+  geo::LatLng location;
+  /// Trip domain only: popularity on the paper's 1..5 scale (gold standard
+  /// trip score is "the highest popularity score of any POI" = 5).
+  double popularity = 0.0;
+  /// Trip domain only: dominant theme id used by the consecutive-theme gap
+  /// rule; -1 when unused.
+  int primary_theme = -1;
+};
+
+}  // namespace rlplanner::model
+
+#endif  // RLPLANNER_MODEL_ITEM_H_

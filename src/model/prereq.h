@@ -1,0 +1,60 @@
+#ifndef RLPLANNER_MODEL_PREREQ_H_
+#define RLPLANNER_MODEL_PREREQ_H_
+
+#include <string>
+#include <vector>
+
+namespace rlplanner::model {
+
+/// Identifier of an item inside its catalog (dense index).
+using ItemId = int;
+
+/// Antecedent/prerequisite expression `pre^m` in conjunctive normal form:
+/// every group must be satisfied (AND), and a group is satisfied by any one
+/// of its members (OR). This covers both paper forms —
+/// "Linear Algebra AND Data Mining" is two singleton groups, and
+/// "Data Mining OR Data Analytics" is one two-member group.
+class PrereqExpr {
+ public:
+  PrereqExpr() = default;
+
+  /// Expression with no requirements (always satisfied).
+  static PrereqExpr None() { return PrereqExpr(); }
+
+  /// AND of single items.
+  static PrereqExpr All(std::vector<ItemId> items);
+
+  /// OR of a single group of items.
+  static PrereqExpr AnyOf(std::vector<ItemId> items);
+
+  /// Appends an OR-group (conjoined with existing groups). Empty groups are
+  /// ignored.
+  void AddGroup(std::vector<ItemId> group);
+
+  bool empty() const { return groups_.empty(); }
+  const std::vector<std::vector<ItemId>>& groups() const { return groups_; }
+
+  /// Evaluates the expression against a partial plan.
+  ///
+  /// `position_of[item]` is the 0-based position of each already-chosen item
+  /// or -1, `candidate_position` is where the new item would be placed, and
+  /// `gap` is the minimum allowed distance (the paper's `Dist(pre^m, m) >=
+  /// gap`, so a group member at position j satisfies its group iff
+  /// `candidate_position - j >= gap`).
+  bool SatisfiedAt(const std::vector<int>& position_of, int candidate_position,
+                   int gap) const;
+
+  /// All item ids referenced anywhere in the expression (with duplicates
+  /// removed, ascending).
+  std::vector<ItemId> ReferencedItems() const;
+
+  /// Debug form like "(3) AND (1 OR 2)".
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<ItemId>> groups_;
+};
+
+}  // namespace rlplanner::model
+
+#endif  // RLPLANNER_MODEL_PREREQ_H_

@@ -1,0 +1,26 @@
+#include "model/topic_vector.h"
+
+namespace rlplanner::model {
+
+std::size_t NewlyCoveredIdealTopics(const TopicVector& current,
+                                    const TopicVector& item_topics,
+                                    const TopicVector& ideal) {
+  const TopicVector fresh = item_topics.AndNot(current);
+  return fresh.IntersectCount(ideal);
+}
+
+double CoverageFraction(const TopicVector& current, const TopicVector& ideal) {
+  const std::size_t ideal_count = ideal.Count();
+  if (ideal_count == 0) return 1.0;
+  return static_cast<double>(current.IntersectCount(ideal)) /
+         static_cast<double>(ideal_count);
+}
+
+double JaccardSimilarity(const TopicVector& a, const TopicVector& b) {
+  const std::size_t inter = a.IntersectCount(b);
+  const std::size_t uni = a.Count() + b.Count() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace rlplanner::model

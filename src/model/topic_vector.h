@@ -1,0 +1,28 @@
+#ifndef RLPLANNER_MODEL_TOPIC_VECTOR_H_
+#define RLPLANNER_MODEL_TOPIC_VECTOR_H_
+
+#include "util/bitset.h"
+
+namespace rlplanner::model {
+
+/// A topic/theme vector `T^m`: Boolean vector over the dataset vocabulary.
+using TopicVector = util::DynamicBitset;
+
+/// Number of *ideal* topics newly covered when an item with topics
+/// `item_topics` is added to a session whose accumulated coverage is
+/// `current`: |T_ideal ∩ (T_current ∪ T_m) \ T_current| (Eq. 3's left side).
+std::size_t NewlyCoveredIdealTopics(const TopicVector& current,
+                                    const TopicVector& item_topics,
+                                    const TopicVector& ideal);
+
+/// Fraction of `ideal`'s set bits covered by `current`; 1.0 when `ideal` is
+/// empty (vacuous coverage).
+double CoverageFraction(const TopicVector& current, const TopicVector& ideal);
+
+/// Jaccard similarity |a ∩ b| / |a ∪ b|; 1.0 when both are empty. Used by
+/// topic-space policy transfer to match items across catalogs.
+double JaccardSimilarity(const TopicVector& a, const TopicVector& b);
+
+}  // namespace rlplanner::model
+
+#endif  // RLPLANNER_MODEL_TOPIC_VECTOR_H_

@@ -1,0 +1,47 @@
+#ifndef RLPLANNER_RL_ACTION_MASK_H_
+#define RLPLANNER_RL_ACTION_MASK_H_
+
+#include "mdp/episode_state.h"
+#include "mdp/reward.h"
+
+namespace rlplanner::rl {
+
+/// Decides which actions (items to append) are admissible from an episode
+/// state. Both the SARSA behavior policy and the recommendation traversal
+/// use this; the EDA baseline deliberately runs with masking disabled so it
+/// reproduces the paper's observation that a greedy next-step recommender
+/// frequently violates the hard constraints.
+class ActionMask {
+ public:
+  /// `mask_type_overflow` additionally enforces, by one-step lookahead, that
+  /// picking the item cannot make the primary/secondary split or the
+  /// per-category minima unsatisfiable within the remaining horizon.
+  ActionMask(const mdp::RewardFunction& reward, int horizon,
+             bool mask_type_overflow);
+
+  /// True when appending `item` is admissible: not already chosen, within
+  /// the trip budgets, and (when enabled) not a dead end for the split.
+  bool Allowed(const mdp::EpisodeState& state, model::ItemId item) const;
+
+  /// True when at least one action is admissible from `state`.
+  bool AnyAllowed(const mdp::EpisodeState& state) const;
+
+  int horizon() const { return horizon_; }
+
+ private:
+  bool SplitStillSatisfiable(const mdp::EpisodeState& state,
+                             model::ItemId item) const;
+  // When every remaining primary is needed, ensures each unplaced primary
+  // can still be scheduled with its antecedent gap before the horizon.
+  bool AntecedentsStillSchedulable(const mdp::EpisodeState& state,
+                                   model::ItemId candidate,
+                                   int primary_needed) const;
+
+  const mdp::RewardFunction* reward_;
+  int horizon_;
+  bool mask_type_overflow_;
+};
+
+}  // namespace rlplanner::rl
+
+#endif  // RLPLANNER_RL_ACTION_MASK_H_

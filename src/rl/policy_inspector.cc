@@ -1,0 +1,100 @@
+#include "rl/policy_inspector.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace rlplanner::rl {
+
+PolicyInspector::PolicyInspector(const mdp::QTable& q,
+                                 const model::Catalog& catalog)
+    : q_(&q), catalog_(&catalog) {}
+
+std::vector<PolicyEdge> PolicyInspector::TopActions(model::ItemId state,
+                                                    int k) const {
+  std::vector<PolicyEdge> edges;
+  if (state < 0 || static_cast<std::size_t>(state) >= q_->num_items()) {
+    return edges;
+  }
+  for (std::size_t a = 0; a < q_->num_items(); ++a) {
+    const auto action = static_cast<model::ItemId>(a);
+    if (action == state) continue;
+    const double value = q_->Get(state, action);
+    if (value != 0.0) edges.push_back({state, action, value});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const PolicyEdge& a, const PolicyEdge& b) {
+              return a.q_value > b.q_value;
+            });
+  if (k >= 0 && edges.size() > static_cast<std::size_t>(k)) {
+    edges.resize(static_cast<std::size_t>(k));
+  }
+  return edges;
+}
+
+std::vector<PolicyEdge> PolicyInspector::TopTransitions(int k) const {
+  std::vector<PolicyEdge> edges;
+  for (std::size_t s = 0; s < q_->num_items(); ++s) {
+    for (std::size_t a = 0; a < q_->num_items(); ++a) {
+      if (s == a) continue;
+      const double value = q_->Get(static_cast<model::ItemId>(s),
+                                   static_cast<model::ItemId>(a));
+      if (value != 0.0) {
+        edges.push_back({static_cast<model::ItemId>(s),
+                         static_cast<model::ItemId>(a), value});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const PolicyEdge& a, const PolicyEdge& b) {
+              return a.q_value > b.q_value;
+            });
+  if (k >= 0 && edges.size() > static_cast<std::size_t>(k)) {
+    edges.resize(static_cast<std::size_t>(k));
+  }
+  return edges;
+}
+
+std::vector<model::ItemId> PolicyInspector::GreedySuccessors() const {
+  std::vector<model::ItemId> successors(q_->num_items(), -1);
+  for (std::size_t s = 0; s < q_->num_items(); ++s) {
+    const auto state = static_cast<model::ItemId>(s);
+    model::ItemId best = -1;
+    double best_value = 0.0;
+    for (std::size_t a = 0; a < q_->num_items(); ++a) {
+      if (s == a) continue;
+      const double value = q_->Get(state, static_cast<model::ItemId>(a));
+      if (value > best_value) {
+        best = static_cast<model::ItemId>(a);
+        best_value = value;
+      }
+    }
+    successors[s] = best;
+  }
+  return successors;
+}
+
+std::string PolicyInspector::ToDot(int k) const {
+  const std::vector<PolicyEdge> edges = TopTransitions(k);
+  std::set<model::ItemId> nodes;
+  for (const PolicyEdge& edge : edges) {
+    nodes.insert(edge.from);
+    nodes.insert(edge.to);
+  }
+  std::ostringstream out;
+  out << "digraph policy {\n  rankdir=LR;\n";
+  for (model::ItemId node : nodes) {
+    out << "  n" << node << " [label=\"" << catalog_->item(node).code
+        << "\"];\n";
+  }
+  for (const PolicyEdge& edge : edges) {
+    out << "  n" << edge.from << " -> n" << edge.to << " [label=\""
+        << util::FormatDouble(edge.q_value, 2) << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace rlplanner::rl

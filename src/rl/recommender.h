@@ -1,0 +1,56 @@
+#ifndef RLPLANNER_RL_RECOMMENDER_H_
+#define RLPLANNER_RL_RECOMMENDER_H_
+
+#include "mdp/q_table.h"
+#include "mdp/reward.h"
+#include "model/plan.h"
+#include "rl/action_mask.h"
+
+namespace rlplanner::rl {
+
+/// Recommendation-phase parameters (Algorithm 1, lines 15-24).
+struct RecommendConfig {
+  /// Starting item s_1 of the plan. Must be a valid item id.
+  model::ItemId start_item = 0;
+  /// Apply the same split-lookahead masking used during learning.
+  bool mask_type_overflow = true;
+  /// Discount used for the one-step-lookahead value R + gamma * max Q;
+  /// should match the learner's gamma.
+  double gamma = 0.95;
+  /// Items the traversal must never pick ("never recommend X"); the start
+  /// item is not subject to exclusion.
+  std::vector<model::ItemId> excluded;
+};
+
+/// Recommends a plan from a learned policy: starting at `start_item`, it
+/// repeatedly moves to the admissible unchosen item with the maximum Q value
+/// until the plan has H items (courses) or the time budget is exhausted
+/// (trips).
+model::Plan RecommendPlan(const mdp::QTable& q,
+                          const model::TaskInstance& instance,
+                          const mdp::RewardFunction& reward,
+                          const RecommendConfig& config);
+
+/// Beam-search parameters for RecommendPlanBeam.
+struct BeamConfig {
+  /// Parallel partial plans kept per step.
+  int width = 4;
+  /// Successors expanded per partial plan per step.
+  int expansion = 6;
+};
+
+/// Beam-search variant of the greedy traversal: keeps `width` partial plans,
+/// expands each with its `expansion` best actions (same theta/reward/Q
+/// ordering as the greedy walk), prunes by (fewest constraint-violating
+/// steps, largest cumulative Eq. 2 reward), and finally returns the
+/// completed plan with the best (hard-constraint satisfaction, domain
+/// score). Strictly generalizes RecommendPlan (width 1, expansion 1).
+model::Plan RecommendPlanBeam(const mdp::QTable& q,
+                              const model::TaskInstance& instance,
+                              const mdp::RewardFunction& reward,
+                              const RecommendConfig& config,
+                              const BeamConfig& beam);
+
+}  // namespace rlplanner::rl
+
+#endif  // RLPLANNER_RL_RECOMMENDER_H_

@@ -1,0 +1,215 @@
+#include "rl/sarsa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "mdp/cmdp.h"
+#include "rl/recommender.h"
+
+namespace rlplanner::rl {
+
+SarsaLearner::SarsaLearner(const model::TaskInstance& instance,
+                           const mdp::RewardFunction& reward,
+                           const SarsaConfig& config, std::uint64_t seed)
+    : instance_(&instance),
+      reward_(&reward),
+      config_(config),
+      rng_(seed) {}
+
+int SarsaLearner::Horizon() const {
+  if (instance_->catalog->domain() == model::Domain::kTrip) {
+    // Trip episodes end when the time budget is exhausted; the item count is
+    // only capped by the catalog size.
+    return static_cast<int>(instance_->catalog->size());
+  }
+  return instance_->hard.TotalItems();
+}
+
+model::ItemId SarsaLearner::PickStart() {
+  if (config_.start_item >= 0) return config_.start_item;
+  const auto primaries =
+      instance_->catalog->ItemsOfType(model::ItemType::kPrimary);
+  if (!primaries.empty()) {
+    return primaries[rng_.NextIndex(primaries.size())];
+  }
+  return static_cast<model::ItemId>(
+      rng_.NextIndex(instance_->catalog->size()));
+}
+
+model::ItemId SarsaLearner::SelectAction(const mdp::EpisodeState& state,
+                                         const mdp::QTable& q,
+                                         const ActionMask& mask,
+                                         double explore_epsilon) {
+  const std::size_t n = instance_->catalog->size();
+  std::vector<model::ItemId> allowed;
+  allowed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto item = static_cast<model::ItemId>(i);
+    if (mask.Allowed(state, item)) allowed.push_back(item);
+  }
+  if (allowed.empty()) return -1;
+
+  // Exploration applies to both behavior policies: a pure argmax-R policy
+  // only ever visits one trajectory, leaving the Q-table empty everywhere
+  // else (the paper's Python implementation gets its exploration from the
+  // abundant exact-tie random picks; our reward has fewer exact ties, so a
+  // small epsilon restores the same coverage).
+  if (rng_.NextBernoulli(explore_epsilon)) {
+    return allowed[rng_.NextIndex(allowed.size())];
+  }
+
+  // Greedy on immediate reward (Algorithm 1) or on Q, random tie-break.
+  std::vector<model::ItemId> best;
+  double best_value = 0.0;
+  const model::ItemId current = state.CurrentItem();
+  for (model::ItemId item : allowed) {
+    double value;
+    if (config_.exploration == ExplorationMode::kRewardGreedy) {
+      value = reward_->Reward(state, item);
+    } else {
+      value = current >= 0 ? q.Get(current, item) : 0.0;
+    }
+    if (best.empty() || value > best_value + 1e-12) {
+      best.assign(1, item);
+      best_value = value;
+    } else if (value >= best_value - 1e-12) {
+      best.push_back(item);
+    }
+  }
+  return best[rng_.NextIndex(best.size())];
+}
+
+void SarsaLearner::RunEpisode(mdp::QTable& q, const ActionMask& mask,
+                              double explore_epsilon) {
+  const int horizon = Horizon();
+  mdp::EpisodeState state(*instance_);
+  double episode_return = 0.0;
+
+  // Seed the episode with the starting item (Algorithm 1 line 3).
+  const model::ItemId start = PickStart();
+  state.Add(start);
+
+  // Choose the first action from the start state.
+  model::ItemId action = SelectAction(state, q, mask, explore_epsilon);
+  model::ItemId current = start;
+  while (action >= 0 && static_cast<int>(state.Length()) < horizon) {
+    const double reward = reward_->Reward(state, action);
+    episode_return += reward;
+    state.Add(action);
+
+    // Choose e' from s' (on-policy), then apply the TD update (Eq. 9 for
+    // SARSA; Q-learning/Expected-SARSA substitute their own targets).
+    model::ItemId next_action = -1;
+    if (static_cast<int>(state.Length()) < horizon) {
+      next_action = SelectAction(state, q, mask, explore_epsilon);
+    }
+    if (config_.update_rule == UpdateRule::kSarsa) {
+      q.SarsaUpdate(current, action, reward, action, next_action,
+                    config_.alpha, config_.gamma);
+    } else {
+      const double continuation =
+          ContinuationValue(q, state, next_action, mask, explore_epsilon);
+      const double old_value = q.Get(current, action);
+      q.Set(current, action,
+            old_value + config_.alpha *
+                            (reward + config_.gamma * continuation -
+                             old_value));
+    }
+
+    current = action;
+    action = next_action;
+  }
+  episode_returns_.push_back(episode_return);
+}
+
+double SarsaLearner::ContinuationValue(const mdp::QTable& q,
+                                       const mdp::EpisodeState& next_state,
+                                       model::ItemId next_action,
+                                       const ActionMask& mask,
+                                       double explore_epsilon) const {
+  if (next_action < 0) return 0.0;  // terminal
+  const model::ItemId next_item = next_state.CurrentItem();
+  if (next_item < 0) return 0.0;
+
+  std::vector<model::ItemId> allowed;
+  const std::size_t n = instance_->catalog->size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto item = static_cast<model::ItemId>(i);
+    if (mask.Allowed(next_state, item)) allowed.push_back(item);
+  }
+  if (allowed.empty()) return 0.0;
+
+  double max_q = q.Get(next_item, allowed.front());
+  double sum_q = 0.0;
+  for (model::ItemId item : allowed) {
+    const double value = q.Get(next_item, item);
+    max_q = std::max(max_q, value);
+    sum_q += value;
+  }
+  if (config_.update_rule == UpdateRule::kQLearning) return max_q;
+  // Expected SARSA under the epsilon-greedy mixture: with probability
+  // epsilon a uniform action, otherwise the greedy one.
+  const double uniform = sum_q / static_cast<double>(allowed.size());
+  return explore_epsilon * uniform + (1.0 - explore_epsilon) * max_q;
+}
+
+mdp::QTable SarsaLearner::Learn() {
+  const std::size_t n = instance_->catalog->size();
+  mdp::QTable q(n);
+  episode_returns_.clear();
+  episode_returns_.reserve(static_cast<std::size_t>(config_.num_episodes));
+  const ActionMask mask(*reward_, Horizon(), config_.mask_type_overflow);
+
+  // Policy iteration (Section III-C): alternate SARSA policy evaluation
+  // with a greedy-rollout policy check. If the greedy policy still violates
+  // a hard constraint after a round, the tie-order it locked into is bad:
+  // decay the table and explore more widely in the next round.
+  const int rounds = std::max(1, config_.policy_rounds);
+  const int per_round = std::max(1, config_.num_episodes / rounds);
+  const mdp::CmdpSpec spec = mdp::CmdpSpec::FromInstance(*instance_);
+  double explore = config_.explore_epsilon;
+
+  RecommendConfig rollout_config;
+  rollout_config.start_item =
+      config_.start_item >= 0 ? config_.start_item : PickStart();
+  rollout_config.mask_type_overflow = config_.mask_type_overflow;
+  rollout_config.gamma = config_.gamma;
+  auto policy_is_safe = [&](const mdp::QTable& table) {
+    return spec.Satisfied(
+        RecommendPlan(table, *instance_, *reward_, rollout_config));
+  };
+
+  std::optional<mdp::QTable> last_safe;
+  int episodes_done = 0;
+  for (int round = 0; episodes_done < config_.num_episodes; ++round) {
+    const int target =
+        round >= rounds - 1 ? config_.num_episodes
+                            : std::min(config_.num_episodes,
+                                       episodes_done + per_round);
+    for (; episodes_done < target; ++episodes_done) {
+      RunEpisode(q, mask, explore);
+    }
+    if (rounds == 1) continue;
+    if (policy_is_safe(q)) {
+      last_safe = q;
+      explore = config_.explore_epsilon;
+    } else {
+      // The greedy policy's tie order is locked in and unsafe: decay the
+      // table and jitter it so the next round's rollout resolves exact ties
+      // differently (Algorithm 1's "Ensure: a policy satisfying P_hard").
+      q.Scale(config_.restart_decay);
+      q.AddNoise(rng_, 0.05);
+      explore = std::min(0.5, explore + 0.1);
+    }
+  }
+  // Prefer the final table, but never hand back an unsafe policy when a
+  // safe snapshot was observed during the iteration.
+  if (rounds > 1 && last_safe.has_value() && !policy_is_safe(q)) {
+    return *std::move(last_safe);
+  }
+  return q;
+}
+
+}  // namespace rlplanner::rl

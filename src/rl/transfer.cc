@@ -1,0 +1,75 @@
+#include "rl/transfer.h"
+
+#include "model/topic_vector.h"
+
+namespace rlplanner::rl {
+
+namespace {
+
+// Projects `topics` (over `from`'s vocabulary) into `to`'s vocabulary by
+// topic name; topics absent from `to` are dropped.
+model::TopicVector ProjectTopics(const model::TopicVector& topics,
+                                 const model::Catalog& from,
+                                 const model::Catalog& to) {
+  model::TopicVector projected(to.vocabulary_size());
+  for (std::size_t i = 0; i < from.vocabulary_size(); ++i) {
+    if (!topics.Test(i)) continue;
+    const int target_id = to.TopicId(from.vocabulary()[i]);
+    if (target_id >= 0) projected.Set(static_cast<std::size_t>(target_id));
+  }
+  return projected;
+}
+
+}  // namespace
+
+std::vector<model::ItemId> PolicyTransfer::MatchByTopics(
+    const model::Catalog& source, const model::Catalog& target) {
+  std::vector<model::ItemId> match(target.size(), -1);
+  for (const model::Item& target_item : target.items()) {
+    // Identical item codes (shared courses between programs of the same
+    // university) map directly.
+    auto same_code = source.FindByCode(target_item.code);
+    if (same_code.ok()) {
+      match[target_item.id] = same_code.value();
+      continue;
+    }
+    const model::TopicVector projected =
+        ProjectTopics(target_item.topics, target, source);
+    double best_similarity = 0.0;
+    model::ItemId best = -1;
+    for (const model::Item& source_item : source.items()) {
+      const double similarity =
+          model::JaccardSimilarity(projected, source_item.topics);
+      if (projected.None() && source_item.topics.None()) {
+        // Both empty: Jaccard is vacuously 1 but carries no signal; skip.
+        continue;
+      }
+      if (best < 0 || similarity > best_similarity + 1e-12) {
+        if (similarity > 0.0) {
+          best = source_item.id;
+          best_similarity = similarity;
+        }
+      }
+    }
+    match[target_item.id] = best;
+  }
+  return match;
+}
+
+mdp::QTable PolicyTransfer::MapAcrossCatalogs(const mdp::QTable& source_q,
+                                              const model::Catalog& source,
+                                              const model::Catalog& target) {
+  const std::vector<model::ItemId> match = MatchByTopics(source, target);
+  mdp::QTable out(target.size());
+  for (std::size_t s = 0; s < target.size(); ++s) {
+    if (match[s] < 0) continue;
+    for (std::size_t a = 0; a < target.size(); ++a) {
+      if (a == s || match[a] < 0) continue;
+      out.Set(static_cast<model::ItemId>(s), static_cast<model::ItemId>(a),
+              source_q.Get(match[s], match[a]));
+    }
+  }
+  return out;
+}
+
+}  // namespace rlplanner::rl

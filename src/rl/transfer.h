@@ -1,0 +1,42 @@
+#ifndef RLPLANNER_RL_TRANSFER_H_
+#define RLPLANNER_RL_TRANSFER_H_
+
+#include <vector>
+
+#include "mdp/q_table.h"
+#include "model/catalog.h"
+
+namespace rlplanner::rl {
+
+/// Policy transfer across task instances (Section IV-D).
+///
+/// Two regimes:
+/// - *Shared catalog* (M.S. DS-CT <-> M.S. CS at Univ-1): both programs draw
+///   from the same university catalog, so the Q-table indices already agree
+///   and the source table can be reused verbatim; only the target instance's
+///   constraints change. No mapping is needed.
+/// - *Disjoint catalogs* (NYC <-> Paris): items differ, so each target item
+///   is matched to its most theme-similar source item and Q values are
+///   pulled through that mapping.
+class PolicyTransfer {
+ public:
+  /// For each target item, the id of the most similar source item under
+  /// Jaccard similarity of theme vectors *after aligning the vocabularies by
+  /// topic name* (e.g. Paris "museum" aligns with NYC "museum" even though
+  /// the vocabularies have different sizes/orders). Ties resolve to the
+  /// lowest source id.
+  static std::vector<model::ItemId> MatchByTopics(
+      const model::Catalog& source, const model::Catalog& target);
+
+  /// Builds a Q-table over `target`'s items with
+  /// `Q_t(s, a) = Q_s(match[s], match[a])`. Entries where either endpoint
+  /// maps to itself across catalogs keep the source value; a target item
+  /// with no positive-similarity match gets all-zero rows/columns.
+  static mdp::QTable MapAcrossCatalogs(const mdp::QTable& source_q,
+                                       const model::Catalog& source,
+                                       const model::Catalog& target);
+};
+
+}  // namespace rlplanner::rl
+
+#endif  // RLPLANNER_RL_TRANSFER_H_

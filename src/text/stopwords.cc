@@ -1,0 +1,37 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+#include <ranges>
+
+namespace rlplanner::text {
+
+namespace {
+
+// Sorted so we can binary-search. Mix of classic English stopwords and
+// curriculum boilerplate that carries no topical signal.
+constexpr std::array<std::string_view, 58> kStopwords = {
+    "a",        "about",    "advanced", "an",          "and",
+    "applied",  "are",      "as",       "at",          "basic",
+    "be",       "by",       "concepts", "course",      "design",
+    "elective", "elements", "for",      "foundations", "from",
+    "fundamentals", "general", "i",      "ii",          "iii",
+    "in",       "independent", "intro", "introduction", "is",
+    "issues",   "it",       "its",      "master",      "masters",
+    "methods",  "modern",   "of",       "on",          "or",
+    "practical", "principles", "project", "seminar",   "special",
+    "studies",  "study",    "techniques", "the",       "their",
+    "these",    "thesis",   "to",       "topics",      "was",
+    "were",     "with",     "workshop",
+};
+
+static_assert(std::ranges::is_sorted(kStopwords),
+              "stopword list must stay sorted for binary_search");
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), word);
+}
+
+}  // namespace rlplanner::text

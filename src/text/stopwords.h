@@ -1,0 +1,15 @@
+#ifndef RLPLANNER_TEXT_STOPWORDS_H_
+#define RLPLANNER_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace rlplanner::text {
+
+/// True when `word` (already lowercase) is an English stopword or a
+/// curriculum boilerplate word ("introduction", "advanced", "topics", ...)
+/// that the paper's topic extraction discards before forming topic vectors.
+bool IsStopword(std::string_view word);
+
+}  // namespace rlplanner::text
+
+#endif  // RLPLANNER_TEXT_STOPWORDS_H_

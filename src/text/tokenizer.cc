@@ -1,0 +1,31 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace rlplanner::text {
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool has_letter = false;
+  auto flush = [&] {
+    if (!current.empty() && has_letter) tokens.push_back(current);
+    current.clear();
+    has_letter = false;
+  };
+  for (char raw : input) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+      has_letter = true;
+    } else if (std::isdigit(c)) {
+      current.push_back(raw);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace rlplanner::text

@@ -1,0 +1,18 @@
+#ifndef RLPLANNER_TEXT_TOKENIZER_H_
+#define RLPLANNER_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlplanner::text {
+
+/// Splits `input` into lowercase word tokens. A token is a maximal run of
+/// ASCII letters or digits; everything else is a separator. Pure-digit
+/// tokens (course numbers like "675") are dropped, since they never form
+/// topics in the paper's extraction scheme.
+std::vector<std::string> Tokenize(std::string_view input);
+
+}  // namespace rlplanner::text
+
+#endif  // RLPLANNER_TEXT_TOKENIZER_H_

@@ -1,0 +1,50 @@
+#include "text/topic_extractor.h"
+
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace rlplanner::text {
+
+std::vector<int> TopicExtractor::ExtractTopics(std::string_view description) {
+  std::vector<int> ids;
+  for (const std::string& token : Tokenize(description)) {
+    if (IsStopword(token)) continue;
+    const int id = InternTopic(token);
+    bool seen = false;
+    for (int existing : ids) {
+      if (existing == id) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ids.push_back(id);
+  }
+  return ids;
+}
+
+int TopicExtractor::InternTopic(std::string_view topic) {
+  auto it = index_.find(std::string(topic));
+  if (it != index_.end()) return it->second;
+  const int id = static_cast<int>(vocabulary_.size());
+  vocabulary_.emplace_back(topic);
+  index_.emplace(vocabulary_.back(), id);
+  return id;
+}
+
+int TopicExtractor::TopicId(std::string_view topic) const {
+  auto it = index_.find(std::string(topic));
+  return it == index_.end() ? -1 : it->second;
+}
+
+util::DynamicBitset TopicExtractor::ToBitset(
+    const std::vector<int>& topic_ids) const {
+  util::DynamicBitset bits(vocabulary_.size());
+  for (int id : topic_ids) {
+    if (id >= 0 && static_cast<std::size_t>(id) < vocabulary_.size()) {
+      bits.Set(static_cast<std::size_t>(id));
+    }
+  }
+  return bits;
+}
+
+}  // namespace rlplanner::text

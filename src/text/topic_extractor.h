@@ -1,0 +1,54 @@
+#ifndef RLPLANNER_TEXT_TOPIC_EXTRACTOR_H_
+#define RLPLANNER_TEXT_TOPIC_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace rlplanner::text {
+
+/// Builds the topic vocabulary `T` of a dataset and assigns each item its
+/// Boolean topic vector `T^m`, mirroring the paper's extraction pipeline:
+/// "to form topic vectors, we extract nouns from course names and removed
+/// stopwords" (Section IV-A1). We approximate noun extraction by keeping
+/// every non-stopword token.
+class TopicExtractor {
+ public:
+  TopicExtractor() = default;
+
+  /// Tokenizes `description`, drops stopwords, interns surviving tokens into
+  /// the vocabulary, and returns the vocabulary ids for this description
+  /// (deduplicated, in first-appearance order).
+  std::vector<int> ExtractTopics(std::string_view description);
+
+  /// Registers `topic` directly (used when a dataset ships explicit themes,
+  /// like the Google-Places categories for POIs). Returns its vocabulary id.
+  int InternTopic(std::string_view topic);
+
+  /// Id of `topic` or -1 when unknown.
+  int TopicId(std::string_view topic) const;
+
+  /// Current vocabulary size |T|.
+  std::size_t vocabulary_size() const { return vocabulary_.size(); }
+
+  /// Topic string for a vocabulary id.
+  const std::string& TopicName(int id) const { return vocabulary_.at(id); }
+
+  /// All topics, id order.
+  const std::vector<std::string>& vocabulary() const { return vocabulary_; }
+
+  /// Converts a list of topic ids to a Boolean vector of the current
+  /// vocabulary size. Call after all items were extracted.
+  util::DynamicBitset ToBitset(const std::vector<int>& topic_ids) const;
+
+ private:
+  std::vector<std::string> vocabulary_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace rlplanner::text
+
+#endif  // RLPLANNER_TEXT_TOPIC_EXTRACTOR_H_

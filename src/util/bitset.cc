@@ -1,0 +1,124 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+namespace rlplanner::util {
+
+DynamicBitset::DynamicBitset(std::size_t size) : size_(size) {
+  words_.resize((size + kWordBits - 1) / kWordBits, 0);
+}
+
+DynamicBitset DynamicBitset::FromBits(const std::vector<int>& bits) {
+  DynamicBitset out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != 0) out.Set(i);
+  }
+  return out;
+}
+
+void DynamicBitset::Resize(std::size_t size) {
+  size_ = size;
+  words_.resize((size + kWordBits - 1) / kWordBits, 0);
+  TrimTail();
+}
+
+void DynamicBitset::Set(std::size_t index, bool value) {
+  assert(index < size_);
+  const std::size_t word = index / kWordBits;
+  const Word mask = Word{1} << (index % kWordBits);
+  if (value) {
+    words_[word] |= mask;
+  } else {
+    words_[word] &= ~mask;
+  }
+}
+
+bool DynamicBitset::Test(std::size_t index) const {
+  assert(index < size_);
+  return (words_[index / kWordBits] >> (index % kWordBits)) & 1;
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t total = 0;
+  for (Word w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool DynamicBitset::Any() const {
+  for (Word w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void DynamicBitset::Clear() {
+  for (Word& w : words_) w = 0;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+DynamicBitset DynamicBitset::AndNot(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  DynamicBitset out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & ~other.words_[i];
+  }
+  return out;
+}
+
+std::size_t DynamicBitset::IntersectCount(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(Test(i) ? '1' : '0');
+  return out;
+}
+
+bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.Test(i) != b.Test(i)) return false;
+  }
+  return true;
+}
+
+void DynamicBitset::TrimTail() {
+  const std::size_t used = size_ % kWordBits;
+  if (!words_.empty() && used != 0) {
+    words_.back() &= (Word{1} << used) - 1;
+  }
+}
+
+}  // namespace rlplanner::util

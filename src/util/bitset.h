@@ -1,0 +1,72 @@
+#ifndef RLPLANNER_UTIL_BITSET_H_
+#define RLPLANNER_UTIL_BITSET_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlplanner::util {
+
+/// A fixed-size bitset whose size is chosen at runtime.
+///
+/// Topic/theme vectors (`T^m` in the paper) are Boolean vectors whose length
+/// is the topic-vocabulary size of a dataset, which is only known at load
+/// time; this class backs them with packed 64-bit words.
+class DynamicBitset {
+ public:
+  /// Creates an all-zero bitset with `size` bits.
+  explicit DynamicBitset(std::size_t size = 0);
+
+  /// Builds a bitset from 0/1 integers (convenient for paper examples).
+  static DynamicBitset FromBits(const std::vector<int>& bits);
+
+  std::size_t size() const { return size_; }
+
+  /// Grows or shrinks to `size` bits; new bits are zero.
+  void Resize(std::size_t size);
+
+  void Set(std::size_t index, bool value = true);
+  bool Test(std::size_t index) const;
+
+  /// Number of set bits.
+  std::size_t Count() const;
+  /// True when at least one bit is set.
+  bool Any() const;
+  /// True when no bit is set.
+  bool None() const { return !Any(); }
+  /// Sets all bits to zero.
+  void Clear();
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator^=(const DynamicBitset& other);
+
+  /// Returns `this & ~other` (set difference).
+  DynamicBitset AndNot(const DynamicBitset& other) const;
+
+  /// Number of bits set in both `this` and `other` (popcount of the AND).
+  std::size_t IntersectCount(const DynamicBitset& other) const;
+  /// True when `this` and `other` share at least one set bit.
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// Renders as a string of '0'/'1' characters, index 0 first.
+  std::string ToString() const;
+
+ private:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  // Zeroes bits past `size_` in the final word so Count() stays correct.
+  void TrimTail();
+
+  std::size_t size_;
+  std::vector<Word> words_;
+};
+
+bool operator==(const DynamicBitset& a, const DynamicBitset& b);
+
+}  // namespace rlplanner::util
+
+#endif  // RLPLANNER_UTIL_BITSET_H_

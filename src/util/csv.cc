@@ -1,0 +1,146 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rlplanner::util {
+
+namespace {
+
+// Parses all records in `text`; returns false on unterminated quote.
+bool ParseRecords(std::string_view text,
+                  std::vector<std::vector<std::string>>& records) {
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  std::size_t i = 0;
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+    } else if (c == ',') {
+      end_field();
+      ++i;
+    } else if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+      end_record();
+      i += 2;
+    } else if (c == '\n') {
+      end_record();
+      ++i;
+    } else {
+      field.push_back(c);
+      field_started = true;
+      ++i;
+    }
+  }
+  if (in_quotes) return false;
+  // Trailing record without a final newline.
+  if (field_started || !field.empty() || !record.empty()) end_record();
+  return true;
+}
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void AppendField(std::string& out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out += field;
+    return;
+  }
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+int CsvDocument::ColumnIndex(std::string_view column) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<CsvDocument> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  if (!ParseRecords(text, records)) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV document has no header row");
+  }
+  CsvDocument doc;
+  doc.header = std::move(records.front());
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != doc.header.size()) {
+      std::ostringstream msg;
+      msg << "CSV row " << r << " has " << records[r].size()
+          << " fields, header has " << doc.header.size();
+      return Status::InvalidArgument(msg.str());
+    }
+    doc.rows.push_back(std::move(records[r]));
+  }
+  return doc;
+}
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      AppendField(out, row[i]);
+    }
+    out.push_back('\n');
+  };
+  write_row(doc.header);
+  for (const auto& row : doc.rows) write_row(row);
+  return out;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open file for write: " + path);
+  out << WriteCsv(doc);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace rlplanner::util

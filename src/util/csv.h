@@ -1,0 +1,38 @@
+#ifndef RLPLANNER_UTIL_CSV_H_
+#define RLPLANNER_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rlplanner::util {
+
+/// A parsed CSV document: a header row plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of `column` in the header, or -1 when absent.
+  int ColumnIndex(std::string_view column) const;
+};
+
+/// Parses RFC-4180-style CSV text: comma separated, double-quote quoting,
+/// embedded quotes doubled (""), embedded newlines inside quotes allowed.
+/// The first record is treated as the header. Rows whose field count differs
+/// from the header produce an InvalidArgument error.
+Result<CsvDocument> ParseCsv(std::string_view text);
+
+/// Serializes a document back to CSV text, quoting fields that need it.
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvDocument> ReadCsvFile(const std::string& path);
+
+/// Writes a CSV document to disk.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc);
+
+}  // namespace rlplanner::util
+
+#endif  // RLPLANNER_UTIL_CSV_H_

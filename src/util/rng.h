@@ -1,0 +1,62 @@
+#ifndef RLPLANNER_UTIL_RNG_H_
+#define RLPLANNER_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rlplanner::util {
+
+/// Deterministic pseudo-random number generator (xoshiro256**, seeded via
+/// SplitMix64). All stochastic components of the library (tie-breaking,
+/// epsilon-greedy exploration, synthetic data generation, simulated raters)
+/// draw from an explicitly passed `Rng`, so every experiment is reproducible
+/// from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Gaussian sample (Box-Muller) with the given mean and stddev.
+  double NextGaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = NextBounded(i);
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index from a non-empty container size.
+  std::size_t NextIndex(std::size_t size) {
+    return static_cast<std::size_t>(NextBounded(size));
+  }
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace rlplanner::util
+
+#endif  // RLPLANNER_UTIL_RNG_H_

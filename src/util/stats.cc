@@ -1,0 +1,70 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlplanner::util {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary out;
+  out.count = values.size();
+  if (values.empty()) return out;
+
+  double sum = 0.0;
+  out.min = values.front();
+  out.max = values.front();
+  for (double v : values) {
+    sum += v;
+    out.min = std::min(out.min, v);
+    out.max = std::max(out.max, v);
+  }
+  out.mean = sum / static_cast<double>(values.size());
+
+  double variance = 0.0;
+  for (double v : values) variance += (v - out.mean) * (v - out.mean);
+  out.stddev = std::sqrt(variance / static_cast<double>(values.size()));
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  out.median = sorted.size() % 2 == 1
+                   ? sorted[mid]
+                   : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return out;
+}
+
+double ConfidenceHalfWidth95(const Summary& summary) {
+  if (summary.count < 2) return 0.0;
+  return 1.96 * summary.stddev /
+         std::sqrt(static_cast<double>(summary.count));
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const Summary sx = Summarize(x);
+  const Summary sy = Summarize(y);
+  if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
+  double covariance = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    covariance += (x[i] - sx.mean) * (y[i] - sy.mean);
+  }
+  covariance /= static_cast<double>(x.size());
+  return covariance / (sx.stddev * sy.stddev);
+}
+
+double LinearSlope(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const Summary sx = Summarize(x);
+  const Summary sy = Summarize(y);
+  if (sx.stddev == 0.0) return 0.0;
+  double covariance = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    covariance += (x[i] - sx.mean) * (y[i] - sy.mean);
+  }
+  covariance /= static_cast<double>(x.size());
+  return covariance / (sx.stddev * sx.stddev);
+}
+
+}  // namespace rlplanner::util

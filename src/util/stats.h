@@ -1,0 +1,40 @@
+#ifndef RLPLANNER_UTIL_STATS_H_
+#define RLPLANNER_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rlplanner::util {
+
+/// Summary statistics of a sample. All fields are 0 for an empty sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  /// Population standard deviation.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes the summary of `values`.
+Summary Summarize(const std::vector<double>& values);
+
+/// Half-width of the normal-approximation 95% confidence interval of the
+/// mean (1.96 * stddev / sqrt(n)); 0 for samples smaller than 2.
+double ConfidenceHalfWidth95(const Summary& summary);
+
+/// Pearson correlation of two equal-length samples; 0 when either side has
+/// no variance or the sizes differ.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Ordinary-least-squares slope of y against x (0 when x has no variance).
+/// The scalability analysis uses this to check that learning time grows
+/// linearly with the number of episodes.
+double LinearSlope(const std::vector<double>& x,
+                   const std::vector<double>& y);
+
+}  // namespace rlplanner::util
+
+#endif  // RLPLANNER_UTIL_STATS_H_

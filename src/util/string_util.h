@@ -1,0 +1,32 @@
+#ifndef RLPLANNER_UTIL_STRING_UTIL_H_
+#define RLPLANNER_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlplanner::util {
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view input);
+
+/// True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `precision` digits after the decimal point,
+/// trimming trailing zeros ("4.60" -> "4.6", "5.00" -> "5").
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace rlplanner::util
+
+#endif  // RLPLANNER_UTIL_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef RLPLANNER_UTIL_TABLE_H_
+#define RLPLANNER_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace rlplanner::util {
+
+/// Renders aligned ASCII tables; the benchmark harnesses use this to print
+/// the same rows/series the paper's tables report.
+class AsciiTable {
+ public:
+  /// Creates a table whose first row is the given header.
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with `|` separators and a rule under the header.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rlplanner::util
+
+#endif  // RLPLANNER_UTIL_TABLE_H_

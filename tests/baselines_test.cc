@@ -1,0 +1,240 @@
+// Tests for the baselines: adapted OMEGA, greedy EDA, and the gold-standard
+// constructor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/eda.h"
+#include "baselines/gold.h"
+#include "baselines/omega.h"
+#include "core/scoring.h"
+#include "core/validation.h"
+#include "datagen/course_data.h"
+#include "datagen/trip_data.h"
+
+namespace rlplanner::baselines {
+namespace {
+
+// -------------------------------------------------------------------- EDA --
+
+TEST(EdaTest, ProducesFullLengthCoursePlan) {
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  mdp::RewardWeights weights;
+  const EdaGreedy eda(instance, weights);
+  const model::Plan plan = eda.BuildPlan(1);
+  EXPECT_EQ(static_cast<int>(plan.size()), instance.hard.TotalItems());
+  // No repeats.
+  auto items = plan.items();
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(std::adjacent_find(items.begin(), items.end()), items.end());
+}
+
+TEST(EdaTest, RandomTieBreakVariesAcrossSeeds) {
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  mdp::RewardWeights weights;
+  const EdaGreedy eda(instance, weights);
+  const model::Plan a = eda.BuildPlan(1);
+  bool any_different = false;
+  for (std::uint64_t seed = 2; seed < 8 && !any_different; ++seed) {
+    any_different = !(eda.BuildPlan(seed) == a);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(EdaTest, DeterministicForSameSeed) {
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  mdp::RewardWeights weights;
+  const EdaGreedy eda(instance, weights);
+  EXPECT_EQ(eda.BuildPlan(42), eda.BuildPlan(42));
+}
+
+TEST(EdaTest, TripPlansStayWithinTimeBudget) {
+  datagen::Dataset dataset = datagen::MakeNycTrip();
+  const model::TaskInstance instance = dataset.Instance();
+  mdp::RewardWeights weights;
+  const EdaGreedy eda(instance, weights);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const model::Plan plan = eda.BuildPlan(seed);
+    EXPECT_LE(plan.TotalCredits(dataset.catalog),
+              instance.hard.min_credits + 1e-9);
+  }
+}
+
+TEST(EdaTest, SometimesViolatesHardConstraints) {
+  // The paper's central observation: the greedy next-step recommender is
+  // "unable to generate course plans and trip plans that satisfy the hard
+  // constraints most of the time".
+  datagen::Dataset dataset = datagen::MakeUniv2Ds();
+  const model::TaskInstance instance = dataset.Instance();
+  mdp::RewardWeights weights;
+  weights.delta = 0.8;
+  weights.beta = 0.2;
+  weights.category_weights = {0.25, 0.01, 0.15, 0.42, 0.01, 0.16};
+  const EdaGreedy eda(instance, weights);
+  int violations = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    if (!core::ValidatePlan(instance, eda.BuildPlan(seed)).valid) {
+      ++violations;
+    }
+  }
+  EXPECT_GT(violations, 0);
+}
+
+// ------------------------------------------------------------------ OMEGA --
+
+TEST(OmegaTest, TopologicalOrderRespectsPrereqs) {
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  const Omega omega(instance);
+  const auto order = omega.TopologicalOrder();
+  ASSERT_EQ(order.size(), dataset.catalog.size());
+  std::vector<int> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (const model::Item& item : dataset.catalog.items()) {
+    for (model::ItemId pre : item.prereqs.ReferencedItems()) {
+      EXPECT_LT(position[pre], position[item.id])
+          << dataset.catalog.item(pre).code << " should precede "
+          << item.code;
+    }
+  }
+}
+
+TEST(OmegaTest, PairUtilityCountsTopicUnion) {
+  datagen::Dataset dataset = datagen::MakeTableIIToy();
+  const model::TaskInstance instance = dataset.Instance();
+  const Omega omega(instance);
+  // m1 covers 2 topics, m2 covers 2 disjoint topics -> union 4; ideal
+  // touch: m2's both topics are ideal (classification, clustering), m1's
+  // none -> 4 + 0.5*2 = 5.
+  EXPECT_DOUBLE_EQ(omega.PairUtility(0, 1), 5.0);
+}
+
+TEST(OmegaTest, PlanHasTargetLengthForCourses) {
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  const Omega omega(instance);
+  const model::Plan plan = omega.BuildPlan(3);
+  EXPECT_EQ(static_cast<int>(plan.size()), instance.hard.TotalItems());
+}
+
+TEST(OmegaEdgeTest, EdgeVariantProducesBoundedPlan) {
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  const Omega omega(instance);
+  const model::Plan plan = omega.BuildPlanEdgeBased(7);
+  EXPECT_LE(static_cast<int>(plan.size()), instance.hard.TotalItems());
+  EXPECT_GE(plan.size(), 5u);
+  // No repeats.
+  auto items = plan.items();
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(std::adjacent_find(items.begin(), items.end()), items.end());
+}
+
+TEST(OmegaEdgeTest, EdgeVariantDiffersFromNodeGreedy) {
+  datagen::Dataset dataset = datagen::MakeUniv1Cs();
+  const model::TaskInstance instance = dataset.Instance();
+  const Omega omega(instance);
+  EXPECT_FALSE(omega.BuildPlan(3) == omega.BuildPlanEdgeBased(3));
+}
+
+TEST(OmegaEdgeTest, EdgeVariantAlsoConstraintOblivious) {
+  // Like OMEGA, the edge-based variant usually violates P_hard.
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  const Omega omega(instance);
+  int valid = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    if (core::ValidatePlan(instance, omega.BuildPlanEdgeBased(seed)).valid) {
+      ++valid;
+    }
+  }
+  EXPECT_LE(valid, 3);
+}
+
+TEST(OmegaEdgeTest, TripEdgeVariantRespectsTimeBudget) {
+  datagen::Dataset dataset = datagen::MakeNycTrip();
+  const model::TaskInstance instance = dataset.Instance();
+  const Omega omega(instance);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    EXPECT_LE(omega.BuildPlanEdgeBased(seed).TotalCredits(dataset.catalog),
+              instance.hard.min_credits + 1e-9);
+  }
+}
+
+TEST(OmegaTest, UsuallyFailsHardConstraints) {
+  // Faithful to Figure 1: "OMEGA fails to produce valid recommendations
+  // most of the time, leading to 0 scores".
+  for (datagen::Dataset dataset :
+       {datagen::MakeUniv1DsCt(), datagen::MakeNycTrip()}) {
+    const model::TaskInstance instance = dataset.Instance();
+    const Omega omega(instance);
+    int valid = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      if (core::ValidatePlan(instance, omega.BuildPlan(seed)).valid) {
+        ++valid;
+      }
+    }
+    EXPECT_LE(valid, 3) << dataset.name;
+  }
+}
+
+// ------------------------------------------------------------------- Gold --
+
+TEST(GoldTest, CourseGoldIsValidAndScoresH) {
+  for (datagen::Dataset dataset :
+       {datagen::MakeUniv1DsCt(), datagen::MakeUniv1Cybersecurity(),
+        datagen::MakeUniv1Cs(), datagen::MakeUniv2Ds()}) {
+    const model::TaskInstance instance = dataset.Instance();
+    auto gold = BuildGoldStandard(instance);
+    ASSERT_TRUE(gold.ok()) << dataset.name;
+    EXPECT_TRUE(core::ValidatePlan(instance, gold.value()).valid)
+        << dataset.name;
+    // "The gold standard scores are 10 for Univ-1 and 15 for Univ-2."
+    EXPECT_DOUBLE_EQ(core::ScorePlan(instance, gold.value()),
+                     instance.hard.TotalItems())
+        << dataset.name;
+  }
+}
+
+TEST(GoldTest, TripGoldIsValidAndNearPopularityCeiling) {
+  for (datagen::Dataset dataset :
+       {datagen::MakeNycTrip(), datagen::MakeParisTrip()}) {
+    const model::TaskInstance instance = dataset.Instance();
+    auto gold = BuildGoldStandard(instance);
+    ASSERT_TRUE(gold.ok()) << dataset.name;
+    EXPECT_TRUE(core::ValidatePlan(instance, gold.value()).valid)
+        << dataset.name;
+    // "The average of gold standard score is 5, the highest popularity
+    // score of any POI" — allow a small margin for the synthetic POIs.
+    EXPECT_GE(core::ScorePlan(instance, gold.value()), 4.5) << dataset.name;
+  }
+}
+
+TEST(GoldTest, DistinctSeedsGiveDistinctHandcraftedPlans) {
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  auto a = BuildGoldStandard(instance, 1);
+  auto b = BuildGoldStandard(instance, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a.value() == b.value());
+}
+
+TEST(GoldTest, FailsWhenNoValidPlanExists) {
+  // Demand more primaries than the catalog offers by pushing the split.
+  datagen::Dataset dataset = datagen::MakeTableIIToy();
+  dataset.hard.num_primary = 4;  // only 3 primaries exist
+  dataset.hard.num_secondary = 2;
+  auto templates = model::InterleavingTemplate::FromStrings({"PPPPSS"});
+  dataset.soft.interleaving = std::move(templates).value();
+  const model::TaskInstance instance = dataset.Instance();
+  auto gold = BuildGoldStandard(instance);
+  EXPECT_FALSE(gold.ok());
+}
+
+}  // namespace
+}  // namespace rlplanner::baselines

@@ -1,0 +1,147 @@
+// Tests for the fluent TaskBuilder, including building and planning over a
+// hand-assembled instance end to end.
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "model/builder.h"
+
+namespace rlplanner::model {
+namespace {
+
+TaskBuilder SmallCourseBuilder() {
+  TaskBuilder builder(Domain::kCourse);
+  builder.Topics({"algorithms", "databases", "ml", "stats", "viz", "ethics"})
+      .Primary("C1", "Algorithms", {"algorithms"})
+      .Primary("C2", "Machine Learning", {"ml", "stats"})
+      .RequiresAny({"C3", "C4"})
+      .Secondary("C3", "Statistics", {"stats"})
+      .Secondary("C4", "Databases", {"databases"})
+      .Secondary("C5", "Visualization and Ethics", {"viz", "ethics"})
+      .Split(2, 2)
+      .MinCredits(12)
+      .Gap(1)
+      .Template("PSPS")
+      .Template("PSSP");
+  return builder;
+}
+
+TEST(BuilderTest, BuildsConsistentInstance) {
+  auto built = SmallCourseBuilder().Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto& b = built.value();
+  EXPECT_EQ(b.catalog.size(), 5u);
+  EXPECT_EQ(b.catalog.vocabulary_size(), 6u);
+  EXPECT_EQ(b.hard.num_primary, 2);
+  EXPECT_EQ(b.soft.interleaving.size(), 2u);
+  // Default ideal vector = full vocabulary.
+  EXPECT_EQ(b.soft.ideal_topics.Count(), 6u);
+  EXPECT_TRUE(b.Instance().Validate().ok());
+}
+
+TEST(BuilderTest, ForwardPrereqReferencesResolve) {
+  auto built = SmallCourseBuilder().Build();
+  ASSERT_TRUE(built.ok());
+  // C2 requires (C3 OR C4) — both added after C2.
+  const auto c2 = built.value().catalog.FindByCode("C2").value();
+  const auto& prereqs = built.value().catalog.item(c2).prereqs;
+  ASSERT_EQ(prereqs.groups().size(), 1u);
+  EXPECT_EQ(prereqs.groups()[0].size(), 2u);
+}
+
+TEST(BuilderTest, ExplicitIdealTopics) {
+  TaskBuilder builder = SmallCourseBuilder();
+  builder.IdealTopics({"ml", "viz"});
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().soft.ideal_topics.Count(), 2u);
+}
+
+TEST(BuilderTest, UnknownTopicFails) {
+  TaskBuilder builder(Domain::kCourse);
+  builder.Topics({"a"}).Primary("X", "X", {"nope"}).Split(1, 0);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(BuilderTest, UnknownPrereqCodeFails) {
+  TaskBuilder builder(Domain::kCourse);
+  builder.Topics({"a"})
+      .Primary("X", "X", {"a"})
+      .Requires({"GHOST"})
+      .Split(1, 0)
+      .MinCredits(3);
+  auto built = builder.Build();
+  EXPECT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, MisuseIsReportedAtBuild) {
+  TaskBuilder builder(Domain::kCourse);
+  builder.Requires({"X"});  // before any item
+  builder.Topics({"a"});
+  EXPECT_FALSE(builder.Build().ok());
+
+  TaskBuilder no_vocab(Domain::kCourse);
+  EXPECT_FALSE(no_vocab.Build().ok());
+}
+
+TEST(BuilderTest, TemplateMismatchFails) {
+  TaskBuilder builder = SmallCourseBuilder();
+  builder.Template("PPPP");  // 4 primaries, split says 2
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(BuilderTest, DuplicateCodeFails) {
+  TaskBuilder builder(Domain::kCourse);
+  builder.Topics({"a"})
+      .Primary("X", "X", {"a"})
+      .Primary("X", "again", {"a"})
+      .Split(1, 0);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(BuilderTest, TripAttributesApply) {
+  TaskBuilder builder(Domain::kTrip);
+  builder.Topics({"museum", "park", "cafe"})
+      .Primary("louvre", "Louvre", {"museum"}, 2.0)
+      .At(48.86, 2.33)
+      .Popularity(5.0)
+      .Secondary("tuileries", "Tuileries", {"park"}, 1.0)
+      .At(48.863, 2.327)
+      .Popularity(4.0)
+      .Secondary("flore", "Cafe de Flore", {"cafe"}, 1.0)
+      .At(48.854, 2.332)
+      .Popularity(4.5)
+      .Split(1, 2)
+      .MinCredits(6.0)
+      .DistanceThresholdKm(5.0)
+      .NoConsecutiveSameTheme()
+      .Template("PSS");
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto& louvre = built.value().catalog.item(0);
+  EXPECT_DOUBLE_EQ(louvre.popularity, 5.0);
+  EXPECT_NEAR(louvre.location.lat, 48.86, 1e-9);
+  EXPECT_EQ(louvre.primary_theme,
+            built.value().catalog.TopicId("museum"));
+  EXPECT_TRUE(built.value().hard.no_consecutive_same_theme);
+}
+
+TEST(BuilderTest, BuiltInstanceIsPlannable) {
+  auto built = SmallCourseBuilder().Build();
+  ASSERT_TRUE(built.ok());
+  const TaskInstance instance = built.value().Instance();
+  core::PlannerConfig config;
+  config.sarsa.num_episodes = 80;
+  config.sarsa.start_item = 0;
+  core::RlPlanner planner(instance, config);
+  ASSERT_TRUE(planner.Train().ok());
+  auto plan = planner.Recommend(0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().size(), 4u);
+  EXPECT_TRUE(planner.Validate(plan.value()).valid)
+      << planner.Validate(plan.value()).ToString();
+}
+
+}  // namespace
+}  // namespace rlplanner::model

@@ -1,0 +1,332 @@
+// Tests that the built-in datasets match the shapes the paper reports
+// (Section IV-A1) and are internally consistent.
+
+#include <gtest/gtest.h>
+
+#include "datagen/course_data.h"
+#include "datagen/synthetic.h"
+#include "datagen/trip_data.h"
+
+namespace rlplanner::datagen {
+namespace {
+
+void ExpectDatasetConsistent(const Dataset& dataset) {
+  const model::TaskInstance instance = dataset.Instance();
+  EXPECT_TRUE(instance.Validate().ok())
+      << dataset.name << ": " << instance.Validate().ToString();
+  EXPECT_GE(dataset.default_start, 0);
+  EXPECT_LT(static_cast<std::size_t>(dataset.default_start),
+            dataset.catalog.size());
+  // Every item covers at least one topic (otherwise it can never earn r1).
+  for (const model::Item& item : dataset.catalog.items()) {
+    EXPECT_GE(item.topics.Count(), 1u)
+        << dataset.name << " item " << item.code << " covers no topics";
+  }
+}
+
+TEST(Univ1DsCtTest, PaperShape) {
+  const Dataset dataset = MakeUniv1DsCt();
+  EXPECT_EQ(dataset.catalog.size(), 31u);
+  EXPECT_EQ(dataset.catalog.vocabulary_size(), 60u);
+  EXPECT_EQ(dataset.hard.num_primary, 5);
+  EXPECT_EQ(dataset.hard.num_secondary, 5);
+  EXPECT_EQ(dataset.hard.gap, 3);
+  EXPECT_DOUBLE_EQ(dataset.hard.min_credits, 30.0);
+  ExpectDatasetConsistent(dataset);
+}
+
+TEST(Univ1DsCtTest, DefaultStartIsCs675) {
+  const Dataset dataset = MakeUniv1DsCt();
+  EXPECT_EQ(dataset.catalog.item(dataset.default_start).code, "CS 675");
+  // The default start must have no prerequisites so plans starting there
+  // can be valid.
+  EXPECT_TRUE(dataset.catalog.item(dataset.default_start).prereqs.empty());
+}
+
+TEST(Univ1DsCtTest, KnownPrerequisites) {
+  const Dataset dataset = MakeUniv1DsCt();
+  const auto ml = dataset.catalog.FindByCode("CS 677");  // Deep Learning
+  ASSERT_TRUE(ml.ok());
+  const auto& prereqs = dataset.catalog.item(ml.value()).prereqs;
+  // CS 677 = (CS 675) AND (a math/stats elective) — the paper's "take
+  // Linear Algebra before Machine Learning" dependency.
+  ASSERT_EQ(prereqs.groups().size(), 2u);
+  EXPECT_EQ(dataset.catalog.item(prereqs.groups()[0][0]).code, "CS 675");
+  EXPECT_EQ(dataset.catalog.item(prereqs.groups()[1][0]).code, "MATH 663");
+}
+
+TEST(Univ1DsCtTest, IdealTopicsIsFullVocabulary) {
+  // Section IV-A3: |T_ideal| = 60 for DS-CT = the whole vocabulary.
+  const Dataset dataset = MakeUniv1DsCt();
+  EXPECT_EQ(dataset.soft.ideal_topics.Count(),
+            dataset.catalog.vocabulary_size());
+}
+
+TEST(Univ1CyberTest, PaperShape) {
+  const Dataset dataset = MakeUniv1Cybersecurity();
+  EXPECT_EQ(dataset.catalog.size(), 30u);
+  EXPECT_EQ(dataset.catalog.vocabulary_size(), 61u);
+  ExpectDatasetConsistent(dataset);
+}
+
+TEST(Univ1CsTest, PaperShape) {
+  const Dataset dataset = MakeUniv1Cs();
+  EXPECT_EQ(dataset.catalog.size(), 32u);
+  EXPECT_EQ(dataset.catalog.vocabulary_size(), 100u);
+  ExpectDatasetConsistent(dataset);
+}
+
+TEST(Univ1TransferTest, SharedCoursesAcrossPrograms) {
+  // DS-CT and CS must share course codes (Table V transfers between them).
+  const Dataset ds = MakeUniv1DsCt();
+  const Dataset cs = MakeUniv1Cs();
+  int shared = 0;
+  for (const model::Item& item : ds.catalog.items()) {
+    if (cs.catalog.FindByCode(item.code).ok()) ++shared;
+  }
+  EXPECT_GE(shared, 10);
+}
+
+TEST(Univ2Test, PaperShape) {
+  const Dataset dataset = MakeUniv2Ds();
+  EXPECT_EQ(dataset.catalog.size(), 36u);
+  EXPECT_EQ(dataset.catalog.vocabulary_size(), 73u);
+  EXPECT_EQ(dataset.hard.num_primary, 9);
+  EXPECT_EQ(dataset.hard.num_secondary, 6);
+  EXPECT_EQ(dataset.hard.TotalItems(), 15);  // gold score 15 = H
+  EXPECT_EQ(dataset.catalog.category_names().size(), 6u);
+  EXPECT_EQ(dataset.hard.category_min_counts.size(), 6u);
+  ExpectDatasetConsistent(dataset);
+}
+
+TEST(Univ2Test, SixSubDisciplinesPopulated) {
+  const Dataset dataset = MakeUniv2Ds();
+  for (int category = 0; category < 6; ++category) {
+    EXPECT_GE(dataset.catalog.CountByCategory(category),
+              dataset.hard.category_min_counts[category])
+        << "category " << category;
+  }
+}
+
+TEST(Univ2Test, DefaultStartIsStats263) {
+  const Dataset dataset = MakeUniv2Ds();
+  EXPECT_EQ(dataset.catalog.item(dataset.default_start).code, "STATS 263");
+}
+
+TEST(NycTest, PaperShape) {
+  const Dataset dataset = MakeNycTrip();
+  EXPECT_EQ(dataset.catalog.size(), 90u);
+  EXPECT_EQ(dataset.catalog.vocabulary_size(), 21u);
+  EXPECT_EQ(dataset.catalog.domain(), model::Domain::kTrip);
+  EXPECT_DOUBLE_EQ(dataset.hard.min_credits, 6.0);
+  EXPECT_DOUBLE_EQ(dataset.hard.distance_threshold_km, 5.0);
+  EXPECT_TRUE(dataset.hard.no_consecutive_same_theme);
+  ExpectDatasetConsistent(dataset);
+}
+
+TEST(ParisTest, PaperShape) {
+  const Dataset dataset = MakeParisTrip();
+  EXPECT_EQ(dataset.catalog.size(), 114u);
+  EXPECT_EQ(dataset.catalog.vocabulary_size(), 16u);
+  ExpectDatasetConsistent(dataset);
+}
+
+TEST(TripTest, PaperLandmarksPresent) {
+  const Dataset nyc = MakeNycTrip();
+  for (const char* name :
+       {"battery park", "brooklyn bridge", "colonnade row",
+        "flatiron building", "hudson river park", "rockefeller center"}) {
+    EXPECT_TRUE(nyc.catalog.FindByCode(name).ok()) << name;
+  }
+  const Dataset paris = MakeParisTrip();
+  for (const char* name :
+       {"eiffel tower", "louvre museum", "pont neuf", "promenade plantee",
+        "sainte chapelle", "tour montparnasse", "le cinq"}) {
+    EXPECT_TRUE(paris.catalog.FindByCode(name).ok()) << name;
+  }
+}
+
+TEST(TripTest, LouvreThemesMatchPaperExample) {
+  // "The topic vector for Louvre Museum covers Museum, Art Gallery and
+  // Architecture."
+  const Dataset paris = MakeParisTrip();
+  const auto id = paris.catalog.FindByCode("louvre museum");
+  ASSERT_TRUE(id.ok());
+  const model::Item& louvre = paris.catalog.item(id.value());
+  EXPECT_TRUE(louvre.topics.Test(paris.catalog.TopicId("museum")));
+  EXPECT_TRUE(louvre.topics.Test(paris.catalog.TopicId("art gallery")));
+  EXPECT_TRUE(louvre.topics.Test(paris.catalog.TopicId("architecture")));
+  EXPECT_EQ(louvre.type, model::ItemType::kPrimary);
+}
+
+TEST(TripTest, PopularityWithinScale) {
+  for (const Dataset& dataset : {MakeNycTrip(), MakeParisTrip()}) {
+    int fives = 0;
+    for (const model::Item& item : dataset.catalog.items()) {
+      EXPECT_GE(item.popularity, 1.0);
+      EXPECT_LE(item.popularity, 5.0);
+      if (item.popularity == 5.0) ++fives;
+    }
+    // The gold standard needs enough popularity-5 POIs to average 5.
+    EXPECT_GE(fives, 10) << dataset.name;
+  }
+}
+
+TEST(TripTest, SomeRestaurantsHaveMuseumAntecedents) {
+  const Dataset paris = MakeParisTrip();
+  int with_prereqs = 0;
+  for (const model::Item& item : paris.catalog.items()) {
+    if (!item.prereqs.empty()) ++with_prereqs;
+  }
+  EXPECT_GE(with_prereqs, 3);
+}
+
+TEST(ToyTest, MatchesTableII) {
+  const Dataset toy = MakeTableIIToy();
+  EXPECT_EQ(toy.catalog.size(), 6u);
+  EXPECT_EQ(toy.catalog.vocabulary_size(), 13u);
+  // m2 = Data Mining covers Classification and Clustering.
+  const model::Item& m2 = toy.catalog.item(1);
+  EXPECT_EQ(m2.name, "Data Mining");
+  EXPECT_EQ(m2.topics.ToString(), "0110000000000");
+  // m6 requires Linear Algebra AND Data Mining.
+  const model::Item& m6 = toy.catalog.item(5);
+  EXPECT_EQ(m6.prereqs.groups().size(), 2u);
+  ExpectDatasetConsistent(toy);
+}
+
+TEST(SyntheticTest, RespectsSpec) {
+  SyntheticSpec spec;
+  spec.num_items = 50;
+  spec.vocab_size = 30;
+  spec.seed = 9;
+  const Dataset dataset = GenerateSynthetic(spec);
+  EXPECT_EQ(dataset.catalog.size(), 50u);
+  EXPECT_EQ(dataset.catalog.vocabulary_size(), 30u);
+  ExpectDatasetConsistent(dataset);
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  SyntheticSpec spec;
+  spec.seed = 123;
+  const Dataset a = GenerateSynthetic(spec);
+  const Dataset b = GenerateSynthetic(spec);
+  ASSERT_EQ(a.catalog.size(), b.catalog.size());
+  for (std::size_t i = 0; i < a.catalog.size(); ++i) {
+    EXPECT_EQ(a.catalog.item(i).code, b.catalog.item(i).code);
+    EXPECT_EQ(a.catalog.item(i).topics.ToString(),
+              b.catalog.item(i).topics.ToString());
+  }
+}
+
+TEST(SyntheticTest, PrereqsAreAcyclic) {
+  SyntheticSpec spec;
+  spec.num_items = 80;
+  spec.prereq_probability = 0.5;
+  spec.seed = 77;
+  const Dataset dataset = GenerateSynthetic(spec);
+  for (const model::Item& item : dataset.catalog.items()) {
+    for (model::ItemId pre : item.prereqs.ReferencedItems()) {
+      EXPECT_LT(pre, item.id);  // only references earlier items
+    }
+  }
+}
+
+TEST(SyntheticTest, TripDomainGetsDurations) {
+  SyntheticSpec spec;
+  spec.domain = model::Domain::kTrip;
+  spec.num_items = 40;
+  const Dataset dataset = GenerateSynthetic(spec);
+  for (const model::Item& item : dataset.catalog.items()) {
+    EXPECT_GE(item.credits, 0.5);
+    EXPECT_LE(item.credits, 2.0);
+  }
+}
+
+TEST(Univ1DsCtTest, ExactlyFiveCoresAllRequired) {
+  // The synthetic program design: as many cores as the degree requires,
+  // so greedy planners must schedule every core's antecedents (see
+  // DESIGN.md "synthetic-data design choices").
+  const Dataset dataset = MakeUniv1DsCt();
+  EXPECT_EQ(dataset.catalog.CountByType(model::ItemType::kPrimary),
+            dataset.hard.num_primary);
+}
+
+TEST(Univ1DsCtTest, DeepLearningNeedsAMathElective) {
+  const Dataset dataset = MakeUniv1DsCt();
+  const auto dl = dataset.catalog.FindByCode("CS 677").value();
+  const auto& groups = dataset.catalog.item(dl).prereqs.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  // The second group is an OR over electives only.
+  for (model::ItemId member : groups[1]) {
+    EXPECT_EQ(dataset.catalog.item(member).type,
+              model::ItemType::kSecondary)
+        << dataset.catalog.item(member).code;
+  }
+  EXPECT_GE(groups[1].size(), 3u);
+}
+
+TEST(CourseDataTest, AllProgramsUseUniformThreeCreditCourses) {
+  for (const Dataset& dataset :
+       {MakeUniv1DsCt(), MakeUniv1Cybersecurity(), MakeUniv1Cs(),
+        MakeUniv2Ds()}) {
+    for (const model::Item& item : dataset.catalog.items()) {
+      EXPECT_DOUBLE_EQ(item.credits, 3.0) << item.code;
+    }
+    // Horizon implied by the credit requirement matches the split.
+    EXPECT_EQ(dataset.hard.HorizonForUniformCredits(3.0),
+              dataset.hard.TotalItems())
+        << dataset.name;
+  }
+}
+
+TEST(TripDataTest, PoiCoordinatesNearCityCenter) {
+  struct City {
+    Dataset dataset;
+    double lat;
+    double lng;
+  };
+  for (const City& city : {City{MakeNycTrip(), 40.7589, -73.9851},
+                           City{MakeParisTrip(), 48.8606, 2.3376}}) {
+    for (const model::Item& poi : city.dataset.catalog.items()) {
+      EXPECT_NEAR(poi.location.lat, city.lat, 0.15) << poi.code;
+      EXPECT_NEAR(poi.location.lng, city.lng, 0.2) << poi.code;
+    }
+  }
+}
+
+TEST(TripDataTest, VisitDurationsPlausible) {
+  for (const Dataset& dataset : {MakeNycTrip(), MakeParisTrip()}) {
+    for (const model::Item& poi : dataset.catalog.items()) {
+      EXPECT_GE(poi.credits, 0.5) << poi.code;
+      EXPECT_LE(poi.credits, 2.5) << poi.code;
+    }
+  }
+}
+
+TEST(TripDataTest, PrimaryThemeIsASetTopic) {
+  for (const Dataset& dataset : {MakeNycTrip(), MakeParisTrip()}) {
+    for (const model::Item& poi : dataset.catalog.items()) {
+      ASSERT_GE(poi.primary_theme, 0) << poi.code;
+      EXPECT_TRUE(poi.topics.Test(
+          static_cast<std::size_t>(poi.primary_theme)))
+          << poi.code;
+    }
+  }
+}
+
+TEST(TemplateShapeTest, AllDatasetsHaveThreeTemplatesMatchingSplit) {
+  for (const Dataset& dataset :
+       {MakeUniv1DsCt(), MakeUniv1Cybersecurity(), MakeUniv1Cs(),
+        MakeUniv2Ds(), MakeNycTrip(), MakeParisTrip()}) {
+    EXPECT_EQ(dataset.soft.interleaving.size(), 3u) << dataset.name;
+    EXPECT_TRUE(dataset.soft.interleaving
+                    .ValidateCounts(dataset.hard.num_primary,
+                                    dataset.hard.num_secondary)
+                    .ok())
+        << dataset.name;
+  }
+}
+
+}  // namespace
+}  // namespace rlplanner::datagen

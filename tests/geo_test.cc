@@ -1,0 +1,60 @@
+// Tests for the geo substrate: haversine distances and path lengths.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace rlplanner::geo {
+namespace {
+
+TEST(HaversineTest, ZeroDistanceForSamePoint) {
+  const LatLng p{48.8584, 2.2945};
+  EXPECT_DOUBLE_EQ(HaversineKm(p, p), 0.0);
+}
+
+TEST(HaversineTest, KnownLandmarkDistance) {
+  // Eiffel Tower to Louvre: about 3.2 km.
+  const LatLng eiffel{48.8584, 2.2945};
+  const LatLng louvre{48.8606, 2.3376};
+  const double d = HaversineKm(eiffel, louvre);
+  EXPECT_NEAR(d, 3.2, 0.2);
+}
+
+TEST(HaversineTest, Symmetric) {
+  const LatLng a{40.7580, -73.9855};
+  const LatLng b{40.7061, -73.9969};
+  EXPECT_DOUBLE_EQ(HaversineKm(a, b), HaversineKm(b, a));
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  const LatLng a{40.0, -74.0};
+  const LatLng b{41.0, -74.0};
+  EXPECT_NEAR(HaversineKm(a, b), 111.2, 1.0);
+}
+
+TEST(HaversineTest, TriangleInequalityHolds) {
+  const LatLng a{40.7580, -73.9855};
+  const LatLng b{40.7061, -73.9969};
+  const LatLng c{40.7484, -73.9857};
+  EXPECT_LE(HaversineKm(a, c), HaversineKm(a, b) + HaversineKm(b, c) + 1e-9);
+}
+
+TEST(PathLengthTest, EmptyAndSinglePointAreZero) {
+  std::vector<LatLng> empty;
+  EXPECT_DOUBLE_EQ(PathLengthKm(empty.begin(), empty.end()), 0.0);
+  std::vector<LatLng> one = {{40.0, -74.0}};
+  EXPECT_DOUBLE_EQ(PathLengthKm(one.begin(), one.end()), 0.0);
+}
+
+TEST(PathLengthTest, SumsConsecutiveLegs) {
+  std::vector<LatLng> path = {{40.0, -74.0}, {40.1, -74.0}, {40.2, -74.0}};
+  const double total = PathLengthKm(path.begin(), path.end());
+  const double leg1 = HaversineKm(path[0], path[1]);
+  const double leg2 = HaversineKm(path[1], path[2]);
+  EXPECT_NEAR(total, leg1 + leg2, 1e-9);
+}
+
+}  // namespace
+}  // namespace rlplanner::geo

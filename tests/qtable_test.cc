@@ -1,0 +1,117 @@
+// Tests for the Q-table: accessors, the SARSA update rule (Eq. 9),
+// argmax queries, scaling/noise used by policy iteration, and CSV
+// round-tripping.
+
+#include <gtest/gtest.h>
+
+#include "mdp/q_table.h"
+#include "util/rng.h"
+
+namespace rlplanner::mdp {
+namespace {
+
+TEST(QTableTest, StartsAllZero) {
+  const QTable q(4);
+  EXPECT_EQ(q.num_items(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    for (int a = 0; a < 4; ++a) {
+      EXPECT_DOUBLE_EQ(q.Get(s, a), 0.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(q.NonZeroFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(q.MaxAbsValue(), 0.0);
+}
+
+TEST(QTableTest, SetGetRoundTrip) {
+  QTable q(3);
+  q.Set(1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(q.Get(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(q.Get(2, 1), 0.0);  // not symmetric
+  EXPECT_NEAR(q.NonZeroFraction(), 1.0 / 9.0, 1e-12);
+}
+
+TEST(QTableTest, SarsaUpdateMatchesEquation9) {
+  // Q(s,e) += alpha * (r + gamma * Q(s',e') - Q(s,e)).
+  QTable q(3);
+  q.Set(0, 1, 1.0);
+  q.Set(1, 2, 2.0);
+  q.SarsaUpdate(/*state=*/0, /*action=*/1, /*reward=*/0.5, /*next_state=*/1,
+                /*next_action=*/2, /*alpha=*/0.5, /*gamma=*/0.9);
+  // 1.0 + 0.5 * (0.5 + 0.9 * 2.0 - 1.0) = 1.0 + 0.5 * 1.3 = 1.65.
+  EXPECT_DOUBLE_EQ(q.Get(0, 1), 1.65);
+}
+
+TEST(QTableTest, TerminalUpdateUsesZeroContinuation) {
+  QTable q(2);
+  q.Set(0, 1, 1.0);
+  q.SarsaUpdate(0, 1, 2.0, /*next_state=*/-1, /*next_action=*/-1, 0.5, 0.9);
+  // 1.0 + 0.5 * (2.0 + 0 - 1.0) = 1.5.
+  EXPECT_DOUBLE_EQ(q.Get(0, 1), 1.5);
+}
+
+TEST(QTableTest, ArgmaxRespectsFilterAndBreaksTiesLow) {
+  QTable q(4);
+  q.Set(0, 1, 3.0);
+  q.Set(0, 2, 5.0);
+  q.Set(0, 3, 5.0);
+  EXPECT_EQ(q.ArgmaxAction(0, [](model::ItemId) { return true; }), 2);
+  EXPECT_EQ(q.ArgmaxAction(0, [](model::ItemId a) { return a != 2; }), 3);
+  EXPECT_EQ(q.ArgmaxAction(0, [](model::ItemId) { return false; }), -1);
+}
+
+TEST(QTableTest, ScaleMultipliesEverything) {
+  QTable q(2);
+  q.Set(0, 1, 4.0);
+  q.Set(1, 0, -2.0);
+  q.Scale(0.5);
+  EXPECT_DOUBLE_EQ(q.Get(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(q.Get(1, 0), -1.0);
+}
+
+TEST(QTableTest, AddNoiseBoundedAndNonNegative) {
+  QTable q(5);
+  util::Rng rng(3);
+  q.AddNoise(rng, 0.1);
+  for (int s = 0; s < 5; ++s) {
+    for (int a = 0; a < 5; ++a) {
+      EXPECT_GE(q.Get(s, a), 0.0);
+      EXPECT_LT(q.Get(s, a), 0.1);
+    }
+  }
+}
+
+TEST(QTableTest, CsvRoundTrip) {
+  QTable q(3);
+  q.Set(0, 1, 1.25);
+  q.Set(2, 0, -0.5);
+  auto restored = QTable::FromCsv(3, q.ToCsv());
+  ASSERT_TRUE(restored.ok());
+  for (int s = 0; s < 3; ++s) {
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_NEAR(restored.value().Get(s, a), q.Get(s, a), 1e-9);
+    }
+  }
+}
+
+TEST(QTableTest, CsvRejectsOutOfRangeEntries) {
+  QTable q(5);
+  q.Set(4, 4, 1.0);
+  auto restored = QTable::FromCsv(3, q.ToCsv());
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(QTableTest, CsvRejectsMissingColumns) {
+  auto restored = QTable::FromCsv(3, "a,b\n1,2\n");
+  EXPECT_FALSE(restored.ok());
+}
+
+TEST(QTableTest, MaxAbsTracksLargestMagnitude) {
+  QTable q(2);
+  q.Set(0, 0, -7.0);
+  q.Set(1, 1, 3.0);
+  EXPECT_DOUBLE_EQ(q.MaxAbsValue(), 7.0);
+}
+
+}  // namespace
+}  // namespace rlplanner::mdp

@@ -1,0 +1,306 @@
+// Tests for the MDP layer: episode state, reward components r1/r2/theta and
+// the full Eq. 2 reward — including the paper's Section III-B worked
+// examples on the Table II toy catalog.
+
+#include <gtest/gtest.h>
+
+#include "datagen/course_data.h"
+#include "datagen/trip_data.h"
+#include "mdp/episode_state.h"
+#include "mdp/reward.h"
+
+namespace rlplanner::mdp {
+namespace {
+
+class ToyRewardTest : public ::testing::Test {
+ protected:
+  ToyRewardTest()
+      : dataset_(datagen::MakeTableIIToy()),
+        instance_(dataset_.Instance()) {
+    weights_.epsilon = 1.0;  // Example 1: absolute threshold of 1 topic
+    weights_.delta = 0.8;
+    weights_.beta = 0.2;
+    weights_.category_weights = {0.6, 0.4};
+  }
+
+  model::ItemId Id(const char* code) {
+    return dataset_.catalog.FindByCode(code).value();
+  }
+
+  datagen::Dataset dataset_;
+  model::TaskInstance instance_;
+  RewardWeights weights_;
+};
+
+TEST_F(ToyRewardTest, EpisodeStateTracksEverything) {
+  EpisodeState state(instance_);
+  EXPECT_TRUE(state.Empty());
+  EXPECT_EQ(state.CurrentItem(), -1);
+  state.Add(Id("m1"));
+  state.Add(Id("m2"));
+  EXPECT_EQ(state.Length(), 2u);
+  EXPECT_EQ(state.CurrentItem(), Id("m2"));
+  EXPECT_TRUE(state.Contains(Id("m1")));
+  EXPECT_FALSE(state.Contains(Id("m3")));
+  EXPECT_EQ(state.primary_count(), 1);
+  EXPECT_EQ(state.secondary_count(), 1);
+  EXPECT_DOUBLE_EQ(state.total_credits(), 6.0);
+  // m1 covers algorithms+data structure, m2 classification+clustering.
+  EXPECT_EQ(state.covered_topics().Count(), 4u);
+  EXPECT_EQ(state.position_of()[Id("m1")], 0);
+  EXPECT_EQ(state.ToPlan().size(), 2u);
+}
+
+TEST_F(ToyRewardTest, PaperTopicCoverageExample) {
+  // Paper: with epsilon=1 and T_ideal from Example 1, s2(m2)->s4(m4) has
+  // r1=1 but s2(m2)->s5(m5) has r1=0 (Big Data adds no ideal topic).
+  const RewardFunction reward(instance_, weights_);
+  EpisodeState state(instance_);
+  state.Add(Id("m2"));
+  EXPECT_EQ(reward.TopicCoverageReward(state, Id("m4")), 1);
+  EXPECT_EQ(reward.TopicCoverageReward(state, Id("m5")), 0);
+}
+
+TEST_F(ToyRewardTest, TopicRewardCountsOnlyNewIdealTopics) {
+  const RewardFunction reward(instance_, weights_);
+  EpisodeState state(instance_);
+  state.Add(Id("m2"));  // already covers classification+clustering
+  state.Add(Id("m4"));  // linear system, matrix decomposition
+  // m6 covers classification, clustering, regression, neural network: only
+  // neural network is a *new* ideal topic -> still >= 1.
+  EXPECT_EQ(reward.TopicCoverageReward(state, Id("m6")), 1);
+}
+
+TEST_F(ToyRewardTest, PrerequisiteRewardOrGroup) {
+  // m5 requires (m2 OR m3) with gap 1.
+  const RewardFunction reward(instance_, weights_);
+  EpisodeState with_m2(instance_);
+  with_m2.Add(Id("m2"));
+  EXPECT_EQ(reward.PrerequisiteReward(with_m2, Id("m5")), 1);
+
+  EpisodeState with_m3(instance_);
+  with_m3.Add(Id("m3"));
+  EXPECT_EQ(reward.PrerequisiteReward(with_m3, Id("m5")), 1);
+
+  EpisodeState with_neither(instance_);
+  with_neither.Add(Id("m1"));
+  EXPECT_EQ(reward.PrerequisiteReward(with_neither, Id("m5")), 0);
+}
+
+TEST_F(ToyRewardTest, PrerequisiteRewardAndGroup) {
+  // m6 requires m4 AND m2.
+  const RewardFunction reward(instance_, weights_);
+  EpisodeState both(instance_);
+  both.Add(Id("m4"));
+  both.Add(Id("m2"));
+  EXPECT_EQ(reward.PrerequisiteReward(both, Id("m6")), 1);
+
+  EpisodeState only_one(instance_);
+  only_one.Add(Id("m4"));
+  EXPECT_EQ(reward.PrerequisiteReward(only_one, Id("m6")), 0);
+}
+
+TEST_F(ToyRewardTest, ThetaIsProductOfR1AndR2) {
+  const RewardFunction reward(instance_, weights_);
+  EpisodeState state(instance_);
+  state.Add(Id("m2"));
+  // m5: r2=1 (m2 present) but r1=0 -> theta 0.
+  EXPECT_EQ(reward.Theta(state, Id("m5")), 0);
+  // m4: r1=1, no prereqs -> theta 1.
+  EXPECT_EQ(reward.Theta(state, Id("m4")), 1);
+}
+
+TEST_F(ToyRewardTest, RewardZeroWhenThetaZero) {
+  const RewardFunction reward(instance_, weights_);
+  EpisodeState state(instance_);
+  state.Add(Id("m2"));
+  EXPECT_DOUBLE_EQ(reward.Reward(state, Id("m5")), 0.0);
+}
+
+TEST_F(ToyRewardTest, RewardCombinesSimilarityAndTypeWeight) {
+  const RewardFunction reward(instance_, weights_);
+  EpisodeState state(instance_);
+  state.Add(Id("m1"));  // primary
+  // Adding m2 (secondary): extended sequence PS.
+  const double sim = reward.InterleavingSimilarity(state, Id("m2"));
+  const double expected = weights_.delta * sim + weights_.beta * 0.4;
+  EXPECT_DOUBLE_EQ(reward.Reward(state, Id("m2")), expected);
+  EXPECT_DOUBLE_EQ(reward.TypeWeight(Id("m1")), 0.6);
+  EXPECT_DOUBLE_EQ(reward.TypeWeight(Id("m2")), 0.4);
+}
+
+TEST_F(ToyRewardTest, FeasibilityBlocksRepeats) {
+  const RewardFunction reward(instance_, weights_);
+  EpisodeState state(instance_);
+  state.Add(Id("m1"));
+  EXPECT_FALSE(reward.IsFeasible(state, Id("m1")));
+  EXPECT_TRUE(reward.IsFeasible(state, Id("m2")));
+}
+
+TEST(RewardWeightsTest, ValidateSimplexConditions) {
+  RewardWeights ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  RewardWeights bad_sum = ok;
+  bad_sum.delta = 0.9;  // delta+beta != 1
+  EXPECT_FALSE(bad_sum.Validate().ok());
+
+  RewardWeights bad_weights = ok;
+  bad_weights.category_weights = {0.9, 0.9};
+  EXPECT_FALSE(bad_weights.Validate().ok());
+
+  RewardWeights negative = ok;
+  negative.epsilon = -0.1;
+  EXPECT_FALSE(negative.Validate().ok());
+
+  RewardWeights empty = ok;
+  empty.category_weights.clear();
+  EXPECT_FALSE(empty.Validate().ok());
+}
+
+TEST(RewardEpsilonTest, FractionalEpsilonScalesWithVocabulary) {
+  // Univ-1 style: |T| = 60, epsilon = 0.0025 -> ceil(0.15) = 1 topic;
+  // epsilon = 0.02 -> ceil(1.2) = 2 topics.
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  RewardWeights weights;
+  weights.epsilon = 0.0025;
+  const RewardFunction one(instance, weights);
+  EXPECT_EQ(one.RequiredNewIdealTopics(), 1u);
+  RewardWeights weights2 = weights;
+  weights2.epsilon = 0.02;
+  const RewardFunction two(instance, weights2);
+  EXPECT_EQ(two.RequiredNewIdealTopics(), 2u);
+  RewardWeights weights3 = weights;
+  weights3.epsilon = 3.0;  // absolute when >= 1
+  const RewardFunction three(instance, weights3);
+  EXPECT_EQ(three.RequiredNewIdealTopics(), 3u);
+}
+
+TEST(TripRewardTest, TimeBudgetGatesFeasibility) {
+  datagen::Dataset dataset = datagen::MakeNycTrip();
+  const model::TaskInstance instance = dataset.Instance();
+  RewardWeights weights;
+  const RewardFunction reward(instance, weights);
+  EpisodeState state(instance);
+  // Fill the 6-hour budget.
+  double used = 0.0;
+  for (const model::Item& item : dataset.catalog.items()) {
+    if (used + item.credits > 5.0) continue;
+    if (state.Contains(item.id)) continue;
+    state.Add(item.id);
+    used += item.credits;
+    if (used > 4.5) break;
+  }
+  // Any POI longer than the remaining budget must be infeasible.
+  for (const model::Item& item : dataset.catalog.items()) {
+    if (state.Contains(item.id)) continue;
+    if (state.total_credits() + item.credits > 6.0 + 1e-9) {
+      EXPECT_FALSE(reward.IsFeasible(state, item.id));
+    }
+  }
+}
+
+TEST(TripRewardTest, ConsecutiveSameThemeBlocksR2) {
+  datagen::Dataset dataset = datagen::MakeNycTrip();
+  const model::TaskInstance instance = dataset.Instance();
+  RewardWeights weights;
+  const RewardFunction reward(instance, weights);
+
+  // Find two POIs sharing a primary theme and no prerequisites.
+  model::ItemId first = -1;
+  model::ItemId second = -1;
+  for (const model::Item& a : dataset.catalog.items()) {
+    if (!a.prereqs.empty() || a.primary_theme < 0) continue;
+    for (const model::Item& b : dataset.catalog.items()) {
+      if (a.id == b.id || !b.prereqs.empty()) continue;
+      if (a.primary_theme == b.primary_theme) {
+        first = a.id;
+        second = b.id;
+        break;
+      }
+    }
+    if (first >= 0) break;
+  }
+  ASSERT_GE(first, 0);
+  EpisodeState state(instance);
+  state.Add(first);
+  EXPECT_EQ(reward.PrerequisiteReward(state, second), 0);
+}
+
+TEST_F(ToyRewardTest, DeltaBetaExtremesIsolateTerms) {
+  // delta=1: reward equals the similarity term; beta=1: reward equals the
+  // type weight (when theta=1).
+  mdp::RewardWeights only_similarity = weights_;
+  only_similarity.delta = 1.0;
+  only_similarity.beta = 0.0;
+  const RewardFunction sim_reward(instance_, only_similarity);
+  EpisodeState state(instance_);
+  state.Add(Id("m1"));
+  EXPECT_DOUBLE_EQ(sim_reward.Reward(state, Id("m2")),
+                   sim_reward.InterleavingSimilarity(state, Id("m2")));
+
+  mdp::RewardWeights only_type = weights_;
+  only_type.delta = 0.0;
+  only_type.beta = 1.0;
+  const RewardFunction type_reward(instance_, only_type);
+  EXPECT_DOUBLE_EQ(type_reward.Reward(state, Id("m2")), 0.4);
+  // A theta-positive primary: enable m6 (needs m4 AND m2; adds the ideal
+  // topic "neural network").
+  EpisodeState enabled(instance_);
+  enabled.Add(Id("m4"));
+  enabled.Add(Id("m2"));
+  EXPECT_DOUBLE_EQ(type_reward.Reward(enabled, Id("m6")), 0.6);
+}
+
+TEST_F(ToyRewardTest, MinSimilarityModeUsedInReward) {
+  mdp::RewardWeights min_weights = weights_;
+  min_weights.similarity = SimilarityMode::kMinimum;
+  const RewardFunction min_reward(instance_, min_weights);
+  const RewardFunction avg_reward(instance_, weights_);
+  EpisodeState state(instance_);
+  state.Add(Id("m1"));
+  EXPECT_LE(min_reward.InterleavingSimilarity(state, Id("m2")),
+            avg_reward.InterleavingSimilarity(state, Id("m2")) + 1e-12);
+}
+
+TEST(Univ2RewardTest, SixCategoryWeightsApply) {
+  datagen::Dataset dataset = datagen::MakeUniv2Ds();
+  const model::TaskInstance instance = dataset.Instance();
+  mdp::RewardWeights weights;
+  weights.category_weights = {0.25, 0.01, 0.15, 0.42, 0.01, 0.16};
+  const RewardFunction reward(instance, weights);
+  // CS 229 is category 3 (applied ML), STATS 390 category 4 (practical).
+  const auto cs229 = dataset.catalog.FindByCode("CS 229").value();
+  const auto stats390 = dataset.catalog.FindByCode("STATS 390").value();
+  EXPECT_DOUBLE_EQ(reward.TypeWeight(cs229), 0.42);
+  EXPECT_DOUBLE_EQ(reward.TypeWeight(stats390), 0.01);
+  // Out-of-range categories get weight 0 rather than UB.
+  mdp::RewardWeights two_weights;
+  const RewardFunction short_reward(instance, two_weights);
+  EXPECT_DOUBLE_EQ(short_reward.TypeWeight(cs229), 0.0);
+}
+
+TEST_F(ToyRewardTest, ThetaShortCircuitsPrereqCheck) {
+  // When r1 = 0 the theta product is 0 regardless of r2; exercised by an
+  // item whose topics are fully covered AND whose prereqs are unmet.
+  const RewardFunction reward(instance_, weights_);
+  EpisodeState state(instance_);
+  state.Add(Id("m2"));  // covers classification+clustering
+  state.Add(Id("m4"));  // linear system etc.
+  // m5: adds no new ideal topic (r1=0) and its r2 is satisfied (m2 there).
+  EXPECT_EQ(reward.Theta(state, Id("m5")), 0);
+}
+
+TEST(EpisodeStateTest, CategoryCountsTracked) {
+  datagen::Dataset dataset = datagen::MakeUniv2Ds();
+  const model::TaskInstance instance = dataset.Instance();
+  EpisodeState state(instance);
+  const model::Item& first = dataset.catalog.item(0);
+  state.Add(first.id);
+  EXPECT_EQ(state.CategoryCount(first.category), 1);
+  EXPECT_EQ(state.CategoryCount(99), 0);
+}
+
+}  // namespace
+}  // namespace rlplanner::mdp

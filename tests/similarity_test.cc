@@ -1,0 +1,140 @@
+// Tests of the interleaving similarity (Eq. 6/7), including the paper's own
+// worked example from Section III-B4.
+
+#include <gtest/gtest.h>
+
+#include "mdp/similarity.h"
+
+namespace rlplanner::mdp {
+namespace {
+
+using model::InterleavingTemplate;
+using model::ItemType;
+using model::TypeSequence;
+
+TypeSequence Seq(const std::string& compact) {
+  TypeSequence out;
+  for (char c : compact) {
+    out.push_back(c == 'P' ? ItemType::kPrimary : ItemType::kSecondary);
+  }
+  return out;
+}
+
+InterleavingTemplate Example1Template() {
+  auto parsed =
+      InterleavingTemplate::FromStrings({"PPSPSS", "PSSSPP", "PSSPPS"});
+  EXPECT_TRUE(parsed.ok());
+  return parsed.value();
+}
+
+TEST(MatchVectorTest, PaperWorkedExample) {
+  // Session so far: {primary, secondary, primary, primary}; the paper gives
+  // match vectors {[1,0,0,1],[1,1,0,0],[1,1,0,1]} against Example 1's IT.
+  const TypeSequence session = Seq("PSPP");
+  const InterleavingTemplate it = Example1Template();
+  EXPECT_EQ(MatchVector(session, it.permutation(0)),
+            (std::vector<int>{1, 0, 0, 1}));
+  EXPECT_EQ(MatchVector(session, it.permutation(1)),
+            (std::vector<int>{1, 1, 0, 0}));
+  EXPECT_EQ(MatchVector(session, it.permutation(2)),
+            (std::vector<int>{1, 1, 0, 1}));
+}
+
+TEST(SequenceSimilarityTest, PaperWorkedExampleSimValues) {
+  // Sim(s, I)^4 = [0.5, 1, 1.5] per the paper.
+  const TypeSequence session = Seq("PSPP");
+  const InterleavingTemplate it = Example1Template();
+  EXPECT_DOUBLE_EQ(SequenceSimilarity(session, it.permutation(0)), 0.5);
+  EXPECT_DOUBLE_EQ(SequenceSimilarity(session, it.permutation(1)), 1.0);
+  EXPECT_DOUBLE_EQ(SequenceSimilarity(session, it.permutation(2)), 1.5);
+}
+
+TEST(AggregateSimilarityTest, PaperWorkedExampleAvgSim) {
+  // AvgSim(s, IT)^4 = 1.
+  EXPECT_DOUBLE_EQ(AggregateSimilarity(Seq("PSPP"), Example1Template(),
+                                       SimilarityMode::kAverage),
+                   1.0);
+}
+
+TEST(AggregateSimilarityTest, MinimumVariantTakesWorstPermutation) {
+  EXPECT_DOUBLE_EQ(AggregateSimilarity(Seq("PSPP"), Example1Template(),
+                                       SimilarityMode::kMinimum),
+                   0.5);
+}
+
+TEST(SequenceSimilarityTest, PerfectMatchScoresK) {
+  // A full perfect match of a k-slot permutation scores k (this is why the
+  // paper's gold standards score 10 and 15).
+  const TypeSequence perm = Seq("PPSPSS");
+  EXPECT_DOUBLE_EQ(SequenceSimilarity(perm, perm), 6.0);
+}
+
+TEST(SequenceSimilarityTest, EmptySequenceScoresZero) {
+  EXPECT_DOUBLE_EQ(SequenceSimilarity({}, Seq("PPS")), 0.0);
+}
+
+TEST(SequenceSimilarityTest, TotalMismatchScoresZero) {
+  EXPECT_DOUBLE_EQ(SequenceSimilarity(Seq("SSS"), Seq("PPP")), 0.0);
+}
+
+TEST(SequenceSimilarityTest, SequenceLongerThanPermutation) {
+  // Positions beyond the permutation count as mismatches but still divide k.
+  // seq PPPP vs perm PP: matches = 2, zeta = 2, k = 4 -> 1.0.
+  EXPECT_DOUBLE_EQ(SequenceSimilarity(Seq("PPPP"), Seq("PP")), 1.0);
+}
+
+TEST(SequenceSimilarityTest, ConsecutiveRunWeighting) {
+  // Same number of matches, different runs: [1,1,0,0] -> zeta 2 beats
+  // [1,0,1,0] -> zeta 1.
+  const double grouped = SequenceSimilarity(Seq("PPSS"), Seq("PPPP"));
+  const double scattered = SequenceSimilarity(Seq("PSPS"), Seq("PPPP"));
+  EXPECT_DOUBLE_EQ(grouped, 2.0 * 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(scattered, 1.0 * 2.0 / 4.0);
+  EXPECT_GT(grouped, scattered);
+}
+
+TEST(AggregateSimilarityTest, EmptyTemplateScoresZero) {
+  InterleavingTemplate empty;
+  EXPECT_DOUBLE_EQ(
+      AggregateSimilarity(Seq("PS"), empty, SimilarityMode::kAverage), 0.0);
+  EXPECT_DOUBLE_EQ(
+      AggregateSimilarity(Seq("PS"), empty, SimilarityMode::kMinimum), 0.0);
+}
+
+TEST(BestSimilarityTest, PicksBestPermutation) {
+  EXPECT_DOUBLE_EQ(BestSimilarity(Seq("PSPP"), Example1Template()), 1.5);
+}
+
+TEST(BestSimilarityTest, FullSequenceAgainstExactTemplate) {
+  // The paper's m1->m2->m4->m5->m6->m3 example fully satisfies I_2 (PSSSPP).
+  EXPECT_DOUBLE_EQ(BestSimilarity(Seq("PSSSPP"), Example1Template()), 6.0);
+}
+
+// Property sweep: similarity is always within [0, k] and AvgSim <= BestSim.
+class SimilarityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityPropertyTest, BoundsAndDominance) {
+  const int bits = GetParam();
+  // Generate a deterministic pseudo-random P/S sequence from the bits.
+  TypeSequence seq;
+  for (int i = 0; i < 8; ++i) {
+    seq.push_back((bits >> i) & 1 ? ItemType::kPrimary
+                                  : ItemType::kSecondary);
+  }
+  auto it = InterleavingTemplate::FromStrings(
+                {"PPSPSSPS", "PSPSPSPS", "PPSSPPSS"})
+                .value();
+  const double avg = AggregateSimilarity(seq, it, SimilarityMode::kAverage);
+  const double min = AggregateSimilarity(seq, it, SimilarityMode::kMinimum);
+  const double best = BestSimilarity(seq, it);
+  EXPECT_GE(min, 0.0);
+  EXPECT_LE(best, 8.0);
+  EXPECT_LE(min, avg + 1e-12);
+  EXPECT_LE(avg, best + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, SimilarityPropertyTest,
+                         ::testing::Range(0, 256));
+
+}  // namespace
+}  // namespace rlplanner::mdp

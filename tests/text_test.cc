@@ -1,0 +1,88 @@
+// Tests for the text substrate: tokenizer, stopwords, topic extraction.
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/topic_extractor.h"
+
+namespace rlplanner::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("Data Structures & Algorithms"),
+            (std::vector<std::string>{"data", "structures", "algorithms"}));
+}
+
+TEST(TokenizerTest, DropsPureDigitTokens) {
+  EXPECT_EQ(Tokenize("CS 675 Machine Learning"),
+            (std::vector<std::string>{"cs", "machine", "learning"}));
+}
+
+TEST(TokenizerTest, KeepsAlphanumericMixes) {
+  EXPECT_EQ(Tokenize("CS224N NLP"),
+            (std::vector<std::string>{"cs224n", "nlp"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("--- !!! 42 7").empty());
+}
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("introduction"));
+  EXPECT_TRUE(IsStopword("topics"));
+  EXPECT_TRUE(IsStopword("advanced"));
+}
+
+TEST(StopwordsTest, ContentWordsAreNot) {
+  EXPECT_FALSE(IsStopword("clustering"));
+  EXPECT_FALSE(IsStopword("machine"));
+  EXPECT_FALSE(IsStopword("museum"));
+  EXPECT_FALSE(IsStopword(""));
+}
+
+TEST(TopicExtractorTest, ExtractsNonStopwordsDeduplicated) {
+  TopicExtractor extractor;
+  const auto ids = extractor.ExtractTopics("Data Mining and Data Analytics");
+  // "and" dropped, "data" deduplicated.
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(extractor.TopicName(ids[0]), "data");
+  EXPECT_EQ(extractor.TopicName(ids[1]), "mining");
+  EXPECT_EQ(extractor.TopicName(ids[2]), "analytics");
+}
+
+TEST(TopicExtractorTest, SharedVocabularyAcrossItems) {
+  TopicExtractor extractor;
+  const auto a = extractor.ExtractTopics("Machine Learning");
+  const auto b = extractor.ExtractTopics("Deep Learning");
+  EXPECT_EQ(extractor.vocabulary_size(), 3u);  // machine, learning, deep
+  // "learning" has the same id in both.
+  EXPECT_EQ(a[1], b[1]);
+}
+
+TEST(TopicExtractorTest, InternTopicIdempotent) {
+  TopicExtractor extractor;
+  const int first = extractor.InternTopic("museum");
+  const int second = extractor.InternTopic("museum");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(extractor.TopicId("museum"), first);
+  EXPECT_EQ(extractor.TopicId("nothere"), -1);
+}
+
+TEST(TopicExtractorTest, ToBitsetSetsOnlyGivenIds) {
+  TopicExtractor extractor;
+  extractor.InternTopic("a");
+  extractor.InternTopic("b");
+  extractor.InternTopic("c");
+  const auto bits = extractor.ToBitset({0, 2});
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_TRUE(bits.Test(2));
+  EXPECT_EQ(bits.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rlplanner::text

@@ -1,0 +1,38 @@
+// make_report — regenerates the headline evaluation as a Markdown report.
+//
+//   make_report [output.md] [--runs N] [--seed S]
+//
+// Writes to stdout when no output path is given.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  rlplanner::eval::ReportOptions options;
+  std::string output;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      options.runs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (argv[i][0] != '-') {
+      output = argv[i];
+    }
+  }
+
+  if (output.empty()) {
+    std::printf("%s", rlplanner::eval::BuildEvaluationReport(options).c_str());
+    return 0;
+  }
+  const auto status = rlplanner::eval::WriteEvaluationReport(options, output);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", output.c_str());
+  return 0;
+}

@@ -1,0 +1,290 @@
+// rlplanner_cli — command-line front end for the RL-Planner library.
+//
+// Subcommands:
+//   list                                  show the built-in datasets
+//   info    --dataset <name|file.csv>     dataset statistics
+//   export  --dataset <name> --out <csv>  dump a built-in dataset to CSV
+//   gold    --dataset <name|file.csv>     print the gold-standard plan
+//   plan    --dataset <name|file.csv>     train RL-Planner and recommend
+//           [--start CODE] [--episodes N] [--alpha A] [--gamma G]
+//           [--epsilon E] [--similarity avg|min] [--beam] [--seed S]
+//
+// Datasets can be the built-in names (toy, univ1-dsct, univ1-cyber,
+// univ1-cs, univ2-ds, nyc, paris) or a CSV file produced by `export` /
+// `datagen::SaveDatasetCsv` — so the tool plans over user-edited catalogs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "baselines/gold.h"
+#include "core/config.h"
+#include "core/planner.h"
+#include "core/scoring.h"
+#include "datagen/course_data.h"
+#include "datagen/io.h"
+#include "datagen/trip_data.h"
+#include "rl/policy_inspector.h"
+#include "util/string_util.h"
+
+namespace {
+
+using rlplanner::datagen::Dataset;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rlplanner_cli <list|info|export|gold|plan|inspect> "
+      "[options]\n"
+      "  --dataset <name|file.csv>   (toy, univ1-dsct, univ1-cyber,\n"
+      "                               univ1-cs, univ2-ds, nyc, paris)\n"
+      "  --start CODE  --episodes N  --alpha A  --gamma G  --epsilon E\n"
+      "  --similarity avg|min  --beam  --seed S  --out FILE\n");
+  return 2;
+}
+
+std::optional<Dataset> LoadDataset(const std::string& spec) {
+  using namespace rlplanner::datagen;
+  if (spec == "toy") return MakeTableIIToy();
+  if (spec == "univ1-dsct") return MakeUniv1DsCt();
+  if (spec == "univ1-cyber") return MakeUniv1Cybersecurity();
+  if (spec == "univ1-cs") return MakeUniv1Cs();
+  if (spec == "univ2-ds") return MakeUniv2Ds();
+  if (spec == "nyc") return MakeNycTrip();
+  if (spec == "paris") return MakeParisTrip();
+  auto loaded = LoadDatasetCsv(spec);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load dataset '%s': %s\n", spec.c_str(),
+                 loaded.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return std::move(loaded).value();
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "1";  // boolean flag
+    }
+  }
+  return flags;
+}
+
+int CmdList() {
+  std::printf("built-in datasets:\n");
+  const char* rows[][2] = {
+      {"toy", "Table II toy program (6 courses, 13 topics)"},
+      {"univ1-dsct", "Univ-1 M.S. DS-CT (31 courses, 60 topics)"},
+      {"univ1-cyber", "Univ-1 M.S. Cybersecurity (30 courses, 61 topics)"},
+      {"univ1-cs", "Univ-1 M.S. CS (32 courses, 100 topics)"},
+      {"univ2-ds", "Univ-2 M.S. DS (36 courses, 73 topics, 6 categories)"},
+      {"nyc", "NYC trip (90 POIs, 21 themes)"},
+      {"paris", "Paris trip (114 POIs, 16 themes)"},
+  };
+  for (const auto& row : rows) std::printf("  %-12s %s\n", row[0], row[1]);
+  return 0;
+}
+
+int CmdInfo(const Dataset& dataset) {
+  const auto& catalog = dataset.catalog;
+  std::printf("dataset:     %s\n", dataset.name.c_str());
+  std::printf("domain:      %s\n",
+              catalog.domain() == rlplanner::model::Domain::kTrip
+                  ? "trip"
+                  : "course");
+  std::printf("items:       %zu (%d primary, %d secondary)\n",
+              catalog.size(),
+              catalog.CountByType(rlplanner::model::ItemType::kPrimary),
+              catalog.CountByType(rlplanner::model::ItemType::kSecondary));
+  std::printf("topics:      %zu\n", catalog.vocabulary_size());
+  std::printf("constraints: min_credits=%.1f  split=%d/%d  gap=%d\n",
+              dataset.hard.min_credits, dataset.hard.num_primary,
+              dataset.hard.num_secondary, dataset.hard.gap);
+  std::printf("templates:   %zu permutations of length %zu\n",
+              dataset.soft.interleaving.size(),
+              dataset.soft.interleaving.length());
+  std::printf("start:       %s\n",
+              catalog.item(dataset.default_start).code.c_str());
+  int with_prereqs = 0;
+  for (const auto& item : catalog.items()) {
+    if (!item.prereqs.empty()) ++with_prereqs;
+  }
+  std::printf("prereqs:     %d items carry antecedents\n", with_prereqs);
+  return 0;
+}
+
+int CmdExport(const Dataset& dataset, const std::string& out) {
+  const auto status = rlplanner::datagen::SaveDatasetCsv(dataset, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdGold(const Dataset& dataset) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  auto gold = rlplanner::baselines::BuildGoldStandard(instance);
+  if (!gold.ok()) {
+    std::fprintf(stderr, "no gold standard: %s\n",
+                 gold.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("gold standard (score %.2f):\n  %s\n",
+              rlplanner::core::ScorePlan(instance, gold.value()),
+              gold.value().ToString(dataset.catalog).c_str());
+  return 0;
+}
+
+int CmdPlan(const Dataset& dataset,
+            const std::map<std::string, std::string>& flags) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  rlplanner::core::PlannerConfig config;
+  // Pick Table III defaults by dataset shape.
+  if (dataset.catalog.domain() == rlplanner::model::Domain::kTrip) {
+    config = rlplanner::core::DefaultTripConfig();
+  } else if (dataset.catalog.category_names().size() > 2) {
+    config = rlplanner::core::DefaultUniv2Config();
+  } else {
+    config = rlplanner::core::DefaultUniv1Config();
+  }
+  if (dataset.catalog.category_names().size() !=
+      config.reward.category_weights.size()) {
+    const std::size_t c = dataset.catalog.category_names().size();
+    config.reward.category_weights.assign(c, 1.0 / static_cast<double>(c));
+  }
+
+  auto get = [&flags](const char* key) -> std::optional<std::string> {
+    auto it = flags.find(key);
+    if (it == flags.end()) return std::nullopt;
+    return it->second;
+  };
+  if (auto v = get("episodes")) config.sarsa.num_episodes = std::atoi(v->c_str());
+  if (auto v = get("alpha")) config.sarsa.alpha = std::atof(v->c_str());
+  if (auto v = get("gamma")) config.sarsa.gamma = std::atof(v->c_str());
+  if (auto v = get("epsilon")) config.reward.epsilon = std::atof(v->c_str());
+  if (auto v = get("seed")) config.seed = std::strtoull(v->c_str(), nullptr, 10);
+  if (auto v = get("similarity")) {
+    config.reward.similarity = *v == "min"
+                                   ? rlplanner::mdp::SimilarityMode::kMinimum
+                                   : rlplanner::mdp::SimilarityMode::kAverage;
+  }
+  if (get("beam")) config.use_beam_search = true;
+
+  rlplanner::model::ItemId start = dataset.default_start;
+  if (auto v = get("start")) {
+    auto found = dataset.catalog.FindByCode(*v);
+    if (!found.ok()) {
+      std::fprintf(stderr, "unknown start item '%s'\n", v->c_str());
+      return 1;
+    }
+    start = found.value();
+  }
+  config.sarsa.start_item = start;
+
+  rlplanner::core::RlPlanner planner(instance, config);
+  if (const auto status = planner.Train(); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained %d episodes in %.3f s\n", config.sarsa.num_episodes,
+              planner.train_seconds());
+  auto plan = planner.Recommend(start);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan:  %s\n", plan.value().ToString(dataset.catalog).c_str());
+  std::printf("check: %s\n",
+              planner.Validate(plan.value()).ToString().c_str());
+  std::printf("score: %.2f\n", planner.Score(plan.value()));
+  if (auto v = get("save-policy")) {
+    const auto status = planner.SavePolicy(*v);
+    std::printf("policy: %s\n", status.ok() ? v->c_str()
+                                            : status.ToString().c_str());
+  }
+  return 0;
+}
+
+// Trains a policy and prints its strongest transitions; with --out, also
+// writes a Graphviz DOT rendering.
+int CmdInspect(const Dataset& dataset,
+               const std::map<std::string, std::string>& flags) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  rlplanner::core::PlannerConfig config;
+  config.sarsa.num_episodes = 500;
+  config.sarsa.start_item = dataset.default_start;
+  auto it = flags.find("episodes");
+  if (it != flags.end()) config.sarsa.num_episodes = std::atoi(it->second.c_str());
+  if (dataset.catalog.category_names().size() !=
+      config.reward.category_weights.size()) {
+    const std::size_t c = dataset.catalog.category_names().size();
+    config.reward.category_weights.assign(c, 1.0 / static_cast<double>(c));
+  }
+  rlplanner::core::RlPlanner planner(instance, config);
+  if (const auto status = planner.Train(); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const rlplanner::rl::PolicyInspector inspector(planner.q_table(),
+                                                 dataset.catalog);
+  std::printf("strongest learned transitions:\n");
+  for (const auto& edge : inspector.TopTransitions(15)) {
+    std::printf("  %-28s -> %-28s Q=%.2f\n",
+                dataset.catalog.item(edge.from).code.c_str(),
+                dataset.catalog.item(edge.to).code.c_str(), edge.q_value);
+  }
+  const auto out = flags.find("out");
+  if (out != flags.end()) {
+    FILE* f = std::fopen(out->second.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out->second.c_str());
+      return 1;
+    }
+    const std::string dot = inspector.ToDot(40);
+    std::fwrite(dot.data(), 1, dot.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (render with: dot -Tsvg %s)\n",
+                out->second.c_str(), out->second.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "list") return CmdList();
+
+  const auto flags = ParseFlags(argc, argv, 2);
+  const auto dataset_flag = flags.find("dataset");
+  if (dataset_flag == flags.end()) return Usage();
+  auto dataset = LoadDataset(dataset_flag->second);
+  if (!dataset.has_value()) return 1;
+
+  if (command == "info") return CmdInfo(*dataset);
+  if (command == "export") {
+    const auto out = flags.find("out");
+    if (out == flags.end()) return Usage();
+    return CmdExport(*dataset, out->second);
+  }
+  if (command == "gold") return CmdGold(*dataset);
+  if (command == "plan") return CmdPlan(*dataset, flags);
+  if (command == "inspect") return CmdInspect(*dataset, flags);
+  return Usage();
+}
