@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_baselines.dir/fig1_baselines.cc.o"
+  "CMakeFiles/fig1_baselines.dir/fig1_baselines.cc.o.d"
+  "fig1_baselines"
+  "fig1_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_params_univ2.dir/table12_params_univ2.cc.o"
+  "CMakeFiles/table12_params_univ2.dir/table12_params_univ2.cc.o.d"
+  "table12_params_univ2"
+  "table12_params_univ2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_params_univ2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table12_params_univ2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table12_params_univ2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table15_params_trips.dir/table15_params_trips.cc.o"
+  "CMakeFiles/table15_params_trips.dir/table15_params_trips.cc.o.d"
+  "table15_params_trips"
+  "table15_params_trips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table15_params_trips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_user_study.dir/table4_user_study.cc.o"
+  "CMakeFiles/table4_user_study.dir/table4_user_study.cc.o.d"
+  "table4_user_study"
+  "table4_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_transfer_courses.dir/table5_transfer_courses.cc.o"
+  "CMakeFiles/table5_transfer_courses.dir/table5_transfer_courses.cc.o.d"
+  "table5_transfer_courses"
+  "table5_transfer_courses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_transfer_courses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_transfer_trips.dir/table7_transfer_trips.cc.o"
+  "CMakeFiles/table7_transfer_trips.dir/table7_transfer_trips.cc.o.d"
+  "table7_transfer_trips"
+  "table7_transfer_trips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_transfer_trips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

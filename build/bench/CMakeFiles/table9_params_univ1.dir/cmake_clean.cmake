@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_params_univ1.dir/table9_params_univ1.cc.o"
+  "CMakeFiles/table9_params_univ1.dir/table9_params_univ1.cc.o.d"
+  "table9_params_univ1"
+  "table9_params_univ1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_params_univ1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

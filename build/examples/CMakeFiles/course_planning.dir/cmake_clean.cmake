@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_planning.dir/course_planning.cpp.o"
+  "CMakeFiles/course_planning.dir/course_planning.cpp.o.d"
+  "course_planning"
+  "course_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_advising.dir/interactive_advising.cpp.o"
+  "CMakeFiles/interactive_advising.dir/interactive_advising.cpp.o.d"
+  "interactive_advising"
+  "interactive_advising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_advising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_adaptive.dir/adaptive/adaptive_planner.cc.o"
+  "CMakeFiles/rlplanner_adaptive.dir/adaptive/adaptive_planner.cc.o.d"
+  "CMakeFiles/rlplanner_adaptive.dir/adaptive/feedback.cc.o"
+  "CMakeFiles/rlplanner_adaptive.dir/adaptive/feedback.cc.o.d"
+  "CMakeFiles/rlplanner_adaptive.dir/adaptive/interactive.cc.o"
+  "CMakeFiles/rlplanner_adaptive.dir/adaptive/interactive.cc.o.d"
+  "librlplanner_adaptive.a"
+  "librlplanner_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_baselines.dir/baselines/eda.cc.o"
+  "CMakeFiles/rlplanner_baselines.dir/baselines/eda.cc.o.d"
+  "CMakeFiles/rlplanner_baselines.dir/baselines/gold.cc.o"
+  "CMakeFiles/rlplanner_baselines.dir/baselines/gold.cc.o.d"
+  "CMakeFiles/rlplanner_baselines.dir/baselines/omega.cc.o"
+  "CMakeFiles/rlplanner_baselines.dir/baselines/omega.cc.o.d"
+  "librlplanner_baselines.a"
+  "librlplanner_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/rlplanner_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/rlplanner_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/rlplanner_core.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/rlplanner_core.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/scoring.cc" "src/CMakeFiles/rlplanner_core.dir/core/scoring.cc.o" "gcc" "src/CMakeFiles/rlplanner_core.dir/core/scoring.cc.o.d"
+  "/root/repo/src/core/validation.cc" "src/CMakeFiles/rlplanner_core.dir/core/validation.cc.o" "gcc" "src/CMakeFiles/rlplanner_core.dir/core/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlplanner_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_mdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

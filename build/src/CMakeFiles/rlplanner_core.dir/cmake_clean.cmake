@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_core.dir/core/config.cc.o"
+  "CMakeFiles/rlplanner_core.dir/core/config.cc.o.d"
+  "CMakeFiles/rlplanner_core.dir/core/planner.cc.o"
+  "CMakeFiles/rlplanner_core.dir/core/planner.cc.o.d"
+  "CMakeFiles/rlplanner_core.dir/core/scoring.cc.o"
+  "CMakeFiles/rlplanner_core.dir/core/scoring.cc.o.d"
+  "CMakeFiles/rlplanner_core.dir/core/validation.cc.o"
+  "CMakeFiles/rlplanner_core.dir/core/validation.cc.o.d"
+  "librlplanner_core.a"
+  "librlplanner_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_datagen.dir/datagen/course_data.cc.o"
+  "CMakeFiles/rlplanner_datagen.dir/datagen/course_data.cc.o.d"
+  "CMakeFiles/rlplanner_datagen.dir/datagen/io.cc.o"
+  "CMakeFiles/rlplanner_datagen.dir/datagen/io.cc.o.d"
+  "CMakeFiles/rlplanner_datagen.dir/datagen/synthetic.cc.o"
+  "CMakeFiles/rlplanner_datagen.dir/datagen/synthetic.cc.o.d"
+  "CMakeFiles/rlplanner_datagen.dir/datagen/trip_data.cc.o"
+  "CMakeFiles/rlplanner_datagen.dir/datagen/trip_data.cc.o.d"
+  "librlplanner_datagen.a"
+  "librlplanner_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/convergence.cc" "src/CMakeFiles/rlplanner_eval.dir/eval/convergence.cc.o" "gcc" "src/CMakeFiles/rlplanner_eval.dir/eval/convergence.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/rlplanner_eval.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/rlplanner_eval.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/rlplanner_eval.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/rlplanner_eval.dir/eval/report.cc.o.d"
+  "/root/repo/src/eval/sweep.cc" "src/CMakeFiles/rlplanner_eval.dir/eval/sweep.cc.o" "gcc" "src/CMakeFiles/rlplanner_eval.dir/eval/sweep.cc.o.d"
+  "/root/repo/src/eval/transfer_study.cc" "src/CMakeFiles/rlplanner_eval.dir/eval/transfer_study.cc.o" "gcc" "src/CMakeFiles/rlplanner_eval.dir/eval/transfer_study.cc.o.d"
+  "/root/repo/src/eval/user_study.cc" "src/CMakeFiles/rlplanner_eval.dir/eval/user_study.cc.o" "gcc" "src/CMakeFiles/rlplanner_eval.dir/eval/user_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlplanner_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_mdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

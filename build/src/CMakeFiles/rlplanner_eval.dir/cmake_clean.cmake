@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_eval.dir/eval/convergence.cc.o"
+  "CMakeFiles/rlplanner_eval.dir/eval/convergence.cc.o.d"
+  "CMakeFiles/rlplanner_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/rlplanner_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/rlplanner_eval.dir/eval/report.cc.o"
+  "CMakeFiles/rlplanner_eval.dir/eval/report.cc.o.d"
+  "CMakeFiles/rlplanner_eval.dir/eval/sweep.cc.o"
+  "CMakeFiles/rlplanner_eval.dir/eval/sweep.cc.o.d"
+  "CMakeFiles/rlplanner_eval.dir/eval/transfer_study.cc.o"
+  "CMakeFiles/rlplanner_eval.dir/eval/transfer_study.cc.o.d"
+  "CMakeFiles/rlplanner_eval.dir/eval/user_study.cc.o"
+  "CMakeFiles/rlplanner_eval.dir/eval/user_study.cc.o.d"
+  "librlplanner_eval.a"
+  "librlplanner_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_geo.dir/geo/latlng.cc.o"
+  "CMakeFiles/rlplanner_geo.dir/geo/latlng.cc.o.d"
+  "librlplanner_geo.a"
+  "librlplanner_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlplanner_geo.a"
+)

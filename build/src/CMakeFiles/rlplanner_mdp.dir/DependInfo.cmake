@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdp/cmdp.cc" "src/CMakeFiles/rlplanner_mdp.dir/mdp/cmdp.cc.o" "gcc" "src/CMakeFiles/rlplanner_mdp.dir/mdp/cmdp.cc.o.d"
+  "/root/repo/src/mdp/episode_state.cc" "src/CMakeFiles/rlplanner_mdp.dir/mdp/episode_state.cc.o" "gcc" "src/CMakeFiles/rlplanner_mdp.dir/mdp/episode_state.cc.o.d"
+  "/root/repo/src/mdp/q_table.cc" "src/CMakeFiles/rlplanner_mdp.dir/mdp/q_table.cc.o" "gcc" "src/CMakeFiles/rlplanner_mdp.dir/mdp/q_table.cc.o.d"
+  "/root/repo/src/mdp/reward.cc" "src/CMakeFiles/rlplanner_mdp.dir/mdp/reward.cc.o" "gcc" "src/CMakeFiles/rlplanner_mdp.dir/mdp/reward.cc.o.d"
+  "/root/repo/src/mdp/similarity.cc" "src/CMakeFiles/rlplanner_mdp.dir/mdp/similarity.cc.o" "gcc" "src/CMakeFiles/rlplanner_mdp.dir/mdp/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlplanner_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

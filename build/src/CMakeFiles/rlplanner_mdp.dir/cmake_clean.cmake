@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_mdp.dir/mdp/cmdp.cc.o"
+  "CMakeFiles/rlplanner_mdp.dir/mdp/cmdp.cc.o.d"
+  "CMakeFiles/rlplanner_mdp.dir/mdp/episode_state.cc.o"
+  "CMakeFiles/rlplanner_mdp.dir/mdp/episode_state.cc.o.d"
+  "CMakeFiles/rlplanner_mdp.dir/mdp/q_table.cc.o"
+  "CMakeFiles/rlplanner_mdp.dir/mdp/q_table.cc.o.d"
+  "CMakeFiles/rlplanner_mdp.dir/mdp/reward.cc.o"
+  "CMakeFiles/rlplanner_mdp.dir/mdp/reward.cc.o.d"
+  "CMakeFiles/rlplanner_mdp.dir/mdp/similarity.cc.o"
+  "CMakeFiles/rlplanner_mdp.dir/mdp/similarity.cc.o.d"
+  "librlplanner_mdp.a"
+  "librlplanner_mdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/builder.cc" "src/CMakeFiles/rlplanner_model.dir/model/builder.cc.o" "gcc" "src/CMakeFiles/rlplanner_model.dir/model/builder.cc.o.d"
+  "/root/repo/src/model/catalog.cc" "src/CMakeFiles/rlplanner_model.dir/model/catalog.cc.o" "gcc" "src/CMakeFiles/rlplanner_model.dir/model/catalog.cc.o.d"
+  "/root/repo/src/model/constraints.cc" "src/CMakeFiles/rlplanner_model.dir/model/constraints.cc.o" "gcc" "src/CMakeFiles/rlplanner_model.dir/model/constraints.cc.o.d"
+  "/root/repo/src/model/interleaving_template.cc" "src/CMakeFiles/rlplanner_model.dir/model/interleaving_template.cc.o" "gcc" "src/CMakeFiles/rlplanner_model.dir/model/interleaving_template.cc.o.d"
+  "/root/repo/src/model/item.cc" "src/CMakeFiles/rlplanner_model.dir/model/item.cc.o" "gcc" "src/CMakeFiles/rlplanner_model.dir/model/item.cc.o.d"
+  "/root/repo/src/model/plan.cc" "src/CMakeFiles/rlplanner_model.dir/model/plan.cc.o" "gcc" "src/CMakeFiles/rlplanner_model.dir/model/plan.cc.o.d"
+  "/root/repo/src/model/prereq.cc" "src/CMakeFiles/rlplanner_model.dir/model/prereq.cc.o" "gcc" "src/CMakeFiles/rlplanner_model.dir/model/prereq.cc.o.d"
+  "/root/repo/src/model/topic_vector.cc" "src/CMakeFiles/rlplanner_model.dir/model/topic_vector.cc.o" "gcc" "src/CMakeFiles/rlplanner_model.dir/model/topic_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlplanner_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

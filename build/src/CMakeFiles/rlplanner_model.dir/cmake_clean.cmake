@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_model.dir/model/builder.cc.o"
+  "CMakeFiles/rlplanner_model.dir/model/builder.cc.o.d"
+  "CMakeFiles/rlplanner_model.dir/model/catalog.cc.o"
+  "CMakeFiles/rlplanner_model.dir/model/catalog.cc.o.d"
+  "CMakeFiles/rlplanner_model.dir/model/constraints.cc.o"
+  "CMakeFiles/rlplanner_model.dir/model/constraints.cc.o.d"
+  "CMakeFiles/rlplanner_model.dir/model/interleaving_template.cc.o"
+  "CMakeFiles/rlplanner_model.dir/model/interleaving_template.cc.o.d"
+  "CMakeFiles/rlplanner_model.dir/model/item.cc.o"
+  "CMakeFiles/rlplanner_model.dir/model/item.cc.o.d"
+  "CMakeFiles/rlplanner_model.dir/model/plan.cc.o"
+  "CMakeFiles/rlplanner_model.dir/model/plan.cc.o.d"
+  "CMakeFiles/rlplanner_model.dir/model/prereq.cc.o"
+  "CMakeFiles/rlplanner_model.dir/model/prereq.cc.o.d"
+  "CMakeFiles/rlplanner_model.dir/model/topic_vector.cc.o"
+  "CMakeFiles/rlplanner_model.dir/model/topic_vector.cc.o.d"
+  "librlplanner_model.a"
+  "librlplanner_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/action_mask.cc" "src/CMakeFiles/rlplanner_rl.dir/rl/action_mask.cc.o" "gcc" "src/CMakeFiles/rlplanner_rl.dir/rl/action_mask.cc.o.d"
+  "/root/repo/src/rl/policy_inspector.cc" "src/CMakeFiles/rlplanner_rl.dir/rl/policy_inspector.cc.o" "gcc" "src/CMakeFiles/rlplanner_rl.dir/rl/policy_inspector.cc.o.d"
+  "/root/repo/src/rl/recommender.cc" "src/CMakeFiles/rlplanner_rl.dir/rl/recommender.cc.o" "gcc" "src/CMakeFiles/rlplanner_rl.dir/rl/recommender.cc.o.d"
+  "/root/repo/src/rl/sarsa.cc" "src/CMakeFiles/rlplanner_rl.dir/rl/sarsa.cc.o" "gcc" "src/CMakeFiles/rlplanner_rl.dir/rl/sarsa.cc.o.d"
+  "/root/repo/src/rl/transfer.cc" "src/CMakeFiles/rlplanner_rl.dir/rl/transfer.cc.o" "gcc" "src/CMakeFiles/rlplanner_rl.dir/rl/transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rlplanner_mdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rlplanner_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_rl.dir/rl/action_mask.cc.o"
+  "CMakeFiles/rlplanner_rl.dir/rl/action_mask.cc.o.d"
+  "CMakeFiles/rlplanner_rl.dir/rl/policy_inspector.cc.o"
+  "CMakeFiles/rlplanner_rl.dir/rl/policy_inspector.cc.o.d"
+  "CMakeFiles/rlplanner_rl.dir/rl/recommender.cc.o"
+  "CMakeFiles/rlplanner_rl.dir/rl/recommender.cc.o.d"
+  "CMakeFiles/rlplanner_rl.dir/rl/sarsa.cc.o"
+  "CMakeFiles/rlplanner_rl.dir/rl/sarsa.cc.o.d"
+  "CMakeFiles/rlplanner_rl.dir/rl/transfer.cc.o"
+  "CMakeFiles/rlplanner_rl.dir/rl/transfer.cc.o.d"
+  "librlplanner_rl.a"
+  "librlplanner_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_text.dir/text/stopwords.cc.o"
+  "CMakeFiles/rlplanner_text.dir/text/stopwords.cc.o.d"
+  "CMakeFiles/rlplanner_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/rlplanner_text.dir/text/tokenizer.cc.o.d"
+  "CMakeFiles/rlplanner_text.dir/text/topic_extractor.cc.o"
+  "CMakeFiles/rlplanner_text.dir/text/topic_extractor.cc.o.d"
+  "librlplanner_text.a"
+  "librlplanner_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

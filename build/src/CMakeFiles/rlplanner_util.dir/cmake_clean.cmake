@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_util.dir/util/bitset.cc.o"
+  "CMakeFiles/rlplanner_util.dir/util/bitset.cc.o.d"
+  "CMakeFiles/rlplanner_util.dir/util/csv.cc.o"
+  "CMakeFiles/rlplanner_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/rlplanner_util.dir/util/rng.cc.o"
+  "CMakeFiles/rlplanner_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/rlplanner_util.dir/util/stats.cc.o"
+  "CMakeFiles/rlplanner_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/rlplanner_util.dir/util/status.cc.o"
+  "CMakeFiles/rlplanner_util.dir/util/status.cc.o.d"
+  "CMakeFiles/rlplanner_util.dir/util/string_util.cc.o"
+  "CMakeFiles/rlplanner_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/rlplanner_util.dir/util/table.cc.o"
+  "CMakeFiles/rlplanner_util.dir/util/table.cc.o.d"
+  "librlplanner_util.a"
+  "librlplanner_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdp_test.dir/cmdp_test.cc.o"
+  "CMakeFiles/cmdp_test.dir/cmdp_test.cc.o.d"
+  "cmdp_test"
+  "cmdp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtable_test.dir/qtable_test.cc.o"
+  "CMakeFiles/qtable_test.dir/qtable_test.cc.o.d"
+  "qtable_test"
+  "qtable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

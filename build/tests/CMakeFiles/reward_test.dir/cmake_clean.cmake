@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reward_test.dir/reward_test.cc.o"
+  "CMakeFiles/reward_test.dir/reward_test.cc.o.d"
+  "reward_test"
+  "reward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlplanner_cli.dir/rlplanner_cli.cc.o"
+  "CMakeFiles/rlplanner_cli.dir/rlplanner_cli.cc.o.d"
+  "rlplanner_cli"
+  "rlplanner_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlplanner_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
