@@ -16,6 +16,7 @@
 #include "eval/experiment.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -33,6 +34,13 @@ struct Row {
 
 constexpr int kRuns = 10;
 
+// Process-wide worker pool: the 10 seeded runs of each method fan out
+// across it; results are bit-identical to a serial loop.
+rlplanner::util::ThreadPool& Pool() {
+  static rlplanner::util::ThreadPool pool;
+  return pool;
+}
+
 void RunPanel(const char* title, const std::vector<Row>& rows) {
   std::printf("%s\n", title);
   rlplanner::util::AsciiTable table(
@@ -46,7 +54,7 @@ void RunPanel(const char* title, const std::vector<Row>& rows) {
          {Method::kRlPlannerAvg, Method::kRlPlannerMin, Method::kOmega,
           Method::kOmegaEdge, Method::kEda, Method::kGold}) {
       const ExperimentResult result =
-          RunMethod(dataset, method, config, kRuns);
+          RunMethod(dataset, method, config, kRuns, 1000, &Pool());
       cells.push_back(rlplanner::util::FormatDouble(result.mean_score, 2));
     }
     const double max_score =

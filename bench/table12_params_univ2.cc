@@ -12,6 +12,7 @@
 #include "core/config.h"
 #include "datagen/course_data.h"
 #include "eval/sweep.h"
+#include "util/thread_pool.h"
 #include "util/string_util.h"
 
 namespace {
@@ -23,6 +24,13 @@ using rlplanner::eval::SweepValue;
 using rlplanner::util::FormatDouble;
 
 constexpr int kRuns = 10;
+
+// Process-wide worker pool: independent (seed, sweep-point) SARSA runs fan
+// out across it; results are bit-identical to a serial sweep.
+rlplanner::util::ThreadPool& Pool() {
+  static rlplanner::util::ThreadPool pool;
+  return pool;
+}
 
 SweepValue Episodes(int n) {
   return {std::to_string(n),
@@ -86,20 +94,20 @@ int main() {
   rows.push_back(RunSweep(make_dataset, base, "N",
                           {Episodes(100), Episodes(200), Episodes(300),
                            Episodes(500), Episodes(1000)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "alpha",
                           {Alpha(0.5), Alpha(0.6), Alpha(0.75), Alpha(0.8),
                            Alpha(0.9)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "gamma",
                           {Gamma(0.7), Gamma(0.75), Gamma(0.8), Gamma(0.9),
                            Gamma(0.95)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "epsilon",
                           {EpsilonValue(0.0025), EpsilonValue(0.005),
                            EpsilonValue(0.01), EpsilonValue(0.015),
                            EpsilonValue(0.02)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   std::printf("%s", rlplanner::eval::FormatSweepTable(
                         "Table XII: Univ-2 DS — N, alpha, gamma, epsilon",
                         rows)
@@ -112,7 +120,7 @@ int main() {
        CategoryWeights({0.2, 0.01, 0.16, 0.4, 0.01, 0.22}),
        CategoryWeights({0.21, 0.01, 0.15, 0.41, 0.02, 0.2}),
        CategoryWeights({0.25, 0.01, 0.15, 0.4, 0.01, 0.18})},
-      kRuns));
+      kRuns, 1000, &Pool()));
   std::printf("%s", rlplanner::eval::FormatSweepTable(
                         "Table XIII: Univ-2 DS — sub-discipline weights",
                         rows)
@@ -122,12 +130,12 @@ int main() {
   rows.push_back(RunSweep(make_dataset, base, "s1",
                           {StartPoint(reference, "STATS 263"),
                            StartPoint(reference, "MS&E 237")},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "delta/beta",
                           {DeltaBeta(0.2, 0.8), DeltaBeta(0.3, 0.7),
                            DeltaBeta(0.4, 0.6), DeltaBeta(0.6, 0.4),
                            DeltaBeta(0.7, 0.3), DeltaBeta(0.8, 0.2)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   std::printf("%s", rlplanner::eval::FormatSweepTable(
                         "Table XIV: Univ-2 DS — starting point and "
                         "delta/beta",

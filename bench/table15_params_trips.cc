@@ -12,6 +12,7 @@
 #include "core/config.h"
 #include "datagen/trip_data.h"
 #include "eval/sweep.h"
+#include "util/thread_pool.h"
 #include "util/string_util.h"
 
 namespace {
@@ -24,6 +25,13 @@ using rlplanner::eval::SweepValue;
 using rlplanner::util::FormatDouble;
 
 constexpr int kRuns = 10;
+
+// Process-wide worker pool: independent (seed, sweep-point) SARSA runs fan
+// out across it; results are bit-identical to a serial sweep.
+rlplanner::util::ThreadPool& Pool() {
+  static rlplanner::util::ThreadPool pool;
+  return pool;
+}
 
 SweepValue Episodes(int n) {
   return {std::to_string(n),
@@ -71,18 +79,18 @@ void RunCity(const char* city,
   rows.push_back(RunSweep(make_dataset, base, "N",
                           {Episodes(100), Episodes(200), Episodes(300),
                            Episodes(500), Episodes(1000)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "alpha",
                           {Alpha(0.5), Alpha(0.6), Alpha(0.75), Alpha(0.8),
                            Alpha(0.95)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "gamma",
                           {Gamma(0.5), Gamma(0.6), Gamma(0.75), Gamma(0.8),
                            Gamma(0.95)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "d (km)",
                           {DistanceThreshold(4.0), DistanceThreshold(5.0)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   std::printf("%s",
               rlplanner::eval::FormatSweepTable(
                   std::string("Table XV: ") + city + " — N, alpha, gamma, d",
@@ -93,12 +101,12 @@ void RunCity(const char* city,
   rows.push_back(RunSweep(make_dataset, base, "t (h)",
                           {TimeThreshold(5.0), TimeThreshold(6.0),
                            TimeThreshold(8.0)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "delta/beta",
                           {DeltaBeta(0.4, 0.6), DeltaBeta(0.45, 0.55),
                            DeltaBeta(0.5, 0.5), DeltaBeta(0.55, 0.45),
                            DeltaBeta(0.6, 0.4)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   std::printf("%s", rlplanner::eval::FormatSweepTable(
                         std::string("Table XVI: ") + city +
                             " — t and delta/beta",

@@ -14,6 +14,7 @@
 #include "core/config.h"
 #include "datagen/course_data.h"
 #include "eval/sweep.h"
+#include "util/thread_pool.h"
 #include "util/string_util.h"
 
 namespace {
@@ -25,6 +26,13 @@ using rlplanner::eval::SweepValue;
 using rlplanner::util::FormatDouble;
 
 constexpr int kRuns = 10;
+
+// Process-wide worker pool: independent (seed, sweep-point) SARSA runs fan
+// out across it; results are bit-identical to a serial sweep.
+rlplanner::util::ThreadPool& Pool() {
+  static rlplanner::util::ThreadPool pool;
+  return pool;
+}
 
 SweepValue EpsilonValue(double epsilon) {
   return {FormatDouble(epsilon, 4),
@@ -86,12 +94,12 @@ int main() {
                           {EpsilonValue(0.0025), EpsilonValue(0.005),
                            EpsilonValue(0.01), EpsilonValue(0.0175),
                            EpsilonValue(0.02)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "w1/w2",
                           {TypeWeights(0.4, 0.6), TypeWeights(0.5, 0.5),
                            TypeWeights(0.6, 0.4), TypeWeights(0.65, 0.35),
                            TypeWeights(0.8, 0.2)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   std::printf("%s", rlplanner::eval::FormatSweepTable(
                         "Table IX: Univ-1 DS-CT — epsilon and type weights",
                         rows)
@@ -101,15 +109,15 @@ int main() {
   rows.push_back(RunSweep(make_dataset, base, "N",
                           {Episodes(100), Episodes(200), Episodes(300),
                            Episodes(500), Episodes(1000)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "alpha",
                           {Alpha(0.5), Alpha(0.6), Alpha(0.75), Alpha(0.8),
                            Alpha(0.95)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "gamma",
                           {Gamma(0.5), Gamma(0.6), Gamma(0.9), Gamma(0.95),
                            Gamma(0.99)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   std::printf("%s", rlplanner::eval::FormatSweepTable(
                         "Table X: Univ-1 DS-CT — N, alpha, gamma", rows)
                         .c_str());
@@ -120,12 +128,12 @@ int main() {
                            StartPoint(reference, "CS 610"),
                            StartPoint(reference, "CS 631"),
                            StartPoint(reference, "MATH 661")},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   rows.push_back(RunSweep(make_dataset, base, "delta/beta",
                           {DeltaBeta(0.4, 0.6), DeltaBeta(0.45, 0.55),
                            DeltaBeta(0.5, 0.5), DeltaBeta(0.55, 0.45),
                            DeltaBeta(0.6, 0.4)},
-                          kRuns));
+                          kRuns, 1000, &Pool()));
   std::printf("%s", rlplanner::eval::FormatSweepTable(
                         "Table XI: Univ-1 DS-CT — starting point and "
                         "delta/beta",

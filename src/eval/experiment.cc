@@ -40,108 +40,141 @@ const char* MethodName(Method method) {
   return "unknown";
 }
 
+namespace {
+
+// The independent outcome of one seeded run; slots are filled (possibly in
+// parallel) and aggregated in run order afterwards.
+struct RunOutcome {
+  model::Plan plan;
+  double score = 0.0;
+  bool valid = false;
+  double train_seconds = 0.0;
+  double recommend_seconds = 0.0;
+};
+
+RunOutcome RunOnce(const model::TaskInstance& instance,
+                   const datagen::Dataset& dataset, Method method,
+                   const core::PlannerConfig& config, std::uint64_t seed) {
+  RunOutcome outcome;
+  model::Plan plan;
+  switch (method) {
+    case Method::kRlPlannerAvg:
+    case Method::kRlPlannerMin: {
+      core::PlannerConfig run_config = config;
+      run_config.seed = seed;
+      run_config.reward.similarity = method == Method::kRlPlannerAvg
+                                         ? mdp::SimilarityMode::kAverage
+                                         : mdp::SimilarityMode::kMinimum;
+      // Learn episodes from the same starting item the recommendation
+      // will use (Table III's "Starting Point" parameter governs both).
+      if (run_config.sarsa.start_item < 0) {
+        run_config.sarsa.start_item = dataset.default_start;
+      }
+      core::RlPlanner planner(instance, run_config);
+      const util::Status trained = planner.Train();
+      if (!trained.ok()) break;  // scored as 0
+      outcome.train_seconds = planner.train_seconds();
+      const model::ItemId start = run_config.sarsa.start_item >= 0
+                                      ? run_config.sarsa.start_item
+                                      : dataset.default_start;
+      const double recommend_begin = Now();
+      auto recommended = planner.Recommend(start);
+      outcome.recommend_seconds = Now() - recommend_begin;
+      if (recommended.ok()) plan = std::move(recommended).value();
+      break;
+    }
+    case Method::kOmega:
+    case Method::kOmegaEdge: {
+      const baselines::Omega omega(instance);
+      const double begin = Now();
+      plan = method == Method::kOmega ? omega.BuildPlan(seed)
+                                      : omega.BuildPlanEdgeBased(seed);
+      outcome.recommend_seconds = Now() - begin;
+      break;
+    }
+    case Method::kEda: {
+      const baselines::EdaGreedy eda(instance, config.reward);
+      const double begin = Now();
+      plan = eda.BuildPlan(seed);
+      outcome.recommend_seconds = Now() - begin;
+      break;
+    }
+    case Method::kGold: {
+      auto gold = baselines::BuildGoldStandard(instance, seed);
+      if (gold.ok()) plan = std::move(gold).value();
+      break;
+    }
+  }
+  outcome.score = core::ScorePlan(instance, plan);
+  outcome.valid = !plan.empty() && core::ValidatePlan(instance, plan).valid;
+  outcome.plan = std::move(plan);
+  return outcome;
+}
+
+}  // namespace
+
 ExperimentResult RunMethod(const datagen::Dataset& dataset, Method method,
                            const core::PlannerConfig& config, int runs,
-                           std::uint64_t seed_base) {
+                           std::uint64_t seed_base, util::ThreadPool* pool) {
   ExperimentResult result;
   result.method = method;
+  if (runs <= 0) return result;
   const model::TaskInstance instance = dataset.Instance();
 
+  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(runs));
+  const auto run_one = [&](std::size_t run) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(run);
+    outcomes[run] = RunOnce(instance, dataset, method, config, seed);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(outcomes.size(), run_one);
+  } else {
+    for (std::size_t run = 0; run < outcomes.size(); ++run) run_one(run);
+  }
+
+  // Aggregate in run order so parallel execution is bit-identical to serial.
   double train_total = 0.0;
   double recommend_total = 0.0;
   int valid_count = 0;
-
-  for (int run = 0; run < runs; ++run) {
-    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(run);
-    model::Plan plan;
-    switch (method) {
-      case Method::kRlPlannerAvg:
-      case Method::kRlPlannerMin: {
-        core::PlannerConfig run_config = config;
-        run_config.seed = seed;
-        run_config.reward.similarity = method == Method::kRlPlannerAvg
-                                           ? mdp::SimilarityMode::kAverage
-                                           : mdp::SimilarityMode::kMinimum;
-        // Learn episodes from the same starting item the recommendation
-        // will use (Table III's "Starting Point" parameter governs both).
-        if (run_config.sarsa.start_item < 0) {
-          run_config.sarsa.start_item = dataset.default_start;
-        }
-        core::RlPlanner planner(instance, run_config);
-        const util::Status trained = planner.Train();
-        if (!trained.ok()) break;  // scored as 0
-        train_total += planner.train_seconds();
-        const model::ItemId start = run_config.sarsa.start_item >= 0
-                                        ? run_config.sarsa.start_item
-                                        : dataset.default_start;
-        const double recommend_begin = Now();
-        auto recommended = planner.Recommend(start);
-        recommend_total += Now() - recommend_begin;
-        if (recommended.ok()) plan = std::move(recommended).value();
-        break;
-      }
-      case Method::kOmega:
-      case Method::kOmegaEdge: {
-        const baselines::Omega omega(instance);
-        const double begin = Now();
-        plan = method == Method::kOmega ? omega.BuildPlan(seed)
-                                        : omega.BuildPlanEdgeBased(seed);
-        recommend_total += Now() - begin;
-        break;
-      }
-      case Method::kEda: {
-        const baselines::EdaGreedy eda(instance, config.reward);
-        const double begin = Now();
-        plan = eda.BuildPlan(seed);
-        recommend_total += Now() - begin;
-        break;
-      }
-      case Method::kGold: {
-        auto gold = baselines::BuildGoldStandard(instance, seed);
-        if (gold.ok()) plan = std::move(gold).value();
-        break;
-      }
-    }
-    const double score = core::ScorePlan(instance, plan);
-    result.scores.push_back(score);
-    if (!plan.empty() && core::ValidatePlan(instance, plan).valid) {
-      ++valid_count;
-    }
-    result.last_plan = std::move(plan);
+  for (RunOutcome& outcome : outcomes) {
+    result.scores.push_back(outcome.score);
+    if (outcome.valid) ++valid_count;
+    train_total += outcome.train_seconds;
+    recommend_total += outcome.recommend_seconds;
   }
+  result.last_plan = std::move(outcomes.back().plan);
 
   const double n = static_cast<double>(result.scores.size());
-  if (n > 0) {
-    double sum = 0.0;
-    for (double s : result.scores) sum += s;
-    result.mean_score = sum / n;
-    double var = 0.0;
-    for (double s : result.scores) {
-      var += (s - result.mean_score) * (s - result.mean_score);
-    }
-    result.stddev_score = std::sqrt(var / n);
-    result.valid_fraction = static_cast<double>(valid_count) / n;
-    result.mean_train_seconds = train_total / n;
-    result.mean_recommend_seconds = recommend_total / n;
+  double sum = 0.0;
+  for (double s : result.scores) sum += s;
+  result.mean_score = sum / n;
+  double var = 0.0;
+  for (double s : result.scores) {
+    var += (s - result.mean_score) * (s - result.mean_score);
   }
+  result.stddev_score = std::sqrt(var / n);
+  result.valid_fraction = static_cast<double>(valid_count) / n;
+  result.mean_train_seconds = train_total / n;
+  result.mean_recommend_seconds = recommend_total / n;
   return result;
 }
 
 double MeanRlScore(const datagen::Dataset& dataset,
                    core::PlannerConfig config, mdp::SimilarityMode mode,
-                   int runs, std::uint64_t seed_base) {
+                   int runs, std::uint64_t seed_base, util::ThreadPool* pool) {
   const Method method = mode == mdp::SimilarityMode::kAverage
                             ? Method::kRlPlannerAvg
                             : Method::kRlPlannerMin;
-  return RunMethod(dataset, method, config, runs, seed_base).mean_score;
+  return RunMethod(dataset, method, config, runs, seed_base, pool).mean_score;
 }
 
 double MeanEdaScore(const datagen::Dataset& dataset,
                     const mdp::RewardWeights& weights, int runs,
-                    std::uint64_t seed_base) {
+                    std::uint64_t seed_base, util::ThreadPool* pool) {
   core::PlannerConfig config;
   config.reward = weights;
-  return RunMethod(dataset, Method::kEda, config, runs, seed_base).mean_score;
+  return RunMethod(dataset, Method::kEda, config, runs, seed_base, pool)
+      .mean_score;
 }
 
 }  // namespace rlplanner::eval

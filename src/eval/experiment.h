@@ -7,6 +7,7 @@
 #include "core/config.h"
 #include "datagen/dataset.h"
 #include "model/plan.h"
+#include "util/thread_pool.h"
 
 namespace rlplanner::eval {
 
@@ -45,20 +46,29 @@ struct ExperimentResult {
 /// `config` supplies the RL/reward parameters (ignored where a method has
 /// none); RL recommendations start from `dataset.default_start` unless
 /// `config.sarsa.start_item` is set.
+///
+/// When `pool` is non-null the runs execute in parallel on it. Each run is
+/// fully independent (its own config copy, planner, and seed-derived RNG)
+/// and writes to its own result slot, so scores, plans, and validity are
+/// bit-identical to the serial path; only the wall-clock timing fields
+/// differ run to run.
 ExperimentResult RunMethod(const datagen::Dataset& dataset, Method method,
                            const core::PlannerConfig& config, int runs,
-                           std::uint64_t seed_base = 1000);
+                           std::uint64_t seed_base = 1000,
+                           util::ThreadPool* pool = nullptr);
 
 /// Convenience: mean score of RL-Planner under `config` with the given
 /// similarity mode (used by the sweep harness).
 double MeanRlScore(const datagen::Dataset& dataset,
                    core::PlannerConfig config, mdp::SimilarityMode mode,
-                   int runs, std::uint64_t seed_base = 1000);
+                   int runs, std::uint64_t seed_base = 1000,
+                   util::ThreadPool* pool = nullptr);
 
 /// Convenience: mean EDA score under the given reward weights.
 double MeanEdaScore(const datagen::Dataset& dataset,
                     const mdp::RewardWeights& weights, int runs,
-                    std::uint64_t seed_base = 1000);
+                    std::uint64_t seed_base = 1000,
+                    util::ThreadPool* pool = nullptr);
 
 }  // namespace rlplanner::eval
 

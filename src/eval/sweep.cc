@@ -12,7 +12,7 @@ SweepRow RunSweep(const std::function<datagen::Dataset()>& make_dataset,
                   const core::PlannerConfig& base_config,
                   const std::string& parameter,
                   const std::vector<SweepValue>& values, int runs,
-                  std::uint64_t seed_base) {
+                  std::uint64_t seed_base, util::ThreadPool* pool) {
   SweepRow row;
   row.parameter = parameter;
   for (const SweepValue& value : values) {
@@ -24,13 +24,13 @@ SweepRow RunSweep(const std::function<datagen::Dataset()>& make_dataset,
     row.value_labels.push_back(value.label);
     row.rl_avg.push_back(MeanRlScore(dataset, config,
                                      mdp::SimilarityMode::kAverage, runs,
-                                     seed_base));
+                                     seed_base, pool));
     row.rl_min.push_back(MeanRlScore(dataset, config,
                                      mdp::SimilarityMode::kMinimum, runs,
-                                     seed_base));
+                                     seed_base, pool));
     row.eda.push_back(value.eda_applicable
                           ? MeanEdaScore(dataset, config.reward, runs,
-                                         seed_base)
+                                         seed_base, pool)
                           : std::numeric_limits<double>::quiet_NaN());
   }
   return row;

@@ -39,11 +39,16 @@ struct SweepValue {
 /// Runs a one-at-a-time sweep: for each value, start from `base_config` and
 /// a fresh copy of the dataset built by `make_dataset`, apply the mutators,
 /// and record mean scores over `runs` runs.
+///
+/// When `pool` is non-null the per-value runs fan out across it (see
+/// RunMethod); every sweep point still uses the same seeds, so the row is
+/// bit-identical to a serial sweep.
 SweepRow RunSweep(const std::function<datagen::Dataset()>& make_dataset,
                   const core::PlannerConfig& base_config,
                   const std::string& parameter,
                   const std::vector<SweepValue>& values, int runs,
-                  std::uint64_t seed_base = 1000);
+                  std::uint64_t seed_base = 1000,
+                  util::ThreadPool* pool = nullptr);
 
 /// Renders sweep rows in the paper's table style.
 std::string FormatSweepTable(const std::string& title,

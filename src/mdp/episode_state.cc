@@ -10,6 +10,7 @@ EpisodeState::EpisodeState(const model::TaskInstance& instance)
     : instance_(&instance),
       position_of_(instance.catalog->size(), -1),
       covered_(instance.catalog->vocabulary_size()),
+      similarity_tracker_(instance.soft.interleaving),
       category_counts_(instance.catalog->category_names().size(), 0) {}
 
 void EpisodeState::Add(model::ItemId item) {
@@ -25,6 +26,7 @@ void EpisodeState::Add(model::ItemId item) {
   sequence_.push_back(item);
   covered_ |= added.topics;
   type_sequence_.push_back(added.type);
+  similarity_tracker_.Append(added.type);
   if (added.category >= 0 &&
       static_cast<std::size_t>(added.category) < category_counts_.size()) {
     category_counts_[added.category] += 1;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "mdp/similarity.h"
 #include "model/constraints.h"
 #include "model/plan.h"
 
@@ -55,6 +56,13 @@ class EpisodeState {
   /// The primary/secondary slot sequence chosen so far.
   const model::TypeSequence& type_sequence() const { return type_sequence_; }
 
+  /// Incremental Eq. 6/7 match state of `type_sequence()` against the
+  /// instance's interleaving template, advanced on every Add(). Lets the
+  /// reward score "append one type" in O(|IT|) without copying the sequence.
+  const SimilarityTracker& similarity_tracker() const {
+    return similarity_tracker_;
+  }
+
   /// The owning instance.
   const model::TaskInstance& instance() const { return *instance_; }
 
@@ -67,6 +75,7 @@ class EpisodeState {
   std::vector<int> position_of_;
   model::TopicVector covered_;
   model::TypeSequence type_sequence_;
+  SimilarityTracker similarity_tracker_;
   std::vector<int> category_counts_;
   double total_credits_ = 0.0;
   double total_distance_km_ = 0.0;

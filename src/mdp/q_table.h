@@ -33,7 +33,12 @@ class QTable {
 
   /// Column with the maximum Q value in `state`'s row among actions where
   /// `allowed(action)` is true; -1 when none is allowed. Ties resolve to the
-  /// lowest id (deterministic recommendation).
+  /// lowest allowed id, so greedy recommendation is deterministic. This is
+  /// intentionally different from SarsaLearner::SelectAction, which breaks
+  /// exploitation ties uniformly at random during training so the learner
+  /// does not lock onto catalog id order. The first allowed action is always
+  /// adopted as the initial best, so all-negative rows still return the
+  /// lowest allowed id rather than -1.
   template <typename AllowedFn>
   model::ItemId ArgmaxAction(model::ItemId state, AllowedFn allowed) const {
     model::ItemId best = -1;

@@ -34,11 +34,67 @@ util::Status RewardWeights::Validate() const {
   return util::Status::Ok();
 }
 
+namespace {
+
+// Largest catalog for which the pairwise distance matrix is materialized
+// (1024^2 doubles = 8 MiB); larger trip catalogs fall back to on-the-fly
+// haversine.
+constexpr std::size_t kMaxDistanceMatrixItems = 1024;
+
+}  // namespace
+
 RewardFunction::RewardFunction(const model::TaskInstance& instance,
                                const RewardWeights& weights)
-    : instance_(&instance), weights_(&weights) {}
+    : RewardFunction(instance, weights, RewardFunctionOptions{}) {}
 
-std::size_t RewardFunction::RequiredNewIdealTopics() const {
+RewardFunction::RewardFunction(const model::TaskInstance& instance,
+                               const RewardWeights& weights,
+                               const RewardFunctionOptions& options)
+    : instance_(&instance),
+      weights_(&weights),
+      options_(options),
+      num_items_(instance.catalog->size()),
+      required_new_topics_(ComputeRequiredNewIdealTopics()) {
+  if (options_.cache_topic_gain) {
+    ideal_topics_of_item_.reserve(num_items_);
+    ideal_topic_count_of_item_.reserve(num_items_);
+    for (const model::Item& item : instance_->catalog->items()) {
+      model::TopicVector ideal = item.topics;
+      ideal &= instance_->soft.ideal_topics;
+      ideal_topic_count_of_item_.push_back(ideal.Count());
+      ideal_topics_of_item_.push_back(std::move(ideal));
+    }
+  }
+  type_weight_of_item_.reserve(num_items_);
+  for (const model::Item& item : instance_->catalog->items()) {
+    const int category = item.category;
+    const bool in_range =
+        category >= 0 && static_cast<std::size_t>(category) <
+                             weights_->category_weights.size();
+    type_weight_of_item_.push_back(
+        in_range ? weights_->category_weights[category] : 0.0);
+  }
+  if (options_.cache_distances &&
+      instance_->catalog->domain() == model::Domain::kTrip &&
+      num_items_ <= kMaxDistanceMatrixItems) {
+    distance_matrix_.resize(num_items_ * num_items_);
+    for (std::size_t a = 0; a < num_items_; ++a) {
+      for (std::size_t b = 0; b < num_items_; ++b) {
+        distance_matrix_[a * num_items_ + b] =
+            ComputeDistanceKm(static_cast<model::ItemId>(a),
+                              static_cast<model::ItemId>(b));
+      }
+    }
+  }
+}
+
+double RewardFunction::ComputeDistanceKm(model::ItemId a,
+                                         model::ItemId b) const {
+  return geo::HaversineKm(instance_->catalog->item(a).location,
+                          instance_->catalog->item(b).location);
+}
+
+std::size_t RewardFunction::ComputeRequiredNewIdealTopics() const {
   const double epsilon = weights_->epsilon;
   if (epsilon >= 1.0) return static_cast<std::size_t>(epsilon);
   const double scaled =
@@ -49,10 +105,19 @@ std::size_t RewardFunction::RequiredNewIdealTopics() const {
 
 int RewardFunction::TopicCoverageReward(const EpisodeState& state,
                                         model::ItemId next) const {
+  if (options_.cache_topic_gain) {
+    // |T_ideal ∩ T_next \ T_current| via the precomputed per-item
+    // intersection: its popcount minus the part already covered.
+    const auto index = static_cast<std::size_t>(next);
+    const std::size_t gained =
+        ideal_topic_count_of_item_[index] -
+        ideal_topics_of_item_[index].IntersectCount(state.covered_topics());
+    return gained >= required_new_topics_ ? 1 : 0;
+  }
   const model::Item& item = instance_->catalog->item(next);
   const std::size_t gained = model::NewlyCoveredIdealTopics(
       state.covered_topics(), item.topics, instance_->soft.ideal_topics);
-  return gained >= RequiredNewIdealTopics() ? 1 : 0;
+  return gained >= required_new_topics_ ? 1 : 0;
 }
 
 int RewardFunction::PrerequisiteReward(const EpisodeState& state,
@@ -83,19 +148,18 @@ int RewardFunction::Theta(const EpisodeState& state,
 
 double RewardFunction::InterleavingSimilarity(const EpisodeState& state,
                                               model::ItemId next) const {
+  const model::ItemType type = instance_->catalog->item(next).type;
+  if (options_.incremental_similarity) {
+    return state.similarity_tracker().ScoreAppend(type, weights_->similarity);
+  }
   model::TypeSequence extended = state.type_sequence();
-  extended.push_back(instance_->catalog->item(next).type);
+  extended.push_back(type);
   return AggregateSimilarity(extended, instance_->soft.interleaving,
                              weights_->similarity);
 }
 
 double RewardFunction::TypeWeight(model::ItemId next) const {
-  const int category = instance_->catalog->item(next).category;
-  if (category < 0 ||
-      static_cast<std::size_t>(category) >= weights_->category_weights.size()) {
-    return 0.0;
-  }
-  return weights_->category_weights[category];
+  return type_weight_of_item_[static_cast<std::size_t>(next)];
 }
 
 double RewardFunction::Reward(const EpisodeState& state,
@@ -118,8 +182,7 @@ bool RewardFunction::IsFeasible(const EpisodeState& state,
     return false;
   }
   if (std::isfinite(instance_->hard.distance_threshold_km) && !state.Empty()) {
-    const double leg = geo::HaversineKm(
-        instance_->catalog->item(state.CurrentItem()).location, item.location);
+    const double leg = DistanceKm(state.CurrentItem(), next);
     if (state.total_distance_km() + leg >
         instance_->hard.distance_threshold_km + 1e-9) {
       return false;

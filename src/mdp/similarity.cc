@@ -58,4 +58,73 @@ double BestSimilarity(const model::TypeSequence& sequence,
   return best;
 }
 
+SimilarityTracker::SimilarityTracker(
+    const model::InterleavingTemplate& templates)
+    : templates_(&templates), states_(templates.size()) {}
+
+void SimilarityTracker::Append(model::ItemType type) {
+  if (templates_ != nullptr) {
+    const auto& permutations = templates_->permutations();
+    for (std::size_t p = 0; p < states_.size(); ++p) {
+      PermutationState& state = states_[p];
+      const model::TypeSequence& permutation = permutations[p];
+      const bool match =
+          length_ < permutation.size() && permutation[length_] == type;
+      if (match) {
+        state.total += 1;
+        state.run += 1;
+        state.zeta = std::max(state.zeta, state.run);
+      } else {
+        state.run = 0;
+      }
+    }
+  }
+  ++length_;
+}
+
+double SimilarityTracker::Score(SimilarityMode mode) const {
+  if (templates_ == nullptr || states_.empty() || length_ == 0) return 0.0;
+  const double k = static_cast<double>(length_);
+  if (mode == SimilarityMode::kAverage) {
+    double sum = 0.0;
+    for (const PermutationState& state : states_) {
+      sum += static_cast<double>(state.zeta) *
+             static_cast<double>(state.total) / k;
+    }
+    return sum / static_cast<double>(states_.size());
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const PermutationState& state : states_) {
+    best = std::min(best, static_cast<double>(state.zeta) *
+                              static_cast<double>(state.total) / k);
+  }
+  return best;
+}
+
+double SimilarityTracker::ScoreAppend(model::ItemType type,
+                                      SimilarityMode mode) const {
+  if (templates_ == nullptr || states_.empty()) return 0.0;
+  const auto& permutations = templates_->permutations();
+  const double k = static_cast<double>(length_ + 1);
+  double sum = 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t p = 0; p < states_.size(); ++p) {
+    const PermutationState& state = states_[p];
+    const model::TypeSequence& permutation = permutations[p];
+    const bool match =
+        length_ < permutation.size() && permutation[length_] == type;
+    const int total = state.total + (match ? 1 : 0);
+    const int run = match ? state.run + 1 : 0;
+    const int zeta = std::max(state.zeta, run);
+    const double sim =
+        static_cast<double>(zeta) * static_cast<double>(total) / k;
+    sum += sim;
+    best = std::min(best, sim);
+  }
+  if (mode == SimilarityMode::kAverage) {
+    return sum / static_cast<double>(states_.size());
+  }
+  return best;
+}
+
 }  // namespace rlplanner::mdp

@@ -42,6 +42,51 @@ double AggregateSimilarity(const model::TypeSequence& sequence,
 double BestSimilarity(const model::TypeSequence& sequence,
                       const model::InterleavingTemplate& templates);
 
+/// Incremental evaluator of Eq. 6/7 over a growing type sequence.
+///
+/// `AggregateSimilarity` recomputes the match vector of the whole prefix for
+/// every candidate at every step — O(L * |IT|) per candidate plus a heap
+/// allocation per permutation. Because episodes only ever *append* types,
+/// the three quantities Eq. 6 needs per permutation (total matches, length
+/// of the trailing match run, best run zeta) can be carried forward, making
+/// "score the prefix extended by one type" O(|IT|) with no allocation.
+/// Produces bit-identical doubles to the batch recomputation (same integer
+/// arithmetic, same permutation iteration order); the batch path is kept as
+/// the exact-equivalence oracle for tests and legacy benchmarks.
+class SimilarityTracker {
+ public:
+  /// Tracker over an empty template; every score is 0.
+  SimilarityTracker() = default;
+
+  /// Starts at the empty prefix. `templates` must outlive the tracker.
+  explicit SimilarityTracker(const model::InterleavingTemplate& templates);
+
+  /// Advances the tracked prefix by one type.
+  void Append(model::ItemType type);
+
+  /// Length of the tracked prefix.
+  std::size_t length() const { return length_; }
+
+  /// `AggregateSimilarity` of the tracked prefix.
+  double Score(SimilarityMode mode) const;
+
+  /// `AggregateSimilarity` of the tracked prefix extended by `type`, without
+  /// mutating the tracker. This is the reward hot path: O(|IT|).
+  double ScoreAppend(model::ItemType type, SimilarityMode mode) const;
+
+ private:
+  // Running match state of one permutation against the prefix.
+  struct PermutationState {
+    int total = 0;  // sum of the match vector
+    int run = 0;    // trailing consecutive-match run
+    int zeta = 0;   // best consecutive-match run
+  };
+
+  const model::InterleavingTemplate* templates_ = nullptr;
+  std::vector<PermutationState> states_;
+  std::size_t length_ = 0;
+};
+
 }  // namespace rlplanner::mdp
 
 #endif  // RLPLANNER_MDP_SIMILARITY_H_

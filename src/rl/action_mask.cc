@@ -4,15 +4,20 @@
 #include <cmath>
 #include <vector>
 
-#include "geo/latlng.h"
-
 namespace rlplanner::rl {
 
 ActionMask::ActionMask(const mdp::RewardFunction& reward, int horizon,
                        bool mask_type_overflow)
     : reward_(&reward),
       horizon_(horizon),
-      mask_type_overflow_(mask_type_overflow) {}
+      mask_type_overflow_(mask_type_overflow) {
+  for (const model::Item& item : reward.instance().catalog->items()) {
+    if (item.type == model::ItemType::kPrimary) {
+      primary_ids_.push_back(item.id);
+    }
+  }
+  primary_cost_scratch_.reserve(primary_ids_.size());
+}
 
 bool ActionMask::Allowed(const mdp::EpisodeState& state,
                          model::ItemId item) const {
@@ -38,20 +43,20 @@ bool ActionMask::AntecedentsStillSchedulable(const mdp::EpisodeState& state,
   // before the horizon. With spare primaries we cannot know which ones the
   // plan will use, so the check is skipped.
   const model::TaskInstance& instance = reward_->instance();
-  int unplaced_primaries = 0;
-  for (const model::Item& item : instance.catalog->items()) {
-    if (item.type == model::ItemType::kPrimary && !state.Contains(item.id) &&
-        item.id != candidate) {
-      ++unplaced_primaries;
-    }
-  }
+  // The candidate reaches this check unchosen (Allowed runs IsFeasible
+  // first), so the unplaced count follows from the cached primary total.
+  const bool candidate_is_primary =
+      instance.catalog->item(candidate).type == model::ItemType::kPrimary;
+  const int unplaced_primaries = static_cast<int>(primary_ids_.size()) -
+                                 state.primary_count() -
+                                 (candidate_is_primary ? 1 : 0);
   if (unplaced_primaries != primary_needed) return true;
 
   const int gap = instance.hard.gap;
   const int next_pos = static_cast<int>(state.Length());  // candidate here
   const int last_pos = horizon_ - 1;
-  for (const model::Item& core : instance.catalog->items()) {
-    if (core.type != model::ItemType::kPrimary) continue;
+  for (model::ItemId core_id : primary_ids_) {
+    const model::Item& core = instance.catalog->item(core_id);
     if (state.Contains(core.id) || core.id == candidate) continue;
     int earliest = next_pos + 1;  // soonest free slot after the candidate
     for (const auto& group : core.prereqs.groups()) {
@@ -115,19 +120,17 @@ bool ActionMask::SplitStillSatisfiable(const mdp::EpisodeState& state,
   if (std::isfinite(distance_left)) {
     distance_left -= state.total_distance_km();
     if (!state.Empty()) {
-      distance_left -= geo::HaversineKm(
-          instance.catalog->item(state.CurrentItem()).location,
-          candidate.location);
+      distance_left -= reward_->DistanceKm(state.CurrentItem(), item);
     }
   }
-  std::vector<double> primary_costs;
-  for (const model::Item& other : instance.catalog->items()) {
-    if (other.type != model::ItemType::kPrimary) continue;
+  std::vector<double>& primary_costs = primary_cost_scratch_;
+  primary_costs.clear();
+  for (model::ItemId other_id : primary_ids_) {
+    const model::Item& other = instance.catalog->item(other_id);
     if (other.id == item || state.Contains(other.id)) continue;
     if (other.credits > budget_left + 1e-9) continue;
     if (std::isfinite(instance.hard.distance_threshold_km) &&
-        geo::HaversineKm(candidate.location, other.location) >
-            distance_left + 1e-9) {
+        reward_->DistanceKm(item, other.id) > distance_left + 1e-9) {
       continue;
     }
     primary_costs.push_back(other.credits);

@@ -1,6 +1,8 @@
 #ifndef RLPLANNER_RL_ACTION_MASK_H_
 #define RLPLANNER_RL_ACTION_MASK_H_
 
+#include <vector>
+
 #include "mdp/episode_state.h"
 #include "mdp/reward.h"
 
@@ -11,6 +13,13 @@ namespace rlplanner::rl {
 /// use this; the EDA baseline deliberately runs with masking disabled so it
 /// reproduces the paper's observation that a greedy next-step recommender
 /// frequently violates the hard constraints.
+///
+/// Construction caches the catalog's primary-item id list so the lookahead
+/// checks scan |primaries| candidates instead of the whole catalog. A scratch
+/// buffer backs the trip-domain cheapest-primaries check, so concurrent
+/// Allowed() calls on the *same* mask are not safe — give each worker its
+/// own mask (each SARSA run and each recommendation traversal already
+/// constructs its own).
 class ActionMask {
  public:
   /// `mask_type_overflow` additionally enforces, by one-step lookahead, that
@@ -40,6 +49,11 @@ class ActionMask {
   const mdp::RewardFunction* reward_;
   int horizon_;
   bool mask_type_overflow_;
+  // Ids of all primary items, cached once per mask.
+  std::vector<model::ItemId> primary_ids_;
+  // Scratch for the trip-domain cheapest-primaries sort (avoids a heap
+  // allocation per candidate; see the thread-safety note above).
+  mutable std::vector<double> primary_cost_scratch_;
 };
 
 }  // namespace rlplanner::rl

@@ -38,18 +38,20 @@ model::ItemId SarsaLearner::PickStart() {
       rng_.NextIndex(instance_->catalog->size()));
 }
 
-model::ItemId SarsaLearner::SelectAction(const mdp::EpisodeState& state,
-                                         const mdp::QTable& q,
-                                         const ActionMask& mask,
-                                         double explore_epsilon) {
+void SarsaLearner::ComputeAllowed(const mdp::EpisodeState& state,
+                                  const ActionMask& mask) {
   const std::size_t n = instance_->catalog->size();
-  std::vector<model::ItemId> allowed;
-  allowed.reserve(n);
+  allowed_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     const auto item = static_cast<model::ItemId>(i);
-    if (mask.Allowed(state, item)) allowed.push_back(item);
+    if (mask.Allowed(state, item)) allowed_.push_back(item);
   }
-  if (allowed.empty()) return -1;
+}
+
+model::ItemId SarsaLearner::SelectAction(const mdp::EpisodeState& state,
+                                         const mdp::QTable& q,
+                                         double explore_epsilon) {
+  if (allowed_.empty()) return -1;
 
   // Exploration applies to both behavior policies: a pure argmax-R policy
   // only ever visits one trajectory, leaving the Q-table empty everywhere
@@ -57,28 +59,28 @@ model::ItemId SarsaLearner::SelectAction(const mdp::EpisodeState& state,
   // abundant exact-tie random picks; our reward has fewer exact ties, so a
   // small epsilon restores the same coverage).
   if (rng_.NextBernoulli(explore_epsilon)) {
-    return allowed[rng_.NextIndex(allowed.size())];
+    return allowed_[rng_.NextIndex(allowed_.size())];
   }
 
   // Greedy on immediate reward (Algorithm 1) or on Q, random tie-break.
-  std::vector<model::ItemId> best;
+  best_.clear();
   double best_value = 0.0;
   const model::ItemId current = state.CurrentItem();
-  for (model::ItemId item : allowed) {
+  for (model::ItemId item : allowed_) {
     double value;
     if (config_.exploration == ExplorationMode::kRewardGreedy) {
       value = reward_->Reward(state, item);
     } else {
       value = current >= 0 ? q.Get(current, item) : 0.0;
     }
-    if (best.empty() || value > best_value + 1e-12) {
-      best.assign(1, item);
+    if (best_.empty() || value > best_value + 1e-12) {
+      best_.assign(1, item);
       best_value = value;
     } else if (value >= best_value - 1e-12) {
-      best.push_back(item);
+      best_.push_back(item);
     }
   }
-  return best[rng_.NextIndex(best.size())];
+  return best_[rng_.NextIndex(best_.size())];
 }
 
 void SarsaLearner::RunEpisode(mdp::QTable& q, const ActionMask& mask,
@@ -92,7 +94,8 @@ void SarsaLearner::RunEpisode(mdp::QTable& q, const ActionMask& mask,
   state.Add(start);
 
   // Choose the first action from the start state.
-  model::ItemId action = SelectAction(state, q, mask, explore_epsilon);
+  ComputeAllowed(state, mask);
+  model::ItemId action = SelectAction(state, q, explore_epsilon);
   model::ItemId current = start;
   while (action >= 0 && static_cast<int>(state.Length()) < horizon) {
     const double reward = reward_->Reward(state, action);
@@ -100,17 +103,20 @@ void SarsaLearner::RunEpisode(mdp::QTable& q, const ActionMask& mask,
     state.Add(action);
 
     // Choose e' from s' (on-policy), then apply the TD update (Eq. 9 for
-    // SARSA; Q-learning/Expected-SARSA substitute their own targets).
+    // SARSA; Q-learning/Expected-SARSA substitute their own targets). The
+    // admissible set of s' is derived once into `allowed_` and shared by
+    // the selection and the continuation target.
     model::ItemId next_action = -1;
     if (static_cast<int>(state.Length()) < horizon) {
-      next_action = SelectAction(state, q, mask, explore_epsilon);
+      ComputeAllowed(state, mask);
+      next_action = SelectAction(state, q, explore_epsilon);
     }
     if (config_.update_rule == UpdateRule::kSarsa) {
       q.SarsaUpdate(current, action, reward, action, next_action,
                     config_.alpha, config_.gamma);
     } else {
       const double continuation =
-          ContinuationValue(q, state, next_action, mask, explore_epsilon);
+          ContinuationValue(q, state, next_action, explore_epsilon);
       const double old_value = q.Get(current, action);
       q.Set(current, action,
             old_value + config_.alpha *
@@ -127,23 +133,15 @@ void SarsaLearner::RunEpisode(mdp::QTable& q, const ActionMask& mask,
 double SarsaLearner::ContinuationValue(const mdp::QTable& q,
                                        const mdp::EpisodeState& next_state,
                                        model::ItemId next_action,
-                                       const ActionMask& mask,
                                        double explore_epsilon) const {
   if (next_action < 0) return 0.0;  // terminal
   const model::ItemId next_item = next_state.CurrentItem();
   if (next_item < 0) return 0.0;
+  if (allowed_.empty()) return 0.0;
 
-  std::vector<model::ItemId> allowed;
-  const std::size_t n = instance_->catalog->size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto item = static_cast<model::ItemId>(i);
-    if (mask.Allowed(next_state, item)) allowed.push_back(item);
-  }
-  if (allowed.empty()) return 0.0;
-
-  double max_q = q.Get(next_item, allowed.front());
+  double max_q = q.Get(next_item, allowed_.front());
   double sum_q = 0.0;
-  for (model::ItemId item : allowed) {
+  for (model::ItemId item : allowed_) {
     const double value = q.Get(next_item, item);
     max_q = std::max(max_q, value);
     sum_q += value;
@@ -151,7 +149,7 @@ double SarsaLearner::ContinuationValue(const mdp::QTable& q,
   if (config_.update_rule == UpdateRule::kQLearning) return max_q;
   // Expected SARSA under the epsilon-greedy mixture: with probability
   // epsilon a uniform action, otherwise the greedy one.
-  const double uniform = sum_q / static_cast<double>(allowed.size());
+  const double uniform = sum_q / static_cast<double>(allowed_.size());
   return explore_epsilon * uniform + (1.0 - explore_epsilon) * max_q;
 }
 

@@ -90,18 +90,23 @@ class SarsaLearner {
   int Horizon() const;
 
  private:
-  // Behavior-policy action selection among allowed actions; -1 = none.
+  // Derives the admissible-action set of `state` into the shared `allowed_`
+  // buffer (one mask scan per step; SelectAction and ContinuationValue both
+  // read the same buffer instead of re-deriving the mask).
+  void ComputeAllowed(const mdp::EpisodeState& state, const ActionMask& mask);
+  // Behavior-policy action selection among the actions in `allowed_`;
+  // -1 = none.
   model::ItemId SelectAction(const mdp::EpisodeState& state,
-                             const mdp::QTable& q, const ActionMask& mask,
-                             double explore_epsilon);
+                             const mdp::QTable& q, double explore_epsilon);
   // Generates one episode and applies the TD updates.
   void RunEpisode(mdp::QTable& q, const ActionMask& mask,
                   double explore_epsilon);
   // The continuation value of (state after `action`, `next_action`) under
-  // the configured update rule.
+  // the configured update rule, over the actions in `allowed_` (which must
+  // hold the admissible set of `next_state`).
   double ContinuationValue(const mdp::QTable& q,
                            const mdp::EpisodeState& next_state,
-                           model::ItemId next_action, const ActionMask& mask,
+                           model::ItemId next_action,
                            double explore_epsilon) const;
   model::ItemId PickStart();
 
@@ -110,6 +115,10 @@ class SarsaLearner {
   SarsaConfig config_;
   util::Rng rng_;
   std::vector<double> episode_returns_;
+  // Reusable per-step scratch: the admissible actions of the current state
+  // and the reward/Q-tied best set (avoids two heap allocations per step).
+  std::vector<model::ItemId> allowed_;
+  std::vector<model::ItemId> best_;
 };
 
 }  // namespace rlplanner::rl

@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace rlplanner::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunIndices(Job& job) {
+  while (true) {
+    const std::size_t index = job.next.fetch_add(1);
+    if (index >= job.n) return;
+    (*job.fn)(index);
+    const std::size_t done = job.completed.fetch_add(1) + 1;
+    if (done == job.n) {
+      // Take and drop the lock so the waiter cannot miss the notify between
+      // its predicate check and its wait.
+      { std::lock_guard<std::mutex> lock(job.done_mutex); }
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stop_ || !active_jobs_.empty(); });
+      if (stop_ && active_jobs_.empty()) return;
+      // Drop jobs whose index range is exhausted; remaining indices are
+      // being finished by the threads that claimed them.
+      while (!active_jobs_.empty() &&
+             active_jobs_.front()->next.load() >= active_jobs_.front()->n) {
+        active_jobs_.erase(active_jobs_.begin());
+      }
+      if (active_jobs_.empty()) continue;
+      job = active_jobs_.front();
+    }
+    RunIndices(*job);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_jobs_.push_back(job);
+  }
+  work_ready_.notify_all();
+  RunIndices(*job);
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock,
+                      [&job] { return job->completed.load() >= job->n; });
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find(active_jobs_.begin(), active_jobs_.end(), job);
+  if (it != active_jobs_.end()) active_jobs_.erase(it);
+}
+
+}  // namespace rlplanner::util

@@ -1,0 +1,74 @@
+#ifndef RLPLANNER_UTIL_THREAD_POOL_H_
+#define RLPLANNER_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlplanner::util {
+
+/// A fixed-size worker pool for the embarrassingly parallel experiment
+/// layer (independent SARSA runs across seeds and sweep points).
+///
+/// The only scheduling primitive is `ParallelFor`, which runs `fn(i)` for
+/// every index of a range across the workers *and the calling thread*.
+/// Caller participation makes nested use (a pooled task itself calling
+/// ParallelFor) deadlock-free: the inner call simply executes its indices
+/// inline while idle workers help.
+///
+/// Determinism contract: the pool assigns *indices*, never shared RNG
+/// state. Each parallel run must derive everything stochastic from its own
+/// index (e.g. one `util::Rng` seeded by `seed_base + i`) and write results
+/// only to its own slot; aggregation then happens in index order on the
+/// caller. Under that contract, results are bit-identical to a serial loop
+/// regardless of thread count or scheduling.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 picks the hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Must not be called while a ParallelFor is active.
+  ~ThreadPool();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every `i` in [0, n), blocking until all complete.
+  /// Indices are claimed atomically in ascending order; the calling thread
+  /// participates. `fn` must be safe to invoke concurrently with itself.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  // One ParallelFor invocation: an atomically claimed index range plus a
+  // completion latch.
+  struct Job {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+
+  // Claims and runs indices of `job` until the range is exhausted.
+  static void RunIndices(Job& job);
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::vector<std::shared_ptr<Job>> active_jobs_;
+  bool stop_ = false;
+};
+
+}  // namespace rlplanner::util
+
+#endif  // RLPLANNER_UTIL_THREAD_POOL_H_

@@ -70,6 +70,20 @@ TEST(ExperimentTest, DeterministicForSameSeedBase) {
   EXPECT_EQ(a.scores, b.scores);
 }
 
+TEST(ExperimentTest, ParallelRunsBitIdenticalToSerial) {
+  const datagen::Dataset toy = datagen::MakeTableIIToy();
+  util::ThreadPool pool(4);
+  const auto serial =
+      RunMethod(toy, Method::kRlPlannerAvg, FastToyConfig(), 6, 77);
+  const auto parallel =
+      RunMethod(toy, Method::kRlPlannerAvg, FastToyConfig(), 6, 77, &pool);
+  EXPECT_EQ(serial.scores, parallel.scores);
+  EXPECT_DOUBLE_EQ(serial.mean_score, parallel.mean_score);
+  EXPECT_DOUBLE_EQ(serial.stddev_score, parallel.stddev_score);
+  EXPECT_DOUBLE_EQ(serial.valid_fraction, parallel.valid_fraction);
+  EXPECT_EQ(serial.last_plan.items(), parallel.last_plan.items());
+}
+
 TEST(ExperimentTest, ConvenienceWrappersMatchRunMethod) {
   const datagen::Dataset toy = datagen::MakeTableIIToy();
   const core::PlannerConfig config = FastToyConfig();
@@ -97,6 +111,29 @@ TEST(SweepTest, AppliesMutatorsPerValue) {
   // EDA column: NaN where not applicable, a number where it is.
   EXPECT_TRUE(std::isnan(row.eda[0]));
   EXPECT_FALSE(std::isnan(row.eda[1]));
+}
+
+TEST(SweepTest, ParallelSweepBitIdenticalToSerial) {
+  const auto make = [] { return datagen::MakeTableIIToy(); };
+  const core::PlannerConfig base = FastToyConfig();
+  SweepValue low{"N=1",
+                 [](core::PlannerConfig& c) { c.sarsa.num_episodes = 1; },
+                 nullptr, false};
+  SweepValue high{"N=60", nullptr, nullptr, true};
+  util::ThreadPool pool(4);
+  const SweepRow serial = RunSweep(make, base, "N", {low, high}, 3);
+  const SweepRow parallel =
+      RunSweep(make, base, "N", {low, high}, 3, 1000, &pool);
+  EXPECT_EQ(serial.rl_avg, parallel.rl_avg);
+  EXPECT_EQ(serial.rl_min, parallel.rl_min);
+  ASSERT_EQ(serial.eda.size(), parallel.eda.size());
+  for (std::size_t i = 0; i < serial.eda.size(); ++i) {
+    if (std::isnan(serial.eda[i])) {
+      EXPECT_TRUE(std::isnan(parallel.eda[i]));
+    } else {
+      EXPECT_EQ(serial.eda[i], parallel.eda[i]);
+    }
+  }
 }
 
 TEST(SweepTest, FormatRendersDashesForNaN) {

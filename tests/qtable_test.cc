@@ -106,6 +106,24 @@ TEST(QTableTest, CsvRejectsMissingColumns) {
   EXPECT_FALSE(restored.ok());
 }
 
+// Pins the documented tie-break contract: ArgmaxAction is deterministic and
+// always prefers the lowest allowed id, including on all-zero and
+// all-negative rows (unlike SarsaLearner::SelectAction, which randomizes
+// exploitation ties during training).
+TEST(QTableTest, ArgmaxTieBreakIsLowestAllowedId) {
+  QTable q(4);
+  // All-zero row: the full tie resolves to the lowest allowed id.
+  EXPECT_EQ(q.ArgmaxAction(0, [](model::ItemId) { return true; }), 0);
+  EXPECT_EQ(q.ArgmaxAction(0, [](model::ItemId a) { return a >= 2; }), 2);
+  // All-negative row: the first allowed action still beats "no action".
+  for (int a = 0; a < 4; ++a) q.Set(1, a, -5.0);
+  EXPECT_EQ(q.ArgmaxAction(1, [](model::ItemId) { return true; }), 0);
+  // A tie between two strict maxima resolves to the earlier id.
+  q.Set(2, 1, 3.0);
+  q.Set(2, 3, 3.0);
+  EXPECT_EQ(q.ArgmaxAction(2, [](model::ItemId) { return true; }), 1);
+}
+
 TEST(QTableTest, MaxAbsTracksLargestMagnitude) {
   QTable q(2);
   q.Set(0, 0, -7.0);

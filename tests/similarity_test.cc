@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "mdp/similarity.h"
+#include "util/rng.h"
 
 namespace rlplanner::mdp {
 namespace {
@@ -108,6 +109,56 @@ TEST(BestSimilarityTest, PicksBestPermutation) {
 TEST(BestSimilarityTest, FullSequenceAgainstExactTemplate) {
   // The paper's m1->m2->m4->m5->m6->m3 example fully satisfies I_2 (PSSSPP).
   EXPECT_DOUBLE_EQ(BestSimilarity(Seq("PSSSPP"), Example1Template()), 6.0);
+}
+
+// Randomized equivalence: over 1000 random appends (25 random templates x
+// 40 appends each), the incremental tracker must agree bit-for-bit with the
+// batch recompute — both for ScoreAppend (the hot path's "what if I add this
+// type" query) and for Score after the append is committed.
+TEST(SimilarityTrackerTest, MatchesBatchRecomputeOnRandomSequences) {
+  util::Rng rng(2024);
+  int appends = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    InterleavingTemplate it;
+    const int perms = 1 + static_cast<int>(rng.NextIndex(4));
+    for (int p = 0; p < perms; ++p) {
+      TypeSequence perm;
+      const int len = 3 + static_cast<int>(rng.NextIndex(6));
+      for (int i = 0; i < len; ++i) {
+        perm.push_back(rng.NextBernoulli(0.5) ? ItemType::kPrimary
+                                              : ItemType::kSecondary);
+      }
+      it.Add(std::move(perm));
+    }
+    SimilarityTracker tracker(it);
+    TypeSequence seq;
+    for (int step = 0; step < 40; ++step, ++appends) {
+      const ItemType next = rng.NextBernoulli(0.5) ? ItemType::kPrimary
+                                                   : ItemType::kSecondary;
+      TypeSequence extended = seq;
+      extended.push_back(next);
+      for (auto mode : {SimilarityMode::kAverage, SimilarityMode::kMinimum}) {
+        EXPECT_EQ(tracker.ScoreAppend(next, mode),
+                  AggregateSimilarity(extended, it, mode))
+            << "trial " << trial << " step " << step;
+      }
+      seq.push_back(next);
+      tracker.Append(next);
+      EXPECT_EQ(tracker.length(), seq.size());
+      for (auto mode : {SimilarityMode::kAverage, SimilarityMode::kMinimum}) {
+        EXPECT_EQ(tracker.Score(mode), AggregateSimilarity(seq, it, mode))
+            << "trial " << trial << " step " << step;
+      }
+    }
+  }
+  EXPECT_EQ(appends, 1000);
+}
+
+TEST(SimilarityTrackerTest, EmptyTemplateScoresZero) {
+  SimilarityTracker tracker{InterleavingTemplate{}};
+  EXPECT_EQ(tracker.Score(SimilarityMode::kAverage), 0.0);
+  EXPECT_EQ(tracker.ScoreAppend(ItemType::kPrimary, SimilarityMode::kMinimum),
+            0.0);
 }
 
 // Property sweep: similarity is always within [0, k] and AvgSim <= BestSim.

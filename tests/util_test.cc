@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "util/bitset.h"
 #include "util/csv.h"
@@ -12,6 +14,7 @@
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace rlplanner::util {
 namespace {
@@ -318,6 +321,40 @@ TEST(AsciiTableTest, ShortRowsPadded) {
   AsciiTable table({"a", "b", "c"});
   table.AddRow({"only"});
   EXPECT_NE(table.ToString().find("| only |"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(counts.size(),
+                   [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, HandlesEmptyAndSingleRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // The caller participates in its own job, so a worker that issues a nested
+  // ParallelFor makes progress even when every pool thread is busy.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](std::size_t) {
+    pool.ParallelFor(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPoolTest, DefaultSizeUsesAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and run the tier-1 test suite twice —
+#   1. Release (the configuration benchmarks and experiments use), and
+#   2. ASan + UBSan (-DRLPLANNER_SANITIZE=ON) to catch memory and UB bugs
+#      the optimized hot path could otherwise hide.
+# Usage: tools/check.sh  (from the repo root; build trees go to build/ and
+# build-sanitize/).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> Release build + tests"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "==> ASan/UBSan build + tests"
+cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRLPLANNER_SANITIZE=ON
+cmake --build build-sanitize -j "${JOBS}"
+ctest --test-dir build-sanitize --output-on-failure -j "${JOBS}"
+
+echo "==> All checks passed"
