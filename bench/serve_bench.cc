@@ -1,0 +1,366 @@
+// Serving-layer benchmark (BENCH_serve.json).
+//
+// Measures the PlanService at Univ-1 scale (114 items, the paper's largest
+// course program) in two phases:
+//
+//  1. Sustained throughput: closed-loop clients against 1/2/4/8 workers,
+//     reporting requests/sec and the p50/p95/p99 end-to-end latency from the
+//     service's own histogram.
+//  2. Hot swap under load: 4 workers serving while the policy is swapped
+//     mid-run. The run must finish with zero dropped and zero incorrectly
+//     rejected requests, and every response attributed to an installed
+//     version; the JSON records the per-version response counts.
+//
+// Usage: serve_bench  (no arguments; writes BENCH_serve.json to the cwd)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/planner.h"
+#include "datagen/synthetic.h"
+#include "mdp/q_table.h"
+#include "serve/plan_service.h"
+#include "serve/policy_registry.h"
+#include "serve/policy_snapshot.h"
+#include "serve/stats.h"
+
+namespace {
+
+using rlplanner::datagen::Dataset;
+
+// Univ-1 CS scale: 114 items, 228 topics (see bench/micro_benchmarks.cc).
+Dataset MakeUniv1ScaleDataset() {
+  rlplanner::datagen::SyntheticSpec spec;
+  spec.num_items = 114;
+  spec.vocab_size = 228;
+  return rlplanner::datagen::GenerateSynthetic(spec);
+}
+
+rlplanner::core::PlannerConfig BenchConfig(const Dataset& dataset,
+                                           std::uint64_t seed) {
+  rlplanner::core::PlannerConfig config = rlplanner::core::DefaultUniv1Config();
+  config.sarsa.num_episodes = 120;
+  config.sarsa.start_item = dataset.default_start;
+  config.seed = seed;
+  return config;
+}
+
+rlplanner::mdp::QTable TrainPolicy(const rlplanner::model::TaskInstance& instance,
+                                   const rlplanner::core::PlannerConfig& config) {
+  rlplanner::core::RlPlanner planner(instance, config);
+  const rlplanner::util::Status status = planner.Train();
+  if (!status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  return planner.q_table();
+}
+
+struct ThroughputResult {
+  std::size_t workers = 0;
+  std::size_t clients = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  rlplanner::serve::ServeStatsSnapshot stats;
+};
+
+// Closed-loop load: each client keeps exactly one request in flight for
+// `requests_per_client` iterations, rotating the start item across the
+// catalog. A ResourceExhausted bounce is retried after a short yield (the
+// client is the backpressure), so completed == clients * requests_per_client.
+ThroughputResult RunThroughput(const rlplanner::model::TaskInstance& instance,
+                               const rlplanner::mdp::RewardWeights& weights,
+                               const rlplanner::serve::PolicyRegistry& registry,
+                               const Dataset& dataset, std::size_t workers,
+                               std::size_t clients,
+                               int requests_per_client) {
+  rlplanner::serve::PlanServiceConfig config;
+  config.num_workers = workers;
+  config.max_queue = 2 * clients + 8;
+  rlplanner::serve::PlanService service(instance, weights, registry, config);
+  service.Start();
+
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> failed{0};
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < requests_per_client; ++i) {
+        rlplanner::serve::PlanRequest request;
+        request.start_item = static_cast<rlplanner::model::ItemId>(
+            (c * 31 + static_cast<std::size_t>(i)) % dataset.catalog.size());
+        while (true) {
+          auto submitted = service.Submit(request);
+          if (submitted.ok()) {
+            if (!std::move(submitted).value().get().ok()) ++failed;
+            break;
+          }
+          ++rejected;
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto end = std::chrono::steady_clock::now();
+  service.Stop();
+
+  ThroughputResult result;
+  result.workers = workers;
+  result.clients = clients;
+  result.rejected = rejected.load();
+  result.wall_seconds = std::chrono::duration<double>(end - begin).count();
+  result.stats = service.stats().Collect();
+  result.completed = result.stats.completed;
+  result.requests_per_sec =
+      static_cast<double>(result.completed) / result.wall_seconds;
+  if (failed.load() != 0) {
+    std::fprintf(stderr, "throughput run had %llu failed requests\n",
+                 static_cast<unsigned long long>(failed.load()));
+    std::exit(1);
+  }
+  return result;
+}
+
+struct HotSwapResult {
+  std::uint64_t total_responses = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t incorrectly_rejected = 0;
+  std::uint64_t swaps = 0;
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  std::map<std::uint64_t, std::uint64_t> responses_by_version;
+  rlplanner::serve::ServeStatsSnapshot stats;
+};
+
+// 4 workers serving a closed loop while `swaps` new policy versions are
+// published mid-run. Every response must carry a version the registry
+// actually installed; a dropped future or a spurious rejection fails the
+// bench.
+HotSwapResult RunHotSwap(const rlplanner::model::TaskInstance& instance,
+                         const rlplanner::mdp::RewardWeights& weights,
+                         rlplanner::serve::PolicyRegistry& registry,
+                         const Dataset& dataset,
+                         const std::vector<rlplanner::mdp::QTable>& policies,
+                         const rlplanner::rl::SarsaConfig& provenance,
+                         std::size_t clients, int requests_per_client) {
+  rlplanner::serve::PlanServiceConfig config;
+  config.num_workers = 4;
+  config.max_queue = 2 * clients + 8;
+  rlplanner::serve::PlanService service(instance, weights, registry, config);
+  service.Start();
+
+  std::mutex mutex;
+  std::map<std::uint64_t, std::uint64_t> responses_by_version;
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> retried{0};
+  std::atomic<bool> clients_done{false};
+
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::map<std::uint64_t, std::uint64_t> local;
+      for (int i = 0; i < requests_per_client; ++i) {
+        rlplanner::serve::PlanRequest request;
+        request.start_item = static_cast<rlplanner::model::ItemId>(
+            (c * 17 + static_cast<std::size_t>(i)) % dataset.catalog.size());
+        bool served = false;
+        while (!served) {
+          auto submitted = service.Submit(request);
+          if (!submitted.ok()) {
+            ++retried;  // admission backpressure, not an error
+            std::this_thread::yield();
+            continue;
+          }
+          auto result = std::move(submitted).value().get();
+          if (!result.ok()) {
+            ++dropped;  // an accepted request must never fail mid-swap
+            break;
+          }
+          ++local[result.value().policy_version];
+          served = true;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      for (const auto& [version, count] : local) {
+        responses_by_version[version] += count;
+      }
+    });
+  }
+  // Swapper: publish the remaining policies spread over the run.
+  std::uint64_t swaps = 0;
+  std::thread swapper([&] {
+    for (std::size_t i = 1; i < policies.size(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      auto installed = registry.Install("default", policies[i], provenance,
+                                        /*seed=*/1000 + i);
+      if (installed.ok()) ++swaps;
+      if (clients_done.load()) break;
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  clients_done = true;
+  swapper.join();
+  const auto end = std::chrono::steady_clock::now();
+  service.Stop();
+
+  HotSwapResult result;
+  result.swaps = swaps;
+  result.dropped = dropped.load();
+  result.wall_seconds = std::chrono::duration<double>(end - begin).count();
+  result.responses_by_version = responses_by_version;
+  result.stats = service.stats().Collect();
+  for (const auto& [version, count] : responses_by_version) {
+    result.total_responses += count;
+    if (version == 0 || version > registry.install_count()) {
+      std::fprintf(stderr, "response attributed to unknown version %llu\n",
+                   static_cast<unsigned long long>(version));
+      std::exit(1);
+    }
+  }
+  // Closed-loop clients retry ResourceExhausted, so a rejection is
+  // "incorrect" only if it prevented a request from ever completing.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(clients) *
+      static_cast<std::uint64_t>(requests_per_client);
+  result.incorrectly_rejected =
+      expected - result.total_responses - result.dropped;
+  result.requests_per_sec =
+      static_cast<double>(result.total_responses) / result.wall_seconds;
+  return result;
+}
+
+void PrintThroughputEntry(std::FILE* f, const ThroughputResult& r, bool last) {
+  std::fprintf(f,
+               "    {\"workers\": %zu, \"clients\": %zu, \"completed\": %llu, "
+               "\"rejected_retried\": %llu, \"wall_s\": %.3f, "
+               "\"requests_per_sec\": %.1f, \"latency_ms\": "
+               "{\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, "
+               "\"mean\": %.3f, \"max\": %.3f}}%s\n",
+               r.workers, r.clients,
+               static_cast<unsigned long long>(r.completed),
+               static_cast<unsigned long long>(r.rejected), r.wall_seconds,
+               r.requests_per_sec, r.stats.latency_p50_ms,
+               r.stats.latency_p95_ms, r.stats.latency_p99_ms,
+               r.stats.latency_mean_ms, r.stats.latency_max_ms,
+               last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  const Dataset dataset = MakeUniv1ScaleDataset();
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  const rlplanner::mdp::RewardWeights weights;
+
+  // Train the serving policy plus three hot-swap variants.
+  const rlplanner::core::PlannerConfig config = BenchConfig(dataset, 17);
+  std::vector<rlplanner::mdp::QTable> policies;
+  for (std::uint64_t seed : {17ull, 18ull, 19ull, 20ull}) {
+    policies.push_back(TrainPolicy(instance, BenchConfig(dataset, seed)));
+  }
+
+  const std::uint64_t fingerprint =
+      rlplanner::serve::CatalogFingerprint(dataset.catalog);
+
+  // Phase 1: sustained throughput across worker counts.
+  std::vector<ThroughputResult> throughput;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    rlplanner::serve::PolicyRegistry registry(fingerprint,
+                                              dataset.catalog.size());
+    auto installed =
+        registry.Install("default", policies[0], config.sarsa, config.seed);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "install failed: %s\n",
+                   installed.status().ToString().c_str());
+      return 1;
+    }
+    throughput.push_back(RunThroughput(instance, weights, registry, dataset,
+                                       workers, /*clients=*/2 * workers,
+                                       /*requests_per_client=*/400));
+    std::printf("workers=%zu  %.0f req/s  p50=%.3fms p95=%.3fms p99=%.3fms\n",
+                workers, throughput.back().requests_per_sec,
+                throughput.back().stats.latency_p50_ms,
+                throughput.back().stats.latency_p95_ms,
+                throughput.back().stats.latency_p99_ms);
+  }
+
+  // Phase 2: hot swap under load (4 workers, 8 closed-loop clients).
+  rlplanner::serve::PolicyRegistry registry(fingerprint,
+                                            dataset.catalog.size());
+  if (!registry.Install("default", policies[0], config.sarsa, config.seed)
+           .ok()) {
+    return 1;
+  }
+  const HotSwapResult swap =
+      RunHotSwap(instance, weights, registry, dataset, policies, config.sarsa,
+                 /*clients=*/8, /*requests_per_client=*/400);
+  std::printf(
+      "hot swap: %llu responses over %llu swaps, %llu dropped, "
+      "%llu incorrectly rejected\n",
+      static_cast<unsigned long long>(swap.total_responses),
+      static_cast<unsigned long long>(swap.swaps),
+      static_cast<unsigned long long>(swap.dropped),
+      static_cast<unsigned long long>(swap.incorrectly_rejected));
+  if (swap.dropped != 0 || swap.incorrectly_rejected != 0 ||
+      swap.swaps == 0) {
+    std::fprintf(stderr, "hot-swap phase violated the zero-loss contract\n");
+    return 1;
+  }
+
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_serve.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"catalog_items\": %zu,\n", dataset.catalog.size());
+  std::fprintf(f, "  \"throughput\": [\n");
+  for (std::size_t i = 0; i < throughput.size(); ++i) {
+    PrintThroughputEntry(f, throughput[i], i + 1 == throughput.size());
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"hot_swap\": {\n");
+  std::fprintf(f, "    \"workers\": 4,\n");
+  std::fprintf(f, "    \"swaps\": %llu,\n",
+               static_cast<unsigned long long>(swap.swaps));
+  std::fprintf(f, "    \"responses\": %llu,\n",
+               static_cast<unsigned long long>(swap.total_responses));
+  std::fprintf(f, "    \"dropped\": %llu,\n",
+               static_cast<unsigned long long>(swap.dropped));
+  std::fprintf(f, "    \"incorrectly_rejected\": %llu,\n",
+               static_cast<unsigned long long>(swap.incorrectly_rejected));
+  std::fprintf(f, "    \"requests_per_sec\": %.1f,\n", swap.requests_per_sec);
+  std::fprintf(f, "    \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, "
+               "\"p99\": %.3f, \"max\": %.3f},\n",
+               swap.stats.latency_p50_ms, swap.stats.latency_p95_ms,
+               swap.stats.latency_p99_ms, swap.stats.latency_max_ms);
+  std::fprintf(f, "    \"responses_by_version\": {");
+  bool first = true;
+  for (const auto& [version, count] : swap.responses_by_version) {
+    std::fprintf(f, "%s\"%llu\": %llu", first ? "" : ", ",
+                 static_cast<unsigned long long>(version),
+                 static_cast<unsigned long long>(count));
+    first = false;
+  }
+  std::fprintf(f, "}\n");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_serve.json\n");
+  return 0;
+}

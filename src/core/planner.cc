@@ -30,21 +30,27 @@ util::Status RlPlanner::Train() {
 
 util::Result<model::Plan> RlPlanner::Recommend(
     model::ItemId start_item) const {
-  if (!trained()) {
-    return util::Status::FailedPrecondition(
-        "Recommend() called before Train() or AdoptPolicy()");
-  }
-  if (start_item < 0 ||
-      static_cast<std::size_t>(start_item) >= instance_->catalog->size()) {
-    std::ostringstream msg;
-    msg << "start item " << start_item << " out of range (catalog size "
-        << instance_->catalog->size() << ")";
-    return util::Status::OutOfRange(msg.str());
-  }
   rl::RecommendConfig recommend;
   recommend.start_item = start_item;
   recommend.mask_type_overflow = config_.sarsa.mask_type_overflow;
   recommend.gamma = config_.sarsa.gamma;
+  return Recommend(recommend);
+}
+
+util::Result<model::Plan> RlPlanner::Recommend(
+    const rl::RecommendConfig& recommend) const {
+  if (!trained()) {
+    return util::Status::FailedPrecondition(
+        "Recommend() called before Train() or AdoptPolicy()");
+  }
+  if (recommend.start_item < 0 ||
+      static_cast<std::size_t>(recommend.start_item) >=
+          instance_->catalog->size()) {
+    std::ostringstream msg;
+    msg << "start item " << recommend.start_item
+        << " out of range (catalog size " << instance_->catalog->size() << ")";
+    return util::Status::OutOfRange(msg.str());
+  }
   if (config_.use_beam_search) {
     return rl::RecommendPlanBeam(*q_, *instance_, reward_, recommend,
                                  config_.beam);

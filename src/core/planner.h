@@ -11,6 +11,7 @@
 #include "mdp/reward.h"
 #include "model/constraints.h"
 #include "model/plan.h"
+#include "rl/recommender.h"
 
 namespace rlplanner::core {
 
@@ -43,6 +44,11 @@ class RlPlanner {
   /// Recommends a plan starting at `start_item` by greedy Q traversal.
   /// Fails when the planner has no policy or the start item is invalid.
   util::Result<model::Plan> Recommend(model::ItemId start_item) const;
+
+  /// Recommends with explicit per-request settings (start item, exclusions,
+  /// masking) — the entry point the serving layer uses for constraint
+  /// overrides. `config_.use_beam_search` still selects the traversal.
+  util::Result<model::Plan> Recommend(const rl::RecommendConfig& recommend) const;
 
   /// Installs an externally learned policy (e.g. transferred from another
   /// dataset). The table dimension must match the catalog size.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 
@@ -75,6 +76,33 @@ std::string QTable::ToCsv() const {
   return util::WriteCsv(doc);
 }
 
+namespace {
+
+// Strict whole-token integer parse; false on empty fields, non-numeric
+// characters, or trailing garbage ("12x").
+bool ParseLongStrict(const std::string& field, long* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtol(field.c_str(), &end, 10);
+  return errno == 0 && end == field.c_str() + field.size();
+}
+
+bool ParseDoubleStrict(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtod(field.c_str(), &end);
+  return errno == 0 && end == field.c_str() + field.size();
+}
+
+util::Status RowError(std::size_t row, const std::string& what) {
+  return util::Status::InvalidArgument("Q-table CSV row " +
+                                       std::to_string(row + 1) + ": " + what);
+}
+
+}  // namespace
+
 util::Result<QTable> QTable::FromCsv(std::size_t num_items,
                                      const std::string& csv_text) {
   auto parsed = util::ParseCsv(csv_text);
@@ -88,18 +116,56 @@ util::Result<QTable> QTable::FromCsv(std::size_t num_items,
         "Q-table CSV must have state,action,q columns");
   }
   QTable table(num_items);
-  for (const auto& row : doc.rows) {
-    const long state = std::strtol(row[state_col].c_str(), nullptr, 10);
-    const long action = std::strtol(row[action_col].c_str(), nullptr, 10);
-    const double q = std::strtod(row[q_col].c_str(), nullptr);
+  std::vector<bool> seen(num_items * num_items, false);
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    const auto& row = doc.rows[i];
+    long state = 0;
+    long action = 0;
+    double q = 0.0;
+    if (!ParseLongStrict(row[state_col], &state)) {
+      return RowError(i, "malformed state '" + row[state_col] + "'");
+    }
+    if (!ParseLongStrict(row[action_col], &action)) {
+      return RowError(i, "malformed action '" + row[action_col] + "'");
+    }
+    if (!ParseDoubleStrict(row[q_col], &q)) {
+      return RowError(i, "malformed q value '" + row[q_col] + "'");
+    }
     if (state < 0 || static_cast<std::size_t>(state) >= num_items ||
         action < 0 || static_cast<std::size_t>(action) >= num_items) {
-      return util::Status::OutOfRange("Q-table CSV entry out of range");
+      return RowError(i, "entry (" + std::to_string(state) + ", " +
+                             std::to_string(action) +
+                             ") out of range for dimension " +
+                             std::to_string(num_items));
     }
+    const std::size_t flat =
+        static_cast<std::size_t>(state) * num_items +
+        static_cast<std::size_t>(action);
+    if (seen[flat]) {
+      return RowError(i, "duplicate entry (" + std::to_string(state) + ", " +
+                             std::to_string(action) + ")");
+    }
+    seen[flat] = true;
     table.Set(static_cast<model::ItemId>(state),
               static_cast<model::ItemId>(action), q);
   }
   return table;
+}
+
+util::Result<QTable> QTable::FromValues(std::size_t num_items,
+                                        std::vector<double> values) {
+  if (values.size() != num_items * num_items) {
+    return util::Status::InvalidArgument(
+        "Q-table payload has " + std::to_string(values.size()) +
+        " entries, expected " + std::to_string(num_items * num_items));
+  }
+  QTable table(num_items);
+  table.values_ = std::move(values);
+  return table;
+}
+
+bool operator==(const QTable& a, const QTable& b) {
+  return a.num_items() == b.num_items() && a.values() == b.values();
 }
 
 }  // namespace rlplanner::mdp

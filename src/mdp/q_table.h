@@ -76,13 +76,28 @@ class QTable {
   std::string ToCsv() const;
 
   /// Restores a table from `ToCsv` output; `num_items` fixes the dimension.
+  /// Malformed rows (non-numeric fields, trailing garbage), out-of-range
+  /// state/action ids, and duplicate (state, action) entries all produce
+  /// InvalidArgument naming the offending data row.
   static util::Result<QTable> FromCsv(std::size_t num_items,
                                       const std::string& csv_text);
+
+  /// The raw row-major |I| x |I| payload (binary snapshot serialization).
+  const std::vector<double>& values() const { return values_; }
+
+  /// Rebuilds a table from a raw row-major payload; InvalidArgument when
+  /// `values.size() != num_items^2`.
+  static util::Result<QTable> FromValues(std::size_t num_items,
+                                         std::vector<double> values);
 
  private:
   std::size_t num_items_;
   std::vector<double> values_;  // row-major |I| x |I|
 };
+
+/// Exact (bitwise double) equality of dimension and every entry.
+bool operator==(const QTable& a, const QTable& b);
+inline bool operator!=(const QTable& a, const QTable& b) { return !(a == b); }
 
 }  // namespace rlplanner::mdp
 

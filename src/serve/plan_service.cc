@@ -1,0 +1,192 @@
+#include "serve/plan_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/scoring.h"
+#include "rl/recommender.h"
+
+namespace rlplanner::serve {
+namespace {
+
+double MillisBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+PlanService::PlanService(const model::TaskInstance& instance,
+                         const mdp::RewardWeights& weights,
+                         const PolicyRegistry& registry,
+                         PlanServiceConfig config)
+    : instance_(&instance),
+      weights_(weights),
+      reward_(*instance_, weights_),
+      registry_(&registry),
+      config_(config),
+      pool_(std::max<std::size_t>(1, config.num_workers)) {
+  config_.num_workers = std::max<std::size_t>(1, config_.num_workers);
+  config_.max_queue = std::max<std::size_t>(1, config_.max_queue);
+}
+
+PlanService::~PlanService() { Stop(); }
+
+void PlanService::Start() {
+  if (started_.exchange(true)) return;
+  // The coordinator parks inside ParallelFor for the service lifetime; each
+  // of the num_workers indices runs one WorkerLoop on a pool thread (or the
+  // coordinator itself — ParallelFor callers participate).
+  coordinator_ = std::thread([this] {
+    pool_.ParallelFor(config_.num_workers,
+                      [this](std::size_t) { WorkerLoop(); });
+  });
+}
+
+void PlanService::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (coordinator_.joinable()) coordinator_.join();
+}
+
+std::size_t PlanService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+util::Result<std::future<util::Result<PlanResponse>>> PlanService::Submit(
+    PlanRequest request) {
+  if (!started_.load() || stopped_.load()) {
+    return util::Status::FailedPrecondition(
+        "PlanService is not running (Start() not called or Stop() already "
+        "requested)");
+  }
+  const auto now = Clock::now();
+  double deadline_ms = request.deadline_ms == 0.0
+                           ? config_.default_deadline_ms
+                           : request.deadline_ms;
+  std::future<util::Result<PlanResponse>> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return util::Status::FailedPrecondition("PlanService is stopping");
+    }
+    stats_.RecordSubmitted();
+    if (queue_.size() >= config_.max_queue) {
+      stats_.RecordRejectedQueueFull();
+      return util::Status::ResourceExhausted(
+          "request queue full (" + std::to_string(config_.max_queue) +
+          " pending requests); retry later");
+    }
+    Pending pending;
+    pending.request = std::move(request);
+    pending.enqueued = now;
+    if (deadline_ms > 0.0) {
+      pending.has_deadline = true;
+      pending.deadline =
+          now + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(deadline_ms));
+    }
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    stats_.RecordAccepted();
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void PlanService::WorkerLoop() {
+  while (true) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const auto dequeued = Clock::now();
+    if (pending.has_deadline && dequeued > pending.deadline) {
+      stats_.RecordExpiredDeadline();
+      pending.promise.set_value(util::Status::DeadlineExceeded(
+          "request spent " +
+          std::to_string(MillisBetween(pending.enqueued, dequeued)) +
+          " ms in the queue, past its deadline"));
+      continue;
+    }
+    auto result = Execute(pending.request);
+    const auto finished = Clock::now();
+    if (result.ok()) {
+      result.value().queue_ms = MillisBetween(pending.enqueued, dequeued);
+      result.value().exec_ms = MillisBetween(dequeued, finished);
+      stats_.RecordCompleted(MillisBetween(pending.enqueued, finished));
+    } else {
+      stats_.RecordFailed();
+    }
+    pending.promise.set_value(std::move(result));
+  }
+}
+
+util::Result<PlanResponse> PlanService::Execute(
+    const PlanRequest& request) const {
+  const std::shared_ptr<const ServablePolicy> policy =
+      registry_->Current(request.policy_name);
+  if (policy == nullptr) {
+    return util::Status::NotFound("no policy installed under '" +
+                                  request.policy_name + "'");
+  }
+  const model::Catalog& catalog = *instance_->catalog;
+  if (request.start_item < 0 ||
+      static_cast<std::size_t>(request.start_item) >= catalog.size()) {
+    return util::Status::OutOfRange(
+        "start item " + std::to_string(request.start_item) +
+        " out of range (catalog size " + std::to_string(catalog.size()) + ")");
+  }
+  for (const model::ItemId id : request.excluded) {
+    if (id < 0 || static_cast<std::size_t>(id) >= catalog.size()) {
+      return util::Status::OutOfRange("excluded item " + std::to_string(id) +
+                                      " out of range (catalog size " +
+                                      std::to_string(catalog.size()) + ")");
+    }
+  }
+
+  rl::RecommendConfig recommend;
+  recommend.start_item = request.start_item;
+  recommend.excluded = request.excluded;
+  recommend.gamma = policy->provenance.gamma;
+  recommend.mask_type_overflow = policy->provenance.mask_type_overflow;
+
+  PlanResponse response;
+  response.policy_version = policy->version;
+  if (request.ideal_topics.has_value()) {
+    // Per-user T_ideal: rebuild the soft constraints and a request-local
+    // reward function over the same catalog. The override instance and
+    // reward live on this stack frame only.
+    auto ideal = catalog.MakeTopicVector(*request.ideal_topics);
+    if (!ideal.ok()) return ideal.status();
+    model::TaskInstance local = *instance_;
+    local.soft.ideal_topics = std::move(ideal).value();
+    const mdp::RewardFunction local_reward(local, weights_);
+    response.plan = rl::RecommendPlan(policy->q, local, local_reward,
+                                      recommend);
+    response.score = core::ScorePlan(local, response.plan);
+    core::ValidationReport report = core::ValidatePlan(local, response.plan);
+    response.valid = report.valid;
+    response.violations = std::move(report.violations);
+  } else {
+    response.plan =
+        rl::RecommendPlan(policy->q, *instance_, reward_, recommend);
+    response.score = core::ScorePlan(*instance_, response.plan);
+    core::ValidationReport report =
+        core::ValidatePlan(*instance_, response.plan);
+    response.valid = report.valid;
+    response.violations = std::move(report.violations);
+  }
+  return response;
+}
+
+}  // namespace rlplanner::serve

@@ -1,0 +1,147 @@
+#ifndef RLPLANNER_SERVE_PLAN_SERVICE_H_
+#define RLPLANNER_SERVE_PLAN_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/validation.h"
+#include "mdp/reward.h"
+#include "model/constraints.h"
+#include "model/plan.h"
+#include "serve/policy_registry.h"
+#include "serve/stats.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace rlplanner::serve {
+
+/// One user's plan request: which policy slot to roll out, where to start,
+/// and the per-request constraint overrides the paper's recommendation phase
+/// supports (a user-specific `T_ideal` and "never recommend X" exclusions).
+struct PlanRequest {
+  std::string policy_name = "default";
+  model::ItemId start_item = 0;
+  /// Items the rollout must never pick (the start item is exempt).
+  std::vector<model::ItemId> excluded;
+  /// Per-user ideal-topic override (topic names resolved against the
+  /// catalog vocabulary); nullopt serves the dataset default `T_ideal`.
+  std::optional<std::vector<std::string>> ideal_topics;
+  /// Per-request deadline in ms measured from admission; 0 uses the service
+  /// default, negative disables the deadline for this request.
+  double deadline_ms = 0.0;
+};
+
+/// A served plan plus everything needed to audit it: the scores, the hard
+/// constraint report, and which policy version produced it.
+struct PlanResponse {
+  model::Plan plan;
+  double score = 0.0;
+  bool valid = false;
+  std::vector<std::string> violations;
+  /// The exact registry version the rollout used — every response is
+  /// attributable to one immutable snapshot even across hot swaps.
+  std::uint64_t policy_version = 0;
+  double queue_ms = 0.0;
+  double exec_ms = 0.0;
+};
+
+struct PlanServiceConfig {
+  /// Concurrent request executors (drawn from the service's ThreadPool).
+  std::size_t num_workers = 4;
+  /// Admission-control bound: requests beyond this queue depth are rejected
+  /// with ResourceExhausted instead of being buffered without limit.
+  std::size_t max_queue = 256;
+  /// Default per-request deadline in ms; 0 disables deadlines.
+  double default_deadline_ms = 0.0;
+};
+
+/// The concurrent plan-serving layer: executes PlanRequests against the
+/// registry's current policies on a util::ThreadPool, behind a bounded
+/// request queue with admission control and per-request deadlines.
+///
+/// Lifecycle: construct → Start() → Submit()/Execute() from any thread →
+/// Stop() (drains the queue, then joins). A service is single-use; Stop()
+/// is permanent. `instance` and `registry` must outlive the service.
+///
+/// Consistency contract: a request is executed entirely against the one
+/// `shared_ptr<const ServablePolicy>` it resolves at execution start, so hot
+/// swaps never produce a response mixing two policies, and no request is
+/// dropped or spuriously rejected by a swap.
+class PlanService {
+ public:
+  PlanService(const model::TaskInstance& instance,
+              const mdp::RewardWeights& weights, const PolicyRegistry& registry,
+              PlanServiceConfig config);
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Stops the service if still running.
+  ~PlanService();
+
+  /// Spins up the worker loops. Idempotent until Stop().
+  void Start();
+
+  /// Drains queued requests, then stops the workers. Requests submitted
+  /// after Stop() fail with FailedPrecondition.
+  void Stop();
+
+  /// Admits a request into the bounded queue. Returns the future that will
+  /// carry the response (or the per-request error), or an immediate
+  /// ResourceExhausted / FailedPrecondition when the queue is full / the
+  /// service is not running.
+  util::Result<std::future<util::Result<PlanResponse>>> Submit(
+      PlanRequest request);
+
+  /// Synchronously executes `request` on the calling thread against the
+  /// registry's current policy — the single-request path (also what the
+  /// workers run). Does not touch the queue or admission control.
+  util::Result<PlanResponse> Execute(const PlanRequest& request) const;
+
+  const ServeStats& stats() const { return stats_; }
+  std::size_t queue_depth() const;
+  const PlanServiceConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    PlanRequest request;
+    std::promise<util::Result<PlanResponse>> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  void WorkerLoop();
+
+  const model::TaskInstance* instance_;
+  mdp::RewardWeights weights_;  // kept alive for reward_ and override rebuilds
+  mdp::RewardFunction reward_;  // default-T_ideal path, shared across workers
+  const PolicyRegistry* registry_;
+  PlanServiceConfig config_;
+  ServeStats stats_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  util::ThreadPool pool_;
+  std::thread coordinator_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace rlplanner::serve
+
+#endif  // RLPLANNER_SERVE_PLAN_SERVICE_H_

@@ -1,0 +1,68 @@
+#include "serve/policy_registry.h"
+
+#include <sstream>
+
+namespace rlplanner::serve {
+
+PolicyRegistry::PolicyRegistry(std::uint64_t catalog_fingerprint,
+                               std::size_t num_items)
+    : catalog_fingerprint_(catalog_fingerprint), num_items_(num_items) {}
+
+util::Result<std::uint64_t> PolicyRegistry::Install(
+    const std::string& name, mdp::QTable q, rl::SarsaConfig provenance,
+    std::uint64_t seed) {
+  if (q.num_items() != num_items_) {
+    return util::Status::InvalidArgument(
+        "policy dimension " + std::to_string(q.num_items()) +
+        " does not match the registry catalog (" + std::to_string(num_items_) +
+        " items)");
+  }
+  auto policy = std::make_shared<ServablePolicy>();
+  policy->q = std::move(q);
+  policy->catalog_fingerprint = catalog_fingerprint_;
+  policy->provenance = provenance;
+  policy->seed = seed;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t version = next_version_++;
+  policy->version = version;
+  // The swap: readers that already copied the old shared_ptr keep serving
+  // from it; the next Current() call observes the new policy.
+  slots_[name] = std::move(policy);
+  ++install_count_;
+  return version;
+}
+
+util::Result<std::uint64_t> PolicyRegistry::InstallSnapshot(
+    const std::string& name, const PolicySnapshot& snapshot) {
+  if (snapshot.catalog_fingerprint != catalog_fingerprint_) {
+    std::ostringstream msg;
+    msg << "snapshot catalog fingerprint " << std::hex
+        << snapshot.catalog_fingerprint
+        << " does not match the serving catalog (" << catalog_fingerprint_
+        << "): the policy was trained on a different catalog";
+    return util::Status::FailedPrecondition(msg.str());
+  }
+  return Install(name, snapshot.table, snapshot.provenance, snapshot.seed);
+}
+
+std::shared_ptr<const ServablePolicy> PolicyRegistry::Current(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(name);
+  return it == slots_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> PolicyRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& [name, policy] : slots_) names.push_back(name);
+  return names;
+}
+
+std::uint64_t PolicyRegistry::install_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return install_count_;
+}
+
+}  // namespace rlplanner::serve

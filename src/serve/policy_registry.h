@@ -1,0 +1,89 @@
+#ifndef RLPLANNER_SERVE_POLICY_REGISTRY_H_
+#define RLPLANNER_SERVE_POLICY_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mdp/q_table.h"
+#include "rl/sarsa.h"
+#include "serve/policy_snapshot.h"
+#include "util/status.h"
+
+namespace rlplanner::serve {
+
+/// An immutable, refcounted policy a PlanService can execute requests
+/// against. Once published through the registry it is never mutated, so any
+/// number of threads may read it concurrently without synchronization.
+struct ServablePolicy {
+  mdp::QTable q{0};
+  /// Registry-assigned, strictly increasing across all installs.
+  std::uint64_t version = 0;
+  std::uint64_t catalog_fingerprint = 0;
+  /// Training provenance carried over from the snapshot.
+  rl::SarsaConfig provenance;
+  std::uint64_t seed = 0;
+};
+
+/// Named, hot-swappable policy slots with RCU-style publication: `Current`
+/// hands out a `shared_ptr<const ServablePolicy>`; `Install` atomically
+/// replaces the slot's pointer. In-flight requests keep the old policy alive
+/// through their reference count and finish on it, while every request
+/// admitted after the swap observes the new policy — no downtime, no torn
+/// reads. The brief mutex protects only the pointer map, never policy
+/// execution.
+///
+/// Every install is validated against the registry's catalog fingerprint, so
+/// a policy trained on a different (or drifted) catalog can never be
+/// published to a serving slot it would mis-index.
+class PolicyRegistry {
+ public:
+  /// `catalog_fingerprint` and `num_items` pin the catalog this registry
+  /// serves (see CatalogFingerprint).
+  PolicyRegistry(std::uint64_t catalog_fingerprint, std::size_t num_items);
+
+  PolicyRegistry(const PolicyRegistry&) = delete;
+  PolicyRegistry& operator=(const PolicyRegistry&) = delete;
+
+  /// Publishes `q` under `name` (creating or hot-swapping the slot) and
+  /// returns the assigned version. Fails with InvalidArgument when the table
+  /// dimension does not match the registry catalog.
+  util::Result<std::uint64_t> Install(const std::string& name, mdp::QTable q,
+                                      rl::SarsaConfig provenance,
+                                      std::uint64_t seed = 0);
+
+  /// Publishes a deserialized snapshot; additionally validates the
+  /// snapshot's catalog fingerprint against the registry's.
+  util::Result<std::uint64_t> InstallSnapshot(const std::string& name,
+                                              const PolicySnapshot& snapshot);
+
+  /// The current policy of `name`, or nullptr when the slot does not exist.
+  /// The returned pointer stays valid (and immutable) for as long as the
+  /// caller holds it, regardless of later swaps.
+  std::shared_ptr<const ServablePolicy> Current(const std::string& name) const;
+
+  /// Slot names, unordered.
+  std::vector<std::string> Names() const;
+
+  /// Total successful installs (initial publications + hot swaps).
+  std::uint64_t install_count() const;
+
+  std::uint64_t catalog_fingerprint() const { return catalog_fingerprint_; }
+  std::size_t num_items() const { return num_items_; }
+
+ private:
+  const std::uint64_t catalog_fingerprint_;
+  const std::size_t num_items_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ServablePolicy>>
+      slots_;
+  std::uint64_t next_version_ = 1;
+  std::uint64_t install_count_ = 0;
+};
+
+}  // namespace rlplanner::serve
+
+#endif  // RLPLANNER_SERVE_POLICY_REGISTRY_H_

@@ -1,0 +1,245 @@
+#include "serve/policy_snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <type_traits>
+#include <vector>
+
+namespace rlplanner::serve {
+namespace {
+
+constexpr char kMagic[8] = {'R', 'L', 'P', 'S', 'N', 'A', 'P', '1'};
+constexpr std::size_t kChecksumBytes = sizeof(std::uint64_t);
+
+// --- fixed-width little-endian writer -------------------------------------
+
+void AppendBytes(std::string& out, const void* data, std::size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void AppendScalar(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AppendBytes(out, &value, sizeof(T));
+}
+
+// --- bounds-checked reader ------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  util::Status Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      return util::Status::InvalidArgument(
+          "snapshot truncated at byte " + std::to_string(pos_));
+    }
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return util::Status::Ok();
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Feeds one scalar into a running FNV-1a hash.
+template <typename T>
+std::uint64_t HashScalar(std::uint64_t hash, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return Fnv1a64(&value, sizeof(T), hash);
+}
+
+std::uint64_t HashString(std::uint64_t hash, const std::string& text) {
+  hash = HashScalar(hash, static_cast<std::uint64_t>(text.size()));
+  return Fnv1a64(text.data(), text.size(), hash);
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64(const void* bytes, std::size_t size,
+                      std::uint64_t seed) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= p[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+std::uint64_t CatalogFingerprint(const model::Catalog& catalog) {
+  std::uint64_t h = 14695981039346656037ull;
+  h = HashScalar(h, static_cast<std::uint32_t>(catalog.domain()));
+  h = HashScalar(h, static_cast<std::uint64_t>(catalog.size()));
+  for (const std::string& topic : catalog.vocabulary()) {
+    h = HashString(h, topic);
+  }
+  for (const std::string& name : catalog.category_names()) {
+    h = HashString(h, name);
+  }
+  for (const model::Item& item : catalog.items()) {
+    h = HashString(h, item.code);
+    h = HashScalar(h, static_cast<std::uint32_t>(item.type));
+    h = HashScalar(h, static_cast<std::int32_t>(item.category));
+    h = HashScalar(h, item.credits);
+    for (const auto& group : item.prereqs.groups()) {
+      h = HashScalar(h, static_cast<std::uint64_t>(group.size()));
+      for (const model::ItemId id : group) {
+        h = HashScalar(h, static_cast<std::int32_t>(id));
+      }
+    }
+    // Topic bits via the canonical 0/1 rendering (independent of the bitset
+    // word layout).
+    h = HashString(h, item.topics.ToString());
+    h = HashScalar(h, item.location.lat);
+    h = HashScalar(h, item.location.lng);
+    h = HashScalar(h, item.popularity);
+    h = HashScalar(h, static_cast<std::int32_t>(item.primary_theme));
+  }
+  return h;
+}
+
+std::string PolicySnapshot::Serialize() const {
+  const std::size_t n = table.num_items();
+  std::string out;
+  out.reserve(sizeof(kMagic) + 96 + n * n * sizeof(double) + kChecksumBytes);
+  AppendBytes(out, kMagic, sizeof(kMagic));
+  AppendScalar(out, kFormatVersion);
+  AppendScalar(out, catalog_fingerprint);
+  AppendScalar(out, static_cast<std::uint64_t>(n));
+  AppendScalar(out, seed);
+  AppendScalar(out, static_cast<std::int32_t>(provenance.num_episodes));
+  AppendScalar(out, provenance.alpha);
+  AppendScalar(out, provenance.gamma);
+  AppendScalar(out, static_cast<std::int32_t>(provenance.exploration));
+  AppendScalar(out, static_cast<std::int32_t>(provenance.update_rule));
+  AppendScalar(out, provenance.explore_epsilon);
+  AppendScalar(out, static_cast<std::int32_t>(provenance.start_item));
+  AppendScalar(out, static_cast<std::uint8_t>(provenance.mask_type_overflow));
+  AppendScalar(out, static_cast<std::int32_t>(provenance.policy_rounds));
+  AppendScalar(out, provenance.restart_decay);
+  AppendBytes(out, table.values().data(), n * n * sizeof(double));
+  AppendScalar(out, Fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+util::Result<PolicySnapshot> PolicySnapshot::Deserialize(
+    const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) + kChecksumBytes) {
+    return util::Status::InvalidArgument(
+        "snapshot too short to hold magic and checksum (" +
+        std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument(
+        "bad snapshot magic (not a policy snapshot file)");
+  }
+  std::uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes.data() + bytes.size() - kChecksumBytes,
+              kChecksumBytes);
+  const std::uint64_t computed =
+      Fnv1a64(bytes.data(), bytes.size() - kChecksumBytes);
+  if (stored_checksum != computed) {
+    std::ostringstream msg;
+    msg << "snapshot checksum mismatch (stored " << std::hex << stored_checksum
+        << ", computed " << computed << "): file is corrupted";
+    return util::Status::InvalidArgument(msg.str());
+  }
+
+  Reader reader(bytes);
+  char magic[sizeof(kMagic)];
+  RLP_RETURN_IF_ERROR(reader.Read(&magic));
+  std::uint32_t format_version = 0;
+  RLP_RETURN_IF_ERROR(reader.Read(&format_version));
+  if (format_version != kFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported snapshot format version " +
+        std::to_string(format_version) + " (expected " +
+        std::to_string(kFormatVersion) + ")");
+  }
+
+  PolicySnapshot snapshot;
+  std::uint64_t num_items = 0;
+  RLP_RETURN_IF_ERROR(reader.Read(&snapshot.catalog_fingerprint));
+  RLP_RETURN_IF_ERROR(reader.Read(&num_items));
+  RLP_RETURN_IF_ERROR(reader.Read(&snapshot.seed));
+  std::int32_t num_episodes = 0, exploration = 0, update_rule = 0;
+  std::int32_t start_item = 0, policy_rounds = 0;
+  std::uint8_t mask_type_overflow = 0;
+  RLP_RETURN_IF_ERROR(reader.Read(&num_episodes));
+  RLP_RETURN_IF_ERROR(reader.Read(&snapshot.provenance.alpha));
+  RLP_RETURN_IF_ERROR(reader.Read(&snapshot.provenance.gamma));
+  RLP_RETURN_IF_ERROR(reader.Read(&exploration));
+  RLP_RETURN_IF_ERROR(reader.Read(&update_rule));
+  RLP_RETURN_IF_ERROR(reader.Read(&snapshot.provenance.explore_epsilon));
+  RLP_RETURN_IF_ERROR(reader.Read(&start_item));
+  RLP_RETURN_IF_ERROR(reader.Read(&mask_type_overflow));
+  RLP_RETURN_IF_ERROR(reader.Read(&policy_rounds));
+  RLP_RETURN_IF_ERROR(reader.Read(&snapshot.provenance.restart_decay));
+  snapshot.provenance.num_episodes = num_episodes;
+  snapshot.provenance.exploration =
+      static_cast<rl::ExplorationMode>(exploration);
+  snapshot.provenance.update_rule = static_cast<rl::UpdateRule>(update_rule);
+  snapshot.provenance.start_item = start_item;
+  snapshot.provenance.mask_type_overflow = mask_type_overflow != 0;
+  snapshot.provenance.policy_rounds = policy_rounds;
+
+  const std::size_t n = static_cast<std::size_t>(num_items);
+  const std::size_t payload_bytes = n * n * sizeof(double);
+  if (reader.remaining() != payload_bytes + kChecksumBytes) {
+    return util::Status::InvalidArgument(
+        "snapshot payload size mismatch: " +
+        std::to_string(reader.remaining() - kChecksumBytes) +
+        " bytes for a " + std::to_string(n) + "x" + std::to_string(n) +
+        " table (expected " + std::to_string(payload_bytes) + ")");
+  }
+  std::vector<double> values(n * n);
+  std::memcpy(values.data(), bytes.data() + reader.pos(), payload_bytes);
+  auto table = mdp::QTable::FromValues(n, std::move(values));
+  if (!table.ok()) return table.status();
+  snapshot.table = std::move(table).value();
+  return snapshot;
+}
+
+util::Status PolicySnapshot::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::Internal("cannot open for write: " + path);
+  const std::string bytes = Serialize();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return util::Status::Internal("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<PolicySnapshot> PolicySnapshot::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+util::Result<PolicySnapshot> MakeSnapshot(const core::RlPlanner& planner) {
+  if (!planner.trained()) {
+    return util::Status::FailedPrecondition(
+        "MakeSnapshot() requires a trained planner");
+  }
+  PolicySnapshot snapshot;
+  snapshot.catalog_fingerprint =
+      CatalogFingerprint(*planner.instance().catalog);
+  snapshot.provenance = planner.config().sarsa;
+  snapshot.seed = planner.config().seed;
+  snapshot.table = planner.q_table();
+  return snapshot;
+}
+
+}  // namespace rlplanner::serve

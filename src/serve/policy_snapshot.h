@@ -1,0 +1,71 @@
+#ifndef RLPLANNER_SERVE_POLICY_SNAPSHOT_H_
+#define RLPLANNER_SERVE_POLICY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/planner.h"
+#include "mdp/q_table.h"
+#include "model/catalog.h"
+#include "rl/sarsa.h"
+#include "util/status.h"
+
+namespace rlplanner::serve {
+
+/// FNV-1a 64-bit hash of `bytes` (the snapshot checksum primitive).
+std::uint64_t Fnv1a64(const void* bytes, std::size_t size,
+                      std::uint64_t seed = 14695981039346656037ull);
+
+/// Structural fingerprint of a catalog: a 64-bit hash over the domain, the
+/// topic vocabulary, the category names, and every item's code, type,
+/// category, credits, prerequisites, topic bits, location, popularity and
+/// theme. Two catalogs with the same fingerprint index the same Q-table
+/// rows/columns, so a policy trained on one is servable on the other.
+std::uint64_t CatalogFingerprint(const model::Catalog& catalog);
+
+/// A trained policy as a loadable artifact (the "train once, serve many"
+/// half of the stack): the binary Q-table payload plus the provenance needed
+/// to validate and reproduce it. The CSV path (`QTable::ToCsv`) remains the
+/// portable, human-readable fallback; this format adds integrity (checksum),
+/// compatibility (catalog fingerprint) and provenance (SarsaConfig + seed).
+///
+/// Wire layout (fixed-width little-endian fields, in order):
+///   magic "RLPSNAP1" (8 bytes)
+///   u32  format_version (= kFormatVersion)
+///   u64  catalog_fingerprint
+///   u64  num_items
+///   u64  seed
+///   i32  num_episodes      f64 alpha            f64 gamma
+///   i32  exploration       i32 update_rule      f64 explore_epsilon
+///   i32  start_item        u8  mask_type_overflow
+///   i32  policy_rounds     f64 restart_decay
+///   f64 x num_items^2 row-major Q payload
+///   u64  FNV-1a checksum of every preceding byte
+struct PolicySnapshot {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  std::uint64_t catalog_fingerprint = 0;
+  /// Training provenance: the SarsaConfig the table was learned with.
+  rl::SarsaConfig provenance;
+  /// The planner seed used for training.
+  std::uint64_t seed = 0;
+  mdp::QTable table{0};
+
+  /// Serializes to the binary wire format above.
+  std::string Serialize() const;
+
+  /// Parses `bytes`; rejects bad magic, unknown format versions, truncated
+  /// or oversized payloads, and checksum mismatches with a descriptive
+  /// InvalidArgument.
+  static util::Result<PolicySnapshot> Deserialize(const std::string& bytes);
+
+  util::Status SaveToFile(const std::string& path) const;
+  static util::Result<PolicySnapshot> LoadFromFile(const std::string& path);
+};
+
+/// Snapshots a trained planner (FailedPrecondition when untrained).
+util::Result<PolicySnapshot> MakeSnapshot(const core::RlPlanner& planner);
+
+}  // namespace rlplanner::serve
+
+#endif  // RLPLANNER_SERVE_POLICY_SNAPSHOT_H_

@@ -1,0 +1,126 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace rlplanner::serve {
+
+int LatencyHistogram::BucketIndex(std::uint64_t micros) {
+  if (micros < kSubBuckets) return static_cast<int>(micros);
+  int msb = std::bit_width(micros) - 1;  // >= kSubBits
+  int octave = msb - kSubBits;
+  if (octave > kOctaves - 1) {  // clamp overlong latencies to the top octave
+    octave = kOctaves - 1;
+    msb = octave + kSubBits;
+    micros = (std::uint64_t{1} << (msb + 1)) - 1;
+  }
+  // The kSubBits bits below the leading 1 select the linear sub-bucket.
+  const int sub = static_cast<int>((micros >> (msb - kSubBits)) &
+                                   (kSubBuckets - 1));
+  return kSubBuckets + octave * kSubBuckets + sub;
+}
+
+std::uint64_t LatencyHistogram::BucketUpperMicros(int index) {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int octave = (index - kSubBuckets) / kSubBuckets;
+  const int sub = (index - kSubBuckets) % kSubBuckets;
+  const std::uint64_t lower =
+      (std::uint64_t{kSubBuckets} + static_cast<std::uint64_t>(sub))
+      << octave;
+  return lower + (std::uint64_t{1} << octave) - 1;
+}
+
+void LatencyHistogram::Record(double micros) {
+  const std::uint64_t us =
+      micros <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(micros));
+  buckets_[static_cast<std::size_t>(BucketIndex(us))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(us, std::memory_order_relaxed);
+  std::uint64_t seen = max_micros_.load(std::memory_order_relaxed);
+  while (us > seen &&
+         !max_micros_.compare_exchange_weak(seen, us,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::MeanMs() const {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n) / 1000.0;
+}
+
+double LatencyHistogram::MaxMs() const {
+  return static_cast<double>(max_micros_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+double LatencyHistogram::QuantileMs(double q) const {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (cumulative >= target) {
+      // Clamp to the exact max so a sparse top bucket cannot report a
+      // quantile above the largest observed latency.
+      return std::min(static_cast<double>(BucketUpperMicros(i)) / 1000.0,
+                      MaxMs());
+    }
+  }
+  return MaxMs();
+}
+
+void ServeStats::RecordCompleted(double latency_ms) {
+  Bump(completed_);
+  latency_.Record(latency_ms * 1000.0);
+}
+
+ServeStatsSnapshot ServeStats::Collect() const {
+  ServeStatsSnapshot snapshot;
+  snapshot.submitted = submitted_.load(std::memory_order_relaxed);
+  snapshot.accepted = accepted_.load(std::memory_order_relaxed);
+  snapshot.rejected_queue_full =
+      rejected_queue_full_.load(std::memory_order_relaxed);
+  snapshot.expired_deadline =
+      expired_deadline_.load(std::memory_order_relaxed);
+  snapshot.completed = completed_.load(std::memory_order_relaxed);
+  snapshot.failed = failed_.load(std::memory_order_relaxed);
+  snapshot.latency_count = latency_.count();
+  snapshot.latency_mean_ms = latency_.MeanMs();
+  snapshot.latency_p50_ms = latency_.QuantileMs(0.50);
+  snapshot.latency_p95_ms = latency_.QuantileMs(0.95);
+  snapshot.latency_p99_ms = latency_.QuantileMs(0.99);
+  snapshot.latency_max_ms = latency_.MaxMs();
+  return snapshot;
+}
+
+std::string ServeStatsSnapshot::ToJson() const {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"submitted\": %llu, \"accepted\": %llu, "
+      "\"rejected_queue_full\": %llu, \"expired_deadline\": %llu, "
+      "\"completed\": %llu, \"failed\": %llu, "
+      "\"latency_ms\": {\"count\": %llu, \"mean\": %.3f, \"p50\": %.3f, "
+      "\"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f}}",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(rejected_queue_full),
+      static_cast<unsigned long long>(expired_deadline),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(latency_count), latency_mean_ms,
+      latency_p50_ms, latency_p95_ms, latency_p99_ms, latency_max_ms);
+  return buffer;
+}
+
+}  // namespace rlplanner::serve

@@ -1,0 +1,103 @@
+#ifndef RLPLANNER_SERVE_STATS_H_
+#define RLPLANNER_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rlplanner::serve {
+
+/// A lock-free log-linear latency histogram (HDR-style): 8 linear
+/// sub-buckets per power-of-two octave of microseconds, giving <= 12.5%
+/// relative quantile error across nanosecond-to-minutes latencies with a
+/// fixed 328-counter footprint. Record() is one atomic increment; quantile
+/// queries walk the cumulative counts.
+class LatencyHistogram {
+ public:
+  void Record(double micros);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Mean recorded latency in milliseconds (0 when empty).
+  double MeanMs() const;
+
+  /// Largest recorded latency in milliseconds (exact, not bucketed).
+  double MaxMs() const;
+
+  /// The `q`-quantile (q in [0, 1]) in milliseconds: the upper bound of the
+  /// bucket holding the q*count-th observation; 0 when empty.
+  double QuantileMs(double q) const;
+
+ private:
+  static constexpr int kSubBits = 3;  // 8 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr int kOctaves = 40;
+  static constexpr int kNumBuckets = kSubBuckets + kSubBuckets * kOctaves;
+
+  static int BucketIndex(std::uint64_t micros);
+  static std::uint64_t BucketUpperMicros(int index);
+
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_micros_{0};
+  std::atomic<std::uint64_t> max_micros_{0};
+};
+
+/// A point-in-time copy of the serving counters (all loads are relaxed; the
+/// snapshot is internally consistent only at quiescence, which is how the
+/// bench and tests read it).
+struct ServeStatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t expired_deadline = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t latency_count = 0;
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  /// Renders the snapshot as a JSON object.
+  std::string ToJson() const;
+};
+
+/// Request counters plus the end-to-end latency histogram of a PlanService.
+/// Every member is safe to update from concurrent request threads.
+class ServeStats {
+ public:
+  void RecordSubmitted() { Bump(submitted_); }
+  void RecordAccepted() { Bump(accepted_); }
+  void RecordRejectedQueueFull() { Bump(rejected_queue_full_); }
+  void RecordExpiredDeadline() { Bump(expired_deadline_); }
+  void RecordFailed() { Bump(failed_); }
+  /// `latency_ms` is enqueue-to-completion (queue wait + execution).
+  void RecordCompleted(double latency_ms);
+
+  ServeStatsSnapshot Collect() const;
+
+  /// Collect().ToJson().
+  std::string ToJson() const { return Collect().ToJson(); }
+
+ private:
+  static void Bump(std::atomic<std::uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_queue_full_{0};
+  std::atomic<std::uint64_t> expired_deadline_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace rlplanner::serve
+
+#endif  // RLPLANNER_SERVE_STATS_H_

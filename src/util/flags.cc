@@ -1,0 +1,64 @@
+#include "util/flags.h"
+
+#include <algorithm>
+
+namespace rlplanner::util {
+
+std::optional<std::string> CommandLine::GetFlag(const std::string& key) const {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CommandLine::GetFlagOr(const std::string& key,
+                                   std::string fallback) const {
+  const auto it = flags.find(key);
+  return it == flags.end() ? std::move(fallback) : it->second;
+}
+
+CommandLine ParseCommandLine(int argc, const char* const* argv) {
+  CommandLine cmd;
+  if (argc < 2) return cmd;
+  cmd.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      cmd.positional.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      cmd.flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      cmd.flags[arg] = argv[++i];
+    } else {
+      cmd.flags[arg] = "1";  // boolean flag
+    }
+  }
+  return cmd;
+}
+
+Status RequireFlags(const CommandLine& cmd,
+                    const std::vector<std::string>& required) {
+  std::string missing;
+  for (const std::string& key : required) {
+    if (cmd.HasFlag(key)) continue;
+    if (!missing.empty()) missing += ", ";
+    missing += "--" + key;
+  }
+  if (missing.empty()) return Status::Ok();
+  return Status::InvalidArgument("missing required flag(s): " + missing);
+}
+
+Status AllowFlags(const CommandLine& cmd,
+                  const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : cmd.flags) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      return Status::InvalidArgument("unknown flag --" + key);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace rlplanner::util

@@ -1,0 +1,57 @@
+#ifndef RLPLANNER_UTIL_FLAGS_H_
+#define RLPLANNER_UTIL_FLAGS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rlplanner::util {
+
+/// A parsed command line of the form `prog <command> [--flag value]...`.
+///
+/// Flag syntax (matching the historical rlplanner_cli behavior):
+/// - `--key value` and `--key=value` both bind `value` to `key`;
+/// - a `--key` followed by another flag (or nothing) is a boolean flag and
+///   binds "1";
+/// - a repeated flag keeps the *last* occurrence;
+/// - bare positional tokens after the command are collected separately so
+///   callers can reject them.
+struct CommandLine {
+  /// The subcommand (argv[1]), empty when absent.
+  std::string command;
+  /// Flag bindings without the leading "--".
+  std::map<std::string, std::string> flags;
+  /// Non-flag tokens found after the command (usually a usage error).
+  std::vector<std::string> positional;
+
+  bool HasFlag(const std::string& key) const {
+    return flags.find(key) != flags.end();
+  }
+
+  /// The flag's value, or nullopt when unset.
+  std::optional<std::string> GetFlag(const std::string& key) const;
+
+  /// The flag's value, or `fallback` when unset.
+  std::string GetFlagOr(const std::string& key, std::string fallback) const;
+};
+
+/// Parses `argv[1..argc)` into a CommandLine. Never fails: validation is the
+/// caller's job (see RequireFlags / AllowFlags).
+CommandLine ParseCommandLine(int argc, const char* const* argv);
+
+/// InvalidArgument naming every flag of `required` missing from `cmd`,
+/// Ok when all are present.
+Status RequireFlags(const CommandLine& cmd,
+                    const std::vector<std::string>& required);
+
+/// InvalidArgument naming the first flag of `cmd` not in `allowed`
+/// (catches typos like --dataest), Ok otherwise.
+Status AllowFlags(const CommandLine& cmd,
+                  const std::vector<std::string>& allowed);
+
+}  // namespace rlplanner::util
+
+#endif  // RLPLANNER_UTIL_FLAGS_H_

@@ -19,6 +19,8 @@ enum class StatusCode {
   kAlreadyExists,
   kInternal,
   kUnimplemented,
+  kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -54,6 +56,12 @@ class Status {
   }
   static Status Unimplemented(std::string message) {
     return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

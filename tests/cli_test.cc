@@ -1,0 +1,91 @@
+// Tests for the CLI flag parser (util/flags.h): flag syntaxes, boolean
+// flags, last-wins repetition, positional collection, and the
+// RequireFlags/AllowFlags validators rlplanner_cli builds its usage
+// errors from.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace rlplanner::util {
+namespace {
+
+CommandLine Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "rlplanner_cli");
+  return ParseCommandLine(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesCommandAndFlagSyntaxes) {
+  const CommandLine cmd =
+      Parse({"plan", "--dataset", "univ1-dsct", "--episodes=250", "--quiet"});
+  EXPECT_EQ(cmd.command, "plan");
+  EXPECT_EQ(cmd.GetFlagOr("dataset", ""), "univ1-dsct");
+  EXPECT_EQ(cmd.GetFlagOr("episodes", ""), "250");
+  // A value-less flag is boolean and binds "1".
+  EXPECT_TRUE(cmd.HasFlag("quiet"));
+  EXPECT_EQ(cmd.GetFlagOr("quiet", ""), "1");
+  EXPECT_TRUE(cmd.positional.empty());
+}
+
+TEST(FlagsTest, EmptyArgvHasNoCommand) {
+  const CommandLine cmd = Parse({});
+  EXPECT_TRUE(cmd.command.empty());
+  EXPECT_TRUE(cmd.flags.empty());
+}
+
+TEST(FlagsTest, RepeatedFlagKeepsLastValue) {
+  const CommandLine cmd = Parse({"plan", "--seed", "1", "--seed", "2"});
+  EXPECT_EQ(cmd.GetFlagOr("seed", ""), "2");
+}
+
+TEST(FlagsTest, EqualsSyntaxAllowsEmptyAndEmbeddedEquals) {
+  const CommandLine cmd = Parse({"plan", "--out=", "--expr=a=b"});
+  EXPECT_TRUE(cmd.HasFlag("out"));
+  EXPECT_EQ(cmd.GetFlagOr("out", "x"), "");
+  EXPECT_EQ(cmd.GetFlagOr("expr", ""), "a=b");
+}
+
+TEST(FlagsTest, CollectsPositionalTokens) {
+  const CommandLine cmd = Parse({"plan", "stray", "--dataset", "toy", "more"});
+  EXPECT_EQ(cmd.command, "plan");
+  ASSERT_EQ(cmd.positional.size(), 2u);
+  EXPECT_EQ(cmd.positional[0], "stray");
+  EXPECT_EQ(cmd.positional[1], "more");
+  EXPECT_EQ(cmd.GetFlagOr("dataset", ""), "toy");
+}
+
+TEST(FlagsTest, GetFlagReturnsNulloptWhenUnset) {
+  const CommandLine cmd = Parse({"plan"});
+  EXPECT_FALSE(cmd.GetFlag("dataset").has_value());
+  EXPECT_EQ(cmd.GetFlagOr("dataset", "fallback"), "fallback");
+}
+
+TEST(FlagsTest, RequireFlagsNamesEveryMissingFlag) {
+  const CommandLine cmd = Parse({"export", "--dataset", "toy"});
+  EXPECT_TRUE(RequireFlags(cmd, {"dataset"}).ok());
+
+  const Status missing = RequireFlags(cmd, {"dataset", "out", "format"});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing.message().find("--out"), std::string::npos);
+  EXPECT_NE(missing.message().find("--format"), std::string::npos);
+  EXPECT_EQ(missing.message().find("--dataset"), std::string::npos);
+}
+
+TEST(FlagsTest, AllowFlagsCatchesTypos) {
+  const CommandLine cmd = Parse({"plan", "--dataest", "toy"});
+  const Status typo = AllowFlags(cmd, {"dataset", "seed"});
+  ASSERT_FALSE(typo.ok());
+  EXPECT_EQ(typo.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(typo.message().find("dataest"), std::string::npos);
+
+  const CommandLine ok = Parse({"plan", "--dataset", "toy"});
+  EXPECT_TRUE(AllowFlags(ok, {"dataset", "seed"}).ok());
+}
+
+}  // namespace
+}  // namespace rlplanner::util

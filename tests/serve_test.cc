@@ -1,0 +1,525 @@
+// Tests for the serving layer: snapshot round-tripping (bit-exact),
+// corruption/fingerprint rejection, registry hot-swap semantics under
+// concurrency, admission control, deadlines, and the stats block.
+//
+// The concurrency tests here are the ones tools/check.sh runs under
+// ThreadSanitizer (RLPLANNER_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/planner.h"
+#include "datagen/course_data.h"
+#include "mdp/q_table.h"
+#include "serve/plan_service.h"
+#include "serve/policy_registry.h"
+#include "serve/policy_snapshot.h"
+#include "serve/stats.h"
+#include "util/status.h"
+
+namespace rlplanner::serve {
+namespace {
+
+using datagen::Dataset;
+
+core::PlannerConfig ToyConfig(const Dataset& dataset, std::uint64_t seed = 17,
+                              int episodes = 60) {
+  core::PlannerConfig config = core::DefaultUniv1Config();
+  config.sarsa.num_episodes = episodes;
+  config.sarsa.start_item = dataset.default_start;
+  config.seed = seed;
+  return config;
+}
+
+// A quickly trained planner on the Table II toy program (6 items).
+std::unique_ptr<core::RlPlanner> MakeTrainedPlanner(
+    const Dataset& dataset, const model::TaskInstance& instance,
+    std::uint64_t seed = 17) {
+  auto planner =
+      std::make_unique<core::RlPlanner>(instance, ToyConfig(dataset, seed));
+  EXPECT_TRUE(planner->Train().ok());
+  return planner;
+}
+
+TEST(PolicySnapshotTest, RoundTripIsBitExact) {
+  const Dataset dataset = datagen::MakeTableIIToy();
+  const model::TaskInstance instance = dataset.Instance();
+  const auto planner = MakeTrainedPlanner(dataset, instance);
+
+  auto snapshot = MakeSnapshot(*planner);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const std::string bytes = snapshot.value().Serialize();
+  auto restored = PolicySnapshot::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // Bit-exact table, exact provenance.
+  EXPECT_TRUE(restored.value().table == planner->q_table());
+  EXPECT_EQ(restored.value().catalog_fingerprint,
+            CatalogFingerprint(dataset.catalog));
+  EXPECT_EQ(restored.value().seed, planner->config().seed);
+  EXPECT_EQ(restored.value().provenance.num_episodes,
+            planner->config().sarsa.num_episodes);
+  EXPECT_EQ(restored.value().provenance.alpha, planner->config().sarsa.alpha);
+  EXPECT_EQ(restored.value().provenance.gamma, planner->config().sarsa.gamma);
+
+  // Greedy rollout from the restored policy is byte-identical to the
+  // in-memory policy's rollout.
+  core::RlPlanner loaded(instance, ToyConfig(dataset));
+  ASSERT_TRUE(loaded.AdoptPolicy(restored.value().table).ok());
+  auto original = planner->Recommend(dataset.default_start);
+  auto roundtrip = loaded.Recommend(dataset.default_start);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(roundtrip.ok());
+  EXPECT_TRUE(original.value() == roundtrip.value());
+}
+
+TEST(PolicySnapshotTest, FileRoundTrip) {
+  const Dataset dataset = datagen::MakeTableIIToy();
+  const model::TaskInstance instance = dataset.Instance();
+  const auto planner = MakeTrainedPlanner(dataset, instance);
+  auto snapshot = MakeSnapshot(*planner);
+  ASSERT_TRUE(snapshot.ok());
+
+  const std::string path = testing::TempDir() + "/toy_policy.snap";
+  ASSERT_TRUE(snapshot.value().SaveToFile(path).ok());
+  auto loaded = PolicySnapshot::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().table == planner->q_table());
+}
+
+TEST(PolicySnapshotTest, RejectsCorruptedPayload) {
+  const Dataset dataset = datagen::MakeTableIIToy();
+  const model::TaskInstance instance = dataset.Instance();
+  const auto planner = MakeTrainedPlanner(dataset, instance);
+  auto snapshot = MakeSnapshot(*planner);
+  ASSERT_TRUE(snapshot.ok());
+  const std::string bytes = snapshot.value().Serialize();
+
+  // Flip one payload byte: the checksum must catch it.
+  std::string corrupted = bytes;
+  corrupted[bytes.size() / 2] =
+      static_cast<char>(corrupted[bytes.size() / 2] ^ 0x40);
+  auto result = PolicySnapshot::Deserialize(corrupted);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos);
+
+  // Truncation is also rejected.
+  auto truncated =
+      PolicySnapshot::Deserialize(bytes.substr(0, bytes.size() - 9));
+  EXPECT_FALSE(truncated.ok());
+
+  // Bad magic is rejected with a descriptive message.
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  auto magic_result = PolicySnapshot::Deserialize(bad_magic);
+  ASSERT_FALSE(magic_result.ok());
+  EXPECT_NE(magic_result.status().message().find("magic"), std::string::npos);
+}
+
+TEST(PolicySnapshotTest, MakeSnapshotRequiresTrainedPlanner) {
+  const Dataset dataset = datagen::MakeTableIIToy();
+  const model::TaskInstance instance = dataset.Instance();
+  core::RlPlanner planner(instance, ToyConfig(dataset));
+  auto snapshot = MakeSnapshot(planner);
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(CatalogFingerprintTest, SensitiveToCatalogContent) {
+  const Dataset toy = datagen::MakeTableIIToy();
+  const Dataset univ1 = datagen::MakeUniv1DsCt();
+  EXPECT_NE(CatalogFingerprint(toy.catalog),
+            CatalogFingerprint(univ1.catalog));
+  // Deterministic across calls.
+  EXPECT_EQ(CatalogFingerprint(toy.catalog), CatalogFingerprint(toy.catalog));
+}
+
+TEST(PolicyRegistryTest, InstallValidatesFingerprintAndDimension) {
+  const Dataset toy = datagen::MakeTableIIToy();
+  const model::TaskInstance instance = toy.Instance();
+  const auto planner = MakeTrainedPlanner(toy, instance);
+  auto snapshot = MakeSnapshot(*planner);
+  ASSERT_TRUE(snapshot.ok());
+
+  PolicyRegistry registry(CatalogFingerprint(toy.catalog), toy.catalog.size());
+  auto installed = registry.InstallSnapshot("default", snapshot.value());
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  EXPECT_EQ(installed.value(), 1u);
+
+  // A snapshot with a drifted fingerprint is refused.
+  PolicySnapshot drifted = snapshot.value();
+  drifted.catalog_fingerprint ^= 1;
+  auto refused = registry.InstallSnapshot("default", drifted);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(refused.status().message().find("fingerprint"), std::string::npos);
+
+  // A wrong-dimension table is refused.
+  auto wrong_dim = registry.Install("default", mdp::QTable(3), {});
+  ASSERT_FALSE(wrong_dim.ok());
+  EXPECT_EQ(wrong_dim.status().code(), util::StatusCode::kInvalidArgument);
+
+  // The refused installs left the slot intact at version 1.
+  auto current = registry.Current("default");
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->version, 1u);
+}
+
+TEST(PolicyRegistryTest, HotSwapPreservesOldPolicyForHolders) {
+  const Dataset toy = datagen::MakeTableIIToy();
+  PolicyRegistry registry(CatalogFingerprint(toy.catalog), toy.catalog.size());
+
+  mdp::QTable a(toy.catalog.size());
+  a.Set(0, 1, 1.0);
+  mdp::QTable b(toy.catalog.size());
+  b.Set(0, 2, 2.0);
+  ASSERT_TRUE(registry.Install("default", a, {}).ok());
+  auto held = registry.Current("default");
+  ASSERT_TRUE(registry.Install("default", b, {}).ok());
+
+  // The holder still sees version 1 / table a; new readers see version 2.
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_TRUE(held->q == a);
+  auto fresh = registry.Current("default");
+  EXPECT_EQ(fresh->version, 2u);
+  EXPECT_TRUE(fresh->q == b);
+  EXPECT_EQ(registry.install_count(), 2u);
+  EXPECT_EQ(registry.Current("missing"), nullptr);
+}
+
+// --- PlanService ----------------------------------------------------------
+
+struct ServingFixture {
+  Dataset dataset = datagen::MakeTableIIToy();
+  model::TaskInstance instance = dataset.Instance();
+  core::PlannerConfig config = ToyConfig(dataset);
+  PolicyRegistry registry{CatalogFingerprint(dataset.catalog),
+                          dataset.catalog.size()};
+
+  // Trains with `seed` and installs the policy under `name`.
+  std::uint64_t InstallTrained(const std::string& name, std::uint64_t seed) {
+    config.seed = seed;
+    core::RlPlanner planner(instance, config);
+    EXPECT_TRUE(planner.Train().ok());
+    auto installed =
+        registry.Install(name, planner.q_table(), config.sarsa, seed);
+    EXPECT_TRUE(installed.ok());
+    return installed.value();
+  }
+};
+
+TEST(PlanServiceTest, ServesValidatedPlansWithMetadata) {
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  PlanServiceConfig service_config;
+  service_config.num_workers = 2;
+  PlanService service(fix.instance, fix.config.reward, fix.registry,
+                      service_config);
+  service.Start();
+
+  PlanRequest request;
+  request.start_item = fix.dataset.default_start;
+  auto submitted = service.Submit(request);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto result = std::move(submitted).value().get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().plan.empty());
+  EXPECT_EQ(result.value().policy_version, 1u);
+  EXPECT_GE(result.value().exec_ms, 0.0);
+  EXPECT_GE(result.value().queue_ms, 0.0);
+  service.Stop();
+
+  const ServeStatsSnapshot stats = service.stats().Collect();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(PlanServiceTest, ExecuteMatchesPlannerRecommend) {
+  ServingFixture fix;
+  core::RlPlanner planner(fix.instance, fix.config);
+  ASSERT_TRUE(planner.Train().ok());
+  ASSERT_TRUE(
+      fix.registry.Install("default", planner.q_table(), fix.config.sarsa, 17)
+          .ok());
+  PlanService service(fix.instance, fix.config.reward, fix.registry, {});
+
+  PlanRequest request;
+  request.start_item = fix.dataset.default_start;
+  auto served = service.Execute(request);
+  ASSERT_TRUE(served.ok());
+  auto direct = planner.Recommend(fix.dataset.default_start);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(served.value().plan == direct.value());
+}
+
+TEST(PlanServiceTest, PerRequestOverridesChangeTheRollout) {
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  PlanService service(fix.instance, fix.config.reward, fix.registry, {});
+
+  PlanRequest base;
+  base.start_item = fix.dataset.default_start;
+  auto base_result = service.Execute(base);
+  ASSERT_TRUE(base_result.ok());
+
+  // Excluding the base plan's second item forces a different rollout.
+  ASSERT_GE(base_result.value().plan.size(), 2u);
+  PlanRequest excluded = base;
+  excluded.excluded = {base_result.value().plan.at(1)};
+  auto excluded_result = service.Execute(excluded);
+  ASSERT_TRUE(excluded_result.ok());
+  EXPECT_FALSE(
+      excluded_result.value().plan.Contains(base_result.value().plan.at(1)));
+
+  // An ideal-topic override resolves names against the vocabulary.
+  PlanRequest override_request = base;
+  override_request.ideal_topics =
+      std::vector<std::string>{fix.dataset.catalog.vocabulary().front()};
+  auto override_result = service.Execute(override_request);
+  ASSERT_TRUE(override_result.ok()) << override_result.status().ToString();
+  EXPECT_FALSE(override_result.value().plan.empty());
+
+  // Unknown topic names and out-of-range items are rejected.
+  PlanRequest bad_topic = base;
+  bad_topic.ideal_topics = std::vector<std::string>{"no-such-topic"};
+  EXPECT_FALSE(service.Execute(bad_topic).ok());
+  PlanRequest bad_start = base;
+  bad_start.start_item = 999;
+  EXPECT_EQ(service.Execute(bad_start).status().code(),
+            util::StatusCode::kOutOfRange);
+  PlanRequest bad_excluded = base;
+  bad_excluded.excluded = {-3};
+  EXPECT_EQ(service.Execute(bad_excluded).status().code(),
+            util::StatusCode::kOutOfRange);
+  PlanRequest bad_policy = base;
+  bad_policy.policy_name = "missing";
+  EXPECT_EQ(service.Execute(bad_policy).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(PlanServiceTest, AdmissionControlRejectsWhenQueueIsFull) {
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  PlanServiceConfig service_config;
+  service_config.num_workers = 1;
+  service_config.max_queue = 2;
+  PlanService service(fix.instance, fix.config.reward, fix.registry,
+                      service_config);
+
+  PlanRequest request;
+  request.start_item = fix.dataset.default_start;
+  // Submitting before Start() is a precondition failure, not a crash.
+  EXPECT_EQ(service.Submit(request).status().code(),
+            util::StatusCode::kFailedPrecondition);
+
+  service.Start();
+  // Flood a 1-worker service with a 2-deep queue: at least one submission
+  // must bounce with ResourceExhausted, and every accepted one completes.
+  std::vector<std::future<util::Result<PlanResponse>>> futures;
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < 64; ++i) {
+    auto submitted = service.Submit(request);
+    if (submitted.ok()) {
+      futures.push_back(std::move(submitted).value());
+    } else {
+      ASSERT_EQ(submitted.status().code(),
+                util::StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());
+  }
+  service.Stop();
+  const ServeStatsSnapshot stats = service.stats().Collect();
+  EXPECT_EQ(stats.rejected_queue_full, rejected);
+  EXPECT_EQ(stats.completed, futures.size());
+  EXPECT_EQ(stats.submitted, 64u);
+  // Everything submitted was either accepted or rejected — nothing dropped.
+  EXPECT_EQ(stats.accepted + stats.rejected_queue_full, stats.submitted);
+}
+
+TEST(PlanServiceTest, ExpiredDeadlineIsReportedNotExecuted) {
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  PlanServiceConfig service_config;
+  service_config.num_workers = 1;
+  service_config.max_queue = 64;
+  PlanService service(fix.instance, fix.config.reward, fix.registry,
+                      service_config);
+  service.Start();
+
+  // A microscopic deadline expires while the request waits behind the
+  // saturated single worker.
+  PlanRequest request;
+  request.start_item = fix.dataset.default_start;
+  request.deadline_ms = 0.0001;
+  std::vector<std::future<util::Result<PlanResponse>>> futures;
+  for (int i = 0; i < 32; ++i) {
+    auto submitted = service.Submit(request);
+    if (submitted.ok()) futures.push_back(std::move(submitted).value());
+  }
+  std::uint64_t expired = 0;
+  for (auto& future : futures) {
+    auto result = future.get();
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded);
+      ++expired;
+    }
+  }
+  service.Stop();
+  EXPECT_EQ(service.stats().Collect().expired_deadline, expired);
+  EXPECT_GT(expired, 0u);
+}
+
+// The hot-swap stress test: kClients threads request plans while the policy
+// is swapped kSwaps times — zero failed requests, and every response is
+// attributable to exactly one installed snapshot version (its plan matches
+// the serial greedy rollout of that exact version).
+TEST(PlanServiceTest, ConcurrentHotSwapStress) {
+  ServingFixture fix;
+  constexpr int kSwaps = 8;
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 60;
+
+  // Pre-train every policy that will be swapped in, and record the expected
+  // greedy plan of each.
+  std::vector<mdp::QTable> tables;
+  std::vector<model::Plan> expected_plans;
+  for (int i = 0; i <= kSwaps; ++i) {
+    fix.config.seed = 100 + static_cast<std::uint64_t>(i);
+    core::RlPlanner planner(fix.instance, fix.config);
+    ASSERT_TRUE(planner.Train().ok());
+    tables.push_back(planner.q_table());
+    auto plan = planner.Recommend(fix.dataset.default_start);
+    ASSERT_TRUE(plan.ok());
+    expected_plans.push_back(plan.value());
+  }
+
+  std::map<std::uint64_t, model::Plan> expected_plan_of_version;
+  auto first = fix.registry.Install("default", tables[0], fix.config.sarsa);
+  ASSERT_TRUE(first.ok());
+  expected_plan_of_version[first.value()] = expected_plans[0];
+
+  PlanServiceConfig service_config;
+  service_config.num_workers = kClients;
+  service_config.max_queue = 1024;
+  PlanService service(fix.instance, fix.config.reward, fix.registry,
+                      service_config);
+  service.Start();
+
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::vector<std::pair<std::uint64_t, model::Plan>>> responses(
+      kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        PlanRequest request;
+        request.start_item = fix.dataset.default_start;
+        auto submitted = service.Submit(request);
+        if (!submitted.ok()) {
+          ++failures;
+          continue;
+        }
+        auto result = std::move(submitted).value().get();
+        if (!result.ok()) {
+          ++failures;
+          continue;
+        }
+        responses[static_cast<std::size_t>(c)].emplace_back(
+            result.value().policy_version, result.value().plan);
+      }
+    });
+  }
+  // Swapper: publish versions 2..kSwaps+1 while the clients hammer the
+  // service. The version→plan map is only read after the joins below.
+  std::thread swapper([&] {
+    for (int i = 1; i <= kSwaps; ++i) {
+      auto installed = fix.registry.Install(
+          "default", tables[static_cast<std::size_t>(i)], fix.config.sarsa);
+      EXPECT_TRUE(installed.ok());
+      if (installed.ok()) {
+        expected_plan_of_version[installed.value()] =
+            expected_plans[static_cast<std::size_t>(i)];
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (auto& client : clients) client.join();
+  swapper.join();
+  service.Stop();
+
+  EXPECT_EQ(failures.load(), 0u);
+  std::size_t total = 0;
+  std::set<std::uint64_t> versions_seen;
+  for (const auto& per_client : responses) {
+    for (const auto& [version, plan] : per_client) {
+      ++total;
+      versions_seen.insert(version);
+      const auto it = expected_plan_of_version.find(version);
+      ASSERT_NE(it, expected_plan_of_version.end())
+          << "response attributed to unknown version " << version;
+      EXPECT_TRUE(plan == it->second)
+          << "response plan does not match the rollout of version " << version;
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kClients) * kRequestsPerClient);
+  // The swaps really happened under load, and no request was dropped or
+  // incorrectly rejected.
+  EXPECT_EQ(fix.registry.install_count(),
+            static_cast<std::uint64_t>(kSwaps) + 1);
+  const ServeStatsSnapshot stats = service.stats().Collect();
+  EXPECT_EQ(stats.completed, total);
+  EXPECT_EQ(stats.rejected_queue_full, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServeStatsTest, HistogramQuantilesAndJson) {
+  ServeStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.RecordCompleted(static_cast<double>(i));  // 1..100 ms
+  }
+  stats.RecordSubmitted();
+  stats.RecordRejectedQueueFull();
+  const ServeStatsSnapshot snapshot = stats.Collect();
+  EXPECT_EQ(snapshot.latency_count, 100u);
+  // Log-linear buckets guarantee <= 12.5% relative quantile error.
+  EXPECT_NEAR(snapshot.latency_p50_ms, 50.0, 50.0 * 0.13);
+  EXPECT_NEAR(snapshot.latency_p95_ms, 95.0, 95.0 * 0.13);
+  EXPECT_NEAR(snapshot.latency_p99_ms, 99.0, 99.0 * 0.13);
+  EXPECT_NEAR(snapshot.latency_mean_ms, 50.5, 0.01);
+  EXPECT_DOUBLE_EQ(snapshot.latency_max_ms, 100.0);
+  // Quantiles never exceed the exact maximum.
+  EXPECT_LE(snapshot.latency_p99_ms, snapshot.latency_max_ms);
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"rejected_queue_full\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+TEST(ServeStatsTest, EmptyHistogramIsAllZero) {
+  ServeStats stats;
+  const ServeStatsSnapshot snapshot = stats.Collect();
+  EXPECT_EQ(snapshot.latency_count, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.latency_p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.latency_max_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace rlplanner::serve

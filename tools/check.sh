@@ -1,14 +1,37 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and run the tier-1 test suite twice —
-#   1. Release (the configuration benchmarks and experiments use), and
+# Full pre-merge check: build and run the tier-1 test suite under three
+# configurations —
+#   1. Release (the configuration benchmarks and experiments use),
 #   2. ASan + UBSan (-DRLPLANNER_SANITIZE=ON) to catch memory and UB bugs
-#      the optimized hot path could otherwise hide.
-# Usage: tools/check.sh  (from the repo root; build trees go to build/ and
-# build-sanitize/).
+#      the optimized hot path could otherwise hide, and
+#   3. TSan (-DRLPLANNER_SANITIZE=thread) over the concurrency-heavy tests
+#      (the serving layer and its thread-pool substrate).
+# Set RLPLANNER_SANITIZE=thread to run only the TSan lane (the mode CI's
+# sanitizer matrix uses); any other value runs everything.
+# Usage: tools/check.sh  (from the repo root; build trees go to build/,
+# build-sanitize/, and build-tsan/).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
+MODE="${RLPLANNER_SANITIZE:-all}"
+
+run_tsan_lane() {
+  echo "==> TSan build + concurrency tests"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRLPLANNER_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}"
+  # The serving layer is where the threads are; util_test covers the
+  # ThreadPool substrate it runs on.
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+    -R 'serve_test|util_test'
+}
+
+if [ "${MODE}" = "thread" ]; then
+  run_tsan_lane
+  echo "==> TSan checks passed"
+  exit 0
+fi
 
 echo "==> Release build + tests"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
@@ -20,5 +43,7 @@ cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRLPLANNER_SANITIZE=ON
 cmake --build build-sanitize -j "${JOBS}"
 ctest --test-dir build-sanitize --output-on-failure -j "${JOBS}"
+
+run_tsan_lane
 
 echo "==> All checks passed"

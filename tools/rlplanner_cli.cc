@@ -8,17 +8,31 @@
 //   plan    --dataset <name|file.csv>     train RL-Planner and recommend
 //           [--start CODE] [--episodes N] [--alpha A] [--gamma G]
 //           [--epsilon E] [--similarity avg|min] [--beam] [--seed S]
+//           [--save-policy CSV]
+//   inspect --dataset <name|file.csv>     strongest learned transitions
+//           [--episodes N] [--out DOT]
+//   save-snapshot --dataset D --out FILE  train and write a binary policy
+//           [training flags as for plan]  snapshot (Q-table + fingerprint +
+//                                         provenance + checksum)
+//   load-snapshot --dataset D --in FILE   load a snapshot, verify it against
+//           [--start CODE]                the catalog, and recommend
+//   serve   --dataset D                   run the concurrent PlanService over
+//           [--snapshot FILE]             synthetic traffic and print the
+//           [--requests N] [--threads T]  stats JSON (hot-path smoke test of
+//           [--queue Q] [--deadline-ms D] the serving layer)
+//           [training flags as for plan]
 //
-// Datasets can be the built-in names (toy, univ1-dsct, univ1-cyber,
-// univ1-cs, univ2-ds, nyc, paris) or a CSV file produced by `export` /
-// `datagen::SaveDatasetCsv` — so the tool plans over user-edited catalogs.
+// Unknown commands and missing required flags print a usage message on
+// stderr and exit 2. Datasets can be the built-in names (toy, univ1-dsct,
+// univ1-cyber, univ1-cs, univ2-ds, nyc, paris) or a CSV file produced by
+// `export` / `datagen::SaveDatasetCsv`.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
+#include <future>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "baselines/gold.h"
 #include "core/config.h"
@@ -28,21 +42,28 @@
 #include "datagen/io.h"
 #include "datagen/trip_data.h"
 #include "rl/policy_inspector.h"
-#include "util/string_util.h"
+#include "serve/plan_service.h"
+#include "serve/policy_registry.h"
+#include "serve/policy_snapshot.h"
+#include "util/flags.h"
 
 namespace {
 
 using rlplanner::datagen::Dataset;
+using rlplanner::util::CommandLine;
 
-int Usage() {
+int Usage(const std::string& error) {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
   std::fprintf(
       stderr,
-      "usage: rlplanner_cli <list|info|export|gold|plan|inspect> "
-      "[options]\n"
+      "usage: rlplanner_cli <list|info|export|gold|plan|inspect|"
+      "save-snapshot|load-snapshot|serve> [options]\n"
       "  --dataset <name|file.csv>   (toy, univ1-dsct, univ1-cyber,\n"
       "                               univ1-cs, univ2-ds, nyc, paris)\n"
       "  --start CODE  --episodes N  --alpha A  --gamma G  --epsilon E\n"
-      "  --similarity avg|min  --beam  --seed S  --out FILE\n");
+      "  --similarity avg|min  --beam  --seed S  --out FILE  --in FILE\n"
+      "  --snapshot FILE  --requests N  --threads T  --queue Q\n"
+      "  --deadline-ms D  --save-policy FILE\n");
   return 2;
 }
 
@@ -64,23 +85,55 @@ std::optional<Dataset> LoadDataset(const std::string& spec) {
   return std::move(loaded).value();
 }
 
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int first) {
-  std::map<std::string, std::string> flags;
-  for (int i = first; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
-    arg = arg.substr(2);
-    const auto eq = arg.find('=');
-    if (eq != std::string::npos) {
-      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
-      flags[arg] = argv[++i];
-    } else {
-      flags[arg] = "1";  // boolean flag
-    }
+// Table III defaults by dataset shape, adjusted by the shared training
+// flags (--episodes/--alpha/--gamma/--epsilon/--similarity/--seed/--beam).
+rlplanner::core::PlannerConfig BuildConfig(const Dataset& dataset,
+                                           const CommandLine& cmd) {
+  rlplanner::core::PlannerConfig config;
+  if (dataset.catalog.domain() == rlplanner::model::Domain::kTrip) {
+    config = rlplanner::core::DefaultTripConfig();
+  } else if (dataset.catalog.category_names().size() > 2) {
+    config = rlplanner::core::DefaultUniv2Config();
+  } else {
+    config = rlplanner::core::DefaultUniv1Config();
   }
-  return flags;
+  if (dataset.catalog.category_names().size() !=
+      config.reward.category_weights.size()) {
+    const std::size_t c = dataset.catalog.category_names().size();
+    config.reward.category_weights.assign(c, 1.0 / static_cast<double>(c));
+  }
+  if (auto v = cmd.GetFlag("episodes")) {
+    config.sarsa.num_episodes = std::atoi(v->c_str());
+  }
+  if (auto v = cmd.GetFlag("alpha")) config.sarsa.alpha = std::atof(v->c_str());
+  if (auto v = cmd.GetFlag("gamma")) config.sarsa.gamma = std::atof(v->c_str());
+  if (auto v = cmd.GetFlag("epsilon")) {
+    config.reward.epsilon = std::atof(v->c_str());
+  }
+  if (auto v = cmd.GetFlag("seed")) {
+    config.seed = std::strtoull(v->c_str(), nullptr, 10);
+  }
+  if (auto v = cmd.GetFlag("similarity")) {
+    config.reward.similarity = *v == "min"
+                                   ? rlplanner::mdp::SimilarityMode::kMinimum
+                                   : rlplanner::mdp::SimilarityMode::kAverage;
+  }
+  if (cmd.HasFlag("beam")) config.use_beam_search = true;
+  config.sarsa.start_item = dataset.default_start;
+  return config;
+}
+
+// Resolves --start to an item id, or the dataset default.
+rlplanner::util::Result<rlplanner::model::ItemId> ResolveStart(
+    const Dataset& dataset, const CommandLine& cmd) {
+  const auto v = cmd.GetFlag("start");
+  if (!v.has_value()) return dataset.default_start;
+  auto found = dataset.catalog.FindByCode(*v);
+  if (!found.ok()) {
+    return rlplanner::util::Status::NotFound("unknown start item '" + *v +
+                                             "'");
+  }
+  return found.value();
 }
 
 int CmdList() {
@@ -118,6 +171,9 @@ int CmdInfo(const Dataset& dataset) {
               dataset.soft.interleaving.length());
   std::printf("start:       %s\n",
               catalog.item(dataset.default_start).code.c_str());
+  std::printf("fingerprint: %016llx\n",
+              static_cast<unsigned long long>(
+                  rlplanner::serve::CatalogFingerprint(catalog)));
   int with_prereqs = 0;
   for (const auto& item : catalog.items()) {
     if (!item.prereqs.empty()) ++with_prereqs;
@@ -150,51 +206,15 @@ int CmdGold(const Dataset& dataset) {
   return 0;
 }
 
-int CmdPlan(const Dataset& dataset,
-            const std::map<std::string, std::string>& flags) {
+int CmdPlan(const Dataset& dataset, const CommandLine& cmd) {
   const rlplanner::model::TaskInstance instance = dataset.Instance();
-  rlplanner::core::PlannerConfig config;
-  // Pick Table III defaults by dataset shape.
-  if (dataset.catalog.domain() == rlplanner::model::Domain::kTrip) {
-    config = rlplanner::core::DefaultTripConfig();
-  } else if (dataset.catalog.category_names().size() > 2) {
-    config = rlplanner::core::DefaultUniv2Config();
-  } else {
-    config = rlplanner::core::DefaultUniv1Config();
+  rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
+  auto start = ResolveStart(dataset, cmd);
+  if (!start.ok()) {
+    std::fprintf(stderr, "%s\n", start.status().ToString().c_str());
+    return 1;
   }
-  if (dataset.catalog.category_names().size() !=
-      config.reward.category_weights.size()) {
-    const std::size_t c = dataset.catalog.category_names().size();
-    config.reward.category_weights.assign(c, 1.0 / static_cast<double>(c));
-  }
-
-  auto get = [&flags](const char* key) -> std::optional<std::string> {
-    auto it = flags.find(key);
-    if (it == flags.end()) return std::nullopt;
-    return it->second;
-  };
-  if (auto v = get("episodes")) config.sarsa.num_episodes = std::atoi(v->c_str());
-  if (auto v = get("alpha")) config.sarsa.alpha = std::atof(v->c_str());
-  if (auto v = get("gamma")) config.sarsa.gamma = std::atof(v->c_str());
-  if (auto v = get("epsilon")) config.reward.epsilon = std::atof(v->c_str());
-  if (auto v = get("seed")) config.seed = std::strtoull(v->c_str(), nullptr, 10);
-  if (auto v = get("similarity")) {
-    config.reward.similarity = *v == "min"
-                                   ? rlplanner::mdp::SimilarityMode::kMinimum
-                                   : rlplanner::mdp::SimilarityMode::kAverage;
-  }
-  if (get("beam")) config.use_beam_search = true;
-
-  rlplanner::model::ItemId start = dataset.default_start;
-  if (auto v = get("start")) {
-    auto found = dataset.catalog.FindByCode(*v);
-    if (!found.ok()) {
-      std::fprintf(stderr, "unknown start item '%s'\n", v->c_str());
-      return 1;
-    }
-    start = found.value();
-  }
-  config.sarsa.start_item = start;
+  config.sarsa.start_item = start.value();
 
   rlplanner::core::RlPlanner planner(instance, config);
   if (const auto status = planner.Train(); !status.ok()) {
@@ -203,7 +223,7 @@ int CmdPlan(const Dataset& dataset,
   }
   std::printf("trained %d episodes in %.3f s\n", config.sarsa.num_episodes,
               planner.train_seconds());
-  auto plan = planner.Recommend(start);
+  auto plan = planner.Recommend(start.value());
   if (!plan.ok()) {
     std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
     return 1;
@@ -212,7 +232,7 @@ int CmdPlan(const Dataset& dataset,
   std::printf("check: %s\n",
               planner.Validate(plan.value()).ToString().c_str());
   std::printf("score: %.2f\n", planner.Score(plan.value()));
-  if (auto v = get("save-policy")) {
+  if (auto v = cmd.GetFlag("save-policy")) {
     const auto status = planner.SavePolicy(*v);
     std::printf("policy: %s\n", status.ok() ? v->c_str()
                                             : status.ToString().c_str());
@@ -222,19 +242,9 @@ int CmdPlan(const Dataset& dataset,
 
 // Trains a policy and prints its strongest transitions; with --out, also
 // writes a Graphviz DOT rendering.
-int CmdInspect(const Dataset& dataset,
-               const std::map<std::string, std::string>& flags) {
+int CmdInspect(const Dataset& dataset, const CommandLine& cmd) {
   const rlplanner::model::TaskInstance instance = dataset.Instance();
-  rlplanner::core::PlannerConfig config;
-  config.sarsa.num_episodes = 500;
-  config.sarsa.start_item = dataset.default_start;
-  auto it = flags.find("episodes");
-  if (it != flags.end()) config.sarsa.num_episodes = std::atoi(it->second.c_str());
-  if (dataset.catalog.category_names().size() !=
-      config.reward.category_weights.size()) {
-    const std::size_t c = dataset.catalog.category_names().size();
-    config.reward.category_weights.assign(c, 1.0 / static_cast<double>(c));
-  }
+  rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
   rlplanner::core::RlPlanner planner(instance, config);
   if (const auto status = planner.Train(); !status.ok()) {
     std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
@@ -248,43 +258,228 @@ int CmdInspect(const Dataset& dataset,
                 dataset.catalog.item(edge.from).code.c_str(),
                 dataset.catalog.item(edge.to).code.c_str(), edge.q_value);
   }
-  const auto out = flags.find("out");
-  if (out != flags.end()) {
-    FILE* f = std::fopen(out->second.c_str(), "w");
+  if (auto out = cmd.GetFlag("out")) {
+    FILE* f = std::fopen(out->c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", out->second.c_str());
+      std::fprintf(stderr, "cannot write %s\n", out->c_str());
       return 1;
     }
     const std::string dot = inspector.ToDot(40);
     std::fwrite(dot.data(), 1, dot.size(), f);
     std::fclose(f);
-    std::printf("wrote %s (render with: dot -Tsvg %s)\n",
-                out->second.c_str(), out->second.c_str());
+    std::printf("wrote %s (render with: dot -Tsvg %s)\n", out->c_str(),
+                out->c_str());
   }
   return 0;
+}
+
+// Trains a policy and writes it as a checksummed binary snapshot.
+int CmdSaveSnapshot(const Dataset& dataset, const CommandLine& cmd) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  const rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
+  rlplanner::core::RlPlanner planner(instance, config);
+  if (const auto status = planner.Train(); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto snapshot = rlplanner::serve::MakeSnapshot(planner);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = *cmd.GetFlag("out");
+  if (const auto status = snapshot.value().SaveToFile(out); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu items, fingerprint %016llx, %d episodes, "
+              "seed %llu)\n",
+              out.c_str(), snapshot.value().table.num_items(),
+              static_cast<unsigned long long>(
+                  snapshot.value().catalog_fingerprint),
+              snapshot.value().provenance.num_episodes,
+              static_cast<unsigned long long>(snapshot.value().seed));
+  return 0;
+}
+
+// Loads a snapshot, validates it against the dataset catalog, and rolls out
+// the greedy plan — the offline check that a snapshot is servable.
+int CmdLoadSnapshot(const Dataset& dataset, const CommandLine& cmd) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  auto snapshot =
+      rlplanner::serve::PolicySnapshot::LoadFromFile(*cmd.GetFlag("in"));
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const auto fingerprint =
+      rlplanner::serve::CatalogFingerprint(dataset.catalog);
+  if (snapshot.value().catalog_fingerprint != fingerprint) {
+    std::fprintf(stderr,
+                 "snapshot fingerprint %016llx does not match dataset "
+                 "fingerprint %016llx: refusing to serve\n",
+                 static_cast<unsigned long long>(
+                     snapshot.value().catalog_fingerprint),
+                 static_cast<unsigned long long>(fingerprint));
+    return 1;
+  }
+  rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
+  config.sarsa = snapshot.value().provenance;
+  config.seed = snapshot.value().seed;
+  rlplanner::core::RlPlanner planner(instance, config);
+  if (const auto status = planner.AdoptPolicy(snapshot.value().table);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto start = ResolveStart(dataset, cmd);
+  if (!start.ok()) {
+    std::fprintf(stderr, "%s\n", start.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded snapshot (%zu items, %d episodes, seed %llu)\n",
+              snapshot.value().table.num_items(),
+              snapshot.value().provenance.num_episodes,
+              static_cast<unsigned long long>(snapshot.value().seed));
+  auto plan = planner.Recommend(start.value());
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan:  %s\n", plan.value().ToString(dataset.catalog).c_str());
+  std::printf("check: %s\n",
+              planner.Validate(plan.value()).ToString().c_str());
+  std::printf("score: %.2f\n", planner.Score(plan.value()));
+  return 0;
+}
+
+// Runs the concurrent PlanService over synthetic round-robin traffic and
+// prints the stats JSON — a smoke test / demo of the serving layer.
+int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  const rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
+
+  rlplanner::serve::PolicySnapshot snapshot;
+  if (auto path = cmd.GetFlag("snapshot")) {
+    auto loaded = rlplanner::serve::PolicySnapshot::LoadFromFile(*path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    snapshot = std::move(loaded).value();
+  } else {
+    rlplanner::core::RlPlanner planner(instance, config);
+    if (const auto status = planner.Train(); !status.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    auto made = rlplanner::serve::MakeSnapshot(planner);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    snapshot = std::move(made).value();
+  }
+
+  rlplanner::serve::PolicyRegistry registry(
+      rlplanner::serve::CatalogFingerprint(dataset.catalog),
+      dataset.catalog.size());
+  if (auto installed = registry.InstallSnapshot("default", snapshot);
+      !installed.ok()) {
+    std::fprintf(stderr, "%s\n", installed.status().ToString().c_str());
+    return 1;
+  }
+
+  rlplanner::serve::PlanServiceConfig service_config;
+  service_config.num_workers = static_cast<std::size_t>(
+      std::atoi(cmd.GetFlagOr("threads", "4").c_str()));
+  service_config.max_queue = static_cast<std::size_t>(
+      std::atoi(cmd.GetFlagOr("queue", "256").c_str()));
+  service_config.default_deadline_ms =
+      std::atof(cmd.GetFlagOr("deadline-ms", "0").c_str());
+  const int num_requests = std::atoi(cmd.GetFlagOr("requests", "200").c_str());
+
+  rlplanner::serve::PlanService service(instance, config.reward, registry,
+                                        service_config);
+  service.Start();
+  std::vector<std::future<
+      rlplanner::util::Result<rlplanner::serve::PlanResponse>>> futures;
+  futures.reserve(static_cast<std::size_t>(num_requests));
+  int valid = 0, errors = 0, retried = 0;
+  for (int i = 0; i < num_requests; ++i) {
+    rlplanner::serve::PlanRequest request;
+    request.start_item = static_cast<rlplanner::model::ItemId>(
+        static_cast<std::size_t>(i) % dataset.catalog.size());
+    auto submitted = service.Submit(std::move(request));
+    while (!submitted.ok() &&
+           submitted.status().code() ==
+               rlplanner::util::StatusCode::kResourceExhausted) {
+      // Closed-loop backpressure: drain one in-flight response, retry.
+      ++retried;
+      if (!futures.empty()) {
+        auto result = futures.back().get();
+        futures.pop_back();
+        if (result.ok() && result.value().valid) ++valid;
+        if (!result.ok()) ++errors;
+      }
+      rlplanner::serve::PlanRequest retry;
+      retry.start_item = static_cast<rlplanner::model::ItemId>(
+          static_cast<std::size_t>(i) % dataset.catalog.size());
+      submitted = service.Submit(std::move(retry));
+    }
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "%s\n", submitted.status().ToString().c_str());
+      return 1;
+    }
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& future : futures) {
+    auto result = future.get();
+    if (result.ok() && result.value().valid) ++valid;
+    if (!result.ok()) ++errors;
+  }
+  service.Stop();
+  std::printf("served %d requests (%d valid plans, %d errors, %d retries) "
+              "on %zu workers\n",
+              num_requests, valid, errors, retried,
+              service.config().num_workers);
+  std::printf("%s\n", service.stats().ToJson().c_str());
+  return errors == 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  if (command == "list") return CmdList();
+  const CommandLine cmd = rlplanner::util::ParseCommandLine(argc, argv);
+  if (cmd.command.empty()) return Usage("missing subcommand");
+  if (cmd.command == "list") return CmdList();
 
-  const auto flags = ParseFlags(argc, argv, 2);
-  const auto dataset_flag = flags.find("dataset");
-  if (dataset_flag == flags.end()) return Usage();
-  auto dataset = LoadDataset(dataset_flag->second);
+  // Required flags per subcommand; anything else is an unknown command.
+  std::vector<std::string> required = {"dataset"};
+  if (cmd.command == "export" || cmd.command == "save-snapshot") {
+    required.push_back("out");
+  } else if (cmd.command == "load-snapshot") {
+    required.push_back("in");
+  } else if (cmd.command != "info" && cmd.command != "gold" &&
+             cmd.command != "plan" && cmd.command != "inspect" &&
+             cmd.command != "serve") {
+    return Usage("unknown command '" + cmd.command + "'");
+  }
+  if (const auto status = rlplanner::util::RequireFlags(cmd, required);
+      !status.ok()) {
+    return Usage(status.message());
+  }
+
+  auto dataset = LoadDataset(*cmd.GetFlag("dataset"));
   if (!dataset.has_value()) return 1;
 
-  if (command == "info") return CmdInfo(*dataset);
-  if (command == "export") {
-    const auto out = flags.find("out");
-    if (out == flags.end()) return Usage();
-    return CmdExport(*dataset, out->second);
-  }
-  if (command == "gold") return CmdGold(*dataset);
-  if (command == "plan") return CmdPlan(*dataset, flags);
-  if (command == "inspect") return CmdInspect(*dataset, flags);
-  return Usage();
+  if (cmd.command == "info") return CmdInfo(*dataset);
+  if (cmd.command == "export") return CmdExport(*dataset, *cmd.GetFlag("out"));
+  if (cmd.command == "gold") return CmdGold(*dataset);
+  if (cmd.command == "plan") return CmdPlan(*dataset, cmd);
+  if (cmd.command == "inspect") return CmdInspect(*dataset, cmd);
+  if (cmd.command == "save-snapshot") return CmdSaveSnapshot(*dataset, cmd);
+  if (cmd.command == "load-snapshot") return CmdLoadSnapshot(*dataset, cmd);
+  return CmdServe(*dataset, cmd);
 }
