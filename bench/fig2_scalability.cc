@@ -4,8 +4,17 @@
 //
 // Expected shape (paper): learning time grows linearly with N; applying a
 // learned policy takes only fractions of a second ("interactive mode").
+//
+// An argument-less run emits BENCH_scalability.json (same conventions as
+// BENCH_micro.json / BENCH_train.json) with the learn-vs-N and recommend
+// timings; gbench arguments run the registered suite with its table output.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/config.h"
 #include "core/planner.h"
@@ -103,6 +112,111 @@ void BM_LearnVsCatalogSize(benchmark::State& state) {
 }
 BENCHMARK(BM_LearnVsCatalogSize)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
 
+// ---------------------------------------------------------------------------
+// Machine-readable output (BENCH_scalability.json)
+// ---------------------------------------------------------------------------
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Entry {
+  std::string name;
+  double seconds = 0.0;      // one op (a full Train(), or one Recommend())
+  double ops_per_sec = 0.0;  // episodes/sec for learn, plans/sec for recommend
+};
+
+// Times one full training run of `episodes` episodes.
+Entry TimeLearnJson(const char* prefix, const Dataset& dataset,
+                    PlannerConfig config, int episodes) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  ConfigureEpisodes(config, episodes, dataset);
+  Entry entry;
+  entry.name = std::string(prefix) + "/N" + std::to_string(episodes);
+  const double begin = Now();
+  RlPlanner planner(instance, config);
+  if (!planner.Train().ok()) return entry;  // zero metrics mark the failure
+  entry.seconds = Now() - begin;
+  if (entry.seconds > 0.0) entry.ops_per_sec = episodes / entry.seconds;
+  return entry;
+}
+
+// Times recommendation from a policy learned with the default N.
+Entry TimeRecommendJson(const char* prefix, const Dataset& dataset,
+                        PlannerConfig config, int episodes) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  ConfigureEpisodes(config, episodes, dataset);
+  Entry entry;
+  entry.name = std::string(prefix) + "/N" + std::to_string(episodes);
+  RlPlanner planner(instance, config);
+  if (!planner.Train().ok()) return entry;
+  const int kReps = 50;
+  const double begin = Now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    if (!planner.Recommend(dataset.default_start).ok()) return entry;
+  }
+  const double seconds = Now() - begin;
+  entry.seconds = seconds / kReps;
+  if (seconds > 0.0) entry.ops_per_sec = kReps / seconds;
+  return entry;
+}
+
+int WriteScalabilityJson() {
+  const Dataset univ1 = rlplanner::datagen::MakeUniv1DsCt();
+  const Dataset nyc = rlplanner::datagen::MakeNycTrip();
+  const PlannerConfig course_config = rlplanner::core::DefaultUniv1Config();
+  const PlannerConfig trip_config = rlplanner::core::DefaultTripConfig();
+
+  std::vector<Entry> entries;
+  for (int episodes : {100, 200, 300, 500, 1000}) {
+    entries.push_back(
+        TimeLearnJson("learn_course", univ1, course_config, episodes));
+  }
+  for (int episodes : {100, 200, 300, 500, 1000}) {
+    entries.push_back(TimeLearnJson("learn_trip", nyc, trip_config, episodes));
+  }
+  entries.push_back(
+      TimeRecommendJson("recommend_course", univ1, course_config, 500));
+  entries.push_back(TimeRecommendJson("recommend_trip", nyc, trip_config, 500));
+
+  bool all_ok = true;
+  std::FILE* f = std::fopen("BENCH_scalability.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_scalability.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& entry = entries[i];
+    all_ok = all_ok && entry.seconds > 0.0;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"seconds\": %.6f, "
+                 "\"ops_per_sec\": %.2f}%s\n",
+                 entry.name.c_str(), entry.seconds, entry.ops_per_sec,
+                 i + 1 == entries.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  for (const Entry& entry : entries) {
+    std::printf("%-24s %10.4fs  %10.2f ops/sec\n", entry.name.c_str(),
+                entry.seconds, entry.ops_per_sec);
+  }
+  std::printf("wrote BENCH_scalability.json\n");
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc <= 1) return WriteScalabilityJson();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Training-throughput benchmark for the intra-run parallel SARSA learner
+// (rl/parallel_sarsa.h). For each dataset it times a full training run in
+// serial mode, in deterministic sharded mode at K in {1, 2, 4, 8}, and in
+// Hogwild mode at the largest K, reporting episodes/sec and
+// time-to-constraint-satisfaction (wall-clock until the first policy-
+// iteration round whose greedy rollout satisfies every hard constraint).
+//
+// An argument-less run emits BENCH_train.json (same conventions as
+// BENCH_micro.json); `--smoke` shrinks the episode budget to a few seconds
+// for the CI bench-smoke lane. Exit status is non-zero when any run fails
+// to produce a result, so the lane catches regressions, and the lane
+// additionally validates the JSON shape.
+//
+// Speedups are bounded by the physical core count: `hardware_threads` is
+// recorded in the output so a 1-core CI container reporting ~1x for every
+// K is distinguishable from a real regression. Deterministic-mode tables
+// depend only on (seed, K), so throughput may be measured on any machine
+// without changing what is learned.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "datagen/course_data.h"
+#include "datagen/synthetic.h"
+#include "mdp/reward.h"
+#include "rl/parallel_sarsa.h"
+#include "rl/sarsa.h"
+#include "rl/sarsa_config.h"
+
+namespace {
+
+using rlplanner::datagen::Dataset;
+using rlplanner::rl::ParallelMode;
+using rlplanner::rl::SarsaConfig;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RunResult {
+  std::string name;       // e.g. "univ1_dsct/deterministic/K4"
+  const char* mode;       // "serial" | "deterministic" | "hogwild"
+  int workers = 1;
+  std::size_t catalog_items = 0;
+  int episodes = 0;
+  double seconds = 0.0;
+  double episodes_per_sec = 0.0;
+  double time_to_safe_seconds = -1.0;  // -1: no safe round observed
+  bool ok = false;
+};
+
+// One dataset's benchmark setup: the instance, its reward weights, and the
+// SARSA configuration shared by every mode.
+struct Scenario {
+  std::string name;
+  Dataset dataset;
+  rlplanner::mdp::RewardWeights weights;
+  SarsaConfig sarsa;
+};
+
+Scenario MakeUniv1() {
+  Scenario s;
+  s.name = "univ1_dsct";
+  s.dataset = rlplanner::datagen::MakeUniv1DsCt();
+  const auto config = rlplanner::core::DefaultUniv1Config();
+  s.weights = config.reward;
+  s.sarsa = config.sarsa;
+  return s;
+}
+
+Scenario MakeUniv2() {
+  Scenario s;
+  s.name = "univ2_ds";
+  s.dataset = rlplanner::datagen::MakeUniv2Ds();
+  const auto config = rlplanner::core::DefaultUniv2Config();
+  s.weights = config.reward;
+  s.sarsa = config.sarsa;
+  return s;
+}
+
+Scenario MakeSynthetic1k() {
+  Scenario s;
+  s.name = "synthetic_1k";
+  rlplanner::datagen::SyntheticSpec spec;
+  spec.num_items = 1000;
+  spec.vocab_size = 2000;
+  s.dataset = rlplanner::datagen::GenerateSynthetic(spec);
+  s.sarsa = SarsaConfig{};
+  return s;
+}
+
+RunResult RunOne(const Scenario& scenario, ParallelMode mode, int workers,
+                 int episodes) {
+  const rlplanner::model::TaskInstance instance = scenario.dataset.Instance();
+  const rlplanner::mdp::RewardFunction reward(instance, scenario.weights);
+
+  SarsaConfig config = scenario.sarsa;
+  config.num_episodes = episodes;
+  config.start_item = scenario.dataset.default_start;
+  config.parallel_mode = mode;
+  config.num_workers = workers;
+
+  RunResult result;
+  result.mode = mode == ParallelMode::kSerial
+                    ? "serial"
+                    : (mode == ParallelMode::kHogwild ? "hogwild"
+                                                      : "deterministic");
+  result.name = scenario.name + "/" + result.mode;
+  if (mode != ParallelMode::kSerial) {
+    result.name += "/K" + std::to_string(workers);
+  }
+  result.workers = mode == ParallelMode::kSerial ? 1 : workers;
+  result.catalog_items = scenario.dataset.catalog.size();
+  result.episodes = episodes;
+
+  // kSerial runs the plain SarsaLearner via the parallel learner's
+  // delegation (identical table and draws; the wrapper only adds the
+  // round observer that records time-to-safe).
+  const double begin = Now();
+  rlplanner::rl::ParallelSarsaLearner learner(instance, reward, config,
+                                              /*seed=*/17);
+  const rlplanner::mdp::QTable q = learner.Learn();
+  result.time_to_safe_seconds = learner.time_to_safe_seconds();
+  result.ok = q.num_items() == scenario.dataset.catalog.size() &&
+              static_cast<int>(learner.episode_returns().size()) == episodes;
+  result.seconds = Now() - begin;
+  if (result.seconds > 0.0) {
+    result.episodes_per_sec = episodes / result.seconds;
+  }
+  return result;
+}
+
+void PrintEntry(std::FILE* f, const RunResult& r, bool last) {
+  std::fprintf(f,
+               "    {\"name\": \"%s\", \"mode\": \"%s\", \"workers\": %d, "
+               "\"catalog_items\": %zu, \"episodes\": %d, "
+               "\"seconds\": %.4f, \"episodes_per_sec\": %.1f, "
+               "\"time_to_safe_seconds\": %.4f}%s\n",
+               r.name.c_str(), r.mode, r.workers, r.catalog_items, r.episodes,
+               r.seconds, r.episodes_per_sec, r.time_to_safe_seconds,
+               last ? "" : ",");
+}
+
+int RunAll(bool smoke) {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::vector<int> worker_counts = {1, 2, 4, 8};
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(MakeUniv1());
+  scenarios.push_back(MakeUniv2());
+  scenarios.push_back(MakeSynthetic1k());
+
+  std::vector<RunResult> results;
+  bool all_ok = true;
+  for (const Scenario& scenario : scenarios) {
+    // Budgets: enough episodes that per-run setup cost amortizes away, a
+    // few seconds of smoke total.
+    int episodes = smoke ? 20 : (scenario.name == "synthetic_1k" ? 100 : 200);
+
+    results.push_back(RunOne(scenario, ParallelMode::kSerial, 1, episodes));
+    for (int k : worker_counts) {
+      results.push_back(
+          RunOne(scenario, ParallelMode::kDeterministic, k, episodes));
+    }
+    results.push_back(RunOne(scenario, ParallelMode::kHogwild,
+                             worker_counts.back(), episodes));
+    for (const RunResult& r : results) all_ok = all_ok && r.ok;
+  }
+
+  std::FILE* f = std::fopen("BENCH_train.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_train.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hardware);
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    PrintEntry(f, results[i], i + 1 == results.size());
+  }
+  std::fprintf(f, "  ],\n");
+  // K=8-vs-K=1 deterministic speedup per dataset (serial excluded), the
+  // headline scaling number. On a single hardware thread this is ~1/K *
+  // K = 1x at best; see hardware_threads above.
+  std::fprintf(f, "  \"speedup_k8_vs_k1\": {");
+  bool first = true;
+  for (const Scenario& scenario : scenarios) {
+    double k1 = 0.0;
+    double k8 = 0.0;
+    for (const RunResult& r : results) {
+      if (r.name == scenario.name + "/deterministic/K1") k1 = r.seconds;
+      if (r.name == scenario.name + "/deterministic/K8") k8 = r.seconds;
+    }
+    std::fprintf(f, "%s\"%s\": %.2f", first ? "" : ", ",
+                 scenario.name.c_str(), k8 > 0.0 ? k1 / k8 : 0.0);
+    first = false;
+  }
+  std::fprintf(f, "}\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  for (const RunResult& r : results) {
+    std::printf("%-36s %8.1f eps/sec  t_safe %7.3fs%s\n", r.name.c_str(),
+                r.episodes_per_sec, r.time_to_safe_seconds,
+                r.ok ? "" : "  [FAILED]");
+  }
+  std::printf("wrote BENCH_train.json (hardware_threads=%u)\n", hardware);
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  return RunAll(smoke);
+}

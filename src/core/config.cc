@@ -15,6 +15,9 @@ util::Status PlannerConfig::Validate() const {
   if (sarsa.explore_epsilon < 0.0 || sarsa.explore_epsilon > 1.0) {
     return util::Status::InvalidArgument("explore_epsilon must be in [0, 1]");
   }
+  if (sarsa.num_workers < 1) {
+    return util::Status::InvalidArgument("num_workers must be >= 1");
+  }
   return reward.Validate();
 }
 

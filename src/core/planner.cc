@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/scoring.h"
+#include "rl/parallel_sarsa.h"
 #include "rl/recommender.h"
 #include "rl/sarsa.h"
 
@@ -20,9 +21,20 @@ util::Status RlPlanner::Train() {
   RLP_RETURN_IF_ERROR(config_.Validate());
   RLP_RETURN_IF_ERROR(instance_->Validate());
   const auto start = std::chrono::steady_clock::now();
-  rl::SarsaLearner learner(*instance_, reward_, config_.sarsa, config_.seed);
-  q_ = learner.Learn();
-  episode_returns_ = learner.episode_returns();
+  if (config_.sarsa.parallel_mode != rl::ParallelMode::kSerial &&
+      config_.sarsa.num_workers > 1) {
+    rl::ParallelSarsaLearner learner(*instance_, reward_, config_.sarsa,
+                                     config_.seed);
+    q_ = learner.Learn();
+    episode_returns_ = learner.episode_returns();
+  } else {
+    // Serial config (or a single worker, which the parallel learner would
+    // delegate straight back here anyway).
+    rl::SarsaLearner learner(*instance_, reward_, config_.sarsa,
+                             config_.seed);
+    q_ = learner.Learn();
+    episode_returns_ = learner.episode_returns();
+  }
   const auto end = std::chrono::steady_clock::now();
   train_seconds_ = std::chrono::duration<double>(end - start).count();
   return util::Status::Ok();

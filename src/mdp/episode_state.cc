@@ -9,6 +9,7 @@ namespace rlplanner::mdp {
 EpisodeState::EpisodeState(const model::TaskInstance& instance)
     : instance_(&instance),
       position_of_(instance.catalog->size(), -1),
+      chosen_(instance.catalog->size()),
       covered_(instance.catalog->vocabulary_size()),
       similarity_tracker_(instance.soft.interleaving),
       category_counts_(instance.catalog->category_names().size(), 0) {}
@@ -23,6 +24,7 @@ void EpisodeState::Add(model::ItemId item) {
         instance_->catalog->item(sequence_.back()).location, added.location);
   }
   position_of_[item] = static_cast<int>(sequence_.size());
+  chosen_.Set(static_cast<std::size_t>(item));
   sequence_.push_back(item);
   covered_ |= added.topics;
   type_sequence_.push_back(added.type);

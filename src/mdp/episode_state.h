@@ -6,6 +6,7 @@
 #include "mdp/similarity.h"
 #include "model/constraints.h"
 #include "model/plan.h"
+#include "util/bitset.h"
 
 namespace rlplanner::mdp {
 
@@ -44,6 +45,12 @@ class EpisodeState {
   /// Position lookup (-1 = not chosen) indexed by ItemId.
   const std::vector<int>& position_of() const { return position_of_; }
 
+  /// The chosen-item set as a bitset over item ids, maintained word-level in
+  /// lockstep with `position_of()`. Candidate scans (ActionMask::AllowedSet,
+  /// the greedy traversal) seed their admissible set from its complement a
+  /// 64-bit word at a time instead of testing every id.
+  const util::DynamicBitset& chosen_items() const { return chosen_; }
+
   /// Accumulated topic coverage `T^current`.
   const model::TopicVector& covered_topics() const { return covered_; }
 
@@ -73,6 +80,7 @@ class EpisodeState {
   const model::TaskInstance* instance_;
   std::vector<model::ItemId> sequence_;
   std::vector<int> position_of_;
+  util::DynamicBitset chosen_;
   model::TopicVector covered_;
   model::TypeSequence type_sequence_;
   SimilarityTracker similarity_tracker_;

@@ -39,6 +39,13 @@ void QTable::SarsaUpdate(model::ItemId state, model::ItemId action,
   Set(state, action, current + alpha * (reward + gamma * next_q - current));
 }
 
+void QTable::AccumulateDelta(const QTable& local, const QTable& base) {
+  assert(num_items_ == local.num_items_ && num_items_ == base.num_items_);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += local.values_[i] - base.values_[i];
+  }
+}
+
 void QTable::Scale(double factor) {
   for (double& v : values_) v *= factor;
 }

@@ -1,11 +1,13 @@
 #ifndef RLPLANNER_MDP_Q_TABLE_H_
 #define RLPLANNER_MDP_Q_TABLE_H_
 
+#include <cassert>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 #include "model/prereq.h"
+#include "util/bitset.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -54,6 +56,36 @@ class QTable {
     }
     return best;
   }
+
+  /// Word-scan variant: the admissible set is a bitset over action ids, so
+  /// disallowed actions are skipped 64 at a time (zero words cost one test)
+  /// instead of one callback per id. Identical result and tie-break
+  /// semantics (lowest allowed id wins ties) to the callback overload —
+  /// pinned by a randomized equivalence test.
+  model::ItemId ArgmaxAction(model::ItemId state,
+                             const util::DynamicBitset& allowed) const {
+    assert(allowed.size() == num_items_);
+    const double* row = values_.data() +
+                        static_cast<std::size_t>(state) * num_items_;
+    model::ItemId best = -1;
+    double best_value = 0.0;
+    allowed.ForEachSetBit([&](std::size_t a) {
+      const double value = row[a];
+      if (best < 0 || value > best_value) {
+        best = static_cast<model::ItemId>(a);
+        best_value = value;
+      }
+    });
+    return best;
+  }
+
+  /// Adds `local - base` entrywise into this table: the merge step of the
+  /// deterministic parallel learner, which folds each worker's TD deltas
+  /// relative to the round's snapshot back into the shared table. All three
+  /// tables must share one dimension. Applied in fixed worker order, the
+  /// floating-point evaluation order — and therefore the merged table — is
+  /// bit-reproducible.
+  void AccumulateDelta(const QTable& local, const QTable& base);
 
   /// Multiplies every entry by `factor`. The policy-iteration loop uses
   /// this to decay a locked-in table when the greedy rollout still violates

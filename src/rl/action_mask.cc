@@ -11,12 +11,29 @@ ActionMask::ActionMask(const mdp::RewardFunction& reward, int horizon,
     : reward_(&reward),
       horizon_(horizon),
       mask_type_overflow_(mask_type_overflow) {
-  for (const model::Item& item : reward.instance().catalog->items()) {
+  const model::TaskInstance& instance = reward.instance();
+  const std::size_t n = instance.catalog->size();
+  items_of_type_[0].Resize(n);
+  items_of_type_[1].Resize(n);
+  // Bucket items by the category the split lookahead discounts; the last
+  // bucket collects every category without a minimum (including none).
+  const std::size_t num_minima = instance.hard.category_min_counts.size();
+  items_of_category_.assign(num_minima + 1, util::DynamicBitset(n));
+  for (const model::Item& item : instance.catalog->items()) {
     if (item.type == model::ItemType::kPrimary) {
       primary_ids_.push_back(item.id);
     }
+    const std::size_t bit = static_cast<std::size_t>(item.id);
+    items_of_type_[item.type == model::ItemType::kPrimary ? 0 : 1].Set(bit);
+    const bool has_minimum =
+        item.category >= 0 &&
+        static_cast<std::size_t>(item.category) < num_minima;
+    items_of_category_[has_minimum ? static_cast<std::size_t>(item.category)
+                                   : num_minima]
+        .Set(bit);
   }
   primary_cost_scratch_.reserve(primary_ids_.size());
+  group_scratch_.Resize(n);
 }
 
 bool ActionMask::Allowed(const mdp::EpisodeState& state,
@@ -24,6 +41,83 @@ bool ActionMask::Allowed(const mdp::EpisodeState& state,
   if (!reward_->IsFeasible(state, item)) return false;
   if (mask_type_overflow_ && !SplitStillSatisfiable(state, item)) return false;
   return true;
+}
+
+void ActionMask::AllowedSet(const mdp::EpisodeState& state,
+                            util::DynamicBitset* out) const {
+  out->AssignComplementOf(state.chosen_items());
+  const model::TaskInstance& instance = reward_->instance();
+
+  if (instance.catalog->domain() != model::Domain::kCourse) {
+    // Trip domain: every check is per-candidate (the budgets depend on the
+    // leg to each candidate), so scan the unchosen set bit by bit. Iterate
+    // a scratch copy so clearing bits in `out` cannot disturb the walk.
+    group_scratch_ = *out;
+    group_scratch_.ForEachSetBit([&](std::size_t i) {
+      const model::ItemId item = static_cast<model::ItemId>(i);
+      if (!reward_->IsFeasible(state, item) ||
+          (mask_type_overflow_ && !SplitStillSatisfiable(state, item))) {
+        out->Set(i, false);
+      }
+    });
+    return;
+  }
+
+  // Course domain: IsFeasible is exactly "not already chosen", which the
+  // complement seed enforces; the split lookahead is all that remains.
+  if (!mask_type_overflow_) return;
+
+  const int slots_left = horizon_ - static_cast<int>(state.Length()) - 1;
+
+  // Primaries owed after picking a candidate depends only on its type, so
+  // the whole type group passes or fails together.
+  int primary_needed[2];
+  for (int t = 0; t < 2; ++t) {
+    const int needed = instance.hard.num_primary - state.primary_count() -
+                       (t == 0 ? 1 : 0);
+    primary_needed[t] = std::max(needed, 0);
+    if (primary_needed[t] > slots_left) out->AndNotAssign(items_of_type_[t]);
+  }
+
+  // Category minima owed depends only on the candidate's category: the
+  // candidate discounts its own category's missing count by one when that
+  // count is still positive. The overflow bucket (categories without a
+  // minimum) never earns the discount.
+  const std::size_t num_minima = instance.hard.category_min_counts.size();
+  if (num_minima > 0) {
+    int base_owed = 0;
+    for (std::size_t c = 0; c < num_minima; ++c) {
+      base_owed += std::max(instance.hard.category_min_counts[c] -
+                                state.CategoryCount(static_cast<int>(c)),
+                            0);
+    }
+    for (std::size_t c = 0; c <= num_minima; ++c) {
+      const bool discount =
+          c < num_minima && instance.hard.category_min_counts[c] -
+                                    state.CategoryCount(static_cast<int>(c)) >
+                                0;
+      if (base_owed - (discount ? 1 : 0) > slots_left) {
+        out->AndNotAssign(items_of_category_[c]);
+      }
+    }
+  }
+
+  // Antecedent lookahead: only decisive when every remaining primary is
+  // needed, which again depends only on the candidate's type; the per-item
+  // scan runs just over the survivors of that type.
+  for (int t = 0; t < 2; ++t) {
+    const int unplaced = static_cast<int>(primary_ids_.size()) -
+                         state.primary_count() - (t == 0 ? 1 : 0);
+    if (unplaced != primary_needed[t]) continue;
+    group_scratch_ = *out;
+    group_scratch_ &= items_of_type_[t];
+    group_scratch_.ForEachSetBit([&](std::size_t i) {
+      const model::ItemId item = static_cast<model::ItemId>(i);
+      if (!AntecedentsStillSchedulable(state, item, primary_needed[t])) {
+        out->Set(i, false);
+      }
+    });
+  }
 }
 
 bool ActionMask::AnyAllowed(const mdp::EpisodeState& state) const {

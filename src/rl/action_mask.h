@@ -5,6 +5,7 @@
 
 #include "mdp/episode_state.h"
 #include "mdp/reward.h"
+#include "util/bitset.h"
 
 namespace rlplanner::rl {
 
@@ -32,6 +33,18 @@ class ActionMask {
   /// the trip budgets, and (when enabled) not a dead end for the split.
   bool Allowed(const mdp::EpisodeState& state, model::ItemId item) const;
 
+  /// Derives the full admissible-action set of `state` into `out` (resized
+  /// to the catalog), bit i set iff `Allowed(state, i)` — the word-level
+  /// fast path for whole-catalog candidate scans. The set is seeded from
+  /// the complement of `state.chosen_items()` a 64-bit word at a time, and
+  /// in the course domain the split/category lookahead is decided once per
+  /// (type, category) group and applied by clearing whole cached group
+  /// bitsets; only the tight-regime antecedent check (and every trip-domain
+  /// check) remains per-candidate. Bit-identical to the per-id loop by
+  /// construction — pinned by a randomized equivalence test.
+  void AllowedSet(const mdp::EpisodeState& state,
+                  util::DynamicBitset* out) const;
+
   /// True when at least one action is admissible from `state`.
   bool AnyAllowed(const mdp::EpisodeState& state) const;
 
@@ -51,9 +64,17 @@ class ActionMask {
   bool mask_type_overflow_;
   // Ids of all primary items, cached once per mask.
   std::vector<model::ItemId> primary_ids_;
+  // Catalog partitions for the grouped AllowedSet checks: items by type
+  // (indexed by ItemType) and by reward category (last slot = items whose
+  // category is outside `category_min_counts`, which never earn the
+  // candidate's own-category discount).
+  util::DynamicBitset items_of_type_[2];
+  std::vector<util::DynamicBitset> items_of_category_;
   // Scratch for the trip-domain cheapest-primaries sort (avoids a heap
   // allocation per candidate; see the thread-safety note above).
   mutable std::vector<double> primary_cost_scratch_;
+  // Scratch for AllowedSet's tight-regime per-type sweep.
+  mutable util::DynamicBitset group_scratch_;
 };
 
 }  // namespace rlplanner::rl

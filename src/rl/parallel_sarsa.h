@@ -1,0 +1,167 @@
+#ifndef RLPLANNER_RL_PARALLEL_SARSA_H_
+#define RLPLANNER_RL_PARALLEL_SARSA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mdp/q_table.h"
+#include "mdp/reward.h"
+#include "rl/sarsa.h"
+#include "rl/sarsa_config.h"
+#include "util/thread_pool.h"
+
+namespace rlplanner::rl {
+
+/// A |I| x |I| action-value table of std::atomic<double> for the Hogwild
+/// training mode: every worker reads and CASes the *shared* table directly,
+/// with relaxed ordering throughout (the classic Hogwild! recipe — sparse,
+/// unsynchronized updates whose collisions are rare enough to leave the
+/// learned policy intact). Satisfies EpisodeRunner's QModel interface.
+class AtomicQTable {
+ public:
+  explicit AtomicQTable(std::size_t num_items)
+      : num_items_(num_items),
+        values_(std::make_unique<std::atomic<double>[]>(num_items *
+                                                        num_items)) {
+    for (std::size_t i = 0; i < num_items * num_items; ++i) {
+      values_[i].store(0.0, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t num_items() const { return num_items_; }
+
+  double Get(model::ItemId state, model::ItemId action) const {
+    return values_[Flat(state, action)].load(std::memory_order_relaxed);
+  }
+
+  void Set(model::ItemId state, model::ItemId action, double value) {
+    values_[Flat(state, action)].store(value, std::memory_order_relaxed);
+  }
+
+  /// Eq. 9 as an atomic read-modify-write: the continuation value is read
+  /// once, then the cell is updated by a compare-exchange loop so no
+  /// concurrent TD step is silently dropped (each retry recomputes the
+  /// blend from the freshly observed cell value).
+  void SarsaUpdate(model::ItemId state, model::ItemId action, double reward,
+                   model::ItemId next_state, model::ItemId next_action,
+                   double alpha, double gamma) {
+    const double next_q = (next_state >= 0 && next_action >= 0)
+                              ? Get(next_state, next_action)
+                              : 0.0;
+    std::atomic<double>& cell = values_[Flat(state, action)];
+    double current = cell.load(std::memory_order_relaxed);
+    double updated;
+    do {
+      updated = current + alpha * (reward + gamma * next_q - current);
+    } while (!cell.compare_exchange_weak(current, updated,
+                                         std::memory_order_relaxed));
+  }
+
+  /// Plain-table copy-out (for safety rollouts and the final result).
+  mdp::QTable ToQTable() const;
+
+  /// Overwrites every cell from a plain table (after the coordinator's
+  /// decay/jitter restart). Must not race with worker updates — only called
+  /// at round barriers.
+  void LoadFrom(const mdp::QTable& table);
+
+ private:
+  std::size_t Flat(model::ItemId state, model::ItemId action) const {
+    return static_cast<std::size_t>(state) * num_items_ +
+           static_cast<std::size_t>(action);
+  }
+
+  std::size_t num_items_;
+  // unique_ptr array rather than std::vector: atomics are not movable, and
+  // the table size is fixed at construction anyway.
+  std::unique_ptr<std::atomic<double>[]> values_;
+};
+
+/// Intra-run parallel SARSA: one training run's episode budget spread over
+/// K episode workers (SarsaConfig::num_workers), in one of two modes.
+///
+/// kDeterministic — at each policy-iteration round the coordinator
+/// snapshots the Q-table; every worker rolls out its episode shard against
+/// a private copy of the snapshot with a private RNG seeded from
+/// (seed, round, worker); at the round barrier the coordinator folds the
+/// workers' TD deltas back in *fixed worker order*
+/// (Q += local_w - snapshot, w ascending), runs the greedy safety rollout,
+/// and applies the same decay/jitter restart as the serial learner. Every
+/// stochastic choice derives from (seed, round, worker) and every
+/// floating-point reduction has a fixed order, so the learned table is
+/// bit-identical across runs and across physical thread counts — only
+/// (seed, K) matter. K = 1 delegates wholesale to SarsaLearner and is
+/// bit-identical to it.
+///
+/// kHogwild — workers share one AtomicQTable and CAS their updates in with
+/// no snapshots or merge. Scheduling decides the update interleaving, so
+/// two runs differ bitwise; validated statistically (greedy rollout
+/// satisfies the hard constraints, scores within tolerance of serial).
+///
+/// kSerial (or num_workers <= 1) — delegates to SarsaLearner unchanged.
+class ParallelSarsaLearner {
+ public:
+  /// `instance` and `reward` must outlive the learner. `pool` optionally
+  /// supplies the threads; when null, Learn() spins up a private pool
+  /// sized to num_workers for its own duration. Shard results never depend
+  /// on which thread runs them, so a too-small pool (or the serial
+  /// degradation inside an outer ParallelFor) changes wall-clock only.
+  ParallelSarsaLearner(const model::TaskInstance& instance,
+                       const mdp::RewardFunction& reward,
+                       const SarsaConfig& config, std::uint64_t seed = 17,
+                       util::ThreadPool* pool = nullptr);
+
+  /// Runs `config.num_episodes` episodes across the workers and returns the
+  /// learned Q-table.
+  mdp::QTable Learn();
+
+  /// Total Eq. 2 return of each episode. Deterministic mode: concatenated
+  /// in (round, worker) order. Hogwild: (round, worker) order as well, but
+  /// the values themselves depend on scheduling.
+  const std::vector<double>& episode_returns() const {
+    return episode_returns_;
+  }
+
+  /// Wall-clock seconds from the start of Learn() until the first round
+  /// whose greedy rollout satisfied every hard constraint; -1 when no safe
+  /// round was observed (or policy_rounds <= 1, which never rolls out).
+  /// The bench reports this as time-to-constraint-satisfaction.
+  double time_to_safe_seconds() const { return time_to_safe_seconds_; }
+
+  /// The effective worker count K (>= 1).
+  int num_workers() const;
+
+  /// The per-worker RNG seed: SplitMix64-style mix of the run seed with the
+  /// (round, worker) coordinates, so shards are decorrelated but fully
+  /// reproducible. Exposed for tests.
+  static std::uint64_t WorkerSeed(std::uint64_t seed, int round, int worker);
+
+ private:
+  mdp::QTable LearnSerialDelegate();
+  mdp::QTable LearnDeterministic();
+  mdp::QTable LearnHogwild();
+
+  // Runs `fn(w)` for w in [0, K) on the external pool, a private pool, or
+  // inline, in that order of availability.
+  void ForEachWorker(int num_workers,
+                     const std::function<void(std::size_t)>& fn);
+
+  const model::TaskInstance* instance_;
+  const mdp::RewardFunction* reward_;
+  SarsaConfig config_;
+  std::uint64_t seed_;
+  util::ThreadPool* pool_;
+  // Lazily created when no external pool was supplied; reused across
+  // Learn() calls on the same learner.
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  std::vector<double> episode_returns_;
+  double time_to_safe_seconds_ = -1.0;
+};
+
+}  // namespace rlplanner::rl
+
+#endif  // RLPLANNER_RL_PARALLEL_SARSA_H_

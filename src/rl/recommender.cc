@@ -6,8 +6,27 @@
 #include "mdp/cmdp.h"
 #include "mdp/episode_state.h"
 #include "mdp/similarity.h"
+#include "util/bitset.h"
 
 namespace rlplanner::rl {
+
+namespace {
+
+// The caller's exclusion list as a bitset, for word-level removal from the
+// admissible set (out-of-range ids are ignored, as before).
+util::DynamicBitset ExcludedBits(const model::TaskInstance& instance,
+                                 const std::vector<model::ItemId>& excluded) {
+  util::DynamicBitset bits(instance.catalog->size());
+  for (model::ItemId item : excluded) {
+    if (item >= 0 &&
+        static_cast<std::size_t>(item) < instance.catalog->size()) {
+      bits.Set(static_cast<std::size_t>(item));
+    }
+  }
+  return bits;
+}
+
+}  // namespace
 
 model::Plan RecommendPlan(const mdp::QTable& q,
                           const model::TaskInstance& instance,
@@ -19,16 +38,11 @@ model::Plan RecommendPlan(const mdp::QTable& q,
           : instance.hard.TotalItems();
   const ActionMask mask(reward, horizon, config.mask_type_overflow);
 
-  std::vector<char> excluded(instance.catalog->size(), 0);
-  for (model::ItemId item : config.excluded) {
-    if (item >= 0 &&
-        static_cast<std::size_t>(item) < instance.catalog->size()) {
-      excluded[item] = 1;
-    }
-  }
+  const util::DynamicBitset excluded = ExcludedBits(instance, config.excluded);
 
   mdp::EpisodeState state(instance);
   state.Add(config.start_item);
+  util::DynamicBitset allowed(instance.catalog->size());
   while (static_cast<int>(state.Length()) < horizon) {
     const model::ItemId current = state.CurrentItem();
     // Select lexicographically by (theta, immediate reward, Q):
@@ -49,11 +63,12 @@ model::Plan RecommendPlan(const mdp::QTable& q,
     int best_theta = -1;
     double best_q = 0.0;
     double best_reward = 0.0;
-    const std::size_t n = instance.catalog->size();
-    for (std::size_t i = 0; i < n; ++i) {
+    // One word-level mask scan per step; candidates stream out in ascending
+    // id order, preserving the historical tie-break exactly.
+    mask.AllowedSet(state, &allowed);
+    allowed.AndNotAssign(excluded);
+    allowed.ForEachSetBit([&](std::size_t i) {
       const auto item = static_cast<model::ItemId>(i);
-      if (excluded[i]) continue;
-      if (!mask.Allowed(state, item)) continue;
       const int theta = reward.Theta(state, item);
       const double q_value = q.Get(current, item);
       const double item_reward = reward.Reward(state, item);
@@ -68,7 +83,7 @@ model::Plan RecommendPlan(const mdp::QTable& q,
         best_q = q_value;
         best_reward = item_reward;
       }
-    }
+    });
     if (next < 0) break;
     state.Add(next);
   }
@@ -123,13 +138,8 @@ model::Plan RecommendPlanBeam(const mdp::QTable& q,
           ? static_cast<int>(instance.catalog->size())
           : instance.hard.TotalItems();
   const ActionMask mask(reward, horizon, config.mask_type_overflow);
-  std::vector<char> excluded(instance.catalog->size(), 0);
-  for (model::ItemId item : config.excluded) {
-    if (item >= 0 &&
-        static_cast<std::size_t>(item) < instance.catalog->size()) {
-      excluded[item] = 1;
-    }
-  }
+  const util::DynamicBitset excluded = ExcludedBits(instance, config.excluded);
+  util::DynamicBitset allowed(instance.catalog->size());
 
   std::vector<BeamEntry> entries;
   {
@@ -140,7 +150,6 @@ model::Plan RecommendPlanBeam(const mdp::QTable& q,
 
   const int width = std::max(1, beam.width);
   const int expansion = std::max(1, beam.expansion);
-  const std::size_t n = instance.catalog->size();
 
   bool all_done = false;
   while (!all_done) {
@@ -153,16 +162,18 @@ model::Plan RecommendPlanBeam(const mdp::QTable& q,
         next_entries.push_back(std::move(entry));
         continue;
       }
-      // Rank admissible successors by (theta, reward, Q).
+      // Rank admissible successors by (theta, reward, Q), streaming them
+      // from one word-level mask scan.
       std::vector<Expansion> candidates;
       const model::ItemId current = entry.state.CurrentItem();
-      for (std::size_t i = 0; i < n; ++i) {
+      mask.AllowedSet(entry.state, &allowed);
+      allowed.AndNotAssign(excluded);
+      allowed.ForEachSetBit([&](std::size_t i) {
         const auto item = static_cast<model::ItemId>(i);
-        if (excluded[i] || !mask.Allowed(entry.state, item)) continue;
         candidates.push_back({item, reward.Theta(entry.state, item),
                               reward.Reward(entry.state, item),
                               q.Get(current, item)});
-      }
+      });
       if (candidates.empty()) {
         entry.done = true;
         next_entries.push_back(std::move(entry));

@@ -1,9 +1,7 @@
 #include "rl/sarsa.h"
 
 #include <algorithm>
-#include <cassert>
 #include <optional>
-#include <vector>
 
 #include "mdp/cmdp.h"
 #include "rl/recommender.h"
@@ -16,148 +14,15 @@ SarsaLearner::SarsaLearner(const model::TaskInstance& instance,
     : instance_(&instance),
       reward_(&reward),
       config_(config),
-      rng_(seed) {}
-
-int SarsaLearner::Horizon() const {
-  if (instance_->catalog->domain() == model::Domain::kTrip) {
-    // Trip episodes end when the time budget is exhausted; the item count is
-    // only capped by the catalog size.
-    return static_cast<int>(instance_->catalog->size());
-  }
-  return instance_->hard.TotalItems();
-}
-
-model::ItemId SarsaLearner::PickStart() {
-  if (config_.start_item >= 0) return config_.start_item;
-  const auto primaries =
-      instance_->catalog->ItemsOfType(model::ItemType::kPrimary);
-  if (!primaries.empty()) {
-    return primaries[rng_.NextIndex(primaries.size())];
-  }
-  return static_cast<model::ItemId>(
-      rng_.NextIndex(instance_->catalog->size()));
-}
-
-void SarsaLearner::ComputeAllowed(const mdp::EpisodeState& state,
-                                  const ActionMask& mask) {
-  const std::size_t n = instance_->catalog->size();
-  allowed_.clear();
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto item = static_cast<model::ItemId>(i);
-    if (mask.Allowed(state, item)) allowed_.push_back(item);
-  }
-}
-
-model::ItemId SarsaLearner::SelectAction(const mdp::EpisodeState& state,
-                                         const mdp::QTable& q,
-                                         double explore_epsilon) {
-  if (allowed_.empty()) return -1;
-
-  // Exploration applies to both behavior policies: a pure argmax-R policy
-  // only ever visits one trajectory, leaving the Q-table empty everywhere
-  // else (the paper's Python implementation gets its exploration from the
-  // abundant exact-tie random picks; our reward has fewer exact ties, so a
-  // small epsilon restores the same coverage).
-  if (rng_.NextBernoulli(explore_epsilon)) {
-    return allowed_[rng_.NextIndex(allowed_.size())];
-  }
-
-  // Greedy on immediate reward (Algorithm 1) or on Q, random tie-break.
-  best_.clear();
-  double best_value = 0.0;
-  const model::ItemId current = state.CurrentItem();
-  for (model::ItemId item : allowed_) {
-    double value;
-    if (config_.exploration == ExplorationMode::kRewardGreedy) {
-      value = reward_->Reward(state, item);
-    } else {
-      value = current >= 0 ? q.Get(current, item) : 0.0;
-    }
-    if (best_.empty() || value > best_value + 1e-12) {
-      best_.assign(1, item);
-      best_value = value;
-    } else if (value >= best_value - 1e-12) {
-      best_.push_back(item);
-    }
-  }
-  return best_[rng_.NextIndex(best_.size())];
-}
-
-void SarsaLearner::RunEpisode(mdp::QTable& q, const ActionMask& mask,
-                              double explore_epsilon) {
-  const int horizon = Horizon();
-  mdp::EpisodeState state(*instance_);
-  double episode_return = 0.0;
-
-  // Seed the episode with the starting item (Algorithm 1 line 3).
-  const model::ItemId start = PickStart();
-  state.Add(start);
-
-  // Choose the first action from the start state.
-  ComputeAllowed(state, mask);
-  model::ItemId action = SelectAction(state, q, explore_epsilon);
-  model::ItemId current = start;
-  while (action >= 0 && static_cast<int>(state.Length()) < horizon) {
-    const double reward = reward_->Reward(state, action);
-    episode_return += reward;
-    state.Add(action);
-
-    // Choose e' from s' (on-policy), then apply the TD update (Eq. 9 for
-    // SARSA; Q-learning/Expected-SARSA substitute their own targets). The
-    // admissible set of s' is derived once into `allowed_` and shared by
-    // the selection and the continuation target.
-    model::ItemId next_action = -1;
-    if (static_cast<int>(state.Length()) < horizon) {
-      ComputeAllowed(state, mask);
-      next_action = SelectAction(state, q, explore_epsilon);
-    }
-    if (config_.update_rule == UpdateRule::kSarsa) {
-      q.SarsaUpdate(current, action, reward, action, next_action,
-                    config_.alpha, config_.gamma);
-    } else {
-      const double continuation =
-          ContinuationValue(q, state, next_action, explore_epsilon);
-      const double old_value = q.Get(current, action);
-      q.Set(current, action,
-            old_value + config_.alpha *
-                            (reward + config_.gamma * continuation -
-                             old_value));
-    }
-
-    current = action;
-    action = next_action;
-  }
-  episode_returns_.push_back(episode_return);
-}
-
-double SarsaLearner::ContinuationValue(const mdp::QTable& q,
-                                       const mdp::EpisodeState& next_state,
-                                       model::ItemId next_action,
-                                       double explore_epsilon) const {
-  if (next_action < 0) return 0.0;  // terminal
-  const model::ItemId next_item = next_state.CurrentItem();
-  if (next_item < 0) return 0.0;
-  if (allowed_.empty()) return 0.0;
-
-  double max_q = q.Get(next_item, allowed_.front());
-  double sum_q = 0.0;
-  for (model::ItemId item : allowed_) {
-    const double value = q.Get(next_item, item);
-    max_q = std::max(max_q, value);
-    sum_q += value;
-  }
-  if (config_.update_rule == UpdateRule::kQLearning) return max_q;
-  // Expected SARSA under the epsilon-greedy mixture: with probability
-  // epsilon a uniform action, otherwise the greedy one.
-  const double uniform = sum_q / static_cast<double>(allowed_.size());
-  return explore_epsilon * uniform + (1.0 - explore_epsilon) * max_q;
-}
+      rng_(seed),
+      runner_(instance, reward, config_, rng_) {}
 
 mdp::QTable SarsaLearner::Learn() {
   const std::size_t n = instance_->catalog->size();
   mdp::QTable q(n);
-  episode_returns_.clear();
-  episode_returns_.reserve(static_cast<std::size_t>(config_.num_episodes));
+  runner_.mutable_episode_returns().clear();
+  runner_.mutable_episode_returns().reserve(
+      static_cast<std::size_t>(config_.num_episodes));
   const ActionMask mask(*reward_, Horizon(), config_.mask_type_overflow);
 
   // Policy iteration (Section III-C): alternate SARSA policy evaluation
@@ -171,7 +36,7 @@ mdp::QTable SarsaLearner::Learn() {
 
   RecommendConfig rollout_config;
   rollout_config.start_item =
-      config_.start_item >= 0 ? config_.start_item : PickStart();
+      config_.start_item >= 0 ? config_.start_item : runner_.PickStart();
   rollout_config.mask_type_overflow = config_.mask_type_overflow;
   rollout_config.gamma = config_.gamma;
   auto policy_is_safe = [&](const mdp::QTable& table) {
@@ -187,10 +52,11 @@ mdp::QTable SarsaLearner::Learn() {
                             : std::min(config_.num_episodes,
                                        episodes_done + per_round);
     for (; episodes_done < target; ++episodes_done) {
-      RunEpisode(q, mask, explore);
+      runner_.RunEpisode(q, mask, explore);
     }
     if (rounds == 1) continue;
-    if (policy_is_safe(q)) {
+    const bool safe = policy_is_safe(q);
+    if (safe) {
       last_safe = q;
       explore = config_.explore_epsilon;
     } else {
@@ -201,6 +67,7 @@ mdp::QTable SarsaLearner::Learn() {
       q.AddNoise(rng_, 0.05);
       explore = std::min(0.5, explore + 0.1);
     }
+    if (round_observer_) round_observer_(round, safe);
   }
   // Prefer the final table, but never hand back an unsafe policy when a
   // safe snapshot was observed during the iteration.

@@ -1,79 +1,44 @@
 #ifndef RLPLANNER_RL_SARSA_H_
 #define RLPLANNER_RL_SARSA_H_
 
+#include <functional>
 #include <vector>
 
 #include "mdp/q_table.h"
 #include "mdp/reward.h"
 #include "rl/action_mask.h"
+#include "rl/episode_runner.h"
+#include "rl/sarsa_config.h"
 #include "util/rng.h"
 
 namespace rlplanner::rl {
-
-/// How the behavior policy picks actions during learning.
-enum class ExplorationMode {
-  /// Algorithm 1: greedy on the immediate Eq. 2 reward, random tie-break.
-  kRewardGreedy = 0,
-  /// Epsilon-greedy on the current Q values (standard SARSA exploration,
-  /// used in ablations).
-  kEpsilonGreedyQ = 1,
-};
-
-/// The temporal-difference target used for the Q update. The paper adapts
-/// on-policy SARSA (Eq. 9, "known to converge faster and with fewer
-/// errors"); the off-policy and expectation variants are provided for the
-/// ablation study.
-enum class UpdateRule {
-  /// r + gamma * Q(s', e') — Eq. 9, on-policy.
-  kSarsa = 0,
-  /// r + gamma * max_e Q(s', e) over admissible actions — Q-learning.
-  kQLearning = 1,
-  /// r + gamma * E_pi[Q(s', e)] under the epsilon-greedy behavior policy.
-  kExpectedSarsa = 2,
-};
-
-/// Learning-phase parameters (the first block of Table III).
-struct SarsaConfig {
-  /// Number of episodes N.
-  int num_episodes = 500;
-  /// Learning rate alpha.
-  double alpha = 0.75;
-  /// Discount factor gamma.
-  double gamma = 0.95;
-  /// Behavior policy.
-  ExplorationMode exploration = ExplorationMode::kRewardGreedy;
-  /// Temporal-difference target (Eq. 9 by default).
-  UpdateRule update_rule = UpdateRule::kSarsa;
-  /// Exploration rate: probability of a uniformly random admissible action
-  /// per step (applies to both behavior policies).
-  double explore_epsilon = 0.1;
-  /// Fixed starting item s_1; -1 picks a random primary item per episode.
-  model::ItemId start_item = -1;
-  /// One-step-lookahead masking of actions that make the hard split
-  /// unsatisfiable (see ActionMask).
-  bool mask_type_overflow = true;
-  /// Policy-iteration rounds (Section III-C frames the learner as policy
-  /// iteration "repeated iteratively until the policy converges"): the
-  /// episode budget is split into this many rounds; after each round the
-  /// greedy policy is rolled out, and if the rollout violates a hard
-  /// constraint the Q-table is decayed by `restart_decay` (breaking a
-  /// locked-in tie-order) and exploration temporarily widens. 1 disables
-  /// the check and reproduces plain SARSA over all N episodes.
-  int policy_rounds = 5;
-  /// Q decay applied when a round's rollout is constraint-violating.
-  double restart_decay = 0.25;
-};
 
 /// The SARSA policy learner of Section III-C / Algorithm 1. Each episode
 /// generates a trajectory of at most H items (H from the credit requirement
 /// for courses, from the time budget for trips), computing Eq. 2 rewards and
 /// applying the Eq. 9 update.
+///
+/// The episode machinery lives in EpisodeRunner (shared with the parallel
+/// learner); this class owns the single RNG stream and the policy-iteration
+/// loop around it. Not copyable: the embedded runner points back into the
+/// learner's own config and RNG.
 class SarsaLearner {
  public:
+  /// Observes each policy-iteration round right after its safety rollout:
+  /// `round` is the 0-based round index, `safe` whether the greedy rollout
+  /// satisfied every hard constraint. Only fires when `policy_rounds > 1`.
+  /// Purely observational — installing one consumes no RNG draws, so the
+  /// learned table is unchanged (ParallelSarsaLearner uses this to record
+  /// time-to-constraint-satisfaction when delegating K=1 runs here).
+  using RoundObserver = std::function<void(int round, bool safe)>;
+
   /// `instance` and `reward` must outlive the learner.
   SarsaLearner(const model::TaskInstance& instance,
                const mdp::RewardFunction& reward, const SarsaConfig& config,
                std::uint64_t seed = 17);
+
+  SarsaLearner(const SarsaLearner&) = delete;
+  SarsaLearner& operator=(const SarsaLearner&) = delete;
 
   /// Runs `config.num_episodes` episodes and returns the learned Q-table.
   mdp::QTable Learn();
@@ -81,44 +46,25 @@ class SarsaLearner {
   /// Total Eq. 2 return of each episode, in order (length = episodes run).
   /// Useful for convergence diagnostics and tests.
   const std::vector<double>& episode_returns() const {
-    return episode_returns_;
+    return runner_.episode_returns();
   }
 
   /// The horizon H used for episodes (courses: #primary + #secondary;
   /// trips: unbounded-by-count, terminated by the time budget — this then
   /// returns the catalog size as a safety cap).
-  int Horizon() const;
+  int Horizon() const { return runner_.Horizon(); }
+
+  void set_round_observer(RoundObserver observer) {
+    round_observer_ = std::move(observer);
+  }
 
  private:
-  // Derives the admissible-action set of `state` into the shared `allowed_`
-  // buffer (one mask scan per step; SelectAction and ContinuationValue both
-  // read the same buffer instead of re-deriving the mask).
-  void ComputeAllowed(const mdp::EpisodeState& state, const ActionMask& mask);
-  // Behavior-policy action selection among the actions in `allowed_`;
-  // -1 = none.
-  model::ItemId SelectAction(const mdp::EpisodeState& state,
-                             const mdp::QTable& q, double explore_epsilon);
-  // Generates one episode and applies the TD updates.
-  void RunEpisode(mdp::QTable& q, const ActionMask& mask,
-                  double explore_epsilon);
-  // The continuation value of (state after `action`, `next_action`) under
-  // the configured update rule, over the actions in `allowed_` (which must
-  // hold the admissible set of `next_state`).
-  double ContinuationValue(const mdp::QTable& q,
-                           const mdp::EpisodeState& next_state,
-                           model::ItemId next_action,
-                           double explore_epsilon) const;
-  model::ItemId PickStart();
-
   const model::TaskInstance* instance_;
   const mdp::RewardFunction* reward_;
   SarsaConfig config_;
   util::Rng rng_;
-  std::vector<double> episode_returns_;
-  // Reusable per-step scratch: the admissible actions of the current state
-  // and the reward/Q-tied best set (avoids two heap allocations per step).
-  std::vector<model::ItemId> allowed_;
-  std::vector<model::ItemId> best_;
+  EpisodeRunner<mdp::QTable> runner_;
+  RoundObserver round_observer_;
 };
 
 }  // namespace rlplanner::rl

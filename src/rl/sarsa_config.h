@@ -1,0 +1,86 @@
+#ifndef RLPLANNER_RL_SARSA_CONFIG_H_
+#define RLPLANNER_RL_SARSA_CONFIG_H_
+
+#include "model/item.h"
+
+namespace rlplanner::rl {
+
+/// How the behavior policy picks actions during learning.
+enum class ExplorationMode {
+  /// Algorithm 1: greedy on the immediate Eq. 2 reward, random tie-break.
+  kRewardGreedy = 0,
+  /// Epsilon-greedy on the current Q values (standard SARSA exploration,
+  /// used in ablations).
+  kEpsilonGreedyQ = 1,
+};
+
+/// The temporal-difference target used for the Q update. The paper adapts
+/// on-policy SARSA (Eq. 9, "known to converge faster and with fewer
+/// errors"); the off-policy and expectation variants are provided for the
+/// ablation study.
+enum class UpdateRule {
+  /// r + gamma * Q(s', e') — Eq. 9, on-policy.
+  kSarsa = 0,
+  /// r + gamma * max_e Q(s', e) over admissible actions — Q-learning.
+  kQLearning = 1,
+  /// r + gamma * E_pi[Q(s', e)] under the epsilon-greedy behavior policy.
+  kExpectedSarsa = 2,
+};
+
+/// How a single training run uses threads (see rl/parallel_sarsa.h).
+enum class ParallelMode {
+  /// The single-threaded SarsaLearner, unchanged.
+  kSerial = 0,
+  /// Sharded episode workers against a per-round snapshot of the Q-table,
+  /// merged at round barriers in fixed worker order. Bit-deterministic for
+  /// a given (seed, num_workers) regardless of physical thread count or
+  /// scheduling; num_workers == 1 is bit-identical to kSerial.
+  kDeterministic = 1,
+  /// Lock-free Hogwild: all workers update one shared table of
+  /// std::atomic<double> via CAS. Fastest, but update interleaving is
+  /// scheduler-dependent, so results are validated statistically, not
+  /// bit-exactly.
+  kHogwild = 2,
+};
+
+/// Learning-phase parameters (the first block of Table III).
+struct SarsaConfig {
+  /// Number of episodes N.
+  int num_episodes = 500;
+  /// Learning rate alpha.
+  double alpha = 0.75;
+  /// Discount factor gamma.
+  double gamma = 0.95;
+  /// Behavior policy.
+  ExplorationMode exploration = ExplorationMode::kRewardGreedy;
+  /// Temporal-difference target (Eq. 9 by default).
+  UpdateRule update_rule = UpdateRule::kSarsa;
+  /// Exploration rate: probability of a uniformly random admissible action
+  /// per step (applies to both behavior policies).
+  double explore_epsilon = 0.1;
+  /// Fixed starting item s_1; -1 picks a random primary item per episode.
+  model::ItemId start_item = -1;
+  /// One-step-lookahead masking of actions that make the hard split
+  /// unsatisfiable (see ActionMask).
+  bool mask_type_overflow = true;
+  /// Policy-iteration rounds (Section III-C frames the learner as policy
+  /// iteration "repeated iteratively until the policy converges"): the
+  /// episode budget is split into this many rounds; after each round the
+  /// greedy policy is rolled out, and if the rollout violates a hard
+  /// constraint the Q-table is decayed by `restart_decay` (breaking a
+  /// locked-in tie-order) and exploration temporarily widens. 1 disables
+  /// the check and reproduces plain SARSA over all N episodes.
+  int policy_rounds = 5;
+  /// Q decay applied when a round's rollout is constraint-violating.
+  double restart_decay = 0.25;
+  /// Intra-run threading of the episode loop (ParallelSarsaLearner).
+  ParallelMode parallel_mode = ParallelMode::kSerial;
+  /// Episode workers K for the parallel modes. Under kDeterministic this is
+  /// a *logical* shard count: the learned table depends on (seed, K) only,
+  /// never on how many physical threads execute the shards.
+  int num_workers = 1;
+};
+
+}  // namespace rlplanner::rl
+
+#endif  // RLPLANNER_RL_SARSA_CONFIG_H_

@@ -55,6 +55,11 @@ void DynamicBitset::Clear() {
   for (Word& w : words_) w = 0;
 }
 
+void DynamicBitset::SetAll() {
+  for (Word& w : words_) w = ~Word{0};
+  TrimTail();
+}
+
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
   assert(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
@@ -80,6 +85,23 @@ DynamicBitset DynamicBitset::AndNot(const DynamicBitset& other) const {
     out.words_[i] = words_[i] & ~other.words_[i];
   }
   return out;
+}
+
+DynamicBitset& DynamicBitset::AndNotAssign(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+  return *this;
+}
+
+void DynamicBitset::AssignComplementOf(const DynamicBitset& other) {
+  size_ = other.size_;
+  words_.resize(other.words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = ~other.words_[i];
+  }
+  TrimTail();
 }
 
 std::size_t DynamicBitset::IntersectCount(const DynamicBitset& other) const {

@@ -1,6 +1,7 @@
 #ifndef RLPLANNER_UTIL_BITSET_H_
 #define RLPLANNER_UTIL_BITSET_H_
 
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -30,6 +31,9 @@ class DynamicBitset {
   void Set(std::size_t index, bool value = true);
   bool Test(std::size_t index) const;
 
+  /// Sets every bit (tail bits past `size()` stay zero).
+  void SetAll();
+
   /// Number of set bits.
   std::size_t Count() const;
   /// True when at least one bit is set.
@@ -46,6 +50,14 @@ class DynamicBitset {
   /// Returns `this & ~other` (set difference).
   DynamicBitset AndNot(const DynamicBitset& other) const;
 
+  /// In-place set difference: `this &= ~other`. Word-level, no allocation.
+  DynamicBitset& AndNotAssign(const DynamicBitset& other);
+
+  /// Makes this the complement of `other` (`this = ~other`), resizing to
+  /// `other.size()`. Word-level, allocation-free when capacities match —
+  /// the seed operation of candidate scans ("every item not yet chosen").
+  void AssignComplementOf(const DynamicBitset& other);
+
   /// Number of bits set in both `this` and `other` (popcount of the AND).
   std::size_t IntersectCount(const DynamicBitset& other) const;
   /// True when `this` and `other` share at least one set bit.
@@ -53,6 +65,32 @@ class DynamicBitset {
 
   /// Renders as a string of '0'/'1' characters, index 0 first.
   std::string ToString() const;
+
+  /// Invokes `fn(base_index, word)` for every *non-zero* 64-bit word, where
+  /// `base_index` is the bit index of the word's bit 0. Zero words are
+  /// skipped, so sparse sets cost O(words) tests plus O(set words) calls.
+  /// The word-level kernel the hot candidate scans are built on.
+  template <typename Fn>
+  void ForEachSetWord(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != 0) fn(w * kWordBits, words_[w]);
+    }
+  }
+
+  /// Invokes `fn(bit_index)` for every set bit in ascending index order,
+  /// extracting bits a word at a time (countr_zero + clear-lowest) instead
+  /// of testing every index. Replaces per-id `allowed(id)` callback loops.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * kWordBits + static_cast<std::size_t>(bit));
+        word &= word - 1;  // clear the lowest set bit
+      }
+    }
+  }
 
  private:
   using Word = std::uint64_t;

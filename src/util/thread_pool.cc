@@ -4,6 +4,16 @@
 
 namespace rlplanner::util {
 
+namespace {
+
+// Depth of ParallelFor task execution on this thread (any pool). Non-zero
+// while the thread is inside some job's fn; a ParallelFor issued at that
+// point must not block the thread on a completion latch (see the class
+// comment in the header), so it runs its range serially inline.
+thread_local int parallel_region_depth = 0;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -27,7 +37,9 @@ void ThreadPool::RunIndices(Job& job) {
   while (true) {
     const std::size_t index = job.next.fetch_add(1);
     if (index >= job.n) return;
+    ++parallel_region_depth;
     (*job.fn)(index);
+    --parallel_region_depth;
     const std::size_t done = job.completed.fetch_add(1) + 1;
     if (done == job.n) {
       // Take and drop the lock so the waiter cannot miss the notify between
@@ -61,7 +73,11 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || workers_.empty()) {
+  if (n == 1 || workers_.empty() || parallel_region_depth > 0) {
+    // Trivial range, no workers, or a nested call from inside a running
+    // ParallelFor task: execute inline. The nested case must never enqueue
+    // a job — parking this (worker) thread on the inner latch while every
+    // other worker does the same deadlocks the pool.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

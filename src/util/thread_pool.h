@@ -17,9 +17,12 @@ namespace rlplanner::util {
 ///
 /// The only scheduling primitive is `ParallelFor`, which runs `fn(i)` for
 /// every index of a range across the workers *and the calling thread*.
-/// Caller participation makes nested use (a pooled task itself calling
-/// ParallelFor) deadlock-free: the inner call simply executes its indices
-/// inline while idle workers help.
+/// A nested call — ParallelFor issued from inside a task that is itself
+/// running under any pool's ParallelFor — degrades to a plain serial loop
+/// on the calling thread. Without that rule a nested caller parks a worker
+/// on the inner job's completion latch; with every worker parked this way
+/// (e.g. PlanService workers that each start a parallel training run)
+/// no thread is left to claim indices and the pool deadlocks.
 ///
 /// Determinism contract: the pool assigns *indices*, never shared RNG
 /// state. Each parallel run must derive everything stochastic from its own
@@ -40,9 +43,16 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// Number of pool workers (excluding the participating caller). Sizing
+  /// hook for layers that shard work by worker count (parallel training,
+  /// the serving layer).
+  std::size_t NumWorkers() const { return workers_.size(); }
+
   /// Runs `fn(i)` for every `i` in [0, n), blocking until all complete.
   /// Indices are claimed atomically in ascending order; the calling thread
   /// participates. `fn` must be safe to invoke concurrently with itself.
+  /// Called from inside a ParallelFor task (any pool), runs serially inline
+  /// instead — see the class comment.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

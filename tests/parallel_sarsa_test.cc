@@ -1,0 +1,202 @@
+// Tests for the intra-run parallel SARSA learner: bit-determinism of the
+// sharded merge mode, bit-exact K=1 delegation to the serial learner, and
+// the statistical contract of the Hogwild mode.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/scoring.h"
+#include "datagen/course_data.h"
+#include "mdp/cmdp.h"
+#include "rl/parallel_sarsa.h"
+#include "rl/recommender.h"
+#include "rl/sarsa.h"
+#include "util/thread_pool.h"
+
+namespace rlplanner::rl {
+namespace {
+
+SarsaConfig ParallelConfig(ParallelMode mode, int workers, int episodes,
+                           model::ItemId start) {
+  SarsaConfig config;
+  config.num_episodes = episodes;
+  config.start_item = start;
+  config.parallel_mode = mode;
+  config.num_workers = workers;
+  return config;
+}
+
+// ------------------------------------------------- deterministic mode --
+
+TEST(ParallelSarsaTest, SameSeedSameWorkersIsBitIdentical) {
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  const mdp::RewardWeights weights;
+  const mdp::RewardFunction reward(instance, weights);
+  const SarsaConfig config = ParallelConfig(ParallelMode::kDeterministic, 4,
+                                            100, dataset.default_start);
+
+  ParallelSarsaLearner first(instance, reward, config, /*seed=*/123);
+  ParallelSarsaLearner second(instance, reward, config, /*seed=*/123);
+  const mdp::QTable q1 = first.Learn();
+  const mdp::QTable q2 = second.Learn();
+  EXPECT_TRUE(q1 == q2);
+  EXPECT_EQ(first.episode_returns(), second.episode_returns());
+}
+
+TEST(ParallelSarsaTest, DeterministicResultIndependentOfThreadCount) {
+  // The same (seed, K) must learn the same table whether the shards run on
+  // an external 2-thread pool or the learner's own K-thread pool — physical
+  // threading is a wall-clock concern only.
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  const mdp::RewardWeights weights;
+  const mdp::RewardFunction reward(instance, weights);
+  const SarsaConfig config = ParallelConfig(ParallelMode::kDeterministic, 4,
+                                            100, dataset.default_start);
+
+  util::ThreadPool small_pool(2);
+  ParallelSarsaLearner pooled(instance, reward, config, /*seed=*/9,
+                              &small_pool);
+  ParallelSarsaLearner owned(instance, reward, config, /*seed=*/9);
+  const mdp::QTable q1 = pooled.Learn();
+  const mdp::QTable q2 = owned.Learn();
+  EXPECT_TRUE(q1 == q2);
+  EXPECT_EQ(pooled.episode_returns(), owned.episode_returns());
+}
+
+TEST(ParallelSarsaTest, SingleWorkerIsBitIdenticalToSerialLearner) {
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  const mdp::RewardWeights weights;
+  const mdp::RewardFunction reward(instance, weights);
+  const SarsaConfig parallel_config = ParallelConfig(
+      ParallelMode::kDeterministic, 1, 100, dataset.default_start);
+
+  ParallelSarsaLearner parallel(instance, reward, parallel_config,
+                                /*seed=*/77);
+  const mdp::QTable q_parallel = parallel.Learn();
+
+  SarsaConfig serial_config = parallel_config;
+  serial_config.parallel_mode = ParallelMode::kSerial;
+  serial_config.num_workers = 1;
+  SarsaLearner serial(instance, reward, serial_config, /*seed=*/77);
+  const mdp::QTable q_serial = serial.Learn();
+
+  EXPECT_TRUE(q_parallel == q_serial);
+  EXPECT_EQ(parallel.episode_returns(), serial.episode_returns());
+}
+
+TEST(ParallelSarsaTest, RunsExactlyTheConfiguredEpisodeBudget) {
+  datagen::Dataset dataset = datagen::MakeTableIIToy();
+  const model::TaskInstance instance = dataset.Instance();
+  const mdp::RewardWeights weights;
+  const mdp::RewardFunction reward(instance, weights);
+  // 103 episodes over 4 workers and 5 rounds exercises both the uneven
+  // shard remainder and the uneven round remainder.
+  const SarsaConfig config =
+      ParallelConfig(ParallelMode::kDeterministic, 4, 103, 0);
+
+  ParallelSarsaLearner learner(instance, reward, config, /*seed=*/5);
+  const mdp::QTable q = learner.Learn();
+  EXPECT_EQ(q.num_items(), dataset.catalog.size());
+  EXPECT_EQ(learner.episode_returns().size(), 103u);
+}
+
+TEST(ParallelSarsaTest, WorkerSeedsAreDistinctAcrossRoundsAndWorkers) {
+  std::set<std::uint64_t> seen;
+  for (int round = 0; round < 8; ++round) {
+    for (int worker = 0; worker < 16; ++worker) {
+      seen.insert(ParallelSarsaLearner::WorkerSeed(17, round, worker));
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 16u);
+  // Different run seeds decorrelate every shard stream.
+  EXPECT_NE(ParallelSarsaLearner::WorkerSeed(17, 0, 0),
+            ParallelSarsaLearner::WorkerSeed(18, 0, 0));
+}
+
+// ------------------------------------------------------- atomic table --
+
+TEST(AtomicQTableTest, SarsaUpdateMatchesPlainTableSingleThreaded) {
+  mdp::QTable plain(4);
+  AtomicQTable atomic(4);
+  plain.Set(1, 2, 0.5);
+  atomic.Set(1, 2, 0.5);
+  plain.Set(2, 3, 1.5);
+  atomic.Set(2, 3, 1.5);
+
+  plain.SarsaUpdate(1, 2, 0.7, 2, 3, 0.75, 0.95);
+  atomic.SarsaUpdate(1, 2, 0.7, 2, 3, 0.75, 0.95);
+  EXPECT_DOUBLE_EQ(atomic.Get(1, 2), plain.Get(1, 2));
+
+  // Terminal transition: no continuation value.
+  plain.SarsaUpdate(2, 3, -0.2, 3, -1, 0.75, 0.95);
+  atomic.SarsaUpdate(2, 3, -0.2, 3, -1, 0.75, 0.95);
+  EXPECT_DOUBLE_EQ(atomic.Get(2, 3), plain.Get(2, 3));
+
+  EXPECT_TRUE(atomic.ToQTable() == plain);
+}
+
+TEST(AtomicQTableTest, LoadFromRoundTrips) {
+  mdp::QTable plain(3);
+  plain.Set(0, 1, -1.25);
+  plain.Set(2, 2, 3.5);
+  AtomicQTable atomic(3);
+  atomic.LoadFrom(plain);
+  EXPECT_TRUE(atomic.ToQTable() == plain);
+}
+
+// ------------------------------------------------------ Hogwild mode --
+
+TEST(ParallelSarsaTest, HogwildPolicySatisfiesHardConstraints) {
+  // Hogwild results are scheduling-dependent, so the contract is
+  // statistical: across seeds, the greedy rollout of the learned policy
+  // must satisfy every hard constraint, and its plan score must be in the
+  // same range as the serial learner's.
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  const mdp::RewardWeights weights;
+  const mdp::RewardFunction reward(instance, weights);
+  const mdp::CmdpSpec spec = mdp::CmdpSpec::FromInstance(instance);
+
+  RecommendConfig rollout;
+  rollout.start_item = dataset.default_start;
+
+  for (std::uint64_t seed = 100; seed < 105; ++seed) {
+    SarsaConfig serial_config = ParallelConfig(ParallelMode::kSerial, 1, 500,
+                                               dataset.default_start);
+    SarsaLearner serial(instance, reward, serial_config, seed);
+    const mdp::QTable q_serial = serial.Learn();
+    const model::Plan serial_plan =
+        RecommendPlan(q_serial, instance, reward, rollout);
+    ASSERT_TRUE(spec.Satisfied(serial_plan)) << "serial unsafe, seed " << seed;
+
+    const SarsaConfig hogwild_config = ParallelConfig(
+        ParallelMode::kHogwild, 4, 500, dataset.default_start);
+    ParallelSarsaLearner hogwild(instance, reward, hogwild_config, seed);
+    const mdp::QTable q_hogwild = hogwild.Learn();
+    const model::Plan hogwild_plan =
+        RecommendPlan(q_hogwild, instance, reward, rollout);
+    EXPECT_TRUE(spec.Satisfied(hogwild_plan)) << "hogwild unsafe, seed "
+                                              << seed;
+
+    const double serial_score = core::ScorePlan(instance, serial_plan);
+    const double hogwild_score = core::ScorePlan(instance, hogwild_plan);
+    // On Univ-1 the learner's outcome is bimodal: every (seed, budget)
+    // combination converges to one of two feasible policies (scores ~4.8
+    // and ~10.0), and the *serial* learner itself lands on the low mode at
+    // other seeds/budgets. Per-seed parity is therefore not a property
+    // even of two serial runs; the statistical contract is "no policy
+    // collapse": the Hogwild score must stay inside the serial support,
+    // i.e. above a floor set between zero and the low mode.
+    EXPECT_GE(hogwild_score, 0.45 * serial_score) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rlplanner::rl

@@ -59,6 +59,54 @@ TEST(QTableTest, ArgmaxRespectsFilterAndBreaksTiesLow) {
   EXPECT_EQ(q.ArgmaxAction(0, [](model::ItemId) { return false; }), -1);
 }
 
+TEST(QTableTest, BitsetArgmaxMatchesCallbackOverload) {
+  // The word-scan overload must reproduce the callback overload exactly,
+  // including the lowest-allowed-id tie-break and the "all-negative row
+  // still returns the first allowed id" behavior — checked on randomized
+  // tables and randomized admissible sets, sized to cross word boundaries.
+  util::Rng rng(99);
+  for (const std::size_t n : {1u, 7u, 64u, 65u, 130u}) {
+    QTable q(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t a = 0; a < n; ++a) {
+        // Coarse quantization forces frequent exact ties.
+        q.Set(static_cast<model::ItemId>(s), static_cast<model::ItemId>(a),
+              (static_cast<double>(rng.NextBounded(7)) - 3.0) / 2.0);
+      }
+    }
+    for (int trial = 0; trial < 20; ++trial) {
+      util::DynamicBitset allowed(n);
+      for (std::size_t a = 0; a < n; ++a) {
+        if (rng.NextBernoulli(trial % 2 == 0 ? 0.3 : 0.9)) allowed.Set(a);
+      }
+      const auto state =
+          static_cast<model::ItemId>(rng.NextIndex(n));
+      const model::ItemId via_callback = q.ArgmaxAction(
+          state, [&](model::ItemId a) {
+            return allowed.Test(static_cast<std::size_t>(a));
+          });
+      EXPECT_EQ(q.ArgmaxAction(state, allowed), via_callback)
+          << "n=" << n << " state=" << state;
+    }
+  }
+}
+
+TEST(QTableTest, AccumulateDeltaFoldsWorkerDeltas) {
+  QTable base(2);
+  base.Set(0, 1, 1.0);
+  QTable merged = base;
+  QTable worker_a = base;
+  worker_a.Set(0, 1, 1.5);   // delta +0.5
+  worker_a.Set(1, 0, 2.0);   // delta +2.0
+  QTable worker_b = base;
+  worker_b.Set(0, 1, 0.25);  // delta -0.75
+  merged.AccumulateDelta(worker_a, base);
+  merged.AccumulateDelta(worker_b, base);
+  EXPECT_DOUBLE_EQ(merged.Get(0, 1), 1.0 + 0.5 - 0.75);
+  EXPECT_DOUBLE_EQ(merged.Get(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(merged.Get(1, 1), 0.0);
+}
+
 TEST(QTableTest, ScaleMultipliesEverything) {
   QTable q(2);
   q.Set(0, 1, 4.0);

@@ -51,6 +51,22 @@ TEST_F(ToyRewardTest, EpisodeStateTracksEverything) {
   EXPECT_EQ(state.ToPlan().size(), 2u);
 }
 
+TEST_F(ToyRewardTest, ChosenItemsBitsetTracksPositionOf) {
+  // chosen_items() is the word-level mirror of position_of(); candidate
+  // scans seed from its complement, so the two must stay in lockstep.
+  EpisodeState state(instance_);
+  EXPECT_EQ(state.chosen_items().size(), instance_.catalog->size());
+  EXPECT_EQ(state.chosen_items().Count(), 0u);
+  state.Add(Id("m1"));
+  state.Add(Id("m3"));
+  EXPECT_EQ(state.chosen_items().Count(), 2u);
+  for (std::size_t i = 0; i < instance_.catalog->size(); ++i) {
+    EXPECT_EQ(state.chosen_items().Test(i),
+              state.position_of()[i] >= 0)
+        << "item " << i;
+  }
+}
+
 TEST_F(ToyRewardTest, PaperTopicCoverageExample) {
   // Paper: with epsilon=1 and T_ideal from Example 1, s2(m2)->s4(m4) has
   // r1=1 but s2(m2)->s5(m5) has r1=0 (Big Data adds no ideal topic).

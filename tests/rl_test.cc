@@ -133,6 +133,48 @@ TEST(ActionMaskTest, BlocksActionsThatStrandAPendingCore) {
   EXPECT_TRUE(mask.Allowed(state, id("MATH 661")));
 }
 
+// Randomized old-vs-new equivalence: the word-level AllowedSet must agree
+// bit-for-bit with the per-id Allowed() loop on every state a random
+// admissible episode can reach, across both domains and both mask settings.
+TEST(ActionMaskTest, AllowedSetMatchesPerIdScanOnRandomEpisodes) {
+  const std::vector<datagen::Dataset> datasets = {
+      datagen::MakeTableIIToy(), datagen::MakeUniv1DsCt(),
+      datagen::MakeUniv2Ds(), datagen::MakeNycTrip()};
+  util::Rng rng(2024);
+  for (const datagen::Dataset& dataset : datasets) {
+    const model::TaskInstance instance = dataset.Instance();
+    mdp::RewardWeights weights;
+    const mdp::RewardFunction reward(instance, weights);
+    const int horizon =
+        dataset.catalog.domain() == model::Domain::kTrip
+            ? static_cast<int>(dataset.catalog.size())
+            : instance.hard.TotalItems();
+    for (const bool overflow_mask : {true, false}) {
+      const ActionMask mask(reward, horizon, overflow_mask);
+      util::DynamicBitset allowed(dataset.catalog.size());
+      for (int episode = 0; episode < 8; ++episode) {
+        mdp::EpisodeState state(instance);
+        state.Add(static_cast<model::ItemId>(
+            rng.NextIndex(dataset.catalog.size())));
+        while (static_cast<int>(state.Length()) < horizon) {
+          mask.AllowedSet(state, &allowed);
+          std::vector<model::ItemId> expected;
+          for (std::size_t i = 0; i < dataset.catalog.size(); ++i) {
+            const auto item = static_cast<model::ItemId>(i);
+            EXPECT_EQ(allowed.Test(i), mask.Allowed(state, item))
+                << dataset.name << " item " << i << " at length "
+                << state.Length();
+            if (mask.Allowed(state, item)) expected.push_back(item);
+          }
+          ASSERT_EQ(allowed.Count(), expected.size());
+          if (expected.empty()) break;
+          state.Add(expected[rng.NextIndex(expected.size())]);
+        }
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------------ SARSA --
 
 TEST(SarsaTest, LearnsNonTrivialQTableOnToy) {

@@ -113,6 +113,67 @@ TEST(BitsetTest, EqualityComparesBits) {
                DynamicBitset::FromBits({1, 0, 0}));
 }
 
+TEST(BitsetTest, SetAllSetsEveryBitAndTrimsTail) {
+  DynamicBitset bits(70);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 70u);
+  bits.Resize(71);  // the bit past the old size must have stayed zero
+  EXPECT_FALSE(bits.Test(70));
+  DynamicBitset empty(0);
+  empty.SetAll();
+  EXPECT_EQ(empty.Count(), 0u);
+}
+
+TEST(BitsetTest, AndNotAssignClearsOtherBitsInPlace) {
+  DynamicBitset bits = DynamicBitset::FromBits({1, 1, 0, 1});
+  const DynamicBitset mask = DynamicBitset::FromBits({0, 1, 1, 0});
+  bits.AndNotAssign(mask);
+  EXPECT_EQ(bits, DynamicBitset::FromBits({1, 0, 0, 1}));
+}
+
+TEST(BitsetTest, AssignComplementOfFlipsAndResizes) {
+  DynamicBitset chosen(130);
+  chosen.Set(0);
+  chosen.Set(64);
+  chosen.Set(129);
+  DynamicBitset complement(5);  // wrong size on purpose: must resize
+  complement.AssignComplementOf(chosen);
+  EXPECT_EQ(complement.size(), 130u);
+  EXPECT_EQ(complement.Count(), 127u);
+  EXPECT_FALSE(complement.Test(0));
+  EXPECT_FALSE(complement.Test(64));
+  EXPECT_FALSE(complement.Test(129));
+  EXPECT_TRUE(complement.Test(1));
+  // The tail bits past 130 stay clear, so Count() cannot overcount.
+  complement.Resize(192);
+  EXPECT_EQ(complement.Count(), 127u);
+}
+
+TEST(BitsetTest, ForEachSetBitVisitsAscendingAcrossWords) {
+  DynamicBitset bits(200);
+  const std::vector<std::size_t> expected = {0, 1, 63, 64, 65, 127, 199};
+  for (std::size_t i : expected) bits.Set(i);
+  std::vector<std::size_t> seen;
+  bits.ForEachSetBit([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitsetTest, ForEachSetWordSkipsZeroWords) {
+  DynamicBitset bits(256);
+  bits.Set(2);
+  bits.Set(130);
+  bits.Set(131);
+  std::vector<std::pair<std::size_t, std::uint64_t>> words;
+  bits.ForEachSetWord([&](std::size_t base, std::uint64_t word) {
+    words.emplace_back(base, word);
+  });
+  ASSERT_EQ(words.size(), 2u);  // words 1 and 3 are zero and skipped
+  EXPECT_EQ(words[0].first, 0u);
+  EXPECT_EQ(words[0].second, std::uint64_t{1} << 2);
+  EXPECT_EQ(words[1].first, 128u);
+  EXPECT_EQ(words[1].second, (std::uint64_t{1} << 2) | (std::uint64_t{1} << 3));
+}
+
 TEST(RngTest, DeterministicForSameSeed) {
   Rng a(123);
   Rng b(123);
@@ -355,6 +416,25 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
 TEST(ThreadPoolTest, DefaultSizeUsesAtLeastOneThread) {
   ThreadPool pool;
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, NumWorkersReportsPoolSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.NumWorkers(), 3u);
+  EXPECT_EQ(pool.NumWorkers(), pool.num_threads());
+}
+
+TEST(ThreadPoolTest, NestedCallsAcrossPoolsDegradeSerially) {
+  // A ParallelFor issued from inside *another pool's* task must also run
+  // inline: the depth marker is per-thread, not per-pool, so no worker is
+  // ever parked on an inner latch.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> total{0};
+  outer.ParallelFor(4, [&](std::size_t) {
+    inner.ParallelFor(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
 }
 
 }  // namespace

@@ -5,7 +5,11 @@
 #   2. ASan + UBSan (-DRLPLANNER_SANITIZE=ON) to catch memory and UB bugs
 #      the optimized hot path could otherwise hide, and
 #   3. TSan (-DRLPLANNER_SANITIZE=thread) over the concurrency-heavy tests
-#      (the serving layer and its thread-pool substrate).
+#      (the serving layer, the parallel SARSA trainer, and their
+#      thread-pool substrate).
+# The Release lane also smoke-runs bench/train_bench with a tiny episode
+# budget and validates the BENCH_train.json it emits, so a malformed
+# benchmark artifact fails the check rather than the downstream plots.
 # Set RLPLANNER_SANITIZE=thread to run only the TSan lane (the mode CI's
 # sanitizer matrix uses); any other value runs everything.
 # Usage: tools/check.sh  (from the repo root; build trees go to build/,
@@ -21,10 +25,32 @@ run_tsan_lane() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRLPLANNER_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}"
-  # The serving layer is where the threads are; util_test covers the
-  # ThreadPool substrate it runs on.
+  # The serving layer and the parallel trainer are where the threads are;
+  # util_test covers the ThreadPool substrate both run on. The
+  # parallel_sarsa tests drive the sharded-merge barrier and the Hogwild
+  # CAS loop under TSan.
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -R 'serve_test|util_test'
+    -R 'serve_test|util_test|parallel_sarsa_test'
+}
+
+run_bench_smoke() {
+  echo "==> Training-bench smoke run (JSON shape check)"
+  ./build/bench/train_bench --smoke
+  python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_train.json") as f:
+    doc = json.load(f)
+assert isinstance(doc["hardware_threads"], int) and doc["hardware_threads"] >= 1
+assert doc["smoke"] is True
+runs = doc["benchmarks"]
+assert runs, "no benchmark entries"
+for run in runs:
+    for key in ("name", "mode", "workers", "episodes", "seconds",
+                "episodes_per_sec", "time_to_safe_seconds"):
+        assert key in run, f"missing {key} in {run.get('name', '?')}"
+    assert run["episodes_per_sec"] > 0, run["name"]
+print(f"BENCH_train.json OK ({len(runs)} entries)")
+EOF
 }
 
 if [ "${MODE}" = "thread" ]; then
@@ -37,6 +63,8 @@ echo "==> Release build + tests"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+run_bench_smoke
 
 echo "==> ASan/UBSan build + tests"
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
