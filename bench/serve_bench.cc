@@ -232,6 +232,15 @@ HotSwapResult RunHotSwap(const rlplanner::model::TaskInstance& instance,
       std::exit(1);
     }
   }
+  // The registry-backed per-version counters must agree exactly with the
+  // client-side tallies: every future the clients resolved corresponds to
+  // one serve_responses_total{version=...} increment, even across swaps.
+  if (result.stats.responses_by_version != responses_by_version) {
+    std::fprintf(stderr,
+                 "registry per-version counters disagree with client-side "
+                 "tallies\n");
+    std::exit(1);
+  }
   // Closed-loop clients retry ResourceExhausted, so a rejection is
   // "incorrect" only if it prevented a request from ever completing.
   const std::uint64_t expected =

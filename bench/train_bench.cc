@@ -27,6 +27,8 @@
 #include "datagen/course_data.h"
 #include "datagen/synthetic.h"
 #include "mdp/reward.h"
+#include "obs/registry.h"
+#include "obs/training_metrics.h"
 #include "rl/parallel_sarsa.h"
 #include "rl/sarsa.h"
 #include "rl/sarsa_config.h"
@@ -52,6 +54,9 @@ struct RunResult {
   double seconds = 0.0;
   double episodes_per_sec = 0.0;
   double time_to_safe_seconds = -1.0;  // -1: no safe round observed
+  std::uint64_t steps = 0;             // TD updates applied
+  double td_error_abs_p95 = 0.0;       // |TD error| 95th percentile
+  double merge_wait_p95_us = 0.0;      // det-mode barrier wait (0 otherwise)
   bool ok = false;
 };
 
@@ -121,15 +126,29 @@ RunResult RunOne(const Scenario& scenario, ParallelMode mode, int workers,
 
   // kSerial runs the plain SarsaLearner via the parallel learner's
   // delegation (identical table and draws; the wrapper only adds the
-  // round observer that records time-to-safe).
+  // round observer that records time-to-safe). Every run records into its
+  // own registry, which also exercises the metrics hot path under bench
+  // load — the reported throughput is the instrumented throughput.
+  rlplanner::obs::Registry registry;
+  rlplanner::obs::TrainingMetrics metrics(&registry);
   const double begin = Now();
   rlplanner::rl::ParallelSarsaLearner learner(instance, reward, config,
                                               /*seed=*/17);
+  learner.set_metrics(&metrics);
   const rlplanner::mdp::QTable q = learner.Learn();
   result.time_to_safe_seconds = learner.time_to_safe_seconds();
   result.ok = q.num_items() == scenario.dataset.catalog.size() &&
               static_cast<int>(learner.episode_returns().size()) == episodes;
   result.seconds = Now() - begin;
+  for (const auto& metric : registry.Collect().metrics) {
+    if (metric.name == "train_steps_total") {
+      result.steps = static_cast<std::uint64_t>(metric.value);
+    } else if (metric.name == "train_td_error_abs_micro") {
+      result.td_error_abs_p95 = metric.p95 / 1e6;
+    } else if (metric.name == "train_merge_barrier_wait_us") {
+      result.merge_wait_p95_us = metric.p95;
+    }
+  }
   if (result.seconds > 0.0) {
     result.episodes_per_sec = episodes / result.seconds;
   }
@@ -141,10 +160,12 @@ void PrintEntry(std::FILE* f, const RunResult& r, bool last) {
                "    {\"name\": \"%s\", \"mode\": \"%s\", \"workers\": %d, "
                "\"catalog_items\": %zu, \"episodes\": %d, "
                "\"seconds\": %.4f, \"episodes_per_sec\": %.1f, "
-               "\"time_to_safe_seconds\": %.4f}%s\n",
+               "\"time_to_safe_seconds\": %.4f, \"steps\": %llu, "
+               "\"td_error_abs_p95\": %.4f, \"merge_wait_p95_us\": %.1f}%s\n",
                r.name.c_str(), r.mode, r.workers, r.catalog_items, r.episodes,
                r.seconds, r.episodes_per_sec, r.time_to_safe_seconds,
-               last ? "" : ",");
+               static_cast<unsigned long long>(r.steps), r.td_error_abs_p95,
+               r.merge_wait_p95_us, last ? "" : ",");
 }
 
 int RunAll(bool smoke) {

@@ -7,6 +7,10 @@
 #include "rl/recommender.h"
 #include "rl/sarsa.h"
 
+namespace rlplanner::obs {
+class Registry;
+}  // namespace rlplanner::obs
+
 namespace rlplanner::core {
 
 /// Everything needed to train and query RL-Planner on one task instance.
@@ -22,6 +26,11 @@ struct PlannerConfig {
   bool use_beam_search = false;
   /// Beam parameters (used when use_beam_search is set).
   rl::BeamConfig beam;
+  /// Metrics registry Train() records into (not owned; may be null for no
+  /// instrumentation). Lives here rather than on SarsaConfig because the
+  /// latter is serialized into snapshot provenance — a process-local
+  /// pointer has no business in a persisted config.
+  obs::Registry* metrics = nullptr;
 
   /// Cross-field checks (weights valid, N positive, alpha/gamma in range).
   util::Status Validate() const;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/scoring.h"
+#include "obs/training_metrics.h"
 #include "rl/parallel_sarsa.h"
 #include "rl/recommender.h"
 #include "rl/sarsa.h"
@@ -17,14 +18,21 @@ RlPlanner::RlPlanner(const model::TaskInstance& instance,
       config_(std::move(config)),
       reward_(*instance_, config_.reward) {}
 
+RlPlanner::~RlPlanner() = default;
+
 util::Status RlPlanner::Train() {
   RLP_RETURN_IF_ERROR(config_.Validate());
   RLP_RETURN_IF_ERROR(instance_->Validate());
+  training_metrics_ =
+      config_.metrics != nullptr
+          ? std::make_unique<obs::TrainingMetrics>(config_.metrics)
+          : nullptr;
   const auto start = std::chrono::steady_clock::now();
   if (config_.sarsa.parallel_mode != rl::ParallelMode::kSerial &&
       config_.sarsa.num_workers > 1) {
     rl::ParallelSarsaLearner learner(*instance_, reward_, config_.sarsa,
                                      config_.seed);
+    learner.set_metrics(training_metrics_.get());
     q_ = learner.Learn();
     episode_returns_ = learner.episode_returns();
   } else {
@@ -32,6 +40,7 @@ util::Status RlPlanner::Train() {
     // delegate straight back here anyway).
     rl::SarsaLearner learner(*instance_, reward_, config_.sarsa,
                              config_.seed);
+    learner.set_metrics(training_metrics_.get());
     q_ = learner.Learn();
     episode_returns_ = learner.episode_returns();
   }

@@ -13,6 +13,10 @@
 #include "model/plan.h"
 #include "rl/recommender.h"
 
+namespace rlplanner::obs {
+class TrainingMetrics;
+}  // namespace rlplanner::obs
+
 namespace rlplanner::core {
 
 /// The RL-Planner facade — the library's main entry point.
@@ -28,8 +32,11 @@ namespace rlplanner::core {
 /// instead of training.
 class RlPlanner {
  public:
-  /// `instance` must outlive the planner; `config` is copied.
+  /// `instance` must outlive the planner; `config` is copied (including the
+  /// non-owned `config.metrics` registry pointer, which must then outlive
+  /// the planner too).
   RlPlanner(const model::TaskInstance& instance, PlannerConfig config);
+  ~RlPlanner();
 
   RlPlanner(const RlPlanner&) = delete;
   RlPlanner& operator=(const RlPlanner&) = delete;
@@ -66,6 +73,12 @@ class RlPlanner {
   /// Wall-clock seconds of the last Train() call.
   double train_seconds() const { return train_seconds_; }
 
+  /// Per-round training metrics of the last Train() call; null when
+  /// `config.metrics` was null or Train() has not run.
+  const obs::TrainingMetrics* training_metrics() const {
+    return training_metrics_.get();
+  }
+
   /// Per-episode returns of the last Train() call.
   const std::vector<double>& episode_returns() const {
     return episode_returns_;
@@ -85,6 +98,9 @@ class RlPlanner {
   mdp::RewardFunction reward_;
   std::optional<mdp::QTable> q_;
   std::vector<double> episode_returns_;
+  // Created per Train() call when config_.metrics is set (unique_ptr keeps
+  // obs/training_metrics.h out of this header; hence the out-of-line dtor).
+  std::unique_ptr<obs::TrainingMetrics> training_metrics_;
   double train_seconds_ = 0.0;
 };
 

@@ -1,0 +1,74 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rlplanner::obs {
+
+int Histogram::BucketIndex(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  int msb = std::bit_width(value) - 1;  // >= kSubBits
+  int octave = msb - kSubBits;
+  if (octave > kOctaves - 1) {  // clamp overlong values to the top octave
+    octave = kOctaves - 1;
+    msb = octave + kSubBits;
+    value = (std::uint64_t{1} << (msb + 1)) - 1;
+  }
+  // The kSubBits bits below the leading 1 select the linear sub-bucket.
+  const int sub =
+      static_cast<int>((value >> (msb - kSubBits)) & (kSubBuckets - 1));
+  return kSubBuckets + octave * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int octave = (index - kSubBuckets) / kSubBuckets;
+  const int sub = (index - kSubBuckets) % kSubBuckets;
+  const std::uint64_t lower =
+      (std::uint64_t{kSubBuckets} + static_cast<std::uint64_t>(sub)) << octave;
+  return lower + (std::uint64_t{1} << octave) - 1;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  if (!enabled_) return;
+  buckets_[static_cast<std::size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen && !max_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::RecordRounded(double value) {
+  Record(value <= 0.0 ? 0
+                      : static_cast<std::uint64_t>(std::llround(value)));
+}
+
+double Histogram::Mean() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += BucketCount(i);
+    if (cumulative >= target) {
+      return std::min(static_cast<double>(BucketUpperBound(i)),
+                      static_cast<double>(Max()));
+    }
+  }
+  return static_cast<double>(Max());
+}
+
+}  // namespace rlplanner::obs

@@ -1,0 +1,81 @@
+#ifndef RLPLANNER_OBS_HISTOGRAM_H_
+#define RLPLANNER_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace rlplanner::obs {
+
+/// A lock-free log-linear histogram (HDR-style) over non-negative integer
+/// values: 8 linear sub-buckets per power-of-two octave, giving <= 12.5%
+/// relative quantile error from 0 up to 2^43 with a fixed 328-counter
+/// footprint. Record() is one relaxed atomic increment on the value's
+/// bucket plus sharding-friendly count/sum bookkeeping; quantile queries
+/// walk the cumulative counts.
+///
+/// The value unit is the caller's choice (the serving layer records
+/// microseconds, the trainer records TD-error magnitudes scaled by 1e6);
+/// the bucket boundaries returned by BucketUpperBound() are the single
+/// source of truth shared by the serving stats, the exporters, and the
+/// benches — nothing else duplicates the bucket math.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;  // 8 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr int kOctaves = 40;
+  static constexpr int kNumBuckets = kSubBuckets + kSubBuckets * kOctaves;
+
+  explicit Histogram(bool enabled = true) : enabled_(enabled) {}
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// The bucket holding `value`. Values past the top octave clamp into the
+  /// last bucket.
+  static int BucketIndex(std::uint64_t value);
+
+  /// Inclusive upper bound of bucket `index` (the value the quantile query
+  /// reports for observations that landed in it).
+  static std::uint64_t BucketUpperBound(int index);
+
+  void Record(std::uint64_t value);
+
+  /// Convenience for callers measuring in doubles: records
+  /// llround(max(value, 0)).
+  void RecordRounded(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Largest recorded value (exact, not bucketed); 0 when empty.
+  std::uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Mean recorded value (0 when empty).
+  double Mean() const;
+
+  /// The `q`-quantile (q in [0, 1]): the upper bound of the bucket holding
+  /// the q*count-th observation, clamped to the exact maximum so a sparse
+  /// top bucket cannot report a quantile above the largest observation;
+  /// 0 when empty.
+  double Quantile(double q) const;
+
+  /// Raw per-bucket count (tests and exporters).
+  std::uint64_t BucketCount(int index) const {
+    return buckets_[static_cast<std::size_t>(index)].load(
+        std::memory_order_relaxed);
+  }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  const bool enabled_;
+};
+
+}  // namespace rlplanner::obs
+
+#endif  // RLPLANNER_OBS_HISTOGRAM_H_

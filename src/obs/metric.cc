@@ -1,0 +1,24 @@
+#include "obs/metric.h"
+
+#include <functional>
+#include <thread>
+
+namespace rlplanner::obs {
+
+std::size_t ThisThreadShard() {
+  // SplitMix64-finalize the thread-id hash once per thread; the cached
+  // result makes the hot-path cost of sharding one thread_local read.
+  thread_local const std::size_t shard = [] {
+    std::uint64_t z =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ULL;
+    z ^= z >> 27;
+    z *= 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return static_cast<std::size_t>(z % kMetricShards);
+  }();
+  return shard;
+}
+
+}  // namespace rlplanner::obs

@@ -1,0 +1,94 @@
+#ifndef RLPLANNER_OBS_METRIC_H_
+#define RLPLANNER_OBS_METRIC_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace rlplanner::obs {
+
+/// Number of independent atomic cells a hot-path metric spreads its writes
+/// over. Each writer lands on the cell picked by its thread-id hash, so K
+/// training workers incrementing one counter touch (up to) K distinct cache
+/// lines instead of bouncing a single one. Reads sum every cell — exact for
+/// counters, since each increment lands in exactly one cell.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// The calling thread's shard index in [0, kMetricShards), stable for the
+/// thread's lifetime.
+std::size_t ThisThreadShard();
+
+/// One cache line's worth of counter state. The padding keeps neighbouring
+/// shards of the same metric from false-sharing.
+struct alignas(64) MetricCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// A monotonically increasing counter with sharded atomic cells. Increment()
+/// is one relaxed fetch_add on the caller's shard; Total() sums the shards
+/// (exact at quiescence, and never less than the true count mid-flight by
+/// more than the in-flight increments). A disabled counter (null-registry
+/// mode) turns Increment() into a single predictable branch.
+class Counter {
+ public:
+  explicit Counter(bool enabled = true) : enabled_(enabled) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(std::uint64_t n = 1) {
+    if (!enabled_) return;
+    shards_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Total() const {
+    std::uint64_t total = 0;
+    for (const MetricCell& cell : shards_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  std::array<MetricCell, kMetricShards> shards_{};
+  const bool enabled_;
+};
+
+/// A last-write-wins instantaneous value (queue depth, current epsilon).
+/// Gauges are written from coordinator-frequency paths, not per-step hot
+/// loops, so a single atomic cell suffices.
+class Gauge {
+ public:
+  explicit Gauge(bool enabled = true) : enabled_(enabled) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) {
+    if (!enabled_) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  void Add(double delta) {
+    if (!enabled_) return;
+    double seen = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(seen, seen + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  std::atomic<double> value_{0.0};
+  const bool enabled_;
+};
+
+}  // namespace rlplanner::obs
+
+#endif  // RLPLANNER_OBS_METRIC_H_

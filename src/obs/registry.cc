@@ -1,0 +1,201 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rlplanner::obs {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) { return IsNameStart(c) || (c >= '0' && c <= '9'); }
+
+bool IsLabelStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsLabelChar(char c) { return IsLabelStart(c) || (c >= '0' && c <= '9'); }
+
+std::string EntryKey(const std::string& name,
+                     const std::vector<Label>& sorted_labels) {
+  std::string key = name;
+  key.push_back('\x01');
+  for (const Label& label : sorted_labels) {
+    key += label.key;
+    key.push_back('\x02');
+    key += label.value;
+    key.push_back('\x03');
+  }
+  return key;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+util::Status Registry::ValidateMetricName(const std::string& name) {
+  if (name.empty() || !IsNameStart(name[0])) {
+    return util::Status::InvalidArgument("invalid metric name: '" + name +
+                                         "'");
+  }
+  for (char c : name) {
+    if (!IsNameChar(c)) {
+      return util::Status::InvalidArgument("invalid metric name: '" + name +
+                                           "'");
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status Registry::ValidateLabels(const std::vector<Label>& labels) {
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::string& key = labels[i].key;
+    if (key.empty() || !IsLabelStart(key[0])) {
+      return util::Status::InvalidArgument("invalid label name: '" + key +
+                                           "'");
+    }
+    for (char c : key) {
+      if (!IsLabelChar(c)) {
+        return util::Status::InvalidArgument("invalid label name: '" + key +
+                                             "'");
+      }
+    }
+    if (key.size() >= 2 && key[0] == '_' && key[1] == '_') {
+      return util::Status::InvalidArgument("reserved label name: '" + key +
+                                           "'");
+    }
+    for (std::size_t j = i + 1; j < labels.size(); ++j) {
+      if (labels[j].key == key) {
+        return util::Status::InvalidArgument("duplicate label name: '" + key +
+                                             "'");
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Result<Registry::Entry*> Registry::GetOrCreate(
+    MetricKind kind, std::string name, std::string help,
+    std::vector<Label> labels) {
+  {
+    util::Status status = ValidateMetricName(name);
+    if (!status.ok()) return status;
+    status = ValidateLabels(labels);
+    if (!status.ok()) return status;
+  }
+  std::sort(labels.begin(), labels.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  const std::string key = EntryKey(name, labels);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      return util::Status::InvalidArgument(
+          "metric '" + name + "' already registered as " +
+          KindName(it->second.kind) + ", requested " + KindName(kind));
+    }
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.labels = std::move(labels);
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry.counter = std::make_unique<Counter>(enabled_);
+      break;
+    case MetricKind::kGauge:
+      entry.gauge = std::make_unique<Gauge>(enabled_);
+      break;
+    case MetricKind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(enabled_);
+      break;
+  }
+  it = entries_.emplace(key, std::move(entry)).first;
+  return &it->second;
+}
+
+util::Result<Counter*> Registry::GetCounter(std::string name, std::string help,
+                                            std::vector<Label> labels) {
+  auto entry = GetOrCreate(MetricKind::kCounter, std::move(name),
+                           std::move(help), std::move(labels));
+  if (!entry.ok()) return entry.status();
+  return entry.value()->counter.get();
+}
+
+util::Result<Gauge*> Registry::GetGauge(std::string name, std::string help,
+                                        std::vector<Label> labels) {
+  auto entry = GetOrCreate(MetricKind::kGauge, std::move(name),
+                           std::move(help), std::move(labels));
+  if (!entry.ok()) return entry.status();
+  return entry.value()->gauge.get();
+}
+
+util::Result<Histogram*> Registry::GetHistogram(std::string name,
+                                                std::string help,
+                                                std::vector<Label> labels) {
+  auto entry = GetOrCreate(MetricKind::kHistogram, std::move(name),
+                           std::move(help), std::move(labels));
+  if (!entry.ok()) return entry.status();
+  return entry.value()->histogram.get();
+}
+
+MetricsSnapshot Registry::Collect() const {
+  MetricsSnapshot snapshot;
+  if (!enabled_) return snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.metrics.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSnapshot m;
+    m.name = entry.name;
+    m.help = entry.help;
+    m.kind = entry.kind;
+    m.labels = entry.labels;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        m.value = static_cast<double>(entry.counter->Total());
+        break;
+      case MetricKind::kGauge:
+        m.value = entry.gauge->Value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        m.count = h.count();
+        m.sum = h.sum();
+        m.max = h.Max();
+        m.mean = h.Mean();
+        m.p50 = h.Quantile(0.50);
+        m.p95 = h.Quantile(0.95);
+        m.p99 = h.Quantile(0.99);
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const std::uint64_t n = h.BucketCount(i);
+          if (n == 0) continue;
+          cumulative += n;
+          m.buckets.push_back({Histogram::BucketUpperBound(i), cumulative});
+        }
+        break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(m));
+  }
+  return snapshot;
+}
+
+}  // namespace rlplanner::obs

@@ -1,0 +1,123 @@
+#ifndef RLPLANNER_OBS_REGISTRY_H_
+#define RLPLANNER_OBS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metric.h"
+#include "util/status.h"
+
+namespace rlplanner::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One label key/value pair attached to a metric instance.
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+/// A cumulative histogram bucket as exported (upper bound inclusive,
+/// count of observations <= upper_bound).
+struct HistogramBucket {
+  std::uint64_t upper_bound = 0;
+  std::uint64_t cumulative_count = 0;
+};
+
+/// A point-in-time copy of one metric instance. Counter metrics populate
+/// `value` with the total; gauges with the current value; histograms
+/// additionally populate count/sum/max/mean/quantiles and the non-empty
+/// buckets (cumulative counts, ascending upper bounds).
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<Label> labels;  // sorted by key
+  double value = 0.0;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<HistogramBucket> buckets;
+};
+
+/// All metrics of a registry at one point in time, sorted by (name, labels)
+/// so exporters render deterministically.
+struct MetricsSnapshot {
+  std::vector<MetricSnapshot> metrics;
+};
+
+/// A named collection of metrics shared across subsystems (training and
+/// serving register into the same instance so one snapshot covers both).
+///
+/// Registration is idempotent: asking twice for the same (name, labels)
+/// returns the same pointer, so callers cache the pointer once and write
+/// through it lock-free. Asking for an existing name with a different kind
+/// is an InvalidArgument error. Metric names must match
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` and label keys `[a-zA-Z_][a-zA-Z0-9_]*`
+/// (Prometheus rules; keys starting with `__` are reserved and rejected).
+///
+/// A disabled registry still hands out metric pointers — they are created
+/// with recording disabled, so every write is a single predictable branch
+/// and Collect() returns an empty snapshot. This is the "null registry"
+/// mode: instrumented code is identical either way, only the cells differ.
+class Registry {
+ public:
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  util::Result<Counter*> GetCounter(std::string name, std::string help,
+                                    std::vector<Label> labels = {});
+  util::Result<Gauge*> GetGauge(std::string name, std::string help,
+                                std::vector<Label> labels = {});
+  util::Result<Histogram*> GetHistogram(std::string name, std::string help,
+                                        std::vector<Label> labels = {});
+
+  /// Copies every metric's current state, sorted by (name, labels). Empty
+  /// when the registry is disabled.
+  MetricsSnapshot Collect() const;
+
+  bool enabled() const { return enabled_; }
+
+  /// Validates a metric name against the Prometheus grammar.
+  static util::Status ValidateMetricName(const std::string& name);
+  /// Validates label keys (grammar, reserved `__` prefix, duplicates).
+  static util::Status ValidateLabels(const std::vector<Label>& labels);
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string name;
+    std::string help;
+    std::vector<Label> labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  /// Looks up or creates the entry for (name, labels); returns the entry or
+  /// an error on invalid names/labels or a kind conflict.
+  util::Result<Entry*> GetOrCreate(MetricKind kind, std::string name,
+                                   std::string help,
+                                   std::vector<Label> labels);
+
+  mutable std::mutex mutex_;
+  // Keyed by name + '\x01' + sorted "key\x02value\x03" triples: map order ==
+  // export order, and the separators cannot appear in valid names/keys.
+  std::map<std::string, Entry> entries_;
+  const bool enabled_;
+};
+
+}  // namespace rlplanner::obs
+
+#endif  // RLPLANNER_OBS_REGISTRY_H_

@@ -1,0 +1,38 @@
+#include "obs/span.h"
+
+#include "obs/registry.h"
+
+namespace rlplanner::obs {
+
+namespace {
+thread_local ScopedSpan* g_current_span = nullptr;
+}  // namespace
+
+ScopedSpan::ScopedSpan(Registry* registry, const char* name)
+    : registry_(registry != nullptr && registry->enabled() ? registry
+                                                           : nullptr),
+      name_(name),
+      parent_(g_current_span),
+      depth_(parent_ != nullptr ? parent_->depth_ + 1 : 0) {
+  g_current_span = this;
+  if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  g_current_span = parent_;
+  if (registry_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const auto micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  auto histogram = registry_->GetHistogram(
+      "span_duration_us", "Elapsed wall time of trace spans in microseconds.",
+      {{"span", name_}, {"parent", parent_ != nullptr ? parent_->name_ : ""}});
+  if (histogram.ok()) {
+    histogram.value()->Record(
+        micros > 0 ? static_cast<std::uint64_t>(micros) : 0);
+  }
+}
+
+const ScopedSpan* ScopedSpan::Current() { return g_current_span; }
+
+}  // namespace rlplanner::obs

@@ -1,0 +1,49 @@
+#ifndef RLPLANNER_OBS_SPAN_H_
+#define RLPLANNER_OBS_SPAN_H_
+
+#include <chrono>
+
+namespace rlplanner::obs {
+
+class Registry;
+
+/// A lightweight RAII trace span: records its steady-clock elapsed time on
+/// destruction into the histogram `span_duration_us{span=<name>,
+/// parent=<enclosing span name or "">}` of the given registry, and links to
+/// the enclosing span on the same thread so nesting depth and parentage are
+/// visible in the exported metrics.
+///
+/// Spans are for coarse-grained phases (a training round, a serve request),
+/// not per-step hot loops — each span costs two clock reads plus one
+/// registry lookup at destruction. With a null or disabled registry the
+/// span skips the clock reads entirely.
+///
+/// `name` must be a string literal (or otherwise outlive the span); it is
+/// stored by pointer.
+class ScopedSpan {
+ public:
+  ScopedSpan(Registry* registry, const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  const char* name() const { return name_; }
+  const ScopedSpan* parent() const { return parent_; }
+  /// Nesting depth on this thread: 0 for a root span.
+  int depth() const { return depth_; }
+
+  /// The innermost live span on the calling thread, or nullptr.
+  static const ScopedSpan* Current();
+
+ private:
+  Registry* const registry_;
+  const char* const name_;
+  ScopedSpan* const parent_;
+  const int depth_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rlplanner::obs
+
+#endif  // RLPLANNER_OBS_SPAN_H_

@@ -1,0 +1,83 @@
+#include "obs/training_metrics.h"
+
+#include "obs/export.h"
+
+namespace rlplanner::obs {
+
+TrainingMetrics::TrainingMetrics(Registry* registry)
+    : registry_(registry != nullptr && registry->enabled() ? registry
+                                                           : nullptr) {
+  if (registry_ == nullptr) return;
+  // Names are fixed literals, so registration cannot fail; value_or keeps
+  // the facade no-op-safe regardless.
+  episodes_ = registry_
+                  ->GetCounter("train_episodes_total",
+                               "Training episodes completed.")
+                  .value_or(nullptr);
+  steps_ = registry_
+               ->GetCounter("train_steps_total",
+                            "TD updates applied during training.")
+               .value_or(nullptr);
+  rounds_total_ = registry_
+                      ->GetCounter("train_rounds_total",
+                                   "Policy rounds completed.")
+                      .value_or(nullptr);
+  round_violations_ =
+      registry_
+          ->GetCounter("train_round_violations_total",
+                       "Policy rounds whose safety rollout found a "
+                       "hard-constraint violation.")
+          .value_or(nullptr);
+  epsilon_ = registry_
+                 ->GetGauge("train_epsilon",
+                            "Explore epsilon in effect for the last round.")
+                 .value_or(nullptr);
+  episodes_per_sec_ =
+      registry_
+          ->GetGauge("train_episodes_per_sec",
+                     "Episode throughput of the last round.")
+          .value_or(nullptr);
+  td_error_abs_micro_ =
+      registry_
+          ->GetHistogram("train_td_error_abs_micro",
+                         "Absolute TD error per update, scaled by 1e6.")
+          .value_or(nullptr);
+  merge_barrier_wait_us_ =
+      registry_
+          ->GetHistogram(
+              "train_merge_barrier_wait_us",
+              "Per-worker wait at the deterministic merge barrier, in "
+              "microseconds.")
+          .value_or(nullptr);
+}
+
+void TrainingMetrics::RecordRound(const TrainingRoundSample& sample) {
+  if (registry_ == nullptr) return;
+  rounds_total_->Increment();
+  if (!sample.safe) round_violations_->Increment();
+  epsilon_->Set(sample.epsilon);
+  episodes_per_sec_->Set(sample.episodes_per_sec);
+  rounds_.push_back(sample);
+}
+
+std::string TrainingRoundsJsonArray(
+    const std::vector<TrainingRoundSample>& rounds) {
+  std::string out = "[";
+  bool first = true;
+  for (const TrainingRoundSample& r : rounds) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"round\": " + FormatMetricValue(static_cast<double>(r.round));
+    out += ", \"episodes\": " +
+           FormatMetricValue(static_cast<double>(r.episodes));
+    out += ", \"seconds\": " + FormatMetricValue(r.seconds);
+    out += ", \"episodes_per_sec\": " + FormatMetricValue(r.episodes_per_sec);
+    out += ", \"epsilon\": " + FormatMetricValue(r.epsilon);
+    out += std::string(", \"safe\": ") + (r.safe ? "true" : "false");
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace rlplanner::obs

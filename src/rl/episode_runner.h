@@ -8,6 +8,7 @@
 #include "mdp/episode_state.h"
 #include "mdp/reward.h"
 #include "model/item.h"
+#include "obs/training_metrics.h"
 #include "rl/action_mask.h"
 #include "rl/sarsa_config.h"
 #include "util/bitset.h"
@@ -96,6 +97,15 @@ class EpisodeRunner {
         next_action = SelectAction(state, q, explore_epsilon);
       }
       if (config_->update_rule == UpdateRule::kSarsa) {
+        if (metrics_ != nullptr) {
+          // TD error from Q reads only, taken before the update lands —
+          // recording never draws RNG or perturbs the training math, which
+          // is what keeps deterministic runs bit-exact with metrics on.
+          const double next_q =
+              next_action >= 0 ? q.Get(action, next_action) : 0.0;
+          metrics_->RecordStep(reward + config_->gamma * next_q -
+                               q.Get(current, action));
+        }
         q.SarsaUpdate(current, action, reward, action, next_action,
                       config_->alpha, config_->gamma);
       } else {
@@ -105,6 +115,10 @@ class EpisodeRunner {
         const double continuation =
             ContinuationValue(q, state, next_action, explore_epsilon);
         const double old_value = q.Get(current, action);
+        if (metrics_ != nullptr) {
+          metrics_->RecordStep(reward + config_->gamma * continuation -
+                               old_value);
+        }
         q.Set(current, action,
               old_value + config_->alpha *
                               (reward + config_->gamma * continuation -
@@ -114,8 +128,13 @@ class EpisodeRunner {
       current = action;
       action = next_action;
     }
+    if (metrics_ != nullptr) metrics_->RecordEpisode();
     episode_returns_.push_back(episode_return);
   }
+
+  /// Attaches the hot-path metrics facade (null detaches). Recording uses
+  /// Q-value reads only, so attaching one changes no training output.
+  void set_metrics(obs::TrainingMetrics* metrics) { metrics_ = metrics; }
 
   /// Total Eq. 2 return of each episode run so far, in order.
   const std::vector<double>& episode_returns() const {
@@ -204,6 +223,7 @@ class EpisodeRunner {
   const mdp::RewardFunction* reward_;
   const SarsaConfig* config_;
   util::Rng* rng_;
+  obs::TrainingMetrics* metrics_ = nullptr;
   std::vector<double> episode_returns_;
   // Reusable per-step scratch: the admissible-action bitset and its
   // unpacked id vector, plus the reward/Q-tied best set (avoids heap

@@ -124,6 +124,9 @@ mdp::QTable ParallelSarsaLearner::Learn() {
 mdp::QTable ParallelSarsaLearner::LearnSerialDelegate() {
   const auto start = Clock::now();
   SarsaLearner learner(*instance_, *reward_, config_, seed_);
+  // The inner learner records steps/episodes/rounds itself — the delegate
+  // must not double-count.
+  learner.set_metrics(metrics_);
   learner.set_round_observer([this, start](int /*round*/, bool safe) {
     if (safe && time_to_safe_seconds_ < 0.0) {
       time_to_safe_seconds_ = SecondsSince(start);
@@ -174,6 +177,8 @@ mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
   std::optional<mdp::QTable> last_safe;
   int episodes_done = 0;
   for (int round = 0; episodes_done < config_.num_episodes; ++round) {
+    const auto round_start = Clock::now();
+    const double round_epsilon = explore;
     const int target =
         round >= rounds - 1 ? config_.num_episodes
                             : std::min(config_.num_episodes,
@@ -190,14 +195,30 @@ mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
     const mdp::QTable snapshot = q;
     std::vector<mdp::QTable> locals(static_cast<std::size_t>(k), snapshot);
     std::vector<std::vector<double>> returns(static_cast<std::size_t>(k));
+    std::vector<Clock::time_point> worker_done(static_cast<std::size_t>(k));
     ForEachWorker(k, [&](std::size_t w) {
       util::Rng rng(WorkerSeed(seed_, round, static_cast<int>(w)));
       EpisodeRunner<mdp::QTable> runner(*instance_, *reward_, config_, rng);
+      runner.set_metrics(metrics_);
       for (int e = 0; e < shard[w]; ++e) {
         runner.RunEpisode(locals[w], masks[w], explore);
       }
       returns[w] = std::move(runner.mutable_episode_returns());
+      if (metrics_ != nullptr) worker_done[w] = Clock::now();
     });
+    if (metrics_ != nullptr) {
+      // How long each worker's shard result sat waiting for the slowest
+      // worker — the price of the deterministic merge barrier.
+      const auto barrier = Clock::now();
+      for (int w = 0; w < k; ++w) {
+        const auto waited = barrier - worker_done[static_cast<std::size_t>(w)];
+        metrics_->RecordMergeBarrierWait(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(
+                0, std::chrono::duration_cast<std::chrono::microseconds>(
+                       waited)
+                       .count())));
+      }
+    }
 
     // Round barrier: fold worker deltas in ascending worker order. Fixed
     // iteration and FP-evaluation order make the merged table — and thus
@@ -210,8 +231,22 @@ mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
     }
     episodes_done = target;
 
+    const bool safe = rounds == 1 || policy_is_safe(q);
+    if (metrics_ != nullptr) {
+      obs::TrainingRoundSample sample;
+      sample.round = round;
+      sample.episodes = static_cast<std::uint64_t>(count);
+      sample.seconds = SecondsSince(round_start);
+      sample.episodes_per_sec =
+          sample.seconds > 0.0
+              ? static_cast<double>(sample.episodes) / sample.seconds
+              : 0.0;
+      sample.epsilon = round_epsilon;
+      sample.safe = safe;
+      metrics_->RecordRound(sample);
+    }
     if (rounds == 1) continue;
-    if (policy_is_safe(q)) {
+    if (safe) {
       if (time_to_safe_seconds_ < 0.0) {
         time_to_safe_seconds_ = SecondsSince(start);
       }
@@ -266,6 +301,8 @@ mdp::QTable ParallelSarsaLearner::LearnHogwild() {
   std::optional<mdp::QTable> last_safe;
   int episodes_done = 0;
   for (int round = 0; episodes_done < config_.num_episodes; ++round) {
+    const auto round_start = Clock::now();
+    const double round_epsilon = explore;
     const int target =
         round >= rounds - 1 ? config_.num_episodes
                             : std::min(config_.num_episodes,
@@ -280,6 +317,7 @@ mdp::QTable ParallelSarsaLearner::LearnHogwild() {
     ForEachWorker(k, [&](std::size_t w) {
       util::Rng rng(WorkerSeed(seed_, round, static_cast<int>(w)));
       EpisodeRunner<AtomicQTable> runner(*instance_, *reward_, config_, rng);
+      runner.set_metrics(metrics_);
       for (int e = 0; e < shard[w]; ++e) {
         runner.RunEpisode(shared, masks[w], explore);
       }
@@ -292,19 +330,35 @@ mdp::QTable ParallelSarsaLearner::LearnHogwild() {
     }
     episodes_done = target;
 
-    if (rounds == 1) continue;
-    mdp::QTable q = shared.ToQTable();
-    if (policy_is_safe(q)) {
-      if (time_to_safe_seconds_ < 0.0) {
-        time_to_safe_seconds_ = SecondsSince(start);
+    bool safe = true;  // single-round runs never roll out
+    if (rounds > 1) {
+      mdp::QTable q = shared.ToQTable();
+      safe = policy_is_safe(q);
+      if (safe) {
+        if (time_to_safe_seconds_ < 0.0) {
+          time_to_safe_seconds_ = SecondsSince(start);
+        }
+        last_safe = std::move(q);
+        explore = config_.explore_epsilon;
+      } else {
+        q.Scale(config_.restart_decay);
+        q.AddNoise(coordinator, 0.05);
+        shared.LoadFrom(q);
+        explore = std::min(0.5, explore + 0.1);
       }
-      last_safe = std::move(q);
-      explore = config_.explore_epsilon;
-    } else {
-      q.Scale(config_.restart_decay);
-      q.AddNoise(coordinator, 0.05);
-      shared.LoadFrom(q);
-      explore = std::min(0.5, explore + 0.1);
+    }
+    if (metrics_ != nullptr) {
+      obs::TrainingRoundSample sample;
+      sample.round = round;
+      sample.episodes = static_cast<std::uint64_t>(count);
+      sample.seconds = SecondsSince(round_start);
+      sample.episodes_per_sec =
+          sample.seconds > 0.0
+              ? static_cast<double>(sample.episodes) / sample.seconds
+              : 0.0;
+      sample.epsilon = round_epsilon;
+      sample.safe = safe;
+      metrics_->RecordRound(sample);
     }
   }
   mdp::QTable q = shared.ToQTable();

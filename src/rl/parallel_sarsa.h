@@ -10,6 +10,7 @@
 
 #include "mdp/q_table.h"
 #include "mdp/reward.h"
+#include "obs/training_metrics.h"
 #include "rl/sarsa.h"
 #include "rl/sarsa_config.h"
 #include "util/thread_pool.h"
@@ -140,6 +141,12 @@ class ParallelSarsaLearner {
   /// reproducible. Exposed for tests.
   static std::uint64_t WorkerSeed(std::uint64_t seed, int round, int worker);
 
+  /// Attaches the metrics facade (null detaches). Worker threads record
+  /// per-step/per-episode counts through the sharded cells; the coordinator
+  /// records round samples and the per-worker merge-barrier wait. Recording
+  /// uses Q reads only, so deterministic-mode output stays bit-exact.
+  void set_metrics(obs::TrainingMetrics* metrics) { metrics_ = metrics; }
+
  private:
   mdp::QTable LearnSerialDelegate();
   mdp::QTable LearnDeterministic();
@@ -158,6 +165,7 @@ class ParallelSarsaLearner {
   // Lazily created when no external pool was supplied; reused across
   // Learn() calls on the same learner.
   std::unique_ptr<util::ThreadPool> owned_pool_;
+  obs::TrainingMetrics* metrics_ = nullptr;
   std::vector<double> episode_returns_;
   double time_to_safe_seconds_ = -1.0;
 };

@@ -1,6 +1,7 @@
 #include "rl/sarsa.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 
 #include "mdp/cmdp.h"
@@ -47,6 +48,9 @@ mdp::QTable SarsaLearner::Learn() {
   std::optional<mdp::QTable> last_safe;
   int episodes_done = 0;
   for (int round = 0; episodes_done < config_.num_episodes; ++round) {
+    const auto round_start = std::chrono::steady_clock::now();
+    const double round_epsilon = explore;
+    const int round_first_episode = episodes_done;
     const int target =
         round >= rounds - 1 ? config_.num_episodes
                             : std::min(config_.num_episodes,
@@ -54,8 +58,25 @@ mdp::QTable SarsaLearner::Learn() {
     for (; episodes_done < target; ++episodes_done) {
       runner_.RunEpisode(q, mask, explore);
     }
+    // A single-round run never rolls out, so its sample reports safe.
+    const bool safe = rounds == 1 || policy_is_safe(q);
+    if (metrics_ != nullptr) {
+      obs::TrainingRoundSample sample;
+      sample.round = round;
+      sample.episodes =
+          static_cast<std::uint64_t>(episodes_done - round_first_episode);
+      sample.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - round_start)
+                           .count();
+      sample.episodes_per_sec =
+          sample.seconds > 0.0
+              ? static_cast<double>(sample.episodes) / sample.seconds
+              : 0.0;
+      sample.epsilon = round_epsilon;
+      sample.safe = safe;
+      metrics_->RecordRound(sample);
+    }
     if (rounds == 1) continue;
-    const bool safe = policy_is_safe(q);
     if (safe) {
       last_safe = q;
       explore = config_.explore_epsilon;

@@ -58,6 +58,15 @@ class SarsaLearner {
     round_observer_ = std::move(observer);
   }
 
+  /// Attaches the metrics facade (null detaches): per-step TD errors and
+  /// episode counts flow from the embedded runner, per-round samples
+  /// (episodes/sec, epsilon, safety verdict) from the policy-iteration
+  /// loop. Purely observational — the learned table is unchanged.
+  void set_metrics(obs::TrainingMetrics* metrics) {
+    metrics_ = metrics;
+    runner_.set_metrics(metrics);
+  }
+
  private:
   const model::TaskInstance* instance_;
   const mdp::RewardFunction* reward_;
@@ -65,6 +74,7 @@ class SarsaLearner {
   util::Rng rng_;
   EpisodeRunner<mdp::QTable> runner_;
   RoundObserver round_observer_;
+  obs::TrainingMetrics* metrics_ = nullptr;
 };
 
 }  // namespace rlplanner::rl

@@ -25,6 +25,7 @@ PlanService::PlanService(const model::TaskInstance& instance,
       reward_(*instance_, weights_),
       registry_(&registry),
       config_(config),
+      stats_(config.metrics),
       pool_(std::max<std::size_t>(1, config.num_workers)) {
   config_.num_workers = std::max<std::size_t>(1, config_.num_workers);
   config_.max_queue = std::max<std::size_t>(1, config_.max_queue);
@@ -94,6 +95,7 @@ util::Result<std::future<util::Result<PlanResponse>>> PlanService::Submit(
     future = pending.promise.get_future();
     queue_.push_back(std::move(pending));
     stats_.RecordAccepted();
+    stats_.SetQueueDepth(queue_.size());
   }
   queue_cv_.notify_one();
   return future;
@@ -108,6 +110,7 @@ void PlanService::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and fully drained
       pending = std::move(queue_.front());
       queue_.pop_front();
+      stats_.SetQueueDepth(queue_.size());
     }
     const auto dequeued = Clock::now();
     if (pending.has_deadline && dequeued > pending.deadline) {
@@ -124,6 +127,7 @@ void PlanService::WorkerLoop() {
       result.value().queue_ms = MillisBetween(pending.enqueued, dequeued);
       result.value().exec_ms = MillisBetween(dequeued, finished);
       stats_.RecordCompleted(MillisBetween(pending.enqueued, finished));
+      stats_.RecordResponseVersion(result.value().policy_version);
     } else {
       stats_.RecordFailed();
     }

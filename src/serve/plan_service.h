@@ -62,6 +62,11 @@ struct PlanServiceConfig {
   std::size_t max_queue = 256;
   /// Default per-request deadline in ms; 0 disables deadlines.
   double default_deadline_ms = 0.0;
+  /// Shared metrics registry the service's ServeStats records into (not
+  /// owned; must outlive the service). Null gives the service a private
+  /// registry — stats still work, they are just not shared with a
+  /// co-located trainer.
+  obs::Registry* metrics = nullptr;
 };
 
 /// The concurrent plan-serving layer: executes PlanRequests against the

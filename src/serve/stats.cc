@@ -1,105 +1,104 @@
 #include "serve/stats.h"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
 #include <cstdio>
 
 namespace rlplanner::serve {
 
-int LatencyHistogram::BucketIndex(std::uint64_t micros) {
-  if (micros < kSubBuckets) return static_cast<int>(micros);
-  int msb = std::bit_width(micros) - 1;  // >= kSubBits
-  int octave = msb - kSubBits;
-  if (octave > kOctaves - 1) {  // clamp overlong latencies to the top octave
-    octave = kOctaves - 1;
-    msb = octave + kSubBits;
-    micros = (std::uint64_t{1} << (msb + 1)) - 1;
+ServeStats::ServeStats(obs::Registry* registry) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry = owned_registry_.get();
   }
-  // The kSubBits bits below the leading 1 select the linear sub-bucket.
-  const int sub = static_cast<int>((micros >> (msb - kSubBits)) &
-                                   (kSubBuckets - 1));
-  return kSubBuckets + octave * kSubBuckets + sub;
-}
-
-std::uint64_t LatencyHistogram::BucketUpperMicros(int index) {
-  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
-  const int octave = (index - kSubBuckets) / kSubBuckets;
-  const int sub = (index - kSubBuckets) % kSubBuckets;
-  const std::uint64_t lower =
-      (std::uint64_t{kSubBuckets} + static_cast<std::uint64_t>(sub))
-      << octave;
-  return lower + (std::uint64_t{1} << octave) - 1;
-}
-
-void LatencyHistogram::Record(double micros) {
-  const std::uint64_t us =
-      micros <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(micros));
-  buckets_[static_cast<std::size_t>(BucketIndex(us))].fetch_add(
-      1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_micros_.fetch_add(us, std::memory_order_relaxed);
-  std::uint64_t seen = max_micros_.load(std::memory_order_relaxed);
-  while (us > seen &&
-         !max_micros_.compare_exchange_weak(seen, us,
-                                            std::memory_order_relaxed)) {
-  }
-}
-
-double LatencyHistogram::MeanMs() const {
-  const std::uint64_t n = count_.load(std::memory_order_relaxed);
-  if (n == 0) return 0.0;
-  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
-         static_cast<double>(n) / 1000.0;
-}
-
-double LatencyHistogram::MaxMs() const {
-  return static_cast<double>(max_micros_.load(std::memory_order_relaxed)) /
-         1000.0;
-}
-
-double LatencyHistogram::QuantileMs(double q) const {
-  const std::uint64_t n = count_.load(std::memory_order_relaxed);
-  if (n == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(n)));
-  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
-  std::uint64_t cumulative = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    cumulative += buckets_[static_cast<std::size_t>(i)].load(
-        std::memory_order_relaxed);
-    if (cumulative >= target) {
-      // Clamp to the exact max so a sparse top bucket cannot report a
-      // quantile above the largest observed latency.
-      return std::min(static_cast<double>(BucketUpperMicros(i)) / 1000.0,
-                      MaxMs());
-    }
-  }
-  return MaxMs();
+  registry_ = registry;
+  // Names are fixed literals, so registration cannot fail.
+  submitted_ = registry_
+                   ->GetCounter("serve_requests_submitted_total",
+                                "Plan requests submitted for admission.")
+                   .value();
+  accepted_ = registry_
+                  ->GetCounter("serve_requests_accepted_total",
+                               "Plan requests admitted into the queue.")
+                  .value();
+  rejected_queue_full_ =
+      registry_
+          ->GetCounter("serve_requests_rejected_queue_full_total",
+                       "Plan requests rejected because the queue was full.")
+          .value();
+  expired_deadline_ =
+      registry_
+          ->GetCounter("serve_requests_expired_deadline_total",
+                       "Plan requests dropped past their deadline.")
+          .value();
+  completed_ = registry_
+                   ->GetCounter("serve_requests_completed_total",
+                                "Plan requests completed successfully.")
+                   .value();
+  failed_ = registry_
+                ->GetCounter("serve_requests_failed_total",
+                             "Plan requests that failed during execution.")
+                .value();
+  latency_us_ =
+      registry_
+          ->GetHistogram("serve_request_latency_us",
+                         "Enqueue-to-completion latency in microseconds.")
+          .value();
+  queue_depth_ = registry_
+                     ->GetGauge("serve_queue_depth",
+                                "Current request-queue depth.")
+                     .value();
 }
 
 void ServeStats::RecordCompleted(double latency_ms) {
-  Bump(completed_);
-  latency_.Record(latency_ms * 1000.0);
+  completed_->Increment();
+  latency_us_->RecordRounded(latency_ms * 1000.0);
+}
+
+void ServeStats::RecordResponseVersion(std::uint64_t version) {
+  obs::Counter* counter;
+  {
+    std::lock_guard<std::mutex> lock(versions_mutex_);
+    auto it = version_counters_.find(version);
+    if (it == version_counters_.end()) {
+      counter = registry_
+                    ->GetCounter("serve_responses_total",
+                                 "Completed responses by policy version.",
+                                 {{"version", std::to_string(version)}})
+                    .value();
+      version_counters_.emplace(version, counter);
+    } else {
+      counter = it->second;
+    }
+  }
+  counter->Increment();
+}
+
+void ServeStats::SetQueueDepth(std::size_t depth) {
+  queue_depth_->Set(static_cast<double>(depth));
 }
 
 ServeStatsSnapshot ServeStats::Collect() const {
   ServeStatsSnapshot snapshot;
-  snapshot.submitted = submitted_.load(std::memory_order_relaxed);
-  snapshot.accepted = accepted_.load(std::memory_order_relaxed);
-  snapshot.rejected_queue_full =
-      rejected_queue_full_.load(std::memory_order_relaxed);
-  snapshot.expired_deadline =
-      expired_deadline_.load(std::memory_order_relaxed);
-  snapshot.completed = completed_.load(std::memory_order_relaxed);
-  snapshot.failed = failed_.load(std::memory_order_relaxed);
-  snapshot.latency_count = latency_.count();
-  snapshot.latency_mean_ms = latency_.MeanMs();
-  snapshot.latency_p50_ms = latency_.QuantileMs(0.50);
-  snapshot.latency_p95_ms = latency_.QuantileMs(0.95);
-  snapshot.latency_p99_ms = latency_.QuantileMs(0.99);
-  snapshot.latency_max_ms = latency_.MaxMs();
+  snapshot.submitted = submitted_->Total();
+  snapshot.accepted = accepted_->Total();
+  snapshot.rejected_queue_full = rejected_queue_full_->Total();
+  snapshot.expired_deadline = expired_deadline_->Total();
+  snapshot.completed = completed_->Total();
+  snapshot.failed = failed_->Total();
+  snapshot.latency_count = latency_us_->count();
+  snapshot.latency_mean_ms = latency_us_->Mean() / 1000.0;
+  snapshot.latency_p50_ms = latency_us_->Quantile(0.50) / 1000.0;
+  snapshot.latency_p95_ms = latency_us_->Quantile(0.95) / 1000.0;
+  snapshot.latency_p99_ms = latency_us_->Quantile(0.99) / 1000.0;
+  snapshot.latency_max_ms =
+      static_cast<double>(latency_us_->Max()) / 1000.0;
+  snapshot.queue_depth =
+      static_cast<std::uint64_t>(queue_depth_->Value());
+  {
+    std::lock_guard<std::mutex> lock(versions_mutex_);
+    for (const auto& [version, counter] : version_counters_) {
+      snapshot.responses_by_version[version] = counter->Total();
+    }
+  }
   return snapshot;
 }
 
@@ -111,7 +110,8 @@ std::string ServeStatsSnapshot::ToJson() const {
       "\"rejected_queue_full\": %llu, \"expired_deadline\": %llu, "
       "\"completed\": %llu, \"failed\": %llu, "
       "\"latency_ms\": {\"count\": %llu, \"mean\": %.3f, \"p50\": %.3f, "
-      "\"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f}}",
+      "\"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f}, "
+      "\"queue_depth\": %llu",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(accepted),
       static_cast<unsigned long long>(rejected_queue_full),
@@ -119,8 +119,22 @@ std::string ServeStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(latency_count), latency_mean_ms,
-      latency_p50_ms, latency_p95_ms, latency_p99_ms, latency_max_ms);
-  return buffer;
+      latency_p50_ms, latency_p95_ms, latency_p99_ms, latency_max_ms,
+      static_cast<unsigned long long>(queue_depth));
+  std::string out = buffer;
+  out += ", \"responses_by_version\": {";
+  bool first = true;
+  for (const auto& [version, count] : responses_by_version) {
+    if (!first) out += ", ";
+    first = false;
+    char entry[64];
+    std::snprintf(entry, sizeof(entry), "\"%llu\": %llu",
+                  static_cast<unsigned long long>(version),
+                  static_cast<unsigned long long>(count));
+    out += entry;
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace rlplanner::serve

@@ -1,50 +1,16 @@
 #ifndef RLPLANNER_SERVE_STATS_H_
 #define RLPLANNER_SERVE_STATS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+
+#include "obs/registry.h"
 
 namespace rlplanner::serve {
-
-/// A lock-free log-linear latency histogram (HDR-style): 8 linear
-/// sub-buckets per power-of-two octave of microseconds, giving <= 12.5%
-/// relative quantile error across nanosecond-to-minutes latencies with a
-/// fixed 328-counter footprint. Record() is one atomic increment; quantile
-/// queries walk the cumulative counts.
-class LatencyHistogram {
- public:
-  void Record(double micros);
-
-  std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-
-  /// Mean recorded latency in milliseconds (0 when empty).
-  double MeanMs() const;
-
-  /// Largest recorded latency in milliseconds (exact, not bucketed).
-  double MaxMs() const;
-
-  /// The `q`-quantile (q in [0, 1]) in milliseconds: the upper bound of the
-  /// bucket holding the q*count-th observation; 0 when empty.
-  double QuantileMs(double q) const;
-
- private:
-  static constexpr int kSubBits = 3;  // 8 sub-buckets per octave
-  static constexpr int kSubBuckets = 1 << kSubBits;
-  static constexpr int kOctaves = 40;
-  static constexpr int kNumBuckets = kSubBuckets + kSubBuckets * kOctaves;
-
-  static int BucketIndex(std::uint64_t micros);
-  static std::uint64_t BucketUpperMicros(int index);
-
-  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_micros_{0};
-  std::atomic<std::uint64_t> max_micros_{0};
-};
 
 /// A point-in-time copy of the serving counters (all loads are relaxed; the
 /// snapshot is internally consistent only at quiescence, which is how the
@@ -62,40 +28,74 @@ struct ServeStatsSnapshot {
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
+  std::uint64_t queue_depth = 0;
+  /// Completed responses attributed to the exact policy version that served
+  /// them (survives hot swaps; keyed by ServablePolicy::version).
+  std::map<std::uint64_t, std::uint64_t> responses_by_version;
 
   /// Renders the snapshot as a JSON object.
   std::string ToJson() const;
 };
 
-/// Request counters plus the end-to-end latency histogram of a PlanService.
-/// Every member is safe to update from concurrent request threads.
+/// Request counters plus the end-to-end latency histogram of a PlanService,
+/// backed by metrics on an obs::Registry — the same registry a co-located
+/// trainer records into, so one snapshot/export covers both. Every recorder
+/// is safe to call from concurrent request threads.
+///
+/// Registered metrics (latency in microseconds, bucketed by the shared
+/// obs::Histogram — the single source of truth for bucket boundaries):
+///   serve_requests_submitted_total / _accepted_total /
+///   _rejected_queue_full_total / _expired_deadline_total /
+///   _completed_total / _failed_total        counters
+///   serve_request_latency_us                histogram (enqueue→completion)
+///   serve_queue_depth                       gauge
+///   serve_responses_total{version="N"}      counter per served version
 class ServeStats {
  public:
-  void RecordSubmitted() { Bump(submitted_); }
-  void RecordAccepted() { Bump(accepted_); }
-  void RecordRejectedQueueFull() { Bump(rejected_queue_full_); }
-  void RecordExpiredDeadline() { Bump(expired_deadline_); }
-  void RecordFailed() { Bump(failed_); }
+  /// Records into `registry` when given; otherwise owns a private enabled
+  /// registry so a standalone service still has working stats.
+  explicit ServeStats(obs::Registry* registry = nullptr);
+
+  ServeStats(const ServeStats&) = delete;
+  ServeStats& operator=(const ServeStats&) = delete;
+
+  void RecordSubmitted() { submitted_->Increment(); }
+  void RecordAccepted() { accepted_->Increment(); }
+  void RecordRejectedQueueFull() { rejected_queue_full_->Increment(); }
+  void RecordExpiredDeadline() { expired_deadline_->Increment(); }
+  void RecordFailed() { failed_->Increment(); }
   /// `latency_ms` is enqueue-to-completion (queue wait + execution).
   void RecordCompleted(double latency_ms);
+
+  /// Attributes one completed response to the policy version that served it.
+  void RecordResponseVersion(std::uint64_t version);
+
+  /// Publishes the instantaneous request-queue depth.
+  void SetQueueDepth(std::size_t depth);
 
   ServeStatsSnapshot Collect() const;
 
   /// Collect().ToJson().
   std::string ToJson() const { return Collect().ToJson(); }
 
- private:
-  static void Bump(std::atomic<std::uint64_t>& counter) {
-    counter.fetch_add(1, std::memory_order_relaxed);
-  }
+  /// The registry this instance records into (never null).
+  obs::Registry* registry() const { return registry_; }
 
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> rejected_queue_full_{0};
-  std::atomic<std::uint64_t> expired_deadline_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> failed_{0};
-  LatencyHistogram latency_;
+ private:
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;
+  obs::Counter* submitted_;
+  obs::Counter* accepted_;
+  obs::Counter* rejected_queue_full_;
+  obs::Counter* expired_deadline_;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Histogram* latency_us_;
+  obs::Gauge* queue_depth_;
+  // Per-version counters are created lazily on first attribution; the cache
+  // avoids a registry lookup (and its lock) on the completion path.
+  mutable std::mutex versions_mutex_;
+  std::unordered_map<std::uint64_t, obs::Counter*> version_counters_;
 };
 
 }  // namespace rlplanner::serve

@@ -1,0 +1,454 @@
+// Tests for the observability layer (src/obs/): exactness of the sharded
+// counters under concurrent writers, within-bucket-exact histograms, the
+// registry's validation and idempotent-registration contract, golden-file
+// checks for both exporters, and ScopedSpan nesting. The concurrency tests
+// double as the TSan workload for the sharded cells.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/metric.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "obs/training_metrics.h"
+#include "util/status.h"
+
+namespace rlplanner::obs {
+namespace {
+
+// ------------------------------------------------------------ counters --
+
+TEST(ObsCounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Total(), kThreads * kPerThread);
+}
+
+TEST(ObsCounterTest, IncrementByNAndDisabled) {
+  Counter counter;
+  counter.Increment(41);
+  counter.Increment();
+  EXPECT_EQ(counter.Total(), 42u);
+
+  Counter disabled(/*enabled=*/false);
+  disabled.Increment(1000);
+  EXPECT_EQ(disabled.Total(), 0u);
+  EXPECT_FALSE(disabled.enabled());
+}
+
+TEST(ObsGaugeTest, ConcurrentAddsSumExactly) {
+  Gauge gauge;
+  gauge.Set(100.0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Every Add is a CAS loop, and the values are small integers, so the sum
+  // is exact in double arithmetic.
+  EXPECT_EQ(gauge.Value(), 100.0 + kThreads * kPerThread);
+}
+
+// ----------------------------------------------------------- histogram --
+
+TEST(ObsHistogramTest, BucketBoundariesAreConsistent) {
+  // Every value must land in a bucket whose inclusive upper bound is >= the
+  // value, and (for non-first buckets) whose predecessor's bound is < it —
+  // i.e. BucketUpperBound() really is the boundary BucketIndex() uses.
+  std::vector<std::uint64_t> probes;
+  for (std::uint64_t v = 0; v < 4096; ++v) probes.push_back(v);
+  for (int shift = 12; shift < 43; ++shift) {
+    const std::uint64_t base = std::uint64_t{1} << shift;
+    probes.insert(probes.end(), {base - 1, base, base + 1, base + base / 3});
+  }
+  probes.push_back((std::uint64_t{1} << 43) - 1);  // top of the range
+  for (std::uint64_t value : probes) {
+    const int index = Histogram::BucketIndex(value);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, Histogram::kNumBuckets);
+    EXPECT_GE(Histogram::BucketUpperBound(index), value) << value;
+    if (index > 0) {
+      EXPECT_LT(Histogram::BucketUpperBound(index - 1), value) << value;
+    }
+  }
+  // Bounds are strictly increasing across the whole range.
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_LT(Histogram::BucketUpperBound(i - 1), Histogram::BucketUpperBound(i));
+  }
+  // Values past the covered range clamp into the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(std::uint64_t{1} << 43),
+            Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(~std::uint64_t{0}),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(ObsHistogramTest, QuantileWithinRelativeErrorAndClampedToMax) {
+  Histogram histogram;
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  EXPECT_EQ(histogram.count(), 1000u);
+  EXPECT_EQ(histogram.sum(), 500500u);
+  EXPECT_EQ(histogram.Max(), 1000u);
+  EXPECT_NEAR(histogram.Mean(), 500.5, 1e-9);
+  // 8 sub-buckets per octave bound the relative quantile error by 12.5%.
+  EXPECT_NEAR(histogram.Quantile(0.50), 500.0, 0.125 * 500.0);
+  EXPECT_NEAR(histogram.Quantile(0.95), 950.0, 0.125 * 950.0);
+  // The top quantile may not exceed the exact observed maximum.
+  EXPECT_LE(histogram.Quantile(0.999), 1000.0);
+  EXPECT_EQ(histogram.Quantile(1.0), 1000.0);
+}
+
+TEST(ObsHistogramTest, ConcurrentRecordsMatchSerialReplayPerBucket) {
+  // 8 writers record deterministic per-thread streams; afterwards every
+  // bucket count, the total count, and the sum must equal a serial replay
+  // of the same stream — the sharded bookkeeping loses nothing.
+  Histogram concurrent;
+  Histogram serial;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  auto value_of = [](int t, int i) {
+    // SplitMix64-ish scramble for a spread of octaves, deterministic.
+    std::uint64_t x = static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ull +
+                      static_cast<std::uint64_t>(i);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    return x % 1000000;
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, t, &value_of] {
+      for (int i = 0; i < kPerThread; ++i) concurrent.Record(value_of(t, i));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) serial.Record(value_of(t, i));
+  }
+  EXPECT_EQ(concurrent.count(), serial.count());
+  EXPECT_EQ(concurrent.sum(), serial.sum());
+  EXPECT_EQ(concurrent.Max(), serial.Max());
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    ASSERT_EQ(concurrent.BucketCount(i), serial.BucketCount(i)) << i;
+  }
+}
+
+TEST(ObsHistogramTest, RecordRoundedClampsNegativeToZero) {
+  Histogram histogram;
+  histogram.RecordRounded(-3.7);
+  histogram.RecordRounded(0.49);
+  histogram.RecordRounded(2.51);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.BucketCount(Histogram::BucketIndex(0)), 2u);
+  EXPECT_EQ(histogram.BucketCount(Histogram::BucketIndex(3)), 1u);
+}
+
+// ------------------------------------------------------------ registry --
+
+TEST(ObsRegistryTest, RegistrationIsIdempotentSamePointer) {
+  Registry registry;
+  auto first = registry.GetCounter("demo_total", "Demo.", {{"k", "v"}});
+  auto second = registry.GetCounter("demo_total", "Demo.", {{"k", "v"}});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());
+  // A different label set is a distinct instance.
+  auto third = registry.GetCounter("demo_total", "Demo.", {{"k", "w"}});
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(first.value(), third.value());
+}
+
+TEST(ObsRegistryTest, KindConflictIsInvalidArgument) {
+  Registry registry;
+  ASSERT_TRUE(registry.GetCounter("demo_total", "Demo.").ok());
+  auto conflict = registry.GetGauge("demo_total", "Demo.");
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ObsRegistryTest, MalformedNamesAndLabelsAreRejected) {
+  Registry registry;
+  for (const char* name : {"", "1bad", "bad-dash", "bad name", "bad\xc3\xa9"}) {
+    auto result = registry.GetCounter(name, "Help.");
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument)
+        << name;
+  }
+  const std::vector<std::vector<Label>> bad_labels = {
+      {{"", "v"}},                  // empty key
+      {{"1bad", "v"}},              // bad first char
+      {{"bad-dash", "v"}},          // bad char
+      {{"__reserved", "v"}},        // reserved prefix
+      {{"dup", "a"}, {"dup", "b"}}  // duplicate key
+  };
+  for (const auto& labels : bad_labels) {
+    auto result = registry.GetCounter("ok_total", "Help.", labels);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  }
+  // Colons are legal in metric names (recording rules), not in label keys.
+  EXPECT_TRUE(registry.GetCounter("ns:demo_total", "Help.").ok());
+}
+
+TEST(ObsRegistryTest, DisabledRegistryRecordsNothingAndCollectsEmpty) {
+  Registry registry(/*enabled=*/false);
+  auto counter = registry.GetCounter("demo_total", "Demo.");
+  auto histogram = registry.GetHistogram("demo_us", "Demo.");
+  ASSERT_TRUE(counter.ok());
+  ASSERT_TRUE(histogram.ok());
+  counter.value()->Increment(100);
+  histogram.value()->Record(7);
+  EXPECT_EQ(counter.value()->Total(), 0u);
+  EXPECT_EQ(histogram.value()->count(), 0u);
+  EXPECT_TRUE(registry.Collect().metrics.empty());
+}
+
+TEST(ObsRegistryTest, ConcurrentRegistrationAndWritesAreExact) {
+  // Threads race to register the same counter and a per-thread labelled
+  // sibling, then hammer both. Registration must converge on one instance
+  // per (name, labels) and no increment may be lost.
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      Counter* shared =
+          registry.GetCounter("stress_total", "Shared.").value();
+      Counter* mine = registry
+                          .GetCounter("stress_by_thread_total", "Per thread.",
+                                      {{"thread", std::to_string(t)}})
+                          .value();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        shared->Increment();
+        mine->Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const MetricsSnapshot snapshot = registry.Collect();
+  std::uint64_t shared_total = 0;
+  std::uint64_t labelled_instances = 0;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.name == "stress_total") {
+      shared_total = static_cast<std::uint64_t>(m.value);
+    } else if (m.name == "stress_by_thread_total") {
+      ++labelled_instances;
+      EXPECT_EQ(static_cast<std::uint64_t>(m.value), kPerThread);
+    }
+  }
+  EXPECT_EQ(shared_total, kThreads * kPerThread);
+  EXPECT_EQ(labelled_instances, static_cast<std::uint64_t>(kThreads));
+}
+
+// ----------------------------------------------------------- exporters --
+
+// One registry exercising every exporter feature: several label sets under
+// one name, label-value escaping, a gauge with a fractional value, and a
+// histogram with known buckets.
+void FillGoldenRegistry(Registry& registry) {
+  Counter* escaped = registry
+                         .GetCounter("demo_requests_total",
+                                     "Total \"demo\" requests.",
+                                     {{"path", "a\\b\"c\nd"}})
+                         .value();
+  escaped->Increment(3);
+  registry
+      .GetCounter("demo_requests_total", "Total \"demo\" requests.",
+                  {{"path", "plain"}})
+      .value()
+      ->Increment();
+  registry.GetGauge("demo_queue_depth", "Current queue depth.")
+      .value()
+      ->Set(2.5);
+  Histogram* histogram =
+      registry.GetHistogram("demo_latency_us", "Demo latency.").value();
+  histogram->Record(1);
+  histogram->Record(2);
+  histogram->Record(2);
+  histogram->Record(250);  // octave 4, bucket upper bound 255
+}
+
+TEST(ObsExportTest, PrometheusTextGolden) {
+  Registry registry;
+  FillGoldenRegistry(registry);
+  const std::string expected =
+      "# HELP demo_latency_us Demo latency.\n"
+      "# TYPE demo_latency_us histogram\n"
+      "demo_latency_us_bucket{le=\"1\"} 1\n"
+      "demo_latency_us_bucket{le=\"2\"} 3\n"
+      "demo_latency_us_bucket{le=\"255\"} 4\n"
+      "demo_latency_us_bucket{le=\"+Inf\"} 4\n"
+      "demo_latency_us_sum 255\n"
+      "demo_latency_us_count 4\n"
+      "# HELP demo_queue_depth Current queue depth.\n"
+      "# TYPE demo_queue_depth gauge\n"
+      "demo_queue_depth 2.5\n"
+      "# HELP demo_requests_total Total \"demo\" requests.\n"
+      "# TYPE demo_requests_total counter\n"
+      "demo_requests_total{path=\"a\\\\b\\\"c\\nd\"} 3\n"
+      "demo_requests_total{path=\"plain\"} 1\n";
+  EXPECT_EQ(ToPrometheusText(registry.Collect()), expected);
+}
+
+TEST(ObsExportTest, JsonGolden) {
+  Registry registry;
+  FillGoldenRegistry(registry);
+  const std::string expected =
+      "{\"metrics\": ["
+      "{\"name\": \"demo_latency_us\", \"kind\": \"histogram\", "
+      "\"labels\": {}, \"count\": 4, \"sum\": 255, \"max\": 250, "
+      "\"mean\": 63.75, \"p50\": 2, \"p95\": 250, \"p99\": 250, "
+      "\"buckets\": [{\"le\": 1, \"count\": 1}, {\"le\": 2, \"count\": 3}, "
+      "{\"le\": 255, \"count\": 4}]}, "
+      "{\"name\": \"demo_queue_depth\", \"kind\": \"gauge\", "
+      "\"labels\": {}, \"value\": 2.5}, "
+      "{\"name\": \"demo_requests_total\", \"kind\": \"counter\", "
+      "\"labels\": {\"path\": \"a\\\\b\\\"c\\nd\"}, \"value\": 3}, "
+      "{\"name\": \"demo_requests_total\", \"kind\": \"counter\", "
+      "\"labels\": {\"path\": \"plain\"}, \"value\": 1}"
+      "]}";
+  EXPECT_EQ(ToJson(registry.Collect()), expected);
+}
+
+TEST(ObsExportTest, FormatMetricValueRoundTrips) {
+  EXPECT_EQ(FormatMetricValue(0.0), "0");
+  EXPECT_EQ(FormatMetricValue(42.0), "42");
+  EXPECT_EQ(FormatMetricValue(-7.0), "-7");
+  EXPECT_EQ(FormatMetricValue(2.5), "2.5");
+  EXPECT_EQ(FormatMetricValue(0.1), "0.1");
+  const double awkward = 1.0 / 3.0;
+  EXPECT_EQ(std::strtod(FormatMetricValue(awkward).c_str(), nullptr),
+            awkward);
+}
+
+// --------------------------------------------------------------- spans --
+
+TEST(ObsSpanTest, NestingLinksParentsAndRecordsDurations) {
+  Registry registry;
+  EXPECT_EQ(ScopedSpan::Current(), nullptr);
+  {
+    ScopedSpan outer(&registry, "round");
+    EXPECT_EQ(outer.depth(), 0);
+    EXPECT_EQ(outer.parent(), nullptr);
+    EXPECT_EQ(ScopedSpan::Current(), &outer);
+    {
+      ScopedSpan inner(&registry, "merge");
+      EXPECT_EQ(inner.depth(), 1);
+      EXPECT_EQ(inner.parent(), &outer);
+      EXPECT_EQ(ScopedSpan::Current(), &inner);
+    }
+    EXPECT_EQ(ScopedSpan::Current(), &outer);
+  }
+  EXPECT_EQ(ScopedSpan::Current(), nullptr);
+
+  // Both spans recorded one observation each, linked by the parent label.
+  int seen = 0;
+  for (const MetricSnapshot& m : registry.Collect().metrics) {
+    if (m.name != "span_duration_us") continue;
+    ASSERT_EQ(m.labels.size(), 2u);  // parent, span (sorted by key)
+    EXPECT_EQ(m.labels[0].key, "parent");
+    EXPECT_EQ(m.labels[1].key, "span");
+    if (m.labels[1].value == "round") {
+      EXPECT_EQ(m.labels[0].value, "");
+    }
+    if (m.labels[1].value == "merge") {
+      EXPECT_EQ(m.labels[0].value, "round");
+    }
+    EXPECT_EQ(m.count, 1u);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(ObsSpanTest, NullAndDisabledRegistriesAreNoOps) {
+  {
+    ScopedSpan span(nullptr, "quiet");
+    EXPECT_EQ(span.depth(), 0);
+  }
+  Registry disabled(/*enabled=*/false);
+  {
+    ScopedSpan span(&disabled, "quiet");
+  }
+  EXPECT_TRUE(disabled.Collect().metrics.empty());
+}
+
+// ---------------------------------------------------- training metrics --
+
+TEST(ObsTrainingMetricsTest, NullRegistryRecordingIsANoOp) {
+  TrainingMetrics metrics(nullptr);
+  metrics.RecordStep(0.5);
+  metrics.RecordEpisode();
+  metrics.RecordMergeBarrierWait(10);
+  TrainingRoundSample sample;
+  sample.round = 1;
+  sample.episodes = 20;
+  sample.safe = false;
+  metrics.RecordRound(sample);
+  EXPECT_EQ(metrics.registry(), nullptr);
+  EXPECT_TRUE(metrics.rounds().empty());
+}
+
+TEST(ObsTrainingMetricsTest, RecordsIntoRegistryAndRendersRoundsJson) {
+  Registry registry;
+  TrainingMetrics metrics(&registry);
+  metrics.RecordStep(-0.25);
+  metrics.RecordStep(0.5);
+  metrics.RecordEpisode();
+  TrainingRoundSample sample;
+  sample.round = 1;
+  sample.episodes = 1;
+  sample.seconds = 0.5;
+  sample.episodes_per_sec = 2.0;
+  sample.epsilon = 0.125;
+  sample.safe = true;
+  metrics.RecordRound(sample);
+
+  std::uint64_t steps = 0, episodes = 0, rounds = 0, violations = 0;
+  std::uint64_t td_count = 0;
+  for (const MetricSnapshot& m : registry.Collect().metrics) {
+    if (m.name == "train_steps_total") {
+      steps = static_cast<std::uint64_t>(m.value);
+    } else if (m.name == "train_episodes_total") {
+      episodes = static_cast<std::uint64_t>(m.value);
+    } else if (m.name == "train_rounds_total") {
+      rounds = static_cast<std::uint64_t>(m.value);
+    } else if (m.name == "train_round_violations_total") {
+      violations = static_cast<std::uint64_t>(m.value);
+    } else if (m.name == "train_td_error_abs_micro") {
+      td_count = m.count;
+    }
+  }
+  EXPECT_EQ(steps, 2u);
+  EXPECT_EQ(episodes, 1u);
+  EXPECT_EQ(rounds, 1u);
+  EXPECT_EQ(violations, 0u);
+  EXPECT_EQ(td_count, 2u);  // |−0.25|·1e6 and |0.5|·1e6
+
+  EXPECT_EQ(TrainingRoundsJsonArray(metrics.rounds()),
+            "[{\"round\": 1, \"episodes\": 1, \"seconds\": 0.5, "
+            "\"episodes_per_sec\": 2, \"epsilon\": 0.125, "
+            "\"safe\": true}]");
+}
+
+}  // namespace
+}  // namespace rlplanner::obs

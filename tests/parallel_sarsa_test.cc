@@ -12,6 +12,8 @@
 #include "core/scoring.h"
 #include "datagen/course_data.h"
 #include "mdp/cmdp.h"
+#include "obs/registry.h"
+#include "obs/training_metrics.h"
 #include "rl/parallel_sarsa.h"
 #include "rl/recommender.h"
 #include "rl/sarsa.h"
@@ -195,6 +197,78 @@ TEST(ParallelSarsaTest, HogwildPolicySatisfiesHardConstraints) {
     // collapse": the Hogwild score must stay inside the serial support,
     // i.e. above a floor set between zero and the low mode.
     EXPECT_GE(hogwild_score, 0.45 * serial_score) << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------ metrics equivalence --
+
+// Trains once with a live metrics registry and once with none, under a
+// caller-supplied execution wrapper, and requires bit-identical results.
+void ExpectMetricsDoNotPerturbTraining(
+    const model::TaskInstance& instance, const mdp::RewardFunction& reward,
+    const SarsaConfig& config, std::uint64_t seed,
+    const std::function<mdp::QTable(ParallelSarsaLearner&)>& run) {
+  obs::Registry registry;
+  obs::TrainingMetrics metrics(&registry);
+  ParallelSarsaLearner instrumented(instance, reward, config, seed);
+  instrumented.set_metrics(&metrics);
+  const mdp::QTable q_instrumented = run(instrumented);
+
+  ParallelSarsaLearner plain(instance, reward, config, seed);
+  const mdp::QTable q_plain = run(plain);
+
+  EXPECT_TRUE(q_instrumented == q_plain) << "seed " << seed;
+  EXPECT_EQ(instrumented.episode_returns(), plain.episode_returns())
+      << "seed " << seed;
+  // The instrumented run really recorded: one step counter bump per update.
+  std::uint64_t steps = 0;
+  for (const auto& m : registry.Collect().metrics) {
+    if (m.name == "train_steps_total") steps = static_cast<std::uint64_t>(m.value);
+  }
+  EXPECT_GT(steps, 0u) << "seed " << seed;
+}
+
+TEST(ParallelSarsaTest, MetricsRecordingIsBitExactAcrossSeedsAndModes) {
+  // The observability contract: enabling the registry must not change a
+  // single bit of what is learned, in any execution mode. TD errors are
+  // computed from Q reads only, and no metrics call draws randomness.
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  const mdp::RewardWeights weights;
+  const mdp::RewardFunction reward(instance, weights);
+
+  const auto run_direct = [](ParallelSarsaLearner& learner) {
+    return learner.Learn();
+  };
+  // Hogwild tables depend on thread interleaving, so the comparison forces
+  // it serial: a nested ParallelFor degrades to an inline loop, making the
+  // update order a pure function of the seed while still exercising the
+  // Hogwild code path (atomic table, per-worker RNG streams). The outer
+  // region needs n >= 2 — a single-index ParallelFor takes the trivial
+  // inline fast path without entering a parallel region.
+  util::ThreadPool outer_pool(2);
+  const auto run_nested = [&outer_pool](ParallelSarsaLearner& learner) {
+    mdp::QTable q(0);
+    outer_pool.ParallelFor(2, [&](std::size_t i) {
+      if (i == 0) q = learner.Learn();
+    });
+    return q;
+  };
+
+  for (std::uint64_t seed = 200; seed < 205; ++seed) {
+    ExpectMetricsDoNotPerturbTraining(
+        instance, reward,
+        ParallelConfig(ParallelMode::kSerial, 1, 100, dataset.default_start),
+        seed, run_direct);
+    ExpectMetricsDoNotPerturbTraining(
+        instance, reward,
+        ParallelConfig(ParallelMode::kDeterministic, 4, 100,
+                       dataset.default_start),
+        seed, run_direct);
+    ExpectMetricsDoNotPerturbTraining(
+        instance, reward,
+        ParallelConfig(ParallelMode::kHogwild, 4, 100, dataset.default_start),
+        seed, run_nested);
   }
 }
 

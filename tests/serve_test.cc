@@ -23,6 +23,7 @@
 #include "core/planner.h"
 #include "datagen/course_data.h"
 #include "mdp/q_table.h"
+#include "obs/registry.h"
 #include "serve/plan_service.h"
 #include "serve/policy_registry.h"
 #include "serve/policy_snapshot.h"
@@ -489,6 +490,58 @@ TEST(PlanServiceTest, ConcurrentHotSwapStress) {
   EXPECT_EQ(stats.completed, total);
   EXPECT_EQ(stats.rejected_queue_full, 0u);
   EXPECT_EQ(stats.failed, 0u);
+  // Per-version attribution survives the registry migration: the
+  // serve_responses_total{version=...} counters must agree exactly with
+  // the versions the clients actually observed on their futures.
+  std::map<std::uint64_t, std::uint64_t> client_tallies;
+  for (const auto& per_client : responses) {
+    for (const auto& [version, plan] : per_client) ++client_tallies[version];
+  }
+  EXPECT_EQ(stats.responses_by_version, client_tallies);
+}
+
+TEST(PlanServiceTest, SharedRegistryExposesServeMetrics) {
+  // A service handed an external obs::Registry publishes its counters
+  // there, so one snapshot covers serving (and, in-process, training too).
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  obs::Registry metrics_registry;
+  PlanServiceConfig service_config;
+  service_config.num_workers = 2;
+  service_config.metrics = &metrics_registry;
+  PlanService service(fix.instance, fix.config.reward, fix.registry,
+                      service_config);
+  service.Start();
+
+  constexpr int kRequests = 5;
+  for (int i = 0; i < kRequests; ++i) {
+    PlanRequest request;
+    request.start_item = fix.dataset.default_start;
+    auto submitted = service.Submit(request);
+    ASSERT_TRUE(submitted.ok());
+    ASSERT_TRUE(std::move(submitted).value().get().ok());
+  }
+  service.Stop();
+
+  std::uint64_t completed = 0;
+  std::uint64_t by_version = 0;
+  double queue_depth = -1.0;
+  for (const auto& m : metrics_registry.Collect().metrics) {
+    if (m.name == "serve_requests_completed_total") {
+      completed = static_cast<std::uint64_t>(m.value);
+    } else if (m.name == "serve_responses_total") {
+      ASSERT_EQ(m.labels.size(), 1u);
+      EXPECT_EQ(m.labels[0].key, "version");
+      EXPECT_EQ(m.labels[0].value, "1");
+      by_version = static_cast<std::uint64_t>(m.value);
+    } else if (m.name == "serve_queue_depth") {
+      queue_depth = m.value;
+    }
+  }
+  EXPECT_EQ(completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(by_version, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(queue_depth, 0.0);  // drained before Stop() returned
+  EXPECT_EQ(service.stats().Collect().queue_depth, 0u);
 }
 
 TEST(ServeStatsTest, HistogramQuantilesAndJson) {
@@ -511,6 +564,19 @@ TEST(ServeStatsTest, HistogramQuantilesAndJson) {
   const std::string json = snapshot.ToJson();
   EXPECT_NE(json.find("\"rejected_queue_full\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+TEST(ServeStatsTest, ResponsesByVersionSnapshotAndJson) {
+  ServeStats stats;
+  stats.RecordResponseVersion(1);
+  stats.RecordResponseVersion(1);
+  stats.RecordResponseVersion(2);
+  const ServeStatsSnapshot snapshot = stats.Collect();
+  const std::map<std::uint64_t, std::uint64_t> expected = {{1, 2}, {2, 1}};
+  EXPECT_EQ(snapshot.responses_by_version, expected);
+  EXPECT_NE(snapshot.ToJson().find("\"responses_by_version\": {\"1\": 2, "
+                                   "\"2\": 1}"),
+            std::string::npos);
 }
 
 TEST(ServeStatsTest, EmptyHistogramIsAllZero) {

@@ -28,14 +28,17 @@ run_tsan_lane() {
   # The serving layer and the parallel trainer are where the threads are;
   # util_test covers the ThreadPool substrate both run on. The
   # parallel_sarsa tests drive the sharded-merge barrier and the Hogwild
-  # CAS loop under TSan.
+  # CAS loop under TSan; obs_test hammers the sharded metric cells and the
+  # registry's concurrent registration path.
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -R 'serve_test|util_test|parallel_sarsa_test'
+    -R 'serve_test|util_test|parallel_sarsa_test|obs_test'
 }
 
 run_bench_smoke() {
   echo "==> Training-bench smoke run (JSON shape check)"
-  ./build/bench/train_bench --smoke
+  # Run from build/bench so the artifact lands next to the binary (the same
+  # path the validator and CI's artifact upload read).
+  (cd build/bench && ./train_bench --smoke)
   python3 - <<'EOF'
 import json
 with open("build/bench/BENCH_train.json") as f:
@@ -46,10 +49,38 @@ runs = doc["benchmarks"]
 assert runs, "no benchmark entries"
 for run in runs:
     for key in ("name", "mode", "workers", "episodes", "seconds",
-                "episodes_per_sec", "time_to_safe_seconds"):
+                "episodes_per_sec", "time_to_safe_seconds", "steps",
+                "td_error_abs_p95", "merge_wait_p95_us"):
         assert key in run, f"missing {key} in {run.get('name', '?')}"
     assert run["episodes_per_sec"] > 0, run["name"]
+    assert run["steps"] > 0, run["name"]
 print(f"BENCH_train.json OK ({len(runs)} entries)")
+EOF
+}
+
+run_metrics_smoke() {
+  echo "==> CLI --metrics-out smoke run (JSON shape check)"
+  ./build/tools/rlplanner_cli train --dataset toy --episodes 40 \
+    --metrics-out build/metrics-smoke.json > /dev/null
+  python3 - <<'EOF'
+import json
+with open("build/metrics-smoke.json") as f:
+    doc = json.load(f)
+names = {m["name"] for m in doc["metrics"]}
+for required in ("train_episodes_total", "train_steps_total",
+                 "train_rounds_total", "train_td_error_abs_micro"):
+    assert required in names, f"missing metric {required}"
+episodes = next(m for m in doc["metrics"]
+                if m["name"] == "train_episodes_total")
+assert episodes["value"] == 40, episodes
+rounds = doc["training_rounds"]
+assert rounds, "no per-round samples"
+for r in rounds:
+    for key in ("round", "episodes", "seconds", "episodes_per_sec",
+                "epsilon", "safe"):
+        assert key in r, f"missing {key} in round sample"
+print(f"metrics-smoke.json OK ({len(names)} metric names, "
+      f"{len(rounds)} rounds)")
 EOF
 }
 
@@ -65,6 +96,7 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 run_bench_smoke
+run_metrics_smoke
 
 echo "==> ASan/UBSan build + tests"
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -8,7 +8,14 @@
 //   plan    --dataset <name|file.csv>     train RL-Planner and recommend
 //           [--start CODE] [--episodes N] [--alpha A] [--gamma G]
 //           [--epsilon E] [--similarity avg|min] [--beam] [--seed S]
-//           [--save-policy CSV]
+//           [--save-policy CSV] [--metrics-out JSON]
+//   train   --dataset <name|file.csv>     train only, with per-round
+//           [training flags as for plan]  progress from the metrics
+//           [--workers K] [--mode serial|det|hogwild]
+//           [--save-policy CSV] [--metrics-out JSON]
+//   metrics --dataset <name|file.csv>     train and dump the registry
+//           [--format prom|json]          snapshot to stdout
+//           [training flags as for train]
 //   inspect --dataset <name|file.csv>     strongest learned transitions
 //           [--episodes N] [--out DOT]
 //   save-snapshot --dataset D --out FILE  train and write a binary policy
@@ -19,7 +26,8 @@
 //   serve   --dataset D                   run the concurrent PlanService over
 //           [--snapshot FILE]             synthetic traffic and print the
 //           [--requests N] [--threads T]  stats JSON (hot-path smoke test of
-//           [--queue Q] [--deadline-ms D] the serving layer)
+//           [--queue Q] [--deadline-ms D] the serving layer); training and
+//           [--metrics-out JSON]          serving share one metrics registry
 //           [training flags as for plan]
 //
 // Unknown commands and missing required flags print a usage message on
@@ -41,6 +49,9 @@
 #include "datagen/course_data.h"
 #include "datagen/io.h"
 #include "datagen/trip_data.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/training_metrics.h"
 #include "rl/policy_inspector.h"
 #include "serve/plan_service.h"
 #include "serve/policy_registry.h"
@@ -56,14 +67,15 @@ int Usage(const std::string& error) {
   if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
   std::fprintf(
       stderr,
-      "usage: rlplanner_cli <list|info|export|gold|plan|inspect|"
-      "save-snapshot|load-snapshot|serve> [options]\n"
+      "usage: rlplanner_cli <list|info|export|gold|plan|train|metrics|"
+      "inspect|save-snapshot|load-snapshot|serve> [options]\n"
       "  --dataset <name|file.csv>   (toy, univ1-dsct, univ1-cyber,\n"
       "                               univ1-cs, univ2-ds, nyc, paris)\n"
       "  --start CODE  --episodes N  --alpha A  --gamma G  --epsilon E\n"
       "  --similarity avg|min  --beam  --seed S  --out FILE  --in FILE\n"
       "  --snapshot FILE  --requests N  --threads T  --queue Q\n"
-      "  --deadline-ms D  --save-policy FILE\n");
+      "  --deadline-ms D  --save-policy FILE  --metrics-out FILE\n"
+      "  --workers K  --mode serial|det|hogwild  --format prom|json\n");
   return 2;
 }
 
@@ -119,8 +131,47 @@ rlplanner::core::PlannerConfig BuildConfig(const Dataset& dataset,
                                    : rlplanner::mdp::SimilarityMode::kAverage;
   }
   if (cmd.HasFlag("beam")) config.use_beam_search = true;
+  if (auto v = cmd.GetFlag("workers")) {
+    config.sarsa.num_workers = std::atoi(v->c_str());
+  }
+  if (auto v = cmd.GetFlag("mode")) {
+    if (*v == "det") {
+      config.sarsa.parallel_mode = rlplanner::rl::ParallelMode::kDeterministic;
+    } else if (*v == "hogwild") {
+      config.sarsa.parallel_mode = rlplanner::rl::ParallelMode::kHogwild;
+    } else {
+      config.sarsa.parallel_mode = rlplanner::rl::ParallelMode::kSerial;
+    }
+  }
   config.sarsa.start_item = dataset.default_start;
   return config;
+}
+
+// Writes `payload` to `path`, reporting the path (or the failure) on stdout.
+bool WriteTextFile(const std::string& path, const std::string& payload) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// The `--metrics-out` payload: the full registry snapshot plus the
+// per-round training progression.
+std::string MetricsOutJson(const rlplanner::obs::Registry& registry,
+                           const rlplanner::core::RlPlanner& planner) {
+  std::string out = "{\"metrics\": ";
+  out += rlplanner::obs::MetricsJsonArray(registry.Collect());
+  out += ", \"training_rounds\": ";
+  out += rlplanner::obs::TrainingRoundsJsonArray(
+      planner.training_metrics() != nullptr
+          ? planner.training_metrics()->rounds()
+          : std::vector<rlplanner::obs::TrainingRoundSample>{});
+  out += "}";
+  return out;
 }
 
 // Resolves --start to an item id, or the dataset default.
@@ -216,6 +267,8 @@ int CmdPlan(const Dataset& dataset, const CommandLine& cmd) {
   }
   config.sarsa.start_item = start.value();
 
+  rlplanner::obs::Registry registry;
+  if (cmd.HasFlag("metrics-out")) config.metrics = &registry;
   rlplanner::core::RlPlanner planner(instance, config);
   if (const auto status = planner.Train(); !status.ok()) {
     std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
@@ -236,6 +289,75 @@ int CmdPlan(const Dataset& dataset, const CommandLine& cmd) {
     const auto status = planner.SavePolicy(*v);
     std::printf("policy: %s\n", status.ok() ? v->c_str()
                                             : status.ToString().c_str());
+  }
+  if (auto v = cmd.GetFlag("metrics-out")) {
+    if (!WriteTextFile(*v, MetricsOutJson(registry, planner))) return 1;
+    std::printf("metrics: %s\n", v->c_str());
+  }
+  return 0;
+}
+
+// Trains only, reporting per-round progress from the metrics registry —
+// the observability-first counterpart of `plan`.
+int CmdTrain(const Dataset& dataset, const CommandLine& cmd) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
+  rlplanner::obs::Registry registry;
+  config.metrics = &registry;
+
+  rlplanner::core::RlPlanner planner(instance, config);
+  if (const auto status = planner.Train(); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const char* mode =
+      config.sarsa.parallel_mode == rlplanner::rl::ParallelMode::kHogwild
+          ? "hogwild"
+          : config.sarsa.parallel_mode ==
+                    rlplanner::rl::ParallelMode::kDeterministic
+                ? "det"
+                : "serial";
+  std::printf("trained %d episodes in %.3f s (mode %s, %d workers)\n",
+              config.sarsa.num_episodes, planner.train_seconds(), mode,
+              config.sarsa.num_workers);
+  for (const auto& round : planner.training_metrics()->rounds()) {
+    std::printf(
+        "  round %d: %llu episodes, %.1f eps/sec, epsilon %.4f, %s\n",
+        round.round, static_cast<unsigned long long>(round.episodes),
+        round.episodes_per_sec, round.epsilon,
+        round.safe ? "safe" : "VIOLATION");
+  }
+  if (auto v = cmd.GetFlag("save-policy")) {
+    const auto status = planner.SavePolicy(*v);
+    std::printf("policy: %s\n", status.ok() ? v->c_str()
+                                            : status.ToString().c_str());
+  }
+  if (auto v = cmd.GetFlag("metrics-out")) {
+    if (!WriteTextFile(*v, MetricsOutJson(registry, planner))) return 1;
+    std::printf("metrics: %s\n", v->c_str());
+  }
+  return 0;
+}
+
+// Trains and dumps the registry snapshot to stdout in the requested format
+// — the quickest way to see what the exporters produce.
+int CmdMetrics(const Dataset& dataset, const CommandLine& cmd) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
+  rlplanner::obs::Registry registry;
+  config.metrics = &registry;
+
+  rlplanner::core::RlPlanner planner(instance, config);
+  if (const auto status = planner.Train(); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const std::string format = cmd.GetFlagOr("format", "prom");
+  if (format == "json") {
+    std::printf("%s\n", rlplanner::obs::ToJson(registry.Collect()).c_str());
+  } else {
+    std::printf("%s",
+                rlplanner::obs::ToPrometheusText(registry.Collect()).c_str());
   }
   return 0;
 }
@@ -357,7 +479,12 @@ int CmdLoadSnapshot(const Dataset& dataset, const CommandLine& cmd) {
 // prints the stats JSON — a smoke test / demo of the serving layer.
 int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
   const rlplanner::model::TaskInstance instance = dataset.Instance();
-  const rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
+  rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
+
+  // Training (when no snapshot is supplied) and serving record into the
+  // same registry, so the final snapshot covers the whole process.
+  rlplanner::obs::Registry metrics_registry;
+  config.metrics = &metrics_registry;
 
   rlplanner::serve::PolicySnapshot snapshot;
   if (auto path = cmd.GetFlag("snapshot")) {
@@ -398,6 +525,7 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
       std::atoi(cmd.GetFlagOr("queue", "256").c_str()));
   service_config.default_deadline_ms =
       std::atof(cmd.GetFlagOr("deadline-ms", "0").c_str());
+  service_config.metrics = &metrics_registry;
   const int num_requests = std::atoi(cmd.GetFlagOr("requests", "200").c_str());
 
   rlplanner::serve::PlanService service(instance, config.reward, registry,
@@ -445,6 +573,13 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
               num_requests, valid, errors, retried,
               service.config().num_workers);
   std::printf("%s\n", service.stats().ToJson().c_str());
+  if (auto v = cmd.GetFlag("metrics-out")) {
+    if (!WriteTextFile(
+            *v, rlplanner::obs::ToJson(metrics_registry.Collect()))) {
+      return 1;
+    }
+    std::printf("metrics: %s\n", v->c_str());
+  }
   return errors == 0 ? 0 : 1;
 }
 
@@ -462,7 +597,8 @@ int main(int argc, char** argv) {
   } else if (cmd.command == "load-snapshot") {
     required.push_back("in");
   } else if (cmd.command != "info" && cmd.command != "gold" &&
-             cmd.command != "plan" && cmd.command != "inspect" &&
+             cmd.command != "plan" && cmd.command != "train" &&
+             cmd.command != "metrics" && cmd.command != "inspect" &&
              cmd.command != "serve") {
     return Usage("unknown command '" + cmd.command + "'");
   }
@@ -478,6 +614,8 @@ int main(int argc, char** argv) {
   if (cmd.command == "export") return CmdExport(*dataset, *cmd.GetFlag("out"));
   if (cmd.command == "gold") return CmdGold(*dataset);
   if (cmd.command == "plan") return CmdPlan(*dataset, cmd);
+  if (cmd.command == "train") return CmdTrain(*dataset, cmd);
+  if (cmd.command == "metrics") return CmdMetrics(*dataset, cmd);
   if (cmd.command == "inspect") return CmdInspect(*dataset, cmd);
   if (cmd.command == "save-snapshot") return CmdSaveSnapshot(*dataset, cmd);
   if (cmd.command == "load-snapshot") return CmdLoadSnapshot(*dataset, cmd);
