@@ -7,9 +7,12 @@
 //
 // An argument-less run emits BENCH_train.json (same conventions as
 // BENCH_micro.json); `--smoke` shrinks the episode budget to a few seconds
-// for the CI bench-smoke lane. Exit status is non-zero when any run fails
-// to produce a result, so the lane catches regressions, and the lane
-// additionally validates the JSON shape.
+// for the CI bench-smoke lane; `--trace-out FILE` additionally captures a
+// Chrome trace-event timeline of every run (round/shard/merge spans per
+// worker — see docs/observability.md) for straggler analysis in Perfetto.
+// Exit status is non-zero when any run fails to produce a result, so the
+// lane catches regressions, and the lane additionally validates the JSON
+// shape.
 //
 // Speedups are bounded by the physical core count: `hardware_threads` is
 // recorded in the output so a 1-core CI container reporting ~1x for every
@@ -19,6 +22,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +32,7 @@
 #include "datagen/synthetic.h"
 #include "mdp/reward.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "obs/training_metrics.h"
 #include "rl/parallel_sarsa.h"
 #include "rl/sarsa.h"
@@ -101,7 +106,7 @@ Scenario MakeSynthetic1k() {
 }
 
 RunResult RunOne(const Scenario& scenario, ParallelMode mode, int workers,
-                 int episodes) {
+                 int episodes, rlplanner::obs::TraceCollector* trace) {
   const rlplanner::model::TaskInstance instance = scenario.dataset.Instance();
   const rlplanner::mdp::RewardFunction reward(instance, scenario.weights);
 
@@ -135,6 +140,7 @@ RunResult RunOne(const Scenario& scenario, ParallelMode mode, int workers,
   rlplanner::rl::ParallelSarsaLearner learner(instance, reward, config,
                                               /*seed=*/17);
   learner.set_metrics(&metrics);
+  learner.set_trace(trace);
   const rlplanner::mdp::QTable q = learner.Learn();
   result.time_to_safe_seconds = learner.time_to_safe_seconds();
   result.ok = q.num_items() == scenario.dataset.catalog.size() &&
@@ -168,9 +174,22 @@ void PrintEntry(std::FILE* f, const RunResult& r, bool last) {
                r.merge_wait_p95_us, last ? "" : ",");
 }
 
-int RunAll(bool smoke) {
+int RunAll(bool smoke, const std::string& trace_out) {
   const unsigned hardware = std::thread::hardware_concurrency();
   const std::vector<int> worker_counts = {1, 2, 4, 8};
+
+  // One collector spans every run, so a single Perfetto timeline shows all
+  // scenarios and modes back to back (round/shard/merge spans per worker).
+  // Every learner owns a fresh K-thread pool, so many short-lived threads
+  // register; small per-thread rings let them all fit the budget. Drops
+  // are reported, not fatal.
+  std::unique_ptr<rlplanner::obs::TraceCollector> trace;
+  if (!trace_out.empty()) {
+    rlplanner::obs::TraceCollectorConfig trace_config;
+    trace_config.events_per_thread = 1024;
+    trace = std::make_unique<rlplanner::obs::TraceCollector>(trace_config);
+    trace->SetCurrentThreadName("bench-main");
+  }
 
   std::vector<Scenario> scenarios;
   scenarios.push_back(MakeUniv1());
@@ -184,13 +203,14 @@ int RunAll(bool smoke) {
     // few seconds of smoke total.
     int episodes = smoke ? 20 : (scenario.name == "synthetic_1k" ? 100 : 200);
 
-    results.push_back(RunOne(scenario, ParallelMode::kSerial, 1, episodes));
+    results.push_back(
+        RunOne(scenario, ParallelMode::kSerial, 1, episodes, trace.get()));
     for (int k : worker_counts) {
-      results.push_back(
-          RunOne(scenario, ParallelMode::kDeterministic, k, episodes));
+      results.push_back(RunOne(scenario, ParallelMode::kDeterministic, k,
+                               episodes, trace.get()));
     }
     results.push_back(RunOne(scenario, ParallelMode::kHogwild,
-                             worker_counts.back(), episodes));
+                             worker_counts.back(), episodes, trace.get()));
     for (const RunResult& r : results) all_ok = all_ok && r.ok;
   }
 
@@ -233,6 +253,20 @@ int RunAll(bool smoke) {
                 r.ok ? "" : "  [FAILED]");
   }
   std::printf("wrote BENCH_train.json (hardware_threads=%u)\n", hardware);
+
+  if (trace != nullptr) {
+    std::FILE* tf = std::fopen(trace_out.c_str(), "w");
+    if (tf == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_out.c_str());
+      return 1;
+    }
+    const std::string json = trace->ToChromeTrace();
+    std::fwrite(json.data(), 1, json.size(), tf);
+    std::fclose(tf);
+    std::printf("wrote %s (%llu events, %llu dropped)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(trace->emitted_total()),
+                static_cast<unsigned long long>(trace->dropped_total()));
+  }
   return all_ok ? 0 : 1;
 }
 
@@ -240,8 +274,11 @@ int RunAll(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") smoke = true;
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--trace-out" && i + 1 < argc) trace_out = argv[++i];
   }
-  return RunAll(smoke);
+  return RunAll(smoke, trace_out);
 }

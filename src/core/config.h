@@ -9,6 +9,7 @@
 
 namespace rlplanner::obs {
 class Registry;
+class TraceCollector;
 }  // namespace rlplanner::obs
 
 namespace rlplanner::core {
@@ -31,6 +32,10 @@ struct PlannerConfig {
   /// latter is serialized into snapshot provenance — a process-local
   /// pointer has no business in a persisted config.
   obs::Registry* metrics = nullptr;
+  /// Trace collector Train() emits timeline events into (not owned; may be
+  /// null for no tracing). Same process-local-pointer rationale as
+  /// `metrics`.
+  obs::TraceCollector* trace = nullptr;
 
   /// Cross-field checks (weights valid, N positive, alpha/gamma in range).
   util::Status Validate() const;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/scoring.h"
+#include "obs/span.h"
 #include "obs/training_metrics.h"
 #include "rl/parallel_sarsa.h"
 #include "rl/recommender.h"
@@ -28,11 +29,17 @@ util::Status RlPlanner::Train() {
           ? std::make_unique<obs::TrainingMetrics>(config_.metrics)
           : nullptr;
   const auto start = std::chrono::steady_clock::now();
+  // Root span of the whole training run: the `train_round` /
+  // `train_shard` / `train_merge` spans the learners emit nest under it.
+  obs::ScopedSpan train_span(config_.metrics, "train", config_.trace);
+  train_span.AddArg("episodes",
+                    static_cast<std::uint64_t>(config_.sarsa.num_episodes));
   if (config_.sarsa.parallel_mode != rl::ParallelMode::kSerial &&
       config_.sarsa.num_workers > 1) {
     rl::ParallelSarsaLearner learner(*instance_, reward_, config_.sarsa,
                                      config_.seed);
     learner.set_metrics(training_metrics_.get());
+    learner.set_trace(config_.trace);
     q_ = learner.Learn();
     episode_returns_ = learner.episode_returns();
   } else {
@@ -41,6 +48,7 @@ util::Status RlPlanner::Train() {
     rl::SarsaLearner learner(*instance_, reward_, config_.sarsa,
                              config_.seed);
     learner.set_metrics(training_metrics_.get());
+    learner.set_trace(config_.trace);
     q_ = learner.Learn();
     episode_returns_ = learner.episode_returns();
   }

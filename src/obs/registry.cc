@@ -1,11 +1,22 @@
 #include "obs/registry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace rlplanner::obs {
 
 namespace {
+
+double ProcessStartTimeSeconds() {
+  // Sampled once per process at first use, so every registry (trainer,
+  // server, tests sharing the binary) reports the same start time.
+  static const double start =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  return start;
+}
 
 bool IsNameStart(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
@@ -46,6 +57,30 @@ const char* KindName(MetricKind kind) {
 }
 
 }  // namespace
+
+const char* BuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+Registry::Registry(bool enabled) : enabled_(enabled) {
+  if (!enabled_) return;
+  // Prometheus-convention defaults (see the class comment). Registered
+  // through the public path so they behave like any other metric: tests may
+  // re-Get and overwrite them (e.g. pin process_start_time_seconds in
+  // goldens).
+  auto info = GetGauge(
+      "rlplanner_build_info",
+      "Build metadata; the value is always 1 (Prometheus info pattern).",
+      {{"version", kBuildVersion}, {"build_type", BuildType()}});
+  if (info.ok()) info.value()->Set(1.0);
+  auto start = GetGauge("process_start_time_seconds",
+                        "Unix time the process started, in seconds.");
+  if (start.ok()) start.value()->Set(ProcessStartTimeSeconds());
+}
 
 util::Status Registry::ValidateMetricName(const std::string& name) {
   if (name.empty() || !IsNameStart(name[0])) {

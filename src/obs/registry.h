@@ -55,6 +55,12 @@ struct MetricsSnapshot {
   std::vector<MetricSnapshot> metrics;
 };
 
+/// The version string exported in `rlplanner_build_info{version=...}`.
+inline constexpr const char kBuildVersion[] = "0.5.0";
+/// "release" or "debug", from NDEBUG at compile time; exported in
+/// `rlplanner_build_info{build_type=...}`.
+const char* BuildType();
+
 /// A named collection of metrics shared across subsystems (training and
 /// serving register into the same instance so one snapshot covers both).
 ///
@@ -69,9 +75,14 @@ struct MetricsSnapshot {
 /// with recording disabled, so every write is a single predictable branch
 /// and Collect() returns an empty snapshot. This is the "null registry"
 /// mode: instrumented code is identical either way, only the cells differ.
+///
+/// Every enabled registry starts with two Prometheus-convention defaults:
+/// the info-gauge `rlplanner_build_info{build_type,version}` (value 1) and
+/// `process_start_time_seconds` (one process-wide value, so co-located
+/// registries agree).
 class Registry {
  public:
-  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+  explicit Registry(bool enabled = true);
 
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;

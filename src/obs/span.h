@@ -1,7 +1,12 @@
 #ifndef RLPLANNER_OBS_SPAN_H_
 #define RLPLANNER_OBS_SPAN_H_
 
+#include <array>
 #include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/trace.h"
 
 namespace rlplanner::obs {
 
@@ -13,16 +18,23 @@ class Registry;
 /// the enclosing span on the same thread so nesting depth and parentage are
 /// visible in the exported metrics.
 ///
+/// A span may additionally be attached to a `TraceCollector`: on destruction
+/// it then emits one complete Chrome-trace event (with any args added via
+/// `AddArg`) onto the calling thread's timeline. The two sinks are
+/// independent — either may be null.
+///
 /// Spans are for coarse-grained phases (a training round, a serve request),
 /// not per-step hot loops — each span costs two clock reads plus one
-/// registry lookup at destruction. With a null or disabled registry the
-/// span skips the clock reads entirely.
+/// registry lookup at destruction. With a null or disabled registry AND no
+/// attached collector the span skips the clock reads entirely: exactly one
+/// predictable branch each in the constructor and destructor.
 ///
 /// `name` must be a string literal (or otherwise outlive the span); it is
-/// stored by pointer.
+/// stored by pointer. Arg keys likewise.
 class ScopedSpan {
  public:
-  ScopedSpan(Registry* registry, const char* name);
+  ScopedSpan(Registry* registry, const char* name,
+             TraceCollector* trace = nullptr);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -32,16 +44,27 @@ class ScopedSpan {
   const ScopedSpan* parent() const { return parent_; }
   /// Nesting depth on this thread: 0 for a root span.
   int depth() const { return depth_; }
+  /// Whether destruction will emit a trace event.
+  bool traced() const { return trace_ != nullptr; }
+
+  /// Annotates the trace event emitted at destruction. No-ops (one branch,
+  /// no copies) when no collector is attached; extra args beyond
+  /// kMaxTraceArgs are dropped.
+  void AddArg(const char* key, std::string_view value);
+  void AddArg(const char* key, std::uint64_t value);
 
   /// The innermost live span on the calling thread, or nullptr.
   static const ScopedSpan* Current();
 
  private:
   Registry* const registry_;
+  TraceCollector* const trace_;
   const char* const name_;
   ScopedSpan* const parent_;
   const int depth_;
   std::chrono::steady_clock::time_point start_;
+  std::array<TraceArg, kMaxTraceArgs> args_;
+  int num_args_ = 0;
 };
 
 }  // namespace rlplanner::obs

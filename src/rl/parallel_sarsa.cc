@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "mdp/cmdp.h"
+#include "obs/span.h"
 #include "rl/episode_runner.h"
 #include "rl/recommender.h"
 #include "util/rng.h"
@@ -127,6 +128,7 @@ mdp::QTable ParallelSarsaLearner::LearnSerialDelegate() {
   // The inner learner records steps/episodes/rounds itself — the delegate
   // must not double-count.
   learner.set_metrics(metrics_);
+  learner.set_trace(trace_);
   learner.set_round_observer([this, start](int /*round*/, bool safe) {
     if (safe && time_to_safe_seconds_ < 0.0) {
       time_to_safe_seconds_ = SecondsSince(start);
@@ -174,9 +176,15 @@ mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
         RecommendPlan(table, *instance_, *reward_, rollout_config));
   };
 
+  obs::Registry* const span_registry =
+      metrics_ != nullptr ? metrics_->registry() : nullptr;
   std::optional<mdp::QTable> last_safe;
   int episodes_done = 0;
   for (int round = 0; episodes_done < config_.num_episodes; ++round) {
+    // Spans only read the clock: no RNG draws, no Q-table interaction, so
+    // the learned table stays bit-exact with tracing on.
+    obs::ScopedSpan round_span(span_registry, "train_round", trace_);
+    round_span.AddArg("round", static_cast<std::uint64_t>(round));
     const auto round_start = Clock::now();
     const double round_epsilon = explore;
     const int target =
@@ -197,6 +205,12 @@ mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
     std::vector<std::vector<double>> returns(static_cast<std::size_t>(k));
     std::vector<Clock::time_point> worker_done(static_cast<std::size_t>(k));
     ForEachWorker(k, [&](std::size_t w) {
+      // One span per shard on the emitting thread's own timeline — the
+      // per-worker straggler picture the merge-wait histogram can't show.
+      obs::ScopedSpan shard_span(span_registry, "train_shard", trace_);
+      shard_span.AddArg("round", static_cast<std::uint64_t>(round));
+      shard_span.AddArg("worker", static_cast<std::uint64_t>(w));
+      shard_span.AddArg("episodes", static_cast<std::uint64_t>(shard[w]));
       util::Rng rng(WorkerSeed(seed_, round, static_cast<int>(w)));
       EpisodeRunner<mdp::QTable> runner(*instance_, *reward_, config_, rng);
       runner.set_metrics(metrics_);
@@ -220,18 +234,30 @@ mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
       }
     }
 
-    // Round barrier: fold worker deltas in ascending worker order. Fixed
-    // iteration and FP-evaluation order make the merged table — and thus
-    // the whole run — bit-reproducible for a given (seed, K).
-    for (int w = 0; w < k; ++w) {
-      q.AccumulateDelta(locals[static_cast<std::size_t>(w)], snapshot);
-      episode_returns_.insert(episode_returns_.end(),
-                              returns[static_cast<std::size_t>(w)].begin(),
-                              returns[static_cast<std::size_t>(w)].end());
+    {
+      // Round barrier: fold worker deltas in ascending worker order. Fixed
+      // iteration and FP-evaluation order make the merged table — and thus
+      // the whole run — bit-reproducible for a given (seed, K).
+      obs::ScopedSpan merge_span(span_registry, "train_merge", trace_);
+      merge_span.AddArg("round", static_cast<std::uint64_t>(round));
+      for (int w = 0; w < k; ++w) {
+        q.AccumulateDelta(locals[static_cast<std::size_t>(w)], snapshot);
+        episode_returns_.insert(episode_returns_.end(),
+                                returns[static_cast<std::size_t>(w)].begin(),
+                                returns[static_cast<std::size_t>(w)].end());
+      }
     }
     episodes_done = target;
 
-    const bool safe = rounds == 1 || policy_is_safe(q);
+    bool safe = true;  // single-round runs never roll out
+    if (rounds > 1) {
+      obs::ScopedSpan rollout_span(span_registry, "train_safety_rollout",
+                                   trace_);
+      rollout_span.AddArg("round", static_cast<std::uint64_t>(round));
+      safe = policy_is_safe(q);
+    }
+    round_span.AddArg("episodes", static_cast<std::uint64_t>(count));
+    round_span.AddArg("safe", safe ? "true" : "false");
     if (metrics_ != nullptr) {
       obs::TrainingRoundSample sample;
       sample.round = round;
@@ -298,9 +324,13 @@ mdp::QTable ParallelSarsaLearner::LearnHogwild() {
         RecommendPlan(table, *instance_, *reward_, rollout_config));
   };
 
+  obs::Registry* const span_registry =
+      metrics_ != nullptr ? metrics_->registry() : nullptr;
   std::optional<mdp::QTable> last_safe;
   int episodes_done = 0;
   for (int round = 0; episodes_done < config_.num_episodes; ++round) {
+    obs::ScopedSpan round_span(span_registry, "train_round", trace_);
+    round_span.AddArg("round", static_cast<std::uint64_t>(round));
     const auto round_start = Clock::now();
     const double round_epsilon = explore;
     const int target =
@@ -315,6 +345,10 @@ mdp::QTable ParallelSarsaLearner::LearnHogwild() {
     // merge. The round barrier only exists for the safety rollout.
     std::vector<std::vector<double>> returns(static_cast<std::size_t>(k));
     ForEachWorker(k, [&](std::size_t w) {
+      obs::ScopedSpan shard_span(span_registry, "train_shard", trace_);
+      shard_span.AddArg("round", static_cast<std::uint64_t>(round));
+      shard_span.AddArg("worker", static_cast<std::uint64_t>(w));
+      shard_span.AddArg("episodes", static_cast<std::uint64_t>(shard[w]));
       util::Rng rng(WorkerSeed(seed_, round, static_cast<int>(w)));
       EpisodeRunner<AtomicQTable> runner(*instance_, *reward_, config_, rng);
       runner.set_metrics(metrics_);
@@ -332,6 +366,9 @@ mdp::QTable ParallelSarsaLearner::LearnHogwild() {
 
     bool safe = true;  // single-round runs never roll out
     if (rounds > 1) {
+      obs::ScopedSpan rollout_span(span_registry, "train_safety_rollout",
+                                   trace_);
+      rollout_span.AddArg("round", static_cast<std::uint64_t>(round));
       mdp::QTable q = shared.ToQTable();
       safe = policy_is_safe(q);
       if (safe) {
@@ -347,6 +384,8 @@ mdp::QTable ParallelSarsaLearner::LearnHogwild() {
         explore = std::min(0.5, explore + 0.1);
       }
     }
+    round_span.AddArg("episodes", static_cast<std::uint64_t>(count));
+    round_span.AddArg("safe", safe ? "true" : "false");
     if (metrics_ != nullptr) {
       obs::TrainingRoundSample sample;
       sample.round = round;

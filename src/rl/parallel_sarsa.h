@@ -15,6 +15,10 @@
 #include "rl/sarsa_config.h"
 #include "util/thread_pool.h"
 
+namespace rlplanner::obs {
+class TraceCollector;
+}  // namespace rlplanner::obs
+
 namespace rlplanner::rl {
 
 /// A |I| x |I| action-value table of std::atomic<double> for the Hogwild
@@ -147,6 +151,14 @@ class ParallelSarsaLearner {
   /// uses Q reads only, so deterministic-mode output stays bit-exact.
   void set_metrics(obs::TrainingMetrics* metrics) { metrics_ = metrics; }
 
+  /// Attaches a trace collector (null detaches): the coordinator emits
+  /// `train_round`, `train_merge`, and `train_safety_rollout` spans; each
+  /// worker emits a `train_shard` span on its own thread's timeline, making
+  /// the sharded-merge timeline (and any straggler) visible per worker.
+  /// Spans only read the clock — no RNG draws, no Q-table touches — so
+  /// deterministic-mode output stays bit-exact with tracing on.
+  void set_trace(obs::TraceCollector* trace) { trace_ = trace; }
+
  private:
   mdp::QTable LearnSerialDelegate();
   mdp::QTable LearnDeterministic();
@@ -166,6 +178,7 @@ class ParallelSarsaLearner {
   // Learn() calls on the same learner.
   std::unique_ptr<util::ThreadPool> owned_pool_;
   obs::TrainingMetrics* metrics_ = nullptr;
+  obs::TraceCollector* trace_ = nullptr;
   std::vector<double> episode_returns_;
   double time_to_safe_seconds_ = -1.0;
 };

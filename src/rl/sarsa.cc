@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "mdp/cmdp.h"
+#include "obs/span.h"
+#include "obs/training_metrics.h"
 #include "rl/recommender.h"
 
 namespace rlplanner::rl {
@@ -48,6 +50,12 @@ mdp::QTable SarsaLearner::Learn() {
   std::optional<mdp::QTable> last_safe;
   int episodes_done = 0;
   for (int round = 0; episodes_done < config_.num_episodes; ++round) {
+    // Spans only read the clock: no RNG draws, no Q-table interaction, so
+    // training stays bit-exact with tracing on.
+    obs::ScopedSpan round_span(
+        metrics_ != nullptr ? metrics_->registry() : nullptr, "train_round",
+        trace_);
+    round_span.AddArg("round", static_cast<std::uint64_t>(round));
     const auto round_start = std::chrono::steady_clock::now();
     const double round_epsilon = explore;
     const int round_first_episode = episodes_done;
@@ -60,6 +68,10 @@ mdp::QTable SarsaLearner::Learn() {
     }
     // A single-round run never rolls out, so its sample reports safe.
     const bool safe = rounds == 1 || policy_is_safe(q);
+    round_span.AddArg(
+        "episodes", static_cast<std::uint64_t>(episodes_done -
+                                               round_first_episode));
+    round_span.AddArg("safe", safe ? "true" : "false");
     if (metrics_ != nullptr) {
       obs::TrainingRoundSample sample;
       sample.round = round;

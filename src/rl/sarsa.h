@@ -11,6 +11,10 @@
 #include "rl/sarsa_config.h"
 #include "util/rng.h"
 
+namespace rlplanner::obs {
+class TraceCollector;
+}  // namespace rlplanner::obs
+
 namespace rlplanner::rl {
 
 /// The SARSA policy learner of Section III-C / Algorithm 1. Each episode
@@ -67,6 +71,12 @@ class SarsaLearner {
     runner_.set_metrics(metrics);
   }
 
+  /// Attaches a trace collector (null detaches): each policy-iteration
+  /// round emits a `train_round` timeline span. Spans only read the clock —
+  /// no RNG draws, no Q-table touches — so the learned table is bit-exact
+  /// with tracing on.
+  void set_trace(obs::TraceCollector* trace) { trace_ = trace; }
+
  private:
   const model::TaskInstance* instance_;
   const mdp::RewardFunction* reward_;
@@ -75,6 +85,7 @@ class SarsaLearner {
   EpisodeRunner<mdp::QTable> runner_;
   RoundObserver round_observer_;
   obs::TrainingMetrics* metrics_ = nullptr;
+  obs::TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace rlplanner::rl

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "core/scoring.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "rl/recommender.h"
 
 namespace rlplanner::serve {
@@ -26,6 +28,8 @@ PlanService::PlanService(const model::TaskInstance& instance,
       registry_(&registry),
       config_(config),
       stats_(config.metrics),
+      trace_(config.trace != nullptr && config.trace->enabled() ? config.trace
+                                                                : nullptr),
       pool_(std::max<std::size_t>(1, config.num_workers)) {
   config_.num_workers = std::max<std::size_t>(1, config_.num_workers);
   config_.max_queue = std::max<std::size_t>(1, config_.max_queue);
@@ -39,8 +43,12 @@ void PlanService::Start() {
   // of the num_workers indices runs one WorkerLoop on a pool thread (or the
   // coordinator itself — ParallelFor callers participate).
   coordinator_ = std::thread([this] {
-    pool_.ParallelFor(config_.num_workers,
-                      [this](std::size_t) { WorkerLoop(); });
+    pool_.ParallelFor(config_.num_workers, [this](std::size_t w) {
+      if (trace_ != nullptr) {
+        trace_->SetCurrentThreadName("serve-worker-" + std::to_string(w));
+      }
+      WorkerLoop();
+    });
   });
 }
 
@@ -67,6 +75,12 @@ util::Result<std::future<util::Result<PlanResponse>>> PlanService::Submit(
         "requested)");
   }
   const auto now = Clock::now();
+  // Trace ids are allocated only when tracing is on, so the untraced path
+  // never touches the atomic.
+  const std::uint64_t trace_id =
+      trace_ != nullptr
+          ? next_trace_id_.fetch_add(1, std::memory_order_relaxed)
+          : 0;
   double deadline_ms = request.deadline_ms == 0.0
                            ? config_.default_deadline_ms
                            : request.deadline_ms;
@@ -79,6 +93,13 @@ util::Result<std::future<util::Result<PlanResponse>>> PlanService::Submit(
     stats_.RecordSubmitted();
     if (queue_.size() >= config_.max_queue) {
       stats_.RecordRejectedQueueFull();
+      if (trace_ != nullptr) {
+        // Zero-width marker on the submitting thread's timeline: the
+        // request never entered the queue.
+        trace_->EmitComplete("serve_queue_wait", now, now,
+                             {{"trace_id", std::to_string(trace_id)},
+                              {"status", "queue_rejected"}});
+      }
       return util::Status::ResourceExhausted(
           "request queue full (" + std::to_string(config_.max_queue) +
           " pending requests); retry later");
@@ -86,6 +107,7 @@ util::Result<std::future<util::Result<PlanResponse>>> PlanService::Submit(
     Pending pending;
     pending.request = std::move(request);
     pending.enqueued = now;
+    pending.trace_id = trace_id;
     if (deadline_ms > 0.0) {
       pending.has_deadline = true;
       pending.deadline =
@@ -113,7 +135,19 @@ void PlanService::WorkerLoop() {
       stats_.SetQueueDepth(queue_.size());
     }
     const auto dequeued = Clock::now();
-    if (pending.has_deadline && dequeued > pending.deadline) {
+    const bool expired = pending.has_deadline && dequeued > pending.deadline;
+    if (trace_ != nullptr) {
+      // The queue-wait interval spans submission to dequeue; it renders on
+      // the worker's timeline since that is where the wait was observed.
+      trace_->EmitComplete(
+          "serve_queue_wait", pending.enqueued, dequeued,
+          {{"trace_id", std::to_string(pending.trace_id)},
+           {"status", expired ? "deadline_exceeded" : "ok"}});
+    }
+    if (expired) {
+      obs::ScopedSpan respond_span(config_.metrics, "serve_respond", trace_);
+      respond_span.AddArg("trace_id", pending.trace_id);
+      respond_span.AddArg("status", "deadline_exceeded");
       stats_.RecordExpiredDeadline();
       pending.promise.set_value(util::Status::DeadlineExceeded(
           "request spent " +
@@ -121,8 +155,20 @@ void PlanService::WorkerLoop() {
           " ms in the queue, past its deadline"));
       continue;
     }
-    auto result = Execute(pending.request);
+    auto result = [&]() -> util::Result<PlanResponse> {
+      obs::ScopedSpan plan_span(config_.metrics, "serve_plan", trace_);
+      plan_span.AddArg("trace_id", pending.trace_id);
+      auto executed = Execute(pending.request);
+      plan_span.AddArg("status", executed.ok() ? "ok" : "error");
+      if (executed.ok()) {
+        plan_span.AddArg("version", executed.value().policy_version);
+      }
+      return executed;
+    }();
     const auto finished = Clock::now();
+    obs::ScopedSpan respond_span(config_.metrics, "serve_respond", trace_);
+    respond_span.AddArg("trace_id", pending.trace_id);
+    respond_span.AddArg("status", result.ok() ? "ok" : "error");
     if (result.ok()) {
       result.value().queue_ms = MillisBetween(pending.enqueued, dequeued);
       result.value().exec_ms = MillisBetween(dequeued, finished);

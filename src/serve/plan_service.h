@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -21,6 +22,10 @@
 #include "serve/stats.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+
+namespace rlplanner::obs {
+class TraceCollector;
+}  // namespace rlplanner::obs
 
 namespace rlplanner::serve {
 
@@ -67,6 +72,12 @@ struct PlanServiceConfig {
   /// registry — stats still work, they are just not shared with a
   /// co-located trainer.
   obs::Registry* metrics = nullptr;
+  /// Optional trace collector (not owned; must outlive the service). When
+  /// set, every request is assigned a process-unique trace id and emits a
+  /// queue-wait → plan → respond span chain onto the worker's timeline —
+  /// including queue-rejected and deadline-exceeded requests, which is
+  /// exactly when a timeline matters most.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// The concurrent plan-serving layer: executes PlanRequests against the
@@ -125,6 +136,7 @@ class PlanService {
     Clock::time_point enqueued;
     Clock::time_point deadline;
     bool has_deadline = false;
+    std::uint64_t trace_id = 0;  // assigned only when tracing is on
   };
 
   void WorkerLoop();
@@ -135,6 +147,8 @@ class PlanService {
   const PolicyRegistry* registry_;
   PlanServiceConfig config_;
   ServeStats stats_;
+  obs::TraceCollector* trace_;  // null when absent or disabled
+  std::atomic<std::uint64_t> next_trace_id_{1};
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;

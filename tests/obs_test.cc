@@ -1,13 +1,19 @@
 // Tests for the observability layer (src/obs/): exactness of the sharded
 // counters under concurrent writers, within-bucket-exact histograms, the
 // registry's validation and idempotent-registration contract, golden-file
-// checks for both exporters, and ScopedSpan nesting. The concurrency tests
-// double as the TSan workload for the sharded cells.
+// checks for both exporters (metrics and Chrome traces), ScopedSpan
+// nesting, and the trace collector's exact-overflow accounting. The
+// concurrency tests double as the sanitizer workload for the sharded cells
+// and the single-writer trace rings.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,8 +23,10 @@
 #include "obs/metric.h"
 #include "obs/registry.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 #include "obs/training_metrics.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rlplanner::obs {
 namespace {
@@ -115,6 +123,39 @@ TEST(ObsHistogramTest, QuantileWithinRelativeErrorAndClampedToMax) {
   // The top quantile may not exceed the exact observed maximum.
   EXPECT_LE(histogram.Quantile(0.999), 1000.0);
   EXPECT_EQ(histogram.Quantile(1.0), 1000.0);
+}
+
+TEST(ObsHistogramTest, QuantileMatchesSortedSampleOracle) {
+  // Randomized property check against the exact oracle: for any sample, the
+  // histogram quantile is the bucket upper bound of the observation the
+  // oracle picks — so it is >= the oracle value and within the documented
+  // 12.5% relative error (values below kSubBuckets are bucket-exact).
+  std::mt19937_64 rng(20260805);
+  const double qs[] = {0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0};
+  for (int trial = 0; trial < 25; ++trial) {
+    Histogram histogram;
+    std::vector<std::uint64_t> values;
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 3000);
+    values.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Random octave spread: anything from single digits to ~2^40.
+      const std::uint64_t value = rng() >> (24 + rng() % 40);
+      values.push_back(value);
+      histogram.Record(value);
+    }
+    std::sort(values.begin(), values.end());
+    for (const double q : qs) {
+      const std::size_t rank = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(q * static_cast<double>(n))));
+      const auto oracle = static_cast<double>(values[rank - 1]);
+      const double estimate = histogram.Quantile(q);
+      EXPECT_GE(estimate, oracle) << "n=" << n << " q=" << q;
+      EXPECT_LE(estimate, oracle * 1.125 + 1e-9) << "n=" << n << " q=" << q;
+    }
+    // The top quantile is clamped to the exact maximum, not a bucket bound.
+    EXPECT_EQ(histogram.Quantile(1.0), static_cast<double>(values.back()));
+  }
 }
 
 TEST(ObsHistogramTest, ConcurrentRecordsMatchSerialReplayPerBucket) {
@@ -222,6 +263,43 @@ TEST(ObsRegistryTest, DisabledRegistryRecordsNothingAndCollectsEmpty) {
   EXPECT_TRUE(registry.Collect().metrics.empty());
 }
 
+TEST(ObsRegistryTest, EnabledRegistryStartsWithBuildInfoAndStartTime) {
+  Registry registry;
+  const MetricsSnapshot snapshot = registry.Collect();
+  bool saw_build_info = false;
+  bool saw_start_time = false;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.name == "rlplanner_build_info") {
+      saw_build_info = true;
+      EXPECT_EQ(m.kind, MetricKind::kGauge);
+      EXPECT_EQ(m.value, 1.0);  // info pattern: the labels carry the data
+      ASSERT_EQ(m.labels.size(), 2u);
+      EXPECT_EQ(m.labels[0].key, "build_type");
+      EXPECT_EQ(m.labels[0].value, BuildType());
+      EXPECT_EQ(m.labels[1].key, "version");
+      EXPECT_EQ(m.labels[1].value, kBuildVersion);
+    } else if (m.name == "process_start_time_seconds") {
+      saw_start_time = true;
+      EXPECT_EQ(m.kind, MetricKind::kGauge);
+      // A sane Unix timestamp (after 2020), and shared process-wide: a
+      // second registry reports the identical value.
+      EXPECT_GT(m.value, 1577836800.0);
+    }
+  }
+  EXPECT_TRUE(saw_build_info);
+  EXPECT_TRUE(saw_start_time);
+
+  Registry other;
+  double first = 0.0, second = 0.0;
+  for (const MetricSnapshot& m : registry.Collect().metrics) {
+    if (m.name == "process_start_time_seconds") first = m.value;
+  }
+  for (const MetricSnapshot& m : other.Collect().metrics) {
+    if (m.name == "process_start_time_seconds") second = m.value;
+  }
+  EXPECT_EQ(first, second);
+}
+
 TEST(ObsRegistryTest, ConcurrentRegistrationAndWritesAreExact) {
   // Threads race to register the same counter and a per-thread labelled
   // sibling, then hammer both. Registration must converge on one instance
@@ -264,8 +342,15 @@ TEST(ObsRegistryTest, ConcurrentRegistrationAndWritesAreExact) {
 
 // One registry exercising every exporter feature: several label sets under
 // one name, label-value escaping, a gauge with a fractional value, and a
-// histogram with known buckets.
+// histogram with known buckets. The registry's two default metrics are part
+// of the golden output; process_start_time_seconds is re-Get (registration
+// is idempotent) and pinned so the goldens are deterministic.
 void FillGoldenRegistry(Registry& registry) {
+  registry
+      .GetGauge("process_start_time_seconds",
+                "Unix time the process started, in seconds.")
+      .value()
+      ->Set(1234567890.5);
   Counter* escaped = registry
                          .GetCounter("demo_requests_total",
                                      "Total \"demo\" requests.",
@@ -306,7 +391,17 @@ TEST(ObsExportTest, PrometheusTextGolden) {
       "# HELP demo_requests_total Total \"demo\" requests.\n"
       "# TYPE demo_requests_total counter\n"
       "demo_requests_total{path=\"a\\\\b\\\"c\\nd\"} 3\n"
-      "demo_requests_total{path=\"plain\"} 1\n";
+      "demo_requests_total{path=\"plain\"} 1\n"
+      "# HELP process_start_time_seconds Unix time the process started, in "
+      "seconds.\n"
+      "# TYPE process_start_time_seconds gauge\n"
+      "process_start_time_seconds 1234567890.5\n"
+      "# HELP rlplanner_build_info Build metadata; the value is always 1 "
+      "(Prometheus info pattern).\n"
+      "# TYPE rlplanner_build_info gauge\n"
+      "rlplanner_build_info{build_type=\"" +
+      std::string(BuildType()) + "\",version=\"" + kBuildVersion +
+      "\"} 1\n";
   EXPECT_EQ(ToPrometheusText(registry.Collect()), expected);
 }
 
@@ -325,7 +420,13 @@ TEST(ObsExportTest, JsonGolden) {
       "{\"name\": \"demo_requests_total\", \"kind\": \"counter\", "
       "\"labels\": {\"path\": \"a\\\\b\\\"c\\nd\"}, \"value\": 3}, "
       "{\"name\": \"demo_requests_total\", \"kind\": \"counter\", "
-      "\"labels\": {\"path\": \"plain\"}, \"value\": 1}"
+      "\"labels\": {\"path\": \"plain\"}, \"value\": 1}, "
+      "{\"name\": \"process_start_time_seconds\", \"kind\": \"gauge\", "
+      "\"labels\": {}, \"value\": 1234567890.5}, "
+      "{\"name\": \"rlplanner_build_info\", \"kind\": \"gauge\", "
+      "\"labels\": {\"build_type\": \"" +
+      std::string(BuildType()) + "\", \"version\": \"" + kBuildVersion +
+      "\"}, \"value\": 1}"
       "]}";
   EXPECT_EQ(ToJson(registry.Collect()), expected);
 }
@@ -390,6 +491,218 @@ TEST(ObsSpanTest, NullAndDisabledRegistriesAreNoOps) {
     ScopedSpan span(&disabled, "quiet");
   }
   EXPECT_TRUE(disabled.Collect().metrics.empty());
+}
+
+TEST(ObsSpanTest, AttachedCollectorReceivesSpanEventWithArgs) {
+  TraceCollector trace;
+  {
+    ScopedSpan span(nullptr, "plan", &trace);
+    EXPECT_TRUE(span.traced());
+    span.AddArg("version", std::uint64_t{7});
+    span.AddArg("status", "ok");
+  }
+  EXPECT_EQ(trace.emitted_total(), 1u);
+  const std::string json = trace.ToChromeTrace();
+  EXPECT_NE(json.find("\"name\": \"plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"version\": \"7\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+}
+
+TEST(ObsSpanTest, DisabledCollectorResolvesToUntraced) {
+  TraceCollectorConfig config;
+  config.enabled = false;
+  TraceCollector trace(config);
+  {
+    ScopedSpan span(nullptr, "quiet", &trace);
+    // The constructor resolves a disabled collector to null, so the span is
+    // back on the one-branch path and AddArg is a no-op.
+    EXPECT_FALSE(span.traced());
+    span.AddArg("ignored", "value");
+  }
+  EXPECT_EQ(trace.emitted_total(), 0u);
+  EXPECT_EQ(trace.dropped_total(), 0u);
+}
+
+TEST(ObsSpanTest, PoolWorkersGetTheirOwnRootSpans) {
+  // The parent chain is thread-local: a span opened on a pool worker is a
+  // root even while the submitting thread holds a live span. Indices that
+  // run on the caller (ParallelFor callers participate) nest under it.
+  Registry registry;
+  util::ThreadPool pool(3);
+  constexpr std::size_t kTasks = 16;
+  struct Seen {
+    int depth = -1;
+    bool parent_is_outer = false;
+    std::thread::id tid;
+  };
+  std::vector<Seen> seen(kTasks);
+  const std::thread::id caller = std::this_thread::get_id();
+  {
+    ScopedSpan outer(&registry, "outer");
+    pool.ParallelFor(kTasks, [&](std::size_t i) {
+      ScopedSpan span(&registry, "task");
+      seen[i] = {span.depth(), span.parent() == &outer,
+                 std::this_thread::get_id()};
+    });
+  }
+  for (const Seen& s : seen) {
+    ASSERT_GE(s.depth, 0);
+    if (s.tid == caller) {
+      EXPECT_EQ(s.depth, 1);
+      EXPECT_TRUE(s.parent_is_outer);
+    } else {
+      EXPECT_EQ(s.depth, 0);
+      EXPECT_FALSE(s.parent_is_outer);
+    }
+  }
+}
+
+// --------------------------------------------------------------- traces --
+
+TEST(ObsTraceTest, ChromeTraceGoldenPinsFullJson) {
+  // Fixed timestamps via EmitAt make the whole export deterministic, so the
+  // golden pins everything: the process/thread metadata records, event
+  // ordering, µs conversion, arg rendering, and JSON escaping in names and
+  // arg values.
+  TraceCollector trace;
+  trace.SetCurrentThreadName("main");
+  trace.EmitAt("train_round", 1000, 5000, {{"round", "0"}, {"safe", "true"}});
+  trace.EmitAt("train_merge", 2500, 3500, {{"round", "0"}});
+  trace.EmitAt("note \"q\"\\", 4000, 4000, {{"msg", "line\nbreak"}});
+  const std::string expected =
+      "{\"traceEvents\": [\n"
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"rlplanner\"}},\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"main\"}},\n"
+      "{\"name\": \"train_round\", \"ph\": \"X\", \"pid\": 1, \"tid\": 0, "
+      "\"ts\": 1, \"dur\": 4, \"args\": {\"round\": \"0\", "
+      "\"safe\": \"true\"}},\n"
+      "{\"name\": \"train_merge\", \"ph\": \"X\", \"pid\": 1, \"tid\": 0, "
+      "\"ts\": 2.5, \"dur\": 1, \"args\": {\"round\": \"0\"}},\n"
+      "{\"name\": \"note \\\"q\\\"\\\\\", \"ph\": \"X\", \"pid\": 1, "
+      "\"tid\": 0, \"ts\": 4, \"dur\": 0, \"args\": "
+      "{\"msg\": \"line\\nbreak\"}}\n"
+      "],\n"
+      "\"displayTimeUnit\": \"ms\",\n"
+      "\"otherData\": {\"trace_events_emitted\": 3, "
+      "\"trace_events_dropped\": 0}}";
+  EXPECT_EQ(trace.ToChromeTrace(), expected);
+  EXPECT_EQ(trace.emitted_total(), 3u);
+  EXPECT_EQ(trace.dropped_total(), 0u);
+}
+
+TEST(ObsTraceTest, ArgValuesTruncateAndExtraArgsAreDropped) {
+  TraceCollector trace;
+  const std::string long_value(3 * kTraceArgValueCap, 'x');
+  trace.EmitAt("ev", 0, 1,
+               {{"k", long_value},
+                {"a1", "1"},
+                {"a2", "2"},
+                {"a3", "3"},
+                {"beyond_cap", "dropped"}});
+  const std::string json = trace.ToChromeTrace();
+  // Values are cut at the fixed cap (kTraceArgValueCap - 1 payload chars)...
+  EXPECT_NE(json.find("\"k\": \"" + std::string(kTraceArgValueCap - 1, 'x') +
+                      "\""),
+            std::string::npos);
+  EXPECT_EQ(json.find(std::string(kTraceArgValueCap, 'x')),
+            std::string::npos);
+  // ...and args past kMaxTraceArgs are silently ignored.
+  EXPECT_NE(json.find("\"a3\": \"3\""), std::string::npos);
+  EXPECT_EQ(json.find("beyond_cap"), std::string::npos);
+}
+
+TEST(ObsTraceTest, DisabledCollectorRecordsNothing) {
+  Registry registry;
+  TraceCollectorConfig config;
+  config.enabled = false;
+  config.metrics = &registry;
+  TraceCollector trace(config);
+  trace.EmitAt("ev", 0, 1);
+  trace.SetCurrentThreadName("main");
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_EQ(trace.emitted_total(), 0u);
+  EXPECT_EQ(trace.dropped_total(), 0u);
+  // No thread ever registered, so the export is just process metadata.
+  EXPECT_EQ(trace.ToChromeTrace().find("thread_name"), std::string::npos);
+  // A disabled collector does not register the dropped counter either.
+  for (const MetricSnapshot& m : registry.Collect().metrics) {
+    EXPECT_NE(m.name, "trace_events_dropped_total");
+  }
+}
+
+TEST(ObsTraceTest, OverflowAccountingIsExactAcrossThreads) {
+  // Four threads hammer a collector whose budget covers exactly two rings:
+  // two threads fill 128 events each, the other two get zero-capacity
+  // buffers and drop everything. Every attempt must be accounted for, both
+  // in the collector and in the registry counter.
+  Registry registry;
+  TraceCollectorConfig config;
+  config.events_per_thread = 128;
+  config.memory_budget_bytes = 2 * 128 * sizeof(TraceEvent);
+  config.metrics = &registry;
+  TraceCollector trace(config);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        trace.EmitAt("ev", i, i + 1, {{"i", "x"}});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const std::uint64_t attempted = kThreads * kPerThread;
+  EXPECT_EQ(trace.emitted_total(), 2u * 128u);
+  EXPECT_EQ(trace.dropped_total(), attempted - 2u * 128u);
+  EXPECT_EQ(trace.emitted_total() + trace.dropped_total(), attempted);
+  std::uint64_t counter = 0;
+  for (const MetricSnapshot& m : registry.Collect().metrics) {
+    if (m.name == "trace_events_dropped_total") {
+      counter = static_cast<std::uint64_t>(m.value);
+    }
+  }
+  EXPECT_EQ(counter, trace.dropped_total());
+  // The export agrees with the accessors.
+  const std::string json = trace.ToChromeTrace();
+  EXPECT_NE(json.find("\"trace_events_emitted\": 256"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_events_dropped\": " +
+                      std::to_string(attempted - 256)),
+            std::string::npos);
+}
+
+TEST(ObsTraceTest, ConcurrentEmitAndExportAreCoherent) {
+  // The exporter may run while emitters are live: it must only see fully
+  // published events (acquire/release on the ring size) and never tear.
+  // This is the sanitizer workload for the single-writer rings.
+  TraceCollectorConfig config;
+  config.events_per_thread = 512;
+  TraceCollector trace(config);
+  std::atomic<bool> stop{false};
+  std::thread reader([&trace, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string json = trace.ToChromeTrace();
+      ASSERT_NE(json.find("\"traceEvents\""), std::string::npos);
+    }
+  });
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&trace] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        trace.EmitAt("ev", i, i + 1, {{"status", "ok"}});
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(trace.emitted_total() + trace.dropped_total(),
+            kThreads * kPerThread);
+  EXPECT_EQ(trace.emitted_total(), 4u * 512u);
 }
 
 // ---------------------------------------------------- training metrics --

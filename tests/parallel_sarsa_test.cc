@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "datagen/course_data.h"
 #include "mdp/cmdp.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "obs/training_metrics.h"
 #include "rl/parallel_sarsa.h"
 #include "rl/recommender.h"
@@ -48,6 +50,39 @@ TEST(ParallelSarsaTest, SameSeedSameWorkersIsBitIdentical) {
   const mdp::QTable q2 = second.Learn();
   EXPECT_TRUE(q1 == q2);
   EXPECT_EQ(first.episode_returns(), second.episode_returns());
+}
+
+TEST(ParallelSarsaTest, TracingDoesNotPerturbDeterministicTraining) {
+  // Spans only read the clock — attaching a trace collector (and a metrics
+  // registry) must leave the learned table and the per-episode returns
+  // bit-identical to an untraced run with the same (seed, K).
+  datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  const mdp::RewardWeights weights;
+  const mdp::RewardFunction reward(instance, weights);
+  const SarsaConfig config = ParallelConfig(ParallelMode::kDeterministic, 4,
+                                            100, dataset.default_start);
+
+  ParallelSarsaLearner untraced(instance, reward, config, /*seed=*/123);
+  const mdp::QTable q1 = untraced.Learn();
+
+  obs::Registry registry;
+  obs::TrainingMetrics metrics(&registry);
+  obs::TraceCollector trace;
+  ParallelSarsaLearner traced(instance, reward, config, /*seed=*/123);
+  traced.set_metrics(&metrics);
+  traced.set_trace(&trace);
+  const mdp::QTable q2 = traced.Learn();
+
+  EXPECT_TRUE(q1 == q2);
+  EXPECT_EQ(untraced.episode_returns(), traced.episode_returns());
+  // The run actually produced a timeline: round, shard, and merge spans.
+  EXPECT_GT(trace.emitted_total(), 0u);
+  const std::string json = trace.ToChromeTrace();
+  EXPECT_NE(json.find("\"name\": \"train_round\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"train_shard\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"train_merge\""), std::string::npos);
+  EXPECT_EQ(trace.dropped_total(), 0u);
 }
 
 TEST(ParallelSarsaTest, DeterministicResultIndependentOfThreadCount) {

@@ -24,6 +24,7 @@
 #include "datagen/course_data.h"
 #include "mdp/q_table.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "serve/plan_service.h"
 #include "serve/policy_registry.h"
 #include "serve/policy_snapshot.h"
@@ -386,6 +387,74 @@ TEST(PlanServiceTest, ExpiredDeadlineIsReportedNotExecuted) {
   service.Stop();
   EXPECT_EQ(service.stats().Collect().expired_deadline, expired);
   EXPECT_GT(expired, 0u);
+}
+
+TEST(PlanServiceTest, TraceCollectorRecordsRequestLifecycles) {
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  obs::TraceCollector trace;
+  PlanServiceConfig service_config;
+  service_config.num_workers = 1;
+  service_config.max_queue = 2;
+  service_config.trace = &trace;
+  PlanService service(fix.instance, fix.config.reward, fix.registry,
+                      service_config);
+  service.Start();
+
+  PlanRequest request;
+  request.start_item = fix.dataset.default_start;
+
+  // One request that completes cleanly: trace id 1.
+  auto first = service.Submit(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(std::move(first).value().get().ok());
+
+  // Flood the 2-deep queue with full executions so some submissions are
+  // queue-rejected (cf. AdmissionControlRejectsWhenQueueIsFull)...
+  std::vector<std::future<util::Result<PlanResponse>>> futures;
+  bool rejected = false;
+  for (int i = 0; i < 64; ++i) {
+    auto submitted = service.Submit(request);
+    if (submitted.ok()) {
+      futures.push_back(std::move(submitted).value());
+    } else {
+      rejected = true;
+    }
+  }
+  for (auto& future : futures) future.get();
+  futures.clear();
+
+  // ...then a batch with a microscopic deadline that expires behind the
+  // saturated worker (cf. ExpiredDeadlineIsReportedNotExecuted).
+  PlanRequest hurried = request;
+  hurried.deadline_ms = 0.0001;
+  for (int i = 0; i < 32; ++i) {
+    auto submitted = service.Submit(hurried);
+    if (submitted.ok()) futures.push_back(std::move(submitted).value());
+  }
+  bool expired = false;
+  for (auto& future : futures) {
+    if (!future.get().ok()) expired = true;
+  }
+  service.Stop();
+  ASSERT_TRUE(rejected);
+  ASSERT_TRUE(expired);
+
+  // Every lifecycle stage shows up on the timeline, including both failure
+  // paths, the policy version, the per-request trace id, and the named
+  // worker thread.
+  const std::string json = trace.ToChromeTrace();
+  EXPECT_NE(json.find("\"name\": \"serve_queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"serve_plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"serve_respond\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"queue_rejected\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"deadline_exceeded\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"version\": \"1\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": \"1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"serve-worker-0\""), std::string::npos);
+  EXPECT_EQ(trace.dropped_total(), 0u);
 }
 
 // The hot-swap stress test: kClients threads request plans while the policy

@@ -9,7 +9,9 @@
 #      thread-pool substrate).
 # The Release lane also smoke-runs bench/train_bench with a tiny episode
 # budget and validates the BENCH_train.json it emits, so a malformed
-# benchmark artifact fails the check rather than the downstream plots.
+# benchmark artifact fails the check rather than the downstream plots —
+# and likewise validates the CLI's --metrics-out JSON and --trace-out
+# Chrome trace-event file (the artifact docs/observability.md documents).
 # Set RLPLANNER_SANITIZE=thread to run only the TSan lane (the mode CI's
 # sanitizer matrix uses); any other value runs everything.
 # Usage: tools/check.sh  (from the repo root; build trees go to build/,
@@ -28,8 +30,10 @@ run_tsan_lane() {
   # The serving layer and the parallel trainer are where the threads are;
   # util_test covers the ThreadPool substrate both run on. The
   # parallel_sarsa tests drive the sharded-merge barrier and the Hogwild
-  # CAS loop under TSan; obs_test hammers the sharded metric cells and the
-  # registry's concurrent registration path.
+  # CAS loop under TSan; obs_test hammers the sharded metric cells, the
+  # registry's concurrent registration path, and the trace collector's
+  # single-writer rings (concurrent emit + export). The ASan/UBSan lane
+  # below runs the complete suite, obs_test included — no filter there.
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
     -R 'serve_test|util_test|parallel_sarsa_test|obs_test'
 }
@@ -84,6 +88,30 @@ print(f"metrics-smoke.json OK ({len(names)} metric names, "
 EOF
 }
 
+run_trace_smoke() {
+  echo "==> CLI --trace-out smoke run (Chrome trace-event shape check)"
+  ./build/tools/rlplanner_cli train --dataset toy --episodes 40 \
+    --trace-out build/trace-smoke.json > /dev/null
+  python3 - <<'EOF'
+import json
+with open("build/trace-smoke.json") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+assert {e["ph"] for e in events} <= {"M", "X"}, "unexpected phases"
+names = {e["name"] for e in events}
+for required in ("process_name", "thread_name", "train", "train_round"):
+    assert required in names, f"missing event {required}"
+for e in events:
+    if e["ph"] != "X":
+        continue
+    assert e["ts"] >= 0 and e["dur"] >= 0, e
+    assert isinstance(e["args"], dict), e
+assert doc["otherData"]["trace_events_dropped"] == 0
+print(f"trace-smoke.json OK ({len(events)} events)")
+EOF
+}
+
 if [ "${MODE}" = "thread" ]; then
   run_tsan_lane
   echo "==> TSan checks passed"
@@ -97,6 +125,7 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 run_bench_smoke
 run_metrics_smoke
+run_trace_smoke
 
 echo "==> ASan/UBSan build + tests"
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

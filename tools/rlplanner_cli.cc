@@ -8,11 +8,11 @@
 //   plan    --dataset <name|file.csv>     train RL-Planner and recommend
 //           [--start CODE] [--episodes N] [--alpha A] [--gamma G]
 //           [--epsilon E] [--similarity avg|min] [--beam] [--seed S]
-//           [--save-policy CSV] [--metrics-out JSON]
+//           [--save-policy CSV] [--metrics-out JSON] [--trace-out JSON]
 //   train   --dataset <name|file.csv>     train only, with per-round
 //           [training flags as for plan]  progress from the metrics
 //           [--workers K] [--mode serial|det|hogwild]
-//           [--save-policy CSV] [--metrics-out JSON]
+//           [--save-policy CSV] [--metrics-out JSON] [--trace-out JSON]
 //   metrics --dataset <name|file.csv>     train and dump the registry
 //           [--format prom|json]          snapshot to stdout
 //           [training flags as for train]
@@ -28,18 +28,30 @@
 //           [--requests N] [--threads T]  stats JSON (hot-path smoke test of
 //           [--queue Q] [--deadline-ms D] the serving layer); training and
 //           [--metrics-out JSON]          serving share one metrics registry
+//           [--metrics-interval-s N]      (periodic atomic rewrites of
+//           [--trace-out JSON]            --metrics-out while serving)
 //           [training flags as for plan]
+//
+// `--trace-out FILE` records a Chrome trace-event timeline of the run
+// (training rounds / worker shards / serve request lifecycles) loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing — see
+// docs/observability.md.
 //
 // Unknown commands and missing required flags print a usage message on
 // stderr and exit 2. Datasets can be the built-in names (toy, univ1-dsct,
 // univ1-cyber, univ1-cs, univ2-ds, nyc, paris) or a CSV file produced by
 // `export` / `datagen::SaveDatasetCsv`.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/gold.h"
@@ -51,6 +63,7 @@
 #include "datagen/trip_data.h"
 #include "obs/export.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "obs/training_metrics.h"
 #include "rl/policy_inspector.h"
 #include "serve/plan_service.h"
@@ -75,6 +88,7 @@ int Usage(const std::string& error) {
       "  --similarity avg|min  --beam  --seed S  --out FILE  --in FILE\n"
       "  --snapshot FILE  --requests N  --threads T  --queue Q\n"
       "  --deadline-ms D  --save-policy FILE  --metrics-out FILE\n"
+      "  --metrics-interval-s N  --trace-out FILE\n"
       "  --workers K  --mode serial|det|hogwild  --format prom|json\n");
   return 2;
 }
@@ -156,6 +170,45 @@ bool WriteTextFile(const std::string& path, const std::string& payload) {
   }
   std::fwrite(payload.data(), 1, payload.size(), f);
   std::fclose(f);
+  return true;
+}
+
+// Crash-safe replacement of `path`: the payload goes to `path + ".tmp"`
+// first and is renamed over the target, so a reader (or a crash mid-write)
+// never observes a torn file.
+bool AtomicWriteTextFile(const std::string& path, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  if (!WriteTextFile(tmp, payload)) return false;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "cannot rename %s to %s\n", tmp.c_str(),
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Constructs the `--trace-out` collector when requested (null disables
+// tracing entirely — emitters resolve the null pointer to one predictable
+// branch per span).
+std::unique_ptr<rlplanner::obs::TraceCollector> MakeTraceCollector(
+    const CommandLine& cmd, rlplanner::obs::Registry* metrics) {
+  if (!cmd.HasFlag("trace-out")) return nullptr;
+  rlplanner::obs::TraceCollectorConfig config;
+  config.metrics = metrics;
+  auto trace = std::make_unique<rlplanner::obs::TraceCollector>(config);
+  trace->SetCurrentThreadName("main");
+  return trace;
+}
+
+// Writes the Chrome-trace JSON when `--trace-out` was given.
+bool WriteTraceOut(const CommandLine& cmd,
+                   const rlplanner::obs::TraceCollector* trace) {
+  const auto path = cmd.GetFlag("trace-out");
+  if (!path.has_value() || trace == nullptr) return true;
+  if (!WriteTextFile(*path, trace->ToChromeTrace())) return false;
+  std::printf("trace: %s (%llu events, %llu dropped)\n", path->c_str(),
+              static_cast<unsigned long long>(trace->emitted_total()),
+              static_cast<unsigned long long>(trace->dropped_total()));
   return true;
 }
 
@@ -269,6 +322,8 @@ int CmdPlan(const Dataset& dataset, const CommandLine& cmd) {
 
   rlplanner::obs::Registry registry;
   if (cmd.HasFlag("metrics-out")) config.metrics = &registry;
+  const auto trace = MakeTraceCollector(cmd, config.metrics);
+  config.trace = trace.get();
   rlplanner::core::RlPlanner planner(instance, config);
   if (const auto status = planner.Train(); !status.ok()) {
     std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
@@ -294,6 +349,7 @@ int CmdPlan(const Dataset& dataset, const CommandLine& cmd) {
     if (!WriteTextFile(*v, MetricsOutJson(registry, planner))) return 1;
     std::printf("metrics: %s\n", v->c_str());
   }
+  if (!WriteTraceOut(cmd, trace.get())) return 1;
   return 0;
 }
 
@@ -304,6 +360,8 @@ int CmdTrain(const Dataset& dataset, const CommandLine& cmd) {
   rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
   rlplanner::obs::Registry registry;
   config.metrics = &registry;
+  const auto trace = MakeTraceCollector(cmd, config.metrics);
+  config.trace = trace.get();
 
   rlplanner::core::RlPlanner planner(instance, config);
   if (const auto status = planner.Train(); !status.ok()) {
@@ -336,6 +394,7 @@ int CmdTrain(const Dataset& dataset, const CommandLine& cmd) {
     if (!WriteTextFile(*v, MetricsOutJson(registry, planner))) return 1;
     std::printf("metrics: %s\n", v->c_str());
   }
+  if (!WriteTraceOut(cmd, trace.get())) return 1;
   return 0;
 }
 
@@ -482,9 +541,12 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
   rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
 
   // Training (when no snapshot is supplied) and serving record into the
-  // same registry, so the final snapshot covers the whole process.
+  // same registry, so the final snapshot covers the whole process. Likewise
+  // one trace collector covers training rounds and request lifecycles.
   rlplanner::obs::Registry metrics_registry;
   config.metrics = &metrics_registry;
+  const auto trace = MakeTraceCollector(cmd, config.metrics);
+  config.trace = trace.get();
 
   rlplanner::serve::PolicySnapshot snapshot;
   if (auto path = cmd.GetFlag("snapshot")) {
@@ -526,11 +588,37 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
   service_config.default_deadline_ms =
       std::atof(cmd.GetFlagOr("deadline-ms", "0").c_str());
   service_config.metrics = &metrics_registry;
+  service_config.trace = trace.get();
   const int num_requests = std::atoi(cmd.GetFlagOr("requests", "200").c_str());
 
   rlplanner::serve::PlanService service(instance, config.reward, registry,
                                         service_config);
   service.Start();
+
+  // --metrics-interval-s: rewrite --metrics-out periodically while serving,
+  // always via temp-file + atomic rename so a crash mid-interval never
+  // leaves a torn JSON for a scraper to trip over.
+  const double metrics_interval_s =
+      std::atof(cmd.GetFlagOr("metrics-interval-s", "0").c_str());
+  const auto metrics_path = cmd.GetFlag("metrics-out");
+  std::mutex writer_mutex;
+  std::condition_variable writer_cv;
+  bool writer_stop = false;
+  std::thread metrics_writer;
+  if (metrics_interval_s > 0.0 && metrics_path.has_value()) {
+    metrics_writer = std::thread([&] {
+      std::unique_lock<std::mutex> lock(writer_mutex);
+      while (!writer_cv.wait_for(
+          lock, std::chrono::duration<double>(metrics_interval_s),
+          [&] { return writer_stop; })) {
+        lock.unlock();
+        AtomicWriteTextFile(
+            *metrics_path,
+            rlplanner::obs::ToJson(metrics_registry.Collect()));
+        lock.lock();
+      }
+    });
+  }
   std::vector<std::future<
       rlplanner::util::Result<rlplanner::serve::PlanResponse>>> futures;
   futures.reserve(static_cast<std::size_t>(num_requests));
@@ -568,18 +656,30 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
     if (!result.ok()) ++errors;
   }
   service.Stop();
+  if (metrics_writer.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(writer_mutex);
+      writer_stop = true;
+    }
+    writer_cv.notify_all();
+    metrics_writer.join();
+  }
   std::printf("served %d requests (%d valid plans, %d errors, %d retries) "
               "on %zu workers\n",
               num_requests, valid, errors, retried,
               service.config().num_workers);
   std::printf("%s\n", service.stats().ToJson().c_str());
-  if (auto v = cmd.GetFlag("metrics-out")) {
-    if (!WriteTextFile(
-            *v, rlplanner::obs::ToJson(metrics_registry.Collect()))) {
+  if (metrics_path.has_value()) {
+    // The final write is atomic too: the periodic writer may have left a
+    // mid-run snapshot in place, and this replaces it wholesale.
+    if (!AtomicWriteTextFile(
+            *metrics_path,
+            rlplanner::obs::ToJson(metrics_registry.Collect()))) {
       return 1;
     }
-    std::printf("metrics: %s\n", v->c_str());
+    std::printf("metrics: %s\n", metrics_path->c_str());
   }
+  if (!WriteTraceOut(cmd, trace.get())) return 1;
   return errors == 0 ? 0 : 1;
 }
 
