@@ -13,7 +13,9 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "datagen/course_data.h"
@@ -26,6 +28,7 @@
 #include "rl/sarsa.h"
 #include "util/bitset.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -98,6 +101,27 @@ void BM_QTableArgmax(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QTableArgmax)->Arg(31)->Arg(114)->Arg(500);
+
+void BM_QTableArgmaxBitset(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  rlplanner::mdp::QTable q(n);
+  rlplanner::util::DynamicBitset allowed(n);
+  rlplanner::util::Rng rng(3);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < n; ++a) {
+      q.Set(static_cast<int>(s), static_cast<int>(a), rng.NextDouble());
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.5)) allowed.Set(i);
+  }
+  int row = 0;
+  for (auto _ : state) {
+    row = (row + 1) % static_cast<int>(n);
+    benchmark::DoNotOptimize(q.ArgmaxAction(row, allowed));
+  }
+}
+BENCHMARK(BM_QTableArgmaxBitset)->Arg(31)->Arg(114)->Arg(500)->Arg(2000);
 
 void BM_SingleEpisode(benchmark::State& state) {
   rlplanner::datagen::SyntheticSpec spec;
@@ -222,6 +246,113 @@ Timing TimeLearn(const Dataset& dataset,
   return t;
 }
 
+// ---------------------------------------------------------------------------
+// Per-kernel scalar-vs-SIMD entries (BENCH_micro.json "kernels" section)
+// ---------------------------------------------------------------------------
+
+// Times one kernel invocation, calibrating the iteration count until a
+// measurement window of >= 30ms — long enough to be stable on a shared
+// 1-core runner while keeping the whole kernel sweep under a second.
+template <typename Fn>
+double TimeKernelNs(Fn&& fn) {
+  fn();  // warm-up (page-in, branch predictors, dispatch resolution)
+  int iters = 256;
+  for (;;) {
+    const double begin = Now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double seconds = Now() - begin;
+    if (seconds >= 0.03 || iters >= (1 << 24)) return seconds * 1e9 / iters;
+    iters *= 4;
+  }
+}
+
+struct KernelBench {
+  std::string name;
+  double scalar_ns = 0.0;
+  double simd_ns = 0.0;
+  double speedup() const { return simd_ns > 0.0 ? scalar_ns / simd_ns : 0.0; }
+};
+
+// Benchmarks every dispatched kernel at the 10k-item recommender-catalog
+// scale the SIMD pass targets (large enough that DynamicBitset routes
+// through the kernel table rather than its inline loops). `scalar_ns` uses
+// the scalar table; `simd_ns` uses the best level the host supports, so on
+// scalar-only machines the two columns time the same code.
+std::vector<KernelBench> RunKernelBenchmarks() {
+  namespace simd = rlplanner::util::simd;
+  constexpr std::size_t kBits = 16384;  // 256 words
+  constexpr std::size_t kWords = kBits / 64;
+  constexpr std::size_t kFloats = 10000;
+
+  rlplanner::util::Rng rng(7);
+  std::vector<std::uint64_t> a(kWords), b(kWords), c(kWords), mask_words;
+  for (std::size_t w = 0; w < kWords; ++w) {
+    a[w] = rng.NextU64();
+    b[w] = rng.NextU64();
+    c[w] = rng.NextU64();
+  }
+  std::vector<double> x(kFloats), y(kFloats), base(kFloats), scratch(kFloats);
+  mask_words.resize((kFloats + 63) / 64);
+  for (std::size_t i = 0; i < kFloats; ++i) {
+    x[i] = rng.NextDouble() - 0.5;
+    y[i] = rng.NextDouble() - 0.5;
+    base[i] = rng.NextDouble() - 0.5;
+    if (rng.NextBernoulli(0.5)) {
+      mask_words[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+  }
+
+  const simd::Kernels& scalar = simd::KernelsForLevel(simd::Level::kScalar);
+  const simd::Kernels& vec = simd::KernelsForLevel(simd::DetectBestLevel());
+
+  // One row per kernel: the same closure parameterized by the table, so the
+  // two columns differ only in which function pointers they call.
+  const auto bench = [&](const char* name, auto&& op) {
+    KernelBench kb;
+    kb.name = name;
+    kb.scalar_ns = TimeKernelNs([&] { op(scalar); });
+    kb.simd_ns = TimeKernelNs([&] { op(vec); });
+    return kb;
+  };
+
+  std::vector<KernelBench> rows;
+  rows.push_back(bench("popcount_words/16384b", [&](const simd::Kernels& k) {
+    benchmark::DoNotOptimize(k.popcount_words(a.data(), kWords));
+  }));
+  rows.push_back(
+      bench("intersect_count_words/16384b", [&](const simd::Kernels& k) {
+        benchmark::DoNotOptimize(
+            k.intersect_count_words(a.data(), b.data(), kWords));
+      }));
+  rows.push_back(
+      bench("andnot_intersect_count_words/16384b",
+            [&](const simd::Kernels& k) {
+              benchmark::DoNotOptimize(k.andnot_intersect_count_words(
+                  a.data(), b.data(), c.data(), kWords));
+            }));
+  rows.push_back(
+      bench("argmax_masked_f64/10000", [&](const simd::Kernels& k) {
+        benchmark::DoNotOptimize(k.argmax_masked_f64(
+            x.data(), kFloats, mask_words.data(), mask_words.size()));
+      }));
+  rows.push_back(bench("dot_f64/10000", [&](const simd::Kernels& k) {
+    benchmark::DoNotOptimize(k.dot_f64(x.data(), y.data(), kFloats));
+  }));
+  // Accumulates in place across iterations (x - base is bounded, so a 30ms
+  // window cannot overflow): copying a fresh destination inside the timed
+  // op would swamp the kernel with memcpy.
+  scratch = y;
+  rows.push_back(
+      bench("accumulate_delta_f64/10000", [&](const simd::Kernels& k) {
+        k.accumulate_delta_f64(scratch.data(), x.data(), base.data(), kFloats);
+        benchmark::DoNotOptimize(scratch.data());
+      }));
+  rows.push_back(bench("max_abs_f64/10000", [&](const simd::Kernels& k) {
+    benchmark::DoNotOptimize(k.max_abs_f64(x.data(), kFloats));
+  }));
+  return rows;
+}
+
 void PrintEntry(std::FILE* f, const char* name, const Timing& t, bool last) {
   std::fprintf(f,
                "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
@@ -243,6 +374,7 @@ int WriteMicroJson() {
   const Timing learn_opt = TimeLearn(dataset, optimized);
   const double select_speedup = select_legacy.ns_per_op / select_opt.ns_per_op;
   const double learn_speedup = learn_legacy.ns_per_op / learn_opt.ns_per_op;
+  const std::vector<KernelBench> kernels = RunKernelBenchmarks();
 
   std::FILE* f = std::fopen("BENCH_micro.json", "w");
   if (f == nullptr) {
@@ -251,11 +383,25 @@ int WriteMicroJson() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"catalog_items\": %zu,\n", dataset.catalog.size());
+  // Dispatch level the "simd" columns below were measured at; the bench
+  // gate refuses to compare runs taken at different levels.
+  std::fprintf(f, "  \"simd\": \"%s\",\n",
+               rlplanner::util::simd::ActiveLevelName());
   std::fprintf(f, "  \"benchmarks\": [\n");
   PrintEntry(f, "action_selection/legacy", select_legacy, false);
   PrintEntry(f, "action_selection/optimized", select_opt, false);
   PrintEntry(f, "learn/legacy", learn_legacy, false);
   PrintEntry(f, "learn/optimized", learn_opt, true);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelBench& kb = kernels[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"scalar_ns_per_op\": %.2f, "
+                 "\"simd_ns_per_op\": %.2f, \"speedup\": %.2f}%s\n",
+                 kb.name.c_str(), kb.scalar_ns, kb.simd_ns, kb.speedup(),
+                 i + 1 < kernels.size() ? "," : "");
+  }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"speedup\": {\"action_selection\": %.2f, ", select_speedup);
   std::fprintf(f, "\"learn\": %.2f}\n", learn_speedup);
@@ -268,6 +414,11 @@ int WriteMicroJson() {
   std::printf("learn:            %.0f ns/op legacy, %.0f ns/op optimized "
               "(%.2fx)\n",
               learn_legacy.ns_per_op, learn_opt.ns_per_op, learn_speedup);
+  for (const KernelBench& kb : kernels) {
+    std::printf("%-36s %10.2f ns scalar %10.2f ns %s (%.2fx)\n",
+                kb.name.c_str(), kb.scalar_ns, kb.simd_ns,
+                rlplanner::util::simd::ActiveLevelName(), kb.speedup());
+  }
   std::printf("wrote BENCH_micro.json\n");
   return 0;
 }

@@ -31,6 +31,7 @@
 #include "serve/policy_registry.h"
 #include "serve/policy_snapshot.h"
 #include "serve/stats.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -338,6 +339,8 @@ int main() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"catalog_items\": %zu,\n", dataset.catalog.size());
+  std::fprintf(f, "  \"simd\": \"%s\",\n",
+               rlplanner::util::simd::ActiveLevelName());
   std::fprintf(f, "  \"throughput\": [\n");
   for (std::size_t i = 0; i < throughput.size(); ++i) {
     PrintThroughputEntry(f, throughput[i], i + 1 == throughput.size());

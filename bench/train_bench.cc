@@ -37,6 +37,7 @@
 #include "rl/parallel_sarsa.h"
 #include "rl/sarsa.h"
 #include "rl/sarsa_config.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -221,6 +222,8 @@ int RunAll(bool smoke, const std::string& trace_out) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"hardware_threads\": %u,\n", hardware);
+  std::fprintf(f, "  \"simd\": \"%s\",\n",
+               rlplanner::util::simd::ActiveLevelName());
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "util/csv.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace rlplanner::mdp {
@@ -39,33 +40,41 @@ void QTable::SarsaUpdate(model::ItemId state, model::ItemId action,
   Set(state, action, current + alpha * (reward + gamma * next_q - current));
 }
 
+model::ItemId QTable::ArgmaxAction(model::ItemId state,
+                                   const util::DynamicBitset& allowed) const {
+  assert(allowed.size() == num_items_);
+  const double* row =
+      values_.data() + static_cast<std::size_t>(state) * num_items_;
+  return static_cast<model::ItemId>(util::simd::Active().argmax_masked_f64(
+      row, num_items_, allowed.word_data(), allowed.word_count()));
+}
+
 void QTable::AccumulateDelta(const QTable& local, const QTable& base) {
   assert(num_items_ == local.num_items_ && num_items_ == base.num_items_);
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    values_[i] += local.values_[i] - base.values_[i];
-  }
+  // The elementwise kernel is bit-exact across dispatch levels, so the
+  // deterministic shard merge stays bit-reproducible on any hardware.
+  util::simd::Active().accumulate_delta_f64(
+      values_.data(), local.values_.data(), base.values_.data(),
+      values_.size());
 }
 
 void QTable::Scale(double factor) {
-  for (double& v : values_) v *= factor;
+  util::simd::Active().scale_f64(values_.data(), factor, values_.size());
 }
 
 void QTable::AddNoise(util::Rng& rng, double magnitude) {
+  // Sequential by construction: each entry consumes the next RNG draw.
   for (double& v : values_) v += rng.NextDouble() * magnitude;
 }
 
 double QTable::MaxAbsValue() const {
-  double best = 0.0;
-  for (double v : values_) best = std::max(best, std::abs(v));
-  return best;
+  return util::simd::Active().max_abs_f64(values_.data(), values_.size());
 }
 
 double QTable::NonZeroFraction() const {
   if (values_.empty()) return 0.0;
-  std::size_t non_zero = 0;
-  for (double v : values_) {
-    if (v != 0.0) ++non_zero;
-  }
+  const std::size_t non_zero =
+      util::simd::Active().count_nonzero_f64(values_.data(), values_.size());
   return static_cast<double>(non_zero) / static_cast<double>(values_.size());
 }
 

@@ -57,27 +57,14 @@ class QTable {
     return best;
   }
 
-  /// Word-scan variant: the admissible set is a bitset over action ids, so
-  /// disallowed actions are skipped 64 at a time (zero words cost one test)
-  /// instead of one callback per id. Identical result and tie-break
+  /// Word-scan variant: the admissible set is a bitset over action ids,
+  /// handed as packed words to the dispatched util/simd.h masked-argmax
+  /// kernel (AVX2 scans the row four doubles at a time; the scalar level
+  /// skips disallowed actions 64 at a time). Identical result and tie-break
   /// semantics (lowest allowed id wins ties) to the callback overload —
   /// pinned by a randomized equivalence test.
   model::ItemId ArgmaxAction(model::ItemId state,
-                             const util::DynamicBitset& allowed) const {
-    assert(allowed.size() == num_items_);
-    const double* row = values_.data() +
-                        static_cast<std::size_t>(state) * num_items_;
-    model::ItemId best = -1;
-    double best_value = 0.0;
-    allowed.ForEachSetBit([&](std::size_t a) {
-      const double value = row[a];
-      if (best < 0 || value > best_value) {
-        best = static_cast<model::ItemId>(a);
-        best_value = value;
-      }
-    });
-    return best;
-  }
+                             const util::DynamicBitset& allowed) const;
 
   /// Adds `local - base` entrywise into this table: the merge step of the
   /// deterministic parallel learner, which folds each worker's TD deltas

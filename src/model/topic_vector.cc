@@ -5,8 +5,8 @@ namespace rlplanner::model {
 std::size_t NewlyCoveredIdealTopics(const TopicVector& current,
                                     const TopicVector& item_topics,
                                     const TopicVector& ideal) {
-  const TopicVector fresh = item_topics.AndNot(current);
-  return fresh.IntersectCount(ideal);
+  // Fused |item ∩ ~current ∩ ideal| popcount: one pass, no temporary.
+  return item_topics.AndNotIntersectCount(current, ideal);
 }
 
 double CoverageFraction(const TopicVector& current, const TopicVector& ideal) {

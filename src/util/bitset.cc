@@ -2,7 +2,22 @@
 
 #include <bit>
 
+#include "util/simd.h"
+
 namespace rlplanner::util {
+
+namespace {
+
+// Word count below which the inline scalar loop beats an indirect call into
+// the dispatched kernel table: the paper-scale catalogs and vocabularies
+// (31–500 bits, 1–8 words) stay on the historical inline path, while the
+// 10k+-item catalogs and large vocabularies the SIMD pass targets clear the
+// threshold. The kernels are bit-exact against the scalar loops, so the
+// cutoff is a pure performance knob (pinned by the simd_test matrix, which
+// crosses it in both directions).
+constexpr std::size_t kSimdMinWords = 8;
+
+}  // namespace
 
 DynamicBitset::DynamicBitset(std::size_t size) : size_(size) {
   words_.resize((size + kWordBits - 1) / kWordBits, 0);
@@ -39,12 +54,18 @@ bool DynamicBitset::Test(std::size_t index) const {
 }
 
 std::size_t DynamicBitset::Count() const {
+  if (words_.size() >= kSimdMinWords) {
+    return simd::Active().popcount_words(words_.data(), words_.size());
+  }
   std::size_t total = 0;
   for (Word w : words_) total += std::popcount(w);
   return total;
 }
 
 bool DynamicBitset::Any() const {
+  if (words_.size() >= kSimdMinWords) {
+    return simd::Active().any_words(words_.data(), words_.size());
+  }
   for (Word w : words_) {
     if (w != 0) return true;
   }
@@ -62,18 +83,33 @@ void DynamicBitset::SetAll() {
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
   assert(size_ == other.size_);
+  if (words_.size() >= kSimdMinWords) {
+    simd::Active().or_assign_words(words_.data(), other.words_.data(),
+                                   words_.size());
+    return *this;
+  }
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   assert(size_ == other.size_);
+  if (words_.size() >= kSimdMinWords) {
+    simd::Active().and_assign_words(words_.data(), other.words_.data(),
+                                    words_.size());
+    return *this;
+  }
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
   assert(size_ == other.size_);
+  if (words_.size() >= kSimdMinWords) {
+    simd::Active().xor_assign_words(words_.data(), other.words_.data(),
+                                    words_.size());
+    return *this;
+  }
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
   return *this;
 }
@@ -89,6 +125,11 @@ DynamicBitset DynamicBitset::AndNot(const DynamicBitset& other) const {
 
 DynamicBitset& DynamicBitset::AndNotAssign(const DynamicBitset& other) {
   assert(size_ == other.size_);
+  if (words_.size() >= kSimdMinWords) {
+    simd::Active().andnot_assign_words(words_.data(), other.words_.data(),
+                                       words_.size());
+    return *this;
+  }
   for (std::size_t i = 0; i < words_.size(); ++i) {
     words_[i] &= ~other.words_[i];
   }
@@ -98,14 +139,23 @@ DynamicBitset& DynamicBitset::AndNotAssign(const DynamicBitset& other) {
 void DynamicBitset::AssignComplementOf(const DynamicBitset& other) {
   size_ = other.size_;
   words_.resize(other.words_.size());
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] = ~other.words_[i];
+  if (words_.size() >= kSimdMinWords) {
+    simd::Active().complement_words(words_.data(), other.words_.data(),
+                                    words_.size());
+  } else {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] = ~other.words_[i];
+    }
   }
   TrimTail();
 }
 
 std::size_t DynamicBitset::IntersectCount(const DynamicBitset& other) const {
   assert(size_ == other.size_);
+  if (words_.size() >= kSimdMinWords) {
+    return simd::Active().intersect_count_words(
+        words_.data(), other.words_.data(), words_.size());
+  }
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += std::popcount(words_[i] & other.words_[i]);
@@ -115,10 +165,28 @@ std::size_t DynamicBitset::IntersectCount(const DynamicBitset& other) const {
 
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {
   assert(size_ == other.size_);
+  if (words_.size() >= kSimdMinWords) {
+    return simd::Active().intersects_words(words_.data(), other.words_.data(),
+                                           words_.size());
+  }
   for (std::size_t i = 0; i < words_.size(); ++i) {
     if ((words_[i] & other.words_[i]) != 0) return true;
   }
   return false;
+}
+
+std::size_t DynamicBitset::AndNotIntersectCount(const DynamicBitset& b,
+                                                const DynamicBitset& c) const {
+  assert(size_ == b.size_ && size_ == c.size_);
+  if (words_.size() >= kSimdMinWords) {
+    return simd::Active().andnot_intersect_count_words(
+        words_.data(), b.words_.data(), c.words_.data(), words_.size());
+  }
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & ~b.words_[i] & c.words_[i]);
+  }
+  return total;
 }
 
 std::string DynamicBitset::ToString() const {

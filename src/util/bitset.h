@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/simd.h"
+
 namespace rlplanner::util {
 
 /// A fixed-size bitset whose size is chosen at runtime.
@@ -58,10 +60,22 @@ class DynamicBitset {
   /// the seed operation of candidate scans ("every item not yet chosen").
   void AssignComplementOf(const DynamicBitset& other);
 
-  /// Number of bits set in both `this` and `other` (popcount of the AND).
+  /// Number of bits set in both `this` and `other` (popcount of the AND) —
+  /// the topic-coverage "dot product" over Boolean vectors.
   std::size_t IntersectCount(const DynamicBitset& other) const;
   /// True when `this` and `other` share at least one set bit.
   bool Intersects(const DynamicBitset& other) const;
+
+  /// Fused popcount of `this & ~b & c` ("newly covered ideal topics"):
+  /// one pass, no temporary bitset. All three must share one size.
+  std::size_t AndNotIntersectCount(const DynamicBitset& b,
+                                   const DynamicBitset& c) const;
+
+  /// The packed 64-bit words backing the bitset (tail bits past `size()`
+  /// are always zero). For handing rows to the util/simd.h kernels — e.g.
+  /// QTable's masked argmax — without per-bit extraction.
+  const std::uint64_t* word_data() const { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
 
   /// Renders as a string of '0'/'1' characters, index 0 first.
   std::string ToString() const;

@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the checked-in benchmark baselines.
+
+Compares a fresh benchmark run (BENCH_micro.json / BENCH_train.json /
+BENCH_serve.json, as written by build/bench/{micro_benchmarks,train_bench,
+serve_bench}) against the baselines checked into the repo root, and fails
+(exit 1) when any comparable entry regressed beyond the tolerance.
+
+Design constraints, in order:
+
+  * No false failures on shared/noisy runners. Entries measured over tiny
+    wall-clock windows (the sub-10ms train_bench scenarios vary 4x run-to-run
+    on a 1-core container) are skipped via --min-seconds; everything else
+    gets a generous multiplicative --tolerance.
+  * Like-for-like only. A baseline recorded at a different SIMD dispatch
+    level, hardware thread count, catalog size, or smoke setting is not
+    comparable; mismatched files are skipped with a warning instead of
+    producing nonsense verdicts. (Refresh the baseline on the new hardware
+    rather than loosening the tolerance.)
+  * Additions are free. Entries present on only one side are reported but
+    never fail the gate, so adding a benchmark does not require regenerating
+    every baseline in the same commit.
+
+Usage:
+  tools/bench_gate.py --baseline-dir . --fresh-dir build/bench
+  tools/bench_gate.py --self-test
+
+Refreshing a baseline after an intentional change (new kernel, different
+benchmark budget): rerun the three binaries from build/bench and copy the
+JSON files over the repo-root copies (see EXPERIMENTS.md).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# (file, context keys that must match, [(section, entry key fn, metrics)]).
+# Each metric is (json field, direction): "lower" = smaller is better
+# (ns/op), "higher" = larger is better (throughput).
+GATE_SPEC = {
+    "BENCH_micro.json": {
+        "context": ["simd", "catalog_items"],
+        "sections": [
+            ("benchmarks", lambda e: e["name"],
+             [("ns_per_op", "lower")], None),
+            ("kernels", lambda e: e["name"],
+             [("scalar_ns_per_op", "lower"), ("simd_ns_per_op", "lower")],
+             None),
+        ],
+    },
+    "BENCH_train.json": {
+        "context": ["simd", "hardware_threads", "smoke"],
+        "sections": [
+            ("benchmarks", lambda e: e["name"],
+             [("episodes_per_sec", "higher")], "seconds"),
+        ],
+    },
+    "BENCH_serve.json": {
+        "context": ["simd", "catalog_items"],
+        "sections": [
+            ("throughput",
+             lambda e: f"workers{e['workers']}/clients{e['clients']}",
+             [("requests_per_sec", "higher")], "wall_s"),
+        ],
+    },
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_file(name, baseline, fresh, tolerance, min_seconds):
+    """Returns (failures, skipped, compared) for one benchmark file."""
+    spec = GATE_SPEC[name]
+    failures, skipped, compared = [], [], []
+
+    for key in spec["context"]:
+        base_ctx, fresh_ctx = baseline.get(key), fresh.get(key)
+        if base_ctx != fresh_ctx:
+            skipped.append(
+                f"{name}: context {key!r} differs "
+                f"(baseline {base_ctx!r}, fresh {fresh_ctx!r}) — "
+                f"file skipped; refresh the baseline to re-arm the gate")
+            return failures, skipped, compared
+
+    for section, key_fn, metrics, seconds_field in spec["sections"]:
+        base_entries = {key_fn(e): e for e in baseline.get(section, [])}
+        fresh_entries = {key_fn(e): e for e in fresh.get(section, [])}
+        for key in sorted(set(base_entries) | set(fresh_entries)):
+            label = f"{name}:{section}:{key}"
+            if key not in base_entries:
+                skipped.append(f"{label}: new entry (no baseline)")
+                continue
+            if key not in fresh_entries:
+                skipped.append(f"{label}: missing from fresh run")
+                continue
+            base_e, fresh_e = base_entries[key], fresh_entries[key]
+            if seconds_field is not None:
+                window = min(base_e.get(seconds_field, 0.0),
+                             fresh_e.get(seconds_field, 0.0))
+                if window < min_seconds:
+                    skipped.append(
+                        f"{label}: {seconds_field}={window:.4f}s below "
+                        f"--min-seconds={min_seconds} (too noisy to judge)")
+                    continue
+            for field, direction in metrics:
+                base_v, fresh_v = base_e.get(field), fresh_e.get(field)
+                if not base_v or fresh_v is None:
+                    skipped.append(f"{label}.{field}: value missing or zero")
+                    continue
+                if direction == "lower":
+                    ratio = fresh_v / base_v
+                    regressed = fresh_v > base_v * (1.0 + tolerance)
+                else:
+                    ratio = base_v / fresh_v if fresh_v else float("inf")
+                    regressed = fresh_v < base_v * (1.0 - tolerance)
+                verdict = (f"{label}.{field}: baseline {base_v:.2f} -> "
+                           f"fresh {fresh_v:.2f} ({ratio:.2f}x of baseline "
+                           f"cost, tolerance {1.0 + tolerance:.2f}x)")
+                compared.append(verdict)
+                if regressed:
+                    failures.append("REGRESSION " + verdict)
+    return failures, skipped, compared
+
+
+def run_gate(baseline_dir, fresh_dir, tolerance, min_seconds, verbose=True):
+    failures, skipped, compared = [], [], []
+    seen_any = False
+    for name in GATE_SPEC:
+        base_path = os.path.join(baseline_dir, name)
+        fresh_path = os.path.join(fresh_dir, name)
+        if not os.path.exists(base_path):
+            skipped.append(f"{name}: no checked-in baseline — skipped")
+            continue
+        if not os.path.exists(fresh_path):
+            failures.append(
+                f"MISSING {name}: baseline exists but the fresh run did not "
+                f"produce it (looked in {fresh_dir})")
+            continue
+        seen_any = True
+        f, s, c = compare_file(name, load(base_path), load(fresh_path),
+                               tolerance, min_seconds)
+        failures += f
+        skipped += s
+        compared += c
+
+    if verbose:
+        for line in compared:
+            print("  ok " + line)
+        for line in skipped:
+            print("skip " + line)
+        for line in failures:
+            print("FAIL " + line, file=sys.stderr)
+        print(f"bench gate: {len(compared)} compared, {len(skipped)} "
+              f"skipped, {len(failures)} failures")
+    if not seen_any and not failures:
+        print("bench gate: nothing to compare (no baselines found)",
+              file=sys.stderr)
+    return len(failures) == 0
+
+
+def self_test():
+    """Proves the gate trips on an injected regression and stays quiet on
+    identical results, without touching real benchmark output."""
+    import copy
+    import tempfile
+
+    baseline = {
+        "BENCH_micro.json": {
+            "catalog_items": 114,
+            "simd": "avx2",
+            "benchmarks": [
+                {"name": "learn/optimized", "ns_per_op": 100.0,
+                 "items_per_sec": 1e6},
+            ],
+            "kernels": [
+                {"name": "popcount_words/16384b", "scalar_ns_per_op": 900.0,
+                 "simd_ns_per_op": 90.0, "speedup": 10.0},
+            ],
+        },
+        "BENCH_train.json": {
+            "hardware_threads": 1,
+            "simd": "avx2",
+            "smoke": False,
+            "benchmarks": [
+                {"name": "synthetic_1k/serial", "seconds": 0.25,
+                 "episodes_per_sec": 400.0},
+                {"name": "univ1_dsct/serial", "seconds": 0.003,
+                 "episodes_per_sec": 20000.0},
+            ],
+        },
+        "BENCH_serve.json": {
+            "catalog_items": 114,
+            "simd": "avx2",
+            "throughput": [
+                {"workers": 4, "clients": 8, "wall_s": 1.2,
+                 "requests_per_sec": 5000.0},
+            ],
+        },
+    }
+
+    def write_tree(directory, docs):
+        for name, doc in docs.items():
+            with open(os.path.join(directory, name), "w") as f:
+                json.dump(doc, f)
+
+    checks = []
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "base")
+        fresh_dir = os.path.join(tmp, "fresh")
+        os.mkdir(base_dir)
+        os.mkdir(fresh_dir)
+        write_tree(base_dir, baseline)
+
+        # 1. Identical runs pass.
+        write_tree(fresh_dir, baseline)
+        checks.append(("identical runs pass",
+                       run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                verbose=False)))
+
+        # 2. A kernel artificially slowed beyond tolerance fails.
+        slowed = copy.deepcopy(baseline)
+        slowed["BENCH_micro.json"]["kernels"][0]["simd_ns_per_op"] = 200.0
+        write_tree(fresh_dir, slowed)
+        checks.append(("slowed kernel fails",
+                       not run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                    verbose=False)))
+
+        # 3. A throughput drop beyond tolerance fails.
+        dropped = copy.deepcopy(baseline)
+        dropped["BENCH_train.json"]["benchmarks"][0][
+            "episodes_per_sec"] = 100.0
+        write_tree(fresh_dir, dropped)
+        checks.append(("throughput drop fails",
+                       not run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                    verbose=False)))
+
+        # 4. The same drop on a sub-min-seconds entry is skipped, not failed.
+        noisy = copy.deepcopy(baseline)
+        noisy["BENCH_train.json"]["benchmarks"][1]["episodes_per_sec"] = 100.0
+        write_tree(fresh_dir, noisy)
+        checks.append(("noisy short entry skipped",
+                       run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                verbose=False)))
+
+        # 5. A dispatch-level mismatch skips the file instead of failing.
+        other_level = copy.deepcopy(slowed)
+        other_level["BENCH_micro.json"]["simd"] = "scalar"
+        write_tree(fresh_dir, other_level)
+        checks.append(("simd-level mismatch skips file",
+                       run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                verbose=False)))
+
+        # 6. A regression within tolerance passes.
+        mild = copy.deepcopy(baseline)
+        mild["BENCH_micro.json"]["kernels"][0]["simd_ns_per_op"] = 110.0
+        write_tree(fresh_dir, mild)
+        checks.append(("within-tolerance drift passes",
+                       run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                verbose=False)))
+
+        # 7. A missing fresh file fails (the bench crashed or was skipped).
+        os.remove(os.path.join(fresh_dir, "BENCH_serve.json"))
+        checks.append(("missing fresh file fails",
+                       not run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                    verbose=False)))
+
+    ok = True
+    for name, passed in checks:
+        print(f"{'PASS' if passed else 'FAIL'} self-test: {name}")
+        ok = ok and passed
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory with the checked-in BENCH_*.json")
+    parser.add_argument("--fresh-dir", default="build/bench",
+                        help="directory with the freshly generated JSON")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="allowed multiplicative regression (0.35 = "
+                             "fail beyond 35%% worse than baseline)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="skip entries whose measurement window is "
+                             "shorter than this on either side")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate trips on synthetic "
+                             "regressions, then exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(0 if self_test() else 1)
+    sys.exit(0 if run_gate(args.baseline_dir, args.fresh_dir,
+                           args.tolerance, args.min_seconds) else 1)
+
+
+if __name__ == "__main__":
+    main()

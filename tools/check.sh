@@ -32,10 +32,22 @@ run_tsan_lane() {
   # parallel_sarsa tests drive the sharded-merge barrier and the Hogwild
   # CAS loop under TSan; obs_test hammers the sharded metric cells, the
   # registry's concurrent registration path, and the trace collector's
-  # single-writer rings (concurrent emit + export). The ASan/UBSan lane
+  # single-writer rings (concurrent emit + export); simd_test covers the
+  # dispatch table's concurrent first-use resolution (and its _scalar ctest
+  # variant keeps the scalar kernels sanitized too). The ASan/UBSan lane
   # below runs the complete suite, obs_test included — no filter there.
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -R 'serve_test|util_test|parallel_sarsa_test|obs_test'
+    -R 'serve_test|util_test|parallel_sarsa_test|obs_test|simd_test'
+}
+
+run_bench_gate() {
+  echo "==> Bench gate (regression check against checked-in baselines)"
+  python3 tools/bench_gate.py --self-test
+  # Full (non-smoke) runs: the checked-in baselines are full runs, and the
+  # gate skips cross-context comparisons. A few seconds total.
+  (cd build/bench && ./micro_benchmarks > /dev/null \
+    && ./train_bench > /dev/null && ./serve_bench > /dev/null)
+  python3 tools/bench_gate.py --baseline-dir . --fresh-dir build/bench
 }
 
 run_bench_smoke() {
@@ -124,6 +136,7 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 run_bench_smoke
+run_bench_gate
 run_metrics_smoke
 run_trace_smoke
 
