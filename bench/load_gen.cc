@@ -1,0 +1,317 @@
+// load_gen — end-to-end HTTP load harness for the wire serving path.
+//
+// Drives a running `rlplanner_cli serve --listen` server over real sockets
+// and reports client-observed latency percentiles plus status-code counts as
+// JSON on stdout. Three commands:
+//
+//   closed --target HOST:PORT             closed loop: each connection keeps
+//          [--connections C]              exactly one request in flight for
+//          [--requests N | --duration-s S] N requests (or S seconds); the
+//          [--body JSON] [--target-path P] aggregate req/s is the throughput
+//                                          number the bench gate consumes
+//   open   --target HOST:PORT --qps Q     open loop: each connection fires
+//          [--connections C]              requests on a fixed schedule
+//          [--duration-s S]               (Q/C per connection, sleep_until
+//          [--body JSON] [--target-path P] pacing) — tail latency under a
+//                                          rate, not peak throughput
+//   get    --target HOST:PORT             one GET (default /metrics), body
+//          [--target-path P]              to stdout — lets check.sh validate
+//                                          the Prometheus exposition
+//
+// Latency is measured per request from first byte written to full response
+// read, on the client side — it includes the wire, the parse, the queue and
+// the plan. Exit is non-zero on any transport error; non-200 responses are
+// counted per status code and reported, with `errors` counting only codes
+// outside {200, 503} (503 is backpressure working as designed, not a fault).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "util/flags.h"
+
+namespace {
+
+using rlplanner::net::BlockingHttpClient;
+using rlplanner::util::CommandLine;
+
+int Usage(const std::string& error) {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
+  std::fprintf(
+      stderr,
+      "usage: load_gen <closed|open|get> --target HOST:PORT [options]\n"
+      "  closed: --connections C  --requests N | --duration-s S\n"
+      "  open:   --qps Q  --connections C  --duration-s S\n"
+      "  get:    --target-path P   (default /metrics)\n"
+      "  shared: --body JSON  --target-path P  (default /v1/plan)\n");
+  return 2;
+}
+
+struct WorkerTally {
+  std::vector<double> latencies_ms;
+  std::vector<std::pair<int, std::uint64_t>> status_counts;
+  std::uint64_t transport_errors = 0;
+
+  void CountStatus(int status) {
+    for (auto& [code, count] : status_counts) {
+      if (code == status) {
+        ++count;
+        return;
+      }
+    }
+    status_counts.emplace_back(status, 1);
+  }
+};
+
+struct LoadConfig {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string path = "/v1/plan";
+  std::string body = "{\"start_item\": 0}";
+  std::size_t connections = 1;
+  std::uint64_t requests = 0;    // closed loop: total across connections
+  double duration_s = 0.0;       // closed/open loop alternative bound
+  double qps = 0.0;              // open loop only
+};
+
+// One closed-loop connection: next request leaves when the previous response
+// lands. `deadline` is zero when bounded by request count instead.
+void RunClosedWorker(const LoadConfig& config, std::uint64_t requests,
+                     std::chrono::steady_clock::time_point deadline,
+                     WorkerTally* tally) {
+  BlockingHttpClient client;
+  if (!client.Connect(config.host, config.port).ok()) {
+    ++tally->transport_errors;
+    return;
+  }
+  for (std::uint64_t i = 0;
+       (requests == 0 || i < requests) &&
+       (deadline.time_since_epoch().count() == 0 ||
+        std::chrono::steady_clock::now() < deadline);
+       ++i) {
+    const auto begin = std::chrono::steady_clock::now();
+    auto response = client.Request("POST", config.path, config.body);
+    const auto end = std::chrono::steady_clock::now();
+    if (!response.ok()) {
+      ++tally->transport_errors;
+      // The server may close after an error response or a drain; one
+      // reconnect attempt keeps a long run alive across restarts.
+      if (!client.Connect(config.host, config.port).ok()) return;
+      continue;
+    }
+    tally->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - begin).count());
+    tally->CountStatus(response.value().status);
+    if (!response.value().keep_alive &&
+        !client.connected() &&
+        !client.Connect(config.host, config.port).ok()) {
+      return;
+    }
+  }
+}
+
+// One open-loop connection: requests leave on a fixed schedule regardless of
+// when responses land (sleep_until pacing, so a slow response makes the next
+// request late rather than silently shrinking the offered rate — the
+// coordinated-omission-aware flavor a tail-latency claim needs).
+void RunOpenWorker(const LoadConfig& config, double per_connection_qps,
+                   std::chrono::steady_clock::time_point deadline,
+                   WorkerTally* tally) {
+  BlockingHttpClient client;
+  if (!client.Connect(config.host, config.port).ok()) {
+    ++tally->transport_errors;
+    return;
+  }
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / per_connection_qps));
+  auto next_send = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_until(next_send);
+    next_send += interval;
+    const auto begin = std::chrono::steady_clock::now();
+    auto response = client.Request("POST", config.path, config.body);
+    const auto end = std::chrono::steady_clock::now();
+    if (!response.ok()) {
+      ++tally->transport_errors;
+      if (!client.Connect(config.host, config.port).ok()) return;
+      continue;
+    }
+    tally->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - begin).count());
+    tally->CountStatus(response.value().status);
+    if (!response.value().keep_alive &&
+        !client.connected() &&
+        !client.Connect(config.host, config.port).ok()) {
+      return;
+    }
+  }
+}
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int Report(const char* mode, const LoadConfig& config, double wall_s,
+           std::vector<WorkerTally>& tallies) {
+  std::vector<double> latencies;
+  std::vector<std::pair<int, std::uint64_t>> status_counts;
+  std::uint64_t transport_errors = 0;
+  for (WorkerTally& tally : tallies) {
+    latencies.insert(latencies.end(), tally.latencies_ms.begin(),
+                     tally.latencies_ms.end());
+    transport_errors += tally.transport_errors;
+    for (const auto& [code, count] : tally.status_counts) {
+      bool merged = false;
+      for (auto& [existing, total] : status_counts) {
+        if (existing == code) {
+          total += count;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) status_counts.emplace_back(code, count);
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::sort(status_counts.begin(), status_counts.end());
+  std::uint64_t completed = latencies.size();
+  // 503 is admission control doing its job under overload; anything else
+  // non-200 is a real error for the smoke lane to fail on.
+  std::uint64_t errors = transport_errors;
+  for (const auto& [code, count] : status_counts) {
+    if (code != 200 && code != 503) errors += count;
+  }
+  const double mean =
+      latencies.empty()
+          ? 0.0
+          : [&] {
+              double sum = 0.0;
+              for (const double v : latencies) sum += v;
+              return sum / static_cast<double>(latencies.size());
+            }();
+  std::printf("{\"mode\": \"%s\", \"target\": \"%s:%u\", \"path\": \"%s\",\n",
+              mode, config.host.c_str(), static_cast<unsigned>(config.port),
+              config.path.c_str());
+  std::printf(" \"connections\": %zu, \"wall_s\": %.3f, \"completed\": %llu, "
+              "\"requests_per_sec\": %.1f,\n",
+              config.connections, wall_s,
+              static_cast<unsigned long long>(completed),
+              wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0);
+  std::printf(" \"transport_errors\": %llu, \"errors\": %llu,\n",
+              static_cast<unsigned long long>(transport_errors),
+              static_cast<unsigned long long>(errors));
+  std::printf(" \"status_counts\": {");
+  for (std::size_t i = 0; i < status_counts.size(); ++i) {
+    std::printf("%s\"%d\": %llu", i == 0 ? "" : ", ", status_counts[i].first,
+                static_cast<unsigned long long>(status_counts[i].second));
+  }
+  std::printf("},\n");
+  std::printf(" \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, "
+              "\"p99\": %.3f, \"mean\": %.3f, \"max\": %.3f}}\n",
+              Percentile(latencies, 0.50), Percentile(latencies, 0.95),
+              Percentile(latencies, 0.99), mean,
+              latencies.empty() ? 0.0 : latencies.back());
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cmd = rlplanner::util::ParseCommandLine(argc, argv);
+  if (cmd.command != "closed" && cmd.command != "open" &&
+      cmd.command != "get") {
+    return Usage("unknown command '" + cmd.command + "'");
+  }
+  if (const auto status = rlplanner::util::RequireFlags(cmd, {"target"});
+      !status.ok()) {
+    return Usage(status.message());
+  }
+  auto target = rlplanner::util::ParseHostPort(*cmd.GetFlag("target"));
+  if (!target.ok()) return Usage(target.status().message());
+
+  LoadConfig config;
+  config.host = target.value().host;
+  config.port = target.value().port;
+
+  if (cmd.command == "get") {
+    config.path = cmd.GetFlagOr("target-path", "/metrics");
+    BlockingHttpClient client;
+    if (const auto status = client.Connect(config.host, config.port);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    auto response = client.Request("GET", config.path);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(response.value().body.c_str(), stdout);
+    return response.value().status == 200 ? 0 : 1;
+  }
+
+  config.path = cmd.GetFlagOr("target-path", "/v1/plan");
+  config.body = cmd.GetFlagOr("body", "{\"start_item\": 0}");
+  config.connections = static_cast<std::size_t>(
+      std::atoll(cmd.GetFlagOr("connections", "4").c_str()));
+  if (config.connections == 0) config.connections = 1;
+  config.requests = static_cast<std::uint64_t>(
+      std::atoll(cmd.GetFlagOr("requests", "0").c_str()));
+  config.duration_s = std::atof(cmd.GetFlagOr("duration-s", "0").c_str());
+  config.qps = std::atof(cmd.GetFlagOr("qps", "0").c_str());
+
+  if (cmd.command == "closed" && config.requests == 0 &&
+      config.duration_s <= 0.0) {
+    config.requests = 1000;
+  }
+  if (cmd.command == "open") {
+    if (config.qps <= 0.0) return Usage("open loop requires --qps > 0");
+    if (config.duration_s <= 0.0) config.duration_s = 5.0;
+  }
+
+  const auto begin = std::chrono::steady_clock::now();
+  const auto deadline =
+      config.duration_s > 0.0
+          ? begin + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(config.duration_s))
+          : std::chrono::steady_clock::time_point{};
+
+  std::vector<WorkerTally> tallies(config.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(config.connections);
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    if (cmd.command == "closed") {
+      const std::uint64_t per_connection =
+          config.requests == 0
+              ? 0
+              : (config.requests + config.connections - 1) /
+                    config.connections;
+      threads.emplace_back(RunClosedWorker, std::cref(config), per_connection,
+                           deadline, &tallies[c]);
+    } else {
+      threads.emplace_back(RunOpenWorker, std::cref(config),
+                           config.qps / static_cast<double>(config.connections),
+                           deadline, &tallies[c]);
+    }
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count();
+  return Report(cmd.command.c_str(), config, wall_s, tallies);
+}

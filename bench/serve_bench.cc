@@ -1,7 +1,7 @@
 // Serving-layer benchmark (BENCH_serve.json).
 //
 // Measures the PlanService at Univ-1 scale (114 items, the paper's largest
-// course program) in two phases:
+// course program) in four phases:
 //
 //  1. Sustained throughput: closed-loop clients against 1/2/4/8 workers,
 //     reporting requests/sec and the p50/p95/p99 end-to-end latency from the
@@ -10,13 +10,23 @@
 //     mid-run. The run must finish with zero dropped and zero incorrectly
 //     rejected requests, and every response attributed to an installed
 //     version; the JSON records the per-version response counts.
+//  3. Wire throughput: the same service behind the epoll HTTP front end
+//     (src/net/), driven over real loopback sockets by closed-loop
+//     BlockingHttpClient threads — requests/sec plus *client-side*
+//     percentiles, i.e. the full accept→parse→queue→plan→respond path.
+//  4. Hot swap under wire load: policies swapped while HTTP clients hammer
+//     the socket; every request must complete with a 200 attributed to an
+//     installed version — zero drops across the swap, measured end to end.
 //
-// Usage: serve_bench  (no arguments; writes BENCH_serve.json to the cwd)
+// Usage: serve_bench [--smoke]   (writes BENCH_serve.json to the cwd;
+// --smoke shrinks the request budgets for CI smoke lanes)
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <string>
@@ -27,10 +37,14 @@
 #include "core/planner.h"
 #include "datagen/synthetic.h"
 #include "mdp/q_table.h"
+#include "net/client.h"
+#include "net/plan_handler.h"
+#include "net/server.h"
 #include "serve/plan_service.h"
 #include "serve/policy_registry.h"
 #include "serve/policy_snapshot.h"
 #include "serve/stats.h"
+#include "util/json.h"
 #include "util/simd.h"
 
 namespace {
@@ -254,6 +268,246 @@ HotSwapResult RunHotSwap(const rlplanner::model::TaskInstance& instance,
   return result;
 }
 
+double Percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] + (sorted_ms[hi] - sorted_ms[lo]) * frac;
+}
+
+// The full plan-serving stack behind the wire: PlanService → PlanHandler →
+// epoll HttpServer on an ephemeral loopback port. Owns the CLI's drain
+// order on teardown.
+struct WireStack {
+  WireStack(const rlplanner::model::TaskInstance& instance,
+            const rlplanner::mdp::RewardWeights& weights,
+            const rlplanner::serve::PolicyRegistry& registry,
+            std::size_t workers, std::size_t shards, std::size_t max_queue) {
+    rlplanner::serve::PlanServiceConfig service_config;
+    service_config.num_workers = workers;
+    service_config.max_queue = max_queue;
+    service = std::make_unique<rlplanner::serve::PlanService>(
+        instance, weights, registry, service_config);
+    service->Start();
+    handler = std::make_unique<rlplanner::net::PlanHandler>(
+        service.get(), rlplanner::net::PlanHandler::Options{});
+    rlplanner::net::HttpServerConfig server_config;
+    server_config.host = "127.0.0.1";
+    server_config.port = 0;
+    server_config.num_shards = shards;
+    server = std::make_unique<rlplanner::net::HttpServer>(
+        server_config, handler->AsHandler());
+    if (const auto status = server->Start(); !status.ok()) {
+      std::fprintf(stderr, "wire server start failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  ~WireStack() {
+    (void)service->Drain(std::chrono::milliseconds(5000));
+    server->Shutdown();
+    service->Stop();
+  }
+
+  std::unique_ptr<rlplanner::serve::PlanService> service;
+  std::unique_ptr<rlplanner::net::PlanHandler> handler;
+  std::unique_ptr<rlplanner::net::HttpServer> server;
+};
+
+struct WireResult {
+  std::size_t shards = 0;
+  std::size_t connections = 0;
+  std::uint64_t completed = 0;
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, mean_ms = 0.0,
+         max_ms = 0.0;
+};
+
+// Closed-loop HTTP clients over loopback: each connection keeps exactly one
+// request in flight, with keep-alive reuse. Latency is measured around the
+// blocking Request() call — the client-observed wire round trip. Any
+// transport error or non-200 fails the bench (a healthy closed loop never
+// fills the admission queue).
+WireResult RunWireThroughput(const rlplanner::model::TaskInstance& instance,
+                             const rlplanner::mdp::RewardWeights& weights,
+                             const rlplanner::serve::PolicyRegistry& registry,
+                             const Dataset& dataset, std::size_t shards,
+                             std::size_t connections,
+                             int requests_per_connection) {
+  WireStack stack(instance, weights, registry, /*workers=*/2, shards,
+                  /*max_queue=*/2 * connections + 8);
+  const std::uint16_t port = stack.server->port();
+
+  std::vector<std::vector<double>> latencies(connections);
+  std::atomic<std::uint64_t> completed{0};
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      rlplanner::net::BlockingHttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        std::fprintf(stderr, "wire client connect failed\n");
+        std::exit(1);
+      }
+      latencies[c].reserve(static_cast<std::size_t>(requests_per_connection));
+      for (int i = 0; i < requests_per_connection; ++i) {
+        const std::size_t start =
+            (c * 31 + static_cast<std::size_t>(i)) % dataset.catalog.size();
+        const std::string body =
+            "{\"start_item\": " + std::to_string(start) + "}";
+        const auto t0 = std::chrono::steady_clock::now();
+        auto response = client.Request("POST", "/v1/plan", body);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!response.ok() || response.value().status != 200) {
+          std::fprintf(stderr, "wire request failed: %s\n",
+                       response.ok()
+                           ? std::to_string(response.value().status).c_str()
+                           : response.status().ToString().c_str());
+          std::exit(1);
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  WireResult result;
+  result.shards = stack.server->num_shards();
+  result.connections = connections;
+  result.completed = completed.load();
+  result.wall_seconds = std::chrono::duration<double>(end - begin).count();
+  result.requests_per_sec =
+      static_cast<double>(result.completed) / result.wall_seconds;
+  std::vector<double> all;
+  for (const auto& per_conn : latencies) {
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.p50_ms = Percentile(all, 0.50);
+  result.p95_ms = Percentile(all, 0.95);
+  result.p99_ms = Percentile(all, 0.99);
+  result.max_ms = all.empty() ? 0.0 : all.back();
+  double sum = 0.0;
+  for (double v : all) sum += v;
+  result.mean_ms = all.empty() ? 0.0 : sum / static_cast<double>(all.size());
+  return result;
+}
+
+struct WireHotSwapResult {
+  std::uint64_t total_responses = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t swaps = 0;
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  std::map<std::uint64_t, std::uint64_t> responses_by_version;
+};
+
+// Hot swap observed through the socket: HTTP clients hammer /v1/plan while
+// the swapper publishes new versions. Every request must come back 200 with
+// a policy_version the registry actually installed — the wire contract is
+// that a swap is invisible to in-flight traffic.
+WireHotSwapResult RunWireHotSwap(
+    const rlplanner::model::TaskInstance& instance,
+    const rlplanner::mdp::RewardWeights& weights,
+    rlplanner::serve::PolicyRegistry& registry, const Dataset& dataset,
+    const std::vector<rlplanner::mdp::QTable>& policies,
+    const rlplanner::rl::SarsaConfig& provenance, std::size_t connections,
+    int requests_per_connection) {
+  WireStack stack(instance, weights, registry, /*workers=*/2, /*shards=*/2,
+                  /*max_queue=*/2 * connections + 8);
+  const std::uint16_t port = stack.server->port();
+
+  std::mutex mutex;
+  std::map<std::uint64_t, std::uint64_t> responses_by_version;
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<bool> clients_done{false};
+
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      rlplanner::net::BlockingHttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        std::fprintf(stderr, "wire client connect failed\n");
+        std::exit(1);
+      }
+      std::map<std::uint64_t, std::uint64_t> local;
+      for (int i = 0; i < requests_per_connection; ++i) {
+        const std::size_t start =
+            (c * 17 + static_cast<std::size_t>(i)) % dataset.catalog.size();
+        const std::string body =
+            "{\"start_item\": " + std::to_string(start) + "}";
+        auto response = client.Request("POST", "/v1/plan", body);
+        if (!response.ok()) {
+          ++dropped;
+          break;  // transport failure mid-swap: the contract is broken
+        }
+        if (response.value().status == 503) {
+          --i;  // admission backpressure, not an error: retry
+          std::this_thread::yield();
+          continue;
+        }
+        if (response.value().status != 200) {
+          ++dropped;
+          continue;
+        }
+        auto document = rlplanner::util::json::Parse(response.value().body);
+        if (!document.ok() ||
+            document.value().Find("policy_version") == nullptr) {
+          ++dropped;
+          continue;
+        }
+        ++local[static_cast<std::uint64_t>(
+            document.value().Find("policy_version")->AsNumber())];
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      for (const auto& [version, count] : local) {
+        responses_by_version[version] += count;
+      }
+    });
+  }
+  std::uint64_t swaps = 0;
+  std::thread swapper([&] {
+    for (std::size_t i = 1; i < policies.size(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      auto installed = registry.Install("default", policies[i], provenance,
+                                        /*seed=*/2000 + i);
+      if (installed.ok()) ++swaps;
+      if (clients_done.load()) break;
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  clients_done = true;
+  swapper.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  WireHotSwapResult result;
+  result.swaps = swaps;
+  result.dropped = dropped.load();
+  result.wall_seconds = std::chrono::duration<double>(end - begin).count();
+  result.responses_by_version = responses_by_version;
+  for (const auto& [version, count] : responses_by_version) {
+    result.total_responses += count;
+    if (version == 0 || version > registry.install_count()) {
+      std::fprintf(stderr, "wire response from unknown version %llu\n",
+                   static_cast<unsigned long long>(version));
+      std::exit(1);
+    }
+  }
+  result.requests_per_sec =
+      static_cast<double>(result.total_responses) / result.wall_seconds;
+  return result;
+}
+
 void PrintThroughputEntry(std::FILE* f, const ThroughputResult& r, bool last) {
   std::fprintf(f,
                "    {\"workers\": %zu, \"clients\": %zu, \"completed\": %llu, "
@@ -270,9 +524,28 @@ void PrintThroughputEntry(std::FILE* f, const ThroughputResult& r, bool last) {
                last ? "" : ",");
 }
 
+void PrintWireEntry(std::FILE* f, const WireResult& r, bool last) {
+  std::fprintf(f,
+               "    {\"shards\": %zu, \"connections\": %zu, "
+               "\"completed\": %llu, \"wall_s\": %.3f, "
+               "\"requests_per_sec\": %.1f, \"latency_ms\": "
+               "{\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, "
+               "\"mean\": %.3f, \"max\": %.3f}}%s\n",
+               r.shards, r.connections,
+               static_cast<unsigned long long>(r.completed), r.wall_seconds,
+               r.requests_per_sec, r.p50_ms, r.p95_ms, r.p99_ms, r.mean_ms,
+               r.max_ms, last ? "" : ",");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  // Smoke runs keep every phase alive but shrink the request budgets; the
+  // gate skips them via the "smoke" context key.
+  const int requests_per_client = smoke ? 40 : 400;
+  const int wire_requests_per_connection = smoke ? 50 : 500;
+
   const Dataset dataset = MakeUniv1ScaleDataset();
   const rlplanner::model::TaskInstance instance = dataset.Instance();
   const rlplanner::mdp::RewardWeights weights;
@@ -301,7 +574,7 @@ int main() {
     }
     throughput.push_back(RunThroughput(instance, weights, registry, dataset,
                                        workers, /*clients=*/2 * workers,
-                                       /*requests_per_client=*/400));
+                                       requests_per_client));
     std::printf("workers=%zu  %.0f req/s  p50=%.3fms p95=%.3fms p99=%.3fms\n",
                 workers, throughput.back().requests_per_sec,
                 throughput.back().stats.latency_p50_ms,
@@ -318,7 +591,7 @@ int main() {
   }
   const HotSwapResult swap =
       RunHotSwap(instance, weights, registry, dataset, policies, config.sarsa,
-                 /*clients=*/8, /*requests_per_client=*/400);
+                 /*clients=*/8, requests_per_client);
   std::printf(
       "hot swap: %llu responses over %llu swaps, %llu dropped, "
       "%llu incorrectly rejected\n",
@@ -332,6 +605,52 @@ int main() {
     return 1;
   }
 
+  // Phase 3: wire throughput over real loopback sockets, across shard
+  // counts. Client counts scale with shards so each shard sees the same
+  // closed-loop pressure.
+  std::vector<WireResult> wire;
+  for (std::size_t shards : {1u, 2u}) {
+    rlplanner::serve::PolicyRegistry wire_registry(fingerprint,
+                                                   dataset.catalog.size());
+    if (!wire_registry
+             .Install("default", policies[0], config.sarsa, config.seed)
+             .ok()) {
+      return 1;
+    }
+    wire.push_back(RunWireThroughput(instance, weights, wire_registry,
+                                     dataset, shards,
+                                     /*connections=*/4 * shards,
+                                     wire_requests_per_connection));
+    std::printf(
+        "wire shards=%zu  %.0f req/s  p50=%.3fms p95=%.3fms p99=%.3fms\n",
+        wire.back().shards, wire.back().requests_per_sec, wire.back().p50_ms,
+        wire.back().p95_ms, wire.back().p99_ms);
+  }
+
+  // Phase 4: hot swap under wire load.
+  rlplanner::serve::PolicyRegistry wire_swap_registry(fingerprint,
+                                                      dataset.catalog.size());
+  if (!wire_swap_registry
+           .Install("default", policies[0], config.sarsa, config.seed)
+           .ok()) {
+    return 1;
+  }
+  const WireHotSwapResult wire_swap = RunWireHotSwap(
+      instance, weights, wire_swap_registry, dataset, policies, config.sarsa,
+      /*connections=*/8, wire_requests_per_connection);
+  std::printf(
+      "wire hot swap: %llu responses over %llu swaps, %llu dropped\n",
+      static_cast<unsigned long long>(wire_swap.total_responses),
+      static_cast<unsigned long long>(wire_swap.swaps),
+      static_cast<unsigned long long>(wire_swap.dropped));
+  if (wire_swap.dropped != 0 || wire_swap.swaps == 0 ||
+      wire_swap.total_responses !=
+          8ull * static_cast<std::uint64_t>(wire_requests_per_connection)) {
+    std::fprintf(stderr,
+                 "wire hot-swap phase violated the zero-loss contract\n");
+    return 1;
+  }
+
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_serve.json for writing\n");
@@ -339,6 +658,9 @@ int main() {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"catalog_items\": %zu,\n", dataset.catalog.size());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"simd\": \"%s\",\n",
                rlplanner::util::simd::ActiveLevelName());
   std::fprintf(f, "  \"throughput\": [\n");
@@ -364,6 +686,32 @@ int main() {
   std::fprintf(f, "    \"responses_by_version\": {");
   bool first = true;
   for (const auto& [version, count] : swap.responses_by_version) {
+    std::fprintf(f, "%s\"%llu\": %llu", first ? "" : ", ",
+                 static_cast<unsigned long long>(version),
+                 static_cast<unsigned long long>(count));
+    first = false;
+  }
+  std::fprintf(f, "}\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"wire\": [\n");
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    PrintWireEntry(f, wire[i], i + 1 == wire.size());
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"wire_hot_swap\": {\n");
+  std::fprintf(f, "    \"shards\": 2,\n");
+  std::fprintf(f, "    \"connections\": 8,\n");
+  std::fprintf(f, "    \"swaps\": %llu,\n",
+               static_cast<unsigned long long>(wire_swap.swaps));
+  std::fprintf(f, "    \"responses\": %llu,\n",
+               static_cast<unsigned long long>(wire_swap.total_responses));
+  std::fprintf(f, "    \"dropped\": %llu,\n",
+               static_cast<unsigned long long>(wire_swap.dropped));
+  std::fprintf(f, "    \"requests_per_sec\": %.1f,\n",
+               wire_swap.requests_per_sec);
+  std::fprintf(f, "    \"responses_by_version\": {");
+  first = true;
+  for (const auto& [version, count] : wire_swap.responses_by_version) {
     std::fprintf(f, "%s\"%llu\": %llu", first ? "" : ", ",
                  static_cast<unsigned long long>(version),
                  static_cast<unsigned long long>(count));

@@ -1,0 +1,213 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/http.h"
+
+namespace rlplanner::net {
+namespace {
+
+// Shared with the server's parser limits in spirit; the client just needs a
+// sane bound so a misbehaving server cannot balloon the buffer.
+constexpr std::size_t kMaxResponseBytes = std::size_t{8} * 1024 * 1024;
+
+}  // namespace
+
+const std::string* ClientResponse::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+BlockingHttpClient::~BlockingHttpClient() { Close(); }
+
+void BlockingHttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+util::Status BlockingHttpClient::Connect(const std::string& host,
+                                         std::uint16_t port) {
+  Close();
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("'" + host +
+                                         "' is not a valid IPv4 address");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return util::Status::Internal(std::string("socket(): ") +
+                                  std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return util::Status::Internal("connect(" + resolved + ":" +
+                                  std::to_string(port) +
+                                  "): " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  return util::Status::Ok();
+}
+
+util::Status BlockingHttpClient::SendRaw(std::string_view data) {
+  if (fd_ < 0) {
+    return util::Status::FailedPrecondition("client is not connected");
+  }
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      Close();
+      return util::Status::Internal(std::string("send(): ") +
+                                    std::strerror(err));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<ClientResponse> BlockingHttpClient::Request(
+    std::string_view method, std::string_view target, std::string_view body,
+    std::string_view content_type) {
+  std::string request;
+  request.reserve(128 + body.size());
+  request += method;
+  request += ' ';
+  request += target;
+  request += " HTTP/1.1\r\nHost: rlplanner\r\nContent-Type: ";
+  request += content_type;
+  request += "\r\nContent-Length: ";
+  request += std::to_string(body.size());
+  request += "\r\n\r\n";
+  request += body;
+  RLP_RETURN_IF_ERROR(SendRaw(request));
+  return ReadResponse();
+}
+
+util::Result<ClientResponse> BlockingHttpClient::ReadResponse() {
+  if (fd_ < 0) {
+    return util::Status::FailedPrecondition("client is not connected");
+  }
+  // Incremental parse over the accumulated buffer: status line, headers,
+  // then Content-Length bytes of body.
+  char buf[16384];
+  while (true) {
+    // Try to parse what we have.
+    const std::size_t head_end = rbuf_.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      ClientResponse response;
+      const std::size_t line_end = rbuf_.find("\r\n");
+      const std::string status_line = rbuf_.substr(0, line_end);
+      // "HTTP/1.1 200 OK"
+      if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0) {
+        Close();
+        return util::Status::Internal("malformed status line: '" +
+                                      status_line + "'");
+      }
+      const std::size_t sp = status_line.find(' ');
+      if (sp == std::string::npos || sp + 4 > status_line.size()) {
+        Close();
+        return util::Status::Internal("malformed status line: '" +
+                                      status_line + "'");
+      }
+      response.status = 0;
+      for (std::size_t i = sp + 1; i < sp + 4 && i < status_line.size(); ++i) {
+        const char c = status_line[i];
+        if (c < '0' || c > '9') {
+          Close();
+          return util::Status::Internal("malformed status code in '" +
+                                        status_line + "'");
+        }
+        response.status = response.status * 10 + (c - '0');
+      }
+      response.keep_alive = status_line.compare(0, 9, "HTTP/1.1 ") == 0;
+      std::size_t content_length = 0;
+      std::size_t pos = line_end + 2;
+      while (pos < head_end) {
+        std::size_t eol = rbuf_.find("\r\n", pos);
+        if (eol == std::string::npos || eol > head_end) eol = head_end;
+        const std::string line = rbuf_.substr(pos, eol - pos);
+        pos = eol + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) continue;
+        std::string name = line.substr(0, colon);
+        std::string value = line.substr(colon + 1);
+        while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+          value.erase(value.begin());
+        }
+        if (EqualsIgnoreCase(name, "Content-Length")) {
+          content_length = 0;
+          for (const char c : value) {
+            if (c < '0' || c > '9') {
+              Close();
+              return util::Status::Internal("malformed Content-Length '" +
+                                            value + "'");
+            }
+            content_length = content_length * 10 +
+                             static_cast<std::size_t>(c - '0');
+          }
+        } else if (EqualsIgnoreCase(name, "Connection")) {
+          if (EqualsIgnoreCase(value, "close")) response.keep_alive = false;
+          if (EqualsIgnoreCase(value, "keep-alive")) response.keep_alive = true;
+        }
+        response.headers.emplace_back(std::move(name), std::move(value));
+      }
+      const std::size_t body_start = head_end + 4;
+      const std::size_t total = body_start + content_length;
+      if (total > kMaxResponseBytes) {
+        Close();
+        return util::Status::Internal("response exceeds " +
+                                      std::to_string(kMaxResponseBytes) +
+                                      " bytes");
+      }
+      if (rbuf_.size() >= total) {
+        response.body = rbuf_.substr(body_start, content_length);
+        rbuf_.erase(0, total);
+        if (!response.keep_alive) Close();
+        return response;
+      }
+    } else if (rbuf_.size() > kMaxResponseBytes) {
+      Close();
+      return util::Status::Internal("response head exceeds " +
+                                    std::to_string(kMaxResponseBytes) +
+                                    " bytes");
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) {
+      Close();
+      return util::Status::Internal(
+          "server closed the connection mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      Close();
+      return util::Status::Internal(std::string("recv(): ") +
+                                    std::strerror(err));
+    }
+    rbuf_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace rlplanner::net

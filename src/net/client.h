@@ -1,0 +1,69 @@
+#ifndef RLPLANNER_NET_CLIENT_H_
+#define RLPLANNER_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rlplanner::net {
+
+/// One parsed HTTP response as seen by the client.
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Whether the server left the connection open for another request.
+  bool keep_alive = false;
+
+  /// First header value whose name matches case-insensitively, or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// A minimal blocking HTTP/1.1 client for the load generator, the benches,
+/// and the integration tests: one TCP connection, sequential requests with
+/// keep-alive reuse. Not a general client — Content-Length responses only,
+/// IPv4 only, no TLS, no redirects. Not thread-safe; use one per thread.
+class BlockingHttpClient {
+ public:
+  BlockingHttpClient() = default;
+  BlockingHttpClient(const BlockingHttpClient&) = delete;
+  BlockingHttpClient& operator=(const BlockingHttpClient&) = delete;
+  ~BlockingHttpClient();
+
+  /// Opens the TCP connection ("localhost" is accepted for 127.0.0.1).
+  /// Reconnecting an open client closes the old connection first.
+  util::Status Connect(const std::string& host, std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request and blocks for the full response. An empty body
+  /// still sends Content-Length: 0 so the server never waits. If the server
+  /// answered `Connection: close`, the socket is closed after the response;
+  /// the next Request() on this client fails until Connect() is called
+  /// again.
+  util::Result<ClientResponse> Request(
+      std::string_view method, std::string_view target,
+      std::string_view body = {},
+      std::string_view content_type = "application/json");
+
+  /// Writes raw bytes to the socket without framing — for protocol tests
+  /// (truncated requests, pipelining, garbage).
+  util::Status SendRaw(std::string_view data);
+
+  /// Blocks for one complete response already owed on the wire (pairs with
+  /// SendRaw; pipelined requests call this once per expected response).
+  util::Result<ClientResponse> ReadResponse();
+
+ private:
+  int fd_ = -1;
+  std::string rbuf_;  // bytes past the previous response (pipelining)
+};
+
+}  // namespace rlplanner::net
+
+#endif  // RLPLANNER_NET_CLIENT_H_

@@ -1,0 +1,236 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rlplanner::net {
+namespace {
+
+bool IsTokenChar(char c) {
+  // RFC 9110 token characters (the subset that matters for methods and
+  // header names).
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+ParseResult Error(std::string message) {
+  ParseResult result;
+  result.status = ParseStatus::kError;
+  result.error = std::move(message);
+  return result;
+}
+
+ParseResult NeedMore() { return ParseResult{}; }
+
+// Trims optional whitespace around a header value (RFC: OWS).
+std::string_view TrimOws(std::string_view value) {
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.remove_prefix(1);
+  }
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+    value.remove_suffix(1);
+  }
+  return value;
+}
+
+}  // namespace
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+ParseResult HttpRequestParser::Parse(std::string_view data,
+                                     HttpRequest* out) const {
+  // Request line: METHOD SP TARGET SP VERSION CRLF. A bare LF is tolerated
+  // as the line terminator (curl --http0.9 style tools and hand-typed
+  // telnet requests), per the robustness note in RFC 9112 §2.2.
+  const std::size_t line_end = data.find('\n');
+  if (line_end == std::string_view::npos) {
+    if (data.size() > kMaxRequestLineBytes) {
+      return Error("request line exceeds " +
+                   std::to_string(kMaxRequestLineBytes) + " bytes");
+    }
+    return NeedMore();
+  }
+  if (line_end > kMaxRequestLineBytes) {
+    return Error("request line exceeds " +
+                 std::to_string(kMaxRequestLineBytes) + " bytes");
+  }
+  std::string_view line = data.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Error("malformed request line");
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() ||
+      !std::all_of(method.begin(), method.end(), IsTokenChar)) {
+    return Error("malformed method token");
+  }
+  if (target.empty() || target.front() != '/') {
+    return Error("request target must be origin-form (start with '/')");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Error("unsupported protocol version '" + std::string(version) +
+                 "'");
+  }
+
+  HttpRequest request;
+  request.method = std::string(method);
+  request.target = std::string(target);
+  request.version = std::string(version);
+  request.keep_alive = version == "HTTP/1.1";
+
+  // Header fields until the empty line.
+  std::size_t pos = line_end + 1;
+  bool saw_end_of_headers = false;
+  std::size_t content_length = 0;
+  bool has_content_length = false;
+  while (pos < data.size()) {
+    const std::size_t eol = data.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      if (data.size() - pos > kMaxHeaderLineBytes) {
+        return Error("header line exceeds " +
+                     std::to_string(kMaxHeaderLineBytes) + " bytes");
+      }
+      break;  // incomplete header line
+    }
+    if (eol - pos > kMaxHeaderLineBytes) {
+      return Error("header line exceeds " +
+                   std::to_string(kMaxHeaderLineBytes) + " bytes");
+    }
+    std::string_view header_line = data.substr(pos, eol - pos);
+    if (!header_line.empty() && header_line.back() == '\r') {
+      header_line.remove_suffix(1);
+    }
+    pos = eol + 1;
+    if (header_line.empty()) {
+      saw_end_of_headers = true;
+      break;
+    }
+    if (request.headers.size() >= kMaxHeaders) {
+      return Error("more than " + std::to_string(kMaxHeaders) +
+                   " header fields");
+    }
+    const std::size_t colon = header_line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Error("malformed header field");
+    }
+    const std::string_view name = header_line.substr(0, colon);
+    if (!std::all_of(name.begin(), name.end(), IsTokenChar)) {
+      return Error("malformed header name");
+    }
+    const std::string_view value = TrimOws(header_line.substr(colon + 1));
+    request.headers.emplace_back(std::string(name), std::string(value));
+
+    if (EqualsIgnoreCase(name, "Content-Length")) {
+      if (has_content_length) {
+        return Error("duplicate Content-Length");
+      }
+      if (value.empty() || value.size() > 10 ||
+          value.find_first_not_of("0123456789") != std::string_view::npos) {
+        return Error("malformed Content-Length");
+      }
+      content_length = 0;
+      for (const char c : value) {
+        content_length = content_length * 10 +
+                         static_cast<std::size_t>(c - '0');
+      }
+      has_content_length = true;
+    } else if (EqualsIgnoreCase(name, "Transfer-Encoding")) {
+      return Error("Transfer-Encoding is not supported (use Content-Length)");
+    } else if (EqualsIgnoreCase(name, "Connection")) {
+      if (EqualsIgnoreCase(value, "close")) {
+        request.keep_alive = false;
+      } else if (EqualsIgnoreCase(value, "keep-alive")) {
+        request.keep_alive = true;
+      }
+    }
+  }
+
+  if (!saw_end_of_headers) {
+    if (pos >= max_request_bytes_) {
+      return Error("request head exceeds " +
+                   std::to_string(max_request_bytes_) + " bytes");
+    }
+    return NeedMore();
+  }
+
+  const std::size_t total = pos + content_length;
+  if (total > max_request_bytes_) {
+    return Error("request of " + std::to_string(total) +
+                 " bytes exceeds the " + std::to_string(max_request_bytes_) +
+                 "-byte limit");
+  }
+  if (data.size() < total) return NeedMore();
+
+  request.body = std::string(data.substr(pos, content_length));
+  *out = std::move(request);
+  ParseResult result;
+  result.status = ParseStatus::kOk;
+  result.consumed = total;
+  return result;
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += StatusReason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                    : "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace rlplanner::net

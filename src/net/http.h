@@ -1,0 +1,84 @@
+#ifndef RLPLANNER_NET_HTTP_H_
+#define RLPLANNER_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rlplanner::net {
+
+/// One parsed HTTP/1.1 request. Header names are kept as received; lookups
+/// are case-insensitive per RFC 9110.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (token, upper-case by convention)
+  std::string target;   // origin-form, e.g. "/v1/plan"
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Resolved connection semantics: HTTP/1.1 defaults to keep-alive unless
+  /// `Connection: close`; HTTP/1.0 defaults to close unless
+  /// `Connection: keep-alive`.
+  bool keep_alive = true;
+
+  /// First header value whose name matches case-insensitively, or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Outcome of one incremental parse attempt over a connection's read buffer.
+enum class ParseStatus {
+  kNeedMore,  // the buffer holds a prefix of a valid request — keep reading
+  kOk,        // one complete request parsed; `consumed` bytes belong to it
+  kError,     // protocol violation — respond 400 and close
+};
+
+struct ParseResult {
+  ParseStatus status = ParseStatus::kNeedMore;
+  std::size_t consumed = 0;  // bytes of the buffer the request used (kOk)
+  std::string error;         // human-readable cause (kError)
+};
+
+/// Incremental HTTP/1.1 request parser with bounded limits. Stateless
+/// between calls: feed it the connection's accumulated read buffer each
+/// time; on kOk, erase `consumed` bytes and hand off the request (any
+/// remaining bytes are the next pipelined request). Limits — enforced as
+/// kError, never unbounded buffering:
+///   * total request (head + body) <= max_request_bytes
+///   * <= kMaxHeaders header fields, each line <= kMaxHeaderLineBytes
+///   * request line <= kMaxRequestLineBytes
+///   * Content-Length only (Transfer-Encoding is rejected as unsupported)
+class HttpRequestParser {
+ public:
+  static constexpr std::size_t kMaxHeaders = 64;
+  static constexpr std::size_t kMaxRequestLineBytes = 4096;
+  static constexpr std::size_t kMaxHeaderLineBytes = 8192;
+
+  explicit HttpRequestParser(std::size_t max_request_bytes)
+      : max_request_bytes_(max_request_bytes) {}
+
+  /// Attempts to parse one complete request from the front of `data`.
+  /// Fills `*out` only when the result is kOk.
+  ParseResult Parse(std::string_view data, HttpRequest* out) const;
+
+  std::size_t max_request_bytes() const { return max_request_bytes_; }
+
+ private:
+  std::size_t max_request_bytes_;
+};
+
+/// Reason phrase for the status codes the server emits ("OK", "Bad
+/// Request", ...); "Unknown" for anything unmapped.
+const char* StatusReason(int status);
+
+/// Serializes a complete HTTP/1.1 response head + body. Always emits
+/// Content-Length; `keep_alive` selects the Connection header.
+std::string SerializeResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive);
+
+/// Case-insensitive ASCII string equality (header names, token values).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace rlplanner::net
+
+#endif  // RLPLANNER_NET_HTTP_H_

@@ -1,0 +1,265 @@
+#include "net/plan_handler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace rlplanner::net {
+namespace {
+
+std::string ErrorBody(const util::Status& status) {
+  return "{\"error\":\"" + obs::JsonEscape(status.message()) +
+         "\",\"code\":\"" + util::StatusCodeName(status.code()) + "\"}\n";
+}
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+/// An integral JSON number that fits the wire protocol's id/deadline range,
+/// or InvalidArgument naming the field.
+util::Result<long long> RequireInteger(const util::json::Value& value,
+                                       const char* field) {
+  if (!value.is_integer()) {
+    return util::Status::InvalidArgument(std::string("'") + field +
+                                         "' must be an integer");
+  }
+  const double number = value.AsNumber();
+  if (number < -2147483648.0 || number > 2147483647.0) {
+    return util::Status::InvalidArgument(std::string("'") + field +
+                                         "' is out of range");
+  }
+  return static_cast<long long>(number);
+}
+
+}  // namespace
+
+int StatusToHttpCode(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kOk:
+      return 200;
+    case util::StatusCode::kInvalidArgument:
+    case util::StatusCode::kOutOfRange:
+      return 400;
+    case util::StatusCode::kNotFound:
+      return 404;
+    case util::StatusCode::kResourceExhausted:
+    case util::StatusCode::kFailedPrecondition:
+      return 503;
+    case util::StatusCode::kDeadlineExceeded:
+      return 504;
+    default:
+      return 500;
+  }
+}
+
+util::Result<serve::PlanRequest> PlanRequestFromJson(
+    const util::json::Value& root) {
+  if (!root.is_object()) {
+    return util::Status::InvalidArgument(
+        "request body must be a JSON object");
+  }
+  serve::PlanRequest request;
+  for (const auto& [key, value] : root.AsObject()) {
+    if (key == "policy") {
+      if (!value.is_string()) {
+        return util::Status::InvalidArgument("'policy' must be a string");
+      }
+      request.policy_name = value.AsString();
+    } else if (key == "start_item") {
+      auto item = RequireInteger(value, "start_item");
+      if (!item.ok()) return item.status();
+      request.start_item = static_cast<model::ItemId>(item.value());
+    } else if (key == "excluded") {
+      if (!value.is_array()) {
+        return util::Status::InvalidArgument(
+            "'excluded' must be an array of integers");
+      }
+      for (const util::json::Value& element : value.AsArray()) {
+        auto item = RequireInteger(element, "excluded");
+        if (!item.ok()) return item.status();
+        request.excluded.push_back(static_cast<model::ItemId>(item.value()));
+      }
+    } else if (key == "ideal_topics") {
+      if (!value.is_array()) {
+        return util::Status::InvalidArgument(
+            "'ideal_topics' must be an array of strings");
+      }
+      std::vector<std::string> topics;
+      for (const util::json::Value& element : value.AsArray()) {
+        if (!element.is_string()) {
+          return util::Status::InvalidArgument(
+              "'ideal_topics' must be an array of strings");
+        }
+        topics.push_back(element.AsString());
+      }
+      request.ideal_topics = std::move(topics);
+    } else if (key == "deadline_ms") {
+      if (!value.is_number()) {
+        return util::Status::InvalidArgument(
+            "'deadline_ms' must be a number");
+      }
+      request.deadline_ms = value.AsNumber();
+    } else {
+      return util::Status::InvalidArgument("unknown field '" + key + "'");
+    }
+  }
+  return request;
+}
+
+std::string PlanResponseToJson(const serve::PlanResponse& response) {
+  std::string out;
+  out.reserve(128 + response.plan.items().size() * 4);
+  out += "{\"plan\":[";
+  for (std::size_t i = 0; i < response.plan.items().size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(response.plan.items()[i]);
+  }
+  out += "],\"score\":";
+  out += FormatDouble(response.score);
+  out += ",\"valid\":";
+  out += response.valid ? "true" : "false";
+  out += ",\"violations\":[";
+  for (std::size_t i = 0; i < response.violations.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += obs::JsonEscape(response.violations[i]);
+    out += '"';
+  }
+  out += "],\"policy_version\":";
+  out += std::to_string(response.policy_version);
+  out += ",\"queue_ms\":";
+  out += FormatDouble(response.queue_ms);
+  out += ",\"exec_ms\":";
+  out += FormatDouble(response.exec_ms);
+  out += "}\n";
+  return out;
+}
+
+PlanHandler::PlanHandler(serve::PlanService* service, Options options)
+    : service_(service),
+      metrics_(options.metrics),
+      trace_(options.trace != nullptr && options.trace->enabled()
+                 ? options.trace
+                 : nullptr) {}
+
+HttpServer::Handler PlanHandler::AsHandler() {
+  return [this](HttpRequest request, Responder responder) {
+    Handle(std::move(request), std::move(responder));
+  };
+}
+
+void PlanHandler::Handle(HttpRequest request, Responder responder) {
+  if (request.target == "/v1/plan") {
+    if (request.method != "POST") {
+      responder.Send(HttpResponse{
+          405, "application/json",
+          ErrorBody(util::Status::InvalidArgument("use POST /v1/plan"))});
+      return;
+    }
+    HandlePlan(request, std::move(responder));
+    return;
+  }
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      responder.Send(HttpResponse{
+          405, "application/json",
+          ErrorBody(util::Status::InvalidArgument("use GET /healthz"))});
+      return;
+    }
+    responder.Send(HttpResponse{200, "application/json",
+                                "{\"status\":\"ok\"}\n"});
+    return;
+  }
+  if (request.target == "/metrics") {
+    if (request.method != "GET") {
+      responder.Send(HttpResponse{
+          405, "application/json",
+          ErrorBody(util::Status::InvalidArgument("use GET /metrics"))});
+      return;
+    }
+    if (metrics_ == nullptr) {
+      responder.Send(HttpResponse{
+          404, "application/json",
+          ErrorBody(util::Status::NotFound("no metrics registry configured"))});
+      return;
+    }
+    HttpResponse response;
+    response.status = 200;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::ToPrometheusText(metrics_->Collect());
+    responder.Send(std::move(response));
+    return;
+  }
+  responder.Send(HttpResponse{
+      404, "application/json",
+      ErrorBody(util::Status::NotFound("no route for '" + request.target +
+                                       "'"))});
+}
+
+void PlanHandler::HandlePlan(const HttpRequest& request,
+                             Responder responder) {
+  // Allocate the trace id before parsing so the serve_parse span shares the
+  // id chain with the service's queue-wait/plan/respond spans.
+  const std::uint64_t trace_id =
+      trace_ != nullptr ? service_->AllocateTraceId() : 0;
+  const auto parse_begin = std::chrono::steady_clock::now();
+  serve::PlanRequest plan_request;
+  util::Status parse_status = util::Status::Ok();
+  {
+    auto document = util::json::Parse(request.body);
+    if (!document.ok()) {
+      parse_status = document.status();
+    } else {
+      auto decoded = PlanRequestFromJson(document.value());
+      if (!decoded.ok()) {
+        parse_status = decoded.status();
+      } else {
+        plan_request = std::move(decoded).value();
+      }
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->EmitComplete("serve_parse", parse_begin,
+                         std::chrono::steady_clock::now(),
+                         {{"trace_id", std::to_string(trace_id)},
+                          {"status", parse_status.ok() ? "ok" : "error"}});
+  }
+  if (!parse_status.ok()) {
+    responder.Send(HttpResponse{StatusToHttpCode(parse_status),
+                                "application/json", ErrorBody(parse_status)});
+    return;
+  }
+  plan_request.trace_id = trace_id;
+  // PlanService::Callback is a std::function and must stay copyable; the
+  // move-only Responder rides in a shared_ptr.
+  auto shared = std::make_shared<Responder>(std::move(responder));
+  const util::Status submitted = service_->SubmitAsync(
+      std::move(plan_request),
+      [shared](util::Result<serve::PlanResponse> result) {
+        if (result.ok()) {
+          shared->Send(HttpResponse{200, "application/json",
+                                    PlanResponseToJson(result.value())});
+        } else {
+          shared->Send(HttpResponse{StatusToHttpCode(result.status()),
+                                    "application/json",
+                                    ErrorBody(result.status())});
+        }
+      });
+  if (!submitted.ok()) {
+    // Rejected at admission (queue full, draining): the callback never runs,
+    // the Responder is still ours to spend.
+    shared->Send(HttpResponse{StatusToHttpCode(submitted), "application/json",
+                              ErrorBody(submitted)});
+  }
+}
+
+}  // namespace rlplanner::net

@@ -1,0 +1,82 @@
+#ifndef RLPLANNER_NET_PLAN_HANDLER_H_
+#define RLPLANNER_NET_PLAN_HANDLER_H_
+
+#include <string>
+
+#include "net/server.h"
+#include "serve/plan_service.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace rlplanner::obs {
+class Registry;
+class TraceCollector;
+}  // namespace rlplanner::obs
+
+namespace rlplanner::net {
+
+/// The service-to-wire error contract, in one testable place:
+///   Ok                              → 200
+///   InvalidArgument / OutOfRange    → 400  (bad request JSON, bad item ids)
+///   NotFound                        → 404  (unknown policy slot)
+///   ResourceExhausted               → 503  (admission queue full)
+///   FailedPrecondition              → 503  (service draining / not running)
+///   DeadlineExceeded                → 504
+///   anything else                   → 500
+int StatusToHttpCode(const util::Status& status);
+
+/// Decodes the POST /v1/plan body into a PlanRequest. Strict: the document
+/// must be an object, every field must have the right shape, and unknown
+/// fields are rejected by name. Accepted fields (all optional):
+///   policy        string   registry slot, default "default"
+///   start_item    integer  first item of the rollout, default 0
+///   excluded      array of integers — items the plan must never pick
+///   ideal_topics  array of strings — per-user T_ideal override
+///   deadline_ms   number   per-request deadline (0 = service default,
+///                          negative = no deadline)
+util::Result<serve::PlanRequest> PlanRequestFromJson(
+    const util::json::Value& root);
+
+/// Renders a served plan for the wire: plan items, score, validity +
+/// violations, the policy version that produced it, and the queue/exec
+/// timings.
+std::string PlanResponseToJson(const serve::PlanResponse& response);
+
+/// Routes the serving endpoints onto a PlanService:
+///   POST /v1/plan   JSON plan request → JSON plan response (async via
+///                   SubmitAsync — the epoll shard never blocks)
+///   GET  /metrics   Prometheus text exposition of the shared registry
+///   GET  /healthz   {"status":"ok"} liveness probe
+/// Unknown targets get 404, wrong methods on known targets 405. Every plan
+/// request is assigned a trace id up front so the handler's serve_parse span
+/// shares the id chain of the service's queue-wait/plan/respond spans.
+class PlanHandler {
+ public:
+  struct Options {
+    /// The registry GET /metrics exports (not owned). Null serves 404 on
+    /// /metrics — the other endpoints still work.
+    obs::Registry* metrics = nullptr;
+    /// Optional trace collector for serve_parse spans (not owned).
+    obs::TraceCollector* trace = nullptr;
+  };
+
+  /// `service` must be started and must outlive the handler.
+  PlanHandler(serve::PlanService* service, Options options);
+
+  /// The HttpServer-facing entry point (runs on epoll shard threads).
+  void Handle(HttpRequest request, Responder responder);
+
+  /// Adapter for HttpServer's constructor.
+  HttpServer::Handler AsHandler();
+
+ private:
+  void HandlePlan(const HttpRequest& request, Responder responder);
+
+  serve::PlanService* service_;
+  obs::Registry* metrics_;
+  obs::TraceCollector* trace_;  // null when absent or disabled
+};
+
+}  // namespace rlplanner::net
+
+#endif  // RLPLANNER_NET_PLAN_HANDLER_H_

@@ -69,6 +69,22 @@ std::size_t PlanService::queue_depth() const {
 
 util::Result<std::future<util::Result<PlanResponse>>> PlanService::Submit(
     PlanRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<util::Result<PlanResponse>> future =
+      pending.promise.get_future();
+  RLP_RETURN_IF_ERROR(Enqueue(std::move(pending)));
+  return future;
+}
+
+util::Status PlanService::SubmitAsync(PlanRequest request, Callback callback) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.callback = std::move(callback);
+  return Enqueue(std::move(pending));
+}
+
+util::Status PlanService::Enqueue(Pending pending) {
   if (!started_.load() || stopped_.load()) {
     return util::Status::FailedPrecondition(
         "PlanService is not running (Start() not called or Stop() already "
@@ -76,19 +92,20 @@ util::Result<std::future<util::Result<PlanResponse>>> PlanService::Submit(
   }
   const auto now = Clock::now();
   // Trace ids are allocated only when tracing is on, so the untraced path
-  // never touches the atomic.
+  // never touches the atomic; a caller-provided id (the network front end's)
+  // wins so its spans share the chain.
   const std::uint64_t trace_id =
-      trace_ != nullptr
-          ? next_trace_id_.fetch_add(1, std::memory_order_relaxed)
-          : 0;
-  double deadline_ms = request.deadline_ms == 0.0
-                           ? config_.default_deadline_ms
-                           : request.deadline_ms;
-  std::future<util::Result<PlanResponse>> future;
+      trace_ == nullptr ? 0
+      : pending.request.trace_id != 0 ? pending.request.trace_id
+                                      : AllocateTraceId();
+  const double deadline_ms = pending.request.deadline_ms == 0.0
+                                 ? config_.default_deadline_ms
+                                 : pending.request.deadline_ms;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) {
-      return util::Status::FailedPrecondition("PlanService is stopping");
+    if (stopping_ || draining_) {
+      return util::Status::FailedPrecondition(
+          draining_ ? "PlanService is draining" : "PlanService is stopping");
     }
     stats_.RecordSubmitted();
     if (queue_.size() >= config_.max_queue) {
@@ -104,8 +121,6 @@ util::Result<std::future<util::Result<PlanResponse>>> PlanService::Submit(
           "request queue full (" + std::to_string(config_.max_queue) +
           " pending requests); retry later");
     }
-    Pending pending;
-    pending.request = std::move(request);
     pending.enqueued = now;
     pending.trace_id = trace_id;
     if (deadline_ms > 0.0) {
@@ -114,13 +129,65 @@ util::Result<std::future<util::Result<PlanResponse>>> PlanService::Submit(
           now + std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double, std::milli>(deadline_ms));
     }
-    future = pending.promise.get_future();
     queue_.push_back(std::move(pending));
     stats_.RecordAccepted();
     stats_.SetQueueDepth(queue_.size());
   }
   queue_cv_.notify_one();
-  return future;
+  return util::Status::Ok();
+}
+
+void PlanService::Deliver(Pending& pending,
+                          util::Result<PlanResponse> result) {
+  if (pending.callback) {
+    pending.callback(std::move(result));
+  } else {
+    pending.promise.set_value(std::move(result));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (in_flight_ > 0) --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+  }
+}
+
+util::Status PlanService::Drain(std::chrono::milliseconds timeout) {
+  if (!started_.load()) return util::Status::Ok();  // nothing ever admitted
+  std::deque<Pending> leftover;
+  bool settled = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;  // Enqueue rejects from this point on
+    settled = drain_cv_.wait_for(lock, timeout, [this] {
+      return queue_.empty() && in_flight_ == 0;
+    });
+    if (!settled) {
+      // Deadline-fail everything still queued; in-flight requests finish on
+      // their workers (Stop() joins them). Nothing is silently dropped.
+      leftover.swap(queue_);
+      stats_.SetQueueDepth(0);
+    }
+  }
+  if (settled) return util::Status::Ok();
+  for (Pending& pending : leftover) {
+    stats_.RecordExpiredDeadline();
+    if (trace_ != nullptr) {
+      const auto now = Clock::now();
+      trace_->EmitComplete("serve_respond", now, now,
+                           {{"trace_id", std::to_string(pending.trace_id)},
+                            {"status", "drain_expired"}});
+    }
+    if (pending.callback) {
+      pending.callback(util::Status::DeadlineExceeded(
+          "request still queued when the service drain timed out"));
+    } else {
+      pending.promise.set_value(util::Status::DeadlineExceeded(
+          "request still queued when the service drain timed out"));
+    }
+  }
+  return util::Status::DeadlineExceeded(
+      "drain timed out with " + std::to_string(leftover.size()) +
+      " queued request(s) (completed with DeadlineExceeded)");
 }
 
 void PlanService::WorkerLoop() {
@@ -132,6 +199,7 @@ void PlanService::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and fully drained
       pending = std::move(queue_.front());
       queue_.pop_front();
+      ++in_flight_;  // Drain waits for delivery, not just an empty queue
       stats_.SetQueueDepth(queue_.size());
     }
     const auto dequeued = Clock::now();
@@ -149,10 +217,11 @@ void PlanService::WorkerLoop() {
       respond_span.AddArg("trace_id", pending.trace_id);
       respond_span.AddArg("status", "deadline_exceeded");
       stats_.RecordExpiredDeadline();
-      pending.promise.set_value(util::Status::DeadlineExceeded(
-          "request spent " +
-          std::to_string(MillisBetween(pending.enqueued, dequeued)) +
-          " ms in the queue, past its deadline"));
+      Deliver(pending, util::Status::DeadlineExceeded(
+                           "request spent " +
+                           std::to_string(MillisBetween(pending.enqueued,
+                                                        dequeued)) +
+                           " ms in the queue, past its deadline"));
       continue;
     }
     auto result = [&]() -> util::Result<PlanResponse> {
@@ -177,7 +246,7 @@ void PlanService::WorkerLoop() {
     } else {
       stats_.RecordFailed();
     }
-    pending.promise.set_value(std::move(result));
+    Deliver(pending, std::move(result));
   }
 }
 

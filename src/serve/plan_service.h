@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,11 @@ struct PlanRequest {
   /// Per-request deadline in ms measured from admission; 0 uses the service
   /// default, negative disables the deadline for this request.
   double deadline_ms = 0.0;
+  /// Caller-provided trace id threaded through the request's span chain
+  /// (serve_queue_wait → serve_plan → serve_respond). 0 lets the service
+  /// allocate one; the network front end allocates up front (via
+  /// AllocateTraceId) so its serve_parse span shares the same id.
+  std::uint64_t trace_id = 0;
 };
 
 /// A served plan plus everything needed to audit it: the scores, the hard
@@ -84,9 +90,10 @@ struct PlanServiceConfig {
 /// registry's current policies on a util::ThreadPool, behind a bounded
 /// request queue with admission control and per-request deadlines.
 ///
-/// Lifecycle: construct → Start() → Submit()/Execute() from any thread →
-/// Stop() (drains the queue, then joins). A service is single-use; Stop()
-/// is permanent. `instance` and `registry` must outlive the service.
+/// Lifecycle: construct → Start() → Submit()/SubmitAsync()/Execute() from
+/// any thread → optionally Drain(timeout) (stop admissions, settle the
+/// queue) → Stop() (drains the queue, then joins). A service is single-use;
+/// Stop() is permanent. `instance` and `registry` must outlive the service.
 ///
 /// Consistency contract: a request is executed entirely against the one
 /// `shared_ptr<const ServablePolicy>` it resolves at execution start, so hot
@@ -101,11 +108,26 @@ class PlanService {
   PlanService(const PlanService&) = delete;
   PlanService& operator=(const PlanService&) = delete;
 
+  /// Delivery path for SubmitAsync: invoked exactly once with the response
+  /// (or the per-request error) on the worker that finished the request.
+  /// Must not block — it runs on the serving hot path.
+  using Callback = std::function<void(util::Result<PlanResponse>)>;
+
   /// Stops the service if still running.
   ~PlanService();
 
   /// Spins up the worker loops. Idempotent until Stop().
   void Start();
+
+  /// Graceful shutdown, phase 1: stops admitting new requests (Submit and
+  /// SubmitAsync fail with FailedPrecondition from the moment this is
+  /// called) and waits up to `timeout` for every queued and in-flight
+  /// request to be delivered. Requests still queued when the timeout
+  /// expires are completed with DeadlineExceeded — never silently dropped —
+  /// and the call returns DeadlineExceeded; a fully settled queue returns
+  /// Ok. Idempotent, and composes with Stop() in either order (Drain after
+  /// Stop is a no-op returning Ok).
+  util::Status Drain(std::chrono::milliseconds timeout);
 
   /// Drains queued requests, then stops the workers. Requests submitted
   /// after Stop() fail with FailedPrecondition.
@@ -114,9 +136,21 @@ class PlanService {
   /// Admits a request into the bounded queue. Returns the future that will
   /// carry the response (or the per-request error), or an immediate
   /// ResourceExhausted / FailedPrecondition when the queue is full / the
-  /// service is not running.
+  /// service is not running (or draining).
   util::Result<std::future<util::Result<PlanResponse>>> Submit(
       PlanRequest request);
+
+  /// Callback flavor of Submit for event-loop callers (the epoll front end):
+  /// on admission, `callback` fires exactly once from a worker thread with
+  /// the response; on rejection (queue full / not running / draining) the
+  /// error is returned immediately and `callback` is never invoked.
+  util::Status SubmitAsync(PlanRequest request, Callback callback);
+
+  /// Hands out a process-unique trace id a caller can place in
+  /// PlanRequest::trace_id so its own spans share the request's id chain.
+  std::uint64_t AllocateTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Synchronously executes `request` on the calling thread against the
   /// registry's current policy — the single-request path (also what the
@@ -133,6 +167,7 @@ class PlanService {
   struct Pending {
     PlanRequest request;
     std::promise<util::Result<PlanResponse>> promise;
+    Callback callback;  // when set, delivery bypasses the promise
     Clock::time_point enqueued;
     Clock::time_point deadline;
     bool has_deadline = false;
@@ -140,6 +175,15 @@ class PlanService {
   };
 
   void WorkerLoop();
+
+  /// Shared admission path behind Submit/SubmitAsync: deadline resolution,
+  /// queue-bound check, stats, trace marker. `pending.callback` decides the
+  /// delivery flavor.
+  util::Status Enqueue(Pending pending);
+
+  /// Invokes the callback or fulfills the promise, then retires the request
+  /// from the drain accounting.
+  void Deliver(Pending& pending, util::Result<PlanResponse> result);
 
   const model::TaskInstance* instance_;
   mdp::RewardWeights weights_;  // kept alive for reward_ and override rebuilds
@@ -152,8 +196,13 @@ class PlanService {
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
   std::deque<Pending> queue_;
   bool stopping_ = false;
+  bool draining_ = false;
+  /// Requests dequeued by a worker but not yet delivered; Drain waits for
+  /// queue_.empty() && in_flight_ == 0.
+  std::size_t in_flight_ = 0;
 
   util::ThreadPool pool_;
   std::thread coordinator_;

@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace rlplanner::util {
 
@@ -59,6 +60,31 @@ Status AllowFlags(const CommandLine& cmd,
     }
   }
   return Status::Ok();
+}
+
+Result<HostPort> ParseHostPort(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("'" + spec +
+                                   "' is not HOST:PORT (missing ':')");
+  }
+  HostPort result;
+  result.host = spec.substr(0, colon);
+  if (result.host.empty()) {
+    return Status::InvalidArgument("'" + spec + "' has an empty host");
+  }
+  const std::string port = spec.substr(colon + 1);
+  if (port.empty() || port.size() > 5 ||
+      port.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("'" + port + "' is not a valid port");
+  }
+  const long value = std::strtol(port.c_str(), nullptr, 10);
+  if (value < 0 || value > 65535) {
+    return Status::InvalidArgument("port " + port +
+                                   " out of range [0, 65535]");
+  }
+  result.port = static_cast<std::uint16_t>(value);
+  return result;
 }
 
 }  // namespace rlplanner::util

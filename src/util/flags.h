@@ -1,6 +1,7 @@
 #ifndef RLPLANNER_UTIL_FLAGS_H_
 #define RLPLANNER_UTIL_FLAGS_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -51,6 +52,22 @@ Status RequireFlags(const CommandLine& cmd,
 /// (catches typos like --dataest), Ok otherwise.
 Status AllowFlags(const CommandLine& cmd,
                   const std::vector<std::string>& allowed);
+
+/// A validated `HOST:PORT` pair as parsed from `--listen` / `--target`
+/// flags. `port` 0 is legal and means "bind an ephemeral port".
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parses `spec` of the form `HOST:PORT` into a HostPort. The host part must
+/// be non-empty; the port must be a bare decimal in [0, 65535]. A missing
+/// colon, empty host, or malformed/out-of-range port is InvalidArgument with
+/// a message naming the offending piece (the CLIs turn this into
+/// usage-on-stderr + exit 2).
+Result<HostPort> ParseHostPort(const std::string& spec);
 
 }  // namespace rlplanner::util
 

@@ -1,0 +1,287 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rlplanner::util::json {
+
+const Value* Value::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+bool IsJsonWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+}  // namespace
+
+/// Single-pass recursive-descent parser over the input view. Errors carry
+/// the byte offset where parsing stopped, which is what a 400 response
+/// reports back to the client.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    SkipWhitespace();
+    Value value;
+    RLP_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && IsJsonWhitespace(text_[pos_])) ++pos_;
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting deeper than 32 levels");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = Value::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+      case 'f':
+        return ParseKeyword(out);
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out->kind_ = Value::Kind::kNull;
+          return Status::Ok();
+        }
+        return Error("invalid keyword");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseKeyword(Value* out) {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      out->kind_ = Value::Kind::kBool;
+      out->bool_ = true;
+      return Status::Ok();
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      out->kind_ = Value::Kind::kBool;
+      out->bool_ = false;
+      return Status::Ok();
+    }
+    return Error("invalid keyword");
+  }
+
+  Status ParseNumber(Value* out) {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("invalid number");
+    }
+    // Leading zeros are rejected per the grammar ("01" is two tokens).
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      return Error("leading zero in number");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digit expected after '.'");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digit expected in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) return Error("number out of range");
+    out->kind_ = Value::Kind::kNumber;
+    out->number_ = value;
+    out->integer_ = integral;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("'\"' expected");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c < 0x20) return Error("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          RLP_RETURN_IF_ERROR(ParseHex4(&code));
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: the pair must follow immediately.
+            if (!Consume('\\') || !Consume('u')) {
+              return Error("unpaired surrogate");
+            }
+            unsigned low = 0;
+            RLP_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseHex4(unsigned* out) {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return Error("truncated \\u escape");
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    Consume('[');
+    out->kind_ = Value::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      Value element;
+      SkipWhitespace();
+      RLP_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+      out->array_.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Error("',' or ']' expected in array");
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    Consume('{');
+    out->kind_ = Value::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      RLP_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("':' expected after object key");
+      SkipWhitespace();
+      Value value;
+      RLP_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      // Last duplicate wins, matching the flag parser's convention.
+      out->object_[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Error("',' or '}' expected in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace rlplanner::util::json

@@ -1,0 +1,71 @@
+#ifndef RLPLANNER_UTIL_JSON_H_
+#define RLPLANNER_UTIL_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rlplanner::util::json {
+
+/// A parsed JSON document node. The library emits JSON by hand (exporters,
+/// bench writers); this is the *reading* side, added for the wire protocol:
+/// strict (no trailing garbage, no comments, no NaN/Inf), depth-limited, and
+/// allocation-light enough for a request hot path.
+///
+/// Numbers are kept as double (the wire protocol's integers — item ids,
+/// deadlines — fit exactly) plus an `is_integer` flag so callers can reject
+/// fractional values where an id is expected.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  // std::map keeps member iteration deterministic (sorted by key).
+  using Object = std::map<std::string, Value>;
+
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  /// True for numbers written without fraction/exponent (e.g. item ids).
+  bool is_integer() const { return kind_ == Kind::kNumber && integer_; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  const Object& AsObject() const { return object_; }
+
+  /// Object member lookup; nullptr when this is not an object or the key is
+  /// absent.
+  const Value* Find(const std::string& key) const;
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  bool integer_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses exactly one JSON document from `text` (leading/trailing ASCII
+/// whitespace allowed, nothing else). InvalidArgument with a byte offset on
+/// malformed input, inputs nested deeper than 32 levels, or invalid \u
+/// escapes.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace rlplanner::util::json
+
+#endif  // RLPLANNER_UTIL_JSON_H_

@@ -613,6 +613,151 @@ TEST(PlanServiceTest, SharedRegistryExposesServeMetrics) {
   EXPECT_EQ(service.stats().Collect().queue_depth, 0u);
 }
 
+TEST(PlanServiceTest, SubmitAsyncDeliversViaCallbackExactlyOnce) {
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  PlanServiceConfig service_config;
+  service_config.num_workers = 2;
+  PlanService service(fix.instance, fix.config.reward, fix.registry,
+                      service_config);
+  service.Start();
+
+  constexpr int kRequests = 20;
+  std::atomic<int> delivered{0};
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < kRequests; ++i) {
+    PlanRequest request;
+    request.start_item = fix.dataset.default_start;
+    auto submitted = service.SubmitAsync(
+        std::move(request), [&](util::Result<PlanResponse> result) {
+          delivered.fetch_add(1);
+          if (result.ok() && !result.value().plan.empty()) {
+            ok_count.fetch_add(1);
+          }
+        });
+    ASSERT_TRUE(submitted.ok()) << submitted.ToString();
+  }
+  service.Stop();  // drains the queue: every callback has fired by now
+  EXPECT_EQ(delivered.load(), kRequests);
+  EXPECT_EQ(ok_count.load(), kRequests);
+
+  // Post-stop submissions are rejected and the callback never runs.
+  std::atomic<bool> ran{false};
+  auto rejected = service.SubmitAsync(
+      PlanRequest{}, [&](util::Result<PlanResponse>) { ran.store(true); });
+  EXPECT_EQ(rejected.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(PlanServiceTest, AllocateTraceIdIsUniqueAcrossThreads) {
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  PlanService service(fix.instance, fix.config.reward, fix.registry, {});
+  constexpr int kThreads = 4;
+  constexpr int kIdsPerThread = 200;
+  std::vector<std::vector<std::uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &ids, t] {
+      for (int i = 0; i < kIdsPerThread; ++i) {
+        ids[t].push_back(service.AllocateTraceId());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::set<std::uint64_t> unique;
+  for (const auto& per_thread : ids) unique.insert(per_thread.begin(),
+                                                   per_thread.end());
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads) * kIdsPerThread);
+}
+
+TEST(PlanServiceTest, DrainSettlesQueueAndStopsAdmissions) {
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  PlanServiceConfig service_config;
+  service_config.num_workers = 2;
+  PlanService service(fix.instance, fix.config.reward, fix.registry,
+                      service_config);
+  service.Start();
+
+  std::vector<std::future<util::Result<PlanResponse>>> futures;
+  for (int i = 0; i < 10; ++i) {
+    PlanRequest request;
+    request.start_item = fix.dataset.default_start;
+    auto submitted = service.Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+
+  EXPECT_TRUE(service.Drain(std::chrono::milliseconds(5000)).ok());
+  // Every admitted request was delivered before Drain returned...
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(future.get().ok());
+  }
+  EXPECT_EQ(service.queue_depth(), 0u);
+  // ...and new admissions are refused from the moment Drain was called.
+  auto refused = service.Submit(PlanRequest{});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kFailedPrecondition);
+
+  // Idempotent, and composes with Stop in either order.
+  EXPECT_TRUE(service.Drain(std::chrono::milliseconds(1)).ok());
+  service.Stop();
+  EXPECT_TRUE(service.Drain(std::chrono::milliseconds(1)).ok());
+
+  const ServeStatsSnapshot stats = service.stats().Collect();
+  EXPECT_EQ(stats.accepted, stats.completed + stats.expired_deadline);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(PlanServiceTest, DrainTimeoutFailsLeftoversInsteadOfDroppingThem) {
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  PlanServiceConfig service_config;
+  service_config.num_workers = 1;
+  service_config.max_queue = 4096;
+  PlanService service(fix.instance, fix.config.reward, fix.registry,
+                      service_config);
+  service.Start();
+
+  // Build a backlog one worker cannot settle instantly, then drain with a
+  // zero budget. Whether the worker happens to win the race or not, the
+  // ledger must balance: every future resolves, nothing is dropped.
+  std::vector<std::future<util::Result<PlanResponse>>> futures;
+  for (int i = 0; i < 300; ++i) {
+    PlanRequest request;
+    request.start_item = fix.dataset.default_start;
+    auto submitted = service.Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  const util::Status drained = service.Drain(std::chrono::milliseconds(0));
+
+  std::size_t completed = 0;
+  std::size_t deadline_failed = 0;
+  for (auto& future : futures) {
+    auto result = future.get();  // must not hang: delivered or failed, never lost
+    if (result.ok()) {
+      ++completed;
+    } else {
+      EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded);
+      ++deadline_failed;
+    }
+  }
+  EXPECT_EQ(completed + deadline_failed, futures.size());
+  if (deadline_failed > 0) {
+    // Leftovers existed at the deadline, so Drain must have reported it.
+    EXPECT_EQ(drained.code(), util::StatusCode::kDeadlineExceeded);
+  } else {
+    EXPECT_TRUE(drained.ok());
+  }
+  service.Stop();
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
 TEST(ServeStatsTest, HistogramQuantilesAndJson) {
   ServeStats stats;
   for (int i = 1; i <= 100; ++i) {

@@ -1,5 +1,6 @@
 // Unit tests for the utility substrate: Status/Result, DynamicBitset, Rng,
-// string helpers, CSV, and the ASCII table renderer.
+// string helpers, CSV, the ASCII table renderer, HOST:PORT parsing, and the
+// strict JSON reader.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +10,8 @@
 
 #include "util/bitset.h"
 #include "util/csv.h"
+#include "util/flags.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -422,6 +425,80 @@ TEST(ThreadPoolTest, NumWorkersReportsPoolSize) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.NumWorkers(), 3u);
   EXPECT_EQ(pool.NumWorkers(), pool.num_threads());
+}
+
+TEST(ParseHostPortTest, AcceptsValidSpecs) {
+  auto listen = ParseHostPort("127.0.0.1:8080");
+  ASSERT_TRUE(listen.ok()) << listen.status().ToString();
+  EXPECT_EQ(listen.value().host, "127.0.0.1");
+  EXPECT_EQ(listen.value().port, 8080);
+  EXPECT_EQ(listen.value().ToString(), "127.0.0.1:8080");
+
+  // Port 0 is legal (ephemeral bind), as is the max port.
+  EXPECT_EQ(ParseHostPort("0.0.0.0:0").value().port, 0);
+  EXPECT_EQ(ParseHostPort("localhost:65535").value().port, 65535);
+}
+
+TEST(ParseHostPortTest, RejectsMalformedSpecsByName) {
+  const struct {
+    const char* spec;
+    const char* expect_in_message;
+  } cases[] = {
+      {"nocolon", "HOST:PORT"},      {":8080", "host"},
+      {"host:", "port"},             {"host:notaport", "port"},
+      {"host:-1", "port"},           {"host:65536", "port"},
+      {"host:80x", "port"},          {"", "HOST:PORT"},
+  };
+  for (const auto& c : cases) {
+    auto parsed = ParseHostPort(c.spec);
+    ASSERT_FALSE(parsed.ok()) << c.spec;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << c.spec;
+    EXPECT_NE(parsed.status().message().find(c.expect_in_message),
+              std::string::npos)
+        << c.spec << " -> " << parsed.status().ToString();
+  }
+}
+
+TEST(JsonParseTest, ParsesScalarsArraysAndObjects) {
+  auto document = json::Parse(
+      " {\"a\": 1, \"b\": -2.5e2, \"c\": [true, false, null], "
+      "\"d\": {\"nested\": \"str\\u0041\\n\"}} ");
+  ASSERT_TRUE(document.ok()) << document.status().ToString();
+  const json::Value& root = document.value();
+  ASSERT_TRUE(root.is_object());
+  ASSERT_NE(root.Find("a"), nullptr);
+  EXPECT_TRUE(root.Find("a")->is_integer());
+  EXPECT_EQ(root.Find("a")->AsNumber(), 1.0);
+  EXPECT_FALSE(root.Find("b")->is_integer());  // fraction/exponent present
+  EXPECT_EQ(root.Find("b")->AsNumber(), -250.0);
+  ASSERT_TRUE(root.Find("c")->is_array());
+  ASSERT_EQ(root.Find("c")->AsArray().size(), 3u);
+  EXPECT_TRUE(root.Find("c")->AsArray()[0].AsBool());
+  EXPECT_TRUE(root.Find("c")->AsArray()[2].is_null());
+  const json::Value* nested = root.Find("d")->Find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->AsString(), "strA\n");
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",            "{",           "{\"a\":}",      "[1,]",
+      "{\"a\" 1}",   "nul",         "01",            "1.",
+      "\"unterminated", "{} trailing", "[1] [2]",    "{\"a\":NaN}",
+      "\"bad \\u12 escape\"",
+  };
+  for (const char* text : bad) {
+    auto document = json::Parse(text);
+    EXPECT_FALSE(document.ok()) << "accepted: " << text;
+    if (!document.ok()) {
+      EXPECT_EQ(document.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  // Depth bound: 40 nested arrays exceed the 32-level limit.
+  std::string deep(40, '[');
+  deep += std::string(40, ']');
+  EXPECT_FALSE(json::Parse(deep).ok());
 }
 
 TEST(ThreadPoolTest, NestedCallsAcrossPoolsDegradeSerially) {

@@ -57,10 +57,13 @@ GATE_SPEC = {
         ],
     },
     "BENCH_serve.json": {
-        "context": ["simd", "catalog_items"],
+        "context": ["simd", "catalog_items", "hardware_threads", "smoke"],
         "sections": [
             ("throughput",
              lambda e: f"workers{e['workers']}/clients{e['clients']}",
+             [("requests_per_sec", "higher")], "wall_s"),
+            ("wire",
+             lambda e: f"shards{e['shards']}/connections{e['connections']}",
              [("requests_per_sec", "higher")], "wall_s"),
         ],
     },
@@ -194,10 +197,16 @@ def self_test():
         },
         "BENCH_serve.json": {
             "catalog_items": 114,
+            "hardware_threads": 1,
+            "smoke": False,
             "simd": "avx2",
             "throughput": [
                 {"workers": 4, "clients": 8, "wall_s": 1.2,
                  "requests_per_sec": 5000.0},
+            ],
+            "wire": [
+                {"shards": 2, "connections": 8, "wall_s": 0.8,
+                 "requests_per_sec": 20000.0},
             ],
         },
     }
@@ -235,6 +244,15 @@ def self_test():
             "episodes_per_sec"] = 100.0
         write_tree(fresh_dir, dropped)
         checks.append(("throughput drop fails",
+                       not run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                    verbose=False)))
+
+        # 3b. A wire (socket-path) throughput drop beyond tolerance fails.
+        wire_dropped = copy.deepcopy(baseline)
+        wire_dropped["BENCH_serve.json"]["wire"][0][
+            "requests_per_sec"] = 5000.0
+        write_tree(fresh_dir, wire_dropped)
+        checks.append(("wire throughput drop fails",
                        not run_gate(base_dir, fresh_dir, 0.30, 0.05,
                                     verbose=False)))
 

@@ -12,6 +12,10 @@
 # benchmark artifact fails the check rather than the downstream plots —
 # and likewise validates the CLI's --metrics-out JSON and --trace-out
 # Chrome trace-event file (the artifact docs/observability.md documents).
+# It then boots `rlplanner_cli serve --listen` on an ephemeral port, drives
+# it with bench/load_gen over real sockets, round-trips GET /metrics as
+# Prometheus text exposition, and SIGINTs the server to prove the graceful
+# drain exits 0 with a balanced, zero-loss stats ledger.
 # Set RLPLANNER_SANITIZE=thread to run only the TSan lane (the mode CI's
 # sanitizer matrix uses); any other value runs everything.
 # Usage: tools/check.sh  (from the repo root; build trees go to build/,
@@ -34,10 +38,12 @@ run_tsan_lane() {
   # registry's concurrent registration path, and the trace collector's
   # single-writer rings (concurrent emit + export); simd_test covers the
   # dispatch table's concurrent first-use resolution (and its _scalar ctest
-  # variant keeps the scalar kernels sanitized too). The ASan/UBSan lane
-  # below runs the complete suite, obs_test included — no filter there.
+  # variant keeps the scalar kernels sanitized too); net_test crosses the
+  # epoll shards' completion-queue/eventfd edge under concurrent clients
+  # and drains the server under live load. The ASan/UBSan lane below runs
+  # the complete suite, obs_test included — no filter there.
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -R 'serve_test|util_test|parallel_sarsa_test|obs_test|simd_test'
+    -R 'serve_test|net_test|util_test|parallel_sarsa_test|obs_test|simd_test'
 }
 
 run_bench_gate() {
@@ -124,6 +130,108 @@ print(f"trace-smoke.json OK ({len(events)} events)")
 EOF
 }
 
+run_serve_smoke() {
+  echo "==> Wire serving smoke run (live server + load_gen + /metrics)"
+  # Train a toy policy and put the epoll front end on an ephemeral port;
+  # --duration-s is a watchdog in case the SIGINT below never lands.
+  rm -f build/serve-smoke.log
+  ./build/tools/rlplanner_cli serve --dataset toy --listen 127.0.0.1:0 \
+    --duration-s 60 > build/serve-smoke.log &
+  local server_pid=$!
+  local target=""
+  for _ in $(seq 1 200); do
+    target="$(sed -n 's/^listening on \([0-9.]*:[0-9]*\) .*/\1/p' \
+      build/serve-smoke.log 2>/dev/null || true)"
+    [ -n "${target}" ] && break
+    if ! kill -0 "${server_pid}" 2>/dev/null; then
+      echo "server died before listening:" >&2
+      cat build/serve-smoke.log >&2
+      return 1
+    fi
+    sleep 0.05
+  done
+  if [ -z "${target}" ]; then
+    echo "server never printed its listen address" >&2
+    kill "${server_pid}" 2>/dev/null || true
+    return 1
+  fi
+
+  # ~2 s of closed-loop load over real sockets; load_gen exits non-zero on
+  # any transport error or unexpected status, and its JSON is the artifact.
+  ./build/bench/load_gen closed --target "${target}" --connections 4 \
+    --duration-s 2 > build/load-smoke.json
+  python3 - <<'EOF'
+import json
+with open("build/load-smoke.json") as f:
+    doc = json.load(f)
+assert doc["mode"] == "closed" and doc["connections"] == 4, doc
+assert doc["completed"] > 0 and doc["requests_per_sec"] > 0, doc
+assert doc["errors"] == 0 and doc["transport_errors"] == 0, doc
+# Closed-loop smoke against a healthy toy server: only 200s (a 503 here
+# would mean admission control sheds load at 4 concurrent clients).
+assert set(doc["status_counts"]) == {"200"}, doc["status_counts"]
+for key in ("p50", "p95", "p99", "mean", "max"):
+    assert doc["latency_ms"][key] >= 0.0, doc["latency_ms"]
+print(f"load-smoke.json OK ({doc['completed']} requests, "
+      f"{doc['requests_per_sec']:.0f} req/s)")
+EOF
+
+  # The live /metrics endpoint must round-trip as well-formed Prometheus
+  # text exposition carrying both layers' metric families.
+  ./build/bench/load_gen get --target "${target}" > build/metrics-wire.txt
+  python3 - <<'EOF'
+import re
+with open("build/metrics-wire.txt") as f:
+    lines = f.read().splitlines()
+assert lines, "empty /metrics body"
+sample = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+=\"[^\"]*\""
+    r"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})? -?[0-9.eE+-]+$")
+typed = set()
+names = set()
+for line in lines:
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        parts = line.split()
+        assert len(parts) == 4 and parts[3] in (
+            "counter", "gauge", "histogram"), line
+        typed.add(parts[2])
+        continue
+    if line.startswith("#"):
+        continue
+    assert sample.match(line), f"malformed sample line: {line!r}"
+    names.add(line.split("{")[0].split()[0])
+for required in ("net_requests_total", "net_connections_active",
+                 "net_request_latency_us", "serve_requests_accepted_total",
+                 "serve_request_latency_us"):
+    assert any(n.startswith(required) for n in names), f"missing {required}"
+    assert any(required == t for t in typed), f"no TYPE line for {required}"
+print(f"metrics-wire.txt OK ({len(typed)} typed families, "
+      f"{len(names)} sample names)")
+EOF
+
+  # Graceful shutdown: SIGINT → service drain → connection drain → exit 0,
+  # and the final stats ledger must balance with nothing dropped.
+  kill -INT "${server_pid}"
+  local server_rc=0
+  wait "${server_pid}" || server_rc=$?
+  if [ "${server_rc}" -ne 0 ]; then
+    echo "server exited with ${server_rc}:" >&2
+    cat build/serve-smoke.log >&2
+    return 1
+  fi
+  python3 - <<'EOF'
+import json
+with open("build/serve-smoke.log") as f:
+    stats = json.loads(f.read().splitlines()[-1])
+assert stats["failed"] == 0, stats
+assert stats["accepted"] == stats["completed"] + stats["expired_deadline"], stats
+assert stats["queue_depth"] == 0, stats
+print(f"serve-smoke stats OK ({stats['completed']} completed, 0 failed)")
+EOF
+}
+
 if [ "${MODE}" = "thread" ]; then
   run_tsan_lane
   echo "==> TSan checks passed"
@@ -139,6 +247,7 @@ run_bench_smoke
 run_bench_gate
 run_metrics_smoke
 run_trace_smoke
+run_serve_smoke
 
 echo "==> ASan/UBSan build + tests"
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

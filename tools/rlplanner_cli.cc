@@ -31,6 +31,12 @@
 //           [--metrics-interval-s N]      (periodic atomic rewrites of
 //           [--trace-out JSON]            --metrics-out while serving)
 //           [training flags as for plan]
+//           [--listen HOST:PORT]          wire mode: serve HTTP instead of
+//           [--shards N]                  synthetic traffic — POST /v1/plan,
+//           [--duration-s S]              GET /metrics, GET /healthz on an
+//           [--drain-timeout-ms D]        epoll front end (see docs/serving.md)
+//                                         until SIGTERM/SIGINT or --duration-s,
+//                                         then drain gracefully
 //
 // `--trace-out FILE` records a Chrome trace-event timeline of the run
 // (training rounds / worker shards / serve request lifecycles) loadable in
@@ -44,6 +50,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -65,6 +72,8 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "obs/training_metrics.h"
+#include "net/plan_handler.h"
+#include "net/server.h"
 #include "rl/policy_inspector.h"
 #include "serve/plan_service.h"
 #include "serve/policy_registry.h"
@@ -89,7 +98,9 @@ int Usage(const std::string& error) {
       "  --snapshot FILE  --requests N  --threads T  --queue Q\n"
       "  --deadline-ms D  --save-policy FILE  --metrics-out FILE\n"
       "  --metrics-interval-s N  --trace-out FILE\n"
-      "  --workers K  --mode serial|det|hogwild  --format prom|json\n");
+      "  --workers K  --mode serial|det|hogwild  --format prom|json\n"
+      "  --listen HOST:PORT  --shards N  --duration-s S\n"
+      "  --drain-timeout-ms D\n");
   return 2;
 }
 
@@ -534,9 +545,78 @@ int CmdLoadSnapshot(const Dataset& dataset, const CommandLine& cmd) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+void OnShutdownSignal(int) { g_shutdown_signal = 1; }
+
+// Wire mode of `serve`: an epoll HTTP front end over the PlanService until
+// SIGINT/SIGTERM (or --duration-s), then a graceful drain. The drain order
+// matters: the service drains first so every admitted plan is delivered
+// while its connection is still open (new wire requests map to 503
+// meanwhile), then the server drains its connections, then the workers join.
+int RunWireServer(rlplanner::serve::PlanService& service,
+                  const rlplanner::util::HostPort& listen,
+                  rlplanner::obs::Registry& metrics_registry,
+                  rlplanner::obs::TraceCollector* trace,
+                  const CommandLine& cmd) {
+  rlplanner::net::HttpServerConfig server_config;
+  server_config.host = listen.host;
+  server_config.port = listen.port;
+  server_config.num_shards = static_cast<std::size_t>(
+      std::atoi(cmd.GetFlagOr("shards", "0").c_str()));
+  server_config.metrics = &metrics_registry;
+  server_config.trace = trace;
+  rlplanner::net::PlanHandler handler(&service, {&metrics_registry, trace});
+  rlplanner::net::HttpServer server(server_config, handler.AsHandler());
+  if (const auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  // check.sh and the CI smoke lane parse this exact line for the bound port.
+  std::printf("listening on %s:%u (%zu shards)\n", server.config().host.c_str(),
+              static_cast<unsigned>(server.port()), server.num_shards());
+  std::fflush(stdout);
+
+  g_shutdown_signal = 0;
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGTERM, OnShutdownSignal);
+  const double duration_s =
+      std::atof(cmd.GetFlagOr("duration-s", "0").c_str());
+  const auto begin = std::chrono::steady_clock::now();
+  while (g_shutdown_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (duration_s > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+                .count() >= duration_s) {
+      break;
+    }
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const double drain_timeout_ms =
+      std::atof(cmd.GetFlagOr("drain-timeout-ms", "5000").c_str());
+  const auto drained = service.Drain(std::chrono::milliseconds(
+      static_cast<long long>(drain_timeout_ms < 0.0 ? 0.0 : drain_timeout_ms)));
+  server.Shutdown();
+  service.Stop();
+  if (!drained.ok()) {
+    std::fprintf(stderr, "drain: %s\n", drained.ToString().c_str());
+  }
+  std::printf("%s\n", service.stats().ToJson().c_str());
+  return 0;
+}
+
 // Runs the concurrent PlanService over synthetic round-robin traffic and
 // prints the stats JSON — a smoke test / demo of the serving layer.
 int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
+  // Validate --listen before spending time on training: a malformed spec is
+  // a usage error (exit 2), not a runtime failure.
+  std::optional<rlplanner::util::HostPort> listen;
+  if (const auto spec = cmd.GetFlag("listen")) {
+    auto parsed = rlplanner::util::ParseHostPort(*spec);
+    if (!parsed.ok()) return Usage(parsed.status().message());
+    listen = parsed.value();
+  }
   const rlplanner::model::TaskInstance instance = dataset.Instance();
   rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
 
@@ -618,6 +698,28 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
         lock.lock();
       }
     });
+  }
+  if (listen.has_value()) {
+    const int wire_rc =
+        RunWireServer(service, *listen, metrics_registry, trace.get(), cmd);
+    if (metrics_writer.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(writer_mutex);
+        writer_stop = true;
+      }
+      writer_cv.notify_all();
+      metrics_writer.join();
+    }
+    if (metrics_path.has_value()) {
+      if (!AtomicWriteTextFile(
+              *metrics_path,
+              rlplanner::obs::ToJson(metrics_registry.Collect()))) {
+        return 1;
+      }
+      std::printf("metrics: %s\n", metrics_path->c_str());
+    }
+    if (!WriteTraceOut(cmd, trace.get())) return 1;
+    return wire_rc;
   }
   std::vector<std::future<
       rlplanner::util::Result<rlplanner::serve::PlanResponse>>> futures;
