@@ -17,6 +17,15 @@
 //  4. Hot swap under wire load: policies swapped while HTTP clients hammer
 //     the socket; every request must complete with a 200 attributed to an
 //     installed version — zero drops across the swap, measured end to end.
+//  5. Snapshot-load latency: installing a policy from disk via the three
+//     load paths — dense v1 deserialize, sparse v2 deserialize, and sparse
+//     v2 mmap (zero-copy) — timed against a 10k-item snapshot large enough
+//     (~100 MB full, ~15 MB smoke) that the deserialize-vs-mmap gap is the
+//     headline number.
+//  6. mmap hot swap under wire load: HTTP clients drive POST /v1/plan
+//     against the 10k-item catalog while the ~100 MB v2 snapshot is
+//     mmap-installed mid-run; zero drops, and the per-install latency is
+//     recorded (page-table work, not a deserialize pass).
 //
 // Usage: serve_bench [--smoke]   (writes BENCH_serve.json to the cwd;
 // --smoke shrinks the request budgets for CI smoke lanes)
@@ -37,6 +46,7 @@
 #include "core/planner.h"
 #include "datagen/synthetic.h"
 #include "mdp/q_table.h"
+#include "mdp/sparse_q_table.h"
 #include "net/client.h"
 #include "net/plan_handler.h"
 #include "net/server.h"
@@ -508,6 +518,227 @@ WireHotSwapResult RunWireHotSwap(
   return result;
 }
 
+
+// ---------------------------------------------------------------------------
+// Phases 5 and 6: snapshot loading and zero-copy hot swap at 10k items.
+// ---------------------------------------------------------------------------
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The 10k-item sparse fixture: a briefly trained policy whose v2 snapshot
+// is padded with deterministic filler entries (tiny negative values, so
+// learned positives still win every argmax fast path) until the file
+// crosses the target size — ~101 MB full, ~15 MB smoke. The trained
+// (unpadded) table doubles as the "before" policy for the hot-swap phase.
+struct BigSnapshotFixture {
+  Dataset dataset;
+  rlplanner::core::PlannerConfig config;
+  rlplanner::mdp::SparseQTable trained{0};
+  std::string path;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t entries = 0;
+};
+
+BigSnapshotFixture BuildBigSnapshot(bool smoke) {
+  BigSnapshotFixture fx;
+  rlplanner::datagen::SyntheticSpec spec;
+  spec.num_items = 10000;
+  spec.vocab_size = 512;
+  spec.seed = 7;
+  fx.dataset = rlplanner::datagen::GenerateSynthetic(spec);
+
+  fx.config = rlplanner::core::PlannerConfig{};
+  fx.config.sarsa.q_representation = rlplanner::rl::QRepresentation::kSparse;
+  // Restart rounds AddNoise over all |I|² cells — the dense blow-up the
+  // sparse table exists to avoid — so scale configs pin one round.
+  fx.config.sarsa.policy_rounds = 1;
+  fx.config.sarsa.num_episodes = smoke ? 10 : 60;
+  fx.config.sarsa.start_item = fx.dataset.default_start;
+  fx.config.seed = 17;
+
+  const rlplanner::model::TaskInstance instance = fx.dataset.Instance();
+  rlplanner::core::RlPlanner planner(instance, fx.config);
+  if (const auto status = planner.Train(); !status.ok()) {
+    std::fprintf(stderr, "10k sparse training failed: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  fx.trained = planner.sparse_q_table();
+
+  rlplanner::mdp::SparseQTable padded = fx.trained;
+  const std::size_t n = padded.num_items();
+  const std::size_t per_row = smoke ? 130 : 880;  // 12 B/entry on disk
+  for (std::size_t state = 0; state < n; ++state) {
+    for (std::size_t j = 0; j < per_row; ++j) {
+      const std::size_t action = (state * 2654435761ull + j * 40503ull) % n;
+      const auto a = static_cast<rlplanner::model::ItemId>(action);
+      const auto st = static_cast<rlplanner::model::ItemId>(state);
+      if (padded.Get(st, a) == 0.0) {
+        padded.Set(st, a, -1e-9 * static_cast<double>(j + 1));
+      }
+    }
+  }
+
+  rlplanner::serve::SparsePolicySnapshotV2 snapshot;
+  snapshot.catalog_fingerprint =
+      rlplanner::serve::CatalogFingerprint(fx.dataset.catalog);
+  snapshot.seed = fx.config.seed;
+  snapshot.provenance = fx.config.sarsa;
+  fx.entries = padded.entry_count();
+  snapshot.table = std::move(padded);
+  fx.path = "big_sparse_v2.snap";
+  if (const auto status = snapshot.SaveToFile(fx.path); !status.ok()) {
+    std::fprintf(stderr, "big snapshot save failed: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  auto info = rlplanner::serve::InspectSnapshotFile(fx.path);
+  if (!info.ok() || !info.value().checksum_ok) {
+    std::fprintf(stderr, "big snapshot failed inspection\n");
+    std::exit(1);
+  }
+  fx.snapshot_bytes = info.value().file_bytes;
+  return fx;
+}
+
+struct SnapshotLoadResult {
+  const char* format;  // "dense-v1" | "sparse-v2"
+  const char* mode;    // "deserialize" | "mmap"
+  std::size_t items = 0;
+  std::uint64_t snapshot_bytes = 0;
+  double seconds = 0.0;
+};
+
+// Times one InstallSnapshotFile: file → validated policy → published slot,
+// i.e. the full swap-in latency a production rollout would observe.
+SnapshotLoadResult TimeInstall(rlplanner::serve::PolicyRegistry& registry,
+                               const char* format, const char* mode,
+                               const std::string& path, std::size_t items,
+                               std::uint64_t snapshot_bytes,
+                               rlplanner::serve::SnapshotLoadMode load_mode) {
+  SnapshotLoadResult result;
+  result.format = format;
+  result.mode = mode;
+  result.items = items;
+  result.snapshot_bytes = snapshot_bytes;
+  const double begin = Now();
+  auto installed = registry.InstallSnapshotFile("default", path, load_mode);
+  result.seconds = Now() - begin;
+  if (!installed.ok()) {
+    std::fprintf(stderr, "snapshot install (%s/%s) failed: %s\n", format,
+                 mode, installed.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+struct MmapWireSwapResult {
+  std::uint64_t total_responses = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t swaps = 0;
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double install_mean_seconds = 0.0;
+  double install_max_seconds = 0.0;
+};
+
+// Phase 6: closed-loop HTTP clients plan over the 10k catalog while the
+// swapper mmap-installs the big v2 snapshot mid-run. The wire contract is
+// the same as phase 4 — every request completes with a 200 attributed to
+// an installed version — plus a latency claim: each install is O(1)
+// page-table work, not a payload pass.
+MmapWireSwapResult RunWireMmapHotSwap(
+    const rlplanner::model::TaskInstance& instance,
+    const rlplanner::mdp::RewardWeights& weights,
+    rlplanner::serve::PolicyRegistry& registry, const Dataset& dataset,
+    const std::string& snapshot_path, std::size_t connections,
+    int requests_per_connection) {
+  WireStack stack(instance, weights, registry, /*workers=*/2, /*shards=*/2,
+                  /*max_queue=*/2 * connections + 8);
+  const std::uint16_t port = stack.server->port();
+
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<bool> clients_done{false};
+
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      rlplanner::net::BlockingHttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        std::fprintf(stderr, "wire client connect failed\n");
+        std::exit(1);
+      }
+      for (int i = 0; i < requests_per_connection; ++i) {
+        const std::size_t start =
+            (c * 17 + static_cast<std::size_t>(i)) % dataset.catalog.size();
+        const std::string body =
+            "{\"start_item\": " + std::to_string(start) + "}";
+        auto response = client.Request("POST", "/v1/plan", body);
+        if (!response.ok()) {
+          ++dropped;
+          break;
+        }
+        if (response.value().status == 503) {
+          --i;  // admission backpressure, not an error: retry
+          std::this_thread::yield();
+          continue;
+        }
+        if (response.value().status != 200) {
+          ++dropped;
+          continue;
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::uint64_t swaps = 0;
+  std::vector<double> install_seconds;
+  std::thread swapper([&] {
+    for (int i = 0; i < 3; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      const double t0 = Now();
+      auto installed = registry.InstallSnapshotFile(
+          "default", snapshot_path,
+          rlplanner::serve::SnapshotLoadMode::kMmap);
+      const double t1 = Now();
+      if (installed.ok()) {
+        ++swaps;
+        install_seconds.push_back(t1 - t0);
+      }
+      if (clients_done.load()) break;
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  clients_done = true;
+  swapper.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  MmapWireSwapResult result;
+  result.swaps = swaps;
+  result.dropped = dropped.load();
+  result.total_responses = completed.load();
+  result.wall_seconds = std::chrono::duration<double>(end - begin).count();
+  result.requests_per_sec =
+      static_cast<double>(result.total_responses) / result.wall_seconds;
+  for (double seconds : install_seconds) {
+    result.install_mean_seconds += seconds;
+    result.install_max_seconds =
+        std::max(result.install_max_seconds, seconds);
+  }
+  if (!install_seconds.empty()) {
+    result.install_mean_seconds /=
+        static_cast<double>(install_seconds.size());
+  }
+  return result;
+}
+
 void PrintThroughputEntry(std::FILE* f, const ThroughputResult& r, bool last) {
   std::fprintf(f,
                "    {\"workers\": %zu, \"clients\": %zu, \"completed\": %llu, "
@@ -651,6 +882,82 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+
+  // Phase 5: snapshot-load latency across the three install paths. The v1
+  // file is the paper-scale dense policy; the v2 file is the 10k-item
+  // padded sparse fixture (~101 MB full, ~15 MB smoke).
+  const BigSnapshotFixture big = BuildBigSnapshot(smoke);
+  const rlplanner::model::TaskInstance big_instance = big.dataset.Instance();
+  const std::uint64_t big_fingerprint =
+      rlplanner::serve::CatalogFingerprint(big.dataset.catalog);
+
+  rlplanner::serve::PolicySnapshot v1_snapshot;
+  v1_snapshot.catalog_fingerprint = fingerprint;
+  v1_snapshot.provenance = config.sarsa;
+  v1_snapshot.seed = config.seed;
+  v1_snapshot.table = policies[0];
+  const std::string v1_path = "dense_v1.snap";
+  if (!v1_snapshot.SaveToFile(v1_path).ok()) {
+    std::fprintf(stderr, "v1 snapshot save failed\n");
+    return 1;
+  }
+  auto v1_info = rlplanner::serve::InspectSnapshotFile(v1_path);
+  if (!v1_info.ok()) return 1;
+
+  std::vector<SnapshotLoadResult> snapshot_load;
+  {
+    rlplanner::serve::PolicyRegistry load_registry(fingerprint,
+                                                   dataset.catalog.size());
+    snapshot_load.push_back(TimeInstall(
+        load_registry, "dense-v1", "deserialize", v1_path,
+        dataset.catalog.size(), v1_info.value().file_bytes,
+        rlplanner::serve::SnapshotLoadMode::kDeserialize));
+  }
+  {
+    rlplanner::serve::PolicyRegistry load_registry(
+        big_fingerprint, big.dataset.catalog.size());
+    snapshot_load.push_back(TimeInstall(
+        load_registry, "sparse-v2", "deserialize", big.path,
+        big.dataset.catalog.size(), big.snapshot_bytes,
+        rlplanner::serve::SnapshotLoadMode::kDeserialize));
+    snapshot_load.push_back(TimeInstall(
+        load_registry, "sparse-v2", "mmap", big.path,
+        big.dataset.catalog.size(), big.snapshot_bytes,
+        rlplanner::serve::SnapshotLoadMode::kMmap));
+  }
+  for (const SnapshotLoadResult& r : snapshot_load) {
+    std::printf("snapshot load %s/%s: %.6fs (%.1f MB)\n", r.format, r.mode,
+                r.seconds,
+                static_cast<double>(r.snapshot_bytes) / (1024.0 * 1024.0));
+  }
+
+  // Phase 6: mmap hot swap under wire load at 10k items.
+  rlplanner::serve::PolicyRegistry mmap_registry(
+      big_fingerprint, big.dataset.catalog.size());
+  if (!mmap_registry
+           .Install("default", big.trained, big.config.sarsa, big.config.seed)
+           .ok()) {
+    return 1;
+  }
+  const int mmap_requests_per_connection = smoke ? 10 : 50;
+  const MmapWireSwapResult mmap_swap = RunWireMmapHotSwap(
+      big_instance, weights, mmap_registry, big.dataset, big.path,
+      /*connections=*/4, mmap_requests_per_connection);
+  std::printf(
+      "mmap wire hot swap: %llu responses over %llu swaps, %llu dropped, "
+      "install mean %.6fs max %.6fs\n",
+      static_cast<unsigned long long>(mmap_swap.total_responses),
+      static_cast<unsigned long long>(mmap_swap.swaps),
+      static_cast<unsigned long long>(mmap_swap.dropped),
+      mmap_swap.install_mean_seconds, mmap_swap.install_max_seconds);
+  if (mmap_swap.dropped != 0 || mmap_swap.swaps == 0 ||
+      mmap_swap.total_responses !=
+          4ull * static_cast<std::uint64_t>(mmap_requests_per_connection)) {
+    std::fprintf(stderr,
+                 "mmap hot-swap phase violated the zero-loss contract\n");
+    return 1;
+  }
+
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_serve.json for writing\n");
@@ -698,6 +1005,37 @@ int main(int argc, char** argv) {
     PrintWireEntry(f, wire[i], i + 1 == wire.size());
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"snapshot_load\": [\n");
+  for (std::size_t i = 0; i < snapshot_load.size(); ++i) {
+    const SnapshotLoadResult& r = snapshot_load[i];
+    std::fprintf(f,
+                 "    {\"format\": \"%s\", \"mode\": \"%s\", "
+                 "\"items\": %zu, \"snapshot_bytes\": %llu, "
+                 "\"seconds\": %.6f}%s\n",
+                 r.format, r.mode, r.items,
+                 static_cast<unsigned long long>(r.snapshot_bytes), r.seconds,
+                 i + 1 == snapshot_load.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"mmap_hot_swap\": {\n");
+  std::fprintf(f, "    \"items\": %zu,\n", big.dataset.catalog.size());
+  std::fprintf(f, "    \"snapshot_bytes\": %llu,\n",
+               static_cast<unsigned long long>(big.snapshot_bytes));
+  std::fprintf(f, "    \"snapshot_entries\": %llu,\n",
+               static_cast<unsigned long long>(big.entries));
+  std::fprintf(f, "    \"connections\": 4,\n");
+  std::fprintf(f, "    \"swaps\": %llu,\n",
+               static_cast<unsigned long long>(mmap_swap.swaps));
+  std::fprintf(f, "    \"responses\": %llu,\n",
+               static_cast<unsigned long long>(mmap_swap.total_responses));
+  std::fprintf(f, "    \"dropped\": %llu,\n",
+               static_cast<unsigned long long>(mmap_swap.dropped));
+  std::fprintf(f, "    \"requests_per_sec\": %.1f,\n",
+               mmap_swap.requests_per_sec);
+  std::fprintf(f,
+               "    \"install_seconds\": {\"mean\": %.6f, \"max\": %.6f}\n",
+               mmap_swap.install_mean_seconds, mmap_swap.install_max_seconds);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"wire_hot_swap\": {\n");
   std::fprintf(f, "    \"shards\": 2,\n");
   std::fprintf(f, "    \"connections\": 8,\n");

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <type_traits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,16 +64,21 @@ struct RunResult {
   std::uint64_t steps = 0;             // TD updates applied
   double td_error_abs_p95 = 0.0;       // |TD error| 95th percentile
   double merge_wait_p95_us = 0.0;      // det-mode barrier wait (0 otherwise)
+  const char* q_repr = "dense";        // Q representation trained on
   bool ok = false;
 };
 
 // One dataset's benchmark setup: the instance, its reward weights, and the
-// SARSA configuration shared by every mode.
+// SARSA configuration shared by every mode. `sparse` scenarios train on the
+// SparseQTable representation (catalogs where the dense |I|² table would
+// not fit) and skip the Hogwild mode, whose lock-free CAS loop is defined
+// only for the dense contiguous table.
 struct Scenario {
   std::string name;
   Dataset dataset;
   rlplanner::mdp::RewardWeights weights;
   SarsaConfig sarsa;
+  bool sparse = false;
 };
 
 Scenario MakeUniv1() {
@@ -106,6 +112,25 @@ Scenario MakeSynthetic1k() {
   return s;
 }
 
+// Sparse-representation scale scenarios: a small fixed vocabulary keeps
+// catalog size the only scaling axis, and policy_rounds stays 1 because a
+// restart round's AddNoise materializes all |I|² cells — the dense blow-up
+// the sparse table exists to avoid.
+Scenario MakeSyntheticSparse(const char* name, int num_items) {
+  Scenario s;
+  s.name = name;
+  s.sparse = true;
+  rlplanner::datagen::SyntheticSpec spec;
+  spec.num_items = num_items;
+  spec.vocab_size = 512;
+  spec.seed = 7;
+  s.dataset = rlplanner::datagen::GenerateSynthetic(spec);
+  s.sarsa = SarsaConfig{};
+  s.sarsa.q_representation = rlplanner::rl::QRepresentation::kSparse;
+  s.sarsa.policy_rounds = 1;
+  return s;
+}
+
 RunResult RunOne(const Scenario& scenario, ParallelMode mode, int workers,
                  int episodes, rlplanner::obs::TraceCollector* trace) {
   const rlplanner::model::TaskInstance instance = scenario.dataset.Instance();
@@ -129,23 +154,33 @@ RunResult RunOne(const Scenario& scenario, ParallelMode mode, int workers,
   result.workers = mode == ParallelMode::kSerial ? 1 : workers;
   result.catalog_items = scenario.dataset.catalog.size();
   result.episodes = episodes;
+  result.q_repr = scenario.sparse ? "sparse" : "dense";
 
   // kSerial runs the plain SarsaLearner via the parallel learner's
   // delegation (identical table and draws; the wrapper only adds the
   // round observer that records time-to-safe). Every run records into its
   // own registry, which also exercises the metrics hot path under bench
-  // load — the reported throughput is the instrumented throughput.
+  // load — the reported throughput is the instrumented throughput. The
+  // dense and sparse learners share one templated implementation, so the
+  // representation is the only variable between the two branches.
   rlplanner::obs::Registry registry;
   rlplanner::obs::TrainingMetrics metrics(&registry);
+  const auto run_learner = [&](auto tag) {
+    using Learner = typename decltype(tag)::type;
+    Learner learner(instance, reward, config, /*seed=*/17);
+    learner.set_metrics(&metrics);
+    learner.set_trace(trace);
+    const auto q = learner.Learn();
+    result.time_to_safe_seconds = learner.time_to_safe_seconds();
+    result.ok = q.num_items() == scenario.dataset.catalog.size() &&
+                static_cast<int>(learner.episode_returns().size()) == episodes;
+  };
   const double begin = Now();
-  rlplanner::rl::ParallelSarsaLearner learner(instance, reward, config,
-                                              /*seed=*/17);
-  learner.set_metrics(&metrics);
-  learner.set_trace(trace);
-  const rlplanner::mdp::QTable q = learner.Learn();
-  result.time_to_safe_seconds = learner.time_to_safe_seconds();
-  result.ok = q.num_items() == scenario.dataset.catalog.size() &&
-              static_cast<int>(learner.episode_returns().size()) == episodes;
+  if (scenario.sparse) {
+    run_learner(std::type_identity<rlplanner::rl::SparseParallelSarsaLearner>{});
+  } else {
+    run_learner(std::type_identity<rlplanner::rl::ParallelSarsaLearner>{});
+  }
   result.seconds = Now() - begin;
   for (const auto& metric : registry.Collect().metrics) {
     if (metric.name == "train_steps_total") {
@@ -166,11 +201,12 @@ void PrintEntry(std::FILE* f, const RunResult& r, bool last) {
   std::fprintf(f,
                "    {\"name\": \"%s\", \"mode\": \"%s\", \"workers\": %d, "
                "\"catalog_items\": %zu, \"episodes\": %d, "
+               "\"q_repr\": \"%s\", "
                "\"seconds\": %.4f, \"episodes_per_sec\": %.1f, "
                "\"time_to_safe_seconds\": %.4f, \"steps\": %llu, "
                "\"td_error_abs_p95\": %.4f, \"merge_wait_p95_us\": %.1f}%s\n",
                r.name.c_str(), r.mode, r.workers, r.catalog_items, r.episodes,
-               r.seconds, r.episodes_per_sec, r.time_to_safe_seconds,
+               r.q_repr, r.seconds, r.episodes_per_sec, r.time_to_safe_seconds,
                static_cast<unsigned long long>(r.steps), r.td_error_abs_p95,
                r.merge_wait_p95_us, last ? "" : ",");
 }
@@ -196,13 +232,23 @@ int RunAll(bool smoke, const std::string& trace_out) {
   scenarios.push_back(MakeUniv1());
   scenarios.push_back(MakeUniv2());
   scenarios.push_back(MakeSynthetic1k());
+  // The 10k sparse catalog runs in every mode — it is the smoke lane's
+  // big-catalog coverage; 100k only in full runs.
+  scenarios.push_back(MakeSyntheticSparse("synthetic_10k", 10000));
+  if (!smoke) {
+    scenarios.push_back(MakeSyntheticSparse("synthetic_100k", 100000));
+  }
 
   std::vector<RunResult> results;
   bool all_ok = true;
   for (const Scenario& scenario : scenarios) {
     // Budgets: enough episodes that per-run setup cost amortizes away, a
-    // few seconds of smoke total.
+    // few seconds of smoke total. The scale scenarios run ~100x (10k) and
+    // ~1000x (100k) slower per episode than the paper-scale programs, so
+    // their budgets shrink with size rather than with smoke alone.
     int episodes = smoke ? 20 : (scenario.name == "synthetic_1k" ? 100 : 200);
+    if (scenario.name == "synthetic_10k") episodes = smoke ? 10 : 60;
+    if (scenario.name == "synthetic_100k") episodes = 8;
 
     results.push_back(
         RunOne(scenario, ParallelMode::kSerial, 1, episodes, trace.get()));
@@ -210,8 +256,10 @@ int RunAll(bool smoke, const std::string& trace_out) {
       results.push_back(RunOne(scenario, ParallelMode::kDeterministic, k,
                                episodes, trace.get()));
     }
-    results.push_back(RunOne(scenario, ParallelMode::kHogwild,
-                             worker_counts.back(), episodes, trace.get()));
+    if (!scenario.sparse) {
+      results.push_back(RunOne(scenario, ParallelMode::kHogwild,
+                               worker_counts.back(), episodes, trace.get()));
+    }
     for (const RunResult& r : results) all_ok = all_ok && r.ok;
   }
 

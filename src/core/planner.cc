@@ -3,6 +3,7 @@
 #include <chrono>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
 #include "core/scoring.h"
 #include "obs/span.h"
@@ -24,6 +25,19 @@ RlPlanner::~RlPlanner() = default;
 util::Status RlPlanner::Train() {
   RLP_RETURN_IF_ERROR(config_.Validate());
   RLP_RETURN_IF_ERROR(instance_->Validate());
+  const std::size_t n = instance_->catalog->size();
+  const rl::QRepresentation repr =
+      rl::ResolveQRepresentation(config_.sarsa.q_representation, n);
+  if (repr == rl::QRepresentation::kSparse &&
+      config_.sarsa.parallel_mode == rl::ParallelMode::kHogwild) {
+    // Catches kAuto resolving to sparse on a big catalog; the explicit
+    // kSparse + kHogwild pairing is already rejected by Validate().
+    return util::Status::InvalidArgument(
+        "catalog of " + std::to_string(n) +
+        " items auto-selects the sparse Q representation, which is "
+        "incompatible with kHogwild; set q_representation = kDense or use "
+        "kDeterministic");
+  }
   training_metrics_ =
       config_.metrics != nullptr
           ? std::make_unique<obs::TrainingMetrics>(config_.metrics)
@@ -34,27 +48,54 @@ util::Status RlPlanner::Train() {
   obs::ScopedSpan train_span(config_.metrics, "train", config_.trace);
   train_span.AddArg("episodes",
                     static_cast<std::uint64_t>(config_.sarsa.num_episodes));
-  if (config_.sarsa.parallel_mode != rl::ParallelMode::kSerial &&
-      config_.sarsa.num_workers > 1) {
-    rl::ParallelSarsaLearner learner(*instance_, reward_, config_.sarsa,
-                                     config_.seed);
-    learner.set_metrics(training_metrics_.get());
-    learner.set_trace(config_.trace);
-    q_ = learner.Learn();
-    episode_returns_ = learner.episode_returns();
+  train_span.AddArg("q_repr",
+                    repr == rl::QRepresentation::kSparse ? "sparse" : "dense");
+  // One lambda per representation keeps the four-way (parallel x repr)
+  // dispatch in one place; the learners themselves are shared templates.
+  auto train_as = [&](auto& storage) {
+    using Model = typename std::decay_t<decltype(storage)>::value_type;
+    if (config_.sarsa.parallel_mode != rl::ParallelMode::kSerial &&
+        config_.sarsa.num_workers > 1) {
+      rl::ParallelSarsaLearnerT<Model> learner(*instance_, reward_,
+                                               config_.sarsa, config_.seed);
+      learner.set_metrics(training_metrics_.get());
+      learner.set_trace(config_.trace);
+      storage = learner.Learn();
+      episode_returns_ = learner.episode_returns();
+    } else {
+      // Serial config (or a single worker, which the parallel learner would
+      // delegate straight back here anyway).
+      rl::SarsaLearnerT<Model> learner(*instance_, reward_, config_.sarsa,
+                                       config_.seed);
+      learner.set_metrics(training_metrics_.get());
+      learner.set_trace(config_.trace);
+      storage = learner.Learn();
+      episode_returns_ = learner.episode_returns();
+    }
+  };
+  if (repr == rl::QRepresentation::kSparse) {
+    q_.reset();
+    train_as(sparse_q_);
   } else {
-    // Serial config (or a single worker, which the parallel learner would
-    // delegate straight back here anyway).
-    rl::SarsaLearner learner(*instance_, reward_, config_.sarsa,
-                             config_.seed);
-    learner.set_metrics(training_metrics_.get());
-    learner.set_trace(config_.trace);
-    q_ = learner.Learn();
-    episode_returns_ = learner.episode_returns();
+    sparse_q_.reset();
+    train_as(q_);
   }
+  RecordQTableGauges();
   const auto end = std::chrono::steady_clock::now();
   train_seconds_ = std::chrono::duration<double>(end - start).count();
   return util::Status::Ok();
+}
+
+void RlPlanner::RecordQTableGauges() const {
+  if (training_metrics_ == nullptr) return;
+  if (sparse_q_.has_value()) {
+    training_metrics_->RecordQTableStats(sparse_q_->MemoryBytes(),
+                                         sparse_q_->NonZeroFraction());
+  } else if (q_.has_value()) {
+    training_metrics_->RecordQTableStats(
+        q_->values().size() * sizeof(double) + sizeof(mdp::QTable),
+        q_->NonZeroFraction());
+  }
 }
 
 util::Result<model::Plan> RlPlanner::Recommend(
@@ -80,6 +121,15 @@ util::Result<model::Plan> RlPlanner::Recommend(
         << " out of range (catalog size " << instance_->catalog->size() << ")";
     return util::Status::OutOfRange(msg.str());
   }
+  // The traversal templates need only Get(), so both representations run
+  // the identical selection rule.
+  if (sparse_q_.has_value()) {
+    if (config_.use_beam_search) {
+      return rl::RecommendPlanBeam(*sparse_q_, *instance_, reward_, recommend,
+                                   config_.beam);
+    }
+    return rl::RecommendPlan(*sparse_q_, *instance_, reward_, recommend);
+  }
   if (config_.use_beam_search) {
     return rl::RecommendPlanBeam(*q_, *instance_, reward_, recommend,
                                  config_.beam);
@@ -92,7 +142,18 @@ util::Status RlPlanner::AdoptPolicy(mdp::QTable q) {
     return util::Status::InvalidArgument(
         "adopted Q-table dimension does not match the catalog size");
   }
+  sparse_q_.reset();
   q_ = std::move(q);
+  return util::Status::Ok();
+}
+
+util::Status RlPlanner::AdoptPolicy(mdp::SparseQTable q) {
+  if (q.num_items() != instance_->catalog->size()) {
+    return util::Status::InvalidArgument(
+        "adopted Q-table dimension does not match the catalog size");
+  }
+  q_.reset();
+  sparse_q_ = std::move(q);
   return util::Status::Ok();
 }
 
@@ -110,7 +171,9 @@ util::Status RlPlanner::SavePolicy(const std::string& path) const {
   }
   std::ofstream out(path, std::ios::binary);
   if (!out) return util::Status::Internal("cannot open for write: " + path);
-  out << q_->ToCsv();
+  // Both representations skip zeros and emit ascending (state, action), so
+  // the CSV is identical regardless of which one trained the policy.
+  out << (sparse_q_.has_value() ? sparse_q_->ToCsv() : q_->ToCsv());
   if (!out) return util::Status::Internal("write failed: " + path);
   return util::Status::Ok();
 }
@@ -120,8 +183,21 @@ util::Status RlPlanner::LoadPolicy(const std::string& path) {
   if (!in) return util::Status::NotFound("cannot open: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  // Restore into the representation the config resolves to, so loading a
+  // policy for a 100k catalog never materializes the dense table.
+  const rl::QRepresentation repr = rl::ResolveQRepresentation(
+      config_.sarsa.q_representation, instance_->catalog->size());
+  if (repr == rl::QRepresentation::kSparse) {
+    auto table =
+        mdp::SparseQTable::FromCsv(instance_->catalog->size(), buffer.str());
+    if (!table.ok()) return table.status();
+    q_.reset();
+    sparse_q_ = std::move(table).value();
+    return util::Status::Ok();
+  }
   auto table = mdp::QTable::FromCsv(instance_->catalog->size(), buffer.str());
   if (!table.ok()) return table.status();
+  sparse_q_.reset();
   q_ = std::move(table).value();
   return util::Status::Ok();
 }

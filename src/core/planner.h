@@ -9,6 +9,7 @@
 #include "core/validation.h"
 #include "mdp/q_table.h"
 #include "mdp/reward.h"
+#include "mdp/sparse_q_table.h"
 #include "model/constraints.h"
 #include "model/plan.h"
 #include "rl/recommender.h"
@@ -46,7 +47,7 @@ class RlPlanner {
   util::Status Train();
 
   /// True once Train() succeeded or AdoptPolicy() was called.
-  bool trained() const { return q_.has_value(); }
+  bool trained() const { return q_.has_value() || sparse_q_.has_value(); }
 
   /// Recommends a plan starting at `start_item` by greedy Q traversal.
   /// Fails when the planner has no policy or the start item is invalid.
@@ -61,14 +62,25 @@ class RlPlanner {
   /// dataset). The table dimension must match the catalog size.
   util::Status AdoptPolicy(mdp::QTable q);
 
+  /// Sparse-representation overload: the planner serves from the sparse
+  /// table directly (no densification), so multi-GB-dense policies stay at
+  /// their sparse footprint.
+  util::Status AdoptPolicy(mdp::SparseQTable q);
+
   /// The paper's plan score (see scoring.h).
   double Score(const model::Plan& plan) const;
 
   /// Hard-constraint check with a per-constraint report.
   ValidationReport Validate(const model::Plan& plan) const;
 
-  /// The learned Q-table. Requires trained().
+  /// True when the active policy uses the sparse representation.
+  bool uses_sparse() const { return sparse_q_.has_value(); }
+
+  /// The learned dense Q-table. Requires trained() && !uses_sparse().
   const mdp::QTable& q_table() const { return *q_; }
+
+  /// The learned sparse Q-table. Requires uses_sparse().
+  const mdp::SparseQTable& sparse_q_table() const { return *sparse_q_; }
 
   /// Wall-clock seconds of the last Train() call.
   double train_seconds() const { return train_seconds_; }
@@ -93,10 +105,18 @@ class RlPlanner {
   const mdp::RewardFunction& reward_function() const { return reward_; }
 
  private:
+  // Publishes q_table_bytes / q_table_nonzero_fraction for the active
+  // representation after training (no-op without a metrics registry).
+  void RecordQTableGauges() const;
+
   const model::TaskInstance* instance_;
   PlannerConfig config_;
   mdp::RewardFunction reward_;
+  // Exactly one of the two engages once trained: q_representation resolves
+  // to dense or sparse before training, and AdoptPolicy overloads keep the
+  // invariant.
   std::optional<mdp::QTable> q_;
+  std::optional<mdp::SparseQTable> sparse_q_;
   std::vector<double> episode_returns_;
   // Created per Train() call when config_.metrics is set (unique_ptr keeps
   // obs/training_metrics.h out of this header; hence the out-of-line dtor).

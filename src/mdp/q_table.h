@@ -41,6 +41,15 @@ class QTable {
   /// does not lock onto catalog id order. The first allowed action is always
   /// adopted as the initial best, so all-negative rows still return the
   /// lowest allowed id rather than -1.
+  ///
+  /// This overload scans the full O(|I|) row with one predicate call per
+  /// action, however small the allowed set — any caller that has (or can
+  /// materialize) a DynamicBitset must use the word-scan overload below,
+  /// which skips disallowed actions 64 at a time and dispatches to the SIMD
+  /// kernel. The remaining callers are exactly the parity harnesses:
+  /// tests/qtable_test.cc and tests/simd_test.cc pin the two overloads
+  /// equivalent, and bench/micro_benchmarks.cc measures the gap between
+  /// them. No production path scans via callback.
   template <typename AllowedFn>
   model::ItemId ArgmaxAction(model::ItemId state, AllowedFn allowed) const {
     model::ItemId best = -1;

@@ -1,0 +1,370 @@
+#include "mdp/sparse_q_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace rlplanner::mdp {
+
+SparseQTable::SparseQTable(std::size_t num_items)
+    : num_items_(num_items), rows_(num_items) {}
+
+const double* SparseQTable::Find(const Row& row, std::uint32_t key) const {
+  if (row.keys.empty()) return nullptr;
+  const std::size_t mask = row.keys.size() - 1;
+  std::size_t slot = HomeSlot(key, mask);
+  while (true) {
+    const std::uint32_t stored = row.keys[slot];
+    if (stored == key) return &row.values[slot];
+    if (stored == kEmptyKey) return nullptr;
+    slot = (slot + 1) & mask;
+  }
+}
+
+double* SparseQTable::FindOrInsert(Row& row, std::uint32_t key) {
+  if (row.keys.empty()) {
+    row.keys.assign(kInitialCapacity, kEmptyKey);
+    row.values.assign(kInitialCapacity, 0.0);
+  } else if ((row.size + 1) * 10 > row.keys.size() * 7) {
+    Grow(row);
+  }
+  const std::size_t mask = row.keys.size() - 1;
+  std::size_t slot = HomeSlot(key, mask);
+  while (true) {
+    const std::uint32_t stored = row.keys[slot];
+    if (stored == key) return &row.values[slot];
+    if (stored == kEmptyKey) {
+      row.keys[slot] = key;
+      row.values[slot] = 0.0;
+      ++row.size;
+      ++entry_count_;
+      return &row.values[slot];
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+void SparseQTable::Grow(Row& row) {
+  std::vector<std::uint32_t> old_keys = std::move(row.keys);
+  std::vector<double> old_values = std::move(row.values);
+  const std::size_t new_capacity = old_keys.size() * 2;
+  row.keys.assign(new_capacity, kEmptyKey);
+  row.values.assign(new_capacity, 0.0);
+  const std::size_t mask = new_capacity - 1;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    const std::uint32_t key = old_keys[i];
+    if (key == kEmptyKey) continue;
+    std::size_t slot = HomeSlot(key, mask);
+    while (row.keys[slot] != kEmptyKey) slot = (slot + 1) & mask;
+    row.keys[slot] = key;
+    row.values[slot] = old_values[i];
+  }
+}
+
+double SparseQTable::Get(model::ItemId state, model::ItemId action) const {
+  assert(state >= 0 && static_cast<std::size_t>(state) < num_items_);
+  assert(action >= 0 && static_cast<std::size_t>(action) < num_items_);
+  const double* v = Find(rows_[static_cast<std::size_t>(state)],
+                         static_cast<std::uint32_t>(action));
+  return v != nullptr ? *v : 0.0;
+}
+
+void SparseQTable::Set(model::ItemId state, model::ItemId action,
+                       double value) {
+  assert(state >= 0 && static_cast<std::size_t>(state) < num_items_);
+  assert(action >= 0 && static_cast<std::size_t>(action) < num_items_);
+  *FindOrInsert(rows_[static_cast<std::size_t>(state)],
+                static_cast<std::uint32_t>(action)) = value;
+}
+
+void SparseQTable::SarsaUpdate(model::ItemId state, model::ItemId action,
+                               double reward, model::ItemId next_state,
+                               model::ItemId next_action, double alpha,
+                               double gamma) {
+  const double next_q = (next_state >= 0 && next_action >= 0)
+                            ? Get(next_state, next_action)
+                            : 0.0;
+  const double current = Get(state, action);
+  Set(state, action, current + alpha * (reward + gamma * next_q - current));
+}
+
+model::ItemId SparseQTable::ArgmaxAction(
+    model::ItemId state, const util::DynamicBitset& allowed) const {
+  assert(allowed.size() == num_items_);
+  const Row& row = rows_[static_cast<std::size_t>(state)];
+
+  // Pass 1: max over stored ∩ allowed, lowest id on ties. The hash row is
+  // unordered, so the lowest winning id needs an explicit comparison.
+  std::uint32_t best_stored = kEmptyKey;
+  double best_value = 0.0;
+  bool have_stored = false;
+  for (std::size_t i = 0; i < row.keys.size(); ++i) {
+    const std::uint32_t key = row.keys[i];
+    if (key == kEmptyKey || !allowed.Test(key)) continue;
+    const double value = row.values[i];
+    if (!have_stored || value > best_value ||
+        (value == best_value && key < best_stored)) {
+      best_stored = key;
+      best_value = value;
+      have_stored = true;
+    }
+  }
+  // A strictly positive stored max beats every missing entry (0.0), and the
+  // dense tie-break (lowest id at the max) cannot involve a missing cell.
+  if (have_stored && best_value > 0.0) {
+    return static_cast<model::ItemId>(best_stored);
+  }
+
+  // Slow path: the row max over the allowed set is <= 0, so missing cells
+  // participate. Replay the dense semantics — adopt the first allowed
+  // action, replace only on strictly greater value — with one probe per
+  // candidate.
+  model::ItemId best = -1;
+  best_value = 0.0;
+  allowed.ForEachSetBit([&](std::size_t a) {
+    const double* v = Find(row, static_cast<std::uint32_t>(a));
+    const double value = v != nullptr ? *v : 0.0;
+    if (best < 0 || value > best_value) {
+      best = static_cast<model::ItemId>(a);
+      best_value = value;
+    }
+  });
+  return best;
+}
+
+void SparseQTable::AccumulateDelta(const SparseQTable& local,
+                                   const SparseQTable& base) {
+  assert(num_items_ == local.num_items_ && num_items_ == base.num_items_);
+  // The dense kernel computes q[i] += (local[i] - base[i]) cell by cell.
+  // Replaying that expression over the sorted key-union of each row keeps
+  // the merge bit-identical and the iteration order fixed, so (seed, K)
+  // parallel runs remain bit-reproducible regardless of hash-row layout.
+  std::vector<std::pair<std::uint32_t, double>> local_row;
+  std::vector<std::pair<std::uint32_t, double>> base_row;
+  for (std::size_t s = 0; s < num_items_; ++s) {
+    local.SortedRowEntries(s, &local_row, /*include_zeros=*/true);
+    base.SortedRowEntries(s, &base_row, /*include_zeros=*/true);
+    std::size_t li = 0;
+    std::size_t bi = 0;
+    const auto state = static_cast<model::ItemId>(s);
+    while (li < local_row.size() || bi < base_row.size()) {
+      std::uint32_t key;
+      double local_v = 0.0;
+      double base_v = 0.0;
+      if (bi >= base_row.size() ||
+          (li < local_row.size() && local_row[li].first < base_row[bi].first)) {
+        key = local_row[li].first;
+        local_v = local_row[li].second;
+        ++li;
+      } else if (li >= local_row.size() ||
+                 base_row[bi].first < local_row[li].first) {
+        key = base_row[bi].first;
+        base_v = base_row[bi].second;
+        ++bi;
+      } else {
+        key = local_row[li].first;
+        local_v = local_row[li].second;
+        base_v = base_row[bi].second;
+        ++li;
+        ++bi;
+      }
+      const auto action = static_cast<model::ItemId>(key);
+      const double delta = local_v - base_v;
+      Set(state, action, Get(state, action) + delta);
+    }
+  }
+}
+
+void SparseQTable::Scale(double factor) {
+  for (Row& row : rows_) {
+    for (std::size_t i = 0; i < row.keys.size(); ++i) {
+      if (row.keys[i] != kEmptyKey) row.values[i] *= factor;
+    }
+  }
+}
+
+void SparseQTable::AddNoise(util::Rng& rng, double magnitude) {
+  // Row-major draw order, one draw per cell — see the header contract.
+  for (std::size_t s = 0; s < num_items_; ++s) {
+    const auto state = static_cast<model::ItemId>(s);
+    for (std::size_t a = 0; a < num_items_; ++a) {
+      const auto action = static_cast<model::ItemId>(a);
+      Set(state, action, Get(state, action) + rng.NextDouble() * magnitude);
+    }
+  }
+}
+
+double SparseQTable::MaxAbsValue() const {
+  double max_abs = 0.0;
+  for (const Row& row : rows_) {
+    for (std::size_t i = 0; i < row.keys.size(); ++i) {
+      if (row.keys[i] == kEmptyKey) continue;
+      const double a = std::fabs(row.values[i]);
+      if (a > max_abs) max_abs = a;
+    }
+  }
+  return max_abs;
+}
+
+double SparseQTable::NonZeroFraction() const {
+  if (num_items_ == 0) return 0.0;
+  std::size_t non_zero = 0;
+  for (const Row& row : rows_) {
+    for (std::size_t i = 0; i < row.keys.size(); ++i) {
+      if (row.keys[i] != kEmptyKey && row.values[i] != 0.0) ++non_zero;
+    }
+  }
+  return static_cast<double>(non_zero) /
+         (static_cast<double>(num_items_) * static_cast<double>(num_items_));
+}
+
+std::size_t SparseQTable::MemoryBytes() const {
+  std::size_t bytes = sizeof(SparseQTable) + rows_.capacity() * sizeof(Row);
+  for (const Row& row : rows_) {
+    bytes += row.keys.capacity() * sizeof(std::uint32_t) +
+             row.values.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+void SparseQTable::SortedRowEntries(
+    std::size_t state, std::vector<std::pair<std::uint32_t, double>>* out,
+    bool include_zeros) const {
+  out->clear();
+  const Row& row = rows_[state];
+  for (std::size_t i = 0; i < row.keys.size(); ++i) {
+    if (row.keys[i] == kEmptyKey) continue;
+    if (!include_zeros && row.values[i] == 0.0) continue;
+    out->emplace_back(row.keys[i], row.values[i]);
+  }
+  std::sort(out->begin(), out->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+std::string SparseQTable::ToCsv() const {
+  util::CsvDocument doc;
+  doc.header = {"state", "action", "q"};
+  ForEachNonZeroEntrySorted([&](model::ItemId s, model::ItemId a, double v) {
+    doc.rows.push_back({std::to_string(s), std::to_string(a),
+                        util::FormatDouble(v, 12)});
+  });
+  return util::WriteCsv(doc);
+}
+
+namespace {
+
+bool ParseLongStrict(const std::string& field, long* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtol(field.c_str(), &end, 10);
+  return errno == 0 && end == field.c_str() + field.size();
+}
+
+bool ParseDoubleStrict(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtod(field.c_str(), &end);
+  return errno == 0 && end == field.c_str() + field.size();
+}
+
+util::Status RowError(std::size_t row, const std::string& what) {
+  return util::Status::InvalidArgument("Q-table CSV row " +
+                                       std::to_string(row + 1) + ": " + what);
+}
+
+}  // namespace
+
+util::Result<SparseQTable> SparseQTable::FromCsv(std::size_t num_items,
+                                                 const std::string& csv_text) {
+  auto parsed = util::ParseCsv(csv_text);
+  if (!parsed.ok()) return parsed.status();
+  const util::CsvDocument& doc = parsed.value();
+  const int state_col = doc.ColumnIndex("state");
+  const int action_col = doc.ColumnIndex("action");
+  const int q_col = doc.ColumnIndex("q");
+  if (state_col < 0 || action_col < 0 || q_col < 0) {
+    return util::Status::InvalidArgument(
+        "Q-table CSV must have state,action,q columns");
+  }
+  SparseQTable table(num_items);
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    const auto& row = doc.rows[i];
+    long state = 0;
+    long action = 0;
+    double q = 0.0;
+    if (!ParseLongStrict(row[state_col], &state)) {
+      return RowError(i, "malformed state '" + row[state_col] + "'");
+    }
+    if (!ParseLongStrict(row[action_col], &action)) {
+      return RowError(i, "malformed action '" + row[action_col] + "'");
+    }
+    if (!ParseDoubleStrict(row[q_col], &q)) {
+      return RowError(i, "malformed q value '" + row[q_col] + "'");
+    }
+    if (state < 0 || static_cast<std::size_t>(state) >= num_items ||
+        action < 0 || static_cast<std::size_t>(action) >= num_items) {
+      return RowError(i, "entry (" + std::to_string(state) + ", " +
+                             std::to_string(action) +
+                             ") out of range for dimension " +
+                             std::to_string(num_items));
+    }
+    // The sparse table itself is the duplicate detector: a repeated
+    // (state, action) key would find its prior slot.
+    if (table.Find(table.rows_[static_cast<std::size_t>(state)],
+                   static_cast<std::uint32_t>(action)) != nullptr) {
+      return RowError(i, "duplicate entry (" + std::to_string(state) + ", " +
+                             std::to_string(action) + ")");
+    }
+    table.Set(static_cast<model::ItemId>(state),
+              static_cast<model::ItemId>(action), q);
+  }
+  return table;
+}
+
+SparseQTable SparseQTable::FromDense(const QTable& dense) {
+  SparseQTable table(dense.num_items());
+  const std::size_t n = dense.num_items();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < n; ++a) {
+      const double v = dense.Get(static_cast<model::ItemId>(s),
+                                 static_cast<model::ItemId>(a));
+      if (v == 0.0) continue;
+      table.Set(static_cast<model::ItemId>(s), static_cast<model::ItemId>(a),
+                v);
+    }
+  }
+  return table;
+}
+
+QTable SparseQTable::ToDense() const {
+  QTable dense(num_items_);
+  ForEachNonZeroEntrySorted([&](model::ItemId s, model::ItemId a, double v) {
+    dense.Set(s, a, v);
+  });
+  return dense;
+}
+
+bool operator==(const SparseQTable& a, const SparseQTable& b) {
+  if (a.num_items() != b.num_items()) return false;
+  bool equal = true;
+  a.ForEachNonZeroEntrySorted(
+      [&](model::ItemId s, model::ItemId act, double v) {
+        if (b.Get(s, act) != v) equal = false;
+      });
+  if (!equal) return false;
+  b.ForEachNonZeroEntrySorted(
+      [&](model::ItemId s, model::ItemId act, double v) {
+        if (a.Get(s, act) != v) equal = false;
+      });
+  return equal;
+}
+
+}  // namespace rlplanner::mdp

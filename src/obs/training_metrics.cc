@@ -49,6 +49,17 @@ TrainingMetrics::TrainingMetrics(Registry* registry)
               "Per-worker wait at the deterministic merge barrier, in "
               "microseconds.")
           .value_or(nullptr);
+  q_table_bytes_ =
+      registry_
+          ->GetGauge("q_table_bytes",
+                     "Resident bytes of the learned Q representation.")
+          .value_or(nullptr);
+  q_table_nonzero_fraction_ =
+      registry_
+          ->GetGauge("q_table_nonzero_fraction",
+                     "Non-zero cells of the learned Q table over the full "
+                     "|I|^2 state-action space.")
+          .value_or(nullptr);
 }
 
 void TrainingMetrics::RecordRound(const TrainingRoundSample& sample) {

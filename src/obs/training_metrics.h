@@ -1,6 +1,7 @@
 #ifndef RLPLANNER_OBS_TRAINING_METRICS_H_
 #define RLPLANNER_OBS_TRAINING_METRICS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,6 +39,11 @@ struct TrainingRoundSample {
 ///   train_td_error_abs_micro        histogram of |TD error| * 1e6
 ///   train_merge_barrier_wait_us     histogram of per-worker wait at the
 ///                                   deterministic-mode merge barrier
+///   q_table_bytes                   gauge, resident bytes of the learned
+///                                   Q representation (dense payload or
+///                                   sparse rows + index)
+///   q_table_nonzero_fraction        gauge, non-zero cells / |I|^2 of the
+///                                   learned table
 class TrainingMetrics {
  public:
   /// `registry` may be null or disabled; recording is then skipped.
@@ -72,6 +78,17 @@ class TrainingMetrics {
     merge_barrier_wait_us_->Record(micros);
   }
 
+  /// Coordinator-only, once per Train(): size and sparsity of the learned
+  /// Q representation. `bytes` is the resident footprint of whichever
+  /// representation trained; `nonzero_fraction` is non-zero cells over the
+  /// full |I|^2 space, so dense and sparse runs of one workload report
+  /// comparable sparsity.
+  void RecordQTableStats(std::size_t bytes, double nonzero_fraction) {
+    if (q_table_bytes_ == nullptr) return;
+    q_table_bytes_->Set(static_cast<double>(bytes));
+    q_table_nonzero_fraction_->Set(nonzero_fraction);
+  }
+
   /// Rounds recorded so far, in order. Coordinator-thread reads only.
   const std::vector<TrainingRoundSample>& rounds() const { return rounds_; }
 
@@ -89,6 +106,8 @@ class TrainingMetrics {
   Gauge* episodes_per_sec_ = nullptr;
   Histogram* td_error_abs_micro_ = nullptr;
   Histogram* merge_barrier_wait_us_ = nullptr;
+  Gauge* q_table_bytes_ = nullptr;
+  Gauge* q_table_nonzero_fraction_ = nullptr;
   std::vector<TrainingRoundSample> rounds_;
 };
 

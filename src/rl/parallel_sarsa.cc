@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <type_traits>
 #include <utility>
 
 #include "mdp/cmdp.h"
@@ -64,23 +65,25 @@ void AtomicQTable::LoadFrom(const mdp::QTable& table) {
   }
 }
 
-ParallelSarsaLearner::ParallelSarsaLearner(const model::TaskInstance& instance,
-                                           const mdp::RewardFunction& reward,
-                                           const SarsaConfig& config,
-                                           std::uint64_t seed,
-                                           util::ThreadPool* pool)
+template <typename QModel>
+ParallelSarsaLearnerT<QModel>::ParallelSarsaLearnerT(
+    const model::TaskInstance& instance, const mdp::RewardFunction& reward,
+    const SarsaConfig& config, std::uint64_t seed, util::ThreadPool* pool)
     : instance_(&instance),
       reward_(&reward),
       config_(config),
       seed_(seed),
       pool_(pool) {}
 
-int ParallelSarsaLearner::num_workers() const {
+template <typename QModel>
+int ParallelSarsaLearnerT<QModel>::num_workers() const {
   return std::max(1, config_.num_workers);
 }
 
-std::uint64_t ParallelSarsaLearner::WorkerSeed(std::uint64_t seed, int round,
-                                               int worker) {
+template <typename QModel>
+std::uint64_t ParallelSarsaLearnerT<QModel>::WorkerSeed(std::uint64_t seed,
+                                                        int round,
+                                                        int worker) {
   // SplitMix64 finalizer over the run seed offset by the (round, worker)
   // coordinates: decorrelated shard streams, reproducible from (seed, K)
   // alone. The +1 keeps (round 0, worker 0) distinct from the raw seed.
@@ -95,7 +98,8 @@ std::uint64_t ParallelSarsaLearner::WorkerSeed(std::uint64_t seed, int round,
   return z;
 }
 
-void ParallelSarsaLearner::ForEachWorker(
+template <typename QModel>
+void ParallelSarsaLearnerT<QModel>::ForEachWorker(
     int num_workers, const std::function<void(std::size_t)>& fn) {
   util::ThreadPool* pool = pool_ != nullptr ? pool_ : owned_pool_.get();
   if (pool != nullptr && num_workers > 1) {
@@ -107,7 +111,8 @@ void ParallelSarsaLearner::ForEachWorker(
   }
 }
 
-mdp::QTable ParallelSarsaLearner::Learn() {
+template <typename QModel>
+QModel ParallelSarsaLearnerT<QModel>::Learn() {
   episode_returns_.clear();
   time_to_safe_seconds_ = -1.0;
   const int k = num_workers();
@@ -122,9 +127,10 @@ mdp::QTable ParallelSarsaLearner::Learn() {
                                                          : LearnDeterministic();
 }
 
-mdp::QTable ParallelSarsaLearner::LearnSerialDelegate() {
+template <typename QModel>
+QModel ParallelSarsaLearnerT<QModel>::LearnSerialDelegate() {
   const auto start = Clock::now();
-  SarsaLearner learner(*instance_, *reward_, config_, seed_);
+  SarsaLearnerT<QModel> learner(*instance_, *reward_, config_, seed_);
   // The inner learner records steps/episodes/rounds itself — the delegate
   // must not double-count.
   learner.set_metrics(metrics_);
@@ -134,17 +140,18 @@ mdp::QTable ParallelSarsaLearner::LearnSerialDelegate() {
       time_to_safe_seconds_ = SecondsSince(start);
     }
   });
-  mdp::QTable q = learner.Learn();
+  QModel q = learner.Learn();
   episode_returns_ = learner.episode_returns();
   return q;
 }
 
-mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
+template <typename QModel>
+QModel ParallelSarsaLearnerT<QModel>::LearnDeterministic() {
   const auto start = Clock::now();
   const std::size_t n = instance_->catalog->size();
   const int k = num_workers();
   const int horizon = HorizonOf(*instance_);
-  mdp::QTable q(n);
+  QModel q(n);
   episode_returns_.reserve(static_cast<std::size_t>(config_.num_episodes));
 
   // The coordinator RNG drives everything the serial learner drew from its
@@ -171,14 +178,14 @@ mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
                                   : PickStart(*instance_, coordinator);
   rollout_config.mask_type_overflow = config_.mask_type_overflow;
   rollout_config.gamma = config_.gamma;
-  auto policy_is_safe = [&](const mdp::QTable& table) {
+  auto policy_is_safe = [&](const QModel& table) {
     return spec.Satisfied(
         RecommendPlan(table, *instance_, *reward_, rollout_config));
   };
 
   obs::Registry* const span_registry =
       metrics_ != nullptr ? metrics_->registry() : nullptr;
-  std::optional<mdp::QTable> last_safe;
+  std::optional<QModel> last_safe;
   int episodes_done = 0;
   for (int round = 0; episodes_done < config_.num_episodes; ++round) {
     // Spans only read the clock: no RNG draws, no Q-table interaction, so
@@ -200,8 +207,8 @@ mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
 
     // Workers roll out against private copies of the round snapshot; the
     // shared table stays untouched until the barrier.
-    const mdp::QTable snapshot = q;
-    std::vector<mdp::QTable> locals(static_cast<std::size_t>(k), snapshot);
+    const QModel snapshot = q;
+    std::vector<QModel> locals(static_cast<std::size_t>(k), snapshot);
     std::vector<std::vector<double>> returns(static_cast<std::size_t>(k));
     std::vector<Clock::time_point> worker_done(static_cast<std::size_t>(k));
     ForEachWorker(k, [&](std::size_t w) {
@@ -212,7 +219,7 @@ mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
       shard_span.AddArg("worker", static_cast<std::uint64_t>(w));
       shard_span.AddArg("episodes", static_cast<std::uint64_t>(shard[w]));
       util::Rng rng(WorkerSeed(seed_, round, static_cast<int>(w)));
-      EpisodeRunner<mdp::QTable> runner(*instance_, *reward_, config_, rng);
+      EpisodeRunner<QModel> runner(*instance_, *reward_, config_, rng);
       runner.set_metrics(metrics_);
       for (int e = 0; e < shard[w]; ++e) {
         runner.RunEpisode(locals[w], masks[w], explore);
@@ -292,7 +299,14 @@ mdp::QTable ParallelSarsaLearner::LearnDeterministic() {
   return q;
 }
 
-mdp::QTable ParallelSarsaLearner::LearnHogwild() {
+template <typename QModel>
+QModel ParallelSarsaLearnerT<QModel>::LearnHogwild() {
+  if constexpr (!std::is_same_v<QModel, mdp::QTable>) {
+    // kHogwild requires the dense atomic table and config validation
+    // rejects the sparse combination before Learn() runs; fall back to the
+    // deterministic path defensively if reached anyway.
+    return LearnDeterministic();
+  } else {
   const auto start = Clock::now();
   const std::size_t n = instance_->catalog->size();
   const int k = num_workers();
@@ -405,6 +419,10 @@ mdp::QTable ParallelSarsaLearner::LearnHogwild() {
     return *std::move(last_safe);
   }
   return q;
+  }
 }
+
+template class ParallelSarsaLearnerT<mdp::QTable>;
+template class ParallelSarsaLearnerT<mdp::SparseQTable>;
 
 }  // namespace rlplanner::rl

@@ -10,6 +10,7 @@
 
 #include "mdp/q_table.h"
 #include "mdp/reward.h"
+#include "mdp/sparse_q_table.h"
 #include "obs/training_metrics.h"
 #include "rl/sarsa.h"
 #include "rl/sarsa_config.h"
@@ -107,22 +108,31 @@ class AtomicQTable {
 /// two runs differ bitwise; validated statistically (greedy rollout
 /// satisfies the hard constraints, scores within tolerance of serial).
 ///
-/// kSerial (or num_workers <= 1) — delegates to SarsaLearner unchanged.
-class ParallelSarsaLearner {
+/// kSerial (or num_workers <= 1) — delegates to SarsaLearnerT unchanged.
+///
+/// Templated over the Q representation like SarsaLearnerT: dense
+/// `mdp::QTable` or `mdp::SparseQTable`. The deterministic merge contract is
+/// representation-independent — both tables fold worker deltas over a fixed
+/// iteration order with identical FP operation order, so dense and sparse
+/// runs of the same (seed, K) learn bit-identical tables (pinned by test).
+/// kHogwild is dense-only (the CAS table is an atomic dense array); config
+/// validation rejects the sparse combination before Learn() runs.
+template <typename QModel>
+class ParallelSarsaLearnerT {
  public:
   /// `instance` and `reward` must outlive the learner. `pool` optionally
   /// supplies the threads; when null, Learn() spins up a private pool
   /// sized to num_workers for its own duration. Shard results never depend
   /// on which thread runs them, so a too-small pool (or the serial
   /// degradation inside an outer ParallelFor) changes wall-clock only.
-  ParallelSarsaLearner(const model::TaskInstance& instance,
-                       const mdp::RewardFunction& reward,
-                       const SarsaConfig& config, std::uint64_t seed = 17,
-                       util::ThreadPool* pool = nullptr);
+  ParallelSarsaLearnerT(const model::TaskInstance& instance,
+                        const mdp::RewardFunction& reward,
+                        const SarsaConfig& config, std::uint64_t seed = 17,
+                        util::ThreadPool* pool = nullptr);
 
   /// Runs `config.num_episodes` episodes across the workers and returns the
   /// learned Q-table.
-  mdp::QTable Learn();
+  QModel Learn();
 
   /// Total Eq. 2 return of each episode. Deterministic mode: concatenated
   /// in (round, worker) order. Hogwild: (round, worker) order as well, but
@@ -160,9 +170,9 @@ class ParallelSarsaLearner {
   void set_trace(obs::TraceCollector* trace) { trace_ = trace; }
 
  private:
-  mdp::QTable LearnSerialDelegate();
-  mdp::QTable LearnDeterministic();
-  mdp::QTable LearnHogwild();
+  QModel LearnSerialDelegate();
+  QModel LearnDeterministic();
+  QModel LearnHogwild();
 
   // Runs `fn(w)` for w in [0, K) on the external pool, a private pool, or
   // inline, in that order of availability.
@@ -182,6 +192,15 @@ class ParallelSarsaLearner {
   std::vector<double> episode_returns_;
   double time_to_safe_seconds_ = -1.0;
 };
+
+extern template class ParallelSarsaLearnerT<mdp::QTable>;
+extern template class ParallelSarsaLearnerT<mdp::SparseQTable>;
+
+/// The historical dense learner — every pre-existing call site compiles
+/// unchanged.
+using ParallelSarsaLearner = ParallelSarsaLearnerT<mdp::QTable>;
+/// The sparse learner for catalogs past kSparseAutoThreshold.
+using SparseParallelSarsaLearner = ParallelSarsaLearnerT<mdp::SparseQTable>;
 
 }  // namespace rlplanner::rl
 

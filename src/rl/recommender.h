@@ -1,10 +1,18 @@
 #ifndef RLPLANNER_RL_RECOMMENDER_H_
 #define RLPLANNER_RL_RECOMMENDER_H_
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "mdp/cmdp.h"
+#include "mdp/episode_state.h"
 #include "mdp/q_table.h"
 #include "mdp/reward.h"
 #include "model/plan.h"
 #include "rl/action_mask.h"
+#include "util/bitset.h"
 
 namespace rlplanner::rl {
 
@@ -22,15 +30,6 @@ struct RecommendConfig {
   std::vector<model::ItemId> excluded;
 };
 
-/// Recommends a plan from a learned policy: starting at `start_item`, it
-/// repeatedly moves to the admissible unchosen item with the maximum Q value
-/// until the plan has H items (courses) or the time budget is exhausted
-/// (trips).
-model::Plan RecommendPlan(const mdp::QTable& q,
-                          const model::TaskInstance& instance,
-                          const mdp::RewardFunction& reward,
-                          const RecommendConfig& config);
-
 /// Beam-search parameters for RecommendPlanBeam.
 struct BeamConfig {
   /// Parallel partial plans kept per step.
@@ -39,17 +38,220 @@ struct BeamConfig {
   int expansion = 6;
 };
 
+namespace recommender_internal {
+
+// The caller's exclusion list as a bitset, for word-level removal from the
+// admissible set (out-of-range ids are ignored, as before).
+util::DynamicBitset ExcludedBits(const model::TaskInstance& instance,
+                                 const std::vector<model::ItemId>& excluded);
+
+// A partial plan in the beam with its pruning metrics.
+struct BeamEntry {
+  mdp::EpisodeState state;
+  int violating_steps = 0;  // actions taken with theta = 0
+  double cumulative_reward = 0.0;
+  bool done = false;
+};
+
+// Candidate expansion of one beam entry.
+struct Expansion {
+  model::ItemId item = -1;
+  int theta = 0;
+  double reward = 0.0;
+  double q_value = 0.0;
+};
+
+bool BetterEntry(const BeamEntry& a, const BeamEntry& b);
+
+// Final ranking: hard-constraint satisfaction first, then the domain score
+// (best template similarity for courses, mean popularity for trips).
+double DomainScore(const model::TaskInstance& instance,
+                   const model::Plan& plan);
+
+}  // namespace recommender_internal
+
+/// Recommends a plan from a learned policy: starting at `start_item`, it
+/// repeatedly moves to the admissible unchosen item with the maximum Q value
+/// until the plan has H items (courses) or the time budget is exhausted
+/// (trips).
+///
+/// Templated over the policy representation: `QModel` needs only
+/// `Get(state, action) -> double` with QTable semantics, so dense tables,
+/// sparse tables, and the mmap-backed serve-side `MappedPolicy` view all
+/// drive the identical traversal (the selection rule below never touches
+/// any other part of the Q surface).
+template <typename QModel>
+model::Plan RecommendPlan(const QModel& q, const model::TaskInstance& instance,
+                          const mdp::RewardFunction& reward,
+                          const RecommendConfig& config) {
+  const int horizon =
+      instance.catalog->domain() == model::Domain::kTrip
+          ? static_cast<int>(instance.catalog->size())
+          : instance.hard.TotalItems();
+  const ActionMask mask(reward, horizon, config.mask_type_overflow);
+
+  const util::DynamicBitset excluded =
+      recommender_internal::ExcludedBits(instance, config.excluded);
+
+  mdp::EpisodeState state(instance);
+  state.Add(config.start_item);
+  util::DynamicBitset allowed(instance.catalog->size());
+  while (static_cast<int>(state.Length()) < horizon) {
+    const model::ItemId current = state.CurrentItem();
+    // Select lexicographically by (theta, immediate reward, Q):
+    // 1. theta first — the Q state is only the last item, so Q(s, a) of an
+    //    action that violates a constraint *here* can still carry a high
+    //    future value learned at other positions; Theorem 1's guarantee
+    //    needs constraint-admissible actions to win outright;
+    // 2. the immediate Eq. 2 reward next — it encodes the template-
+    //    following type choice exactly as Algorithm 1's argmax-R behavior
+    //    policy does;
+    // 3. Q last, to order the *exact reward ties*: Eq. 2 depends on an item
+    //    only through its type, so all admissible same-type items tie, and
+    //    the learned Q resolves which item fills the slot (e.g. the
+    //    antecedent elective a later core depends on). This is precisely
+    //    what separates RL-Planner from the EDA baseline, whose tie-break
+    //    is a coin flip.
+    model::ItemId next = -1;
+    int best_theta = -1;
+    double best_q = 0.0;
+    double best_reward = 0.0;
+    // One word-level mask scan per step; candidates stream out in ascending
+    // id order, preserving the historical tie-break exactly.
+    mask.AllowedSet(state, &allowed);
+    allowed.AndNotAssign(excluded);
+    allowed.ForEachSetBit([&](std::size_t i) {
+      const auto item = static_cast<model::ItemId>(i);
+      const int theta = reward.Theta(state, item);
+      const double q_value = q.Get(current, item);
+      const double item_reward = reward.Reward(state, item);
+      const bool better =
+          next < 0 || theta > best_theta ||
+          (theta == best_theta &&
+           (item_reward > best_reward + 1e-9 ||
+            (item_reward >= best_reward - 1e-9 && q_value > best_q)));
+      if (better) {
+        next = item;
+        best_theta = theta;
+        best_q = q_value;
+        best_reward = item_reward;
+      }
+    });
+    if (next < 0) break;
+    state.Add(next);
+  }
+  return state.ToPlan();
+}
+
 /// Beam-search variant of the greedy traversal: keeps `width` partial plans,
 /// expands each with its `expansion` best actions (same theta/reward/Q
 /// ordering as the greedy walk), prunes by (fewest constraint-violating
 /// steps, largest cumulative Eq. 2 reward), and finally returns the
 /// completed plan with the best (hard-constraint satisfaction, domain
 /// score). Strictly generalizes RecommendPlan (width 1, expansion 1).
-model::Plan RecommendPlanBeam(const mdp::QTable& q,
+/// Same QModel requirement as RecommendPlan: `Get(state, action)` only.
+template <typename QModel>
+model::Plan RecommendPlanBeam(const QModel& q,
                               const model::TaskInstance& instance,
                               const mdp::RewardFunction& reward,
                               const RecommendConfig& config,
-                              const BeamConfig& beam);
+                              const BeamConfig& beam) {
+  using recommender_internal::BeamEntry;
+  using recommender_internal::Expansion;
+  const int horizon =
+      instance.catalog->domain() == model::Domain::kTrip
+          ? static_cast<int>(instance.catalog->size())
+          : instance.hard.TotalItems();
+  const ActionMask mask(reward, horizon, config.mask_type_overflow);
+  const util::DynamicBitset excluded =
+      recommender_internal::ExcludedBits(instance, config.excluded);
+  util::DynamicBitset allowed(instance.catalog->size());
+
+  std::vector<BeamEntry> entries;
+  {
+    BeamEntry root{mdp::EpisodeState(instance), 0, 0.0, false};
+    root.state.Add(config.start_item);
+    entries.push_back(std::move(root));
+  }
+
+  const int width = std::max(1, beam.width);
+  const int expansion = std::max(1, beam.expansion);
+
+  bool all_done = false;
+  while (!all_done) {
+    std::vector<BeamEntry> next_entries;
+    all_done = true;
+    for (BeamEntry& entry : entries) {
+      if (entry.done ||
+          static_cast<int>(entry.state.Length()) >= horizon) {
+        entry.done = true;
+        next_entries.push_back(std::move(entry));
+        continue;
+      }
+      // Rank admissible successors by (theta, reward, Q), streaming them
+      // from one word-level mask scan.
+      std::vector<Expansion> candidates;
+      const model::ItemId current = entry.state.CurrentItem();
+      mask.AllowedSet(entry.state, &allowed);
+      allowed.AndNotAssign(excluded);
+      allowed.ForEachSetBit([&](std::size_t i) {
+        const auto item = static_cast<model::ItemId>(i);
+        candidates.push_back({item, reward.Theta(entry.state, item),
+                              reward.Reward(entry.state, item),
+                              q.Get(current, item)});
+      });
+      if (candidates.empty()) {
+        entry.done = true;
+        next_entries.push_back(std::move(entry));
+        continue;
+      }
+      all_done = false;
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Expansion& a, const Expansion& b) {
+                  if (a.theta != b.theta) return a.theta > b.theta;
+                  if (std::abs(a.reward - b.reward) > 1e-9) {
+                    return a.reward > b.reward;
+                  }
+                  if (a.q_value != b.q_value) return a.q_value > b.q_value;
+                  return a.item < b.item;
+                });
+      const int take =
+          std::min<int>(expansion, static_cast<int>(candidates.size()));
+      for (int c = 0; c < take; ++c) {
+        BeamEntry successor = entry;  // copy the partial plan
+        successor.state.Add(candidates[c].item);
+        successor.violating_steps += candidates[c].theta == 0 ? 1 : 0;
+        successor.cumulative_reward += candidates[c].reward;
+        next_entries.push_back(std::move(successor));
+      }
+    }
+    std::sort(next_entries.begin(), next_entries.end(),
+              recommender_internal::BetterEntry);
+    if (static_cast<int>(next_entries.size()) > width) {
+      // erase instead of resize: BeamEntry is not default-constructible.
+      next_entries.erase(next_entries.begin() + width, next_entries.end());
+    }
+    entries = std::move(next_entries);
+  }
+
+  // Pick the completed plan with the best (valid, domain score).
+  const mdp::CmdpSpec spec = mdp::CmdpSpec::FromInstance(instance);
+  model::Plan best;
+  bool best_valid = false;
+  double best_score = -1.0;
+  for (const BeamEntry& entry : entries) {
+    const model::Plan plan = entry.state.ToPlan();
+    const bool valid = spec.Satisfied(plan);
+    const double score = recommender_internal::DomainScore(instance, plan);
+    if (best.empty() || (valid && !best_valid) ||
+        (valid == best_valid && score > best_score)) {
+      best = plan;
+      best_valid = valid;
+      best_score = score;
+    }
+  }
+  return best;
+}
 
 }  // namespace rlplanner::rl
 

@@ -11,18 +11,21 @@
 
 namespace rlplanner::rl {
 
-SarsaLearner::SarsaLearner(const model::TaskInstance& instance,
-                           const mdp::RewardFunction& reward,
-                           const SarsaConfig& config, std::uint64_t seed)
+template <typename QModel>
+SarsaLearnerT<QModel>::SarsaLearnerT(const model::TaskInstance& instance,
+                                     const mdp::RewardFunction& reward,
+                                     const SarsaConfig& config,
+                                     std::uint64_t seed)
     : instance_(&instance),
       reward_(&reward),
       config_(config),
       rng_(seed),
       runner_(instance, reward, config_, rng_) {}
 
-mdp::QTable SarsaLearner::Learn() {
+template <typename QModel>
+QModel SarsaLearnerT<QModel>::Learn() {
   const std::size_t n = instance_->catalog->size();
-  mdp::QTable q(n);
+  QModel q(n);
   runner_.mutable_episode_returns().clear();
   runner_.mutable_episode_returns().reserve(
       static_cast<std::size_t>(config_.num_episodes));
@@ -42,12 +45,12 @@ mdp::QTable SarsaLearner::Learn() {
       config_.start_item >= 0 ? config_.start_item : runner_.PickStart();
   rollout_config.mask_type_overflow = config_.mask_type_overflow;
   rollout_config.gamma = config_.gamma;
-  auto policy_is_safe = [&](const mdp::QTable& table) {
+  auto policy_is_safe = [&](const QModel& table) {
     return spec.Satisfied(
         RecommendPlan(table, *instance_, *reward_, rollout_config));
   };
 
-  std::optional<mdp::QTable> last_safe;
+  std::optional<QModel> last_safe;
   int episodes_done = 0;
   for (int round = 0; episodes_done < config_.num_episodes; ++round) {
     // Spans only read the clock: no RNG draws, no Q-table interaction, so
@@ -109,5 +112,8 @@ mdp::QTable SarsaLearner::Learn() {
   }
   return q;
 }
+
+template class SarsaLearnerT<mdp::QTable>;
+template class SarsaLearnerT<mdp::SparseQTable>;
 
 }  // namespace rlplanner::rl

@@ -6,6 +6,7 @@
 
 #include "mdp/q_table.h"
 #include "mdp/reward.h"
+#include "mdp/sparse_q_table.h"
 #include "rl/action_mask.h"
 #include "rl/episode_runner.h"
 #include "rl/sarsa_config.h"
@@ -22,11 +23,19 @@ namespace rlplanner::rl {
 /// for courses, from the time budget for trips), computing Eq. 2 rewards and
 /// applying the Eq. 9 update.
 ///
+/// Templated over the Q representation: `QModel` is `mdp::QTable` (dense,
+/// the historical default) or `mdp::SparseQTable` (10k-100k item catalogs).
+/// Both instantiations draw from one RNG stream in the same order and run
+/// arithmetic with identical operation order, so for a given seed they learn
+/// bit-identical tables (pinned by test at paper scale). Explicitly
+/// instantiated in sarsa.cc for exactly those two models.
+///
 /// The episode machinery lives in EpisodeRunner (shared with the parallel
 /// learner); this class owns the single RNG stream and the policy-iteration
 /// loop around it. Not copyable: the embedded runner points back into the
 /// learner's own config and RNG.
-class SarsaLearner {
+template <typename QModel>
+class SarsaLearnerT {
  public:
   /// Observes each policy-iteration round right after its safety rollout:
   /// `round` is the 0-based round index, `safe` whether the greedy rollout
@@ -37,15 +46,15 @@ class SarsaLearner {
   using RoundObserver = std::function<void(int round, bool safe)>;
 
   /// `instance` and `reward` must outlive the learner.
-  SarsaLearner(const model::TaskInstance& instance,
-               const mdp::RewardFunction& reward, const SarsaConfig& config,
-               std::uint64_t seed = 17);
+  SarsaLearnerT(const model::TaskInstance& instance,
+                const mdp::RewardFunction& reward, const SarsaConfig& config,
+                std::uint64_t seed = 17);
 
-  SarsaLearner(const SarsaLearner&) = delete;
-  SarsaLearner& operator=(const SarsaLearner&) = delete;
+  SarsaLearnerT(const SarsaLearnerT&) = delete;
+  SarsaLearnerT& operator=(const SarsaLearnerT&) = delete;
 
   /// Runs `config.num_episodes` episodes and returns the learned Q-table.
-  mdp::QTable Learn();
+  QModel Learn();
 
   /// Total Eq. 2 return of each episode, in order (length = episodes run).
   /// Useful for convergence diagnostics and tests.
@@ -82,11 +91,20 @@ class SarsaLearner {
   const mdp::RewardFunction* reward_;
   SarsaConfig config_;
   util::Rng rng_;
-  EpisodeRunner<mdp::QTable> runner_;
+  EpisodeRunner<QModel> runner_;
   RoundObserver round_observer_;
   obs::TrainingMetrics* metrics_ = nullptr;
   obs::TraceCollector* trace_ = nullptr;
 };
+
+extern template class SarsaLearnerT<mdp::QTable>;
+extern template class SarsaLearnerT<mdp::SparseQTable>;
+
+/// The historical dense learner — every pre-existing call site compiles
+/// unchanged.
+using SarsaLearner = SarsaLearnerT<mdp::QTable>;
+/// The sparse learner for catalogs past kSparseAutoThreshold.
+using SparseSarsaLearner = SarsaLearnerT<mdp::SparseQTable>;
 
 }  // namespace rlplanner::rl
 

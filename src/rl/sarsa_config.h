@@ -1,6 +1,8 @@
 #ifndef RLPLANNER_RL_SARSA_CONFIG_H_
 #define RLPLANNER_RL_SARSA_CONFIG_H_
 
+#include <cstddef>
+
 #include "model/item.h"
 
 namespace rlplanner::rl {
@@ -43,6 +45,36 @@ enum class ParallelMode {
   kHogwild = 2,
 };
 
+/// In-memory layout of the learned Q(s, e) table.
+enum class QRepresentation {
+  /// Pick by catalog size: dense up to kSparseAutoThreshold items, sparse
+  /// above it (where the O(|I|^2) dense payload stops being reasonable).
+  kAuto = 0,
+  /// Row-major |I| x |I| mdp::QTable — fastest per access, O(|I|^2) memory.
+  kDense = 1,
+  /// Open-addressing mdp::SparseQTable — memory proportional to visited
+  /// (state, action) pairs; the only option at 10k-100k items. Trains
+  /// bit-identical to dense under kSerial and kDeterministic (pinned by
+  /// test); kHogwild requires dense (the CAS table is an atomic dense
+  /// array) and is rejected by config validation.
+  kSparse = 2,
+};
+
+/// Catalog size above which QRepresentation::kAuto selects sparse. At 2048
+/// items the dense table is 2048^2 * 8 B = 32 MiB per table — the
+/// deterministic parallel learner holds K + 2 copies, so this is roughly
+/// where dense stops being free and the visited set is reliably a small
+/// fraction of |I|^2.
+inline constexpr std::size_t kSparseAutoThreshold = 2048;
+
+/// Resolves `repr` to a concrete representation for a `num_items` catalog.
+inline QRepresentation ResolveQRepresentation(QRepresentation repr,
+                                              std::size_t num_items) {
+  if (repr != QRepresentation::kAuto) return repr;
+  return num_items > kSparseAutoThreshold ? QRepresentation::kSparse
+                                          : QRepresentation::kDense;
+}
+
 /// Learning-phase parameters (the first block of Table III).
 struct SarsaConfig {
   /// Number of episodes N.
@@ -79,6 +111,9 @@ struct SarsaConfig {
   /// a *logical* shard count: the learned table depends on (seed, K) only,
   /// never on how many physical threads execute the shards.
   int num_workers = 1;
+  /// Q-table layout; kAuto resolves by catalog size (see
+  /// ResolveQRepresentation). kSparse + kHogwild is invalid.
+  QRepresentation q_representation = QRepresentation::kAuto;
 };
 
 }  // namespace rlplanner::rl

@@ -290,15 +290,17 @@ util::Result<PlanResponse> PlanService::Execute(
     model::TaskInstance local = *instance_;
     local.soft.ideal_topics = std::move(ideal).value();
     const mdp::RewardFunction local_reward(local, weights_);
-    response.plan = rl::RecommendPlan(policy->q, local, local_reward,
-                                      recommend);
+    response.plan = policy->VisitQ([&](const auto& q) {
+      return rl::RecommendPlan(q, local, local_reward, recommend);
+    });
     response.score = core::ScorePlan(local, response.plan);
     core::ValidationReport report = core::ValidatePlan(local, response.plan);
     response.valid = report.valid;
     response.violations = std::move(report.violations);
   } else {
-    response.plan =
-        rl::RecommendPlan(policy->q, *instance_, reward_, recommend);
+    response.plan = policy->VisitQ([&](const auto& q) {
+      return rl::RecommendPlan(q, *instance_, reward_, recommend);
+    });
     response.score = core::ScorePlan(*instance_, response.plan);
     core::ValidationReport report =
         core::ValidatePlan(*instance_, response.plan);

@@ -158,6 +158,9 @@ class PlanService {
   util::Result<PlanResponse> Execute(const PlanRequest& request) const;
 
   const ServeStats& stats() const { return stats_; }
+  /// Mutable access for out-of-band recorders (snapshot-install latency is
+  /// observed by the process embedding the service, not by request flow).
+  ServeStats& stats() { return stats_; }
   std::size_t queue_depth() const;
   const PlanServiceConfig& config() const { return config_; }
 

@@ -1,27 +1,38 @@
 #include "serve/policy_registry.h"
 
+#include <fstream>
 #include <sstream>
+#include <utility>
 
 namespace rlplanner::serve {
+
+namespace {
+
+util::Status FingerprintMismatch(std::uint64_t snapshot_fingerprint,
+                                 std::uint64_t registry_fingerprint) {
+  std::ostringstream msg;
+  msg << "snapshot catalog fingerprint " << std::hex << snapshot_fingerprint
+      << " does not match the serving catalog (" << registry_fingerprint
+      << "): the policy was trained on a different catalog";
+  return util::Status::FailedPrecondition(msg.str());
+}
+
+util::Status DimensionMismatch(std::size_t policy_items,
+                               std::size_t registry_items) {
+  return util::Status::InvalidArgument(
+      "policy dimension " + std::to_string(policy_items) +
+      " does not match the registry catalog (" +
+      std::to_string(registry_items) + " items)");
+}
+
+}  // namespace
 
 PolicyRegistry::PolicyRegistry(std::uint64_t catalog_fingerprint,
                                std::size_t num_items)
     : catalog_fingerprint_(catalog_fingerprint), num_items_(num_items) {}
 
-util::Result<std::uint64_t> PolicyRegistry::Install(
-    const std::string& name, mdp::QTable q, rl::SarsaConfig provenance,
-    std::uint64_t seed) {
-  if (q.num_items() != num_items_) {
-    return util::Status::InvalidArgument(
-        "policy dimension " + std::to_string(q.num_items()) +
-        " does not match the registry catalog (" + std::to_string(num_items_) +
-        " items)");
-  }
-  auto policy = std::make_shared<ServablePolicy>();
-  policy->q = std::move(q);
-  policy->catalog_fingerprint = catalog_fingerprint_;
-  policy->provenance = provenance;
-  policy->seed = seed;
+std::uint64_t PolicyRegistry::Publish(const std::string& name,
+                                      std::shared_ptr<ServablePolicy> policy) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t version = next_version_++;
   policy->version = version;
@@ -32,17 +43,95 @@ util::Result<std::uint64_t> PolicyRegistry::Install(
   return version;
 }
 
+util::Result<std::uint64_t> PolicyRegistry::Install(
+    const std::string& name, mdp::QTable q, rl::SarsaConfig provenance,
+    std::uint64_t seed) {
+  if (q.num_items() != num_items_) {
+    return DimensionMismatch(q.num_items(), num_items_);
+  }
+  auto policy = std::make_shared<ServablePolicy>();
+  policy->dense = std::move(q);
+  policy->catalog_fingerprint = catalog_fingerprint_;
+  policy->provenance = provenance;
+  policy->seed = seed;
+  return Publish(name, std::move(policy));
+}
+
+util::Result<std::uint64_t> PolicyRegistry::Install(
+    const std::string& name, mdp::SparseQTable q, rl::SarsaConfig provenance,
+    std::uint64_t seed) {
+  if (q.num_items() != num_items_) {
+    return DimensionMismatch(q.num_items(), num_items_);
+  }
+  auto policy = std::make_shared<ServablePolicy>();
+  policy->sparse = std::move(q);
+  policy->catalog_fingerprint = catalog_fingerprint_;
+  policy->provenance = provenance;
+  policy->seed = seed;
+  return Publish(name, std::move(policy));
+}
+
+util::Result<std::uint64_t> PolicyRegistry::InstallMapped(
+    const std::string& name, MappedPolicy mapped) {
+  if (mapped.num_items() != num_items_) {
+    return DimensionMismatch(mapped.num_items(), num_items_);
+  }
+  if (mapped.meta().catalog_fingerprint != catalog_fingerprint_) {
+    return FingerprintMismatch(mapped.meta().catalog_fingerprint,
+                               catalog_fingerprint_);
+  }
+  auto policy = std::make_shared<ServablePolicy>();
+  policy->provenance = mapped.meta().provenance;
+  policy->seed = mapped.meta().seed;
+  policy->catalog_fingerprint = catalog_fingerprint_;
+  policy->mapped = std::move(mapped);
+  return Publish(name, std::move(policy));
+}
+
 util::Result<std::uint64_t> PolicyRegistry::InstallSnapshot(
     const std::string& name, const PolicySnapshot& snapshot) {
   if (snapshot.catalog_fingerprint != catalog_fingerprint_) {
-    std::ostringstream msg;
-    msg << "snapshot catalog fingerprint " << std::hex
-        << snapshot.catalog_fingerprint
-        << " does not match the serving catalog (" << catalog_fingerprint_
-        << "): the policy was trained on a different catalog";
-    return util::Status::FailedPrecondition(msg.str());
+    return FingerprintMismatch(snapshot.catalog_fingerprint,
+                               catalog_fingerprint_);
   }
   return Install(name, snapshot.table, snapshot.provenance, snapshot.seed);
+}
+
+util::Result<std::uint64_t> PolicyRegistry::InstallSnapshotV2(
+    const std::string& name, const SparsePolicySnapshotV2& snapshot) {
+  if (snapshot.catalog_fingerprint != catalog_fingerprint_) {
+    return FingerprintMismatch(snapshot.catalog_fingerprint,
+                               catalog_fingerprint_);
+  }
+  return Install(name, snapshot.table, snapshot.provenance, snapshot.seed);
+}
+
+util::Result<std::uint64_t> PolicyRegistry::InstallSnapshotFile(
+    const std::string& name, const std::string& path, SnapshotLoadMode mode) {
+  char magic[8] = {};
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in || !in.read(magic, sizeof(magic))) {
+      return util::Status::InvalidArgument(
+          "cannot read snapshot magic from " + path);
+    }
+  }
+  const bool is_v2 = std::string(magic, sizeof(magic)) == "RLPSNAP2";
+  if (is_v2 && mode == SnapshotLoadMode::kMmap) {
+    auto mapped = MappedPolicy::Map(path);
+    if (!mapped.ok()) return mapped.status();
+    return InstallMapped(name, std::move(mapped).value());
+  }
+  if (is_v2) {
+    auto snapshot = SparsePolicySnapshotV2::LoadFromFile(path);
+    if (!snapshot.ok()) return snapshot.status();
+    return InstallSnapshotV2(name, snapshot.value());
+  }
+  // v1 (or anything else — LoadFromFile produces the descriptive error):
+  // always a full deserialize, regardless of the requested mode.
+  auto snapshot = PolicySnapshot::LoadFromFile(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return InstallSnapshot(name, snapshot.value());
 }
 
 std::shared_ptr<const ServablePolicy> PolicyRegistry::Current(

@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "mdp/q_table.h"
+#include "mdp/sparse_q_table.h"
 #include "rl/sarsa.h"
 #include "serve/policy_snapshot.h"
 #include "util/status.h"
@@ -18,14 +20,57 @@ namespace rlplanner::serve {
 /// An immutable, refcounted policy a PlanService can execute requests
 /// against. Once published through the registry it is never mutated, so any
 /// number of threads may read it concurrently without synchronization.
+///
+/// Exactly one of the three representations is engaged:
+///   dense  — in-memory mdp::QTable (v1 snapshots, direct installs)
+///   sparse — in-memory mdp::SparseQTable (v2 snapshots, sparse installs)
+///   mapped — zero-copy MappedPolicy view over an mmapped v2 file
+/// Request execution dispatches through VisitQ, so the recommender
+/// templates run the identical traversal on all three.
 struct ServablePolicy {
-  mdp::QTable q{0};
+  std::optional<mdp::QTable> dense;
+  std::optional<mdp::SparseQTable> sparse;
+  std::optional<MappedPolicy> mapped;
   /// Registry-assigned, strictly increasing across all installs.
   std::uint64_t version = 0;
   std::uint64_t catalog_fingerprint = 0;
   /// Training provenance carried over from the snapshot.
   rl::SarsaConfig provenance;
   std::uint64_t seed = 0;
+
+  /// Invokes `fn` with whichever representation is engaged; `fn` must be
+  /// generic over the three table types (they share the `Get` surface).
+  template <typename Fn>
+  auto VisitQ(Fn&& fn) const {
+    if (dense.has_value()) return fn(*dense);
+    if (sparse.has_value()) return fn(*sparse);
+    return fn(*mapped);
+  }
+
+  /// "dense", "sparse", or "mmap" — for logs and stats labels.
+  const char* representation() const {
+    if (dense.has_value()) return "dense";
+    if (sparse.has_value()) return "sparse";
+    return "mmap";
+  }
+
+  std::size_t num_items() const {
+    if (dense.has_value()) return dense->num_items();
+    if (sparse.has_value()) return sparse->num_items();
+    return mapped->num_items();
+  }
+};
+
+/// How PolicyRegistry::InstallSnapshotFile materializes a snapshot.
+enum class SnapshotLoadMode {
+  /// Parse the whole file into an in-memory table (v1 and v2), verifying
+  /// every checksum. O(file size) CPU + a private copy of the table.
+  kDeserialize = 0,
+  /// mmap a v2 file and serve straight off the page cache (header/section
+  /// validation only — see MappedPolicy::Map). O(1) work regardless of
+  /// policy size; v1 files silently fall back to kDeserialize (their layout
+  /// cannot be served in place).
+  kMmap = 1,
 };
 
 /// Named, hot-swappable policy slots with RCU-style publication: `Current`
@@ -55,10 +100,36 @@ class PolicyRegistry {
                                       rl::SarsaConfig provenance,
                                       std::uint64_t seed = 0);
 
+  /// Sparse-representation variant of Install (same validation, same
+  /// hot-swap semantics).
+  util::Result<std::uint64_t> Install(const std::string& name,
+                                      mdp::SparseQTable q,
+                                      rl::SarsaConfig provenance,
+                                      std::uint64_t seed = 0);
+
+  /// Publishes a zero-copy mapped policy; validates both the mapping's
+  /// dimension (InvalidArgument) and its embedded catalog fingerprint
+  /// (FailedPrecondition) against the registry's.
+  util::Result<std::uint64_t> InstallMapped(const std::string& name,
+                                            MappedPolicy policy);
+
   /// Publishes a deserialized snapshot; additionally validates the
   /// snapshot's catalog fingerprint against the registry's.
   util::Result<std::uint64_t> InstallSnapshot(const std::string& name,
                                               const PolicySnapshot& snapshot);
+
+  /// v2 counterpart of InstallSnapshot: publishes the snapshot's sparse
+  /// table after the same fingerprint validation.
+  util::Result<std::uint64_t> InstallSnapshotV2(
+      const std::string& name, const SparsePolicySnapshotV2& snapshot);
+
+  /// Loads the snapshot at `path` (format detected by magic) and publishes
+  /// it under `name`. kMmap serves a v2 file in place through MappedPolicy;
+  /// v1 files always deserialize (their dense row-major layout is not
+  /// servable in place), so kMmap on a v1 file falls back to kDeserialize.
+  util::Result<std::uint64_t> InstallSnapshotFile(const std::string& name,
+                                                  const std::string& path,
+                                                  SnapshotLoadMode mode);
 
   /// The current policy of `name`, or nullptr when the slot does not exist.
   /// The returned pointer stays valid (and immutable) for as long as the
@@ -75,6 +146,11 @@ class PolicyRegistry {
   std::size_t num_items() const { return num_items_; }
 
  private:
+  /// Stamps a version on `policy` and atomically swaps it into
+  /// `slots_[name]` (the one place that takes the mutex for an install).
+  std::uint64_t Publish(const std::string& name,
+                        std::shared_ptr<ServablePolicy> policy);
+
   const std::uint64_t catalog_fingerprint_;
   const std::size_t num_items_;
   mutable std::mutex mutex_;

@@ -1,9 +1,16 @@
 #include "serve/policy_snapshot.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace rlplanner::serve {
@@ -233,6 +240,11 @@ util::Result<PolicySnapshot> MakeSnapshot(const core::RlPlanner& planner) {
     return util::Status::FailedPrecondition(
         "MakeSnapshot() requires a trained planner");
   }
+  if (planner.uses_sparse()) {
+    return util::Status::FailedPrecondition(
+        "MakeSnapshot() writes the dense v1 format; this planner trained a "
+        "sparse policy — use MakeSnapshotV2()");
+  }
   PolicySnapshot snapshot;
   snapshot.catalog_fingerprint =
       CatalogFingerprint(*planner.instance().catalog);
@@ -240,6 +252,663 @@ util::Result<PolicySnapshot> MakeSnapshot(const core::RlPlanner& planner) {
   snapshot.seed = planner.config().seed;
   snapshot.table = planner.q_table();
   return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot format v2
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagicV2[8] = {'R', 'L', 'P', 'S', 'N', 'A', 'P', '2'};
+// Header field offsets within the header page (see the header-file diagram).
+constexpr std::size_t kV2HeaderChecksumOffset = 192;
+constexpr std::size_t kV2PayloadChecksumOffset = 184;
+constexpr std::size_t kV2SectionTableOffset = 112;
+constexpr std::size_t kV2SectionCount = 3;
+
+struct V2Section {
+  std::uint32_t kind = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+struct V2Header {
+  SnapshotV2Meta meta;
+  V2Section sections[kV2SectionCount];
+  std::uint64_t payload_checksum = 0;
+  bool header_checksum_ok = false;
+};
+
+std::size_t AlignToPage(std::size_t offset) {
+  return (offset + kSnapshotV2PageBytes - 1) & ~(kSnapshotV2PageBytes - 1);
+}
+
+// Writes `value` at `pos` inside the preallocated header page.
+template <typename T>
+void PutAt(std::string& out, std::size_t pos, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(out.data() + pos, &value, sizeof(T));
+}
+
+template <typename T>
+T ReadAt(const char* data, std::size_t pos) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  std::memcpy(&value, data + pos, sizeof(T));
+  return value;
+}
+
+// Serializes the provenance block at `pos` (56 bytes, see layout diagram).
+void PutProvenance(std::string& out, std::size_t pos,
+                   const rl::SarsaConfig& p) {
+  PutAt(out, pos + 0, static_cast<std::int32_t>(p.num_episodes));
+  PutAt(out, pos + 4, p.alpha);
+  PutAt(out, pos + 12, p.gamma);
+  PutAt(out, pos + 20, static_cast<std::int32_t>(p.exploration));
+  PutAt(out, pos + 24, static_cast<std::int32_t>(p.update_rule));
+  PutAt(out, pos + 28, p.explore_epsilon);
+  PutAt(out, pos + 36, static_cast<std::int32_t>(p.start_item));
+  PutAt(out, pos + 40, static_cast<std::uint8_t>(p.mask_type_overflow));
+  // bytes 41..43 stay zero (padding)
+  PutAt(out, pos + 44, static_cast<std::int32_t>(p.policy_rounds));
+  PutAt(out, pos + 48, p.restart_decay);
+}
+
+rl::SarsaConfig ReadProvenance(const char* data, std::size_t pos) {
+  rl::SarsaConfig p;
+  p.num_episodes = ReadAt<std::int32_t>(data, pos + 0);
+  p.alpha = ReadAt<double>(data, pos + 4);
+  p.gamma = ReadAt<double>(data, pos + 12);
+  p.exploration =
+      static_cast<rl::ExplorationMode>(ReadAt<std::int32_t>(data, pos + 20));
+  p.update_rule =
+      static_cast<rl::UpdateRule>(ReadAt<std::int32_t>(data, pos + 24));
+  p.explore_epsilon = ReadAt<double>(data, pos + 28);
+  p.start_item =
+      static_cast<model::ItemId>(ReadAt<std::int32_t>(data, pos + 36));
+  p.mask_type_overflow = ReadAt<std::uint8_t>(data, pos + 40) != 0;
+  p.policy_rounds = ReadAt<std::int32_t>(data, pos + 44);
+  p.restart_decay = ReadAt<double>(data, pos + 48);
+  return p;
+}
+
+// Parses and structurally validates a v2 header page: magic, version,
+// header size, section table (kinds in order, page alignment, in-bounds,
+// overflow-safe) and section-length consistency with num_items/entry_count.
+// The header checksum verdict is reported, not enforced — Map() requires
+// it, InspectSnapshotFile() reports it.
+util::Result<V2Header> ParseV2Header(const char* data, std::size_t size) {
+  if (size < kSnapshotV2PageBytes) {
+    return util::Status::InvalidArgument(
+        "v2 snapshot smaller than one header page (" + std::to_string(size) +
+        " bytes)");
+  }
+  if (std::memcmp(data, kMagicV2, sizeof(kMagicV2)) != 0) {
+    return util::Status::InvalidArgument(
+        "bad snapshot magic (not a v2 policy snapshot)");
+  }
+  const auto format_version = ReadAt<std::uint32_t>(data, 8);
+  if (format_version != SparsePolicySnapshotV2::kFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported v2 snapshot format version " +
+        std::to_string(format_version));
+  }
+  // The checksum verdict is computed up front so that when a structural
+  // check below fails AND the header fails its checksum, the error names
+  // the root cause (bit rot) instead of the downstream symptom (a
+  // nonsensical dimension). Checksum-only damage still parses — Inspect
+  // reports it rather than dying on it.
+  const bool header_checksum_ok =
+      ReadAt<std::uint64_t>(data, kV2HeaderChecksumOffset) ==
+      Fnv1a64(data, kV2HeaderChecksumOffset);
+  auto structural_error = [&](std::string message) {
+    if (!header_checksum_ok) {
+      return util::Status::InvalidArgument(
+          "v2 snapshot header checksum mismatch: header is corrupted (" +
+          std::move(message) + ")");
+    }
+    return util::Status::InvalidArgument(std::move(message));
+  };
+  // Serialize() always pads the file out to whole pages, so a ragged tail
+  // means truncation even when every section range still fits.
+  if (size % kSnapshotV2PageBytes != 0) {
+    return structural_error("v2 snapshot size " + std::to_string(size) +
+                            " is not a whole number of " +
+                            std::to_string(kSnapshotV2PageBytes) +
+                            "-byte pages (truncated?)");
+  }
+  const auto header_bytes = ReadAt<std::uint32_t>(data, 12);
+  if (header_bytes != kSnapshotV2PageBytes) {
+    return structural_error(
+        "v2 snapshot declares header size " + std::to_string(header_bytes) +
+        " (expected " + std::to_string(kSnapshotV2PageBytes) + ")");
+  }
+
+  V2Header h;
+  h.meta.catalog_fingerprint = ReadAt<std::uint64_t>(data, 16);
+  h.meta.num_items = ReadAt<std::uint64_t>(data, 24);
+  h.meta.seed = ReadAt<std::uint64_t>(data, 32);
+  h.meta.entry_count = ReadAt<std::uint64_t>(data, 40);
+  h.meta.provenance = ReadProvenance(data, 48);
+
+  const auto section_count = ReadAt<std::uint32_t>(data, 104);
+  if (section_count != kV2SectionCount) {
+    return structural_error(
+        "v2 snapshot declares " + std::to_string(section_count) +
+        " sections (expected " + std::to_string(kV2SectionCount) + ")");
+  }
+  for (std::size_t i = 0; i < kV2SectionCount; ++i) {
+    const std::size_t base = kV2SectionTableOffset + i * 24;
+    h.sections[i].kind = ReadAt<std::uint32_t>(data, base);
+    h.sections[i].offset = ReadAt<std::uint64_t>(data, base + 8);
+    h.sections[i].length = ReadAt<std::uint64_t>(data, base + 16);
+    if (h.sections[i].kind != i + 1) {
+      return util::Status::InvalidArgument(
+          "v2 section " + std::to_string(i) + " has kind " +
+          std::to_string(h.sections[i].kind) + " (expected " +
+          std::to_string(i + 1) + ": row index, keys, values in order)");
+    }
+    if (h.sections[i].offset % kSnapshotV2PageBytes != 0) {
+      return util::Status::InvalidArgument(
+          "v2 section " + std::to_string(i) + " offset " +
+          std::to_string(h.sections[i].offset) + " is not page-aligned");
+    }
+    // Overflow-safe bounds: offset and length each within the file, and
+    // length within what remains past offset.
+    if (h.sections[i].offset > size ||
+        h.sections[i].length > size - h.sections[i].offset) {
+      return util::Status::InvalidArgument(
+          "v2 section " + std::to_string(i) + " [" +
+          std::to_string(h.sections[i].offset) + ", +" +
+          std::to_string(h.sections[i].length) + ") exceeds the file size " +
+          std::to_string(size));
+    }
+    if (h.sections[i].offset < kSnapshotV2PageBytes) {
+      return util::Status::InvalidArgument(
+          "v2 section " + std::to_string(i) + " overlaps the header page");
+    }
+  }
+  // Section lengths must match the dimensions the header claims. The
+  // num_items/entry_count multiplications cannot overflow: both factors are
+  // bounded by the (already validated) section lengths below only if these
+  // checks pass, so compare via division instead.
+  const V2Section& rows = h.sections[0];
+  const V2Section& keys = h.sections[1];
+  const V2Section& values = h.sections[2];
+  if (rows.length / sizeof(SnapshotV2RowSpan) != h.meta.num_items ||
+      rows.length % sizeof(SnapshotV2RowSpan) != 0) {
+    return structural_error(
+        "v2 row-index length " + std::to_string(rows.length) +
+        " does not match num_items " + std::to_string(h.meta.num_items));
+  }
+  if (keys.length / sizeof(std::uint32_t) != h.meta.entry_count ||
+      keys.length % sizeof(std::uint32_t) != 0) {
+    return structural_error(
+        "v2 packed-keys length " + std::to_string(keys.length) +
+        " does not match entry_count " + std::to_string(h.meta.entry_count));
+  }
+  if (values.length / sizeof(double) != h.meta.entry_count ||
+      values.length % sizeof(double) != 0) {
+    return structural_error(
+        "v2 packed-values length " + std::to_string(values.length) +
+        " does not match entry_count " + std::to_string(h.meta.entry_count));
+  }
+
+  h.payload_checksum = ReadAt<std::uint64_t>(data, kV2PayloadChecksumOffset);
+  h.header_checksum_ok = header_checksum_ok;
+  return h;
+}
+
+// FNV-1a over the three sections' byte ranges in section-table order.
+std::uint64_t ComputePayloadChecksum(const char* data, const V2Header& h) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const V2Section& s : h.sections) {
+    hash = Fnv1a64(data + s.offset, static_cast<std::size_t>(s.length), hash);
+  }
+  return hash;
+}
+
+// Validates every row span against entry_count (overflow-safe); shared by
+// Map() and Deserialize().
+util::Status ValidateRowSpans(const SnapshotV2RowSpan* rows,
+                              std::uint64_t num_items,
+                              std::uint64_t entry_count) {
+  for (std::uint64_t s = 0; s < num_items; ++s) {
+    if (rows[s].begin_entry > entry_count ||
+        rows[s].count > entry_count - rows[s].begin_entry) {
+      return util::Status::InvalidArgument(
+          "v2 row " + std::to_string(s) + " span [" +
+          std::to_string(rows[s].begin_entry) + ", +" +
+          std::to_string(rows[s].count) + ") exceeds entry_count " +
+          std::to_string(entry_count));
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::string SparsePolicySnapshotV2::Serialize() const {
+  const std::size_t n = table.num_items();
+
+  // Pack the table once in canonical order: row spans over ascending
+  // states, keys ascending within each row, values parallel.
+  std::vector<SnapshotV2RowSpan> rows(n);
+  std::vector<std::uint32_t> keys;
+  std::vector<double> values;
+  keys.reserve(table.entry_count());
+  values.reserve(table.entry_count());
+  model::ItemId last_state = -1;
+  table.ForEachNonZeroEntrySorted(
+      [&](model::ItemId s, model::ItemId a, double v) {
+        if (s != last_state) {
+          rows[static_cast<std::size_t>(s)].begin_entry = keys.size();
+          last_state = s;
+        }
+        rows[static_cast<std::size_t>(s)].count++;
+        keys.push_back(static_cast<std::uint32_t>(a));
+        values.push_back(v);
+      });
+  const std::uint64_t entry_count = keys.size();
+
+  const std::size_t rows_offset = kSnapshotV2PageBytes;
+  const std::size_t rows_len = n * sizeof(SnapshotV2RowSpan);
+  const std::size_t keys_offset = AlignToPage(rows_offset + rows_len);
+  const std::size_t keys_len = keys.size() * sizeof(std::uint32_t);
+  const std::size_t values_offset = AlignToPage(keys_offset + keys_len);
+  const std::size_t values_len = values.size() * sizeof(double);
+  const std::size_t total = AlignToPage(values_offset + values_len);
+
+  std::string out(total, '\0');
+  std::memcpy(out.data(), kMagicV2, sizeof(kMagicV2));
+  PutAt(out, 8, kFormatVersion);
+  PutAt(out, 12, static_cast<std::uint32_t>(kSnapshotV2PageBytes));
+  PutAt(out, 16, catalog_fingerprint);
+  PutAt(out, 24, static_cast<std::uint64_t>(n));
+  PutAt(out, 32, seed);
+  PutAt(out, 40, entry_count);
+  PutProvenance(out, 48, provenance);
+  PutAt(out, 104, static_cast<std::uint32_t>(kV2SectionCount));
+  const std::uint64_t offsets[kV2SectionCount] = {rows_offset, keys_offset,
+                                                  values_offset};
+  const std::uint64_t lengths[kV2SectionCount] = {rows_len, keys_len,
+                                                  values_len};
+  for (std::size_t i = 0; i < kV2SectionCount; ++i) {
+    const std::size_t base = kV2SectionTableOffset + i * 24;
+    PutAt(out, base, static_cast<std::uint32_t>(i + 1));
+    PutAt(out, base + 8, offsets[i]);
+    PutAt(out, base + 16, lengths[i]);
+  }
+  if (!rows.empty()) {
+    std::memcpy(out.data() + rows_offset, rows.data(), rows_len);
+  }
+  if (!keys.empty()) {
+    std::memcpy(out.data() + keys_offset, keys.data(), keys_len);
+    std::memcpy(out.data() + values_offset, values.data(), values_len);
+  }
+
+  V2Header h;
+  for (std::size_t i = 0; i < kV2SectionCount; ++i) {
+    h.sections[i] = {static_cast<std::uint32_t>(i + 1), offsets[i],
+                     lengths[i]};
+  }
+  PutAt(out, kV2PayloadChecksumOffset, ComputePayloadChecksum(out.data(), h));
+  PutAt(out, kV2HeaderChecksumOffset,
+        Fnv1a64(out.data(), kV2HeaderChecksumOffset));
+  return out;
+}
+
+util::Result<SparsePolicySnapshotV2> SparsePolicySnapshotV2::Deserialize(
+    const std::string& bytes) {
+  auto parsed = ParseV2Header(bytes.data(), bytes.size());
+  if (!parsed.ok()) return parsed.status();
+  const V2Header& h = parsed.value();
+  if (!h.header_checksum_ok) {
+    return util::Status::InvalidArgument(
+        "v2 snapshot header checksum mismatch: header is corrupted");
+  }
+  if (ComputePayloadChecksum(bytes.data(), h) != h.payload_checksum) {
+    return util::Status::InvalidArgument(
+        "v2 snapshot payload checksum mismatch: file is corrupted");
+  }
+
+  const auto* rows = reinterpret_cast<const SnapshotV2RowSpan*>(
+      bytes.data() + h.sections[0].offset);
+  const auto* keys = reinterpret_cast<const std::uint32_t*>(
+      bytes.data() + h.sections[1].offset);
+  const auto* values = reinterpret_cast<const double*>(
+      bytes.data() + h.sections[2].offset);
+  RLP_RETURN_IF_ERROR(
+      ValidateRowSpans(rows, h.meta.num_items, h.meta.entry_count));
+
+  SparsePolicySnapshotV2 snapshot;
+  snapshot.catalog_fingerprint = h.meta.catalog_fingerprint;
+  snapshot.seed = h.meta.seed;
+  snapshot.provenance = h.meta.provenance;
+  snapshot.table =
+      mdp::SparseQTable(static_cast<std::size_t>(h.meta.num_items));
+  for (std::uint64_t s = 0; s < h.meta.num_items; ++s) {
+    const SnapshotV2RowSpan& span = rows[s];
+    std::uint32_t prev_key = 0;
+    for (std::uint64_t i = 0; i < span.count; ++i) {
+      const std::uint32_t key = keys[span.begin_entry + i];
+      if (key >= h.meta.num_items) {
+        return util::Status::InvalidArgument(
+            "v2 row " + std::to_string(s) + " stores action " +
+            std::to_string(key) + " outside the " +
+            std::to_string(h.meta.num_items) + "-item catalog");
+      }
+      if (i > 0 && key <= prev_key) {
+        return util::Status::InvalidArgument(
+            "v2 row " + std::to_string(s) +
+            " keys are not strictly ascending");
+      }
+      prev_key = key;
+      snapshot.table.Set(static_cast<model::ItemId>(s),
+                         static_cast<model::ItemId>(key),
+                         values[span.begin_entry + i]);
+    }
+  }
+  return snapshot;
+}
+
+util::Status SparsePolicySnapshotV2::SaveToFile(
+    const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::Internal("cannot open for write: " + path);
+  const std::string bytes = Serialize();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return util::Status::Internal("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<SparsePolicySnapshotV2> SparsePolicySnapshotV2::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+util::Result<SparsePolicySnapshotV2> MakeSnapshotV2(
+    const core::RlPlanner& planner) {
+  if (!planner.trained()) {
+    return util::Status::FailedPrecondition(
+        "MakeSnapshotV2() requires a trained planner");
+  }
+  SparsePolicySnapshotV2 snapshot;
+  snapshot.catalog_fingerprint =
+      CatalogFingerprint(*planner.instance().catalog);
+  snapshot.provenance = planner.config().sarsa;
+  snapshot.seed = planner.config().seed;
+  snapshot.table = planner.uses_sparse()
+                       ? planner.sparse_q_table()
+                       : mdp::SparseQTable::FromDense(planner.q_table());
+  return snapshot;
+}
+
+// --- MappedPolicy ----------------------------------------------------------
+
+MappedPolicy::MappedPolicy(MappedPolicy&& other) noexcept
+    : map_(other.map_),
+      map_size_(other.map_size_),
+      meta_(other.meta_),
+      rows_(other.rows_),
+      keys_(other.keys_),
+      values_(other.values_) {
+  other.map_ = nullptr;
+  other.map_size_ = 0;
+  other.rows_ = nullptr;
+  other.keys_ = nullptr;
+  other.values_ = nullptr;
+}
+
+MappedPolicy& MappedPolicy::operator=(MappedPolicy&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, map_size_);
+    map_ = other.map_;
+    map_size_ = other.map_size_;
+    meta_ = other.meta_;
+    rows_ = other.rows_;
+    keys_ = other.keys_;
+    values_ = other.values_;
+    other.map_ = nullptr;
+    other.map_size_ = 0;
+    other.rows_ = nullptr;
+    other.keys_ = nullptr;
+    other.values_ = nullptr;
+  }
+  return *this;
+}
+
+MappedPolicy::~MappedPolicy() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+util::Result<MappedPolicy> MappedPolicy::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return util::Status::NotFound("cannot open: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::Internal("fstat failed: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping survives the close; the kernel keeps the file pinned.
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return util::Status::Internal("mmap failed: " + path);
+  }
+
+  const char* data = static_cast<const char*>(map);
+  auto parsed = ParseV2Header(data, size);
+  if (!parsed.ok()) {
+    ::munmap(map, size);
+    return parsed.status();
+  }
+  const V2Header& h = parsed.value();
+  if (!h.header_checksum_ok) {
+    ::munmap(map, size);
+    return util::Status::InvalidArgument(
+        "v2 snapshot header checksum mismatch: header is corrupted (" + path +
+        ")");
+  }
+  // Eagerly validate every row span — O(num_items) over the (one-page-in)
+  // row index, so corrupt spans can never send a later Get() out of bounds.
+  // The payload checksum is deliberately NOT verified here (that would
+  // fault in every page and defeat the zero-copy swap); a flipped value
+  // bit yields a wrong Q read, never an OOB access.
+  const auto* rows = reinterpret_cast<const SnapshotV2RowSpan*>(
+      data + h.sections[0].offset);
+  {
+    auto status =
+        ValidateRowSpans(rows, h.meta.num_items, h.meta.entry_count);
+    if (!status.ok()) {
+      ::munmap(map, size);
+      return status;
+    }
+  }
+
+  MappedPolicy policy;
+  policy.map_ = map;
+  policy.map_size_ = size;
+  policy.meta_ = h.meta;
+  policy.rows_ = rows;
+  policy.keys_ =
+      reinterpret_cast<const std::uint32_t*>(data + h.sections[1].offset);
+  policy.values_ =
+      reinterpret_cast<const double*>(data + h.sections[2].offset);
+  return policy;
+}
+
+const SnapshotV2RowSpan& MappedPolicy::RowSpan(model::ItemId state) const {
+  return rows_[static_cast<std::size_t>(state)];
+}
+
+double MappedPolicy::Get(model::ItemId state, model::ItemId action) const {
+  const SnapshotV2RowSpan& span = RowSpan(state);
+  const std::uint32_t* begin = keys_ + span.begin_entry;
+  const std::uint32_t* end = begin + span.count;
+  const auto key = static_cast<std::uint32_t>(action);
+  const std::uint32_t* it = std::lower_bound(begin, end, key);
+  if (it == end || *it != key) return 0.0;
+  return values_[span.begin_entry + static_cast<std::size_t>(it - begin)];
+}
+
+model::ItemId MappedPolicy::ArgmaxAction(
+    model::ItemId state, const util::DynamicBitset& allowed) const {
+  const SnapshotV2RowSpan& span = RowSpan(state);
+  const std::uint32_t* keys = keys_ + span.begin_entry;
+  const double* values = values_ + span.begin_entry;
+
+  // Pass 1: stored ∩ allowed. Keys are ascending, so the dense tie-break
+  // (lowest id at the max) is exactly "replace only on strictly greater".
+  model::ItemId best = -1;
+  double best_value = 0.0;
+  for (std::uint64_t i = 0; i < span.count; ++i) {
+    if (!allowed.Test(keys[i])) continue;
+    if (best < 0 || values[i] > best_value) {
+      best = static_cast<model::ItemId>(keys[i]);
+      best_value = values[i];
+    }
+  }
+  // A positive stored max beats every missing (0.0) cell — done.
+  if (best >= 0 && best_value > 0.0) return best;
+
+  // Slow path: missing cells participate; replay the dense ascending walk.
+  best = -1;
+  best_value = 0.0;
+  allowed.ForEachSetBit([&](std::size_t a) {
+    const double value = Get(state, static_cast<model::ItemId>(a));
+    if (best < 0 || value > best_value) {
+      best = static_cast<model::ItemId>(a);
+      best_value = value;
+    }
+  });
+  return best;
+}
+
+double MappedPolicy::NonZeroFraction() const {
+  if (meta_.num_items == 0) return 0.0;
+  std::uint64_t non_zero = 0;
+  for (std::uint64_t i = 0; i < meta_.entry_count; ++i) {
+    if (values_[i] != 0.0) ++non_zero;
+  }
+  return static_cast<double>(non_zero) /
+         (static_cast<double>(meta_.num_items) *
+          static_cast<double>(meta_.num_items));
+}
+
+// --- snapshot-info ---------------------------------------------------------
+
+namespace {
+
+// v1 inspection: parse the fixed header fields by offset, verify the
+// trailing checksum, and count non-zero payload cells. Reports
+// checksum_ok = false (rather than erroring) when only the checksum is bad.
+util::Result<SnapshotFileInfo> InspectV1(const std::string& bytes) {
+  // Fixed v1 offsets: magic 0, version 8, fingerprint 12, num_items 20,
+  // seed 28, provenance 36..89, payload 89, trailing checksum.
+  constexpr std::size_t kPayloadOffset = 89;
+  if (bytes.size() < kPayloadOffset + sizeof(std::uint64_t)) {
+    return util::Status::InvalidArgument(
+        "v1 snapshot truncated: " + std::to_string(bytes.size()) + " bytes");
+  }
+  SnapshotFileInfo info;
+  info.format_version = ReadAt<std::uint32_t>(bytes.data(), 8);
+  if (info.format_version != PolicySnapshot::kFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported snapshot format version " +
+        std::to_string(info.format_version));
+  }
+  info.format = "dense-v1";
+  info.catalog_fingerprint = ReadAt<std::uint64_t>(bytes.data(), 12);
+  info.num_items = ReadAt<std::uint64_t>(bytes.data(), 20);
+  info.seed = ReadAt<std::uint64_t>(bytes.data(), 28);
+  info.file_bytes = bytes.size();
+
+  const std::uint64_t n = info.num_items;
+  const std::uint64_t payload_bytes = n * n * sizeof(double);
+  if (bytes.size() - kPayloadOffset - sizeof(std::uint64_t) != payload_bytes) {
+    return util::Status::InvalidArgument(
+        "v1 snapshot payload size mismatch for a " + std::to_string(n) + "x" +
+        std::to_string(n) + " table");
+  }
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(std::uint64_t),
+              sizeof(std::uint64_t));
+  info.checksum_ok =
+      stored == Fnv1a64(bytes.data(), bytes.size() - sizeof(std::uint64_t));
+
+  std::uint64_t non_zero = 0;
+  for (std::uint64_t i = 0; i < n * n; ++i) {
+    if (ReadAt<double>(bytes.data(), kPayloadOffset + i * sizeof(double)) !=
+        0.0) {
+      ++non_zero;
+    }
+  }
+  info.entry_count = non_zero;
+  info.nonzero_fraction =
+      n == 0 ? 0.0
+             : static_cast<double>(non_zero) /
+                   (static_cast<double>(n) * static_cast<double>(n));
+  return info;
+}
+
+util::Result<SnapshotFileInfo> InspectV2(const std::string& bytes) {
+  auto parsed = ParseV2Header(bytes.data(), bytes.size());
+  if (!parsed.ok()) return parsed.status();
+  const V2Header& h = parsed.value();
+  SnapshotFileInfo info;
+  info.format_version = SparsePolicySnapshotV2::kFormatVersion;
+  info.format = "sparse-v2";
+  info.num_items = h.meta.num_items;
+  info.entry_count = h.meta.entry_count;
+  info.catalog_fingerprint = h.meta.catalog_fingerprint;
+  info.seed = h.meta.seed;
+  info.file_bytes = bytes.size();
+  info.checksum_ok =
+      h.header_checksum_ok &&
+      ComputePayloadChecksum(bytes.data(), h) == h.payload_checksum;
+  const auto* values = reinterpret_cast<const double*>(
+      bytes.data() + h.sections[2].offset);
+  std::uint64_t non_zero = 0;
+  for (std::uint64_t i = 0; i < h.meta.entry_count; ++i) {
+    if (values[i] != 0.0) ++non_zero;
+  }
+  info.nonzero_fraction =
+      h.meta.num_items == 0
+          ? 0.0
+          : static_cast<double>(non_zero) /
+                (static_cast<double>(h.meta.num_items) *
+                 static_cast<double>(h.meta.num_items));
+  return info;
+}
+
+}  // namespace
+
+util::Result<SnapshotFileInfo> InspectSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  if (bytes.size() < sizeof(kMagic)) {
+    return util::Status::InvalidArgument(
+        "file too short to hold a snapshot magic (" +
+        std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagicV2, sizeof(kMagicV2)) == 0) {
+    return InspectV2(bytes);
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0) {
+    return InspectV1(bytes);
+  }
+  return util::Status::InvalidArgument(
+      "bad snapshot magic (neither v1 nor v2)");
 }
 
 }  // namespace rlplanner::serve

@@ -1,13 +1,16 @@
 #ifndef RLPLANNER_SERVE_POLICY_SNAPSHOT_H_
 #define RLPLANNER_SERVE_POLICY_SNAPSHOT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 #include "core/planner.h"
 #include "mdp/q_table.h"
+#include "mdp/sparse_q_table.h"
 #include "model/catalog.h"
 #include "rl/sarsa.h"
+#include "util/bitset.h"
 #include "util/status.h"
 
 namespace rlplanner::serve {
@@ -63,8 +66,193 @@ struct PolicySnapshot {
   static util::Result<PolicySnapshot> LoadFromFile(const std::string& path);
 };
 
-/// Snapshots a trained planner (FailedPrecondition when untrained).
+/// Snapshots a trained planner (FailedPrecondition when untrained). Dense
+/// policies only — a sparse-trained planner snapshots through
+/// MakeSnapshotV2, which never materializes the O(|I|^2) payload.
 util::Result<PolicySnapshot> MakeSnapshot(const core::RlPlanner& planner);
+
+// ---------------------------------------------------------------------------
+// Snapshot format v2: page-aligned sparse layout, mmap-servable zero-copy.
+// ---------------------------------------------------------------------------
+
+/// Page size every v2 section offset is aligned to. 4096 matches the page
+/// size of every platform this builds on, so a mapped section never shares
+/// a page with the header (and madvise/fault behavior stays per-section).
+inline constexpr std::size_t kSnapshotV2PageBytes = 4096;
+
+/// Section kinds in a v2 section table, in required file order.
+enum class SnapshotV2Section : std::uint32_t {
+  kRowIndex = 1,      // num_items x {u64 begin_entry, u64 count}
+  kPackedKeys = 2,    // entry_count x u32 action id, ascending within a row
+  kPackedValues = 3,  // entry_count x f64, parallel to the keys
+};
+
+/// One row of the v2 row-index section: the row's stored entries occupy
+/// [begin_entry, begin_entry + count) of the packed key/value arrays.
+struct SnapshotV2RowSpan {
+  std::uint64_t begin_entry = 0;
+  std::uint64_t count = 0;
+};
+static_assert(sizeof(SnapshotV2RowSpan) == 16,
+              "row-index entries are written raw into the file");
+
+/// Everything a v2 header carries besides the section table (the fields a
+/// consumer needs before touching any payload page).
+struct SnapshotV2Meta {
+  std::uint64_t catalog_fingerprint = 0;
+  std::uint64_t num_items = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t entry_count = 0;
+  rl::SarsaConfig provenance;
+};
+
+/// A trained *sparse* policy as a v2 artifact. Unlike v1 (a sequential blob
+/// that must be deserialized), v2 is designed to be served straight off an
+/// mmap: fixed 4096-byte header page, then page-aligned sections listed in
+/// a section table, all fixed-width little-endian.
+///
+/// On-disk layout (byte offsets within the header page):
+///     0  magic "RLPSNAP2" (8 bytes)
+///     8  u32  format_version (= 2)
+///    12  u32  header_bytes   (= 4096)
+///    16  u64  catalog_fingerprint
+///    24  u64  num_items
+///    32  u64  seed
+///    40  u64  entry_count    (non-zero entries written to the file; the
+///                             in-memory table may store explicit zeros,
+///                             which serialize as absent — they read back
+///                             as the same +0.0)
+///    48  provenance, 56 bytes: i32 num_episodes, f64 alpha, f64 gamma,
+///        i32 exploration, i32 update_rule, f64 explore_epsilon,
+///        i32 start_item, u8 mask_type_overflow, u8 pad[3],
+///        i32 policy_rounds, f64 restart_decay
+///   104  u32  section_count  (= 3)
+///   108  u32  reserved       (= 0)
+///   112  section table, 3 x 24 bytes:
+///        {u32 kind, u32 reserved, u64 offset, u64 length}
+///        kinds 1 (row index), 2 (packed keys), 3 (packed values), in that
+///        order; every offset is a multiple of 4096 and offset + length
+///        never exceeds the file size
+///   184  u64  payload_checksum (FNV-1a over the three sections' bytes,
+///        in section-table order)
+///   192  u64  header_checksum  (FNV-1a over header bytes [0, 192))
+///   200  zero padding to 4096
+///
+/// The header checksum makes header corruption detectable in O(1) at map
+/// time; the payload checksum covers the data pages and is verified by the
+/// full-deserialize path (LoadFromFile) and `rlplanner_cli snapshot-info` —
+/// deliberately NOT by MappedPolicy::Map, whose whole point is O(1)
+/// page-table work per hot swap (documented trade-off: a flipped payload
+/// bit surfaces as a wrong Q read, never as out-of-bounds access, because
+/// every read is bounded by the validated row index).
+struct SparsePolicySnapshotV2 {
+  static constexpr std::uint32_t kFormatVersion = 2;
+
+  std::uint64_t catalog_fingerprint = 0;
+  rl::SarsaConfig provenance;
+  std::uint64_t seed = 0;
+  mdp::SparseQTable table{0};
+
+  /// Serializes to the page-aligned layout above (non-zero entries only,
+  /// ascending (state, action)).
+  std::string Serialize() const;
+
+  /// Full parse of `bytes` with *both* checksums verified; rejects bad
+  /// magic/version, truncated files, malformed section tables, and
+  /// out-of-bounds row spans with a descriptive InvalidArgument.
+  static util::Result<SparsePolicySnapshotV2> Deserialize(
+      const std::string& bytes);
+
+  util::Status SaveToFile(const std::string& path) const;
+  static util::Result<SparsePolicySnapshotV2> LoadFromFile(
+      const std::string& path);
+};
+
+/// Snapshots a sparse-trained planner into the v2 format; a dense-trained
+/// planner is converted through its non-zero entries (cheap at dense-viable
+/// scales), so every trained planner can produce a v2 artifact.
+util::Result<SparsePolicySnapshotV2> MakeSnapshotV2(
+    const core::RlPlanner& planner);
+
+/// An immutable policy view served directly off an mmap of a v2 snapshot
+/// file — the zero-copy half of the hot-swap story. Map() validates the
+/// header checksum, the section table (kinds, order, alignment, bounds) and
+/// every row span eagerly (O(num_items), no payload page faults), then
+/// serves `Get`/`ArgmaxAction` straight from the mapping: installing a
+/// multi-GB policy costs page-table setup, not a deserialize pass, and
+/// resident memory is shared across processes mapping the same file.
+///
+/// Satisfies the recommender's QModel concept (`Get`), so
+/// rl::RecommendPlan/RecommendPlanBeam traverse it like any in-memory
+/// table. Move-only; the mapping lives until destruction.
+class MappedPolicy {
+ public:
+  /// Maps `path` and validates it as described above. The file must remain
+  /// unmodified for the lifetime of the mapping (snapshot files are
+  /// write-once by convention; PolicyRegistry never mutates them).
+  static util::Result<MappedPolicy> Map(const std::string& path);
+
+  MappedPolicy(MappedPolicy&& other) noexcept;
+  MappedPolicy& operator=(MappedPolicy&& other) noexcept;
+  MappedPolicy(const MappedPolicy&) = delete;
+  MappedPolicy& operator=(const MappedPolicy&) = delete;
+  ~MappedPolicy();
+
+  std::size_t num_items() const {
+    return static_cast<std::size_t>(meta_.num_items);
+  }
+
+  /// Q(state, action) by binary search over the row's sorted keys; missing
+  /// entries read as 0.0, exactly like the in-memory tables.
+  double Get(model::ItemId state, model::ItemId action) const;
+
+  /// Result-identical to QTable/SparseQTable ArgmaxAction(state, bitset):
+  /// fast path scans the row's stored entries (sorted ascending, so the
+  /// first strictly-greater win is the lowest id at the max); when the
+  /// stored maximum is not positive it falls back to the dense-equivalent
+  /// ascending walk over the allowed set.
+  model::ItemId ArgmaxAction(model::ItemId state,
+                             const util::DynamicBitset& allowed) const;
+
+  const SnapshotV2Meta& meta() const { return meta_; }
+  std::uint64_t entry_count() const { return meta_.entry_count; }
+  std::size_t file_bytes() const { return map_size_; }
+
+  /// Non-zero stored values over |I|^2 — touches every value page.
+  double NonZeroFraction() const;
+
+ private:
+  MappedPolicy() = default;
+
+  const SnapshotV2RowSpan& RowSpan(model::ItemId state) const;
+
+  void* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  SnapshotV2Meta meta_;
+  const SnapshotV2RowSpan* rows_ = nullptr;
+  const std::uint32_t* keys_ = nullptr;
+  const double* values_ = nullptr;
+};
+
+/// What `rlplanner_cli snapshot-info` prints: everything knowable about a
+/// snapshot file of either format without a catalog at hand.
+struct SnapshotFileInfo {
+  std::uint32_t format_version = 0;
+  std::string format;  // "dense-v1" or "sparse-v2"
+  std::uint64_t num_items = 0;
+  std::uint64_t entry_count = 0;      // non-zero cells (v1) / stored (v2)
+  double nonzero_fraction = 0.0;      // non-zero cells over |I|^2
+  bool checksum_ok = false;           // all checksums the format defines
+  std::uint64_t catalog_fingerprint = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+/// Detects the format by magic and fully validates the file (both v2
+/// checksums / the v1 trailing checksum). Corrupt-but-parseable headers
+/// yield `checksum_ok = false` rather than an error when the dimensions are
+/// still readable; structurally unreadable files yield InvalidArgument.
+util::Result<SnapshotFileInfo> InspectSnapshotFile(const std::string& path);
 
 }  // namespace rlplanner::serve
 

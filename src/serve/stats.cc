@@ -42,6 +42,18 @@ ServeStats::ServeStats(obs::Registry* registry) {
           ->GetHistogram("serve_request_latency_us",
                          "Enqueue-to-completion latency in microseconds.")
           .value();
+  snapshot_load_deserialize_us_ =
+      registry_
+          ->GetHistogram("serve_snapshot_load_us",
+                         "Snapshot install latency in microseconds by mode.",
+                         {{"mode", "deserialize"}})
+          .value();
+  snapshot_load_mmap_us_ =
+      registry_
+          ->GetHistogram("serve_snapshot_load_us",
+                         "Snapshot install latency in microseconds by mode.",
+                         {{"mode", "mmap"}})
+          .value();
   queue_depth_ = registry_
                      ->GetGauge("serve_queue_depth",
                                 "Current request-queue depth.")
@@ -72,6 +84,12 @@ void ServeStats::RecordResponseVersion(std::uint64_t version) {
   counter->Increment();
 }
 
+void ServeStats::RecordSnapshotLoad(bool mmap, double seconds) {
+  obs::Histogram* histogram =
+      mmap ? snapshot_load_mmap_us_ : snapshot_load_deserialize_us_;
+  histogram->RecordRounded(seconds * 1e6);
+}
+
 void ServeStats::SetQueueDepth(std::size_t depth) {
   queue_depth_->Set(static_cast<double>(depth));
 }
@@ -93,6 +111,15 @@ ServeStatsSnapshot ServeStats::Collect() const {
       static_cast<double>(latency_us_->Max()) / 1000.0;
   snapshot.queue_depth =
       static_cast<std::uint64_t>(queue_depth_->Value());
+  const auto load_stats = [](const obs::Histogram* h) {
+    SnapshotLoadModeStats stats;
+    stats.count = h->count();
+    stats.mean_seconds = h->Mean() / 1e6;
+    stats.max_seconds = static_cast<double>(h->Max()) / 1e6;
+    return stats;
+  };
+  snapshot.snapshot_load_deserialize = load_stats(snapshot_load_deserialize_us_);
+  snapshot.snapshot_load_mmap = load_stats(snapshot_load_mmap_us_);
   {
     std::lock_guard<std::mutex> lock(versions_mutex_);
     for (const auto& [version, counter] : version_counters_) {
@@ -122,6 +149,20 @@ std::string ServeStatsSnapshot::ToJson() const {
       latency_p50_ms, latency_p95_ms, latency_p99_ms, latency_max_ms,
       static_cast<unsigned long long>(queue_depth));
   std::string out = buffer;
+  const auto append_load = [&out](const char* mode,
+                                  const SnapshotLoadModeStats& stats) {
+    char entry[160];
+    std::snprintf(entry, sizeof(entry),
+                  "\"%s\": {\"count\": %llu, \"mean\": %.6f, \"max\": %.6f}",
+                  mode, static_cast<unsigned long long>(stats.count),
+                  stats.mean_seconds, stats.max_seconds);
+    out += entry;
+  };
+  out += ", \"snapshot_load_seconds\": {";
+  append_load("deserialize", snapshot_load_deserialize);
+  out += ", ";
+  append_load("mmap", snapshot_load_mmap);
+  out += "}";
   out += ", \"responses_by_version\": {";
   bool first = true;
   for (const auto& [version, count] : responses_by_version) {

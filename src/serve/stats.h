@@ -15,6 +15,14 @@ namespace rlplanner::serve {
 /// A point-in-time copy of the serving counters (all loads are relaxed; the
 /// snapshot is internally consistent only at quiescence, which is how the
 /// bench and tests read it).
+/// Snapshot-load latency for one load mode (seconds; derived from the
+/// microsecond histogram).
+struct SnapshotLoadModeStats {
+  std::uint64_t count = 0;
+  double mean_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
 struct ServeStatsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t accepted = 0;
@@ -32,6 +40,9 @@ struct ServeStatsSnapshot {
   /// Completed responses attributed to the exact policy version that served
   /// them (survives hot swaps; keyed by ServablePolicy::version).
   std::map<std::uint64_t, std::uint64_t> responses_by_version;
+  /// Snapshot-load latency by mode ("snapshot_load_seconds" in the JSON).
+  SnapshotLoadModeStats snapshot_load_deserialize;
+  SnapshotLoadModeStats snapshot_load_mmap;
 
   /// Renders the snapshot as a JSON object.
   std::string ToJson() const;
@@ -48,6 +59,10 @@ struct ServeStatsSnapshot {
 ///   _rejected_queue_full_total / _expired_deadline_total /
 ///   _completed_total / _failed_total        counters
 ///   serve_request_latency_us                histogram (enqueue→completion)
+///   serve_snapshot_load_us{mode="deserialize"|"mmap"}
+///                                           histogram (snapshot install
+///                                           latency; seconds in the JSON
+///                                           snapshot as snapshot_load_seconds)
 ///   serve_queue_depth                       gauge
 ///   serve_responses_total{version="N"}      counter per served version
 class ServeStats {
@@ -70,6 +85,11 @@ class ServeStats {
   /// Attributes one completed response to the policy version that served it.
   void RecordResponseVersion(std::uint64_t version);
 
+  /// Records one snapshot install into the mode's latency histogram.
+  /// `mmap` selects the zero-copy path's series; the unit is seconds
+  /// (stored as microseconds, per the registry-wide latency convention).
+  void RecordSnapshotLoad(bool mmap, double seconds);
+
   /// Publishes the instantaneous request-queue depth.
   void SetQueueDepth(std::size_t depth);
 
@@ -91,6 +111,8 @@ class ServeStats {
   obs::Counter* completed_;
   obs::Counter* failed_;
   obs::Histogram* latency_us_;
+  obs::Histogram* snapshot_load_deserialize_us_;
+  obs::Histogram* snapshot_load_mmap_us_;
   obs::Gauge* queue_depth_;
   // Per-version counters are created lazily on first attribution; the cache
   // avoids a registry lookup (and its lock) on the completion path.

@@ -194,10 +194,12 @@ TEST(PolicyRegistryTest, HotSwapPreservesOldPolicyForHolders) {
 
   // The holder still sees version 1 / table a; new readers see version 2.
   EXPECT_EQ(held->version, 1u);
-  EXPECT_TRUE(held->q == a);
+  ASSERT_TRUE(held->dense.has_value());
+  EXPECT_TRUE(*held->dense == a);
   auto fresh = registry.Current("default");
   EXPECT_EQ(fresh->version, 2u);
-  EXPECT_TRUE(fresh->q == b);
+  ASSERT_TRUE(fresh->dense.has_value());
+  EXPECT_TRUE(*fresh->dense == b);
   EXPECT_EQ(registry.install_count(), 2u);
   EXPECT_EQ(registry.Current("missing"), nullptr);
 }

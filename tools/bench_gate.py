@@ -2,9 +2,10 @@
 """Perf-regression gate over the checked-in benchmark baselines.
 
 Compares a fresh benchmark run (BENCH_micro.json / BENCH_train.json /
-BENCH_serve.json, as written by build/bench/{micro_benchmarks,train_bench,
-serve_bench}) against the baselines checked into the repo root, and fails
-(exit 1) when any comparable entry regressed beyond the tolerance.
+BENCH_serve.json / BENCH_scalability.json, as written by
+build/bench/{micro_benchmarks,train_bench,serve_bench,fig2_scalability})
+against the baselines checked into the repo root, and fails (exit 1) when
+any comparable entry regressed beyond the tolerance.
 
 Design constraints, in order:
 
@@ -16,7 +17,10 @@ Design constraints, in order:
     level, hardware thread count, catalog size, or smoke setting is not
     comparable; mismatched files are skipped with a warning instead of
     producing nonsense verdicts. (Refresh the baseline on the new hardware
-    rather than loosening the tolerance.)
+    rather than loosening the tolerance.) Entries that carry a `q_repr`
+    field (the dense-vs-sparse Q representation) bake it into the entry
+    key, so a representation switch shows up as an addition + a missing
+    entry — both skips — never as a bogus regression verdict.
   * Additions are free. Entries present on only one side are reported but
     never fail the gate, so adding a benchmark does not require regenerating
     every baseline in the same commit.
@@ -52,8 +56,17 @@ GATE_SPEC = {
     "BENCH_train.json": {
         "context": ["simd", "hardware_threads", "smoke"],
         "sections": [
-            ("benchmarks", lambda e: e["name"],
+            ("benchmarks",
+             lambda e: f"{e['name']}/{e.get('q_repr', 'dense')}",
              [("episodes_per_sec", "higher")], "seconds"),
+        ],
+    },
+    "BENCH_scalability.json": {
+        "context": ["simd", "smoke"],
+        "sections": [
+            ("benchmarks",
+             lambda e: f"{e['name']}/{e.get('q_repr', 'dense')}",
+             [("ops_per_sec", "higher")], "seconds"),
         ],
     },
     "BENCH_serve.json": {
@@ -65,6 +78,9 @@ GATE_SPEC = {
             ("wire",
              lambda e: f"shards{e['shards']}/connections{e['connections']}",
              [("requests_per_sec", "higher")], "wall_s"),
+            ("snapshot_load",
+             lambda e: f"{e['format']}/{e['mode']}",
+             [("seconds", "lower")], "seconds"),
         ],
     },
 }
@@ -208,6 +224,22 @@ def self_test():
                 {"shards": 2, "connections": 8, "wall_s": 0.8,
                  "requests_per_sec": 20000.0},
             ],
+            "snapshot_load": [
+                {"format": "sparse-v2", "mode": "deserialize",
+                 "items": 10000, "snapshot_bytes": 105906176,
+                 "seconds": 1.0},
+                {"format": "sparse-v2", "mode": "mmap", "items": 10000,
+                 "snapshot_bytes": 105906176, "seconds": 0.0001},
+            ],
+        },
+        "BENCH_scalability.json": {
+            "simd": "avx2",
+            "smoke": False,
+            "benchmarks": [
+                {"name": "learn_synth10k/N100", "items": 10000,
+                 "q_repr": "sparse", "seconds": 1.0,
+                 "ops_per_sec": 100.0},
+            ],
         },
     }
 
@@ -255,6 +287,35 @@ def self_test():
         checks.append(("wire throughput drop fails",
                        not run_gate(base_dir, fresh_dir, 0.30, 0.05,
                                     verbose=False)))
+
+        # 3c. A slower snapshot load beyond tolerance fails (the mmap entry
+        # sits below --min-seconds, so only the deserialize entry is armed).
+        slow_load = copy.deepcopy(baseline)
+        slow_load["BENCH_serve.json"]["snapshot_load"][0]["seconds"] = 2.0
+        write_tree(fresh_dir, slow_load)
+        checks.append(("slow snapshot load fails",
+                       not run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                    verbose=False)))
+
+        # 3d. A scalability throughput drop beyond tolerance fails.
+        scale_dropped = copy.deepcopy(baseline)
+        scale_dropped["BENCH_scalability.json"]["benchmarks"][0][
+            "ops_per_sec"] = 10.0
+        write_tree(fresh_dir, scale_dropped)
+        checks.append(("scalability throughput drop fails",
+                       not run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                    verbose=False)))
+
+        # 3e. The same drop under a flipped q_repr is a representation
+        # switch, not a regression: the keys no longer match, so both sides
+        # are reported as skips.
+        switched = copy.deepcopy(scale_dropped)
+        switched["BENCH_scalability.json"]["benchmarks"][0][
+            "q_repr"] = "dense"
+        write_tree(fresh_dir, switched)
+        checks.append(("q_repr switch skips, never fails",
+                       run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                verbose=False)))
 
         # 4. The same drop on a sub-min-seconds entry is skipped, not failed.
         noisy = copy.deepcopy(baseline)

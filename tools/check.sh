@@ -7,9 +7,11 @@
 #   3. TSan (-DRLPLANNER_SANITIZE=thread) over the concurrency-heavy tests
 #      (the serving layer, the parallel SARSA trainer, and their
 #      thread-pool substrate).
-# The Release lane also smoke-runs bench/train_bench with a tiny episode
-# budget and validates the BENCH_train.json it emits, so a malformed
-# benchmark artifact fails the check rather than the downstream plots —
+# The Release lane also smoke-runs bench/train_bench and
+# bench/fig2_scalability (the latter keeps its 10k-item sparse lane even in
+# smoke mode) with tiny episode budgets and validates the BENCH_*.json they
+# emit, so a malformed benchmark artifact fails the check rather than the
+# downstream plots —
 # and likewise validates the CLI's --metrics-out JSON and --trace-out
 # Chrome trace-event file (the artifact docs/observability.md documents).
 # It then boots `rlplanner_cli serve --listen` on an ephemeral port, drives
@@ -50,10 +52,38 @@ run_bench_gate() {
   echo "==> Bench gate (regression check against checked-in baselines)"
   python3 tools/bench_gate.py --self-test
   # Full (non-smoke) runs: the checked-in baselines are full runs, and the
-  # gate skips cross-context comparisons. A few seconds total.
+  # gate skips cross-context comparisons. The big-catalog lanes (100k-item
+  # training, the ~100 MB snapshot fixture) push this to a couple minutes.
   (cd build/bench && ./micro_benchmarks > /dev/null \
-    && ./train_bench > /dev/null && ./serve_bench > /dev/null)
+    && ./train_bench > /dev/null && ./serve_bench > /dev/null \
+    && ./fig2_scalability > /dev/null)
   python3 tools/bench_gate.py --baseline-dir . --fresh-dir build/bench
+}
+
+run_scalability_smoke() {
+  echo "==> Scalability-bench smoke run (10k sparse lane + JSON shape check)"
+  # --smoke keeps the 10k-item sparse catalog but trims episode/rep budgets,
+  # so the big-catalog path (sparse SARSA end to end) runs on every check.
+  (cd build/bench && ./fig2_scalability --smoke)
+  python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_scalability.json") as f:
+    doc = json.load(f)
+assert doc["smoke"] is True
+runs = doc["benchmarks"]
+assert runs, "no benchmark entries"
+for run in runs:
+    for key in ("name", "items", "q_repr", "seconds", "ops_per_sec"):
+        assert key in run, f"missing {key} in {run.get('name', '?')}"
+    assert run["ops_per_sec"] > 0, run["name"]
+sparse_10k = [r for r in runs
+              if r["items"] == 10000 and r["q_repr"] == "sparse"]
+assert sparse_10k, "no 10k-item sparse entries — big-catalog lane missing"
+assert any(r["name"].startswith("learn_") for r in sparse_10k), sparse_10k
+assert any(r["name"].startswith("recommend_") for r in sparse_10k), sparse_10k
+print(f"BENCH_scalability.json OK ({len(runs)} entries, "
+      f"{len(sparse_10k)} sparse 10k lanes)")
+EOF
 }
 
 run_bench_smoke() {
@@ -244,6 +274,7 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 run_bench_smoke
+run_scalability_smoke
 run_bench_gate
 run_metrics_smoke
 run_trace_smoke

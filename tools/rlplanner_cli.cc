@@ -21,6 +21,11 @@
 //   save-snapshot --dataset D --out FILE  train and write a binary policy
 //           [training flags as for plan]  snapshot (Q-table + fingerprint +
 //                                         provenance + checksum)
+//   snapshot-info FILE                    inspect a snapshot file of either
+//                                         format (v1 dense / v2 sparse):
+//                                         version, dimensions, non-zero
+//                                         fraction, checksum status — no
+//                                         dataset needed
 //   load-snapshot --dataset D --in FILE   load a snapshot, verify it against
 //           [--start CODE]                the catalog, and recommend
 //   serve   --dataset D                   run the concurrent PlanService over
@@ -90,7 +95,8 @@ int Usage(const std::string& error) {
   std::fprintf(
       stderr,
       "usage: rlplanner_cli <list|info|export|gold|plan|train|metrics|"
-      "inspect|save-snapshot|load-snapshot|serve> [options]\n"
+      "inspect|save-snapshot|load-snapshot|snapshot-info|serve> [options]\n"
+      "       rlplanner_cli snapshot-info FILE\n"
       "  --dataset <name|file.csv>   (toy, univ1-dsct, univ1-cyber,\n"
       "                               univ1-cs, univ2-ds, nyc, paris)\n"
       "  --start CODE  --episodes N  --alpha A  --gamma G  --epsilon E\n"
@@ -99,6 +105,7 @@ int Usage(const std::string& error) {
       "  --deadline-ms D  --save-policy FILE  --metrics-out FILE\n"
       "  --metrics-interval-s N  --trace-out FILE\n"
       "  --workers K  --mode serial|det|hogwild  --format prom|json\n"
+      "  --q-repr auto|dense|sparse  --snapshot-mode deserialize|mmap\n"
       "  --listen HOST:PORT  --shards N  --duration-s S\n"
       "  --drain-timeout-ms D\n");
   return 2;
@@ -167,6 +174,12 @@ rlplanner::core::PlannerConfig BuildConfig(const Dataset& dataset,
     } else {
       config.sarsa.parallel_mode = rlplanner::rl::ParallelMode::kSerial;
     }
+  }
+  if (auto v = cmd.GetFlag("q-repr")) {
+    config.sarsa.q_representation =
+        *v == "sparse" ? rlplanner::rl::QRepresentation::kSparse
+        : *v == "dense" ? rlplanner::rl::QRepresentation::kDense
+                        : rlplanner::rl::QRepresentation::kAuto;
   }
   config.sarsa.start_item = dataset.default_start;
   return config;
@@ -474,18 +487,39 @@ int CmdSaveSnapshot(const Dataset& dataset, const CommandLine& cmd) {
     std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
     return 1;
   }
+  const std::string out = *cmd.GetFlag("out");
+  // Sparse-trained planners (and --v2) write the mmap-servable v2 format;
+  // dense planners default to v1 for compatibility with older loaders.
+  if (planner.uses_sparse() || cmd.HasFlag("v2")) {
+    auto snapshot = rlplanner::serve::MakeSnapshotV2(planner);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+      return 1;
+    }
+    if (const auto status = snapshot.value().SaveToFile(out); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (sparse-v2, %zu items, fingerprint %016llx, "
+                "%d episodes, seed %llu)\n",
+                out.c_str(), snapshot.value().table.num_items(),
+                static_cast<unsigned long long>(
+                    snapshot.value().catalog_fingerprint),
+                snapshot.value().provenance.num_episodes,
+                static_cast<unsigned long long>(snapshot.value().seed));
+    return 0;
+  }
   auto snapshot = rlplanner::serve::MakeSnapshot(planner);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
     return 1;
   }
-  const std::string out = *cmd.GetFlag("out");
   if (const auto status = snapshot.value().SaveToFile(out); !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s (%zu items, fingerprint %016llx, %d episodes, "
-              "seed %llu)\n",
+  std::printf("wrote %s (dense-v1, %zu items, fingerprint %016llx, "
+              "%d episodes, seed %llu)\n",
               out.c_str(), snapshot.value().table.num_items(),
               static_cast<unsigned long long>(
                   snapshot.value().catalog_fingerprint),
@@ -543,6 +577,34 @@ int CmdLoadSnapshot(const Dataset& dataset, const CommandLine& cmd) {
               planner.Validate(plan.value()).ToString().c_str());
   std::printf("score: %.2f\n", planner.Score(plan.value()));
   return 0;
+}
+
+// Inspects a snapshot file of either format without needing the dataset:
+// the header carries everything but the catalog itself, and the full-file
+// checksum pass reports integrity without deserializing into a planner.
+int CmdSnapshotInfo(const std::string& path) {
+  auto info = rlplanner::serve::InspectSnapshotFile(path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  const auto& i = info.value();
+  std::printf("file:        %s\n", path.c_str());
+  std::printf("format:      %s (version %u)\n", i.format.c_str(),
+              i.format_version);
+  std::printf("items:       %llu\n",
+              static_cast<unsigned long long>(i.num_items));
+  std::printf("entries:     %llu\n",
+              static_cast<unsigned long long>(i.entry_count));
+  std::printf("nonzero:     %.6f\n", i.nonzero_fraction);
+  std::printf("checksum:    %s\n", i.checksum_ok ? "OK" : "MISMATCH");
+  std::printf("fingerprint: %016llx\n",
+              static_cast<unsigned long long>(i.catalog_fingerprint));
+  std::printf("seed:        %llu\n",
+              static_cast<unsigned long long>(i.seed));
+  std::printf("size:        %llu bytes\n",
+              static_cast<unsigned long long>(i.file_bytes));
+  return i.checksum_ok ? 0 : 1;
 }
 
 volatile std::sig_atomic_t g_shutdown_signal = 0;
@@ -628,14 +690,29 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
   const auto trace = MakeTraceCollector(cmd, config.metrics);
   config.trace = trace.get();
 
-  rlplanner::serve::PolicySnapshot snapshot;
+  rlplanner::serve::PolicyRegistry registry(
+      rlplanner::serve::CatalogFingerprint(dataset.catalog),
+      dataset.catalog.size());
+  // Snapshot-install latency to surface in the stats once the service
+  // exists (the install necessarily precedes service construction).
+  double snapshot_load_seconds = -1.0;
+  bool snapshot_load_mmap = false;
   if (auto path = cmd.GetFlag("snapshot")) {
-    auto loaded = rlplanner::serve::PolicySnapshot::LoadFromFile(*path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    snapshot_load_mmap =
+        cmd.GetFlagOr("snapshot-mode", "deserialize") == "mmap";
+    const auto load_mode = snapshot_load_mmap
+                               ? rlplanner::serve::SnapshotLoadMode::kMmap
+                               : rlplanner::serve::SnapshotLoadMode::kDeserialize;
+    const auto load_begin = std::chrono::steady_clock::now();
+    auto installed = registry.InstallSnapshotFile("default", *path, load_mode);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "%s\n", installed.status().ToString().c_str());
       return 1;
     }
-    snapshot = std::move(loaded).value();
+    snapshot_load_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      load_begin)
+            .count();
   } else {
     rlplanner::core::RlPlanner planner(instance, config);
     if (const auto status = planner.Train(); !status.ok()) {
@@ -643,21 +720,18 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
                    status.ToString().c_str());
       return 1;
     }
-    auto made = rlplanner::serve::MakeSnapshot(planner);
-    if (!made.ok()) {
-      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    // Install the trained table directly (no serialize/deserialize round
+    // trip); the registry applies the same dimension validation.
+    auto installed =
+        planner.uses_sparse()
+            ? registry.Install("default", planner.sparse_q_table(),
+                               config.sarsa, config.seed)
+            : registry.Install("default", planner.q_table(), config.sarsa,
+                               config.seed);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "%s\n", installed.status().ToString().c_str());
       return 1;
     }
-    snapshot = std::move(made).value();
-  }
-
-  rlplanner::serve::PolicyRegistry registry(
-      rlplanner::serve::CatalogFingerprint(dataset.catalog),
-      dataset.catalog.size());
-  if (auto installed = registry.InstallSnapshot("default", snapshot);
-      !installed.ok()) {
-    std::fprintf(stderr, "%s\n", installed.status().ToString().c_str());
-    return 1;
   }
 
   rlplanner::serve::PlanServiceConfig service_config;
@@ -673,6 +747,10 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
 
   rlplanner::serve::PlanService service(instance, config.reward, registry,
                                         service_config);
+  if (snapshot_load_seconds >= 0.0) {
+    service.stats().RecordSnapshotLoad(snapshot_load_mmap,
+                                       snapshot_load_seconds);
+  }
   service.Start();
 
   // --metrics-interval-s: rewrite --metrics-out periodically while serving,
@@ -791,6 +869,15 @@ int main(int argc, char** argv) {
   const CommandLine cmd = rlplanner::util::ParseCommandLine(argc, argv);
   if (cmd.command.empty()) return Usage("missing subcommand");
   if (cmd.command == "list") return CmdList();
+  if (cmd.command == "snapshot-info") {
+    // The only positional-argument command: `snapshot-info FILE`.
+    if (cmd.positional.size() != 1) {
+      return Usage(cmd.positional.empty()
+                       ? "snapshot-info requires a FILE argument"
+                       : "snapshot-info takes exactly one FILE argument");
+    }
+    return CmdSnapshotInfo(cmd.positional.front());
+  }
 
   // Required flags per subcommand; anything else is an unknown command.
   std::vector<std::string> required = {"dataset"};
