@@ -38,6 +38,21 @@ util::Status RlPlanner::Train() {
         "incompatible with kHogwild; set q_representation = kDense or use "
         "kDeterministic");
   }
+  if (repr == rl::QRepresentation::kSparse && n > rl::kSparseAutoThreshold &&
+      config_.sarsa.policy_rounds > 1) {
+    // The policy-iteration restart path calls AddNoise, which is only
+    // bit-identical to dense by materializing all |I|^2 entries — exactly
+    // the allocation sparse exists to avoid at this scale (~80 GB at 100k
+    // items). Fail fast here instead of OOM-ing mid-training the first
+    // time a round's safety rollout fails. Below the threshold the dense
+    // footprint is affordable by definition, so small-catalog sparse runs
+    // (e.g. the dense-vs-sparse equivalence tests) keep their rounds.
+    return util::Status::InvalidArgument(
+        "catalog of " + std::to_string(n) +
+        " items resolves to the sparse Q representation, which requires "
+        "policy_rounds == 1: the restart path (AddNoise) would materialize "
+        "all |I|^2 entries");
+  }
   training_metrics_ =
       config_.metrics != nullptr
           ? std::make_unique<obs::TrainingMetrics>(config_.metrics)

@@ -100,8 +100,9 @@ class SparseQTable {
   /// *materializes all |I|^2 entries*. That is fine at paper scale (the
   /// restart path only fires when a safety rollout fails); large-catalog
   /// configurations must train with policy_rounds == 1, which never calls
-  /// this (documented in DESIGN.md and enforced by the big-catalog bench
-  /// scenarios).
+  /// this — enforced by RlPlanner::Train(), which rejects sparse-resolved
+  /// configs above kSparseAutoThreshold items with policy_rounds > 1
+  /// (documented in DESIGN.md).
   void AddNoise(util::Rng& rng, double magnitude);
 
   /// Largest absolute stored entry; 0.0 for an empty table (dense rows of

@@ -429,6 +429,22 @@ util::Result<V2Header> ParseV2Header(const char* data, std::size_t size) {
           "v2 section " + std::to_string(i) + " overlaps the header page");
     }
   }
+  // Sections must appear in file order without aliasing each other: a
+  // header whose keys and values ranges overlap would otherwise pass every
+  // per-section bound and serve garbage with a self-consistent payload
+  // checksum. Offsets are page-aligned (checked above), so >= the previous
+  // end implies >= its page-rounded end; no overflow, since offset + length
+  // <= size for every section.
+  for (std::size_t i = 1; i < kV2SectionCount; ++i) {
+    const V2Section& prev = h.sections[i - 1];
+    if (h.sections[i].offset < prev.offset + prev.length) {
+      return structural_error(
+          "v2 section " + std::to_string(i) + " offset " +
+          std::to_string(h.sections[i].offset) + " overlaps section " +
+          std::to_string(i - 1) + " ending at " +
+          std::to_string(prev.offset + prev.length));
+    }
+  }
   // Section lengths must match the dimensions the header claims. The
   // num_items/entry_count multiplications cannot overflow: both factors are
   // bounded by the (already validated) section lengths below only if these
@@ -469,11 +485,14 @@ std::uint64_t ComputePayloadChecksum(const char* data, const V2Header& h) {
   return hash;
 }
 
-// Validates every row span against entry_count (overflow-safe); shared by
-// Map() and Deserialize().
+// Validates every row span against entry_count (overflow-safe) and
+// requires non-empty spans to be disjoint and ascending — Serialize's
+// canonical packing, and what bounds ValidateRowKeys below to one pass over
+// the keys section even on hostile input. Shared by Map() and Deserialize().
 util::Status ValidateRowSpans(const SnapshotV2RowSpan* rows,
                               std::uint64_t num_items,
                               std::uint64_t entry_count) {
+  std::uint64_t next_free = 0;
   for (std::uint64_t s = 0; s < num_items; ++s) {
     if (rows[s].begin_entry > entry_count ||
         rows[s].count > entry_count - rows[s].begin_entry) {
@@ -482,6 +501,48 @@ util::Status ValidateRowSpans(const SnapshotV2RowSpan* rows,
           std::to_string(rows[s].begin_entry) + ", +" +
           std::to_string(rows[s].count) + ") exceeds entry_count " +
           std::to_string(entry_count));
+    }
+    if (rows[s].count == 0) continue;
+    if (rows[s].begin_entry < next_free) {
+      return util::Status::InvalidArgument(
+          "v2 row " + std::to_string(s) + " span [" +
+          std::to_string(rows[s].begin_entry) + ", +" +
+          std::to_string(rows[s].count) +
+          ") overlaps an earlier row's entries");
+    }
+    next_free = rows[s].begin_entry + rows[s].count;
+  }
+  return util::Status::Ok();
+}
+
+// Validates the packed-keys section against the (already validated) row
+// index: within every row, keys strictly ascending and < num_items. One
+// O(entry_count) pass over the 4-byte keys section — it never faults in
+// the larger values section. This is what lets the serving hot loops
+// (Get's binary search, ArgmaxAction's bitset Test) index by mapped key
+// bytes without per-access bounds checks: after this, a corrupted key can
+// only misdirect a read inside the table, never out of bounds. Shared by
+// Map() and Deserialize().
+util::Status ValidateRowKeys(const SnapshotV2RowSpan* rows,
+                             const std::uint32_t* keys,
+                             std::uint64_t num_items) {
+  for (std::uint64_t s = 0; s < num_items; ++s) {
+    const SnapshotV2RowSpan& span = rows[s];
+    std::uint32_t prev_key = 0;
+    for (std::uint64_t i = 0; i < span.count; ++i) {
+      const std::uint32_t key = keys[span.begin_entry + i];
+      if (key >= num_items) {
+        return util::Status::InvalidArgument(
+            "v2 row " + std::to_string(s) + " stores action " +
+            std::to_string(key) + " outside the " +
+            std::to_string(num_items) + "-item catalog");
+      }
+      if (i > 0 && key <= prev_key) {
+        return util::Status::InvalidArgument(
+            "v2 row " + std::to_string(s) +
+            " keys are not strictly ascending");
+      }
+      prev_key = key;
     }
   }
   return util::Status::Ok();
@@ -581,6 +642,7 @@ util::Result<SparsePolicySnapshotV2> SparsePolicySnapshotV2::Deserialize(
       bytes.data() + h.sections[2].offset);
   RLP_RETURN_IF_ERROR(
       ValidateRowSpans(rows, h.meta.num_items, h.meta.entry_count));
+  RLP_RETURN_IF_ERROR(ValidateRowKeys(rows, keys, h.meta.num_items));
 
   SparsePolicySnapshotV2 snapshot;
   snapshot.catalog_fingerprint = h.meta.catalog_fingerprint;
@@ -590,23 +652,9 @@ util::Result<SparsePolicySnapshotV2> SparsePolicySnapshotV2::Deserialize(
       mdp::SparseQTable(static_cast<std::size_t>(h.meta.num_items));
   for (std::uint64_t s = 0; s < h.meta.num_items; ++s) {
     const SnapshotV2RowSpan& span = rows[s];
-    std::uint32_t prev_key = 0;
     for (std::uint64_t i = 0; i < span.count; ++i) {
-      const std::uint32_t key = keys[span.begin_entry + i];
-      if (key >= h.meta.num_items) {
-        return util::Status::InvalidArgument(
-            "v2 row " + std::to_string(s) + " stores action " +
-            std::to_string(key) + " outside the " +
-            std::to_string(h.meta.num_items) + "-item catalog");
-      }
-      if (i > 0 && key <= prev_key) {
-        return util::Status::InvalidArgument(
-            "v2 row " + std::to_string(s) +
-            " keys are not strictly ascending");
-      }
-      prev_key = key;
       snapshot.table.Set(static_cast<model::ItemId>(s),
-                         static_cast<model::ItemId>(key),
+                         static_cast<model::ItemId>(keys[span.begin_entry + i]),
                          values[span.begin_entry + i]);
     }
   }
@@ -696,6 +744,14 @@ util::Result<MappedPolicy> MappedPolicy::Map(const std::string& path) {
     return util::Status::Internal("fstat failed: " + path);
   }
   const auto size = static_cast<std::size_t>(st.st_size);
+  // Reject before mapping: mmap of an empty file fails with EINVAL, which
+  // would mask the descriptive truncation error ParseV2Header gives.
+  if (size < kSnapshotV2PageBytes) {
+    ::close(fd);
+    return util::Status::InvalidArgument(
+        "v2 snapshot smaller than one header page (" + std::to_string(size) +
+        " bytes): " + path);
+  }
   void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   // The mapping survives the close; the kernel keeps the file pinned.
   ::close(fd);
@@ -716,16 +772,22 @@ util::Result<MappedPolicy> MappedPolicy::Map(const std::string& path) {
         "v2 snapshot header checksum mismatch: header is corrupted (" + path +
         ")");
   }
-  // Eagerly validate every row span — O(num_items) over the (one-page-in)
-  // row index, so corrupt spans can never send a later Get() out of bounds.
-  // The payload checksum is deliberately NOT verified here (that would
-  // fault in every page and defeat the zero-copy swap); a flipped value
-  // bit yields a wrong Q read, never an OOB access.
+  // Eagerly validate every row span (O(num_items) over the row index) and
+  // every packed key (O(entry_count) over the 4-byte keys section), so
+  // corrupt spans or keys can never send a later Get()/ArgmaxAction() out
+  // of bounds — the serving hot loops index the Q row and the allowed
+  // bitset by these raw mapped bytes without per-access checks. The
+  // payload checksum is deliberately NOT verified here (that would fault
+  // in the far larger values section and defeat the zero-copy swap); a
+  // flipped *value* bit yields a wrong Q read, never an OOB access.
   const auto* rows = reinterpret_cast<const SnapshotV2RowSpan*>(
       data + h.sections[0].offset);
+  const auto* keys =
+      reinterpret_cast<const std::uint32_t*>(data + h.sections[1].offset);
   {
     auto status =
         ValidateRowSpans(rows, h.meta.num_items, h.meta.entry_count);
+    if (status.ok()) status = ValidateRowKeys(rows, keys, h.meta.num_items);
     if (!status.ok()) {
       ::munmap(map, size);
       return status;
@@ -737,8 +799,7 @@ util::Result<MappedPolicy> MappedPolicy::Map(const std::string& path) {
   policy.map_size_ = size;
   policy.meta_ = h.meta;
   policy.rows_ = rows;
-  policy.keys_ =
-      reinterpret_cast<const std::uint32_t*>(data + h.sections[1].offset);
+  policy.keys_ = keys;
   policy.values_ =
       reinterpret_cast<const double*>(data + h.sections[2].offset);
   return policy;

@@ -141,10 +141,13 @@ struct SnapshotV2Meta {
 /// The header checksum makes header corruption detectable in O(1) at map
 /// time; the payload checksum covers the data pages and is verified by the
 /// full-deserialize path (LoadFromFile) and `rlplanner_cli snapshot-info` —
-/// deliberately NOT by MappedPolicy::Map, whose whole point is O(1)
-/// page-table work per hot swap (documented trade-off: a flipped payload
-/// bit surfaces as a wrong Q read, never as out-of-bounds access, because
-/// every read is bounded by the validated row index).
+/// deliberately NOT by MappedPolicy::Map, which instead validates the row
+/// index AND the packed-keys section (spans in bounds and disjoint, keys
+/// < num_items and strictly ascending per row) without ever touching the
+/// far larger values section, so the hot swap stays cheap (documented
+/// trade-off: a flipped payload bit surfaces as a map-time rejection or a
+/// wrong Q read, never as out-of-bounds access, because every index a read
+/// dereferences is validated up front).
 struct SparsePolicySnapshotV2 {
   static constexpr std::uint32_t kFormatVersion = 2;
 
@@ -176,9 +179,11 @@ util::Result<SparsePolicySnapshotV2> MakeSnapshotV2(
 
 /// An immutable policy view served directly off an mmap of a v2 snapshot
 /// file — the zero-copy half of the hot-swap story. Map() validates the
-/// header checksum, the section table (kinds, order, alignment, bounds) and
-/// every row span eagerly (O(num_items), no payload page faults), then
-/// serves `Get`/`ArgmaxAction` straight from the mapping: installing a
+/// header checksum, the section table (kinds, order, alignment, bounds,
+/// non-overlap), every row span (O(num_items)) and every packed key
+/// (O(entry_count), keys pages only — the values section is never
+/// faulted in), then serves `Get`/`ArgmaxAction` straight from the
+/// mapping: installing a
 /// multi-GB policy costs page-table setup, not a deserialize pass, and
 /// resident memory is shared across processes mapping the same file.
 ///

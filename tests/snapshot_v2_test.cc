@@ -243,6 +243,99 @@ TEST(SnapshotV2Test, CorruptedSectionOffsetIsRejectedByBoundsChecks) {
   EXPECT_FALSE(SparsePolicySnapshotV2::Deserialize(misaligned).ok());
 }
 
+TEST(SnapshotV2Test, OverlappingSectionsAreRejected) {
+  const Dataset dataset = datagen::MakeTableIIToy();
+  const model::TaskInstance instance = dataset.Instance();
+  const auto planner = TrainPlanner(instance, SparseConfig(dataset));
+  auto snapshot = MakeSnapshotV2(*planner);
+  ASSERT_TRUE(snapshot.ok());
+  std::string bytes = snapshot.value().Serialize();
+  // Alias the packed-keys section (entry 1, offset at 112 + 24 + 8) onto
+  // the row-index section's pages. Every per-section check (alignment,
+  // bounds) still passes, so only the non-overlap validator can catch it.
+  std::uint64_t rows_offset = 0;
+  std::memcpy(&rows_offset, bytes.data() + 112 + 8, sizeof(rows_offset));
+  std::memcpy(bytes.data() + 112 + 24 + 8, &rows_offset,
+              sizeof(rows_offset));
+  FixHeaderChecksum(&bytes);
+
+  auto result = SparsePolicySnapshotV2::Deserialize(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("overlaps section"),
+            std::string::npos);
+
+  const std::string path = testing::TempDir() + "/overlap_v2.snap";
+  WriteFileBytes(path, bytes);
+  EXPECT_FALSE(MappedPolicy::Map(path).ok());
+}
+
+TEST(SnapshotV2Test, MapRejectsOutOfRangeAndUnsortedKeys) {
+  // Map() skips the payload checksum by design, so a corrupted keys page
+  // must be caught by the map-time key validation itself — otherwise a
+  // hostile u32 key would index the allowed bitset out of bounds in the
+  // serving hot loop.
+  const Dataset dataset = datagen::MakeTableIIToy();
+  const model::TaskInstance instance = dataset.Instance();
+  const auto planner = TrainPlanner(instance, SparseConfig(dataset));
+  auto snapshot = MakeSnapshotV2(*planner);
+  ASSERT_TRUE(snapshot.ok());
+  const std::string bytes = snapshot.value().Serialize();
+  std::uint64_t num_items = 0, entry_count = 0;
+  std::uint64_t rows_offset = 0, keys_offset = 0;
+  std::memcpy(&num_items, bytes.data() + 24, sizeof(num_items));
+  std::memcpy(&entry_count, bytes.data() + 40, sizeof(entry_count));
+  std::memcpy(&rows_offset, bytes.data() + 112 + 8, sizeof(rows_offset));
+  std::memcpy(&keys_offset, bytes.data() + 112 + 24 + 8,
+              sizeof(keys_offset));
+  ASSERT_GT(entry_count, 0u);
+
+  // Out of range: point the first stored key one past the catalog.
+  std::string oob = bytes;
+  const auto bad_key = static_cast<std::uint32_t>(num_items);
+  std::memcpy(oob.data() + keys_offset, &bad_key, sizeof(bad_key));
+  const std::string oob_path = testing::TempDir() + "/oob_key_v2.snap";
+  WriteFileBytes(oob_path, oob);
+  auto mapped = MappedPolicy::Map(oob_path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(mapped.status().message().find("outside the"),
+            std::string::npos);
+
+  // Unsorted: duplicate the first key of a row with >= 2 entries, breaking
+  // the strict ascent Get()'s binary search depends on.
+  std::string unsorted = bytes;
+  bool found = false;
+  for (std::uint64_t s = 0; s < num_items && !found; ++s) {
+    std::uint64_t begin = 0, count = 0;
+    std::memcpy(&begin, unsorted.data() + rows_offset + 16 * s,
+                sizeof(begin));
+    std::memcpy(&count, unsorted.data() + rows_offset + 16 * s + 8,
+                sizeof(count));
+    if (count < 2) continue;
+    std::memcpy(unsorted.data() + keys_offset + 4 * (begin + 1),
+                unsorted.data() + keys_offset + 4 * begin, 4);
+    found = true;
+  }
+  ASSERT_TRUE(found) << "trained toy policy has no row with >= 2 entries";
+  const std::string unsorted_path =
+      testing::TempDir() + "/unsorted_keys_v2.snap";
+  WriteFileBytes(unsorted_path, unsorted);
+  auto mapped_unsorted = MappedPolicy::Map(unsorted_path);
+  ASSERT_FALSE(mapped_unsorted.ok());
+  EXPECT_NE(mapped_unsorted.status().message().find("strictly ascending"),
+            std::string::npos);
+}
+
+TEST(SnapshotV2Test, MapRejectsFileSmallerThanHeaderPage) {
+  const std::string path = testing::TempDir() + "/empty_v2.snap";
+  WriteFileBytes(path, "");
+  auto mapped = MappedPolicy::Map(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(mapped.status().message().find("header page"),
+            std::string::npos);
+}
+
 TEST(SnapshotV2Test, PayloadCorruptionFailsDeserializeAndInspect) {
   const Dataset dataset = datagen::MakeTableIIToy();
   const model::TaskInstance instance = dataset.Instance();

@@ -14,6 +14,7 @@
 #include "core/config.h"
 #include "core/planner.h"
 #include "datagen/course_data.h"
+#include "datagen/synthetic.h"
 #include "mdp/q_table.h"
 #include "mdp/sparse_q_table.h"
 #include "rl/parallel_sarsa.h"
@@ -360,6 +361,34 @@ TEST(QRepresentationTest, PlannerTrainsIdenticallyOnBothRepresentations) {
   ASSERT_TRUE(dense_plan.ok());
   ASSERT_TRUE(sparse_plan.ok());
   EXPECT_EQ(dense_plan.value().items(), sparse_plan.value().items());
+}
+
+TEST(QRepresentationTest, BigCatalogSparseWithPolicyRoundsIsRejected) {
+  // Above the auto threshold the restart path (AddNoise) would materialize
+  // all |I|^2 entries, so Train() must fail fast instead of OOM-ing the
+  // first time a round's safety rollout fails.
+  datagen::SyntheticSpec spec;
+  spec.num_items = static_cast<int>(rl::kSparseAutoThreshold) + 1;
+  spec.seed = 5;
+  const datagen::Dataset dataset = datagen::GenerateSynthetic(spec);
+  const model::TaskInstance instance = dataset.Instance();
+  core::PlannerConfig config = core::DefaultUniv1Config();
+  config.sarsa.start_item = dataset.default_start;
+  ASSERT_GT(config.sarsa.policy_rounds, 1);  // the default
+  // kAuto resolves to sparse at this size; explicit kSparse fails the same.
+  ASSERT_EQ(rl::ResolveQRepresentation(config.sarsa.q_representation,
+                                       dataset.catalog.size()),
+            rl::QRepresentation::kSparse);
+  core::RlPlanner planner(instance, config);
+  const auto status = planner.Train();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("policy_rounds"), std::string::npos);
+
+  // policy_rounds == 1 trains the same catalog fine (short run).
+  config.sarsa.policy_rounds = 1;
+  config.sarsa.num_episodes = 2;
+  core::RlPlanner ok_planner(instance, config);
+  EXPECT_TRUE(ok_planner.Train().ok());
 }
 
 TEST(QRepresentationTest, SparseWithHogwildIsRejected) {
