@@ -1,0 +1,427 @@
+// Fleet-orchestration benchmark (BENCH_fleet.json).
+//
+// Measures the src/fleet/ layer at Univ-1 scale (114 items) in three
+// phases:
+//
+//  1. Retrain throughput: a fleet of N policies with a one-tick freshness
+//     window (every policy retrains, gates, and publishes every tick) plus
+//     a live feedback stream, reporting retrains/sec through the full
+//     publish pipeline (serialize -> integrity -> gate -> canary ->
+//     promote).
+//  2. Canary routing overhead: PolicyRegistry::Route() — the serve hot
+//     path — with and without a staged canary, in ns/op. This is the cost
+//     every request pays for the fleet's publication machinery, so it is
+//     the number the gate must hold flat.
+//  3. Full lifecycle under load: publish -> canary -> promote/rollback
+//     cycles while closed-loop clients hammer the PlanService. The run
+//     must finish with zero dropped requests and zero responses served
+//     from a rolled-back version after Rollback() returns; the JSON
+//     records both counts so the gate's self-test can trip on them.
+//
+// Usage: fleet_bench [--smoke]   (writes BENCH_fleet.json to the cwd;
+// --smoke shrinks the budgets for CI smoke lanes)
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/planner.h"
+#include "datagen/synthetic.h"
+#include "fleet/fleet.h"
+#include "mdp/q_table.h"
+#include "serve/plan_service.h"
+#include "serve/policy_registry.h"
+#include "serve/stats.h"
+#include "util/simd.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using rlplanner::datagen::Dataset;
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// Univ-1 CS scale: 114 items, 228 topics (matches bench/serve_bench.cc).
+Dataset MakeUniv1ScaleDataset() {
+  rlplanner::datagen::SyntheticSpec spec;
+  spec.num_items = 114;
+  spec.vocab_size = 228;
+  return rlplanner::datagen::GenerateSynthetic(spec);
+}
+
+rlplanner::core::PlannerConfig BenchConfig(const Dataset& dataset,
+                                           std::uint64_t seed, bool smoke) {
+  rlplanner::core::PlannerConfig config = rlplanner::core::DefaultUniv1Config();
+  config.sarsa.num_episodes = smoke ? 30 : 120;
+  config.sarsa.start_item = dataset.default_start;
+  config.seed = seed;
+  return config;
+}
+
+struct RetrainResult {
+  std::size_t policies = 0;
+  int ticks = 0;
+  std::uint64_t retrains = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t gate_failures = 0;
+  double wall_s = 0.0;
+  double retrains_per_sec = 0.0;
+};
+
+RetrainResult RunRetrainPhase(const Dataset& dataset,
+                              const rlplanner::model::TaskInstance& instance,
+                              std::size_t policies, int ticks, bool smoke) {
+  const rlplanner::core::PlannerConfig config =
+      BenchConfig(dataset, 17, smoke);
+  const std::uint64_t fingerprint =
+      rlplanner::serve::CatalogFingerprint(dataset.catalog);
+  rlplanner::serve::PolicyRegistry registry(fingerprint,
+                                            dataset.catalog.size());
+  rlplanner::util::ThreadPool pool(
+      std::max(2u, std::thread::hardware_concurrency()));
+
+  rlplanner::fleet::FleetConfig fleet_config;
+  fleet_config.canary_permille = 200;
+  fleet_config.canary_hold_ticks = 0;  // promote in the staging tick
+  fleet_config.probe_count = 4;
+  fleet_config.reward_band = 1.0;
+  rlplanner::fleet::FleetOrchestrator fleet(instance, config.reward, registry,
+                                            pool, fleet_config);
+  for (std::size_t i = 0; i < policies; ++i) {
+    rlplanner::fleet::PolicySpec spec;
+    spec.slot = "policy-" + std::to_string(i);
+    spec.segment_id = spec.slot;
+    spec.catalog_fingerprint = fingerprint;
+    spec.sarsa = config.sarsa;
+    spec.seed = config.seed + i;
+    spec.freshness_ticks = 1;  // due every tick
+    if (!fleet.AddSpec(std::move(spec)).ok()) {
+      std::fprintf(stderr, "AddSpec failed\n");
+      std::exit(1);
+    }
+  }
+
+  const auto start = Clock::now();
+  for (int t = 0; t < ticks; ++t) {
+    // A live feedback stream folded into every retrain's warm start.
+    for (std::size_t i = 0; i < policies; ++i) {
+      rlplanner::adaptive::FeedbackEvent event;
+      event.item = static_cast<rlplanner::model::ItemId>(
+          (t * policies + i) % dataset.catalog.size());
+      event.kind = rlplanner::adaptive::FeedbackKind::kBinary;
+      event.value = (t + i) % 2 == 0 ? 1.0 : 0.0;
+      (void)fleet.EnqueueFeedback("policy-" + std::to_string(i), event);
+    }
+    fleet.Tick();
+  }
+  const auto end = Clock::now();
+
+  RetrainResult result;
+  result.policies = policies;
+  result.ticks = ticks;
+  for (const rlplanner::fleet::PolicyStatus& status : fleet.Statuses()) {
+    result.retrains += status.generation;
+    result.publishes += status.publishes;
+    result.gate_failures += status.gate_failures;
+  }
+  result.wall_s = Seconds(start, end);
+  result.retrains_per_sec =
+      result.wall_s > 0.0
+          ? static_cast<double>(result.retrains) / result.wall_s
+          : 0.0;
+  return result;
+}
+
+struct RoutingResult {
+  const char* name = "";
+  std::uint64_t ops = 0;
+  double wall_s = 0.0;
+  double ns_per_op = 0.0;
+};
+
+RoutingResult RunRoutingPhase(const char* name,
+                              const rlplanner::serve::PolicyRegistry& registry,
+                              std::uint64_t ops) {
+  RoutingResult result;
+  result.name = name;
+  result.ops = ops;
+  std::uint64_t checksum = 0;
+  const auto start = Clock::now();
+  for (std::uint64_t key = 1; key <= ops; ++key) {
+    const auto policy = registry.Route("default", key);
+    checksum += policy->version;
+  }
+  const auto end = Clock::now();
+  result.wall_s = Seconds(start, end);
+  result.ns_per_op = result.wall_s * 1e9 / static_cast<double>(ops);
+  if (checksum == 0) std::fprintf(stderr, "unreachable\n");  // keep the loop
+  return result;
+}
+
+struct CycleResult {
+  std::size_t clients = 0;
+  int cycles = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t stale_after_rollback = 0;
+  int promotes = 0;
+  int rollbacks = 0;
+  double wall_s = 0.0;
+  double requests_per_sec = 0.0;
+};
+
+CycleResult RunCyclePhase(const rlplanner::model::TaskInstance& instance,
+                          const Dataset& dataset,
+                          const rlplanner::core::PlannerConfig& config,
+                          const std::vector<rlplanner::mdp::QTable>& policies,
+                          std::size_t clients, int cycles,
+                          int requests_per_client) {
+  const std::uint64_t fingerprint =
+      rlplanner::serve::CatalogFingerprint(dataset.catalog);
+  rlplanner::serve::PolicyRegistry registry(fingerprint,
+                                            dataset.catalog.size());
+  if (!registry.Install("default", policies[0], config.sarsa).ok()) {
+    std::fprintf(stderr, "install failed\n");
+    std::exit(1);
+  }
+
+  rlplanner::serve::PlanServiceConfig service_config;
+  service_config.num_workers = clients;
+  service_config.max_queue = 4096;
+  rlplanner::serve::PlanService service(instance, config.reward, registry,
+                                        service_config);
+  service.Start();
+
+  CycleResult result;
+  result.clients = clients;
+  result.cycles = cycles;
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> stale{0};
+
+  const auto start = Clock::now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (int i = 0; i < requests_per_client; ++i) {
+        rlplanner::serve::PlanRequest request;
+        request.start_item = dataset.default_start;
+        request.route_key = c * 1000003ull + static_cast<std::uint64_t>(i) + 1;
+        auto submitted = service.Submit(std::move(request));
+        if (!submitted.ok()) {
+          ++rejected;
+          continue;
+        }
+        auto response = std::move(submitted).value().get();
+        if (response.ok()) {
+          ++completed;
+        } else {
+          ++failed;
+        }
+      }
+    });
+  }
+
+  std::thread publisher([&] {
+    for (int i = 0; i < cycles; ++i) {
+      const auto& table = policies[1 + (i % (policies.size() - 1))];
+      auto staged =
+          registry.InstallCanary("default", table, 500, config.sarsa);
+      if (!staged.ok()) {
+        std::fprintf(stderr, "canary install failed\n");
+        std::exit(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (i % 2 == 0) {
+        if (!registry.PromoteCanary("default").ok()) std::exit(1);
+        ++result.promotes;
+        continue;
+      }
+      const std::uint64_t rolled_back = staged.value();
+      if (!registry.Rollback("default").ok()) std::exit(1);
+      ++result.rollbacks;
+      // Requests admitted after Rollback() returned must never see the
+      // rolled-back version.
+      for (std::uint64_t key = 1; key <= 100; ++key) {
+        rlplanner::serve::PlanRequest probe;
+        probe.start_item = dataset.default_start;
+        probe.route_key = key;
+        auto served = service.Execute(probe);
+        if (!served.ok()) {
+          ++failed;
+          continue;
+        }
+        if (served.value().policy_version == rolled_back) ++stale;
+      }
+    }
+  });
+
+  for (auto& t : client_threads) t.join();
+  publisher.join();
+  service.Stop();
+  const auto end = Clock::now();
+
+  const rlplanner::serve::ServeStatsSnapshot stats = service.stats().Collect();
+  result.completed = completed.load();
+  result.failed = failed.load();
+  result.rejected = rejected.load();
+  result.stale_after_rollback = stale.load();
+  // The zero-loss contract: every submitted request was either completed or
+  // visibly rejected at admission — nothing vanished inside a transition.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(clients) * requests_per_client;
+  result.dropped =
+      expected - result.completed - result.failed - result.rejected;
+  result.wall_s = Seconds(start, end);
+  result.requests_per_sec =
+      result.wall_s > 0.0
+          ? static_cast<double>(result.completed) / result.wall_s
+          : 0.0;
+  if (stats.failed != 0) result.failed += stats.failed;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const Dataset dataset = MakeUniv1ScaleDataset();
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+
+  // Phase 1: retrain throughput at two fleet sizes.
+  std::vector<RetrainResult> retrain;
+  const int ticks = smoke ? 2 : 6;
+  for (std::size_t policies : {4u, 8u}) {
+    retrain.push_back(
+        RunRetrainPhase(dataset, instance, policies, ticks, smoke));
+    std::printf("fleet retrain: %zu policies, %d ticks -> %.1f retrains/s "
+                "(%llu publishes, %llu gate failures)\n",
+                policies, ticks, retrain.back().retrains_per_sec,
+                static_cast<unsigned long long>(retrain.back().publishes),
+                static_cast<unsigned long long>(retrain.back().gate_failures));
+  }
+
+  // Shared policies for the routing and cycle phases.
+  const rlplanner::core::PlannerConfig config = BenchConfig(dataset, 17, smoke);
+  std::vector<rlplanner::mdp::QTable> policies;
+  for (std::uint64_t seed : {17ull, 18ull, 19ull, 20ull}) {
+    rlplanner::core::RlPlanner planner(instance,
+                                       BenchConfig(dataset, seed, smoke));
+    if (!planner.Train().ok()) {
+      std::fprintf(stderr, "training failed\n");
+      return 1;
+    }
+    policies.push_back(planner.q_table());
+  }
+
+  // Phase 2: Route() overhead with and without a staged canary.
+  const std::uint64_t fingerprint =
+      rlplanner::serve::CatalogFingerprint(dataset.catalog);
+  const std::uint64_t routing_ops = smoke ? 200000 : 2000000;
+  std::vector<RoutingResult> routing;
+  {
+    rlplanner::serve::PolicyRegistry registry(fingerprint,
+                                              dataset.catalog.size());
+    if (!registry.Install("default", policies[0], config.sarsa).ok()) return 1;
+    routing.push_back(
+        RunRoutingPhase("incumbent_only", registry, routing_ops));
+    if (!registry.InstallCanary("default", policies[1], 200, config.sarsa)
+             .ok()) {
+      return 1;
+    }
+    routing.push_back(RunRoutingPhase("canary_split", registry, routing_ops));
+  }
+  for (const RoutingResult& r : routing) {
+    std::printf("route %s: %.1f ns/op over %llu ops\n", r.name, r.ns_per_op,
+                static_cast<unsigned long long>(r.ops));
+  }
+
+  // Phase 3: full canary lifecycle under concurrent load.
+  const CycleResult cycle =
+      RunCyclePhase(instance, dataset, config, policies, /*clients=*/4,
+                    /*cycles=*/smoke ? 4 : 12,
+                    /*requests_per_client=*/smoke ? 50 : 300);
+  std::printf("cycle: %llu completed, %llu failed, %llu dropped, %llu stale "
+              "post-rollback (%d promotes / %d rollbacks) at %.0f req/s\n",
+              static_cast<unsigned long long>(cycle.completed),
+              static_cast<unsigned long long>(cycle.failed),
+              static_cast<unsigned long long>(cycle.dropped),
+              static_cast<unsigned long long>(cycle.stale_after_rollback),
+              cycle.promotes, cycle.rollbacks, cycle.requests_per_sec);
+  if (cycle.failed != 0 || cycle.dropped != 0 ||
+      cycle.stale_after_rollback != 0) {
+    std::fprintf(stderr,
+                 "cycle phase violated the zero-loss/zero-stale contract\n");
+    return 1;
+  }
+
+  std::FILE* f = std::fopen("BENCH_fleet.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_fleet.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"catalog_items\": %zu,\n", dataset.catalog.size());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"simd\": \"%s\",\n",
+               rlplanner::util::simd::ActiveLevelName());
+  std::fprintf(f, "  \"retrain\": [\n");
+  for (std::size_t i = 0; i < retrain.size(); ++i) {
+    const RetrainResult& r = retrain[i];
+    std::fprintf(f,
+                 "    {\"policies\": %zu, \"ticks\": %d, \"retrains\": %llu, "
+                 "\"publishes\": %llu, \"gate_failures\": %llu, "
+                 "\"wall_s\": %.4f, \"retrains_per_sec\": %.2f}%s\n",
+                 r.policies, r.ticks,
+                 static_cast<unsigned long long>(r.retrains),
+                 static_cast<unsigned long long>(r.publishes),
+                 static_cast<unsigned long long>(r.gate_failures), r.wall_s,
+                 r.retrains_per_sec, i + 1 == retrain.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"routing\": [\n");
+  for (std::size_t i = 0; i < routing.size(); ++i) {
+    const RoutingResult& r = routing[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ops\": %llu, \"wall_s\": %.4f, "
+                 "\"ns_per_op\": %.2f}%s\n",
+                 r.name, static_cast<unsigned long long>(r.ops), r.wall_s,
+                 r.ns_per_op, i + 1 == routing.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"cycle\": [\n");
+  std::fprintf(f,
+               "    {\"clients\": %zu, \"cycles\": %d, \"completed\": %llu, "
+               "\"failed\": %llu, \"rejected\": %llu, \"dropped\": %llu, "
+               "\"stale_after_rollback\": %llu, \"promotes\": %d, "
+               "\"rollbacks\": %d, \"wall_s\": %.4f, "
+               "\"requests_per_sec\": %.1f}\n",
+               cycle.clients, cycle.cycles,
+               static_cast<unsigned long long>(cycle.completed),
+               static_cast<unsigned long long>(cycle.failed),
+               static_cast<unsigned long long>(cycle.rejected),
+               static_cast<unsigned long long>(cycle.dropped),
+               static_cast<unsigned long long>(cycle.stale_after_rollback),
+               cycle.promotes, cycle.rollbacks, cycle.wall_s,
+               cycle.requests_per_sec);
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_fleet.json\n");
+  return 0;
+}

@@ -69,6 +69,18 @@ int FeedbackModel::ObservationCount(model::ItemId item) const {
   return observations_[item];
 }
 
+util::Status FeedbackModel::Apply(const FeedbackEvent& event) {
+  switch (event.kind) {
+    case FeedbackKind::kBinary:
+      return AddBinary(event.item, event.value != 0.0);
+    case FeedbackKind::kRating:
+      return AddRating(event.item, event.value);
+    case FeedbackKind::kDistribution:
+      return AddDistribution(event.item, event.distribution);
+  }
+  return util::Status::InvalidArgument("unknown feedback kind");
+}
+
 util::Status FeedbackModel::Reset(model::ItemId item) {
   if (item < 0 || static_cast<std::size_t>(item) >= affinity_.size()) {
     return util::Status::OutOfRange("unknown item");
@@ -76,6 +88,27 @@ util::Status FeedbackModel::Reset(model::ItemId item) {
   affinity_[item] = 0.5;
   observations_[item] = 0;
   return util::Status::Ok();
+}
+
+mdp::QTable FoldFeedback(const mdp::QTable& q, const FeedbackModel& feedback,
+                         double strength) {
+  mdp::QTable shaped = q;
+  // Same shift as AdaptivePlanner::Recommend: scale with the table's own
+  // magnitude so strong feedback can out-rank any learned tie-break, while
+  // neutral feedback (affinity 0.5) is a bit-exact no-op.
+  const double scale = strength * (shaped.MaxAbsValue() + 1.0);
+  const std::size_t n = shaped.num_items();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < n; ++a) {
+      const auto action = static_cast<model::ItemId>(a);
+      const double shift = scale * (feedback.Affinity(action) - 0.5);
+      if (shift != 0.0) {
+        shaped.Set(static_cast<model::ItemId>(s), action,
+                   shaped.Get(static_cast<model::ItemId>(s), action) + shift);
+      }
+    }
+  }
+  return shaped;
 }
 
 }  // namespace rlplanner::adaptive

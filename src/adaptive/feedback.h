@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "mdp/q_table.h"
 #include "model/prereq.h"
 #include "util/status.h"
 
@@ -16,6 +17,19 @@ enum class FeedbackKind {
   kBinary = 0,
   kRating = 1,
   kDistribution = 2,
+};
+
+/// One feedback observation as a value type, so feedback can be queued,
+/// shipped across threads, and replayed deterministically (the fleet
+/// orchestrator batches these per tick and folds them into retraining).
+/// `value` carries the binary signal (0/1) or the 1..5 rating;
+/// `distribution` carries the 5-entry rating distribution for
+/// kDistribution and is ignored otherwise.
+struct FeedbackEvent {
+  model::ItemId item = 0;
+  FeedbackKind kind = FeedbackKind::kBinary;
+  double value = 0.0;
+  std::vector<double> distribution;
 };
 
 /// Accumulates end-user feedback about items and exposes a per-item
@@ -47,6 +61,9 @@ class FeedbackModel {
   /// Number of feedback events recorded for `item`.
   int ObservationCount(model::ItemId item) const;
 
+  /// Replays one queued event through the matching Add* channel.
+  util::Status Apply(const FeedbackEvent& event);
+
   /// Forget everything about `item` (affinity back to 0.5).
   util::Status Reset(model::ItemId item);
 
@@ -57,6 +74,18 @@ class FeedbackModel {
   std::vector<double> affinity_;
   std::vector<int> observations_;
 };
+
+/// Shapes a learned Q-table by the accumulated affinities: every action
+/// column is shifted by `strength * (MaxAbsValue(q) + 1) * (affinity - 0.5)`,
+/// exactly the AdaptivePlanner recommendation-time shift, but applied to a
+/// table that is about to be *retrained* rather than rolled out. Neutral
+/// feedback (affinity 0.5 everywhere) returns the table unchanged, so
+/// folding an empty batch is a bit-exact no-op. The shaped table is a warm
+/// start only — SARSA's policy-iteration safety loop still gates the final
+/// policy on the hard constraints, so feedback biases learning but can
+/// never override Section II's P_hard.
+mdp::QTable FoldFeedback(const mdp::QTable& q, const FeedbackModel& feedback,
+                         double strength);
 
 }  // namespace rlplanner::adaptive
 

@@ -1,0 +1,126 @@
+#include "fleet/gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "core/scoring.h"
+#include "core/validation.h"
+#include "model/item.h"
+#include "rl/recommender.h"
+#include "util/rng.h"
+
+namespace rlplanner::fleet {
+namespace {
+
+/// Mean probe score and hard-violation count of one policy table.
+struct ProbeOutcome {
+  std::size_t violations = 0;
+  double mean_score = 0.0;
+};
+
+template <typename QModel>
+ProbeOutcome RunProbes(const model::TaskInstance& instance,
+                       const mdp::RewardFunction& reward, const QModel& q,
+                       const rl::SarsaConfig& provenance,
+                       const ProbeSet& probe_set) {
+  ProbeOutcome outcome;
+  if (probe_set.probes.empty()) return outcome;
+  double total = 0.0;
+  for (const Probe& probe : probe_set.probes) {
+    rl::RecommendConfig config;
+    // A policy trained with a pinned start item only supports that entry
+    // point (Algorithm 1's fixed s_1) — probing it from arbitrary starts
+    // would gate it on rollouts it was never trained to serve. Random-start
+    // policies are probed across the held-out start sample.
+    config.start_item = provenance.start_item >= 0 ? provenance.start_item
+                                                   : probe.start_item;
+    config.gamma = provenance.gamma;
+    config.mask_type_overflow = provenance.mask_type_overflow;
+    const model::Plan plan = rl::RecommendPlan(q, instance, reward, config);
+    if (!core::ValidatePlan(instance, plan).valid) ++outcome.violations;
+    total += core::ScorePlan(instance, plan);
+  }
+  outcome.mean_score = total / static_cast<double>(probe_set.probes.size());
+  return outcome;
+}
+
+}  // namespace
+
+ProbeSet ProbeSet::Deterministic(const model::TaskInstance& instance,
+                                 std::size_t count, std::uint64_t seed) {
+  std::vector<model::ItemId> starts;
+  const model::Catalog& catalog = *instance.catalog;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto id = static_cast<model::ItemId>(i);
+    if (catalog.item(id).type == model::ItemType::kPrimary) {
+      starts.push_back(id);
+    }
+  }
+  if (starts.empty()) {
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      starts.push_back(static_cast<model::ItemId>(i));
+    }
+  }
+  util::Rng rng(seed);
+  rng.Shuffle(starts);
+  ProbeSet set;
+  set.probes.reserve(count);
+  for (std::size_t i = 0; i < count && !starts.empty(); ++i) {
+    set.probes.push_back(Probe{starts[i % starts.size()]});
+  }
+  return set;
+}
+
+GateReport EvaluateGate(const model::TaskInstance& instance,
+                        const mdp::RewardFunction& reward,
+                        const mdp::QTable& candidate,
+                        const rl::SarsaConfig& candidate_provenance,
+                        const serve::ServablePolicy* incumbent,
+                        const ProbeSet& probe_set, const GateConfig& config) {
+  GateReport report;
+  report.probes = probe_set.probes.size();
+  if (probe_set.probes.empty()) {
+    report.reason = "empty probe set: nothing to gate on";
+    return report;
+  }
+
+  const ProbeOutcome cand = RunProbes(instance, reward, candidate,
+                                      candidate_provenance, probe_set);
+  report.violations = cand.violations;
+  report.candidate_mean_score = cand.mean_score;
+  if (cand.violations > 0) {
+    std::ostringstream msg;
+    msg << "hard-constraint violations on " << cand.violations << "/"
+        << report.probes << " probes (required: 0)";
+    report.reason = msg.str();
+    return report;
+  }
+
+  if (incumbent != nullptr) {
+    // The incumbent rolls out with its own provenance: the comparison is
+    // policy vs policy, each under the rollout parameters it was trained
+    // (and is served) with.
+    const ProbeOutcome inc = incumbent->VisitQ([&](const auto& q) {
+      return RunProbes(instance, reward, q, incumbent->provenance, probe_set);
+    });
+    report.incumbent_mean_score = inc.mean_score;
+    const double allowed_drop =
+        config.reward_band * std::max(std::abs(inc.mean_score), 1.0);
+    if (cand.mean_score < inc.mean_score - allowed_drop) {
+      std::ostringstream msg;
+      msg << "mean probe score " << cand.mean_score
+          << " regresses past the allowed band (incumbent " << inc.mean_score
+          << ", band " << config.reward_band << ")";
+      report.reason = msg.str();
+      return report;
+    }
+  }
+
+  report.passed = true;
+  report.reason = "ok";
+  return report;
+}
+
+}  // namespace rlplanner::fleet

@@ -1,0 +1,81 @@
+#ifndef RLPLANNER_FLEET_GATE_H_
+#define RLPLANNER_FLEET_GATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdp/q_table.h"
+#include "mdp/reward.h"
+#include "model/constraints.h"
+#include "rl/sarsa_config.h"
+#include "serve/policy_registry.h"
+
+namespace rlplanner::fleet {
+
+/// One gate probe: a recommendation rollout from a fixed start item. The
+/// probe set plays the role of a held-out request sample — every candidate
+/// is rolled out from the same starts, so gate verdicts compare policies,
+/// not probe luck.
+struct Probe {
+  model::ItemId start_item = 0;
+};
+
+/// A deterministic held-out probe set over a task instance.
+struct ProbeSet {
+  std::vector<Probe> probes;
+
+  /// `count` probes drawn from the instance's primary items (every valid
+  /// training start) by seeded shuffle, cycling when `count` exceeds the
+  /// primary population. Same (instance, count, seed) -> same probes, so
+  /// gate verdicts are reproducible across orchestrator restarts.
+  static ProbeSet Deterministic(const model::TaskInstance& instance,
+                                std::size_t count, std::uint64_t seed);
+};
+
+/// Gate thresholds. The hard-constraint criterion is not configurable by
+/// design: the paper's P_hard is inviolable, so the acceptable violation
+/// rate on the probe set is exactly zero.
+struct GateConfig {
+  /// Maximum tolerated mean-score regression relative to the incumbent,
+  /// as a fraction of max(|incumbent mean|, 1): the candidate passes when
+  /// `candidate_mean >= incumbent_mean - reward_band * max(|incumbent_mean|, 1)`.
+  /// 0 demands the candidate match or beat the incumbent; with no incumbent
+  /// the reward criterion is vacuously satisfied.
+  double reward_band = 0.1;
+};
+
+/// The gate's verdict plus the evidence behind it.
+struct GateReport {
+  bool passed = false;
+  /// Human-readable verdict: "ok", or which criterion failed and by how
+  /// much.
+  std::string reason;
+  std::size_t probes = 0;
+  /// Probes whose candidate rollout violated a hard constraint. Any
+  /// non-zero count fails the gate.
+  std::size_t violations = 0;
+  double candidate_mean_score = 0.0;
+  double incumbent_mean_score = 0.0;
+};
+
+/// Rolls the candidate table out from every probe and gates publication on
+/// (1) a hard-constraint violation rate of exactly zero across the probe
+/// set and (2) a mean plan score within `config.reward_band` of the
+/// incumbent's on the same probes. `incumbent` may be null (first
+/// publication of a slot): the reward criterion then passes trivially, the
+/// violation criterion still applies. A policy whose provenance pins a
+/// start item (start_item >= 0) is rolled out from that entry point on
+/// every probe — it only ever serves that start; random-start policies are
+/// rolled out across the held-out start sample. Pure function of its
+/// inputs — same candidate, incumbent and probes give the same verdict.
+GateReport EvaluateGate(const model::TaskInstance& instance,
+                        const mdp::RewardFunction& reward,
+                        const mdp::QTable& candidate,
+                        const rl::SarsaConfig& candidate_provenance,
+                        const serve::ServablePolicy* incumbent,
+                        const ProbeSet& probe_set, const GateConfig& config);
+
+}  // namespace rlplanner::fleet
+
+#endif  // RLPLANNER_FLEET_GATE_H_

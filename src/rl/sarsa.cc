@@ -1,8 +1,10 @@
 #include "rl/sarsa.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <optional>
+#include <utility>
 
 #include "mdp/cmdp.h"
 #include "obs/span.h"
@@ -24,8 +26,13 @@ SarsaLearnerT<QModel>::SarsaLearnerT(const model::TaskInstance& instance,
 
 template <typename QModel>
 QModel SarsaLearnerT<QModel>::Learn() {
-  const std::size_t n = instance_->catalog->size();
-  QModel q(n);
+  return LearnFrom(QModel(instance_->catalog->size()));
+}
+
+template <typename QModel>
+QModel SarsaLearnerT<QModel>::LearnFrom(QModel warm_start) {
+  assert(warm_start.num_items() == instance_->catalog->size());
+  QModel q = std::move(warm_start);
   runner_.mutable_episode_returns().clear();
   runner_.mutable_episode_returns().reserve(
       static_cast<std::size_t>(config_.num_episodes));

@@ -56,6 +56,17 @@ class SarsaLearnerT {
   /// Runs `config.num_episodes` episodes and returns the learned Q-table.
   QModel Learn();
 
+  /// Incremental-retrain entry point: like Learn(), but the episode loop
+  /// starts from `warm_start` instead of a zero table — the fleet
+  /// orchestrator's continual-update path (warm starts from the incumbent
+  /// policy, from a topic-space transfer, or from a feedback-shaped copy of
+  /// either). `warm_start.num_items()` must match the task instance's
+  /// catalog. Learn() is exactly LearnFrom(zero table), so a warm start of
+  /// zeros reproduces a cold run bit for bit; the policy-iteration safety
+  /// loop (rollout check, decay-and-retry restarts) applies to the warm
+  /// table the same way it applies to a cold one.
+  QModel LearnFrom(QModel warm_start);
+
   /// Total Eq. 2 return of each episode, in order (length = episodes run).
   /// Useful for convergence diagnostics and tests.
   const std::vector<double>& episode_returns() const {

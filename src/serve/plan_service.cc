@@ -252,8 +252,15 @@ void PlanService::WorkerLoop() {
 
 util::Result<PlanResponse> PlanService::Execute(
     const PlanRequest& request) const {
+  // Canary routing happens at policy resolution: one lock-free registry read
+  // picks the incumbent or the staged canary for this request's key, and the
+  // whole request then executes against that one immutable policy.
+  const std::uint64_t route_key =
+      request.route_key != 0
+          ? request.route_key
+          : next_route_key_.fetch_add(1, std::memory_order_relaxed);
   const std::shared_ptr<const ServablePolicy> policy =
-      registry_->Current(request.policy_name);
+      registry_->Route(request.policy_name, route_key);
   if (policy == nullptr) {
     return util::Status::NotFound("no policy installed under '" +
                                   request.policy_name + "'");

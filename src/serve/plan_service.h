@@ -49,6 +49,12 @@ struct PlanRequest {
   /// allocate one; the network front end allocates up front (via
   /// AllocateTraceId) so its serve_parse span shares the same id.
   std::uint64_t trace_id = 0;
+  /// Stable canary-routing key (e.g. a user id): the registry hashes it to
+  /// pick the canary or the incumbent for the request's slot, so requests
+  /// carrying the same key always land on the same side of a split (sticky
+  /// assignment). 0 lets the service assign a fresh per-request key, which
+  /// samples the canary at its configured fraction.
+  std::uint64_t route_key = 0;
 };
 
 /// A served plan plus everything needed to audit it: the scores, the hard
@@ -153,8 +159,9 @@ class PlanService {
   }
 
   /// Synchronously executes `request` on the calling thread against the
-  /// registry's current policy — the single-request path (also what the
-  /// workers run). Does not touch the queue or admission control.
+  /// policy the registry routes it to (the incumbent, or a staged canary at
+  /// its configured traffic fraction) — the single-request path (also what
+  /// the workers run). Does not touch the queue or admission control.
   util::Result<PlanResponse> Execute(const PlanRequest& request) const;
 
   const ServeStats& stats() const { return stats_; }
@@ -196,6 +203,8 @@ class PlanService {
   ServeStats stats_;
   obs::TraceCollector* trace_;  // null when absent or disabled
   std::atomic<std::uint64_t> next_trace_id_{1};
+  /// Per-request canary routing keys for requests that do not carry one.
+  mutable std::atomic<std::uint64_t> next_route_key_{1};
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;

@@ -1,5 +1,6 @@
 #include "serve/policy_registry.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -29,16 +30,81 @@ util::Status DimensionMismatch(std::size_t policy_items,
 
 PolicyRegistry::PolicyRegistry(std::uint64_t catalog_fingerprint,
                                std::size_t num_items)
-    : catalog_fingerprint_(catalog_fingerprint), num_items_(num_items) {}
+    : catalog_fingerprint_(catalog_fingerprint), num_items_(num_items) {
+  map_.store(std::make_shared<const SlotMap>(), std::memory_order_release);
+}
+
+std::shared_ptr<const PolicyRegistry::SlotState> PolicyRegistry::LoadSlot(
+    const std::string& name) const {
+  const std::shared_ptr<const SlotMap> map =
+      map_.load(std::memory_order_acquire);
+  if (map == nullptr) return nullptr;
+  const auto it = map->find(name);
+  if (it == map->end()) return nullptr;
+  return it->second->state.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<PolicyRegistry::Slot> PolicyRegistry::SlotForWrite(
+    const std::string& name, bool create) {
+  const std::shared_ptr<const SlotMap> map =
+      map_.load(std::memory_order_acquire);
+  const auto it = map->find(name);
+  if (it != map->end()) return it->second;
+  if (!create) return nullptr;
+  // Slot creation is the rare path: copy the pointer map (cheap — slots are
+  // shared, not duplicated) and swap the new map in for future readers.
+  auto next = std::make_shared<SlotMap>(*map);
+  auto slot = std::make_shared<Slot>();
+  slot->state.store(std::make_shared<const SlotState>(),
+                    std::memory_order_release);
+  (*next)[name] = slot;
+  map_.store(std::shared_ptr<const SlotMap>(std::move(next)),
+             std::memory_order_release);
+  return slot;
+}
 
 std::uint64_t PolicyRegistry::Publish(const std::string& name,
                                       std::shared_ptr<ServablePolicy> policy) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t version = next_version_++;
   policy->version = version;
-  // The swap: readers that already copied the old shared_ptr keep serving
-  // from it; the next Current() call observes the new policy.
-  slots_[name] = std::move(policy);
+  const std::shared_ptr<Slot> slot = SlotForWrite(name, /*create=*/true);
+  const std::shared_ptr<const SlotState> old =
+      slot->state.load(std::memory_order_acquire);
+  // The swap: readers that already resolved the old state keep serving from
+  // it; the next resolution observes the new incumbent. A direct install
+  // supersedes any staged canary.
+  auto next = std::make_shared<SlotState>();
+  next->incumbent = std::move(policy);
+  next->previous = old->incumbent;
+  slot->state.store(std::shared_ptr<const SlotState>(std::move(next)),
+                    std::memory_order_release);
+  ++install_count_;
+  return version;
+}
+
+util::Result<std::uint64_t> PolicyRegistry::PublishCanary(
+    const std::string& name, std::shared_ptr<ServablePolicy> policy,
+    std::uint32_t canary_permille) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_ptr<Slot> slot = SlotForWrite(name, /*create=*/false);
+  const std::shared_ptr<const SlotState> old =
+      slot == nullptr ? nullptr : slot->state.load(std::memory_order_acquire);
+  if (old == nullptr || old->incumbent == nullptr) {
+    return util::Status::FailedPrecondition(
+        "no incumbent policy under '" + name +
+        "' to canary against; the first publication of a slot must be a "
+        "direct install");
+  }
+  const std::uint64_t version = next_version_++;
+  policy->version = version;
+  auto next = std::make_shared<SlotState>();
+  next->incumbent = old->incumbent;
+  next->previous = old->previous;
+  next->canary = std::move(policy);
+  next->canary_permille = std::min<std::uint32_t>(canary_permille, 1000);
+  slot->state.store(std::shared_ptr<const SlotState>(std::move(next)),
+                    std::memory_order_release);
   ++install_count_;
   return version;
 }
@@ -134,18 +200,128 @@ util::Result<std::uint64_t> PolicyRegistry::InstallSnapshotFile(
   return InstallSnapshot(name, snapshot.value());
 }
 
+util::Result<std::uint64_t> PolicyRegistry::InstallCanary(
+    const std::string& name, mdp::QTable q, std::uint32_t canary_permille,
+    rl::SarsaConfig provenance, std::uint64_t seed) {
+  if (q.num_items() != num_items_) {
+    return DimensionMismatch(q.num_items(), num_items_);
+  }
+  auto policy = std::make_shared<ServablePolicy>();
+  policy->dense = std::move(q);
+  policy->catalog_fingerprint = catalog_fingerprint_;
+  policy->provenance = provenance;
+  policy->seed = seed;
+  return PublishCanary(name, std::move(policy), canary_permille);
+}
+
+util::Result<std::uint64_t> PolicyRegistry::InstallCanarySnapshot(
+    const std::string& name, const PolicySnapshot& snapshot,
+    std::uint32_t canary_permille) {
+  if (snapshot.catalog_fingerprint != catalog_fingerprint_) {
+    return FingerprintMismatch(snapshot.catalog_fingerprint,
+                               catalog_fingerprint_);
+  }
+  return InstallCanary(name, snapshot.table, canary_permille,
+                       snapshot.provenance, snapshot.seed);
+}
+
+util::Status PolicyRegistry::PromoteCanary(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_ptr<Slot> slot = SlotForWrite(name, /*create=*/false);
+  const std::shared_ptr<const SlotState> old =
+      slot == nullptr ? nullptr : slot->state.load(std::memory_order_acquire);
+  if (old == nullptr || old->canary == nullptr) {
+    return util::Status::FailedPrecondition("no canary staged under '" + name +
+                                            "' to promote");
+  }
+  auto next = std::make_shared<SlotState>();
+  next->incumbent = old->canary;  // keeps its install-time version
+  next->previous = old->incumbent;
+  slot->state.store(std::shared_ptr<const SlotState>(std::move(next)),
+                    std::memory_order_release);
+  return util::Status::Ok();
+}
+
+util::Status PolicyRegistry::Rollback(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_ptr<Slot> slot = SlotForWrite(name, /*create=*/false);
+  const std::shared_ptr<const SlotState> old =
+      slot == nullptr ? nullptr : slot->state.load(std::memory_order_acquire);
+  if (old == nullptr) {
+    return util::Status::NotFound("no policy installed under '" + name + "'");
+  }
+  auto next = std::make_shared<SlotState>();
+  if (old->canary != nullptr) {
+    // The incumbent was never replaced: dropping the canary is the rollback.
+    next->incumbent = old->incumbent;
+    next->previous = old->previous;
+  } else if (old->previous != nullptr) {
+    // Restore the exact prior policy object, original version included.
+    next->incumbent = old->previous;
+  } else {
+    return util::Status::FailedPrecondition(
+        "nothing to roll back under '" + name +
+        "': no canary staged and no previous version retained");
+  }
+  slot->state.store(std::shared_ptr<const SlotState>(std::move(next)),
+                    std::memory_order_release);
+  return util::Status::Ok();
+}
+
 std::shared_ptr<const ServablePolicy> PolicyRegistry::Current(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = slots_.find(name);
-  return it == slots_.end() ? nullptr : it->second;
+  const std::shared_ptr<const SlotState> state = LoadSlot(name);
+  return state == nullptr ? nullptr : state->incumbent;
+}
+
+std::shared_ptr<const ServablePolicy> PolicyRegistry::Canary(
+    const std::string& name) const {
+  const std::shared_ptr<const SlotState> state = LoadSlot(name);
+  return state == nullptr ? nullptr : state->canary;
+}
+
+std::shared_ptr<const ServablePolicy> PolicyRegistry::Route(
+    const std::string& name, std::uint64_t route_key) const {
+  const std::shared_ptr<const SlotState> state = LoadSlot(name);
+  if (state == nullptr) return nullptr;
+  if (state->canary != nullptr &&
+      RouteBucket(route_key) < state->canary_permille) {
+    return state->canary;
+  }
+  return state->incumbent;
+}
+
+std::uint32_t PolicyRegistry::RouteBucket(std::uint64_t route_key) {
+  // SplitMix64 finalizer: sequential keys (per-request counters) land in
+  // uniformly spread buckets, and a given key's bucket never changes.
+  std::uint64_t z = route_key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % 1000);
+}
+
+std::optional<SlotInfo> PolicyRegistry::Info(const std::string& name) const {
+  const std::shared_ptr<const SlotState> state = LoadSlot(name);
+  if (state == nullptr) return std::nullopt;
+  SlotInfo info;
+  if (state->incumbent != nullptr) {
+    info.incumbent_version = state->incumbent->version;
+  }
+  if (state->canary != nullptr) info.canary_version = state->canary->version;
+  if (state->previous != nullptr) {
+    info.previous_version = state->previous->version;
+  }
+  info.canary_permille = state->canary_permille;
+  return info;
 }
 
 std::vector<std::string> PolicyRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_ptr<const SlotMap> map =
+      map_.load(std::memory_order_acquire);
   std::vector<std::string> names;
-  names.reserve(slots_.size());
-  for (const auto& [name, policy] : slots_) names.push_back(name);
+  names.reserve(map->size());
+  for (const auto& [name, slot] : *map) names.push_back(name);
   return names;
 }
 

@@ -1,6 +1,7 @@
 #ifndef RLPLANNER_SERVE_POLICY_REGISTRY_H_
 #define RLPLANNER_SERVE_POLICY_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -73,13 +74,39 @@ enum class SnapshotLoadMode {
   kMmap = 1,
 };
 
-/// Named, hot-swappable policy slots with RCU-style publication: `Current`
-/// hands out a `shared_ptr<const ServablePolicy>`; `Install` atomically
-/// replaces the slot's pointer. In-flight requests keep the old policy alive
-/// through their reference count and finish on it, while every request
-/// admitted after the swap observes the new policy — no downtime, no torn
-/// reads. The brief mutex protects only the pointer map, never policy
-/// execution.
+/// Point-in-time view of one slot's publication state (fleet status, tests).
+struct SlotInfo {
+  std::uint64_t incumbent_version = 0;
+  std::uint64_t canary_version = 0;   // 0 = no canary staged
+  std::uint64_t previous_version = 0; // 0 = nothing to roll back to
+  std::uint32_t canary_permille = 0;
+};
+
+/// Named, hot-swappable policy slots with RCU-style publication and canary
+/// routing. Each slot holds an immutable state record
+/// {incumbent, canary, previous, canary fraction}; readers resolve a policy
+/// with two atomic shared_ptr loads (slot map, then slot state) and NEVER
+/// take a lock — the serve hot path stays lock-free while the fleet
+/// orchestrator republishes underneath it. In-flight requests keep whatever
+/// policy they resolved alive through its reference count and finish on it;
+/// every request admitted after a swap observes the new state — no
+/// downtime, no torn reads. The writer mutex serializes installs only.
+///
+/// Publication pipeline on top of the plain hot swap:
+///   Install*            — direct publish: the policy becomes the incumbent,
+///                         the old incumbent is retained as `previous`, any
+///                         staged canary is superseded (dropped).
+///   InstallCanary*      — stages a candidate next to the incumbent; Route()
+///                         serves it to `canary_permille`/1000 of the route
+///                         keys while Current() keeps returning the
+///                         incumbent.
+///   PromoteCanary       — the canary becomes the incumbent (keeping the
+///                         version it was installed with); the old incumbent
+///                         is retained as `previous`.
+///   Rollback            — one call undoes the most recent publication step:
+///                         a staged canary is dropped, otherwise the exact
+///                         `previous` policy object (original version number
+///                         included) becomes the incumbent again.
 ///
 /// Every install is validated against the registry's catalog fingerprint, so
 /// a policy trained on a different (or drifted) catalog can never be
@@ -131,31 +158,114 @@ class PolicyRegistry {
                                                   const std::string& path,
                                                   SnapshotLoadMode mode);
 
-  /// The current policy of `name`, or nullptr when the slot does not exist.
-  /// The returned pointer stays valid (and immutable) for as long as the
-  /// caller holds it, regardless of later swaps.
+  /// Stages `q` as the canary of `name`, serving `canary_permille`/1000 of
+  /// route keys (clamped to [0, 1000]). Returns the canary's assigned
+  /// version. FailedPrecondition when the slot has no incumbent — the first
+  /// publication of a slot must be a direct Install, there is nothing to
+  /// split traffic against. InvalidArgument on a dimension mismatch.
+  util::Result<std::uint64_t> InstallCanary(const std::string& name,
+                                            mdp::QTable q,
+                                            std::uint32_t canary_permille,
+                                            rl::SarsaConfig provenance,
+                                            std::uint64_t seed = 0);
+
+  /// Snapshot flavor of InstallCanary: re-validates the snapshot's catalog
+  /// fingerprint (FailedPrecondition on mismatch), then stages its table.
+  util::Result<std::uint64_t> InstallCanarySnapshot(
+      const std::string& name, const PolicySnapshot& snapshot,
+      std::uint32_t canary_permille);
+
+  /// The staged canary becomes the incumbent, keeping the version it was
+  /// installed with; the old incumbent is retained as `previous` for
+  /// Rollback. FailedPrecondition when no canary is staged.
+  util::Status PromoteCanary(const std::string& name);
+
+  /// One-call rollback of the most recent publication step: drops a staged
+  /// canary if one exists (the incumbent was never replaced); otherwise
+  /// re-installs the exact `previous` policy object — same ServablePolicy,
+  /// same version number, not a re-publication — as the incumbent.
+  /// NotFound for an unknown slot, FailedPrecondition when there is neither
+  /// a canary nor a previous version.
+  util::Status Rollback(const std::string& name);
+
+  /// The current incumbent of `name`, or nullptr when the slot does not
+  /// exist. Lock-free. The returned pointer stays valid (and immutable) for
+  /// as long as the caller holds it, regardless of later swaps.
   std::shared_ptr<const ServablePolicy> Current(const std::string& name) const;
+
+  /// The staged canary of `name`, or nullptr when none. Lock-free.
+  std::shared_ptr<const ServablePolicy> Canary(const std::string& name) const;
+
+  /// Canary-aware policy resolution — the serve hot path. Returns the canary
+  /// when one is staged and `RouteBucket(route_key) < canary_permille`,
+  /// the incumbent otherwise (or nullptr for an unknown slot). Lock-free;
+  /// a given route key always lands on the same side of a given split, so
+  /// per-user keys give sticky canary assignment.
+  std::shared_ptr<const ServablePolicy> Route(const std::string& name,
+                                              std::uint64_t route_key) const;
+
+  /// `route_key`'s bucket in [0, 1000) — SplitMix64-mixed so sequential
+  /// keys spread uniformly. Exposed so tests and benches can steer requests
+  /// onto a chosen side of a split deterministically.
+  static std::uint32_t RouteBucket(std::uint64_t route_key);
+
+  /// Point-in-time versions/fraction of `name`; nullopt for an unknown slot.
+  std::optional<SlotInfo> Info(const std::string& name) const;
 
   /// Slot names, unordered.
   std::vector<std::string> Names() const;
 
-  /// Total successful installs (initial publications + hot swaps).
+  /// Total successful installs (initial publications, hot swaps, and canary
+  /// stages; promotions and rollbacks reuse existing policies and do not
+  /// count).
   std::uint64_t install_count() const;
 
   std::uint64_t catalog_fingerprint() const { return catalog_fingerprint_; }
   std::size_t num_items() const { return num_items_; }
 
  private:
-  /// Stamps a version on `policy` and atomically swaps it into
-  /// `slots_[name]` (the one place that takes the mutex for an install).
+  /// Immutable per-slot record; replaced wholesale on every transition so
+  /// readers see either the old or the new publication state, never a mix.
+  struct SlotState {
+    std::shared_ptr<const ServablePolicy> incumbent;
+    std::shared_ptr<const ServablePolicy> canary;
+    std::shared_ptr<const ServablePolicy> previous;
+    std::uint32_t canary_permille = 0;
+  };
+
+  /// Stable per-name holder; the atomic state pointer is what swaps.
+  struct Slot {
+    std::atomic<std::shared_ptr<const SlotState>> state;
+  };
+
+  using SlotMap = std::unordered_map<std::string, std::shared_ptr<Slot>>;
+
+  /// Two-atomic-load read path shared by Current/Canary/Route/Info.
+  std::shared_ptr<const SlotState> LoadSlot(const std::string& name) const;
+
+  /// Stamps a version on `policy` and swaps it in as `name`'s incumbent
+  /// (previous = old incumbent, staged canary dropped). Takes the writer
+  /// mutex.
   std::uint64_t Publish(const std::string& name,
                         std::shared_ptr<ServablePolicy> policy);
 
+  /// Canary counterpart of Publish: stamps a version and stages `policy`
+  /// next to the existing incumbent. Takes the writer mutex.
+  util::Result<std::uint64_t> PublishCanary(const std::string& name,
+                                            std::shared_ptr<ServablePolicy> policy,
+                                            std::uint32_t canary_permille);
+
+  /// Writer-side slot lookup (mutex must be held); creates the slot when
+  /// `create` is set by swapping in a copied map.
+  std::shared_ptr<Slot> SlotForWrite(const std::string& name, bool create);
+
   const std::uint64_t catalog_fingerprint_;
   const std::size_t num_items_;
+  /// Serializes writers only; readers go through map_/Slot::state.
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const ServablePolicy>>
-      slots_;
+  /// RCU-published slot map: copied and atomically swapped when a slot is
+  /// created (rare), shared otherwise. Readers load it once per resolution.
+  std::atomic<std::shared_ptr<const SlotMap>> map_;
   std::uint64_t next_version_ = 1;
   std::uint64_t install_count_ = 0;
 };

@@ -9,7 +9,14 @@
 #include "adaptive/adaptive_planner.h"
 #include "adaptive/feedback.h"
 #include "adaptive/interactive.h"
+#include "core/config.h"
+#include "core/planner.h"
+#include "core/validation.h"
 #include "datagen/course_data.h"
+#include "mdp/reward.h"
+#include "rl/recommender.h"
+#include "rl/sarsa.h"
+#include "util/rng.h"
 
 namespace rlplanner::adaptive {
 namespace {
@@ -315,6 +322,76 @@ TEST_F(AdaptiveFixture, DoneAfterHorizonAndAcceptFails) {
   EXPECT_FALSE(session.AcceptSuggestion().ok());
   EXPECT_FALSE(session.Pin(0).ok());
 }
+
+// ------------------------------------------------- FoldFeedback property --
+
+// Property: folding ANY feedback batch into a retrain preserves
+// hard-constraint satisfaction. FoldFeedback only shapes the warm start —
+// the SARSA safety loop and the theta-gated rollout still stand between the
+// shaped table and the served plan, so no batch of user opinions, however
+// adversarial, can push a published policy into violating P_hard (the
+// paper's inviolable constraint set).
+class FeedbackFoldPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeedbackFoldPropertyTest, FoldedRetrainPreservesHardConstraints) {
+  const int seed = GetParam();
+  const datagen::Dataset dataset = datagen::MakeUniv1DsCt();
+  const model::TaskInstance instance = dataset.Instance();
+  core::PlannerConfig config = core::DefaultUniv1Config();
+  config.sarsa.start_item = dataset.default_start;
+  config.seed = 1000;  // a seed whose base plan is valid
+  core::RlPlanner planner(instance, config);
+  ASSERT_TRUE(planner.Train().ok());
+
+  // A random batch mixing every feedback kind over random items.
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7919u + 1u);
+  FeedbackModel feedback(dataset.catalog.size(), /*smoothing=*/0.5);
+  for (int i = 0; i < 24; ++i) {
+    FeedbackEvent event;
+    event.item =
+        static_cast<model::ItemId>(rng.NextBounded(dataset.catalog.size()));
+    switch (rng.NextInt(0, 2)) {
+      case 0:
+        event.kind = FeedbackKind::kBinary;
+        event.value = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+        break;
+      case 1:
+        event.kind = FeedbackKind::kRating;
+        event.value = rng.NextDouble(1.0, 5.0);
+        break;
+      default:
+        event.kind = FeedbackKind::kDistribution;
+        event.distribution = {rng.NextDouble() + 0.01, rng.NextDouble(),
+                              rng.NextDouble(), rng.NextDouble(),
+                              rng.NextDouble()};
+        break;
+    }
+    ASSERT_TRUE(feedback.Apply(event).ok());
+  }
+
+  const mdp::QTable shaped =
+      FoldFeedback(planner.q_table(), feedback, /*strength=*/0.8);
+  const mdp::RewardFunction reward(instance, config.reward);
+  rl::SarsaLearnerT<mdp::QTable> learner(
+      instance, reward, config.sarsa,
+      config.seed + static_cast<std::uint64_t>(seed));
+  const mdp::QTable retrained = learner.LearnFrom(shaped);
+
+  rl::RecommendConfig recommend;
+  recommend.start_item = dataset.default_start;
+  recommend.gamma = config.sarsa.gamma;
+  recommend.mask_type_overflow = config.sarsa.mask_type_overflow;
+  const model::Plan plan =
+      rl::RecommendPlan(retrained, instance, reward, recommend);
+  const core::ValidationReport report = core::ValidatePlan(instance, plan);
+  EXPECT_TRUE(report.valid)
+      << "feedback batch seed " << seed
+      << " broke hard-constraint satisfaction: " << report.violations.size()
+      << " violated constraints";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeedbackFoldPropertyTest,
+                         ::testing::Range(1, 6));
 
 }  // namespace
 }  // namespace rlplanner::adaptive

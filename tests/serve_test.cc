@@ -204,6 +204,184 @@ TEST(PolicyRegistryTest, HotSwapPreservesOldPolicyForHolders) {
   EXPECT_EQ(registry.Current("missing"), nullptr);
 }
 
+// --- Canary pipeline ------------------------------------------------------
+
+// Two distinguishable single-entry tables for canary tests.
+struct CanaryFixture {
+  Dataset dataset = datagen::MakeTableIIToy();
+  PolicyRegistry registry{CatalogFingerprint(dataset.catalog),
+                          dataset.catalog.size()};
+  mdp::QTable a{dataset.catalog.size()};
+  mdp::QTable b{dataset.catalog.size()};
+  mdp::QTable c{dataset.catalog.size()};
+
+  CanaryFixture() {
+    a.Set(0, 1, 1.0);
+    b.Set(0, 2, 2.0);
+    c.Set(0, 3, 3.0);
+  }
+};
+
+TEST(PolicyRegistryCanaryTest, RouteSplitsTrafficByPermilleAndIsSticky) {
+  CanaryFixture fix;
+  ASSERT_TRUE(fix.registry.Install("default", fix.a, {}).ok());
+  auto staged = fix.registry.InstallCanary("default", fix.b, 250, {});
+  ASSERT_TRUE(staged.ok());
+  EXPECT_EQ(staged.value(), 2u);
+
+  // Current() keeps answering the incumbent while the canary is staged.
+  EXPECT_EQ(fix.registry.Current("default")->version, 1u);
+  ASSERT_NE(fix.registry.Canary("default"), nullptr);
+  EXPECT_EQ(fix.registry.Canary("default")->version, 2u);
+
+  // Route() agrees with RouteBucket key by key — sticky assignment by
+  // construction — and both sides of the split actually receive traffic.
+  std::uint64_t canary_hits = 0;
+  for (std::uint64_t key = 1; key <= 2000; ++key) {
+    const auto routed = fix.registry.Route("default", key);
+    ASSERT_NE(routed, nullptr);
+    const bool expect_canary = PolicyRegistry::RouteBucket(key) < 250;
+    EXPECT_EQ(routed->version, expect_canary ? 2u : 1u) << "key " << key;
+    canary_hits += expect_canary ? 1 : 0;
+    EXPECT_EQ(fix.registry.Route("default", key)->version, routed->version);
+  }
+  EXPECT_GT(canary_hits, 0u);
+  EXPECT_LT(canary_hits, 2000u);
+  // A 250/1000 split over SplitMix64-mixed buckets lands near a quarter.
+  EXPECT_NEAR(static_cast<double>(canary_hits) / 2000.0, 0.25, 0.05);
+}
+
+TEST(PolicyRegistryCanaryTest, PermilleExtremesRouteEverythingOneWay) {
+  CanaryFixture fix;
+  ASSERT_TRUE(fix.registry.Install("none", fix.a, {}).ok());
+  ASSERT_TRUE(fix.registry.Install("all", fix.a, {}).ok());
+  ASSERT_TRUE(fix.registry.InstallCanary("none", fix.b, 0, {}).ok());
+  ASSERT_TRUE(fix.registry.InstallCanary("all", fix.b, 1000, {}).ok());
+  const std::uint64_t none_incumbent = fix.registry.Current("none")->version;
+  const std::uint64_t all_canary = fix.registry.Canary("all")->version;
+  for (std::uint64_t key = 1; key <= 500; ++key) {
+    EXPECT_EQ(fix.registry.Route("none", key)->version, none_incumbent);
+    EXPECT_EQ(fix.registry.Route("all", key)->version, all_canary);
+  }
+}
+
+TEST(PolicyRegistryCanaryTest, RouteBucketIsDeterministicAndInRange) {
+  std::uint64_t low = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    const std::uint32_t bucket = PolicyRegistry::RouteBucket(key);
+    EXPECT_LT(bucket, 1000u);
+    EXPECT_EQ(bucket, PolicyRegistry::RouteBucket(key));
+    low += bucket < 500 ? 1 : 0;
+  }
+  // SplitMix64 mixing spreads sequential keys across the bucket space.
+  EXPECT_GT(low, 350u);
+  EXPECT_LT(low, 650u);
+}
+
+TEST(PolicyRegistryCanaryTest, CanaryRequiresAnIncumbent) {
+  CanaryFixture fix;
+  auto refused = fix.registry.InstallCanary("empty", fix.b, 200, {});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(fix.registry.Current("empty"), nullptr);
+  EXPECT_EQ(fix.registry.install_count(), 0u);
+}
+
+TEST(PolicyRegistryCanaryTest, CanarySnapshotValidatesFingerprint) {
+  CanaryFixture fix;
+  ASSERT_TRUE(fix.registry.Install("default", fix.a, {}).ok());
+  PolicySnapshot snapshot;
+  snapshot.catalog_fingerprint = fix.registry.catalog_fingerprint() ^ 1;
+  snapshot.table = fix.b;
+  auto refused = fix.registry.InstallCanarySnapshot("default", snapshot, 200);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(fix.registry.Canary("default"), nullptr);
+}
+
+TEST(PolicyRegistryCanaryTest, PromoteKeepsVersionAndRetainsPrevious) {
+  CanaryFixture fix;
+  ASSERT_TRUE(fix.registry.Install("default", fix.a, {}).ok());
+  auto staged = fix.registry.InstallCanary("default", fix.b, 200, {});
+  ASSERT_TRUE(staged.ok());
+  ASSERT_TRUE(fix.registry.PromoteCanary("default").ok());
+
+  // The canary became the incumbent under the version it was installed
+  // with; the old incumbent is retained for Rollback.
+  auto current = fix.registry.Current("default");
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->version, staged.value());
+  ASSERT_TRUE(current->dense.has_value());
+  EXPECT_TRUE(*current->dense == fix.b);
+  EXPECT_EQ(fix.registry.Canary("default"), nullptr);
+  auto info = fix.registry.Info("default");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->incumbent_version, 2u);
+  EXPECT_EQ(info->canary_version, 0u);
+  EXPECT_EQ(info->previous_version, 1u);
+  // Promotion reuses the staged policy: no new install.
+  EXPECT_EQ(fix.registry.install_count(), 2u);
+
+  // With no canary staged, promotion has nothing to act on.
+  const util::Status refused = fix.registry.PromoteCanary("default");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(PolicyRegistryCanaryTest, RollbackDropsStagedCanary) {
+  CanaryFixture fix;
+  ASSERT_TRUE(fix.registry.Install("default", fix.a, {}).ok());
+  ASSERT_TRUE(fix.registry.InstallCanary("default", fix.b, 200, {}).ok());
+  ASSERT_TRUE(fix.registry.Rollback("default").ok());
+  EXPECT_EQ(fix.registry.Canary("default"), nullptr);
+  EXPECT_EQ(fix.registry.Current("default")->version, 1u);
+  for (std::uint64_t key = 1; key <= 100; ++key) {
+    EXPECT_EQ(fix.registry.Route("default", key)->version, 1u);
+  }
+}
+
+TEST(PolicyRegistryCanaryTest, RollbackRestoresExactPreviousObject) {
+  CanaryFixture fix;
+  ASSERT_TRUE(fix.registry.Install("default", fix.a, {}).ok());
+  const auto original = fix.registry.Current("default");
+  ASSERT_TRUE(fix.registry.Install("default", fix.b, {}).ok());
+  ASSERT_TRUE(fix.registry.Rollback("default").ok());
+
+  // The same ServablePolicy object, original version number included — not
+  // a re-publication.
+  const auto restored = fix.registry.Current("default");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored.get(), original.get());
+  EXPECT_EQ(restored->version, 1u);
+  // The restore consumed the retained previous: a second rollback has
+  // nothing left to restore.
+  const util::Status refused = fix.registry.Rollback("default");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), util::StatusCode::kFailedPrecondition);
+  // Unknown slots are NotFound, not FailedPrecondition.
+  EXPECT_EQ(fix.registry.Rollback("missing").code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(PolicyRegistryCanaryTest, DirectInstallSupersedesStagedCanary) {
+  CanaryFixture fix;
+  ASSERT_TRUE(fix.registry.Install("default", fix.a, {}).ok());
+  ASSERT_TRUE(fix.registry.InstallCanary("default", fix.b, 200, {}).ok());
+  auto direct = fix.registry.Install("default", fix.c, {});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct.value(), 3u);
+
+  // The staged canary is gone; the old incumbent (not the canary) is the
+  // rollback target.
+  EXPECT_EQ(fix.registry.Canary("default"), nullptr);
+  EXPECT_EQ(fix.registry.Current("default")->version, 3u);
+  auto info = fix.registry.Info("default");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->previous_version, 1u);
+  ASSERT_TRUE(fix.registry.Rollback("default").ok());
+  EXPECT_EQ(fix.registry.Current("default")->version, 1u);
+}
+
 // --- PlanService ----------------------------------------------------------
 
 struct ServingFixture {

@@ -83,6 +83,17 @@ GATE_SPEC = {
              [("seconds", "lower")], "seconds"),
         ],
     },
+    "BENCH_fleet.json": {
+        "context": ["simd", "catalog_items", "hardware_threads", "smoke"],
+        "sections": [
+            ("retrain", lambda e: f"policies{e['policies']}",
+             [("retrains_per_sec", "higher")], "wall_s"),
+            ("routing", lambda e: e["name"],
+             [("ns_per_op", "lower")], None),
+            ("cycle", lambda e: f"clients{e['clients']}",
+             [("requests_per_sec", "higher")], "wall_s"),
+        ],
+    },
 }
 
 
@@ -241,6 +252,26 @@ def self_test():
                  "ops_per_sec": 100.0},
             ],
         },
+        "BENCH_fleet.json": {
+            "catalog_items": 114,
+            "hardware_threads": 1,
+            "smoke": False,
+            "simd": "avx2",
+            "retrain": [
+                {"policies": 4, "ticks": 6, "retrains": 24,
+                 "publishes": 24, "gate_failures": 0, "wall_s": 0.2,
+                 "retrains_per_sec": 150.0},
+            ],
+            "routing": [
+                {"name": "canary_split", "ops": 2000000, "wall_s": 0.16,
+                 "ns_per_op": 80.0},
+            ],
+            "cycle": [
+                {"clients": 4, "cycles": 12, "completed": 1200,
+                 "failed": 0, "dropped": 0, "stale_after_rollback": 0,
+                 "wall_s": 0.15, "requests_per_sec": 8000.0},
+            ],
+        },
     }
 
     def write_tree(directory, docs):
@@ -316,6 +347,24 @@ def self_test():
         checks.append(("q_repr switch skips, never fails",
                        run_gate(base_dir, fresh_dir, 0.30, 0.05,
                                 verbose=False)))
+
+        # 3f. A fleet retrain-throughput drop beyond tolerance fails.
+        fleet_dropped = copy.deepcopy(baseline)
+        fleet_dropped["BENCH_fleet.json"]["retrain"][0][
+            "retrains_per_sec"] = 50.0
+        write_tree(fresh_dir, fleet_dropped)
+        checks.append(("fleet retrain throughput drop fails",
+                       not run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                    verbose=False)))
+
+        # 3g. A slower canary route beyond tolerance fails — the serve hot
+        # path must not pay for the fleet's publication machinery.
+        route_slowed = copy.deepcopy(baseline)
+        route_slowed["BENCH_fleet.json"]["routing"][0]["ns_per_op"] = 160.0
+        write_tree(fresh_dir, route_slowed)
+        checks.append(("slower canary routing fails",
+                       not run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                    verbose=False)))
 
         # 4. The same drop on a sub-min-seconds entry is skipped, not failed.
         noisy = copy.deepcopy(baseline)

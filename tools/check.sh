@@ -14,6 +14,9 @@
 # downstream plots —
 # and likewise validates the CLI's --metrics-out JSON and --trace-out
 # Chrome trace-event file (the artifact docs/observability.md documents).
+# A fleet smoke lane runs `rlplanner_cli fleet status` as a three-policy
+# rollback drill (--force-rollback) and validates the status JSON document
+# docs/fleet.md specifies.
 # It then boots `rlplanner_cli serve --listen` on an ephemeral port, drives
 # it with bench/load_gen over real sockets, round-trips GET /metrics as
 # Prometheus text exposition, and SIGINTs the server to prove the graceful
@@ -42,10 +45,12 @@ run_tsan_lane() {
   # dispatch table's concurrent first-use resolution (and its _scalar ctest
   # variant keeps the scalar kernels sanitized too); net_test crosses the
   # epoll shards' completion-queue/eventfd edge under concurrent clients
-  # and drains the server under live load. The ASan/UBSan lane below runs
-  # the complete suite, obs_test included — no filter there.
+  # and drains the server under live load; fleet_test stresses the
+  # orchestrator's publish/canary/rollback pipeline against concurrent
+  # serving clients. The ASan/UBSan lane below runs the complete suite,
+  # obs_test included — no filter there.
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -R 'serve_test|net_test|util_test|parallel_sarsa_test|obs_test|simd_test'
+    -R 'serve_test|net_test|util_test|parallel_sarsa_test|obs_test|simd_test|fleet_test'
 }
 
 run_bench_gate() {
@@ -56,7 +61,7 @@ run_bench_gate() {
   # training, the ~100 MB snapshot fixture) push this to a couple minutes.
   (cd build/bench && ./micro_benchmarks > /dev/null \
     && ./train_bench > /dev/null && ./serve_bench > /dev/null \
-    && ./fig2_scalability > /dev/null)
+    && ./fleet_bench > /dev/null && ./fig2_scalability > /dev/null)
   python3 tools/bench_gate.py --baseline-dir . --fresh-dir build/bench
 }
 
@@ -157,6 +162,44 @@ for e in events:
     assert isinstance(e["args"], dict), e
 assert doc["otherData"]["trace_events_dropped"] == 0
 print(f"trace-smoke.json OK ({len(events)} events)")
+EOF
+}
+
+run_fleet_smoke() {
+  echo "==> Fleet orchestrator smoke run (rollback drill + status JSON check)"
+  # A tiny three-policy fleet over the toy catalog; --force-rollback vetoes
+  # every canary verdict so each publication beyond the first walks the full
+  # publish -> canary -> rollback path. `fleet status` prints ONLY the final
+  # status JSON, which is the artifact this lane validates.
+  ./build/tools/rlplanner_cli fleet status --dataset toy --policies 3 \
+    --ticks 8 --freshness-ticks 2 --episodes 40 --canary-permille 500 \
+    --hold-ticks 1 --force-rollback > build/fleet-smoke.json
+  python3 - <<'EOF'
+import json
+with open("build/fleet-smoke.json") as f:
+    doc = json.load(f)
+assert doc["tick"] == 8, doc["tick"]
+policies = doc["policies"]
+assert len(policies) == 3, f"expected 3 policies, got {len(policies)}"
+phases = {"idle", "canary", "backoff"}
+for p in policies:
+    for key in ("slot", "segment", "phase", "generation",
+                "last_published_tick", "staleness", "incumbent_version",
+                "canary_version", "canary_permille", "publishes", "promotes",
+                "rollbacks", "gate_failures", "retrain_failures",
+                "candidate_rejections", "feedback_events",
+                "consecutive_failures", "last_error"):
+        assert key in p, f"missing {key} in {p.get('slot', '?')}"
+    assert p["phase"] in phases, p["phase"]
+    # Every slot must have published at least its first incumbent.
+    assert p["publishes"] >= 1, p
+    assert p["incumbent_version"] >= 1, p
+    # The drill vetoes every canary, so nothing may ever promote.
+    assert p["promotes"] == 0, p
+rollbacks = sum(p["rollbacks"] for p in policies)
+assert rollbacks >= 1, f"rollback drill rolled nothing back: {policies}"
+print(f"fleet-smoke.json OK ({len(policies)} policies, "
+      f"{rollbacks} rollbacks)")
 EOF
 }
 
@@ -278,6 +321,7 @@ run_scalability_smoke
 run_bench_gate
 run_metrics_smoke
 run_trace_smoke
+run_fleet_smoke
 run_serve_smoke
 
 echo "==> ASan/UBSan build + tests"

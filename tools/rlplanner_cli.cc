@@ -42,6 +42,18 @@
 //           [--drain-timeout-ms D]        epoll front end (see docs/serving.md)
 //                                         until SIGTERM/SIGINT or --duration-s,
 //                                         then drain gracefully
+//   fleet run --dataset D                 run the multi-policy fleet
+//           [--policies N] [--ticks T]    orchestrator: N specs retrained on
+//           [--freshness-ticks F]         staleness priority, published
+//           [--canary-permille P]         through the canary gate pipeline
+//           [--hold-ticks H]              (see docs/fleet.md); prints per-tick
+//           [--reward-band B]             progress and the final status JSON
+//           [--force-rollback]            (--force-rollback vetoes every
+//           [--metrics-out JSON]          canary verdict — rollback drill)
+//           [training flags as for plan]
+//   fleet status --dataset D              same fleet, machine-readable: runs
+//           [flags as for fleet run]      the ticks quietly and prints ONLY
+//                                         the status JSON document
 //
 // `--trace-out FILE` records a Chrome trace-event timeline of the run
 // (training rounds / worker shards / serve request lifecycles) loadable in
@@ -73,6 +85,7 @@
 #include "datagen/course_data.h"
 #include "datagen/io.h"
 #include "datagen/trip_data.h"
+#include "fleet/fleet.h"
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -95,8 +108,10 @@ int Usage(const std::string& error) {
   std::fprintf(
       stderr,
       "usage: rlplanner_cli <list|info|export|gold|plan|train|metrics|"
-      "inspect|save-snapshot|load-snapshot|snapshot-info|serve> [options]\n"
+      "inspect|save-snapshot|load-snapshot|snapshot-info|serve|fleet> "
+      "[options]\n"
       "       rlplanner_cli snapshot-info FILE\n"
+      "       rlplanner_cli fleet <run|status> --dataset D [options]\n"
       "  --dataset <name|file.csv>   (toy, univ1-dsct, univ1-cyber,\n"
       "                               univ1-cs, univ2-ds, nyc, paris)\n"
       "  --start CODE  --episodes N  --alpha A  --gamma G  --epsilon E\n"
@@ -107,7 +122,9 @@ int Usage(const std::string& error) {
       "  --workers K  --mode serial|det|hogwild  --format prom|json\n"
       "  --q-repr auto|dense|sparse  --snapshot-mode deserialize|mmap\n"
       "  --listen HOST:PORT  --shards N  --duration-s S\n"
-      "  --drain-timeout-ms D\n");
+      "  --drain-timeout-ms D\n"
+      "  --policies N  --ticks T  --freshness-ticks F  --canary-permille P\n"
+      "  --hold-ticks H  --reward-band B  --force-rollback\n");
   return 2;
 }
 
@@ -863,6 +880,95 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
   return errors == 0 ? 0 : 1;
 }
 
+// Runs the continuous-training fleet orchestrator over a small multi-policy
+// fleet and prints its status. `mode` is "run" (per-tick progress on stderr,
+// final status JSON on stdout) or "status" (status JSON only — the
+// machine-readable flavor the smoke lane parses).
+int CmdFleet(const Dataset& dataset, const CommandLine& cmd,
+             const std::string& mode) {
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
+  const bool verbose = mode == "run";
+
+  rlplanner::obs::Registry metrics_registry;
+  const auto trace = MakeTraceCollector(cmd, &metrics_registry);
+
+  const std::uint64_t fingerprint =
+      rlplanner::serve::CatalogFingerprint(dataset.catalog);
+  rlplanner::serve::PolicyRegistry registry(fingerprint,
+                                            dataset.catalog.size());
+  rlplanner::util::ThreadPool pool;
+
+  rlplanner::fleet::FleetConfig fleet_config;
+  fleet_config.canary_permille = static_cast<std::uint32_t>(
+      std::atoi(cmd.GetFlagOr("canary-permille", "200").c_str()));
+  fleet_config.canary_hold_ticks =
+      std::atoi(cmd.GetFlagOr("hold-ticks", "1").c_str());
+  fleet_config.reward_band =
+      std::atof(cmd.GetFlagOr("reward-band", "0.5").c_str());
+  fleet_config.metrics = &metrics_registry;
+  fleet_config.trace = trace.get();
+  if (cmd.HasFlag("force-rollback")) {
+    // Rollback drill: veto every canary verdict so each publication beyond
+    // the first exercises the full publish -> canary -> rollback cycle.
+    fleet_config.hooks.override_canary_verdict =
+        [](const rlplanner::fleet::PolicySpec&) {
+          return std::optional<bool>(false);
+        };
+  }
+  rlplanner::fleet::FleetOrchestrator fleet(instance, config.reward, registry,
+                                            pool, fleet_config);
+
+  const int num_policies =
+      std::max(1, std::atoi(cmd.GetFlagOr("policies", "3").c_str()));
+  const int freshness =
+      std::max(1, std::atoi(cmd.GetFlagOr("freshness-ticks", "3").c_str()));
+  for (int i = 0; i < num_policies; ++i) {
+    rlplanner::fleet::PolicySpec spec;
+    spec.slot = "policy-" + std::to_string(i);
+    spec.segment_id = "segment-" + std::to_string(i);
+    spec.catalog_fingerprint = fingerprint;
+    spec.sarsa = config.sarsa;
+    spec.seed = config.seed + static_cast<std::uint64_t>(i);
+    spec.freshness_ticks = freshness;
+    if (const auto status = fleet.AddSpec(std::move(spec)); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const int ticks = std::max(1, std::atoi(cmd.GetFlagOr("ticks", "6").c_str()));
+  for (int t = 0; t < ticks; ++t) {
+    fleet.Tick();
+    if (verbose) {
+      for (const auto& s : fleet.Statuses()) {
+        std::fprintf(stderr,
+                     "tick %d  %s phase=%s incumbent=v%llu canary=v%llu "
+                     "publishes=%llu promotes=%llu rollbacks=%llu\n",
+                     t, s.slot.c_str(),
+                     rlplanner::fleet::PolicyPhaseName(s.phase),
+                     static_cast<unsigned long long>(s.incumbent_version),
+                     static_cast<unsigned long long>(s.canary_version),
+                     static_cast<unsigned long long>(s.publishes),
+                     static_cast<unsigned long long>(s.promotes),
+                     static_cast<unsigned long long>(s.rollbacks));
+      }
+    }
+  }
+
+  std::printf("%s\n", fleet.StatusJson().c_str());
+  if (const auto metrics_path = cmd.GetFlag("metrics-out")) {
+    if (!AtomicWriteTextFile(
+            *metrics_path,
+            rlplanner::obs::ToJson(metrics_registry.Collect()))) {
+      return 1;
+    }
+    if (verbose) std::fprintf(stderr, "metrics: %s\n", metrics_path->c_str());
+  }
+  if (!WriteTraceOut(cmd, trace.get())) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -879,6 +985,17 @@ int main(int argc, char** argv) {
     return CmdSnapshotInfo(cmd.positional.front());
   }
 
+  std::string fleet_mode;
+  if (cmd.command == "fleet") {
+    // `fleet <run|status>`: the verb rides in as the single positional.
+    if (cmd.positional.size() != 1 ||
+        (cmd.positional.front() != "run" &&
+         cmd.positional.front() != "status")) {
+      return Usage("fleet requires a mode: fleet <run|status> --dataset D");
+    }
+    fleet_mode = cmd.positional.front();
+  }
+
   // Required flags per subcommand; anything else is an unknown command.
   std::vector<std::string> required = {"dataset"};
   if (cmd.command == "export" || cmd.command == "save-snapshot") {
@@ -888,7 +1005,7 @@ int main(int argc, char** argv) {
   } else if (cmd.command != "info" && cmd.command != "gold" &&
              cmd.command != "plan" && cmd.command != "train" &&
              cmd.command != "metrics" && cmd.command != "inspect" &&
-             cmd.command != "serve") {
+             cmd.command != "serve" && cmd.command != "fleet") {
     return Usage("unknown command '" + cmd.command + "'");
   }
   if (const auto status = rlplanner::util::RequireFlags(cmd, required);
@@ -908,5 +1025,6 @@ int main(int argc, char** argv) {
   if (cmd.command == "inspect") return CmdInspect(*dataset, cmd);
   if (cmd.command == "save-snapshot") return CmdSaveSnapshot(*dataset, cmd);
   if (cmd.command == "load-snapshot") return CmdLoadSnapshot(*dataset, cmd);
+  if (cmd.command == "fleet") return CmdFleet(*dataset, cmd, fleet_mode);
   return CmdServe(*dataset, cmd);
 }
