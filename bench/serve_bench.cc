@@ -26,6 +26,10 @@
 //     against the 10k-item catalog while the ~100 MB v2 snapshot is
 //     mmap-installed mid-run; zero drops, and the per-install latency is
 //     recorded (page-table work, not a deserialize pass).
+//  7. Profiler overhead: the 2-shard wire workload three times —
+//     profiler off, on (SIGPROF sampling at 97 Hz), off again — reporting
+//     on-throughput / mean(off-throughputs). The gate's absolute floor
+//     (>= 0.98) enforces the issue's <= 2% overhead budget.
 //
 // Usage: serve_bench [--smoke]   (writes BENCH_serve.json to the cwd;
 // --smoke shrinks the request budgets for CI smoke lanes)
@@ -50,6 +54,7 @@
 #include "net/client.h"
 #include "net/plan_handler.h"
 #include "net/server.h"
+#include "obs/profiler.h"
 #include "serve/plan_service.h"
 #include "serve/policy_registry.h"
 #include "serve/policy_snapshot.h"
@@ -858,6 +863,57 @@ int main(int argc, char** argv) {
         wire.back().p95_ms, wire.back().p99_ms);
   }
 
+  // Phase 3b: profiler overhead on the wire path. Off → on → off, so the
+  // denominator (mean of the two off runs) absorbs machine drift across the
+  // ~minute the three runs take. The profiler is process-global (one
+  // ITIMER_PROF), so the wire stack needs no wiring — arming it profiles
+  // the epoll shards and plan workers alike.
+  WireResult profiler_off, profiler_on, profiler_off2;
+  std::uint64_t profiler_samples = 0;
+  {
+    rlplanner::serve::PolicyRegistry overhead_registry(
+        fingerprint, dataset.catalog.size());
+    if (!overhead_registry
+             .Install("default", policies[0], config.sarsa, config.seed)
+             .ok()) {
+      return 1;
+    }
+    const auto run = [&] {
+      return RunWireThroughput(instance, weights, overhead_registry, dataset,
+                               /*shards=*/2, /*connections=*/4,
+                               wire_requests_per_connection);
+    };
+    profiler_off = run();
+    {
+      rlplanner::obs::ProfilerConfig profiler_config;
+      profiler_config.enabled = true;
+      rlplanner::obs::Profiler profiler(profiler_config);
+      if (!profiler.Start().ok()) {
+        std::fprintf(stderr, "profiler start failed\n");
+        return 1;
+      }
+      profiler_on = run();
+      profiler.Stop();
+      profiler_samples = profiler.samples_total();
+    }
+    profiler_off2 = run();
+  }
+  const double profiler_off_rps = profiler_off.requests_per_sec;
+  const double profiler_on_rps = profiler_on.requests_per_sec;
+  const double profiler_off2_rps = profiler_off2.requests_per_sec;
+  const double profiler_ratio =
+      profiler_on_rps / (0.5 * (profiler_off_rps + profiler_off2_rps));
+  // The gate's floor check judges the ratio only when the shortest of the
+  // three measurement windows clears --min-seconds.
+  const double profiler_window_s =
+      std::min({profiler_off.wall_seconds, profiler_on.wall_seconds,
+                profiler_off2.wall_seconds});
+  std::printf(
+      "profiler overhead: off %.0f / on %.0f / off %.0f req/s "
+      "(ratio %.4f, %llu samples)\n",
+      profiler_off_rps, profiler_on_rps, profiler_off2_rps, profiler_ratio,
+      static_cast<unsigned long long>(profiler_samples));
+
   // Phase 4: hot swap under wire load.
   rlplanner::serve::PolicyRegistry wire_swap_registry(fingerprint,
                                                       dataset.catalog.size());
@@ -1005,6 +1061,19 @@ int main(int argc, char** argv) {
     PrintWireEntry(f, wire[i], i + 1 == wire.size());
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"profiler_overhead\": {\n");
+  std::fprintf(f, "    \"sample_hz\": 97,\n");
+  std::fprintf(f, "    \"shards\": 2,\n");
+  std::fprintf(f, "    \"connections\": 4,\n");
+  std::fprintf(f, "    \"off_requests_per_sec\": %.1f,\n", profiler_off_rps);
+  std::fprintf(f, "    \"on_requests_per_sec\": %.1f,\n", profiler_on_rps);
+  std::fprintf(f, "    \"off2_requests_per_sec\": %.1f,\n",
+               profiler_off2_rps);
+  std::fprintf(f, "    \"samples\": %llu,\n",
+               static_cast<unsigned long long>(profiler_samples));
+  std::fprintf(f, "    \"wall_s\": %.3f,\n", profiler_window_s);
+  std::fprintf(f, "    \"on_off_ratio\": %.4f\n", profiler_ratio);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"snapshot_load\": [\n");
   for (std::size_t i = 0; i < snapshot_load.size(); ++i) {
     const SnapshotLoadResult& r = snapshot_load[i];

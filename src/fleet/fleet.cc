@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -554,6 +555,32 @@ std::string FleetOrchestrator::StatusJson() const {
         << ", \"last_error\": \"" << JsonEscape(s.last_error) << "\"}";
   }
   out << "]}";
+  return out.str();
+}
+
+std::string FleetOrchestrator::SummaryJson() const {
+  const std::vector<PolicyStatus> statuses = Statuses();
+  std::map<std::string, int> phases;
+  std::uint64_t publishes = 0, promotes = 0, rollbacks = 0, gate_failures = 0;
+  for (const PolicyStatus& s : statuses) {
+    ++phases[PolicyPhaseName(s.phase)];
+    publishes += s.publishes;
+    promotes += s.promotes;
+    rollbacks += s.rollbacks;
+    gate_failures += s.gate_failures;
+  }
+  std::ostringstream out;
+  out << "{\"tick\": " << tick()
+      << ", \"policies\": " << statuses.size() << ", \"phases\": {";
+  bool first = true;
+  for (const auto& [phase, count] : phases) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << phase << "\": " << count;
+  }
+  out << "}, \"publishes\": " << publishes << ", \"promotes\": " << promotes
+      << ", \"rollbacks\": " << rollbacks
+      << ", \"gate_failures\": " << gate_failures << "}";
   return out.str();
 }
 

@@ -237,6 +237,11 @@ class FleetOrchestrator {
   /// {"tick": N, "policies": [{...}, ...]} with policies sorted by slot.
   std::string StatusJson() const;
 
+  /// Compact rollup for /debug/statusz: tick, policy count, per-phase
+  /// counts, and fleet-wide publish/promote/rollback/failure totals —
+  /// the at-a-glance line; the full table stays on GET /fleet/status.
+  std::string SummaryJson() const;
+
   void set_publish_observer(PublishObserver observer);
 
   const ProbeSet& probe_set() const { return probe_set_; }

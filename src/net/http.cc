@@ -233,4 +233,35 @@ std::string SerializeResponse(int status, std::string_view content_type,
   return out;
 }
 
+std::string_view TargetPath(std::string_view target) {
+  const std::size_t cut = target.find_first_of("?#");
+  return cut == std::string_view::npos ? target : target.substr(0, cut);
+}
+
+bool QueryParam(std::string_view target, std::string_view key,
+                std::string* value) {
+  std::size_t query_start = target.find('?');
+  if (query_start == std::string_view::npos) return false;
+  std::string_view query = target.substr(query_start + 1);
+  const std::size_t fragment = query.find('#');
+  if (fragment != std::string_view::npos) query = query.substr(0, fragment);
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (name == key) {
+      *value = eq == std::string_view::npos
+                   ? std::string()
+                   : std::string(pair.substr(eq + 1));
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace rlplanner::net

@@ -79,6 +79,16 @@ std::string SerializeResponse(int status, std::string_view content_type,
 /// Case-insensitive ASCII string equality (header names, token values).
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
+/// The path component of an origin-form request target: everything before
+/// the first '?' (or '#'). "/debug/pprof?seconds=5" → "/debug/pprof".
+std::string_view TargetPath(std::string_view target);
+
+/// The raw value of query parameter `key` in an origin-form target, or
+/// nullopt-like empty result via the bool. No percent-decoding (the debug
+/// endpoints take numeric values only); a key without '=' yields "".
+bool QueryParam(std::string_view target, std::string_view key,
+                std::string* value);
+
 }  // namespace rlplanner::net
 
 #endif  // RLPLANNER_NET_HTTP_H_

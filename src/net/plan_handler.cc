@@ -1,12 +1,16 @@
 #include "net/plan_handler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <utility>
 
+#include "obs/debugz.h"
 #include "obs/export.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -108,6 +112,12 @@ util::Result<serve::PlanRequest> PlanRequestFromJson(
             "'deadline_ms' must be a number");
       }
       request.deadline_ms = value.AsNumber();
+    } else if (key == "debug_stall_ms") {
+      if (!value.is_number() || value.AsNumber() < 0.0) {
+        return util::Status::InvalidArgument(
+            "'debug_stall_ms' must be a non-negative number");
+      }
+      request.debug_stall_ms = value.AsNumber();
     } else {
       return util::Status::InvalidArgument("unknown field '" + key + "'");
     }
@@ -149,7 +159,20 @@ PlanHandler::PlanHandler(serve::PlanService* service, Options options)
       metrics_(options.metrics),
       trace_(options.trace != nullptr && options.trace->enabled()
                  ? options.trace
-                 : nullptr) {}
+                 : nullptr),
+      profiler_(options.profiler != nullptr && options.profiler->enabled()
+                    ? options.profiler
+                    : nullptr),
+      recorder_(options.recorder != nullptr && options.recorder->enabled()
+                    ? options.recorder
+                    : nullptr),
+      slots_(options.slots),
+      fleet_status_(std::move(options.fleet_status)) {}
+
+void PlanHandler::AddStatuszSection(std::string name,
+                                    std::function<std::string()> provider) {
+  extra_sections_.emplace_back(std::move(name), std::move(provider));
+}
 
 HttpServer::Handler PlanHandler::AsHandler() {
   return [this](HttpRequest request, Responder responder) {
@@ -157,52 +180,160 @@ HttpServer::Handler PlanHandler::AsHandler() {
   };
 }
 
+namespace {
+
+/// 405 with the canonical "use METHOD /path" hint.
+void SendMethodNotAllowed(Responder& responder, const char* hint) {
+  responder.Send(HttpResponse{
+      405, "application/json",
+      ErrorBody(util::Status::InvalidArgument(std::string("use ") + hint))});
+}
+
+void SendNotFound(Responder& responder, std::string message) {
+  responder.Send(HttpResponse{
+      404, "application/json",
+      ErrorBody(util::Status::NotFound(std::move(message)))});
+}
+
+/// Whether this /metrics request asked for the OpenMetrics exposition: an
+/// explicit ?exemplars= query parameter, or content negotiation via an
+/// Accept header naming application/openmetrics-text.
+bool WantsOpenMetrics(const HttpRequest& request) {
+  std::string value;
+  if (QueryParam(request.target, "exemplars", &value)) {
+    return value != "0" && value != "false";
+  }
+  const std::string* accept = request.FindHeader("Accept");
+  return accept != nullptr &&
+         accept->find("application/openmetrics-text") != std::string::npos;
+}
+
+}  // namespace
+
 void PlanHandler::Handle(HttpRequest request, Responder responder) {
-  if (request.target == "/v1/plan") {
+  const std::string_view path = TargetPath(request.target);
+  if (path == "/v1/plan") {
     if (request.method != "POST") {
-      responder.Send(HttpResponse{
-          405, "application/json",
-          ErrorBody(util::Status::InvalidArgument("use POST /v1/plan"))});
+      SendMethodNotAllowed(responder, "POST /v1/plan");
       return;
     }
     HandlePlan(request, std::move(responder));
     return;
   }
-  if (request.target == "/healthz") {
-    if (request.method != "GET") {
-      responder.Send(HttpResponse{
-          405, "application/json",
-          ErrorBody(util::Status::InvalidArgument("use GET /healthz"))});
-      return;
-    }
+  if (request.method != "GET" &&
+      (path == "/healthz" || path == "/metrics" || path == "/debug/statusz" ||
+       path == "/debug/tracez" || path == "/debug/pprof" ||
+       path == "/fleet/status")) {
+    SendMethodNotAllowed(responder, ("GET " + std::string(path)).c_str());
+    return;
+  }
+  if (path == "/healthz") {
     responder.Send(HttpResponse{200, "application/json",
                                 "{\"status\":\"ok\"}\n"});
     return;
   }
-  if (request.target == "/metrics") {
-    if (request.method != "GET") {
-      responder.Send(HttpResponse{
-          405, "application/json",
-          ErrorBody(util::Status::InvalidArgument("use GET /metrics"))});
-      return;
-    }
+  if (path == "/metrics") {
     if (metrics_ == nullptr) {
-      responder.Send(HttpResponse{
-          404, "application/json",
-          ErrorBody(util::Status::NotFound("no metrics registry configured"))});
+      SendNotFound(responder, "no metrics registry configured");
       return;
     }
     HttpResponse response;
     response.status = 200;
-    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    response.body = obs::ToPrometheusText(metrics_->Collect());
+    if (WantsOpenMetrics(request)) {
+      response.content_type =
+          "application/openmetrics-text; version=1.0.0; charset=utf-8";
+      response.body = obs::ToOpenMetricsText(metrics_->Collect());
+    } else {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = obs::ToPrometheusText(metrics_->Collect());
+    }
     responder.Send(std::move(response));
     return;
   }
-  responder.Send(HttpResponse{
-      404, "application/json",
-      ErrorBody(util::Status::NotFound("no route for '" + request.target +
-                                       "'"))});
+  if (path == "/debug/statusz") {
+    responder.Send(HttpResponse{200, "application/json", StatuszBody()});
+    return;
+  }
+  if (path == "/debug/tracez") {
+    responder.Send(HttpResponse{
+        200, "application/json",
+        obs::TracezJson(recorder_, metrics_ != nullptr
+                                       ? metrics_->Collect()
+                                       : obs::MetricsSnapshot{})});
+    return;
+  }
+  if (path == "/debug/pprof") {
+    if (profiler_ == nullptr) {
+      SendNotFound(responder,
+                   "no sampling profiler running (start with --profile-hz)");
+      return;
+    }
+    double seconds = 60.0;
+    std::string value;
+    if (QueryParam(request.target, "seconds", &value)) {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || !(parsed > 0.0)) {
+        responder.Send(HttpResponse{
+            400, "application/json",
+            ErrorBody(util::Status::InvalidArgument(
+                "'seconds' must be a positive number"))});
+        return;
+      }
+      seconds = std::min(parsed, 3600.0);
+    }
+    responder.Send(HttpResponse{200, "text/plain; charset=utf-8",
+                                profiler_->Collapsed(seconds)});
+    return;
+  }
+  if (path == "/fleet/status") {
+    if (!fleet_status_) {
+      SendNotFound(responder, "no fleet orchestrator attached");
+      return;
+    }
+    responder.Send(HttpResponse{200, "application/json", fleet_status_()});
+    return;
+  }
+  SendNotFound(responder, "no route for '" + request.target + "'");
+}
+
+std::string PlanHandler::SlotsJson() const {
+  std::string out = "{\"install_count\":";
+  out += std::to_string(slots_->install_count());
+  out += ",\"slots\":[";
+  std::vector<std::string> names = slots_->Names();
+  std::sort(names.begin(), names.end());
+  bool first = true;
+  for (const std::string& name : names) {
+    const auto info = slots_->Info(name);
+    if (!info.has_value()) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"slot\":\"";
+    out += obs::JsonEscape(name);
+    out += "\",\"incumbent_version\":";
+    out += std::to_string(info->incumbent_version);
+    out += ",\"canary_version\":";
+    out += std::to_string(info->canary_version);
+    out += ",\"canary_permille\":";
+    out += std::to_string(info->canary_permille);
+    out += ",\"previous_version\":";
+    out += std::to_string(info->previous_version);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string PlanHandler::StatuszBody() const {
+  std::vector<obs::StatuszSection> sections;
+  sections.push_back({"serve", service_->stats().ToJson()});
+  if (slots_ != nullptr) sections.push_back({"slots", SlotsJson()});
+  if (fleet_status_) sections.push_back({"fleet", fleet_status_()});
+  for (const auto& [name, provider] : extra_sections_) {
+    sections.push_back({name, provider()});
+  }
+  return obs::StatuszJson(profiler_, recorder_, sections);
 }
 
 void PlanHandler::HandlePlan(const HttpRequest& request,

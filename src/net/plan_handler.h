@@ -1,7 +1,10 @@
 #ifndef RLPLANNER_NET_PLAN_HANDLER_H_
 #define RLPLANNER_NET_PLAN_HANDLER_H_
 
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/server.h"
 #include "serve/plan_service.h"
@@ -9,6 +12,8 @@
 #include "util/status.h"
 
 namespace rlplanner::obs {
+class FlightRecorder;
+class Profiler;
 class Registry;
 class TraceCollector;
 }  // namespace rlplanner::obs
@@ -34,6 +39,9 @@ int StatusToHttpCode(const util::Status& status);
 ///   ideal_topics  array of strings — per-user T_ideal override
 ///   deadline_ms   number   per-request deadline (0 = service default,
 ///                          negative = no deadline)
+///   debug_stall_ms  number >= 0 — testing hook: stall the rollout worker
+///                          this long (capped at 2000 ms) to force an SLO
+///                          violation the flight recorder must capture
 util::Result<serve::PlanRequest> PlanRequestFromJson(
     const util::json::Value& root);
 
@@ -42,11 +50,24 @@ util::Result<serve::PlanRequest> PlanRequestFromJson(
 /// timings.
 std::string PlanResponseToJson(const serve::PlanResponse& response);
 
-/// Routes the serving endpoints onto a PlanService:
-///   POST /v1/plan   JSON plan request → JSON plan response (async via
-///                   SubmitAsync — the epoll shard never blocks)
-///   GET  /metrics   Prometheus text exposition of the shared registry
-///   GET  /healthz   {"status":"ok"} liveness probe
+/// Routes the serving and introspection endpoints onto a PlanService:
+///   POST /v1/plan        JSON plan request → JSON plan response (async via
+///                        SubmitAsync — the epoll shard never blocks)
+///   GET  /metrics        Prometheus text exposition of the shared registry;
+///                        `?exemplars=1` (or an Accept header naming
+///                        application/openmetrics-text) switches to the
+///                        OpenMetrics exposition carrying exemplars
+///   GET  /healthz        {"status":"ok"} liveness probe
+///   GET  /debug/statusz  build/uptime/profiler/recorder summary + serve
+///                        stats + registry slot versions + any sections
+///                        added via AddStatuszSection (e.g. the fleet table)
+///   GET  /debug/tracez   flight-recorder reservoirs (active/slowest/recent)
+///                        + every histogram exemplar
+///   GET  /debug/pprof    collapsed-stack CPU profile of the last
+///                        `?seconds=N` (default 60) — 404 without a running
+///                        profiler
+///   GET  /fleet/status   the fleet orchestrator's status document — 404
+///                        unless a provider was wired in Options
 /// Unknown targets get 404, wrong methods on known targets 405. Every plan
 /// request is assigned a trace id up front so the handler's serve_parse span
 /// shares the id chain of the service's queue-wait/plan/respond spans.
@@ -58,10 +79,28 @@ class PlanHandler {
     obs::Registry* metrics = nullptr;
     /// Optional trace collector for serve_parse spans (not owned).
     obs::TraceCollector* trace = nullptr;
+    /// Optional sampling profiler behind /debug/pprof (not owned). Null or
+    /// disabled serves 404 there.
+    obs::Profiler* profiler = nullptr;
+    /// Optional flight recorder behind /debug/tracez (not owned). Tracez
+    /// still renders (exemplars only) without one.
+    obs::FlightRecorder* recorder = nullptr;
+    /// Optional policy registry whose slot/version table /debug/statusz
+    /// embeds (not owned).
+    const serve::PolicyRegistry* slots = nullptr;
+    /// Optional provider for GET /fleet/status (and the statusz "fleet"
+    /// section): returns FleetOrchestrator::StatusJson(). Kept as a closure
+    /// so rlplanner_net never links rlplanner_fleet.
+    std::function<std::string()> fleet_status;
   };
 
   /// `service` must be started and must outlive the handler.
   PlanHandler(serve::PlanService* service, Options options);
+
+  /// Contributes one extra section to /debug/statusz (`provider` must
+  /// return a complete JSON value). Call before the server starts serving.
+  void AddStatuszSection(std::string name,
+                         std::function<std::string()> provider);
 
   /// The HttpServer-facing entry point (runs on epoll shard threads).
   void Handle(HttpRequest request, Responder responder);
@@ -71,10 +110,18 @@ class PlanHandler {
 
  private:
   void HandlePlan(const HttpRequest& request, Responder responder);
+  std::string StatuszBody() const;
+  std::string SlotsJson() const;
 
   serve::PlanService* service_;
   obs::Registry* metrics_;
   obs::TraceCollector* trace_;  // null when absent or disabled
+  obs::Profiler* profiler_;
+  obs::FlightRecorder* recorder_;
+  const serve::PolicyRegistry* slots_;
+  std::function<std::string()> fleet_status_;
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      extra_sections_;
 };
 
 }  // namespace rlplanner::net

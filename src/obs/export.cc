@@ -184,6 +184,58 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+std::string ToOpenMetricsText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  const std::string* previous_name = nullptr;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    // OpenMetrics names the counter *family* without the `_total` suffix
+    // the samples carry.
+    std::string family = m.name;
+    if (m.kind == MetricKind::kCounter && family.size() > 6 &&
+        family.compare(family.size() - 6, 6, "_total") == 0) {
+      family.resize(family.size() - 6);
+    }
+    if (previous_name == nullptr || *previous_name != m.name) {
+      out += "# TYPE " + family + " ";
+      out += KindName(m.kind);
+      out += "\n";
+      out += "# HELP " + family + " " + PromEscapeHelp(m.help) + "\n";
+      previous_name = &m.name;
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += m.name + PromLabels(m.labels) + " " +
+               FormatMetricValue(m.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        for (const HistogramBucket& bucket : m.buckets) {
+          out += m.name + "_bucket" +
+                 PromLabels(m.labels, "le", FormatUint(bucket.upper_bound)) +
+                 " " + FormatUint(bucket.cumulative_count);
+          for (const ExemplarSnapshot& exemplar : m.exemplars) {
+            if (exemplar.upper_bound != bucket.upper_bound) continue;
+            out += " # {trace_id=\"" + FormatUint(exemplar.trace_id) +
+                   "\",policy_version=\"" + FormatUint(exemplar.version) +
+                   "\"} " + FormatUint(exemplar.value);
+            break;
+          }
+          out += "\n";
+        }
+        out += m.name + "_bucket" + PromLabels(m.labels, "le", "+Inf") + " " +
+               FormatUint(m.count) + "\n";
+        out += m.name + "_sum" + PromLabels(m.labels) + " " +
+               FormatUint(m.sum) + "\n";
+        out += m.name + "_count" + PromLabels(m.labels) + " " +
+               FormatUint(m.count) + "\n";
+        break;
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
 std::string MetricsJsonArray(const MetricsSnapshot& snapshot) {
   std::string out = "[";
   bool first_metric = true;
@@ -223,6 +275,20 @@ std::string MetricsJsonArray(const MetricsSnapshot& snapshot) {
                  ", \"count\": " + FormatUint(bucket.cumulative_count) + "}";
         }
         out += "]";
+        if (!m.exemplars.empty()) {
+          out += ", \"exemplars\": [";
+          bool first_exemplar = true;
+          for (const ExemplarSnapshot& exemplar : m.exemplars) {
+            if (!first_exemplar) out += ", ";
+            first_exemplar = false;
+            out += "{\"le\": " + FormatUint(exemplar.upper_bound) +
+                   ", \"value\": " + FormatUint(exemplar.value) +
+                   ", \"trace_id\": " + FormatUint(exemplar.trace_id) +
+                   ", \"policy_version\": " + FormatUint(exemplar.version) +
+                   "}";
+          }
+          out += "]";
+        }
         break;
       }
     }

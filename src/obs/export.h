@@ -15,6 +15,15 @@ namespace rlplanner::obs {
 /// deterministic: snapshots are already sorted by (name, labels).
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
+/// Renders a snapshot in the OpenMetrics text format (the exposition that
+/// carries exemplars): same family ordering and escaping as
+/// ToPrometheusText, counter families named without their `_total` suffix,
+/// each histogram `_bucket` line followed by
+/// `# {trace_id="...",policy_version="..."} <value>` when that bucket
+/// captured an exemplar, terminated by `# EOF`. Serve it with
+/// `Content-Type: application/openmetrics-text; version=1.0.0`.
+std::string ToOpenMetricsText(const MetricsSnapshot& snapshot);
+
 /// Renders a snapshot as a JSON array of metric objects (stable key order,
 /// strings escaped). Counters and gauges carry `value`; histograms carry
 /// `count`/`sum`/`max`/`mean`/`p50`/`p95`/`p99` and their non-empty

@@ -42,6 +42,54 @@ void Histogram::Record(std::uint64_t value) {
   }
 }
 
+void Histogram::Record(std::uint64_t value, std::uint64_t trace_id,
+                       std::uint64_t version) {
+  Record(value);
+  if (!enabled_ || exemplars_ == nullptr || trace_id == 0) return;
+  ExemplarSlot& slot = exemplars_[static_cast<std::size_t>(BucketIndex(value))];
+  // Overwrite-last, best-effort: if another recorder holds the slot (odd
+  // seq) or wins the CAS, this exemplar is simply not captured — the hot
+  // path never spins.
+  std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  if (seq & 1u) return;
+  if (!slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acq_rel)) {
+    return;
+  }
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.version.store(version, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+void Histogram::EnableExemplars() {
+  if (!enabled_ || exemplars_ != nullptr) return;
+  exemplars_ = std::make_unique<ExemplarSlot[]>(kNumBuckets);
+}
+
+std::vector<HistogramExemplar> Histogram::CollectExemplars() const {
+  std::vector<HistogramExemplar> out;
+  if (exemplars_ == nullptr) return out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const ExemplarSlot& slot = exemplars_[static_cast<std::size_t>(i)];
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint32_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == 0) break;       // never written
+      if (seq & 1u) continue;    // writer inside — retry
+      HistogramExemplar exemplar;
+      exemplar.bucket = i;
+      exemplar.value = slot.value.load(std::memory_order_relaxed);
+      exemplar.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      exemplar.version = slot.version.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_acquire) != seq) continue;
+      out.push_back(exemplar);
+      break;
+    }
+  }
+  return out;
+}
+
 void Histogram::RecordRounded(double value) {
   Record(value <= 0.0 ? 0
                       : static_cast<std::uint64_t>(std::llround(value)));

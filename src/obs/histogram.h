@@ -4,8 +4,20 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 namespace rlplanner::obs {
+
+/// One captured exemplar: the most recent traced observation that landed in
+/// `bucket`, carrying enough identity (trace id + policy version) to jump
+/// from a latency bucket straight to the recorded request in /debug/tracez.
+struct HistogramExemplar {
+  int bucket = 0;
+  std::uint64_t value = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t version = 0;
+};
 
 /// A lock-free log-linear histogram (HDR-style) over non-negative integer
 /// values: 8 linear sub-buckets per power-of-two octave, giving <= 12.5%
@@ -41,9 +53,29 @@ class Histogram {
 
   void Record(std::uint64_t value);
 
+  /// Record() plus exemplar capture: when exemplars are enabled and
+  /// trace_id is non-zero, the value's bucket remembers
+  /// (value, trace_id, version) as its latest traced observation —
+  /// overwrite-last through a per-bucket seqlock, so the hot path stays
+  /// lock-free and an exporter reading concurrently never sees a torn
+  /// exemplar. With exemplars disabled this is exactly Record(value).
+  void Record(std::uint64_t value, std::uint64_t trace_id,
+              std::uint64_t version);
+
   /// Convenience for callers measuring in doubles: records
   /// llround(max(value, 0)).
   void RecordRounded(double value);
+
+  /// Allocates the per-bucket exemplar slots. Setup-time only: call before
+  /// the histogram is shared across threads (the registry's creation path
+  /// or a service constructor). Idempotent.
+  void EnableExemplars();
+
+  bool exemplars_enabled() const { return exemplars_ != nullptr; }
+
+  /// Seqlock-consistent copy of every bucket's exemplar, in bucket order.
+  /// Buckets that never captured a traced observation are absent.
+  std::vector<HistogramExemplar> CollectExemplars() const;
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -69,10 +101,23 @@ class Histogram {
   bool enabled() const { return enabled_; }
 
  private:
+  // seq == 0: never written; odd: writer inside; even > 0: payload valid.
+  // The payload fields are relaxed atomics purely to make the seqlock's
+  // intentional read/write overlap well-defined (plain fields would be a
+  // data race in the C++ memory model, and TSan flags it); all ordering
+  // still comes from `seq`, and relaxed accesses compile to plain moves.
+  struct ExemplarSlot {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> version{0};
+  };
+
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> max_{0};
+  std::unique_ptr<ExemplarSlot[]> exemplars_;  // null until EnableExemplars
   const bool enabled_;
 };
 

@@ -1,0 +1,309 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <execinfo.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rlplanner::obs {
+
+namespace {
+
+// The process-wide signal target. The handler reads it once; Stop() clears
+// it and then waits for g_in_handler to drain, so the Profiler object is
+// never touched by a handler after Stop() returns.
+std::atomic<Profiler*> g_active_profiler{nullptr};
+std::atomic<int> g_in_handler{0};
+
+std::uint64_t MonotonicNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// Turns one backtrace_symbols() line — "binary(mangled+0x1f) [0x...]" — into
+// the demangled function name, falling back to the mangled name, the binary,
+// or the raw address.
+std::string SymbolizeLine(const char* line, const void* address) {
+  const char* open = std::strchr(line, '(');
+  if (open != nullptr && open[1] != '\0' && open[1] != ')' && open[1] != '+') {
+    const char* end = open + 1;
+    while (*end != '\0' && *end != '+' && *end != ')') ++end;
+    std::string mangled(open + 1, end);
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(mangled.c_str(), nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string result(demangled);
+      std::free(demangled);
+      return result;
+    }
+    std::free(demangled);
+    return mangled;
+  }
+  // No symbol — keep the module so the frame is still attributable, plus the
+  // address for offline symbolization.
+  std::string module(line);
+  const std::size_t cut = module.find_first_of("( ");
+  if (cut != std::string::npos) module.resize(cut);
+  const std::size_t slash = module.rfind('/');
+  if (slash != std::string::npos) module = module.substr(slash + 1);
+  char addr[32];
+  std::snprintf(addr, sizeof addr, "+%p", address);
+  return module.empty() ? std::string(addr + 1) : module + addr;
+}
+
+}  // namespace
+
+// Seqlock-protected sample slot. seq is odd while a writer is inside; a
+// reader that sees the same even seq before and after its copy has a
+// consistent sample. Slot ownership comes from the next_slot_ ticket, so
+// two concurrent signal handlers never write the same slot (a writer would
+// have to lag a full ring lap behind — at 97 Hz over 8192 slots that is
+// minutes inside one signal handler).
+// The payload fields are relaxed atomics purely to make the seqlock's
+// intentional read/write overlap well-defined under the C++ memory model
+// (TSan flags plain fields); ordering still comes from `seq`, relaxed
+// accesses compile to plain moves, and lock-free atomic stores remain
+// async-signal-safe for the SIGPROF writer.
+struct Profiler::Slot {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::uint64_t> ns{0};
+  std::atomic<std::int32_t> depth{0};
+  std::atomic<void*> frames[kMaxFrames] = {};
+};
+
+void ProfilerSignalHandler(int /*signum*/) {
+  const int saved_errno = errno;  // backtrace/clock_gettime may clobber it
+  g_in_handler.fetch_add(1, std::memory_order_acquire);
+  Profiler* profiler = g_active_profiler.load(std::memory_order_acquire);
+  // Skip this handler and SampleInto itself; the libc signal trampoline
+  // frame (if any) survives, which is harmless in a flamegraph.
+  if (profiler != nullptr) profiler->SampleInto(/*skip=*/2);
+  g_in_handler.fetch_sub(1, std::memory_order_release);
+  errno = saved_errno;
+}
+
+Profiler::Profiler(const ProfilerConfig& config)
+    : enabled_(config.enabled && config.sample_hz > 0 &&
+               config.ring_capacity > 0),
+      sample_hz_(config.sample_hz),
+      capacity_(config.ring_capacity) {
+  if (!enabled_) return;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+  // Prime backtrace(): its first call may malloc and resolve lazy PLT
+  // entries, neither of which is welcome inside a signal handler.
+  void* prime[4];
+  (void)backtrace(prime, 4);
+}
+
+Profiler::~Profiler() { Stop(); }
+
+util::Status Profiler::Start() {
+  if (!enabled_) return util::Status::Ok();
+  if (running_.load(std::memory_order_acquire)) return util::Status::Ok();
+  Profiler* expected = nullptr;
+  if (!g_active_profiler.compare_exchange_strong(expected, this,
+                                                 std::memory_order_acq_rel)) {
+    return util::Status::FailedPrecondition(
+        "another profiler is already running (ITIMER_PROF is process-wide)");
+  }
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof action);
+  action.sa_handler = &ProfilerSignalHandler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART keeps slow syscalls transparent to the sampled code; the
+  // epoll/recv/send loops additionally handle EINTR themselves.
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGPROF, &action, nullptr) != 0) {
+    g_active_profiler.store(nullptr, std::memory_order_release);
+    return util::Status::Internal("sigaction(SIGPROF) failed");
+  }
+
+  itimerval timer;
+  const long interval_us = std::max(1000000L / sample_hz_, 1L);
+  timer.it_interval.tv_sec = interval_us / 1000000;
+  timer.it_interval.tv_usec = interval_us % 1000000;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    signal(SIGPROF, SIG_IGN);
+    g_active_profiler.store(nullptr, std::memory_order_release);
+    return util::Status::Internal("setitimer(ITIMER_PROF) failed");
+  }
+  running_.store(true, std::memory_order_release);
+  return util::Status::Ok();
+}
+
+void Profiler::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  itimerval off;
+  std::memset(&off, 0, sizeof off);
+  setitimer(ITIMER_PROF, &off, nullptr);
+  signal(SIGPROF, SIG_IGN);
+  g_active_profiler.store(nullptr, std::memory_order_release);
+  // A handler that loaded g_active_profiler just before the store may still
+  // be writing its slot; it registered in g_in_handler first, so draining
+  // that counter makes destruction safe.
+  while (g_in_handler.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+void Profiler::RecordNow() {
+  if (!enabled_) return;
+  SampleInto(/*skip=*/1);  // drop the RecordNow frame itself
+}
+
+void Profiler::SampleInto(int skip) {
+  const std::uint64_t ticket =
+      next_slot_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[ticket % capacity_];
+  slot.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write in progress
+  void* raw[kMaxFrames + 4];
+  int depth = backtrace(raw, kMaxFrames + 4);
+  if (depth > skip) {
+    depth -= skip;
+    if (depth > kMaxFrames) depth = kMaxFrames;
+    for (int i = 0; i < depth; ++i) {
+      slot.frames[i].store(raw[skip + i], std::memory_order_relaxed);
+    }
+    slot.depth.store(depth, std::memory_order_relaxed);
+  } else {
+    slot.depth.store(0, std::memory_order_relaxed);
+  }
+  slot.ns.store(MonotonicNs(), std::memory_order_relaxed);
+  slot.seq.fetch_add(1, std::memory_order_release);  // even: stable
+}
+
+std::string Profiler::Collapsed(double window_seconds) const {
+  struct Copied {
+    std::uint64_t ns;
+    std::vector<const void*> frames;
+  };
+  std::vector<Copied> samples;
+  std::uint64_t total = 0;
+  if (enabled_) {
+    total = next_slot_.load(std::memory_order_acquire);
+    const std::uint64_t retained = std::min<std::uint64_t>(total, capacity_);
+    samples.reserve(retained);
+    for (std::uint64_t i = 0; i < retained; ++i) {
+      const Slot& slot = slots_[i];
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        const std::uint32_t seq_before =
+            slot.seq.load(std::memory_order_acquire);
+        if (seq_before & 1u) continue;  // writer inside — retry
+        Copied copied;
+        copied.ns = slot.ns.load(std::memory_order_relaxed);
+        const std::int32_t depth = slot.depth.load(std::memory_order_relaxed);
+        if (depth <= 0 || depth > kMaxFrames) break;
+        copied.frames.resize(static_cast<std::size_t>(depth));
+        for (std::int32_t f = 0; f < depth; ++f) {
+          copied.frames[static_cast<std::size_t>(f)] =
+              slot.frames[f].load(std::memory_order_relaxed);
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_acquire) != seq_before) continue;
+        samples.push_back(std::move(copied));
+        break;
+      }
+    }
+  }
+
+  const std::uint64_t now_ns = MonotonicNs();
+  std::uint64_t cutoff_ns = 0;
+  if (window_seconds > 0.0) {
+    const auto window_ns =
+        static_cast<std::uint64_t>(window_seconds * 1e9);
+    cutoff_ns = window_ns < now_ns ? now_ns - window_ns : 0;
+  }
+
+  // Aggregate identical address stacks first, then symbolize each distinct
+  // address exactly once (backtrace_symbols forks out to the dynamic linker
+  // tables and __cxa_demangle mallocs — both far too slow per sample).
+  std::map<std::vector<const void*>, std::uint64_t> stacks;
+  std::uint64_t in_window = 0;
+  for (const Copied& sample : samples) {
+    if (sample.ns < cutoff_ns) continue;
+    ++in_window;
+    ++stacks[sample.frames];
+  }
+  std::map<const void*, std::string> names;
+  for (const auto& [frames, count] : stacks) {
+    for (const void* address : frames) names.emplace(address, std::string());
+  }
+  if (!names.empty()) {
+    std::vector<void*> addresses;
+    addresses.reserve(names.size());
+    for (const auto& [address, name] : names) {
+      addresses.push_back(const_cast<void*>(address));
+    }
+    char** lines = backtrace_symbols(addresses.data(),
+                                     static_cast<int>(addresses.size()));
+    std::size_t i = 0;
+    for (auto& [address, name] : names) {
+      name = lines != nullptr ? SymbolizeLine(lines[i], address)
+                              : std::string("?");
+      // Collapsed-format structural characters inside a frame name would
+      // corrupt the stack split.
+      for (char& c : name) {
+        if (c == ';' || c == ' ' || c == '\n') c = '_';
+      }
+      ++i;
+    }
+    std::free(lines);
+  }
+
+  std::string out;
+  char header[256];
+  std::snprintf(header, sizeof header,
+                "# profile: cpu_samples\n# sample_hz: %d\n"
+                "# window_seconds: %.3f\n# samples: %llu\n"
+                "# samples_total: %llu\n",
+                sample_hz_, window_seconds > 0.0 ? window_seconds : 0.0,
+                static_cast<unsigned long long>(in_window),
+                static_cast<unsigned long long>(total));
+  out += header;
+  for (const auto& [frames, count] : stacks) {
+    // backtrace() is leaf-first; collapsed format wants root-first.
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      if (it != frames.rbegin()) out.push_back(';');
+      out += names[*it];
+    }
+    out.push_back(' ');
+    out += std::to_string(count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Profiler::StatusJson() const {
+  const std::uint64_t total =
+      enabled_ ? next_slot_.load(std::memory_order_acquire) : 0;
+  const std::uint64_t retained = std::min<std::uint64_t>(total, capacity_);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"enabled\": %s, \"running\": %s, \"sample_hz\": %d, "
+                "\"ring_capacity\": %zu, \"samples_total\": %llu, "
+                "\"samples_retained\": %llu}",
+                enabled_ ? "true" : "false", running() ? "true" : "false",
+                sample_hz_, capacity_,
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(retained));
+  return std::string(buf);
+}
+
+}  // namespace rlplanner::obs

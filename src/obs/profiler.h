@@ -1,0 +1,104 @@
+#ifndef RLPLANNER_OBS_PROFILER_H_
+#define RLPLANNER_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace rlplanner::obs {
+
+struct ProfilerConfig {
+  /// Master switch. Disabled (the default) means Start() is a no-op and
+  /// every sampling call is exactly one predictable branch — the serving
+  /// and training paths are bit-for-bit what they are without a profiler.
+  bool enabled = false;
+  /// CPU sampling frequency. Odd and prime-ish by default so the sampler
+  /// never phase-locks with 10ms/1ms periodic work.
+  int sample_hz = 97;
+  /// Fixed sample-ring capacity (continuous profiling: the newest samples
+  /// overwrite the oldest, so the ring always holds the last
+  /// ring_capacity / sample_hz seconds — ~84s at the defaults).
+  std::size_t ring_capacity = 8192;
+};
+
+/// Always-on sampling CPU profiler.
+///
+/// Start() arms a process-wide ITIMER_PROF; the kernel delivers SIGPROF to
+/// whichever thread is burning CPU, and the handler captures a backtrace()
+/// into a fixed-size lock-free ring of seqlock-protected slots (no malloc,
+/// no locks in the signal path — the same single-writer-visibility idiom as
+/// the trace rings, except here the "writer" is whichever thread took the
+/// signal and slot ownership comes from a fetch_add ticket). Export never
+/// stops sampling: Collapsed(N) snapshots the slots through their seqlocks,
+/// keeps the samples from the last N seconds, symbolizes the frames
+/// (backtrace_symbols + __cxa_demangle, cached per address), and renders
+/// collapsed-stack text ("frame;frame;leaf count") ready for
+/// flamegraph.pl / speedscope — so GET /debug/pprof?seconds=N answers
+/// instantly from retained history instead of blocking an epoll shard.
+///
+/// At most one profiler can be running per process (the itimer is a
+/// process-wide resource); a second Start() returns FailedPrecondition.
+class Profiler {
+ public:
+  static constexpr int kMaxFrames = 24;
+
+  explicit Profiler(const ProfilerConfig& config);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Installs the SIGPROF handler and arms the interval timer. No-op (Ok)
+  /// when the profiler is disabled.
+  util::Status Start();
+
+  /// Disarms the timer, restores the previous handler, and waits for any
+  /// in-flight signal handler to leave the ring. Idempotent.
+  void Stop();
+
+  /// Captures the calling thread's stack into the ring synchronously (no
+  /// signal involved). This is the sampling path the TSan concurrency test
+  /// drives, and it lets callers mark known-interesting moments.
+  void RecordNow();
+
+  /// Collapsed-stack text of the samples from the last `window_seconds`
+  /// (<= 0 means everything retained). Prefixed with '#' header lines
+  /// (profile kind, sample_hz, window, counts) so even an empty capture is
+  /// shape-checkable. Safe to call concurrently with live sampling.
+  std::string Collapsed(double window_seconds) const;
+
+  /// One JSON object for /debug/statusz:
+  /// {"enabled":…,"running":…,"sample_hz":…,"ring_capacity":…,
+  ///  "samples_total":…,"samples_retained":…}
+  std::string StatusJson() const;
+
+  bool enabled() const { return enabled_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  int sample_hz() const { return sample_hz_; }
+  /// Total samples ever written (retained = min(total, ring_capacity)).
+  std::uint64_t samples_total() const {
+    return next_slot_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot;
+  friend void ProfilerSignalHandler(int);
+
+  /// The async-signal-safe core: ticket a slot, seqlock-write timestamp +
+  /// backtrace frames. `skip` drops the profiler's own frames.
+  void SampleInto(int skip);
+
+  const bool enabled_;
+  const int sample_hz_;
+  const std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_slot_{0};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace rlplanner::obs
+
+#endif  // RLPLANNER_OBS_PROFILER_H_

@@ -6,8 +6,6 @@
 
 namespace rlplanner::obs {
 
-namespace {
-
 double ProcessStartTimeSeconds() {
   // Sampled once per process at first use, so every registry (trainer,
   // server, tests sharing the binary) reports the same start time.
@@ -17,6 +15,8 @@ double ProcessStartTimeSeconds() {
           .count();
   return start;
 }
+
+namespace {
 
 bool IsNameStart(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
@@ -224,6 +224,10 @@ MetricsSnapshot Registry::Collect() const {
           if (n == 0) continue;
           cumulative += n;
           m.buckets.push_back({Histogram::BucketUpperBound(i), cumulative});
+        }
+        for (const HistogramExemplar& e : h.CollectExemplars()) {
+          m.exemplars.push_back({Histogram::BucketUpperBound(e.bucket),
+                                 e.value, e.trace_id, e.version});
         }
         break;
       }

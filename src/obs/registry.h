@@ -29,10 +29,20 @@ struct HistogramBucket {
   std::uint64_t cumulative_count = 0;
 };
 
+/// An exported exemplar: the latest traced observation in the bucket whose
+/// inclusive upper bound is `upper_bound` (see HistogramExemplar).
+struct ExemplarSnapshot {
+  std::uint64_t upper_bound = 0;
+  std::uint64_t value = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t version = 0;
+};
+
 /// A point-in-time copy of one metric instance. Counter metrics populate
 /// `value` with the total; gauges with the current value; histograms
 /// additionally populate count/sum/max/mean/quantiles and the non-empty
-/// buckets (cumulative counts, ascending upper bounds).
+/// buckets (cumulative counts, ascending upper bounds), plus the captured
+/// exemplars when the histogram has them enabled.
 struct MetricSnapshot {
   std::string name;
   std::string help;
@@ -47,6 +57,7 @@ struct MetricSnapshot {
   double p95 = 0.0;
   double p99 = 0.0;
   std::vector<HistogramBucket> buckets;
+  std::vector<ExemplarSnapshot> exemplars;  // bucket order, absent buckets skipped
 };
 
 /// All metrics of a registry at one point in time, sorted by (name, labels)
@@ -60,6 +71,11 @@ inline constexpr const char kBuildVersion[] = "0.5.0";
 /// "release" or "debug", from NDEBUG at compile time; exported in
 /// `rlplanner_build_info{build_type=...}`.
 const char* BuildType();
+
+/// Unix time the process started, sampled once per process at first use —
+/// the same value `process_start_time_seconds` exports, so /debug/statusz
+/// uptime agrees with the metric.
+double ProcessStartTimeSeconds();
 
 /// A named collection of metrics shared across subsystems (training and
 /// serving register into the same instance so one snapshot covers both).

@@ -1,9 +1,11 @@
 #include "serve/plan_service.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "core/scoring.h"
+#include "obs/debugz.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "rl/recommender.h"
@@ -14,6 +16,13 @@ namespace {
 double MillisBetween(std::chrono::steady_clock::time_point from,
                      std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+std::uint64_t SteadyNs(std::chrono::steady_clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -30,9 +39,15 @@ PlanService::PlanService(const model::TaskInstance& instance,
       stats_(config.metrics),
       trace_(config.trace != nullptr && config.trace->enabled() ? config.trace
                                                                 : nullptr),
+      recorder_(config.recorder != nullptr && config.recorder->enabled()
+                    ? config.recorder
+                    : nullptr),
       pool_(std::max<std::size_t>(1, config.num_workers)) {
   config_.num_workers = std::max<std::size_t>(1, config_.num_workers);
   config_.max_queue = std::max<std::size_t>(1, config_.max_queue);
+  // With a recorder attached, the latency histogram links p99 buckets to
+  // retained traces via (trace_id, version) exemplars.
+  if (recorder_ != nullptr) stats_.EnableLatencyExemplars();
 }
 
 PlanService::~PlanService() { Stop(); }
@@ -91,13 +106,13 @@ util::Status PlanService::Enqueue(Pending pending) {
         "requested)");
   }
   const auto now = Clock::now();
-  // Trace ids are allocated only when tracing is on, so the untraced path
-  // never touches the atomic; a caller-provided id (the network front end's)
-  // wins so its spans share the chain.
+  // Trace ids are allocated only when tracing or the flight recorder is on,
+  // so the plain path never touches the atomic; a caller-provided id (the
+  // network front end's) wins so its spans share the chain.
   const std::uint64_t trace_id =
-      trace_ == nullptr ? 0
-      : pending.request.trace_id != 0 ? pending.request.trace_id
-                                      : AllocateTraceId();
+      trace_ == nullptr && recorder_ == nullptr ? 0
+      : pending.request.trace_id != 0           ? pending.request.trace_id
+                                                : AllocateTraceId();
   const double deadline_ms = pending.request.deadline_ms == 0.0
                                  ? config_.default_deadline_ms
                                  : pending.request.deadline_ms;
@@ -217,12 +232,28 @@ void PlanService::WorkerLoop() {
       respond_span.AddArg("trace_id", pending.trace_id);
       respond_span.AddArg("status", "deadline_exceeded");
       stats_.RecordExpiredDeadline();
-      Deliver(pending, util::Status::DeadlineExceeded(
-                           "request spent " +
-                           std::to_string(MillisBetween(pending.enqueued,
-                                                        dequeued)) +
-                           " ms in the queue, past its deadline"));
+      const double queue_ms = MillisBetween(pending.enqueued, dequeued);
+      if (recorder_ != nullptr) {
+        // A request that died in the queue already blew its deadline; record
+        // it so /debug/tracez shows the queue wait that killed it.
+        obs::RequestRecord record;
+        record.trace_id = pending.trace_id;
+        record.slot = pending.request.policy_name;
+        record.status = "deadline_exceeded";
+        record.queue_ms = queue_ms;
+        record.total_ms = queue_ms;
+        record.spans.push_back({"serve_queue_wait", 0.0, queue_ms});
+        recorder_->Complete(std::move(record));
+      }
+      Deliver(pending,
+              util::Status::DeadlineExceeded(
+                  "request spent " + std::to_string(queue_ms) +
+                  " ms in the queue, past its deadline"));
       continue;
+    }
+    if (recorder_ != nullptr) {
+      recorder_->BeginActive(pending.trace_id, pending.request.policy_name,
+                             SteadyNs(dequeued));
     }
     auto result = [&]() -> util::Result<PlanResponse> {
       obs::ScopedSpan plan_span(config_.metrics, "serve_plan", trace_);
@@ -235,16 +266,39 @@ void PlanService::WorkerLoop() {
       return executed;
     }();
     const auto finished = Clock::now();
+    if (recorder_ != nullptr) recorder_->EndActive(pending.trace_id);
     obs::ScopedSpan respond_span(config_.metrics, "serve_respond", trace_);
     respond_span.AddArg("trace_id", pending.trace_id);
     respond_span.AddArg("status", result.ok() ? "ok" : "error");
+    const double queue_ms = MillisBetween(pending.enqueued, dequeued);
+    const double exec_ms = MillisBetween(dequeued, finished);
+    const double total_ms = MillisBetween(pending.enqueued, finished);
+    const std::uint64_t version =
+        result.ok() ? result.value().policy_version : 0;
     if (result.ok()) {
-      result.value().queue_ms = MillisBetween(pending.enqueued, dequeued);
-      result.value().exec_ms = MillisBetween(dequeued, finished);
-      stats_.RecordCompleted(MillisBetween(pending.enqueued, finished));
-      stats_.RecordResponseVersion(result.value().policy_version);
+      result.value().queue_ms = queue_ms;
+      result.value().exec_ms = exec_ms;
+      if (recorder_ != nullptr) {
+        stats_.RecordCompleted(total_ms, pending.trace_id, version);
+      } else {
+        stats_.RecordCompleted(total_ms);
+      }
+      stats_.RecordResponseVersion(version);
     } else {
       stats_.RecordFailed();
+    }
+    if (recorder_ != nullptr) {
+      obs::RequestRecord record;
+      record.trace_id = pending.trace_id;
+      record.policy_version = version;
+      record.slot = pending.request.policy_name;
+      record.status = result.ok() ? "ok" : "error";
+      record.queue_ms = queue_ms;
+      record.exec_ms = exec_ms;
+      record.total_ms = total_ms;
+      record.spans.push_back({"serve_queue_wait", 0.0, queue_ms});
+      record.spans.push_back({"serve_plan", queue_ms, exec_ms});
+      recorder_->Complete(std::move(record));
     }
     Deliver(pending, std::move(result));
   }
@@ -252,6 +306,14 @@ void PlanService::WorkerLoop() {
 
 util::Result<PlanResponse> PlanService::Execute(
     const PlanRequest& request) const {
+  if (request.debug_stall_ms > 0.0) {
+    // Ops/testing hook: a forced stall makes the request a guaranteed SLO
+    // violator, so the flight-recorder and exemplar pipelines can be driven
+    // end to end against a live server. Capped so a bad request cannot park
+    // a worker indefinitely.
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::min(request.debug_stall_ms, 2000.0)));
+  }
   // Canary routing happens at policy resolution: one lock-free registry read
   // picks the incumbent or the staged canary for this request's key, and the
   // whole request then executes against that one immutable policy.

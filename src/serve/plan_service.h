@@ -25,6 +25,7 @@
 #include "util/thread_pool.h"
 
 namespace rlplanner::obs {
+class FlightRecorder;
 class TraceCollector;
 }  // namespace rlplanner::obs
 
@@ -55,6 +56,10 @@ struct PlanRequest {
   /// assignment). 0 lets the service assign a fresh per-request key, which
   /// samples the canary at its configured fraction.
   std::uint64_t route_key = 0;
+  /// Testing/ops hook: sleep this long (capped at 2000 ms) inside the
+  /// rollout worker, to force a tail-latency event the flight recorder and
+  /// the latency exemplars must capture. 0 (the default) is a no-op.
+  double debug_stall_ms = 0.0;
 };
 
 /// A served plan plus everything needed to audit it: the scores, the hard
@@ -90,6 +95,12 @@ struct PlanServiceConfig {
   /// including queue-rejected and deadline-exceeded requests, which is
   /// exactly when a timeline matters most.
   obs::TraceCollector* trace = nullptr;
+  /// Optional tail-latency flight recorder (not owned; must outlive the
+  /// service). When set and enabled (slo_ms > 0), every request gets a
+  /// trace id, the latency histogram captures (trace_id, version) exemplars,
+  /// and requests blowing the SLO retain their span breakdown for
+  /// /debug/tracez. Null or disabled costs one predictable branch.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// The concurrent plan-serving layer: executes PlanRequests against the
@@ -201,7 +212,8 @@ class PlanService {
   const PolicyRegistry* registry_;
   PlanServiceConfig config_;
   ServeStats stats_;
-  obs::TraceCollector* trace_;  // null when absent or disabled
+  obs::TraceCollector* trace_;      // null when absent or disabled
+  obs::FlightRecorder* recorder_;   // null when absent or disabled
   std::atomic<std::uint64_t> next_trace_id_{1};
   /// Per-request canary routing keys for requests that do not carry one.
   mutable std::atomic<std::uint64_t> next_route_key_{1};

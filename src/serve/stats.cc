@@ -1,5 +1,6 @@
 #include "serve/stats.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace rlplanner::serve {
@@ -63,6 +64,15 @@ ServeStats::ServeStats(obs::Registry* registry) {
 void ServeStats::RecordCompleted(double latency_ms) {
   completed_->Increment();
   latency_us_->RecordRounded(latency_ms * 1000.0);
+}
+
+void ServeStats::RecordCompleted(double latency_ms, std::uint64_t trace_id,
+                                 std::uint64_t version) {
+  completed_->Increment();
+  const double us = latency_ms * 1000.0;
+  latency_us_->Record(
+      us <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(us)), trace_id,
+      version);
 }
 
 void ServeStats::RecordResponseVersion(std::uint64_t version) {

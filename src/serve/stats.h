@@ -82,6 +82,16 @@ class ServeStats {
   /// `latency_ms` is enqueue-to-completion (queue wait + execution).
   void RecordCompleted(double latency_ms);
 
+  /// RecordCompleted plus exemplar capture: the latency bucket remembers
+  /// (trace_id, version) when exemplars are enabled (see EnableExemplars)
+  /// and trace_id is non-zero.
+  void RecordCompleted(double latency_ms, std::uint64_t trace_id,
+                       std::uint64_t version);
+
+  /// Turns on exemplar slots for serve_request_latency_us. Setup-time only
+  /// (call before the service starts its workers).
+  void EnableLatencyExemplars() { latency_us_->EnableExemplars(); }
+
   /// Attributes one completed response to the policy version that served it.
   void RecordResponseVersion(std::uint64_t version);
 

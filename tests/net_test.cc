@@ -26,6 +26,8 @@
 #include "net/http.h"
 #include "net/plan_handler.h"
 #include "net/server.h"
+#include "obs/debugz.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "serve/plan_service.h"
 #include "serve/policy_registry.h"
@@ -382,7 +384,8 @@ core::PlannerConfig ToyConfig(const Dataset& dataset) {
 // can outlive the server.
 struct WireFixture {
   explicit WireFixture(serve::PlanServiceConfig service_config = {},
-                       HttpServerConfig server_config = {}) {
+                       HttpServerConfig server_config = {},
+                       PlanHandler::Options handler_options = {}) {
     core::RlPlanner planner(instance, ToyConfig(dataset));
     EXPECT_TRUE(planner.Train().ok());
     auto installed = registry.Install("default", planner.q_table(),
@@ -394,8 +397,10 @@ struct WireFixture {
         instance, ToyConfig(dataset).reward, registry, service_config);
     service->Start();
 
-    handler = std::make_unique<PlanHandler>(
-        service.get(), PlanHandler::Options{&metrics, nullptr});
+    handler_options.metrics = &metrics;
+    handler_options.slots = &registry;
+    handler =
+        std::make_unique<PlanHandler>(service.get(), std::move(handler_options));
     server_config.host = "127.0.0.1";
     server_config.port = 0;
     if (server_config.num_shards == 0) server_config.num_shards = 2;
@@ -632,6 +637,191 @@ TEST(WireTest, DrainUnderLoadLosesNoInFlightRequest) {
   EXPECT_EQ(stats.failed, 0u);
   EXPECT_EQ(stats.queue_depth, 0u);
   fix.reset();  // second drain/shutdown pass in ~WireFixture is idempotent
+}
+
+// --- Live introspection endpoints -----------------------------------------
+
+TEST(HttpTargetTest, TargetPathStripsQueryAndFragment) {
+  EXPECT_EQ(TargetPath("/debug/pprof?seconds=5"), "/debug/pprof");
+  EXPECT_EQ(TargetPath("/metrics"), "/metrics");
+  EXPECT_EQ(TargetPath("/x#frag"), "/x");
+  EXPECT_EQ(TargetPath("/?a=1"), "/");
+}
+
+TEST(HttpTargetTest, QueryParamExtractsRawValues) {
+  std::string value;
+  EXPECT_TRUE(QueryParam("/debug/pprof?seconds=5", "seconds", &value));
+  EXPECT_EQ(value, "5");
+  EXPECT_TRUE(QueryParam("/metrics?exemplars=1&x=2", "x", &value));
+  EXPECT_EQ(value, "2");
+  EXPECT_TRUE(QueryParam("/metrics?exemplars", "exemplars", &value));
+  EXPECT_EQ(value, "");  // key without '=' yields empty value
+  EXPECT_FALSE(QueryParam("/metrics?exemplars=1", "seconds", &value));
+  EXPECT_FALSE(QueryParam("/metrics", "exemplars", &value));
+}
+
+TEST(WireTest, StatuszReportsBuildSlotsAndSections) {
+  WireFixture fix;
+  fix.handler->AddStatuszSection("custom", [] { return "{\"answer\": 42}"; });
+  BlockingHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fix.server->port()).ok());
+  auto response = client.Request("GET", "/debug/statusz");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().status, 200) << response.value().body;
+  auto document = util::json::Parse(response.value().body);
+  ASSERT_TRUE(document.ok()) << document.status().ToString();
+  const util::json::Value& root = document.value();
+  EXPECT_TRUE(root.Find("build")->Find("version")->is_string());
+  // No profiler/recorder wired: their summaries are null, not absent.
+  EXPECT_TRUE(root.Find("profiler")->is_null());
+  EXPECT_TRUE(root.Find("flight_recorder")->is_null());
+  // The serve stats and the registry slot table ride along.
+  EXPECT_TRUE(root.Find("serve")->is_object());
+  const util::json::Value& slots = *root.Find("slots");
+  EXPECT_EQ(slots.Find("install_count")->AsNumber(), 1.0);
+  const auto& table = slots.Find("slots")->AsArray();
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].Find("slot")->AsString(), "default");
+  EXPECT_EQ(table[0].Find("incumbent_version")->AsNumber(), 1.0);
+  EXPECT_EQ(root.Find("custom")->Find("answer")->AsNumber(), 42.0);
+  // Wrong method on a debug endpoint is 405, not 404.
+  auto post = client.Request("POST", "/debug/statusz", "{}");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post.value().status, 405);
+}
+
+TEST(WireTest, TracezCapturesStalledRequestAndMetricsCarryExemplar) {
+  obs::FlightRecorderConfig recorder_config;
+  recorder_config.slo_ms = 5.0;
+  obs::FlightRecorder recorder(recorder_config);
+  serve::PlanServiceConfig service_config;
+  service_config.recorder = &recorder;
+  PlanHandler::Options options;
+  options.recorder = &recorder;
+  WireFixture fix(service_config, {}, options);
+
+  BlockingHttpClient client;
+  auto plan = fix.Plan(client, "{\"debug_stall_ms\": 25}");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().status, 200) << plan.value().body;
+
+  auto tracez = client.Request("GET", "/debug/tracez");
+  ASSERT_TRUE(tracez.ok());
+  ASSERT_EQ(tracez.value().status, 200);
+  auto document = util::json::Parse(tracez.value().body);
+  ASSERT_TRUE(document.ok()) << document.status().ToString();
+  const util::json::Value& flight = *document.value().Find("flight_recorder");
+  EXPECT_TRUE(flight.Find("enabled")->AsBool());
+  const auto& slowest = flight.Find("slowest")->AsArray();
+  ASSERT_EQ(slowest.size(), 1u);
+  EXPECT_GE(slowest[0].Find("total_ms")->AsNumber(), 5.0);
+  const std::uint64_t trace_id = static_cast<std::uint64_t>(
+      slowest[0].Find("trace_id")->AsNumber());
+  EXPECT_GT(trace_id, 0u);
+  // The span breakdown names the stalled stage.
+  bool saw_plan_span = false;
+  for (const util::json::Value& span : slowest[0].Find("spans")->AsArray()) {
+    if (span.Find("name")->AsString() == "serve_plan") saw_plan_span = true;
+  }
+  EXPECT_TRUE(saw_plan_span);
+  // The same trace id surfaces as a latency exemplar on both pages.
+  const std::string needle = "\"trace_id\": " + std::to_string(trace_id);
+  EXPECT_NE(tracez.value().body.find("\"exemplars\": ["), std::string::npos);
+  EXPECT_NE(tracez.value().body.find(needle), std::string::npos);
+  auto metrics = client.Request("GET", "/metrics?exemplars=1");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics.value().status, 200);
+  EXPECT_NE(metrics.value().body.find(
+                "# {trace_id=\"" + std::to_string(trace_id) + "\""),
+            std::string::npos);
+}
+
+TEST(WireTest, PprofRequiresProfilerAndValidatesSeconds) {
+  {
+    WireFixture fix;  // no profiler wired
+    BlockingHttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", fix.server->port()).ok());
+    auto response = client.Request("GET", "/debug/pprof?seconds=1");
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, 404);
+  }
+  obs::ProfilerConfig profiler_config;
+  profiler_config.enabled = true;
+  obs::Profiler profiler(profiler_config);
+  profiler.RecordNow();
+  PlanHandler::Options options;
+  options.profiler = &profiler;
+  WireFixture fix({}, {}, options);
+  BlockingHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fix.server->port()).ok());
+  auto profile = client.Request("GET", "/debug/pprof?seconds=1");
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(profile.value().status, 200) << profile.value().body;
+  const std::string* content_type = profile.value().FindHeader("Content-Type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_NE(content_type->find("text/plain"), std::string::npos);
+  EXPECT_EQ(profile.value().body.rfind("# profile: cpu_samples\n", 0), 0u);
+  EXPECT_NE(profile.value().body.find("# sample_hz: 97\n"), std::string::npos);
+  auto bad = client.Request("GET", "/debug/pprof?seconds=banana");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().status, 400);
+  auto negative = client.Request("GET", "/debug/pprof?seconds=-3");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative.value().status, 400);
+}
+
+TEST(WireTest, FleetStatusServedOnlyWhenWired) {
+  {
+    WireFixture fix;
+    BlockingHttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", fix.server->port()).ok());
+    auto response = client.Request("GET", "/fleet/status");
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, 404);
+  }
+  PlanHandler::Options options;
+  options.fleet_status = [] {
+    return std::string("{\"tick\": 3, \"policies\": []}");
+  };
+  WireFixture fix({}, {}, options);
+  BlockingHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fix.server->port()).ok());
+  auto response = client.Request("GET", "/fleet/status");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().status, 200);
+  auto document = util::json::Parse(response.value().body);
+  ASSERT_TRUE(document.ok());
+  EXPECT_EQ(document.value().Find("tick")->AsNumber(), 3.0);
+}
+
+TEST(WireTest, MetricsContentNegotiation) {
+  WireFixture fix;
+  BlockingHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fix.server->port()).ok());
+
+  auto plain = client.Request("GET", "/metrics");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain.value().status, 200);
+  const std::string* plain_type = plain.value().FindHeader("Content-Type");
+  ASSERT_NE(plain_type, nullptr);
+  EXPECT_EQ(*plain_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(plain.value().body.find("# EOF"), std::string::npos);
+
+  auto open = client.Request("GET", "/metrics?exemplars=1");
+  ASSERT_TRUE(open.ok());
+  ASSERT_EQ(open.value().status, 200);
+  const std::string* open_type = open.value().FindHeader("Content-Type");
+  ASSERT_NE(open_type, nullptr);
+  EXPECT_EQ(*open_type,
+            "application/openmetrics-text; version=1.0.0; charset=utf-8");
+  EXPECT_NE(open.value().body.find("# EOF\n"), std::string::npos);
+
+  // `exemplars=0` explicitly opts back out.
+  auto opted_out = client.Request("GET", "/metrics?exemplars=0");
+  ASSERT_TRUE(opted_out.ok());
+  const std::string* out_type = opted_out.value().FindHeader("Content-Type");
+  ASSERT_NE(out_type, nullptr);
+  EXPECT_NE(out_type->find("text/plain"), std::string::npos);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -18,13 +19,16 @@
 #include <thread>
 #include <vector>
 
+#include "obs/debugz.h"
 #include "obs/export.h"
 #include "obs/histogram.h"
 #include "obs/metric.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "obs/training_metrics.h"
+#include "util/json.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -761,6 +765,352 @@ TEST(ObsTrainingMetricsTest, RecordsIntoRegistryAndRendersRoundsJson) {
             "[{\"round\": 1, \"episodes\": 1, \"seconds\": 0.5, "
             "\"episodes_per_sec\": 2, \"epsilon\": 0.125, "
             "\"safe\": true}]");
+}
+
+// --------------------------------------------------------- exemplars --
+
+TEST(ObsExemplarTest, CapturesLatestTracedObservationPerBucket) {
+  Histogram histogram;
+  histogram.EnableExemplars();
+  EXPECT_TRUE(histogram.exemplars_enabled());
+  histogram.Record(100, /*trace_id=*/7, /*version=*/3);
+  histogram.Record(101, /*trace_id=*/8, /*version=*/4);  // same bucket: wins
+  histogram.Record(1u << 20, /*trace_id=*/9, /*version=*/5);
+
+  const std::vector<HistogramExemplar> exemplars =
+      histogram.CollectExemplars();
+  ASSERT_EQ(exemplars.size(), 2u);
+  EXPECT_EQ(exemplars[0].bucket, Histogram::BucketIndex(101));
+  EXPECT_EQ(exemplars[0].value, 101u);
+  EXPECT_EQ(exemplars[0].trace_id, 8u);
+  EXPECT_EQ(exemplars[0].version, 4u);
+  EXPECT_EQ(exemplars[1].bucket, Histogram::BucketIndex(1u << 20));
+  EXPECT_EQ(exemplars[1].trace_id, 9u);
+}
+
+TEST(ObsExemplarTest, UntracedOrDisabledObservationsCaptureNothing) {
+  Histogram histogram;
+  histogram.Record(100, /*trace_id=*/1, /*version=*/1);  // not enabled yet
+  histogram.EnableExemplars();
+  histogram.EnableExemplars();                            // idempotent
+  histogram.Record(100, /*trace_id=*/0, /*version=*/1);   // trace_id 0 skipped
+  EXPECT_TRUE(histogram.CollectExemplars().empty());
+  EXPECT_EQ(histogram.count(), 2u);  // plain recording still happened
+}
+
+TEST(ObsExemplarTest, ConcurrentRecordAndCollectNeverTears) {
+  Histogram histogram;
+  histogram.EnableExemplars();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&histogram, &stop, t] {
+      std::uint64_t i = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // All writers target the same bucket; value/trace/version move in
+        // lockstep so a torn read is detectable below.
+        const std::uint64_t tick = i++ * 4 + static_cast<std::uint64_t>(t);
+        histogram.Record(50 + (tick % 8), tick, tick);
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    for (const HistogramExemplar& e : histogram.CollectExemplars()) {
+      EXPECT_EQ(e.trace_id, e.version) << "torn exemplar read";
+    }
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+}
+
+TEST(ObsExportTest, OpenMetricsRendersExemplarsAndEof) {
+  Registry registry;
+  auto latency = registry.GetHistogram("rpc_latency_us", "Request latency.");
+  ASSERT_TRUE(latency.ok());
+  latency.value()->EnableExemplars();
+  latency.value()->Record(100, /*trace_id=*/42, /*version=*/7);
+  auto requests = registry.GetCounter("rpc_requests_total", "Requests.");
+  ASSERT_TRUE(requests.ok());
+  requests.value()->Increment();
+
+  const std::string text = ToOpenMetricsText(registry.Collect());
+  // Counter families drop the `_total` suffix in TYPE/HELP lines only.
+  EXPECT_NE(text.find("# TYPE rpc_requests counter\n"), std::string::npos);
+  EXPECT_NE(text.find("rpc_requests_total 1\n"), std::string::npos);
+  // The traced bucket carries the exemplar in OpenMetrics syntax.
+  const std::uint64_t bound =
+      Histogram::BucketUpperBound(Histogram::BucketIndex(100));
+  const std::string exemplar_line =
+      "rpc_latency_us_bucket{le=\"" + std::to_string(bound) +
+      "\"} 1 # {trace_id=\"42\",policy_version=\"7\"} 100\n";
+  EXPECT_NE(text.find(exemplar_line), std::string::npos) << text;
+  // +Inf bucket has no exemplar, and the exposition is EOF-terminated.
+  EXPECT_NE(text.find("rpc_latency_us_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_EQ(text.compare(text.size() - 6, 6, "# EOF\n"), 0);
+}
+
+// ---------------------------------------------------------- profiler --
+
+TEST(ObsProfilerTest, DisabledProfilerIsInert) {
+  ProfilerConfig config;  // enabled = false
+  Profiler profiler(config);
+  EXPECT_FALSE(profiler.enabled());
+  EXPECT_TRUE(profiler.Start().ok());
+  EXPECT_FALSE(profiler.running());
+  profiler.RecordNow();
+  EXPECT_EQ(profiler.samples_total(), 0u);
+  const std::string collapsed = profiler.Collapsed(0.0);
+  EXPECT_NE(collapsed.find("# profile: cpu_samples\n"), std::string::npos);
+  EXPECT_NE(collapsed.find("# samples: 0\n"), std::string::npos);
+  profiler.Stop();
+}
+
+TEST(ObsProfilerTest, RecordNowProducesCollapsedStacks) {
+  ProfilerConfig config;
+  config.enabled = true;
+  Profiler profiler(config);
+  for (int i = 0; i < 5; ++i) profiler.RecordNow();
+  EXPECT_EQ(profiler.samples_total(), 5u);
+
+  const std::string collapsed = profiler.Collapsed(/*window_seconds=*/0.0);
+  EXPECT_NE(collapsed.find("# profile: cpu_samples\n"), std::string::npos);
+  EXPECT_NE(collapsed.find("# sample_hz: 97\n"), std::string::npos);
+  EXPECT_NE(collapsed.find("# samples: 5\n"), std::string::npos);
+  // At least one non-header "frames... count" line, collapsed-stack shaped.
+  bool found_stack = false;
+  std::size_t pos = 0;
+  while (pos < collapsed.size()) {
+    const std::size_t eol = collapsed.find('\n', pos);
+    const std::string line = collapsed.substr(pos, eol - pos);
+    pos = (eol == std::string::npos) ? collapsed.size() : eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::atoi(line.c_str() + space + 1), 0) << line;
+    found_stack = true;
+  }
+  EXPECT_TRUE(found_stack) << collapsed;
+  // A zero-width window keeps nothing but the headers stay shape-stable.
+  const std::string empty_window = profiler.Collapsed(1e-9);
+  EXPECT_NE(empty_window.find("# samples_total: 5\n"), std::string::npos);
+
+  auto parsed = util::json::Parse(profiler.StatusJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const util::json::Value& status = parsed.value();
+  EXPECT_TRUE(status.Find("enabled")->AsBool());
+  EXPECT_EQ(status.Find("samples_total")->AsNumber(), 5.0);
+}
+
+TEST(ObsProfilerTest, SecondRunningProfilerIsRejected) {
+  ProfilerConfig config;
+  config.enabled = true;
+  Profiler first(config);
+  ASSERT_TRUE(first.Start().ok());
+  EXPECT_TRUE(first.running());
+  Profiler second(config);
+  const util::Status status = second.Start();
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(second.running());
+  first.Stop();
+  EXPECT_FALSE(first.running());
+  first.Stop();  // idempotent
+}
+
+// The TSan workload for the profiler ring: writers sampling through the
+// seqlock slots while a reader symbolizes and renders concurrently.
+TEST(ObsProfilerTest, ConcurrentSamplingAndExport) {
+  ProfilerConfig config;
+  config.enabled = true;
+  config.ring_capacity = 64;  // small ring: wraps many times under the test
+  Profiler profiler(config);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> samplers;
+  for (int t = 0; t < 4; ++t) {
+    samplers.emplace_back([&profiler, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) profiler.RecordNow();
+    });
+  }
+  // Make sure the exports below genuinely race with live sampling.
+  while (profiler.samples_total() == 0) std::this_thread::yield();
+  for (int round = 0; round < 50; ++round) {
+    const std::string collapsed = profiler.Collapsed(0.0);
+    EXPECT_NE(collapsed.find("# profile: cpu_samples\n"), std::string::npos);
+  }
+  stop.store(true);
+  for (std::thread& s : samplers) s.join();
+  EXPECT_GT(profiler.samples_total(), 0u);
+}
+
+#if defined(__SANITIZE_THREAD__)
+#define RLPLANNER_TEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RLPLANNER_TEST_UNDER_TSAN 1
+#endif
+#endif
+
+// SIGPROF-driven sampling calls backtrace() from a signal handler — fine in
+// production, but TSan's signal interception makes the timing too flaky to
+// assert on, so the end-to-end timer test runs in the non-TSan lanes only
+// (RecordNow() above covers the ring under TSan).
+#if !defined(RLPLANNER_TEST_UNDER_TSAN)
+TEST(ObsProfilerTest, SigprofSamplingCapturesBusyLoop) {
+  ProfilerConfig config;
+  config.enabled = true;
+  config.sample_hz = 997;  // fast so a short spin is enough
+  Profiler profiler(config);
+  ASSERT_TRUE(profiler.Start().ok());
+  // Burn CPU until samples arrive (ITIMER_PROF counts CPU time, not wall).
+  volatile double sink = 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (profiler.samples_total() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  }
+  profiler.Stop();
+  EXPECT_GT(profiler.samples_total(), 0u) << "no SIGPROF samples in 5s of spin";
+}
+#endif
+
+// ---------------------------------------------------- flight recorder --
+
+RequestRecord MakeRecord(std::uint64_t trace_id, double total_ms) {
+  RequestRecord record;
+  record.trace_id = trace_id;
+  record.policy_version = 1;
+  record.slot = "default";
+  record.status = "ok";
+  record.queue_ms = 0.25;
+  record.exec_ms = total_ms - 0.25;
+  record.total_ms = total_ms;
+  record.spans.push_back({"serve_queue_wait", 0.0, 0.25});
+  record.spans.push_back({"serve_plan", 0.25, total_ms - 0.25});
+  return record;
+}
+
+TEST(ObsFlightRecorderTest, DisabledRecorderRetainsNothing) {
+  FlightRecorder recorder(FlightRecorderConfig{});  // slo_ms = 0 → disabled
+  EXPECT_FALSE(recorder.enabled());
+  recorder.Complete(MakeRecord(1, 100.0));  // whole hook is a no-op
+  EXPECT_EQ(recorder.requests_observed(), 0u);
+  EXPECT_EQ(recorder.slo_violations(), 0u);
+}
+
+TEST(ObsFlightRecorderTest, ReservoirsKeepSlowestAndRecent) {
+  FlightRecorderConfig config;
+  config.slo_ms = 10.0;
+  config.keep_slowest = 2;
+  config.keep_recent = 3;
+  FlightRecorder recorder(config);
+  ASSERT_TRUE(recorder.enabled());
+  recorder.Complete(MakeRecord(1, 5.0));  // under SLO: observed, not retained
+  recorder.Complete(MakeRecord(2, 50.0));
+  recorder.Complete(MakeRecord(3, 30.0));
+  recorder.Complete(MakeRecord(4, 70.0));  // evicts 30ms from "slowest"
+  recorder.Complete(MakeRecord(5, 20.0));
+  recorder.Complete(MakeRecord(6, 40.0));  // recent is now [6, 5, 4]
+  EXPECT_EQ(recorder.requests_observed(), 6u);
+  EXPECT_EQ(recorder.slo_violations(), 5u);
+
+  auto parsed = util::json::Parse(recorder.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const util::json::Value& root = parsed.value();
+  const auto& slowest = root.Find("slowest")->AsArray();
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_EQ(slowest[0].Find("trace_id")->AsNumber(), 4.0);  // 70ms first
+  EXPECT_EQ(slowest[1].Find("trace_id")->AsNumber(), 2.0);  // then 50ms
+  const auto& recent = root.Find("recent")->AsArray();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].Find("trace_id")->AsNumber(), 6.0);  // newest first
+  // Span breakdowns survive into the export.
+  const auto& spans = slowest[0].Find("spans")->AsArray();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].Find("name")->AsString(), "serve_queue_wait");
+  EXPECT_EQ(spans[1].Find("name")->AsString(), "serve_plan");
+}
+
+TEST(ObsFlightRecorderTest, ActiveTableTracksInFlight) {
+  FlightRecorderConfig config;
+  config.slo_ms = 10.0;
+  FlightRecorder recorder(config);
+  recorder.BeginActive(11, "default", /*start_ns=*/1);
+  recorder.BeginActive(12, "canary", /*start_ns=*/2);
+  auto during = util::json::Parse(recorder.ToJson());
+  ASSERT_TRUE(during.ok());
+  EXPECT_EQ(during.value().Find("active")->AsArray().size(), 2u);
+  recorder.EndActive(11);
+  recorder.EndActive(12);
+  recorder.EndActive(12);  // unknown/double end is harmless
+  auto after = util::json::Parse(recorder.ToJson());
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().Find("active")->AsArray().empty());
+}
+
+// ------------------------------------------------------- debugz pages --
+
+TEST(ObsDebugzTest, StatuszJsonShape) {
+  ProfilerConfig profiler_config;
+  profiler_config.enabled = true;
+  Profiler profiler(profiler_config);
+  FlightRecorderConfig recorder_config;
+  recorder_config.slo_ms = 25.0;
+  FlightRecorder recorder(recorder_config);
+  const std::vector<StatuszSection> sections = {
+      {"serve", "{\"completed\": 3}"},
+      {"fleet", "{\"policies\": 2}"},
+  };
+  auto parsed = util::json::Parse(StatuszJson(&profiler, &recorder, sections));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const util::json::Value& root = parsed.value();
+  EXPECT_EQ(root.Find("build")->Find("version")->AsString(), kBuildVersion);
+  EXPECT_GE(root.Find("uptime_seconds")->AsNumber(), 0.0);
+  EXPECT_TRUE(root.Find("profiler")->Find("enabled")->AsBool());
+  EXPECT_EQ(root.Find("flight_recorder")->Find("slo_ms")->AsNumber(), 25.0);
+  EXPECT_EQ(root.Find("serve")->Find("completed")->AsNumber(), 3.0);
+  EXPECT_EQ(root.Find("fleet")->Find("policies")->AsNumber(), 2.0);
+  // Absent subsystems export as null, not as missing keys.
+  auto bare = util::json::Parse(StatuszJson(nullptr, nullptr, {}));
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare.value().Find("profiler")->is_null());
+  EXPECT_TRUE(bare.value().Find("flight_recorder")->is_null());
+}
+
+TEST(ObsDebugzTest, TracezJsonMergesExemplars) {
+  FlightRecorderConfig config;
+  config.slo_ms = 10.0;
+  FlightRecorder recorder(config);
+  recorder.Complete(MakeRecord(42, 30.0));
+
+  Registry registry;
+  auto latency = registry.GetHistogram("serve_request_latency_us",
+                                       "Request latency.");
+  ASSERT_TRUE(latency.ok());
+  latency.value()->EnableExemplars();
+  latency.value()->Record(30000, /*trace_id=*/42, /*version=*/1);
+
+  auto parsed = util::json::Parse(TracezJson(&recorder, registry.Collect()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const util::json::Value& root = parsed.value();
+  const auto& slowest =
+      root.Find("flight_recorder")->Find("slowest")->AsArray();
+  ASSERT_EQ(slowest.size(), 1u);
+  EXPECT_EQ(slowest[0].Find("trace_id")->AsNumber(), 42.0);
+  const auto& exemplars = root.Find("exemplars")->AsArray();
+  ASSERT_EQ(exemplars.size(), 1u);
+  EXPECT_EQ(exemplars[0].Find("metric")->AsString(),
+            "serve_request_latency_us");
+  EXPECT_EQ(exemplars[0].Find("trace_id")->AsNumber(), 42.0);
+  EXPECT_EQ(exemplars[0].Find("value")->AsNumber(), 30000.0);
+  // A null recorder still yields a parseable page with empty reservoirs.
+  auto bare = util::json::Parse(TracezJson(nullptr, MetricsSnapshot{}));
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare.value()
+                  .Find("flight_recorder")
+                  ->Find("slowest")
+                  ->AsArray()
+                  .empty());
 }
 
 }  // namespace

@@ -23,6 +23,8 @@
 #include "core/planner.h"
 #include "datagen/course_data.h"
 #include "mdp/q_table.h"
+#include "obs/debugz.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "serve/plan_service.h"
@@ -979,6 +981,92 @@ TEST(ServeStatsTest, EmptyHistogramIsAllZero) {
   EXPECT_EQ(snapshot.latency_count, 0u);
   EXPECT_DOUBLE_EQ(snapshot.latency_p50_ms, 0.0);
   EXPECT_DOUBLE_EQ(snapshot.latency_max_ms, 0.0);
+}
+
+// --- Flight recorder integration ------------------------------------------
+
+TEST(PlanServiceTest, StalledRequestIsRecordedWithLatencyExemplar) {
+  ServingFixture fix;
+  fix.InstallTrained("default", 17);
+  obs::Registry metrics;
+  obs::FlightRecorderConfig recorder_config;
+  recorder_config.slo_ms = 5.0;
+  obs::FlightRecorder recorder(recorder_config);
+  PlanServiceConfig service_config;
+  service_config.num_workers = 1;
+  service_config.metrics = &metrics;
+  service_config.recorder = &recorder;
+  PlanService service(fix.instance, fix.config.reward, fix.registry,
+                      service_config);
+  service.Start();
+
+  // A fast request stays under the SLO; the stalled one must be retained.
+  PlanRequest fast;
+  fast.start_item = fix.dataset.default_start;
+  auto fast_submitted = service.Submit(fast);
+  ASSERT_TRUE(fast_submitted.ok());
+  ASSERT_TRUE(std::move(fast_submitted).value().get().ok());
+
+  PlanRequest stalled;
+  stalled.start_item = fix.dataset.default_start;
+  stalled.debug_stall_ms = 25.0;
+  auto submitted = service.Submit(stalled);
+  ASSERT_TRUE(submitted.ok());
+  auto result = std::move(submitted).value().get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  service.Stop();
+
+  EXPECT_EQ(recorder.requests_observed(), 2u);
+  ASSERT_EQ(recorder.slo_violations(), 1u);
+  const std::string tracez = recorder.ToJson();
+  EXPECT_NE(tracez.find("\"serve_plan\""), std::string::npos) << tracez;
+  EXPECT_NE(tracez.find("\"serve_queue_wait\""), std::string::npos);
+
+  // The violating request's trace id was captured as a latency exemplar.
+  std::uint64_t exemplar_trace = 0;
+  for (const obs::MetricSnapshot& m : metrics.Collect().metrics) {
+    if (m.name != "serve_request_latency_us") continue;
+    ASSERT_FALSE(m.exemplars.empty());
+    // The stall dominates the latency distribution: the top exemplar is the
+    // stalled request and its value reflects the injected 25ms.
+    const obs::ExemplarSnapshot& top = m.exemplars.back();
+    exemplar_trace = top.trace_id;
+    EXPECT_GE(top.value, 25000u);
+    EXPECT_EQ(top.version, 1u);
+  }
+  ASSERT_GT(exemplar_trace, 0u);
+  EXPECT_NE(tracez.find("\"trace_id\": " + std::to_string(exemplar_trace)),
+            std::string::npos);
+}
+
+// --- Profiler neutrality --------------------------------------------------
+
+// Acceptance gate: a running profiler must not perturb training — SIGPROF
+// with SA_RESTART is invisible to the deterministic scheduler, so the same
+// seed yields a bit-identical Q-table with sampling on or off.
+TEST(ProfilerNeutralityTest, TrainingIsBitIdenticalUnderSampling) {
+  const Dataset dataset = datagen::MakeTableIIToy();
+  const model::TaskInstance instance = dataset.Instance();
+  core::PlannerConfig config = ToyConfig(dataset, 29, /*episodes=*/200);
+
+  core::RlPlanner baseline(instance, config);
+  ASSERT_TRUE(baseline.Train().ok());
+
+  obs::ProfilerConfig profiler_config;
+  profiler_config.enabled = true;
+  profiler_config.sample_hz = 997;  // oversample to maximize interference
+  obs::Profiler profiler(profiler_config);
+  ASSERT_TRUE(profiler.Start().ok());
+  core::RlPlanner sampled(instance, config);
+  ASSERT_TRUE(sampled.Train().ok());
+  profiler.Stop();
+
+  EXPECT_TRUE(sampled.q_table() == baseline.q_table());
+  auto baseline_plan = baseline.Recommend(dataset.default_start);
+  auto sampled_plan = sampled.Recommend(dataset.default_start);
+  ASSERT_TRUE(baseline_plan.ok());
+  ASSERT_TRUE(sampled_plan.ok());
+  EXPECT_TRUE(baseline_plan.value() == sampled_plan.value());
 }
 
 }  // namespace

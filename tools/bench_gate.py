@@ -82,6 +82,16 @@ GATE_SPEC = {
              lambda e: f"{e['format']}/{e['mode']}",
              [("seconds", "lower")], "seconds"),
         ],
+        # Absolute floors: (object section, field, floor, window field).
+        # Judged against the fresh run alone — the profiler-overhead ratio
+        # is on-vs-off on the *same* machine in the *same* run, so neither
+        # the checked-in baseline nor --tolerance may loosen it, and a
+        # context mismatch that skips the relative sections leaves floors
+        # armed. The 0.98 floor is the serving layer's <= 2% profiler
+        # overhead budget.
+        "floors": [
+            ("profiler_overhead", "on_off_ratio", 0.98, "wall_s"),
+        ],
     },
     "BENCH_fleet.json": {
         "context": ["simd", "catalog_items", "hardware_threads", "smoke"],
@@ -106,6 +116,27 @@ def compare_file(name, baseline, fresh, tolerance, min_seconds):
     """Returns (failures, skipped, compared) for one benchmark file."""
     spec = GATE_SPEC[name]
     failures, skipped, compared = [], [], []
+
+    # Floors first: absolute, baseline-independent, and deliberately outside
+    # the context gate (a self-relative ratio is comparable on any machine).
+    for section, field, floor, window_field in spec.get("floors", []):
+        label = f"{name}:{section}.{field}"
+        entry = fresh.get(section)
+        if not isinstance(entry, dict) or field not in entry:
+            skipped.append(f"{label}: not present in fresh run")
+            continue
+        window = entry.get(window_field)
+        if window is None or window < min_seconds:
+            skipped.append(
+                f"{label}: {window_field}={window} below "
+                f"--min-seconds={min_seconds} (too noisy to judge)")
+            continue
+        value = entry[field]
+        verdict = (f"{label}: {value:.4f} vs absolute floor {floor:.4f} "
+                   f"(tolerance does not apply)")
+        compared.append(verdict)
+        if value < floor:
+            failures.append("FLOOR " + verdict)
 
     for key in spec["context"]:
         base_ctx, fresh_ctx = baseline.get(key), fresh.get(key)
@@ -242,6 +273,13 @@ def self_test():
                 {"format": "sparse-v2", "mode": "mmap", "items": 10000,
                  "snapshot_bytes": 105906176, "seconds": 0.0001},
             ],
+            "profiler_overhead": {
+                "sample_hz": 97, "shards": 2, "connections": 4,
+                "off_requests_per_sec": 11000.0,
+                "on_requests_per_sec": 10950.0,
+                "off2_requests_per_sec": 11020.0,
+                "samples": 300, "wall_s": 0.8, "on_off_ratio": 0.995,
+            },
         },
         "BENCH_scalability.json": {
             "simd": "avx2",
@@ -363,6 +401,37 @@ def self_test():
         route_slowed["BENCH_fleet.json"]["routing"][0]["ns_per_op"] = 160.0
         write_tree(fresh_dir, route_slowed)
         checks.append(("slower canary routing fails",
+                       not run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                    verbose=False)))
+
+        # 3h. Profiler overhead past the 2% budget trips the absolute floor
+        # even though 0.90 is well inside the 30% relative tolerance of the
+        # baseline's 0.995 — floors ignore both baseline and tolerance.
+        slow_profiler = copy.deepcopy(baseline)
+        slow_profiler["BENCH_serve.json"]["profiler_overhead"][
+            "on_off_ratio"] = 0.90
+        write_tree(fresh_dir, slow_profiler)
+        checks.append(("profiler overhead past floor fails",
+                       not run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                    verbose=False)))
+
+        # 3i. The same ratio over a sub-min-seconds window is skipped — a
+        # 10ms wire run cannot judge a 2% budget.
+        noisy_profiler = copy.deepcopy(slow_profiler)
+        noisy_profiler["BENCH_serve.json"]["profiler_overhead"][
+            "wall_s"] = 0.01
+        write_tree(fresh_dir, noisy_profiler)
+        checks.append(("noisy profiler window skipped",
+                       run_gate(base_dir, fresh_dir, 0.30, 0.05,
+                                verbose=False)))
+
+        # 3j. Floors stay armed when a context mismatch skips the relative
+        # sections: the on-vs-off ratio is self-relative, so it is
+        # comparable on any machine.
+        mismatched_profiler = copy.deepcopy(slow_profiler)
+        mismatched_profiler["BENCH_serve.json"]["hardware_threads"] = 64
+        write_tree(fresh_dir, mismatched_profiler)
+        checks.append(("floor survives context mismatch",
                        not run_gate(base_dir, fresh_dir, 0.30, 0.05,
                                     verbose=False)))
 

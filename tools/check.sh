@@ -17,10 +17,15 @@
 # A fleet smoke lane runs `rlplanner_cli fleet status` as a three-policy
 # rollback drill (--force-rollback) and validates the status JSON document
 # docs/fleet.md specifies.
-# It then boots `rlplanner_cli serve --listen` on an ephemeral port, drives
-# it with bench/load_gen over real sockets, round-trips GET /metrics as
-# Prometheus text exposition, and SIGINTs the server to prove the graceful
-# drain exits 0 with a balanced, zero-loss stats ledger.
+# It then boots `rlplanner_cli serve --listen` on an ephemeral port with the
+# sampling profiler, the flight recorder, and an in-process fleet enabled,
+# drives it with bench/load_gen over real sockets, round-trips GET /metrics
+# as Prometheus text exposition, validates the live-introspection surface
+# (/debug/statusz, /debug/tracez with an injected SLO violation, a 1-second
+# /debug/pprof collapsed profile, /metrics?exemplars=1 as OpenMetrics, and
+# /fleet/status as the wire view of the rollback drill), and SIGINTs the
+# server to prove the graceful drain exits 0 with a balanced, zero-loss
+# stats ledger.
 # Set RLPLANNER_SANITIZE=thread to run only the TSan lane (the mode CI's
 # sanitizer matrix uses); any other value runs everything.
 # Usage: tools/check.sh  (from the repo root; build trees go to build/,
@@ -204,12 +209,16 @@ EOF
 }
 
 run_serve_smoke() {
-  echo "==> Wire serving smoke run (live server + load_gen + /metrics)"
+  echo "==> Wire serving smoke run (live server + load_gen + introspection)"
   # Train a toy policy and put the epoll front end on an ephemeral port;
-  # --duration-s is a watchdog in case the SIGINT below never lands.
+  # --duration-s is a watchdog in case the SIGINT below never lands. The
+  # profiler, the flight recorder, and a two-policy rollback-drill fleet
+  # are all on so every /debug endpoint has real content to serve.
   rm -f build/serve-smoke.log
   ./build/tools/rlplanner_cli serve --dataset toy --listen 127.0.0.1:0 \
-    --duration-s 60 > build/serve-smoke.log &
+    --duration-s 60 --profile-hz 97 --slo-ms 5 \
+    --fleet-policies 2 --fleet-ticks 3 --force-rollback \
+    > build/serve-smoke.log &
   local server_pid=$!
   local target=""
   for _ in $(seq 1 200); do
@@ -282,6 +291,73 @@ for required in ("net_requests_total", "net_connections_active",
     assert any(required == t for t in typed), f"no TYPE line for {required}"
 print(f"metrics-wire.txt OK ({len(typed)} typed families, "
       f"{len(names)} sample names)")
+EOF
+
+  # Inject one forced-slow request (debug_stall_ms >> --slo-ms) so the
+  # flight recorder has a violation to retain, then walk the introspection
+  # surface end to end.
+  ./build/bench/load_gen closed --target "${target}" --connections 1 \
+    --requests 1 --body '{"debug_stall_ms": 25}' > build/stall-smoke.json
+  ./build/bench/load_gen get --target "${target}" \
+    --target-path /debug/statusz > build/statusz-smoke.json
+  ./build/bench/load_gen get --target "${target}" \
+    --target-path /debug/tracez > build/tracez-smoke.json
+  ./build/bench/load_gen get --target "${target}" \
+    --target-path '/debug/pprof?seconds=1' > build/pprof-smoke.txt
+  ./build/bench/load_gen get --target "${target}" \
+    --target-path '/metrics?exemplars=1' > build/metrics-openmetrics.txt
+  ./build/bench/load_gen get --target "${target}" \
+    --target-path /fleet/status > build/fleet-wire.json
+  python3 - <<'EOF'
+import json
+
+with open("build/statusz-smoke.json") as f:
+    statusz = json.load(f)
+assert statusz["build"]["version"], statusz["build"]
+assert statusz["uptime_seconds"] >= 0.0, statusz
+assert statusz["profiler"]["enabled"] is True, statusz["profiler"]
+assert statusz["profiler"]["running"] is True, statusz["profiler"]
+assert statusz["flight_recorder"]["slo_ms"] == 5.0, statusz["flight_recorder"]
+assert statusz["serve"]["completed"] >= 1, statusz["serve"]
+slots = statusz["slots"]["slots"]
+assert any(s["slot"] == "default" for s in slots), slots
+assert statusz["server"]["shards"] >= 1, statusz["server"]
+assert statusz["fleet"]["tick"] == 3, statusz["fleet"]
+
+with open("build/tracez-smoke.json") as f:
+    tracez = json.load(f)
+flight = tracez["flight_recorder"]
+assert flight["enabled"] is True, flight
+assert flight["slowest"], "stalled request missing from tracez reservoirs"
+stalled = flight["slowest"][0]
+assert stalled["total_ms"] >= 5.0, stalled
+assert {s["name"] for s in stalled["spans"]} >= {"serve_plan"}, stalled
+# The violating trace id surfaces as a latency exemplar on the same page...
+exemplars = [e for e in tracez["exemplars"]
+             if e["trace_id"] == stalled["trace_id"]]
+assert exemplars, (stalled["trace_id"], tracez["exemplars"])
+
+with open("build/pprof-smoke.txt") as f:
+    pprof = f.read()
+assert pprof.startswith("# profile: cpu_samples\n"), pprof[:80]
+for header in ("# sample_hz: 97", "# window_seconds: 1.000", "# samples:"):
+    assert header in pprof, f"missing {header!r} in pprof header"
+
+with open("build/metrics-openmetrics.txt") as f:
+    openmetrics = f.read()
+assert openmetrics.rstrip().endswith("# EOF"), "OpenMetrics body not EOF-terminated"
+# ...and on the OpenMetrics exposition as `# {trace_id="..."}`.
+needle = '# {trace_id="%d"' % stalled["trace_id"]
+assert needle in openmetrics, f"missing exemplar {needle!r} on /metrics"
+
+with open("build/fleet-wire.json") as f:
+    fleet = json.load(f)
+assert fleet["tick"] == 3, fleet
+assert len(fleet["policies"]) == 2, fleet
+# The drill vetoes every canary: the wire view must agree with the CLI one.
+assert all(p["promotes"] == 0 for p in fleet["policies"]), fleet
+assert sum(p["publishes"] for p in fleet["policies"]) >= 2, fleet
+print("introspection smoke OK (statusz/tracez/pprof/openmetrics/fleet)")
 EOF
 
   # Graceful shutdown: SIGINT → service drain → connection drain → exit 0,

@@ -42,6 +42,19 @@
 //           [--drain-timeout-ms D]        epoll front end (see docs/serving.md)
 //                                         until SIGTERM/SIGINT or --duration-s,
 //                                         then drain gracefully
+//           [--profile-hz HZ]             arm the sampling CPU profiler and
+//                                         serve GET /debug/pprof?seconds=N
+//           [--slo-ms MS]                 arm the tail-latency flight recorder
+//                                         (GET /debug/tracez + histogram
+//                                         exemplars); /debug/statusz is always
+//                                         on in wire mode
+//           [--fleet-policies N]          run an in-process fleet (N slots,
+//           [--fleet-ticks T]             T orchestrator ticks before serving)
+//                                         and serve GET /fleet/status
+//   profile --dataset D --out FILE        train under the sampling profiler
+//           [--profile-hz HZ]             and write the collapsed-stack
+//           [training flags as for plan]  profile (flamegraph.pl/speedscope
+//                                         input) — see docs/observability.md
 //   fleet run --dataset D                 run the multi-policy fleet
 //           [--policies N] [--ticks T]    orchestrator: N specs retrained on
 //           [--freshness-ticks F]         staleness priority, published
@@ -86,7 +99,9 @@
 #include "datagen/io.h"
 #include "datagen/trip_data.h"
 #include "fleet/fleet.h"
+#include "obs/debugz.h"
 #include "obs/export.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "obs/training_metrics.h"
@@ -108,10 +123,11 @@ int Usage(const std::string& error) {
   std::fprintf(
       stderr,
       "usage: rlplanner_cli <list|info|export|gold|plan|train|metrics|"
-      "inspect|save-snapshot|load-snapshot|snapshot-info|serve|fleet> "
-      "[options]\n"
+      "inspect|save-snapshot|load-snapshot|snapshot-info|serve|fleet|"
+      "profile> [options]\n"
       "       rlplanner_cli snapshot-info FILE\n"
       "       rlplanner_cli fleet <run|status> --dataset D [options]\n"
+      "       rlplanner_cli profile --dataset D --out FILE [options]\n"
       "  --dataset <name|file.csv>   (toy, univ1-dsct, univ1-cyber,\n"
       "                               univ1-cs, univ2-ds, nyc, paris)\n"
       "  --start CODE  --episodes N  --alpha A  --gamma G  --epsilon E\n"
@@ -122,7 +138,8 @@ int Usage(const std::string& error) {
       "  --workers K  --mode serial|det|hogwild  --format prom|json\n"
       "  --q-repr auto|dense|sparse  --snapshot-mode deserialize|mmap\n"
       "  --listen HOST:PORT  --shards N  --duration-s S\n"
-      "  --drain-timeout-ms D\n"
+      "  --drain-timeout-ms D  --profile-hz HZ  --slo-ms MS\n"
+      "  --fleet-policies N  --fleet-ticks T\n"
       "  --policies N  --ticks T  --freshness-ticks F  --canary-permille P\n"
       "  --hold-ticks H  --reward-band B  --force-rollback\n");
   return 2;
@@ -634,22 +651,31 @@ void OnShutdownSignal(int) { g_shutdown_signal = 1; }
 // meanwhile), then the server drains its connections, then the workers join.
 int RunWireServer(rlplanner::serve::PlanService& service,
                   const rlplanner::util::HostPort& listen,
-                  rlplanner::obs::Registry& metrics_registry,
-                  rlplanner::obs::TraceCollector* trace,
+                  rlplanner::net::PlanHandler::Options options,
                   const CommandLine& cmd) {
   rlplanner::net::HttpServerConfig server_config;
   server_config.host = listen.host;
   server_config.port = listen.port;
   server_config.num_shards = static_cast<std::size_t>(
       std::atoi(cmd.GetFlagOr("shards", "0").c_str()));
-  server_config.metrics = &metrics_registry;
-  server_config.trace = trace;
-  rlplanner::net::PlanHandler handler(&service, {&metrics_registry, trace});
+  server_config.metrics = options.metrics;
+  server_config.trace = options.trace;
+  rlplanner::net::PlanHandler handler(&service, std::move(options));
   rlplanner::net::HttpServer server(server_config, handler.AsHandler());
   if (const auto status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
+  // The front end's own statusz section: bound address, shard count, and the
+  // service's live queue depth (the "shard/queue depths" line of the issue).
+  handler.AddStatuszSection("server", [&server, &service] {
+    return "{\"host\": \"" + server.config().host +
+           "\", \"port\": " + std::to_string(server.port()) +
+           ", \"shards\": " + std::to_string(server.num_shards()) +
+           ", \"queue_depth\": " + std::to_string(service.queue_depth()) +
+           ", \"workers\": " +
+           std::to_string(service.config().num_workers) + "}";
+  });
   // check.sh and the CI smoke lane parse this exact line for the bound port.
   std::printf("listening on %s:%u (%zu shards)\n", server.config().host.c_str(),
               static_cast<unsigned>(server.port()), server.num_shards());
@@ -707,6 +733,27 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
   const auto trace = MakeTraceCollector(cmd, config.metrics);
   config.trace = trace.get();
 
+  // --profile-hz arms the sampling CPU profiler for the whole process
+  // (training included) and exposes GET /debug/pprof in wire mode. 0 (the
+  // default) leaves the hot paths bit-for-bit unprofiled.
+  const int profile_hz = std::atoi(cmd.GetFlagOr("profile-hz", "0").c_str());
+  rlplanner::obs::ProfilerConfig profiler_config;
+  profiler_config.enabled = profile_hz > 0;
+  if (profile_hz > 0) profiler_config.sample_hz = profile_hz;
+  rlplanner::obs::Profiler profiler(profiler_config);
+  if (profiler.enabled()) {
+    if (const auto status = profiler.Start(); !status.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  // --slo-ms arms the tail-latency flight recorder: requests slower than
+  // this retain their span breakdown for GET /debug/tracez, and the latency
+  // histogram starts capturing exemplars.
+  rlplanner::obs::FlightRecorderConfig recorder_config;
+  recorder_config.slo_ms = std::atof(cmd.GetFlagOr("slo-ms", "0").c_str());
+  rlplanner::obs::FlightRecorder recorder(recorder_config);
+
   rlplanner::serve::PolicyRegistry registry(
       rlplanner::serve::CatalogFingerprint(dataset.catalog),
       dataset.catalog.size());
@@ -751,6 +798,53 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
     }
   }
 
+  // --fleet-policies spins up an in-process fleet orchestrator sharing the
+  // serving registry: N extra slots are retrained/published through the
+  // canary pipeline for --fleet-ticks ticks, then wire mode serves the live
+  // status document at GET /fleet/status (and in /debug/statusz).
+  std::unique_ptr<rlplanner::util::ThreadPool> fleet_pool;
+  std::unique_ptr<rlplanner::fleet::FleetOrchestrator> fleet;
+  const int fleet_policies =
+      std::atoi(cmd.GetFlagOr("fleet-policies", "0").c_str());
+  if (fleet_policies > 0) {
+    fleet_pool = std::make_unique<rlplanner::util::ThreadPool>();
+    rlplanner::fleet::FleetConfig fleet_config;
+    fleet_config.canary_permille = static_cast<std::uint32_t>(
+        std::atoi(cmd.GetFlagOr("canary-permille", "200").c_str()));
+    fleet_config.canary_hold_ticks =
+        std::atoi(cmd.GetFlagOr("hold-ticks", "1").c_str());
+    fleet_config.reward_band =
+        std::atof(cmd.GetFlagOr("reward-band", "0.5").c_str());
+    fleet_config.metrics = &metrics_registry;
+    fleet_config.trace = trace.get();
+    if (cmd.HasFlag("force-rollback")) {
+      fleet_config.hooks.override_canary_verdict =
+          [](const rlplanner::fleet::PolicySpec&) {
+            return std::optional<bool>(false);
+          };
+    }
+    fleet = std::make_unique<rlplanner::fleet::FleetOrchestrator>(
+        instance, config.reward, registry, *fleet_pool, fleet_config);
+    const std::uint64_t fingerprint =
+        rlplanner::serve::CatalogFingerprint(dataset.catalog);
+    for (int i = 0; i < fleet_policies; ++i) {
+      rlplanner::fleet::PolicySpec spec;
+      spec.slot = "policy-" + std::to_string(i);
+      spec.segment_id = "segment-" + std::to_string(i);
+      spec.catalog_fingerprint = fingerprint;
+      spec.sarsa = config.sarsa;
+      spec.seed = config.seed + static_cast<std::uint64_t>(i);
+      spec.freshness_ticks =
+          std::max(1, std::atoi(cmd.GetFlagOr("freshness-ticks", "3").c_str()));
+      if (const auto status = fleet->AddSpec(std::move(spec)); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    fleet->RunTicks(
+        std::max(1, std::atoi(cmd.GetFlagOr("fleet-ticks", "4").c_str())));
+  }
+
   rlplanner::serve::PlanServiceConfig service_config;
   service_config.num_workers = static_cast<std::size_t>(
       std::atoi(cmd.GetFlagOr("threads", "4").c_str()));
@@ -760,6 +854,7 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
       std::atof(cmd.GetFlagOr("deadline-ms", "0").c_str());
   service_config.metrics = &metrics_registry;
   service_config.trace = trace.get();
+  service_config.recorder = &recorder;
   const int num_requests = std::atoi(cmd.GetFlagOr("requests", "200").c_str());
 
   rlplanner::serve::PlanService service(instance, config.reward, registry,
@@ -795,8 +890,21 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
     });
   }
   if (listen.has_value()) {
+    rlplanner::net::PlanHandler::Options handler_options;
+    handler_options.metrics = &metrics_registry;
+    handler_options.trace = trace.get();
+    handler_options.profiler = &profiler;
+    handler_options.recorder = &recorder;
+    handler_options.slots = &registry;
+    if (fleet != nullptr) {
+      handler_options.fleet_status =
+          [fleet_ptr = fleet.get()] { return fleet_ptr->StatusJson(); };
+    }
     const int wire_rc =
-        RunWireServer(service, *listen, metrics_registry, trace.get(), cmd);
+        RunWireServer(service, *listen, std::move(handler_options), cmd);
+    if (fleet != nullptr) {
+      std::fprintf(stderr, "fleet: %s\n", fleet->SummaryJson().c_str());
+    }
     if (metrics_writer.joinable()) {
       {
         std::lock_guard<std::mutex> lock(writer_mutex);
@@ -878,6 +986,40 @@ int CmdServe(const Dataset& dataset, const CommandLine& cmd) {
   }
   if (!WriteTraceOut(cmd, trace.get())) return 1;
   return errors == 0 ? 0 : 1;
+}
+
+// Trains under the sampling profiler and writes the collapsed-stack profile
+// to --out — the offline flamegraph path (flamegraph.pl or speedscope read
+// the output directly; see docs/observability.md).
+int CmdProfile(const Dataset& dataset, const CommandLine& cmd) {
+  const std::string out = *cmd.GetFlag("out");
+  const rlplanner::model::TaskInstance instance = dataset.Instance();
+  rlplanner::core::PlannerConfig config = BuildConfig(dataset, cmd);
+
+  rlplanner::obs::ProfilerConfig profiler_config;
+  profiler_config.enabled = true;
+  profiler_config.sample_hz =
+      std::max(1, std::atoi(cmd.GetFlagOr("profile-hz", "97").c_str()));
+  rlplanner::obs::Profiler profiler(profiler_config);
+  if (const auto status = profiler.Start(); !status.ok()) {
+    std::fprintf(stderr, "profiler: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  rlplanner::core::RlPlanner planner(instance, config);
+  const auto trained = planner.Train();
+  profiler.Stop();
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+  if (!WriteTextFile(out, profiler.Collapsed(0.0))) return 1;
+  std::printf("trained %d episodes in %.3f s under %d Hz sampling "
+              "(%llu samples)\n",
+              config.sarsa.num_episodes, planner.train_seconds(),
+              profiler.sample_hz(),
+              static_cast<unsigned long long>(profiler.samples_total()));
+  std::printf("profile: %s\n", out.c_str());
+  return 0;
 }
 
 // Runs the continuous-training fleet orchestrator over a small multi-policy
@@ -998,7 +1140,8 @@ int main(int argc, char** argv) {
 
   // Required flags per subcommand; anything else is an unknown command.
   std::vector<std::string> required = {"dataset"};
-  if (cmd.command == "export" || cmd.command == "save-snapshot") {
+  if (cmd.command == "export" || cmd.command == "save-snapshot" ||
+      cmd.command == "profile") {
     required.push_back("out");
   } else if (cmd.command == "load-snapshot") {
     required.push_back("in");
@@ -1025,6 +1168,7 @@ int main(int argc, char** argv) {
   if (cmd.command == "inspect") return CmdInspect(*dataset, cmd);
   if (cmd.command == "save-snapshot") return CmdSaveSnapshot(*dataset, cmd);
   if (cmd.command == "load-snapshot") return CmdLoadSnapshot(*dataset, cmd);
+  if (cmd.command == "profile") return CmdProfile(*dataset, cmd);
   if (cmd.command == "fleet") return CmdFleet(*dataset, cmd, fleet_mode);
   return CmdServe(*dataset, cmd);
 }
